@@ -1,0 +1,87 @@
+(* Full benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section V) plus the DESIGN.md ablations, then runs
+   Bechamel micro-benchmarks of the core computational kernels (one
+   Test.make per reproduced artefact family).
+
+   Run with: dune exec bench/main.exe
+   A single experiment: dune exec bin/cosa_cli.exe -- exp fig6 *)
+
+let run_experiments () =
+  List.iter
+    (fun (e : Registry.t) ->
+      let t0 = Unix.gettimeofday () in
+      let report = e.Registry.run () in
+      print_string report;
+      Printf.printf "[%s completed in %.1f s]\n" e.Registry.id (Unix.gettimeofday () -. t0);
+      flush stdout)
+    Registry.all
+
+(* Bechamel micro-benchmarks: the kernels whose cost dominates each
+   artefact family. *)
+let micro_benchmarks () =
+  let open Bechamel in
+  let arch = Spec.baseline in
+  let layer = Zoo.find "3_14_256_256_1" in
+  let mapping = (Cosa.schedule arch layer).Cosa.mapping in
+  let formulation = Cosa_formulation.build arch layer in
+  let relaxed = Milp.Bb.relax formulation.Cosa_formulation.lp in
+  let rng = Prim.Rng.create 99 in
+  let tests =
+    [
+      (* figs 1/3/4, 6-9: every data point is one analytical-model call *)
+      Test.make ~name:"model_evaluate(fig1,3,4,6-9)"
+        (Staged.stage (fun () -> ignore (Model.evaluate arch mapping)));
+      (* tab6 + all CoSA rows: LP relaxation solve inside branch-and-bound *)
+      Test.make ~name:"simplex_solve(tab6,cosa)"
+        (Staged.stage (fun () -> ignore (Milp.Simplex.solve relaxed)));
+      (* fig1: one valid-schedule sample *)
+      Test.make ~name:"sampler_valid(fig1)"
+        (Staged.stage (fun () -> ignore (Sampler.valid rng arch layer)));
+      (* fig10: one NoC-simulator cycle on a loaded mesh *)
+      Test.make ~name:"mesh_cycle(fig10)"
+        (Staged.stage
+           (let mesh = Mesh.create arch.Spec.noc in
+            let pkt =
+              Packet.make ~id:0 ~src:(-1) ~dests:[ 0; 5; 10; 15 ] ~flits:8
+                ~tensor:Dims.W ~step:0
+            in
+            fun () ->
+              if Mesh.idle mesh then Mesh.inject mesh Mesh.Gb pkt;
+              Mesh.step mesh));
+      (* fig11: one CoSA-GPU one-shot schedule *)
+      Test.make ~name:"gpu_cosa_schedule(fig11)"
+        (Staged.stage (fun () ->
+             ignore (Gpu.cosa_schedule Gpu.k80 (Gpu.gemm_of_layer layer))));
+    ]
+  in
+  print_newline ();
+  print_endline "Micro-benchmarks (Bechamel, monotonic clock)";
+  print_endline "============================================";
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all
+          (Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None ())
+          [ instance ] test
+      in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> Printf.printf "  %-32s %12.1f ns/run\n" name ns
+          | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
+        analyzed)
+    tests;
+  flush stdout
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  print_endline "CoSA reproduction: full experiment harness";
+  print_endline "==========================================";
+  run_experiments ();
+  micro_benchmarks ();
+  Printf.printf "\nTotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,165 @@
+(* Command-line driver: schedule layers, run paper experiments, inspect
+   architectures and workloads, and run the cycle-level NoC simulator. *)
+
+open Cmdliner
+
+let arch_of_name name =
+  match List.assoc_opt name Spec.variants with
+  | Some a -> a
+  | None ->
+    Printf.eprintf "unknown architecture %S (available: %s)\n" name
+      (String.concat ", " (List.map fst Spec.variants));
+    exit 1
+
+let arch_arg =
+  let doc = "Target architecture (baseline, pe64, big_sram)." in
+  Arg.(value & opt string "baseline" & info [ "a"; "arch" ] ~docv:"ARCH" ~doc)
+
+let layer_arg =
+  let doc = "Layer name (see `cosa_cli list layers`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"LAYER" ~doc)
+
+let find_layer name =
+  try Zoo.find name
+  with Not_found ->
+    Printf.eprintf "unknown layer %S; try `cosa_cli list layers`\n" name;
+    exit 1
+
+(* cosa_cli schedule <layer> *)
+let schedule_cmd =
+  let strategy_conv =
+    Arg.enum [ ("auto", Cosa.Auto); ("joint", Cosa.Joint); ("two-stage", Cosa.Two_stage) ]
+  in
+  let strategy_arg =
+    Arg.(value & opt strategy_conv Cosa.Auto & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+           ~doc:"Solver strategy: auto, joint, or two-stage.")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
+           ~doc:"Also write the schedule to $(docv) (cosa_cli evaluate reads it back).")
+  in
+  let run arch_name layer_name strategy save =
+    let arch = arch_of_name arch_name in
+    let layer = find_layer layer_name in
+    let r = Cosa.schedule ~strategy arch layer in
+    (match save with
+     | Some path ->
+       Mapping_io.save path r.Cosa.mapping;
+       Printf.printf "schedule written to %s\n" path
+     | None -> ());
+    let e = Model.evaluate arch r.Cosa.mapping in
+    Printf.printf "layer: %s\narch: %s\n\n%s\n" (Layer.to_string layer) arch.Spec.aname
+      (Mapping.to_loop_nest arch r.Cosa.mapping);
+    Printf.printf "solver: %s in %.2fs (%d nodes)%s%s\n"
+      (match r.Cosa.solver_status with
+       | Milp.Bb.Optimal -> "optimal"
+       | Milp.Bb.Feasible -> "feasible (limit hit)"
+       | Milp.Bb.Infeasible -> "infeasible"
+       | Milp.Bb.Unbounded -> "unbounded"
+       | Milp.Bb.No_solution -> "no solution (fallback schedule)")
+      r.Cosa.solve_time r.Cosa.nodes
+      (if r.Cosa.used_joint then ", joint MIP" else ", two-stage")
+      (if r.Cosa.repaired then ", capacity-repaired" else "");
+    Printf.printf "objective: util=%.2f comp=%.2f traf=%.2f total=%.2f\n"
+      r.Cosa.objective.Cosa.util r.Cosa.objective.Cosa.comp r.Cosa.objective.Cosa.traf
+      r.Cosa.objective.Cosa.total;
+    Printf.printf "model: latency=%.0f cycles, energy=%.4g pJ, PE util=%.1f%%\n"
+      e.Model.latency e.Model.energy_pj (100. *. e.Model.pe_utilization)
+  in
+  Cmd.v (Cmd.info "schedule" ~doc:"Produce a CoSA schedule for a layer and report it.")
+    Term.(const run $ arch_arg $ layer_arg $ strategy_arg $ save_arg)
+
+(* cosa_cli exp <id> *)
+let exp_cmd =
+  let id_arg =
+    let doc = "Experiment id (fig1..fig11, tab6, abl_*; `cosa_cli list exps`)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run id =
+    match Registry.find id with
+    | e -> print_string (e.Registry.run ())
+    | exception Not_found ->
+      Printf.eprintf "unknown experiment %S (available: %s)\n" id
+        (String.concat ", " (Registry.ids ()));
+      exit 1
+  in
+  Cmd.v (Cmd.info "exp" ~doc:"Run one paper experiment and print its table/figure data.")
+    Term.(const run $ id_arg)
+
+(* cosa_cli simulate <layer> *)
+let simulate_cmd =
+  let run arch_name layer_name =
+    let arch = arch_of_name arch_name in
+    let layer = find_layer layer_name in
+    let r = Cosa.schedule arch layer in
+    let s = Noc_sim.simulate arch r.Cosa.mapping in
+    Printf.printf "layer %s on %s (CoSA schedule)\n" layer.Layer.name arch.Spec.aname;
+    Printf.printf
+      "NoC-simulated latency: %.0f cycles%s\n\
+       simulated %d cycles over %d/%d NoC steps; %d packets, %d flit-hops\n\
+       DRAM busy %d cycles; PE compute %d cycles/step\n"
+      s.Noc_sim.latency
+      (if s.Noc_sim.sampled then " (sampled + extrapolated)" else "")
+      s.Noc_sim.simulated_cycles s.Noc_sim.simulated_steps s.Noc_sim.total_steps
+      s.Noc_sim.packets s.Noc_sim.flit_hops s.Noc_sim.dram_busy_cycles
+      s.Noc_sim.compute_cycles_per_step
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run the cycle-level NoC simulator on a CoSA schedule.")
+    Term.(const run $ arch_arg $ layer_arg)
+
+(* cosa_cli evaluate <file> *)
+let evaluate_cmd =
+  let file_arg =
+    let doc = "Schedule file previously written by `schedule --save`." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run arch_name file =
+    let arch = arch_of_name arch_name in
+    match Mapping_io.load file with
+    | Error e ->
+      Printf.eprintf "cannot load %s: %s\n" file e;
+      exit 1
+    | Ok m ->
+      (match Mapping.validate arch m with
+       | [] ->
+         print_string (Mapping.to_loop_nest arch m);
+         let e = Model.evaluate arch m in
+         print_string (Model.summary arch e)
+       | vs ->
+         Printf.eprintf "schedule is invalid on %s:\n" arch.Spec.aname;
+         List.iter
+           (fun v -> Printf.eprintf "  %s\n" (Mapping.violation_to_string v))
+           vs;
+         exit 1)
+  in
+  Cmd.v (Cmd.info "evaluate" ~doc:"Validate and evaluate a saved schedule file.")
+    Term.(const run $ arch_arg $ file_arg)
+
+(* cosa_cli list <what> *)
+let list_cmd =
+  let what_arg =
+    Arg.(value & pos 0 (enum [ ("layers", `Layers); ("archs", `Archs); ("exps", `Exps) ])
+           `Exps & info [] ~docv:"WHAT" ~doc:"What to list: layers, archs, or exps.")
+  in
+  let run what =
+    match what with
+    | `Layers ->
+      List.iter
+        (fun (suite, layers) ->
+          Printf.printf "%s:\n" suite;
+          List.iter (fun (l : Layer.t) -> Printf.printf "  %s\n" (Layer.to_string l)) layers)
+        Zoo.suites
+    | `Archs ->
+      List.iter (fun (_, a) -> print_string (Spec.to_string a)) Spec.variants
+    | `Exps ->
+      List.iter
+        (fun e -> Printf.printf "%-14s %s\n" e.Registry.id e.Registry.title)
+        Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available layers, architectures, or experiments.")
+    Term.(const run $ what_arg)
+
+let () =
+  let doc = "CoSA: scheduling spatial DNN accelerators by constrained optimization" in
+  let info = Cmd.info "cosa_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ schedule_cmd; exp_cmd; simulate_cmd; evaluate_cmd; list_cmd ]))

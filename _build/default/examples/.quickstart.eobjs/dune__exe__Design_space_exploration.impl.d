@@ -1,0 +1,1 @@
+examples/design_space_exploration.ml: Cosa List Model Prim Printf Spec Zoo

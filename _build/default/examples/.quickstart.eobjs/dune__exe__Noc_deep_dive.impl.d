@@ -1,0 +1,1 @@
+examples/noc_deep_dive.ml: Cosa Dims Layer List Mapping Model Noc_sim Printf Spec Zoo

@@ -1,0 +1,1 @@
+examples/noc_deep_dive.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cosa Layer Mapping Model Noc_sim Printf Spec Zoo

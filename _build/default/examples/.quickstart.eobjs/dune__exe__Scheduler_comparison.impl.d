@@ -1,0 +1,1 @@
+examples/scheduler_comparison.ml: Baseline Cosa Hashtbl Hybrid_mapper Layer List Model Prim Printf Random_mapper Spec Zoo

@@ -1,0 +1,1 @@
+examples/weight_tuning.ml: Cosa Cosa_tuner Filename Layer List Mapping Mapping_io Model Printf Spec Zoo

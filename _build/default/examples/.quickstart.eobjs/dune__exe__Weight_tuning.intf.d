@@ -1,0 +1,1 @@
+examples/weight_tuning.mli:

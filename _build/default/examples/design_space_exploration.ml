@@ -1,0 +1,43 @@
+(* Architecture design-space exploration: because CoSA schedules in one
+   shot, it can be used inside a hardware DSE loop — here we compare three
+   accelerator configurations on a mixed workload bundle, re-scheduling
+   each layer for each candidate architecture.
+
+   Run with: dune exec examples/design_space_exploration.exe *)
+
+let workload =
+  List.map Zoo.find
+    [ "3_14_256_256_1"; "1_14_256_1024_1"; "3_7_512_512_1"; "ocr_35_700_2048";
+      "face_3_14_128_256_2" ]
+
+let () =
+  Printf.printf "Design-space exploration over %d layers\n\n" (List.length workload);
+  let tab =
+    Prim.Texttab.create
+      [ "arch"; "total latency"; "total energy (uJ)"; "avg PE util"; "avg solve (s)" ]
+  in
+  List.iter
+    (fun (name, arch) ->
+      let lat = ref 0. and en = ref 0. and util = ref 0. and time = ref 0. in
+      List.iter
+        (fun layer ->
+          let r = Cosa.schedule arch layer in
+          let e = Model.evaluate arch r.Cosa.mapping in
+          lat := !lat +. e.Model.latency;
+          en := !en +. e.Model.energy_pj;
+          util := !util +. e.Model.pe_utilization;
+          time := !time +. r.Cosa.solve_time)
+        workload;
+      let n = float_of_int (List.length workload) in
+      Prim.Texttab.add_row tab
+        [ name;
+          Prim.Texttab.cell_f !lat;
+          Printf.sprintf "%.1f" (!en /. 1e6);
+          Printf.sprintf "%.1f%%" (100. *. !util /. n);
+          Printf.sprintf "%.2f" (!time /. n) ])
+    Spec.variants;
+  print_string (Prim.Texttab.render tab);
+  print_endline
+    "\nReading the table: the 8x8 array cuts latency when layers have enough\n\
+     parallelism to fill it; the large-SRAM variant instead wins on energy by\n\
+     cutting DRAM traffic. CoSA re-derives a tailored schedule for each point."

@@ -1,0 +1,34 @@
+(* Quickstart: schedule one ResNet-50 layer on the baseline accelerator
+   with CoSA and inspect the result.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Pick a workload: a 3x3 convolution from ResNet-50 with 256 input
+     and output channels and a 14x14 output (the paper's Fig. 1 layer). *)
+  let layer = Zoo.find "3_14_256_256_1" in
+  Printf.printf "Scheduling %s\n\n" (Layer.to_string layer);
+
+  (* 2. Pick an architecture: the Table V Simba-like baseline (4x4 PEs,
+     64 MACs each, multi-level scratchpads, mesh NoC). *)
+  let arch = Spec.baseline in
+  print_string (Spec.to_string arch);
+
+  (* 3. One-shot scheduling: CoSA formulates a MIP and solves it — no
+     iterative search, no simulator in the loop. *)
+  let result = Cosa.schedule arch layer in
+  Printf.printf "\nCoSA solved in %.2f s (%d branch-and-bound nodes)\n\n"
+    result.Cosa.solve_time result.Cosa.nodes;
+
+  (* 4. The schedule is a concrete loop nest: tiling per memory level,
+     loop order, and spatial mapping. *)
+  print_string (Mapping.to_loop_nest arch result.Cosa.mapping);
+
+  (* 5. Evaluate it with the Timeloop-class analytical model. *)
+  let eval = Model.evaluate arch result.Cosa.mapping in
+  Printf.printf "\n%s" (Model.summary arch eval);
+
+  (* 6. And with the cycle-level NoC simulator, which also sees congestion. *)
+  let sim = Noc_sim.simulate arch result.Cosa.mapping in
+  Printf.printf "\nNoC simulator: %.0f cycles (%d packets, %d flit-hops)\n"
+    sim.Noc_sim.latency sim.Noc_sim.packets sim.Noc_sim.flit_hops

@@ -1,0 +1,49 @@
+(* End-to-end network scheduling: run CoSA, Random search, and the
+   Timeloop-Hybrid baseline over every distinct ResNet-50 layer and
+   compare whole-network latency and energy.
+
+   Run with: dune exec examples/scheduler_comparison.exe *)
+
+let () =
+  let arch = Spec.baseline in
+  let layers = Zoo.resnet50 in
+  Printf.printf "Scheduling %d distinct ResNet-50 layers on %s\n\n" (List.length layers)
+    arch.Spec.aname;
+  let tab =
+    Prim.Texttab.create [ "layer"; "CoSA"; "Random"; "TL-Hybrid"; "CoSA speedup" ]
+  in
+  let totals = Hashtbl.create 4 in
+  let add name v =
+    Hashtbl.replace totals name ((try Hashtbl.find totals name with Not_found -> 0.) +. v)
+  in
+  List.iter
+    (fun layer ->
+      let cosa = (Cosa.schedule arch layer).Cosa.mapping in
+      let rng = Prim.Rng.create (Hashtbl.hash layer.Layer.name) in
+      let random =
+        match (Random_mapper.search rng arch layer).Baseline.best with
+        | Some m -> m
+        | None -> Cosa.trivial_mapping arch layer
+      in
+      let hybrid =
+        match (Hybrid_mapper.search rng arch layer).Baseline.best with
+        | Some m -> m
+        | None -> Cosa.trivial_mapping arch layer
+      in
+      let lat m = (Model.evaluate arch m).Model.latency in
+      let c = lat cosa and r = lat random and h = lat hybrid in
+      add "cosa" c;
+      add "random" r;
+      add "hybrid" h;
+      Prim.Texttab.add_row tab
+        [ layer.Layer.name; Prim.Texttab.cell_f c; Prim.Texttab.cell_f r;
+          Prim.Texttab.cell_f h; Prim.Texttab.cell_fx (r /. c) ])
+    layers;
+  print_string (Prim.Texttab.render tab);
+  let get k = Hashtbl.find totals k in
+  Printf.printf
+    "\nWhole-network latency (cycles): CoSA %.3g | Random %.3g | Hybrid %.3g\n"
+    (get "cosa") (get "random") (get "hybrid");
+  Printf.printf "CoSA end-to-end speedup over Random: %.2fx, over Hybrid: %.2fx\n"
+    (get "random" /. get "cosa")
+    (get "hybrid" /. get "cosa")

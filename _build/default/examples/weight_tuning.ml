@@ -1,0 +1,35 @@
+(* Objective-weight tuning (the paper's Section III-E extension): when the
+   target hardware's behaviour is unknown or nondeterministic, wrap the
+   one-shot solver in a small hyperparameter sweep scored by whatever
+   oracle is available (here: the analytical model; on silicon it would be
+   a measurement), then persist the winning schedule to disk.
+
+   Run with: dune exec examples/weight_tuning.exe *)
+
+let () =
+  let arch = Spec.edge in
+  let layer = Zoo.find "3_14_256_256_1" in
+  Printf.printf "Tuning objective weights for %s on %s\n\n" layer.Layer.name arch.Spec.aname;
+
+  let plain = Cosa.schedule arch layer in
+  let plain_latency = (Model.evaluate arch plain.Cosa.mapping).Model.latency in
+  Printf.printf "calibrated weights: latency %.0f cycles\n" plain_latency;
+
+  let tuned = Cosa_tuner.tune arch layer in
+  let best = tuned.Cosa_tuner.best in
+  let tuned_latency = (Model.evaluate arch best.Cosa.mapping).Model.latency in
+  Printf.printf "after %d one-shot solves: latency %.0f cycles (%.2fx)\n\n"
+    tuned.Cosa_tuner.tried tuned_latency (plain_latency /. tuned_latency);
+
+  Printf.printf "per-point sweep results (w_util, w_comp, w_traf -> cycles):\n";
+  List.iter
+    (fun (w, score) ->
+      Printf.printf "  (%.2f, %.2f, %.2f) -> %.0f\n" w.Cosa.w_util w.Cosa.w_comp
+        w.Cosa.w_traf score)
+    tuned.Cosa_tuner.scores;
+
+  (* persist the winner for later `cosa_cli evaluate` runs *)
+  let path = Filename.temp_file "tuned_schedule" ".txt" in
+  Mapping_io.save path best.Cosa.mapping;
+  Printf.printf "\nwinning schedule saved to %s\n" path;
+  print_string (Mapping.to_loop_nest arch best.Cosa.mapping)

@@ -1,0 +1,254 @@
+type tensor_counts = { tile : float; fills : float; reads : float; updates : float }
+
+type tensor_traffic = { tile_words : float; steps : float; distinct : int; multicast : int }
+
+type t = {
+  counts : tensor_counts array array;
+  compute_cycles : float;
+  transfer_cycles : float array;
+  latency : float;
+  energy_pj : float;
+  energy_breakdown : (string * float) list;
+  noc_energy_pj : float;
+  macs : float;
+  pe_utilization : float;
+  traffic : (Dims.tensor * tensor_traffic) list;
+}
+
+let fi = float_of_int
+
+(* Storage chain of tensor v: ascending level indices where v is buffered. *)
+let storage_chain arch v =
+  List.filter (fun i -> Spec.stores arch i v) (List.init (Spec.level_count arch) Fun.id)
+
+(* Flattened temporal loops at levels >= lo, outermost first. *)
+let flat_temporal (m : Mapping.t) ~lo =
+  let acc = ref [] in
+  for i = lo to Array.length m.Mapping.levels - 1 do
+    (* prepend levels from inner to outer so the outermost level ends up first *)
+    acc := m.Mapping.levels.(i).Mapping.temporal @ !acc
+  done;
+  !acc
+
+(* Number of times the tile of [v] held at level [lo] is replaced over the
+   whole execution: the product of all flattened temporal loop bounds from
+   the outermost loop down to (and including) the innermost loop relevant
+   to [v]. Irrelevant loops nested inside the innermost relevant loop rescan
+   the resident tile and are free. *)
+let refills m v ~lo =
+  let loops = flat_temporal m ~lo in
+  let rec innermost_relevant idx best = function
+    | [] -> best
+    | (l : Mapping.loop) :: rest ->
+      let best =
+        if l.Mapping.bound > 1 && Dims.model_relevant l.Mapping.dim v then idx else best
+      in
+      innermost_relevant (idx + 1) best rest
+  in
+  let cut = innermost_relevant 0 (-1) loops in
+  let prod = ref 1. in
+  List.iteri (fun idx (l : Mapping.loop) -> if idx <= cut then prod := !prod *. fi l.Mapping.bound) loops;
+  !prod
+
+(* Spatial bound products over levels in [lo, hi), split by relevance. *)
+let spatial_split m v ~lo ~hi =
+  let rel = ref 1 and irrel = ref 1 in
+  for i = lo to hi - 1 do
+    List.iter
+      (fun (l : Mapping.loop) ->
+        if Dims.model_relevant l.Mapping.dim v then rel := !rel * l.Mapping.bound
+        else irrel := !irrel * l.Mapping.bound)
+      m.Mapping.levels.(i).Mapping.spatial
+  done;
+  (!rel, !irrel)
+
+let instances m ~lo =
+  let acc = ref 1 in
+  for i = lo to Array.length m.Mapping.levels - 1 do
+    acc := !acc * List.fold_left (fun a (l : Mapping.loop) -> a * l.Mapping.bound) 1
+             m.Mapping.levels.(i).Mapping.spatial
+  done;
+  !acc
+
+(* Any temporal reduction loop (irrelevant to OA) with bound > 1 at levels
+   >= lo forces read-modify-write accumulation at that storage level. *)
+let reduction_above m ~lo =
+  List.exists
+    (fun (l : Mapping.loop) ->
+      l.Mapping.bound > 1 && not (Dims.model_relevant l.Mapping.dim Dims.OA))
+    (flat_temporal m ~lo)
+
+let evaluate arch (m : Mapping.t) =
+  let nlev = Spec.level_count arch in
+  let counts =
+    Array.init nlev (fun i ->
+        Array.map
+          (fun v -> { tile = Mapping.tile_words arch m i v; fills = 0.; reads = 0.; updates = 0. })
+          (Array.of_list Dims.all_tensors))
+  in
+  let add_fills i v x =
+    let vi = Dims.tensor_index v in
+    counts.(i).(vi) <- { (counts.(i).(vi)) with fills = counts.(i).(vi).fills +. x }
+  in
+  let add_reads i v x =
+    let vi = Dims.tensor_index v in
+    counts.(i).(vi) <- { (counts.(i).(vi)) with reads = counts.(i).(vi).reads +. x }
+  in
+  let add_updates i v x =
+    let vi = Dims.tensor_index v in
+    counts.(i).(vi) <- { (counts.(i).(vi)) with updates = counts.(i).(vi).updates +. x }
+  in
+  let noc_traffic = ref [] in
+  (* Inputs and weights flow downward through their storage chains. *)
+  List.iter
+    (fun v ->
+      let chain = storage_chain arch v in
+      let rec walk = function
+        | child :: (parent :: _ as rest) ->
+          let tile = Mapping.tile_words arch m child v in
+          let refill = refills m v ~lo:child in
+          let inst_child = instances m ~lo:child in
+          let rel, irrel = spatial_split m v ~lo:child ~hi:parent in
+          let total_fills = refill *. tile *. fi inst_child in
+          add_fills child v total_fills;
+          let inst_parent = instances m ~lo:parent in
+          let multicast_ok =
+            if parent > arch.Spec.noc_level && child <= arch.Spec.noc_level then
+              arch.Spec.noc.Spec.multicast
+            else true (* intra-PE distribution busses broadcast *)
+          in
+          let parent_reads =
+            if multicast_ok then refill *. tile *. fi rel *. fi inst_parent
+            else refill *. tile *. fi rel *. fi irrel *. fi inst_parent
+          in
+          add_reads parent v parent_reads;
+          if child <= arch.Spec.noc_level && parent > arch.Spec.noc_level then
+            noc_traffic :=
+              (v, { tile_words = tile; steps = refill; distinct = rel; multicast = irrel })
+              :: !noc_traffic;
+          walk rest
+        | [ _ ] | [] -> ()
+      in
+      walk chain)
+    [ Dims.W; Dims.IA ];
+  (* Outputs drain upward with in-network / in-PE reduction across spatial
+     factors irrelevant to OA, and read-modify-write accumulation when a
+     temporal reduction loop survives above the parent. *)
+  let v = Dims.OA in
+  let chain = storage_chain arch v in
+  let rec walk = function
+    | child :: (parent :: _ as rest) ->
+      let tile = Mapping.tile_words arch m child v in
+      let refill = refills m v ~lo:child in
+      let inst_child = instances m ~lo:child in
+      let rel, irrel = spatial_split m v ~lo:child ~hi:parent in
+      let drains = refill *. tile *. fi inst_child in
+      (* child is read once per drain to push partial sums up *)
+      add_reads child v drains;
+      let inst_parent = instances m ~lo:parent in
+      (* reduction collapses the spatially-irrelevant copies before the write *)
+      let parent_writes = refill *. tile *. fi rel *. fi inst_parent in
+      add_updates parent v parent_writes;
+      if reduction_above m ~lo:parent then add_reads parent v parent_writes;
+      if child <= arch.Spec.noc_level && parent > arch.Spec.noc_level then
+        noc_traffic :=
+          (v, { tile_words = tile; steps = refill; distinct = rel; multicast = irrel })
+          :: !noc_traffic;
+      walk rest
+    | [ _ ] | [] -> ()
+  in
+  walk chain;
+  (* compute *)
+  let compute_cycles =
+    Array.fold_left
+      (fun acc lm ->
+        List.fold_left (fun a (l : Mapping.loop) -> a *. fi l.Mapping.bound) acc
+          lm.Mapping.temporal)
+      1. m.Mapping.levels
+  in
+  let spatial_all = fi (instances m ~lo:0) in
+  let macs = compute_cycles *. spatial_all in
+  let avail =
+    Array.fold_left (fun acc (l : Spec.level) -> acc * l.Spec.fanout) 1 arch.Spec.levels
+  in
+  let pe_utilization = spatial_all /. fi avail in
+  (* Per-level transfer cycles: each buffer instance serves its own
+     sub-tree in parallel, so the served word count is normalised by the
+     instance count before dividing by the per-instance port bandwidth. *)
+  let transfer_cycles =
+    Array.init nlev (fun i ->
+        let words =
+          Array.fold_left (fun acc c -> acc +. c.reads +. c.updates) 0. counts.(i)
+        in
+        let bw =
+          if i = Spec.dram_level arch then arch.Spec.dram.Spec.dram_bandwidth_words
+          else arch.Spec.levels.(i).Spec.bandwidth_words
+        in
+        words /. fi (instances m ~lo:i) /. bw)
+  in
+  let latency = Array.fold_left max compute_cycles transfer_cycles in
+  (* energy *)
+  let level_energy =
+    Array.to_list
+      (Array.mapi
+         (fun i per_tensor ->
+           let acc =
+             Array.fold_left (fun a c -> a +. c.fills +. c.reads +. c.updates) 0. per_tensor
+           in
+           (arch.Spec.levels.(i).Spec.lname, acc *. arch.Spec.levels.(i).Spec.energy_pj))
+         counts)
+  in
+  let mac_energy = macs *. arch.Spec.mac_energy_pj in
+  let nocspec = arch.Spec.noc in
+  let avg_hops = fi (nocspec.Spec.mesh_x + nocspec.Spec.mesh_y) /. 2. in
+  let noc_energy =
+    List.fold_left
+      (fun acc (v, tr) ->
+        let bits = fi (arch.Spec.precision_bits v) in
+        let flits_per_tile = Float.max 1. (Float.round (tr.tile_words *. bits /. fi nocspec.Spec.flit_bits)) in
+        let links_per_group =
+          if nocspec.Spec.multicast then avg_hops +. fi (tr.multicast - 1)
+          else avg_hops *. fi tr.multicast
+        in
+        acc +. (tr.steps *. fi tr.distinct *. flits_per_tile *. links_per_group
+                *. nocspec.Spec.hop_energy_pj))
+      0. !noc_traffic
+  in
+  let energy_breakdown = level_energy @ [ ("MAC", mac_energy); ("NoC", noc_energy) ] in
+  let energy_pj = List.fold_left (fun a (_, e) -> a +. e) 0. energy_breakdown in
+  {
+    counts;
+    compute_cycles;
+    transfer_cycles;
+    latency;
+    energy_pj;
+    energy_breakdown;
+    noc_energy_pj = noc_energy;
+    macs;
+    pe_utilization;
+    traffic = !noc_traffic;
+  }
+
+let edp t = t.energy_pj *. t.latency
+
+let summary arch t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "latency=%.0f cycles (compute=%.0f) energy=%.3g pJ util=%.2f%%\n"
+       t.latency t.compute_cycles t.energy_pj (100. *. t.pe_utilization));
+  Array.iteri
+    (fun i per_tensor ->
+      Buffer.add_string buf (Printf.sprintf "  %-10s" arch.Spec.levels.(i).Spec.lname);
+      Array.iteri
+        (fun vi c ->
+          Buffer.add_string buf
+            (Printf.sprintf " %s[tile=%.0f fill=%.3g read=%.3g upd=%.3g]"
+               (Dims.tensor_name (Dims.tensor_of_index vi))
+               c.tile c.fills c.reads c.updates))
+        per_tensor;
+      Buffer.add_char buf '\n')
+    t.counts;
+  List.iter
+    (fun (name, e) -> Buffer.add_string buf (Printf.sprintf "  E %-10s %.4g pJ\n" name e))
+    t.energy_breakdown;
+  Buffer.contents buf

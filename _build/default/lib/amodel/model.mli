@@ -1,0 +1,51 @@
+(** Timeloop-class analytical performance and energy model.
+
+    Given an architecture and a concrete mapping, computes per-level
+    per-tensor access counts with permutation-aware reuse analysis,
+    compute cycles, the double-buffered latency estimate (max of compute
+    and per-boundary transfer cycles, as Timeloop assumes perfect latency
+    hiding), and energy (access counts x per-level energy table + MAC +
+    NoC hop energy). *)
+
+type tensor_counts = {
+  tile : float;  (** resident tile, words *)
+  fills : float;  (** words written into this level from its parent *)
+  reads : float;  (** words read from this level by its child / compute *)
+  updates : float;  (** partial-sum words written back into this level *)
+}
+
+type tensor_traffic = {
+  tile_words : float;  (** per-PE tile crossing the NoC per transfer *)
+  steps : float;  (** number of transfer rounds over the execution *)
+  distinct : int;  (** distinct tiles per round (unicast groups) *)
+  multicast : int;  (** destinations sharing each distinct tile *)
+}
+
+type t = {
+  counts : tensor_counts array array;  (** [level][tensor] *)
+  compute_cycles : float;
+  transfer_cycles : float array;  (** per level: words through it / bandwidth *)
+  latency : float;  (** max(compute, transfers): cycles *)
+  energy_pj : float;
+  energy_breakdown : (string * float) list;  (** per level + "MAC" + "NoC" *)
+  noc_energy_pj : float;
+  macs : float;
+  pe_utilization : float;  (** used spatial / available spatial, in [0,1] *)
+  traffic : (Dims.tensor * tensor_traffic) list;  (** at the NoC boundary *)
+}
+
+val evaluate : Spec.t -> Mapping.t -> t
+
+val storage_chain : Spec.t -> Dims.tensor -> int list
+(** Ascending level indices where a tensor is buffered (the B matrix). *)
+
+val refills : Mapping.t -> Dims.tensor -> lo:int -> float
+(** Number of times the tensor tile held at level [lo] is replaced over the
+    whole execution (the permutation-aware reuse analysis; exposed for the
+    NoC simulator's transaction generator and for tests). *)
+
+val edp : t -> float
+(** Energy-delay product, a common composite metric. *)
+
+val summary : Spec.t -> t -> string
+(** Multi-line human-readable report. *)

@@ -1,0 +1,1 @@
+lib/core/cosa.ml: Array Cosa_decode Cosa_formulation Cosa_objective Float Fun Layer List Mapping Milp Model Prim Sampler Spec Unix

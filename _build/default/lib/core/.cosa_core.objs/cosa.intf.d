@@ -1,0 +1,1 @@
+lib/core/cosa.mli: Cosa_formulation Cosa_objective Layer Mapping Milp Spec

@@ -1,0 +1,1 @@
+lib/core/cosa_decode.ml: Array Cosa_formulation Cosa_objective Dims Float List Mapping Milp Prim Spec

@@ -1,0 +1,1 @@
+lib/core/cosa_decode.mli: Cosa_formulation Dims Mapping Milp Spec

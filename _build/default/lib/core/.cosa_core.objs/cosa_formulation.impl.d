@@ -1,0 +1,1 @@
+lib/core/cosa_formulation.ml: Array Dims Float Hashtbl Layer List Mapping Milp Prim Printf Spec

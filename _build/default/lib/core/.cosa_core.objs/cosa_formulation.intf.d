@@ -1,0 +1,1 @@
+lib/core/cosa_formulation.mli: Dims Layer Mapping Milp Spec

@@ -1,0 +1,1 @@
+lib/core/cosa_objective.ml: Array Cosa_formulation Dims Float List Mapping Spec

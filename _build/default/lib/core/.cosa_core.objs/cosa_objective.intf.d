@@ -1,0 +1,1 @@
+lib/core/cosa_objective.mli: Cosa_formulation Mapping Spec

@@ -1,0 +1,1 @@
+lib/core/cosa_tuner.ml: Cosa List Model

@@ -1,0 +1,1 @@
+lib/core/cosa_tuner.mli: Cosa Layer Mapping Spec

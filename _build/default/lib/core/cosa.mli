@@ -1,0 +1,58 @@
+(** CoSA: one-shot DNN scheduling by constrained optimization.
+
+    The public entry point of the library. {!schedule} formulates the
+    layer/architecture pair as a MIP (Section III of the paper), solves it
+    with the bundled branch-and-bound solver, and decodes the solution into
+    a valid {!Mapping.t} — no iterative search, no simulation feedback. *)
+
+type weights = Cosa_formulation.weights = { w_util : float; w_comp : float; w_traf : float }
+
+val default_weights : weights
+
+val calibrate : Spec.t -> weights
+(** The paper's micro-benchmark procedure: weight the traffic objective by
+    the architecture's cycles-per-word to cycles-per-MAC ratio so that
+    [w_T * Traf] and [w_C * Comp] are commensurable (Section III-D4). *)
+
+type objective_breakdown = Cosa_objective.t = {
+  util : float;  (** Eq. 5 value (to be maximised) *)
+  comp : float;  (** Eq. 6 value *)
+  traf : float;  (** Eq. 11 value *)
+  total : float;  (** Eq. 12 composite *)
+}
+
+type strategy =
+  | Auto  (** joint MIP and two-stage decomposition, best Eq.-12 value wins *)
+  | Joint  (** the paper's single joint MIP only *)
+  | Two_stage  (** tiling/spatial MIP, then exact permutation sub-solve *)
+
+type result = {
+  mapping : Mapping.t;
+  objective : objective_breakdown;
+  solver_status : Milp.Bb.status;
+  solve_time : float;  (** seconds, formulation + solve + decode *)
+  nodes : int;
+  repaired : bool;  (** decode needed the capacity repair pass *)
+  used_joint : bool;  (** the returned mapping came from the joint MIP *)
+}
+
+val schedule :
+  ?weights:weights ->
+  ?strategy:strategy ->
+  ?node_limit:int ->
+  ?time_limit:float ->
+  Spec.t ->
+  Layer.t ->
+  result
+(** Produce a schedule in one shot. The returned mapping is always valid on
+    the architecture (an all-DRAM schedule is the final fallback). Default
+    [time_limit] (per MIP attempt) is 4 seconds; [Auto] runs at most two
+    attempts. *)
+
+val breakdown_of_mapping : ?weights:weights -> Spec.t -> Mapping.t -> objective_breakdown
+(** Evaluate the paper's three objective terms on {e any} concrete mapping
+    (used by the Fig. 8 experiment to compare schedulers in objective
+    space). *)
+
+val trivial_mapping : Spec.t -> Layer.t -> Mapping.t
+(** The always-valid schedule that keeps every loop temporal at DRAM. *)

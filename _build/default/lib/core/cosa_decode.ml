@@ -1,0 +1,201 @@
+let canonical_inner_order = Dims.[ N; K; C; S; R; Q; P ]
+
+let pow_int base e =
+  let rec go acc e = if e = 0 then acc else go (acc * base) (e - 1) in
+  go 1 e
+
+let decode (f : Cosa_formulation.t) (res : Milp.Bb.result) =
+  if Array.length res.Milp.Bb.values = 0 then invalid_arg "Cosa_decode.decode: no solution";
+  let arch = f.Cosa_formulation.arch in
+  let nlev = Spec.level_count arch in
+  let groups = f.Cosa_formulation.groups in
+  let ng = Array.length groups in
+  let count var = int_of_float (Float.round (Milp.Bb.value res var)) in
+  (* per-(level, dim) bounds *)
+  let tacc = Array.init nlev (fun _ -> Array.make 7 1) in
+  let sacc = Array.init nlev (fun _ -> Array.make 7 1) in
+  for gi = 0 to ng - 1 do
+    let g = groups.(gi) in
+    let di = Dims.dim_index g.Cosa_formulation.gdim in
+    for i = 0 to nlev - 1 do
+      let ct = count f.Cosa_formulation.x_t.(gi).(i) in
+      tacc.(i).(di) <- tacc.(i).(di) * pow_int g.Cosa_formulation.prime ct;
+      match f.Cosa_formulation.x_s.(gi).(i) with
+      | Some v ->
+        let cs = count v in
+        sacc.(i).(di) <- sacc.(i).(di) * pow_int g.Cosa_formulation.prime cs
+      | None -> ()
+    done
+  done;
+  (* NoC-boundary order from the rank permutation matrix: slot 0 is the
+     innermost loop, so the outermost-first order lists high slots first. *)
+  let noc_order =
+    if Array.for_all (fun r -> Array.length r = 0) f.Cosa_formulation.rank then
+      canonical_inner_order
+    else begin
+      let slot_of_dim di =
+        let row = f.Cosa_formulation.rank.(di) in
+        let s = ref (-1) in
+        Array.iteri (fun z v -> if count v = 1 then s := z) row;
+        !s
+      in
+      List.map fst
+        (List.sort
+           (fun (_, a) (_, b) -> compare b a)
+           (List.map (fun d -> (d, slot_of_dim (Dims.dim_index d))) Dims.all_dims))
+    end
+  in
+  let noc_lvls = Cosa_formulation.noc_temporal_levels arch in
+  let levels =
+    Array.init nlev (fun i ->
+        let order = if List.mem i noc_lvls then noc_order else canonical_inner_order in
+        let temporal =
+          List.filter_map
+            (fun d ->
+              let b = tacc.(i).(Dims.dim_index d) in
+              if b > 1 then Some { Mapping.dim = d; bound = b } else None)
+            order
+        in
+        let spatial =
+          List.filter_map
+            (fun d ->
+              let b = sacc.(i).(Dims.dim_index d) in
+              if b > 1 then Some { Mapping.dim = d; bound = b } else None)
+            Dims.all_dims
+        in
+        { Mapping.temporal; spatial })
+  in
+  Mapping.make f.Cosa_formulation.layer levels
+
+(* Move one prime factor of a dimension relevant to the overflowing tensor
+   from below the overflowing buffer to the overflow level itself (which
+   shrinks that buffer's tile and no other level's). Spatial factors are
+   demoted to temporal if no temporal factor is available. *)
+let repair arch m =
+  let changed = ref false in
+  let current = ref m in
+  let demote level_from spatial_from d target =
+    let lv = !current.Mapping.levels in
+    let lm = lv.(level_from) in
+    let loops = if spatial_from then lm.Mapping.spatial else lm.Mapping.temporal in
+    (* strip one prime off the first loop of dim d with bound > 1 *)
+    let rec strip = function
+      | [] -> None
+      | (l : Mapping.loop) :: rest when l.Mapping.dim = d && l.Mapping.bound > 1 ->
+        let p = List.hd (Prim.Factorize.prime_factors l.Mapping.bound) in
+        let b = l.Mapping.bound / p in
+        Some (p, if b > 1 then { l with Mapping.bound = b } :: rest else rest)
+      | l :: rest ->
+        (match strip rest with None -> None | Some (p, ls) -> Some (p, l :: ls))
+    in
+    match strip loops with
+    | None -> false
+    | Some (p, loops') ->
+      begin
+        let lv' = Array.copy lv in
+        lv'.(level_from) <-
+          (if spatial_from then { lm with Mapping.spatial = loops' }
+           else { lm with Mapping.temporal = loops' });
+        (* add the factor as a temporal loop at the target level, outermost *)
+        let tgt = lv'.(target) in
+        let merged =
+          let rec add = function
+            | [] -> [ { Mapping.dim = d; bound = p } ]
+            | (l : Mapping.loop) :: rest when l.Mapping.dim = d ->
+              { l with Mapping.bound = l.Mapping.bound * p } :: rest
+            | l :: rest -> l :: add rest
+          in
+          add tgt.Mapping.temporal
+        in
+        lv'.(target) <- { tgt with Mapping.temporal = merged };
+        current := Mapping.make !current.Mapping.layer lv';
+        changed := true;
+        true
+      end
+  in
+  let attempts = ref 0 in
+  let rec fix () =
+    incr attempts;
+    if !attempts > 500 then ()
+    else
+      match Mapping.validate arch !current with
+      | [] -> ()
+      | vs ->
+        let overflow =
+          List.find_map
+            (function Mapping.Buffer_overflow (i, v, _, _) -> Some (i, v) | _ -> None)
+            vs
+        in
+        (match overflow with
+         | None -> () (* spatial/factorization problems are not repairable here *)
+         | Some (lvl, v) ->
+           (* try to demote a relevant temporal factor from the level just
+              below, scanning downward, then spatial factors *)
+           let dims_rel =
+             List.filter (fun d -> Dims.model_relevant d v) Dims.all_dims
+           in
+           let moved = ref false in
+           let try_levels spatial_from =
+             let i = ref (lvl - 1) in
+             while (not !moved) && !i >= 0 do
+               List.iter
+                 (fun d -> if not !moved then moved := demote !i spatial_from d lvl)
+                 dims_rel;
+               decr i
+             done
+           in
+           try_levels false;
+           if not !moved then try_levels true;
+           if !moved then fix () else ())
+  in
+  fix ();
+  (!current, !changed)
+
+let best_noc_order ?weights arch m =
+  let noc_lvls = Cosa_formulation.noc_temporal_levels arch in
+  let present =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun i ->
+           List.map (fun (l : Mapping.loop) -> l.Mapping.dim) m.Mapping.levels.(i).Mapping.temporal)
+         noc_lvls)
+  in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | l ->
+      List.concat_map
+        (fun x -> List.map (fun rest -> x :: rest) (permutations (List.filter (( <> ) x) l)))
+        l
+  in
+  let reorder order =
+    let levels =
+      Array.mapi
+        (fun i lm ->
+          if List.mem i noc_lvls then
+            { lm with
+              Mapping.temporal =
+                List.filter_map
+                  (fun d ->
+                    List.find_opt (fun (l : Mapping.loop) -> l.Mapping.dim = d)
+                      lm.Mapping.temporal)
+                  order }
+          else lm)
+        m.Mapping.levels
+    in
+    Mapping.make m.Mapping.layer levels
+  in
+  let candidates = List.map reorder (permutations present) in
+  let score c = (Cosa_objective.of_mapping ?weights arch c).Cosa_objective.total in
+  match candidates with
+  | [] -> m
+  | first :: rest ->
+    let best = ref first and best_score = ref (score first) in
+    List.iter
+      (fun c ->
+        let s = score c in
+        if s < !best_score then begin
+          best := c;
+          best_score := s
+        end)
+      rest;
+    !best

@@ -1,0 +1,28 @@
+(** Turn a MIP solution into a concrete {!Mapping.t}.
+
+    Loop order at the NoC boundary comes from the solved rank variables
+    (or, in two-stage mode, a brute-force scan of the orders of the dims
+    actually present). Inner-level order uses a fixed weight-stationary
+    canonical order. Because the MIP's input-activation capacity term
+    follows the paper's A matrix (no sliding-window halo), a decoded
+    mapping can marginally overflow a buffer; {!repair} demotes factors
+    outward until the mapping validates, so CoSA always returns a valid
+    schedule. *)
+
+val canonical_inner_order : Dims.dim list
+(** Outermost-to-innermost order used at non-NoC levels: N K C S R Q P. *)
+
+val decode : Cosa_formulation.t -> Milp.Bb.result -> Mapping.t
+(** Raw decode, before repair. Raises [Invalid_argument] if the result has
+    no solution values. *)
+
+val repair : Spec.t -> Mapping.t -> Mapping.t * bool
+(** [repair arch m] returns a valid mapping and whether any change was
+    needed. Factors are moved outward (toward DRAM) from overflowing
+    buffers; the all-DRAM mapping is always valid, so this terminates. *)
+
+val best_noc_order : ?weights:Cosa_formulation.weights -> Spec.t -> Mapping.t -> Mapping.t
+(** Two-stage mode: re-order the NoC-boundary temporal loops by exhaustive
+    scan over permutations of the dims present, keeping the order with the
+    lowest paper-objective value (Eq. 12 via {!Cosa_objective}); this is an
+    exact solve of the permutation sub-problem, not simulator feedback. *)

@@ -1,0 +1,624 @@
+type weights = { w_util : float; w_comp : float; w_traf : float }
+
+let default_weights = { w_util = 1.; w_comp = 1.; w_traf = 1. }
+
+type group = { gdim : Dims.dim; prime : int; mult : int; logp : float }
+
+type t = {
+  lp : Milp.Lp.model;
+  priority : float array;
+  arch : Spec.t;
+  layer : Layer.t;
+  weights : weights;
+  groups : group array;
+  x_t : Milp.Lp.var array array;
+  x_s : Milp.Lp.var option array array;
+  rank : Milp.Lp.var array array;
+  y : Milp.Lp.var array array;
+  presence : Milp.Lp.var array;
+  active : Dims.dim array;
+  q : Milp.Lp.var option array array;  (* [tensor][slot * 7 + dim_index] *)
+  dram_presence : Milp.Lp.var option array array;  (* [tensor][dim_index] *)
+  dram_y : Milp.Lp.var array array;  (* [tensor][slot]; [||] when unused *)
+  dram_q : Milp.Lp.var option array array;  (* [tensor][slot * 7 + dim_index] *)
+  util_expr : (float * Milp.Lp.var) list;
+  comp_expr : (float * Milp.Lp.var) list;
+  traf_expr : (float * Milp.Lp.var) list;
+}
+
+let noc_temporal_levels arch =
+  let lo = arch.Spec.noc_level and hi = Spec.dram_level arch in
+  List.init (hi - lo + 1) (fun k -> lo + k)
+
+let build ?(weights = default_weights) ?(joint_permutation = true) ?noc_spatial
+    ?(symmetry_grouping = true) arch layer =
+  let lp = Milp.Lp.create ~name:(Printf.sprintf "cosa_%s" layer.Layer.name) () in
+  let nlev = Spec.level_count arch in
+  let groups =
+    let gs = Layer.factor_groups layer in
+    let gs =
+      if symmetry_grouping then gs
+      else
+        (* ablation: one unit-multiplicity group per prime occurrence, as in
+           the paper's per-factor binary encoding *)
+        List.concat_map (fun (d, p, m) -> List.init m (fun _ -> (d, p, 1))) gs
+    in
+    Array.of_list
+      (List.map
+         (fun (d, p, m) -> { gdim = d; prime = p; mult = m; logp = log (float_of_int p) })
+         gs)
+  in
+  let ng = Array.length groups in
+  let mult_f g = float_of_int g.mult in
+  (* X variables: per-group per-level temporal and (on spatial levels) spatial
+     allocation counts. *)
+  let x_t =
+    Array.init ng (fun gi ->
+        Array.init nlev (fun i ->
+            Milp.Lp.add_var lp ~integer:true ~lb:0. ~ub:(mult_f groups.(gi))
+              (Printf.sprintf "xt_%s%d_%d" (Dims.dim_name groups.(gi).gdim) gi i)))
+  in
+  let x_s =
+    Array.init ng (fun gi ->
+        Array.init nlev (fun i ->
+            if arch.Spec.levels.(i).Spec.fanout > 1
+               && groups.(gi).prime <= arch.Spec.levels.(i).Spec.fanout
+            then
+              Some
+                (Milp.Lp.add_var lp ~integer:true ~lb:0. ~ub:(mult_f groups.(gi))
+                   (Printf.sprintf "xs_%s%d_%d" (Dims.dim_name groups.(gi).gdim) gi i))
+            else None))
+  in
+  (* Eq. 3: every prime factor gets exactly one scheduling configuration. *)
+  Array.iteri
+    (fun gi g ->
+      let terms =
+        List.concat
+          (List.init nlev (fun i ->
+               let t = [ (1., x_t.(gi).(i)) ] in
+               match x_s.(gi).(i) with Some v -> (1., v) :: t | None -> t))
+      in
+      Milp.Lp.add_constr lp ~name:(Printf.sprintf "conserve_g%d" gi) terms Milp.Lp.Eq
+        (mult_f g))
+    groups;
+  (* Eq. 4: spatial resource limits. *)
+  for i = 0 to nlev - 1 do
+    if arch.Spec.levels.(i).Spec.fanout > 1 then begin
+      let terms =
+        List.concat
+          (List.init ng (fun gi ->
+               match x_s.(gi).(i) with
+               | Some v -> [ (groups.(gi).logp, v) ]
+               | None -> []))
+      in
+      if terms <> [] then
+        Milp.Lp.add_constr lp ~name:(Printf.sprintf "spatial_l%d" i) terms Milp.Lp.Le
+          (log (float_of_int arch.Spec.levels.(i).Spec.fanout))
+    end
+  done;
+  (* optional pinning of the NoC-boundary spatial mapping (used by the
+     Fig. 4 spatial-mapping sweep) *)
+  (match noc_spatial with
+   | None -> ()
+   | Some pins ->
+     let noc = arch.Spec.noc_level in
+     List.iter
+       (fun d ->
+         let target = try List.assoc d pins with Not_found -> 1 in
+         let counts = Prim.Factorize.grouped_factors target in
+         Array.iteri
+           (fun gi g ->
+             if g.gdim = d then begin
+               let want =
+                 try List.assoc g.prime counts with Not_found -> 0
+               in
+               match x_s.(gi).(noc) with
+               | Some v ->
+                 Milp.Lp.add_constr lp [ (1., v) ]
+                   Milp.Lp.Eq (float_of_int (min want g.mult))
+               | None -> ()
+             end)
+           groups)
+       Dims.all_dims);
+  (* Eq. 2: buffer capacity per (level, tensor); B picks the stored
+     tensors. The paper's A matrix drops IA's dependence on R, S, and the
+     stride; our validator checks the exact sliding-window halo, so the
+     capacity rows here use the model relevance (IA also depends on R, S)
+     plus a log(stride^2) constant for IA — still log-linear, and decoded
+     schedules then validate without needing the repair pass. The Eq. 5
+     utilisation objective keeps the paper's A-matrix terms untouched. *)
+  let util_expr = ref [] in
+  (* IA tiles carry a sliding-window halo the A matrix ignores; charge a
+     per-axis constant calibrated at a 4-wide tile: (3*stride + r) / 4.
+     Exact at tile width 4, conservative for wider tiles; the rare narrow
+     tiles that still overflow are caught by the decode-time repair. *)
+  let halo_log filter =
+    let t = 4. in
+    log ((((t -. 1.) *. float_of_int layer.Layer.stride) +. float_of_int filter) /. t)
+  in
+  let ia_halo = Float.max 0. (halo_log layer.Layer.r) +. Float.max 0. (halo_log layer.Layer.s) in
+  for cap_level = 0 to nlev - 2 do
+    List.iter
+      (fun v ->
+        if Spec.stores arch cap_level v then begin
+          let cap = Spec.capacity_words arch cap_level v in
+          let terms = ref [] in
+          for i = 0 to cap_level - 1 do
+            Array.iteri
+              (fun gi g ->
+                if Dims.relevant g.gdim v then begin
+                  terms := (g.logp, x_t.(gi).(i)) :: !terms;
+                  match x_s.(gi).(i) with
+                  | Some sv -> terms := (g.logp, sv) :: !terms
+                  | None -> ()
+                end)
+              groups
+          done;
+          if !terms <> [] && cap > 0. then begin
+            let rhs = log cap -. (if v = Dims.IA then ia_halo else 0.) in
+            Milp.Lp.add_constr lp
+              ~name:(Printf.sprintf "cap_l%d_%s" cap_level (Dims.tensor_name v))
+              !terms Milp.Lp.Le (Float.max 0. rhs);
+            util_expr := !terms @ !util_expr
+          end
+        end)
+      Dims.all_tensors
+  done;
+  (* Eq. 6: compute objective = log of the product of all temporal factors. *)
+  let comp_expr =
+    List.concat
+      (List.init ng (fun gi ->
+           List.init nlev (fun i -> (groups.(gi).logp, x_t.(gi).(i)))))
+  in
+  (* Traffic objective, Eqs. 7-11. D_v: per-PE transfer size; L_v: spatial
+     unicast multiplier at the NoC boundary; T_v: temporal iterations at the
+     NoC boundary gated by the permutation-aware indicator Y. *)
+  let noc = arch.Spec.noc_level in
+  let noc_lvls = noc_temporal_levels arch in
+  let traf_expr = ref [] in
+  List.iter
+    (fun v ->
+      (* D_v (Eq. 7) *)
+      for i = 0 to noc - 1 do
+        Array.iteri
+          (fun gi g ->
+            if Dims.relevant g.gdim v then begin
+              traf_expr := (g.logp, x_t.(gi).(i)) :: !traf_expr;
+              match x_s.(gi).(i) with
+              | Some s -> traf_expr := (g.logp, s) :: !traf_expr
+              | None -> ()
+            end)
+          groups
+      done;
+      (* L_v (Eq. 8) *)
+      Array.iteri
+        (fun gi g ->
+          if Dims.relevant g.gdim v then
+            match x_s.(gi).(noc) with
+            | Some s -> traf_expr := (g.logp, s) :: !traf_expr
+            | None -> ())
+        groups)
+    Dims.all_tensors;
+  (* Permutation machinery for T_v. Rank slots only cover the dimensions
+     whose padded loop bound exceeds 1 (inactive dims never carry loops,
+     so giving them slots would only inflate the search tree). *)
+  let ndims = 7 and ntens = 3 in
+  let active =
+    Array.of_list (List.filter (fun d -> Layer.padded_bound layer d > 1) Dims.all_dims)
+  in
+  let nslots = Array.length active in
+  let rank = Array.init ndims (fun _ -> [||]) in
+  let y = Array.init ntens (fun _ -> [||]) in
+  let presence = Array.make ndims (Milp.Lp.add_var lp ~ub:0. "presence_unused") in
+  let q = Array.init ntens (fun _ -> Array.make (nslots * ndims) None) in
+  let dram_presence = Array.init ntens (fun _ -> Array.make ndims None) in
+  let dram_y = Array.init ntens (fun _ -> [||]) in
+  let dram_q = Array.init ntens (fun _ -> Array.make (nslots * ndims) None) in
+  if joint_permutation && nslots > 0 then begin
+    let smax d = log (float_of_int (Layer.padded_bound layer d)) in
+    (* per-dim temporal log-size at the NoC boundary levels *)
+    let s_terms d =
+      List.concat
+        (List.init ng (fun gi ->
+             if groups.(gi).gdim = d then
+               List.map (fun i -> (groups.(gi).logp, x_t.(gi).(i))) noc_lvls
+             else []))
+    in
+    Array.iter
+      (fun d ->
+        rank.(Dims.dim_index d) <-
+          Array.init nslots (fun z ->
+              Milp.Lp.add_var lp ~integer:true ~ub:1.
+                (Printf.sprintf "rank_%s_%d" (Dims.dim_name d) z)))
+      active;
+    (* permutation matrix over active dims: one dim per slot, one slot per dim *)
+    Array.iter
+      (fun d ->
+        Milp.Lp.add_constr lp
+          (List.init nslots (fun z -> (1., rank.(Dims.dim_index d).(z))))
+          Milp.Lp.Eq 1.)
+      active;
+    for z = 0 to nslots - 1 do
+      Milp.Lp.add_constr lp
+        (Array.to_list (Array.map (fun d -> (1., rank.(Dims.dim_index d).(z))) active))
+        Milp.Lp.Eq 1.
+    done;
+    (* presence of temporal factors per dim at the NoC boundary *)
+    Array.iter
+      (fun d ->
+        let di = Dims.dim_index d in
+        presence.(di) <-
+          Milp.Lp.add_var lp ~integer:true ~ub:1.
+            (Printf.sprintf "pres_%s" (Dims.dim_name d));
+        let count_terms =
+          List.concat
+            (List.init ng (fun gi ->
+                 if groups.(gi).gdim = d then
+                   List.map (fun i -> (1., x_t.(gi).(i))) noc_lvls
+                 else []))
+        in
+        let total_mult =
+          Array.fold_left (fun acc g -> if g.gdim = d then acc + g.mult else acc) 0 groups
+        in
+        if count_terms = [] || total_mult = 0 then
+          Milp.Lp.add_constr lp [ (1., presence.(di)) ] Milp.Lp.Eq 0.
+        else begin
+          (* mult * P_d >= sum(counts): forces P_d = 1 when any factor present *)
+          Milp.Lp.add_constr lp
+            (((-.float_of_int total_mult), presence.(di)) :: count_terms)
+            Milp.Lp.Le 0.;
+          (* P_d <= sum(counts): no phantom presence *)
+          Milp.Lp.add_constr lp
+            ((1., presence.(di)) :: List.map (fun (c, v) -> (-.c, v)) count_terms)
+            Milp.Lp.Le 0.
+        end)
+      active;
+    (* Y (Eq. 9): slot z sees tensor-v-relevant factors at or inside z *)
+    for vi = 0 to ntens - 1 do
+      let v = Dims.tensor_of_index vi in
+      y.(vi) <-
+        Array.init nslots (fun z ->
+            Milp.Lp.add_var lp ~integer:true ~ub:1.
+              (Printf.sprintf "y_%s_%d" (Dims.tensor_name v) z));
+      for z = 0 to nslots - 1 do
+        Array.iter
+          (fun d ->
+            if Dims.relevant d v then
+              (* Y_vz >= R_dz + P_d - 1 *)
+              Milp.Lp.add_constr lp
+                [ (1., y.(vi).(z));
+                  (-1., rank.(Dims.dim_index d).(z));
+                  (-1., presence.(Dims.dim_index d)) ]
+                Milp.Lp.Ge (-1.))
+          active;
+        if z > 0 then
+          Milp.Lp.add_constr lp
+            [ (1., y.(vi).(z)); (-1., y.(vi).(z - 1)) ]
+            Milp.Lp.Ge 0.
+      done
+    done;
+    (* T_v (Eq. 10) via McCormick: Q_vzd >= S_d - Smax_d (2 - R_dz - Y_vz) *)
+    for vi = 0 to ntens - 1 do
+      for z = 0 to nslots - 1 do
+        Array.iter
+          (fun d ->
+            let sm = smax d in
+            let qv =
+              Milp.Lp.add_var lp ~lb:0. ~ub:sm
+                (Printf.sprintf "q_%d_%d_%s" vi z (Dims.dim_name d))
+            in
+            let terms =
+              ((1., qv) :: List.map (fun (c, v') -> (-.c, v')) (s_terms d))
+              @ [ ((-.sm), rank.(Dims.dim_index d).(z)); ((-.sm), y.(vi).(z)) ]
+            in
+            Milp.Lp.add_constr lp terms Milp.Lp.Ge (-2. *. sm);
+            q.(vi).((z * ndims) + Dims.dim_index d) <- Some qv;
+            traf_expr := (1., qv) :: !traf_expr)
+          active
+      done
+    done;
+    (* DRAM-boundary traffic: tensors staged through the level just below
+       DRAM (the global buffer) also pay per-DRAM-refill transfers of their
+       much larger staged tile. Same rank order, a second indicator set Y'
+       restricted to the DRAM level, and the transfer volume scaled by the
+       bandwidth ratio between the staging level and DRAM. *)
+    let dram = Spec.dram_level arch in
+    let staging = dram - 1 in
+    let dram_scale =
+      Float.max 1.
+        (arch.Spec.levels.(staging).Spec.bandwidth_words
+         /. arch.Spec.dram.Spec.dram_bandwidth_words)
+    in
+    let s_dram_terms d =
+      List.concat
+        (List.init ng (fun gi ->
+             if groups.(gi).gdim = d then [ (groups.(gi).logp, x_t.(gi).(dram)) ] else []))
+    in
+    List.iter
+      (fun v ->
+        if Spec.stores arch staging v then begin
+          let vi = Dims.tensor_index v in
+          (* staged-tile size: relevant factors below the staging level *)
+          for i = 0 to staging - 1 do
+            Array.iteri
+              (fun gi g ->
+                if Dims.relevant g.gdim v then begin
+                  traf_expr := (dram_scale *. g.logp, x_t.(gi).(i)) :: !traf_expr;
+                  match x_s.(gi).(i) with
+                  | Some sv -> traf_expr := (dram_scale *. g.logp, sv) :: !traf_expr
+                  | None -> ()
+                end)
+              groups
+          done;
+          (* presence of temporal factors per dim at the DRAM level *)
+          let presence_d = Array.make ndims None in
+          Array.iter
+            (fun d ->
+              let di = Dims.dim_index d in
+              let pv =
+                Milp.Lp.add_var lp ~integer:true ~ub:1.
+                  (Printf.sprintf "presd_%s_%d" (Dims.dim_name d) vi)
+              in
+              presence_d.(di) <- Some pv;
+              dram_presence.(vi).(di) <- Some pv;
+              let count_terms =
+                List.concat
+                  (List.init ng (fun gi ->
+                       if groups.(gi).gdim = d then [ (1., x_t.(gi).(dram)) ] else []))
+              in
+              let total_mult =
+                Array.fold_left
+                  (fun acc g -> if g.gdim = d then acc + g.mult else acc)
+                  0 groups
+              in
+              if count_terms = [] || total_mult = 0 then
+                Milp.Lp.add_constr lp [ (1., pv) ] Milp.Lp.Eq 0.
+              else begin
+                Milp.Lp.add_constr lp
+                  (((-.float_of_int total_mult), pv) :: count_terms)
+                  Milp.Lp.Le 0.;
+                Milp.Lp.add_constr lp
+                  ((1., pv) :: List.map (fun (c, v') -> (-.c, v')) count_terms)
+                  Milp.Lp.Le 0.
+              end)
+            active;
+          (* Y' over the shared rank order, DRAM level only *)
+          let y' =
+            Array.init nslots (fun z ->
+                Milp.Lp.add_var lp ~integer:true ~ub:1.
+                  (Printf.sprintf "yd_%s_%d" (Dims.tensor_name v) z))
+          in
+          dram_y.(vi) <- y';
+          for z = 0 to nslots - 1 do
+            Array.iter
+              (fun d ->
+                if Dims.relevant d v then
+                  match presence_d.(Dims.dim_index d) with
+                  | Some pv ->
+                    Milp.Lp.add_constr lp
+                      [ (1., y'.(z)); (-1., rank.(Dims.dim_index d).(z)); (-1., pv) ]
+                      Milp.Lp.Ge (-1.)
+                  | None -> ())
+              active;
+            if z > 0 then
+              Milp.Lp.add_constr lp
+                [ (1., y'.(z)); (-1., y'.(z - 1)) ]
+                Milp.Lp.Ge 0.
+          done;
+          (* McCormick products against the DRAM-level per-dim sizes *)
+          for z = 0 to nslots - 1 do
+            Array.iter
+              (fun d ->
+                let sm = smax d in
+                let qv =
+                  Milp.Lp.add_var lp ~lb:0. ~ub:sm
+                    (Printf.sprintf "qd_%d_%d_%s" vi z (Dims.dim_name d))
+                in
+                let terms =
+                  ((1., qv) :: List.map (fun (c, v') -> (-.c, v')) (s_dram_terms d))
+                  @ [ ((-.sm), rank.(Dims.dim_index d).(z)); ((-.sm), y'.(z)) ]
+                in
+                Milp.Lp.add_constr lp terms Milp.Lp.Ge (-2. *. sm);
+                dram_q.(vi).((z * ndims) + Dims.dim_index d) <- Some qv;
+                traf_expr := (dram_scale, qv) :: !traf_expr)
+              active
+          done
+        end)
+      Dims.all_tensors
+  end
+  else begin
+    (* two-stage ablation: traffic iterations approximated by all NoC-level
+       temporal factors; permutation (and hence the DRAM reuse term) is
+       decided at decode time against the full Eq.-12 evaluator. *)
+    List.iter
+      (fun _v ->
+        List.iter
+          (fun i ->
+            Array.iteri (fun gi g -> traf_expr := (g.logp, x_t.(gi).(i)) :: !traf_expr) groups)
+          noc_lvls)
+      Dims.all_tensors
+  end;
+  (* Eq. 12: the composite objective. *)
+  let objective =
+    List.map (fun (c, v) -> (-.weights.w_util *. c, v)) !util_expr
+    @ List.map (fun (c, v) -> (weights.w_comp *. c, v)) comp_expr
+    @ List.map (fun (c, v) -> (weights.w_traf *. c, v)) !traf_expr
+  in
+  Milp.Lp.set_objective lp `Minimize objective;
+  (* branching priorities: allocation counts first, then presence, then the
+     permutation machinery *)
+  let priority = Array.make (Milp.Lp.num_vars lp) 0. in
+  let set p v = priority.(Milp.Lp.var_index v) <- p in
+  Array.iter (fun row -> Array.iter (set 10.) row) x_t;
+  Array.iter (fun row -> Array.iter (function Some v -> set 10. v | None -> ()) row) x_s;
+  Array.iter (set 5.) presence;
+  Array.iter (fun row -> Array.iter (set 2.) row) rank;
+  Array.iter (fun row -> Array.iter (set 1.) row) y;
+  {
+    lp;
+    priority;
+    active;
+    q;
+    dram_presence;
+    dram_y;
+    dram_q;
+    arch;
+    layer;
+    weights;
+    groups;
+    x_t;
+    x_s;
+    rank;
+    y;
+    presence;
+    util_expr = !util_expr;
+    comp_expr;
+    traf_expr = !traf_expr;
+  }
+
+(* Encode a concrete mapping into the variable space, for MIP warm starts. *)
+let mip_start (f : t) (m : Mapping.t) =
+  let nv = Milp.Lp.num_vars f.lp in
+  let x = Array.make nv 0. in
+  let set var v = x.(Milp.Lp.var_index var) <- v in
+  let ok = ref true in
+  let nlev = Spec.level_count f.arch in
+  let ng = Array.length f.groups in
+  (* prime multiplicity of p in n *)
+  let mult_of p n =
+    let rec go n acc = if n mod p = 0 then go (n / p) (acc + 1) else acc in
+    go n 0
+  in
+  for i = 0 to nlev - 1 do
+    let lm = m.Mapping.levels.(i) in
+    let bound_of loops d =
+      List.fold_left
+        (fun acc (l : Mapping.loop) -> if l.Mapping.dim = d then acc * l.Mapping.bound else acc)
+        1 loops
+    in
+    for gi = 0 to ng - 1 do
+      let g = f.groups.(gi) in
+      let tb = bound_of lm.Mapping.temporal g.gdim in
+      set f.x_t.(gi).(i) (float_of_int (mult_of g.prime tb));
+      let sb = bound_of lm.Mapping.spatial g.gdim in
+      let sc = mult_of g.prime sb in
+      (match f.x_s.(gi).(i) with
+       | Some v -> set v (float_of_int sc)
+       | None -> if sc > 0 then ok := false)
+    done
+  done;
+  (* permutation-side variables (joint mode only) *)
+  let nslots = if Array.length f.active = 0 then 0 else Array.length f.rank.(Dims.dim_index f.active.(0)) in
+  if nslots > 0 then begin
+    let noc_lvls = noc_temporal_levels f.arch in
+    let present d =
+      List.exists
+        (fun i ->
+          List.exists
+            (fun (l : Mapping.loop) -> l.Mapping.dim = d && l.Mapping.bound > 1)
+            m.Mapping.levels.(i).Mapping.temporal)
+        noc_lvls
+    in
+    Array.iter
+      (fun d -> if present d then set f.presence.(Dims.dim_index d) 1.)
+      f.active;
+    (* dim order at the NoC boundary, outermost first (levels high to low) *)
+    let order =
+      let seen = Hashtbl.create 8 in
+      List.concat_map
+        (fun i ->
+          List.filter_map
+            (fun (l : Mapping.loop) ->
+              if Hashtbl.mem seen l.Mapping.dim then None
+              else begin
+                Hashtbl.add seen l.Mapping.dim ();
+                Some l.Mapping.dim
+              end)
+            m.Mapping.levels.(i).Mapping.temporal)
+        (List.rev noc_lvls)
+    in
+    (* outermost dim gets the highest slot; absent active dims fill the rest *)
+    let absent = List.filter (fun d -> not (List.mem d order)) (Array.to_list f.active) in
+    let order = List.filter (fun d -> Array.mem d f.active) order in
+    let full = order @ absent in
+    let slot_of = Hashtbl.create 8 in
+    List.iteri (fun k d -> Hashtbl.replace slot_of d (nslots - 1 - k)) full;
+    Array.iter
+      (fun d ->
+        match Hashtbl.find_opt slot_of d with
+        | Some z when z >= 0 && z < nslots -> set f.rank.(Dims.dim_index d).(z) 1.
+        | Some _ | None -> ok := false)
+      f.active;
+    (* Y per Eq. 9, then Q at its lower envelope *)
+    let dim_at_slot z =
+      Array.fold_left
+        (fun acc d -> match Hashtbl.find_opt slot_of d with
+           | Some z' when z' = z -> Some d
+           | _ -> acc)
+        None f.active
+    in
+    let s_value d =
+      List.fold_left
+        (fun acc i ->
+          List.fold_left
+            (fun a (l : Mapping.loop) ->
+              if l.Mapping.dim = d then a +. log (float_of_int l.Mapping.bound) else a)
+            acc m.Mapping.levels.(i).Mapping.temporal)
+        0. noc_lvls
+    in
+    List.iteri
+      (fun vi v ->
+        let seen_rel = ref false in
+        for z = 0 to nslots - 1 do
+          (match dim_at_slot z with
+           | Some d when present d && Dims.relevant d v -> seen_rel := true
+           | Some _ | None -> ());
+          if !seen_rel then set f.y.(vi).(z) 1.;
+          (match dim_at_slot z with
+           | Some d ->
+             (match f.q.(vi).((z * 7) + Dims.dim_index d) with
+              | Some qv -> if !seen_rel then set qv (s_value d)
+              | None -> ())
+           | None -> ())
+        done)
+      Dims.all_tensors;
+    (* DRAM-boundary indicator set, mirroring the Y/Q fill above but
+       restricted to the DRAM level *)
+    let dram = Spec.dram_level f.arch in
+    let present_dram d =
+      List.exists
+        (fun (l : Mapping.loop) -> l.Mapping.dim = d && l.Mapping.bound > 1)
+        m.Mapping.levels.(dram).Mapping.temporal
+    in
+    let s_dram_value d =
+      List.fold_left
+        (fun a (l : Mapping.loop) ->
+          if l.Mapping.dim = d then a +. log (float_of_int l.Mapping.bound) else a)
+        0. m.Mapping.levels.(dram).Mapping.temporal
+    in
+    List.iteri
+      (fun vi v ->
+        if Array.length f.dram_y.(vi) > 0 then begin
+          Array.iter
+            (fun d ->
+              match f.dram_presence.(vi).(Dims.dim_index d) with
+              | Some pv -> if present_dram d then set pv 1.
+              | None -> ())
+            f.active;
+          let seen_rel = ref false in
+          for z = 0 to nslots - 1 do
+            (match dim_at_slot z with
+             | Some d when present_dram d && Dims.relevant d v -> seen_rel := true
+             | Some _ | None -> ());
+            if !seen_rel then set f.dram_y.(vi).(z) 1.;
+            (match dim_at_slot z with
+             | Some d ->
+               (match f.dram_q.(vi).((z * 7) + Dims.dim_index d) with
+                | Some qv -> if !seen_rel then set qv (s_dram_value d)
+                | None -> ())
+             | None -> ())
+          done
+        end)
+      Dims.all_tensors
+  end;
+  if !ok then Some x else None

@@ -1,0 +1,70 @@
+(** The CoSA mixed-integer program (paper Section III).
+
+    Encodes loop tiling, loop permutation, and spatial mapping of one DNN
+    layer onto one architecture as a single MIP over the {!Milp} solver:
+
+    - prime-factor allocation variables [X] (grouped by (dim, prime) —
+      identical primes of a dimension are interchangeable, so we allocate
+      integer {e counts} instead of one binary per occurrence; a pure
+      symmetry reduction over the paper's encoding);
+    - mapping-uniqueness (Eq. 3), buffer-capacity (Eq. 2) and
+      spatial-resource (Eq. 4) constraints;
+    - permutation-rank binaries at the NoC boundary with the traffic
+      iteration indicator [Y] (Eq. 9) and its product with [X] linearised
+      by McCormick inequalities (Eq. 10);
+    - the utilisation (Eq. 5), compute (Eq. 6) and traffic (Eq. 11)
+      objectives combined per Eq. 12. *)
+
+type weights = { w_util : float; w_comp : float; w_traf : float }
+
+val default_weights : weights
+
+type group = { gdim : Dims.dim; prime : int; mult : int; logp : float }
+
+type t = {
+  lp : Milp.Lp.model;
+  priority : float array;  (** branching priorities for {!Milp.Bb.solve} *)
+  arch : Spec.t;
+  layer : Layer.t;
+  weights : weights;
+  groups : group array;
+  x_t : Milp.Lp.var array array;  (** [group][level]: temporal allocation count *)
+  x_s : Milp.Lp.var option array array;  (** [group][level]: spatial count; [None] off spatial levels *)
+  rank : Milp.Lp.var array array;  (** [dim][slot]: NoC-boundary permutation matrix *)
+  y : Milp.Lp.var array array;  (** [tensor][slot]: Eq. 9 traffic-iteration indicator *)
+  presence : Milp.Lp.var array;  (** [dim]: has temporal factors at the NoC boundary *)
+  active : Dims.dim array;  (** dims with padded bound > 1 (rank slots exist only for these) *)
+  q : Milp.Lp.var option array array;  (** [tensor][slot * 7 + dim_index]: Eq. 10 products *)
+  dram_presence : Milp.Lp.var option array array;  (** [tensor][dim]: DRAM-level presence *)
+  dram_y : Milp.Lp.var array array;  (** [tensor][slot]: DRAM-boundary Y' indicator *)
+  dram_q : Milp.Lp.var option array array;  (** [tensor][slot * 7 + dim]: DRAM products *)
+  util_expr : (float * Milp.Lp.var) list;  (** Eq. 5 *)
+  comp_expr : (float * Milp.Lp.var) list;  (** Eq. 6 *)
+  traf_expr : (float * Milp.Lp.var) list;  (** Eq. 11 *)
+}
+
+val noc_temporal_levels : Spec.t -> int list
+(** The levels whose temporal loops drive NoC traffic iterations (between
+    the PE buffers and DRAM, inclusive of the NoC boundary level). *)
+
+val build :
+  ?weights:weights ->
+  ?joint_permutation:bool ->
+  ?noc_spatial:(Dims.dim * int) list ->
+  ?symmetry_grouping:bool ->
+  Spec.t ->
+  Layer.t ->
+  t
+(** [joint_permutation] (default [true]) includes the rank / Y / traffic-
+    iteration machinery in the MIP; with [false] the traffic objective
+    keeps only its D and L terms and loop order is decided at decode time
+    (the two-stage ablation of DESIGN.md). [noc_spatial] pins the spatial
+    bound of given dims at the NoC boundary (Fig. 4 sweep). With
+    [symmetry_grouping = false] the encoding reverts to one variable per
+    prime-factor occurrence, as in the paper (timing ablation). *)
+
+val mip_start : t -> Mapping.t -> float array option
+(** Encode a concrete valid mapping as an assignment of every MIP variable,
+    for use as {!Milp.Bb.solve}'s [warm_start]. Returns [None] when the
+    mapping cannot be expressed (e.g. a spatial factor at a level whose
+    fanout the formulation excluded). *)

@@ -1,0 +1,13 @@
+(** Evaluate the paper's objective terms (Eqs. 5, 6, 11, 12) on a concrete
+    mapping, using the A-matrix relevance semantics of the MIP. Shared by
+    the decoder (two-stage permutation selection), the top-level scheduler
+    (joint-vs-two-stage arbitration), and the Fig. 8 experiment. *)
+
+type t = {
+  util : float;  (** Eq. 5 value (to be maximised) *)
+  comp : float;  (** Eq. 6 value *)
+  traf : float;  (** Eq. 11 value *)
+  total : float;  (** Eq. 12 composite *)
+}
+
+val of_mapping : ?weights:Cosa_formulation.weights -> Spec.t -> Mapping.t -> t

@@ -1,0 +1,50 @@
+type result = {
+  best : Cosa.result;
+  weights : Cosa.weights;
+  tried : int;
+  scores : (Cosa.weights * float) list;
+}
+
+let default_grid arch =
+  let base = Cosa.calibrate arch in
+  let scale w f = { w with Cosa.w_traf = w.Cosa.w_traf *. f } in
+  let with_util w u = { w with Cosa.w_util = u } in
+  [
+    base;
+    scale base 0.5;
+    scale base 2.;
+    scale base 4.;
+    with_util base 0.5;
+    with_util base 2.;
+    with_util (scale base 2.) 2.;
+    { base with Cosa.w_comp = 2. };
+    { base with Cosa.w_comp = 0.5 };
+  ]
+
+let tune ?grid ?score ?time_limit arch layer =
+  let grid = match grid with Some g -> g | None -> default_grid arch in
+  let score =
+    match score with
+    | Some s -> s
+    | None -> fun a m -> (Model.evaluate a m).Model.latency
+  in
+  if grid = [] then invalid_arg "Cosa_tuner.tune: empty grid";
+  let evaluated =
+    List.map
+      (fun weights ->
+        let r = Cosa.schedule ~weights ?time_limit arch layer in
+        (weights, r, score arch r.Cosa.mapping))
+      grid
+  in
+  let best_w, best_r, _ =
+    List.fold_left
+      (fun (bw, br, bs) (w, r, s) -> if s < bs then (w, r, s) else (bw, br, bs))
+      (match evaluated with e :: _ -> e | [] -> assert false)
+      evaluated
+  in
+  {
+    best = best_r;
+    weights = best_w;
+    tried = List.length grid;
+    scores = List.map (fun (w, _, s) -> (w, s)) evaluated;
+  }

@@ -1,0 +1,32 @@
+(** Section III-E extension: hyperparameter search over objective weights.
+
+    The paper notes CoSA "can be augmented with an iterative search on the
+    objective functions and their corresponding hyperparameters to
+    approximate the unknown hardware performance model". This module
+    implements that augmentation: a small sweep over Eq.-12 weight
+    settings, each solved one-shot and scored by a user-supplied cost
+    function (typically {!Model.evaluate} latency, or a measurement on real
+    hardware). The inner scheduling stays deterministic and search-free;
+    only a handful of weight vectors are tried. *)
+
+type result = {
+  best : Cosa.result;
+  weights : Cosa.weights;  (** the winning weight vector *)
+  tried : int;  (** weight vectors evaluated *)
+  scores : (Cosa.weights * float) list;  (** every (weights, score) pair *)
+}
+
+val default_grid : Spec.t -> Cosa.weights list
+(** The calibrated weights plus a small log-spaced sweep of the traffic and
+    utilisation weights around them (9 points). *)
+
+val tune :
+  ?grid:Cosa.weights list ->
+  ?score:(Spec.t -> Mapping.t -> float) ->
+  ?time_limit:float ->
+  Spec.t ->
+  Layer.t ->
+  result
+(** Defaults: [grid = default_grid arch], [score] = analytical-model
+    latency, [time_limit] per solve as in {!Cosa.schedule}. Lower score
+    wins. *)

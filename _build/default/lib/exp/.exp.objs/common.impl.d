@@ -1,0 +1,1 @@
+lib/exp/common.ml: Baseline Buffer Cosa Hashtbl Hybrid_mapper Layer List Mapping Model Prim Printf Random_mapper Spec String Zoo

@@ -1,0 +1,1 @@
+lib/exp/common.mli: Buffer Layer Mapping Spec

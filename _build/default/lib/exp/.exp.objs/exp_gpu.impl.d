@@ -1,0 +1,1 @@
+lib/exp/exp_gpu.ml: Buffer Common Gpu Layer List Prim Printf Zoo

@@ -1,0 +1,1 @@
+lib/exp/exp_motivation.ml: Array Buffer Common Cosa_decode Cosa_formulation Dims Float Layer List Mapping Mapspace Milp Model Noc_sim Prim Printf Sampler Spec Zoo

@@ -1,0 +1,1 @@
+lib/exp/exp_motivation.mli:

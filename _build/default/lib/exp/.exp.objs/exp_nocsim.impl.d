@@ -1,0 +1,1 @@
+lib/exp/exp_nocsim.ml: Buffer Common Layer List Noc_sim Prim Spec

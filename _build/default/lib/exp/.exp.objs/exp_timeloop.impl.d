@@ -1,0 +1,1 @@
+lib/exp/exp_timeloop.ml: Buffer Common Cosa Layer List Prim Printf Spec Zoo

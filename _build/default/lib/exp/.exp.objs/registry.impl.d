@@ -1,0 +1,1 @@
+lib/exp/registry.ml: Exp_ablation Exp_gpu Exp_motivation Exp_nocsim Exp_timeloop List

@@ -1,0 +1,1 @@
+lib/exp/registry.mli:

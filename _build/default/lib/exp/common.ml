@@ -1,0 +1,77 @@
+type scheduler = Cosa_s | Random_s | Hybrid_s
+
+let scheduler_name = function
+  | Cosa_s -> "CoSA"
+  | Random_s -> "Random"
+  | Hybrid_s -> "TL-Hybrid"
+
+type scheduled = {
+  mapping : Mapping.t;
+  runtime : float;
+  samples : int;
+  evaluations : int;
+}
+
+let cache : (string, scheduled) Hashtbl.t = Hashtbl.create 256
+
+let seed_of_string s = Hashtbl.hash s land 0xFFFFFF
+
+let schedule ?(metric = `Latency) arch layer sched =
+  let metric_name = match metric with `Latency -> "lat" | `Energy -> "en" in
+  let key =
+    Printf.sprintf "%s/%s/%s/%s" arch.Spec.aname layer.Layer.name
+      (scheduler_name sched)
+      (match sched with Cosa_s -> "-" | Random_s | Hybrid_s -> metric_name)
+  in
+  match Hashtbl.find_opt cache key with
+  | Some s -> s
+  | None ->
+    let base_metric =
+      match metric with `Latency -> Baseline.latency_metric | `Energy -> Baseline.energy_metric
+    in
+    let result =
+      match sched with
+      | Cosa_s ->
+        let r = Cosa.schedule arch layer in
+        { mapping = r.Cosa.mapping; runtime = r.Cosa.solve_time; samples = 1; evaluations = 1 }
+      | Random_s ->
+        let rng = Prim.Rng.create (seed_of_string key) in
+        let o = Random_mapper.search ~metric:base_metric rng arch layer in
+        let mapping =
+          match o.Baseline.best with
+          | Some m -> m
+          | None -> Cosa.trivial_mapping arch layer
+        in
+        { mapping; runtime = o.Baseline.elapsed; samples = o.Baseline.samples;
+          evaluations = o.Baseline.valid }
+      | Hybrid_s ->
+        let rng = Prim.Rng.create (seed_of_string key) in
+        let o = Hybrid_mapper.search ~metric:base_metric rng arch layer in
+        let mapping =
+          match o.Baseline.best with
+          | Some m -> m
+          | None -> Cosa.trivial_mapping arch layer
+        in
+        { mapping; runtime = o.Baseline.elapsed; samples = o.Baseline.samples;
+          evaluations = o.Baseline.valid }
+    in
+    Hashtbl.replace cache key result;
+    result
+
+let latency arch m = (Model.evaluate arch m).Model.latency
+let energy arch m = (Model.evaluate arch m).Model.energy_pj
+let noc_energy arch m = (Model.evaluate arch m).Model.noc_energy_pj
+
+let suite_layers () =
+  List.concat_map (fun (suite, layers) -> List.map (fun l -> (suite, l)) layers) Zoo.suites
+
+let geomean_speedups base other =
+  List.filter_map
+    (fun (k, b) ->
+      match List.assoc_opt k other with
+      | Some o when o > 0. -> Some (k, b /. o)
+      | Some _ | None -> None)
+    base
+
+let section buf title =
+  Buffer.add_string buf (Printf.sprintf "\n%s\n%s\n" title (String.make (String.length title) '='))

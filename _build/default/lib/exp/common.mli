@@ -1,0 +1,35 @@
+(** Shared infrastructure for the paper-reproduction experiments: the three
+    schedulers under test, a process-wide schedule cache so each
+    (architecture, layer, scheduler, metric) pair is scheduled exactly
+    once across all tables and figures, and small report helpers. *)
+
+type scheduler = Cosa_s | Random_s | Hybrid_s
+
+val scheduler_name : scheduler -> string
+
+type scheduled = {
+  mapping : Mapping.t;
+  runtime : float;  (** scheduler wall-clock seconds *)
+  samples : int;  (** configurations drawn (1 for CoSA) *)
+  evaluations : int;  (** cost-model evaluations (1 for CoSA) *)
+}
+
+val schedule :
+  ?metric:[ `Latency | `Energy ] -> Spec.t -> Layer.t -> scheduler -> scheduled
+(** Cached. The metric selects what Random / Hybrid optimise for (CoSA's
+    mapping does not depend on it). Search-based schedulers use a seed
+    derived from the layer name, so results are reproducible. *)
+
+val latency : Spec.t -> Mapping.t -> float
+val energy : Spec.t -> Mapping.t -> float
+val noc_energy : Spec.t -> Mapping.t -> float
+
+val suite_layers : unit -> (string * Layer.t) list
+(** All (suite name, layer) pairs in paper order. *)
+
+val geomean_speedups :
+  (string * float) list -> (string * float) list -> (string * float) list
+(** Pair two metric lists by key and return per-key baseline/other ratios. *)
+
+val section : Buffer.t -> string -> unit
+(** Append an underlined section heading. *)

@@ -1,0 +1,275 @@
+(* Ablations over the design decisions called out in DESIGN.md §4. *)
+
+let subset () =
+  (* a representative slice: heavy 3x3, pointwise, grouped, GEMM *)
+  List.map Zoo.find
+    [ "3_7_512_512_1"; "3_14_256_256_1"; "1_56_256_64_1"; "1_14_256_1024_1";
+      "g3_28_8_8_1"; "ocr_35_700_2048" ]
+
+(* DESIGN §4.2: solver strategy — joint MIP vs two-stage decomposition. *)
+let strategy () =
+  let arch = Spec.baseline in
+  let buf = Buffer.create 2048 in
+  Common.section buf "Ablation: joint MIP vs two-stage decomposition vs auto";
+  let tab =
+    Prim.Texttab.create [ "strategy"; "geomean latency"; "geomean Eq.12"; "avg time (s)" ]
+  in
+  List.iter
+    (fun (name, strategy) ->
+      let lat = ref [] and obj = ref [] and time = ref 0. in
+      List.iter
+        (fun layer ->
+          let r = Cosa.schedule ~strategy arch layer in
+          lat := Common.latency arch r.Cosa.mapping :: !lat;
+          obj := exp r.Cosa.objective.Cosa.total :: !obj;
+          time := !time +. r.Cosa.solve_time)
+        (subset ());
+      Prim.Texttab.add_row tab
+        [ name;
+          Prim.Texttab.cell_f (Prim.Stats.geomean !lat);
+          Printf.sprintf "%.3g" (Prim.Stats.geomean !obj);
+          Printf.sprintf "%.2f" (!time /. float_of_int (List.length (subset ()))) ])
+    [ ("joint", Cosa.Joint); ("two-stage", Cosa.Two_stage); ("auto", Cosa.Auto) ];
+  Buffer.add_string buf (Prim.Texttab.render tab);
+  Buffer.contents buf
+
+(* DESIGN §4.2: objective-weight sweep (each term zeroed in turn). *)
+let weights () =
+  let arch = Spec.baseline in
+  let base = Cosa.calibrate arch in
+  let buf = Buffer.create 2048 in
+  Common.section buf "Ablation: objective weights (geomean model latency, lower is better)";
+  let tab = Prim.Texttab.create [ "weights"; "geomean latency"; "vs calibrated" ] in
+  let run weights =
+    Prim.Stats.geomean
+      (List.map
+         (fun layer -> Common.latency arch (Cosa.schedule ~weights arch layer).Cosa.mapping)
+         (subset ()))
+  in
+  let calibrated = run base in
+  List.iter
+    (fun (name, w) ->
+      let g = run w in
+      Prim.Texttab.add_row tab
+        [ name; Prim.Texttab.cell_f g; Prim.Texttab.cell_fx (g /. calibrated) ])
+    [ ("calibrated", base);
+      ("wU=0", { base with Cosa.w_util = 0. });
+      ("wC=0", { base with Cosa.w_comp = 0. });
+      ("wT=0", { base with Cosa.w_traf = 0. }) ];
+  Buffer.add_string buf (Prim.Texttab.render tab);
+  Buffer.contents buf
+
+(* DESIGN §4.3: anytime behaviour vs branch-and-bound node budget. *)
+let node_budget () =
+  let arch = Spec.baseline in
+  let buf = Buffer.create 2048 in
+  Common.section buf "Ablation: schedule quality vs branch-and-bound node budget (joint MIP)";
+  let tab = Prim.Texttab.create [ "node limit"; "geomean latency"; "avg time (s)" ] in
+  List.iter
+    (fun nodes ->
+      let lat = ref [] and time = ref 0. in
+      List.iter
+        (fun layer ->
+          let r = Cosa.schedule ~strategy:Cosa.Joint ~node_limit:nodes arch layer in
+          lat := Common.latency arch r.Cosa.mapping :: !lat;
+          time := !time +. r.Cosa.solve_time)
+        (subset ());
+      Prim.Texttab.add_row tab
+        [ string_of_int nodes;
+          Prim.Texttab.cell_f (Prim.Stats.geomean !lat);
+          Printf.sprintf "%.2f" (!time /. float_of_int (List.length (subset ()))) ])
+    [ 50; 500; 5_000; 50_000 ];
+  Buffer.add_string buf (Prim.Texttab.render tab);
+  Buffer.contents buf
+
+(* DESIGN §4.1: symmetry grouping of identical prime factors. *)
+let grouping () =
+  let arch = Spec.baseline in
+  let buf = Buffer.create 2048 in
+  Common.section buf "Ablation: grouped-count encoding vs per-factor binaries (MIP size & solve)";
+  let tab =
+    Prim.Texttab.create
+      [ "encoding"; "avg vars"; "avg constrs"; "avg solve (s)"; "geomean Eq.12" ]
+  in
+  List.iter
+    (fun (name, grouped) ->
+      let vars = ref 0 and cons = ref 0 and time = ref 0. and obj = ref [] in
+      List.iter
+        (fun layer ->
+          let weights = Cosa.calibrate arch in
+          let f =
+            Cosa_formulation.build ~weights ~joint_permutation:false
+              ~symmetry_grouping:grouped arch layer
+          in
+          vars := !vars + Milp.Lp.num_vars f.Cosa_formulation.lp;
+          cons := !cons + Milp.Lp.num_constrs f.Cosa_formulation.lp;
+          let t0 = Unix.gettimeofday () in
+          let res =
+            Milp.Bb.solve ~node_limit:50_000 ~time_limit:8.
+              ~priority:f.Cosa_formulation.priority f.Cosa_formulation.lp
+          in
+          time := !time +. (Unix.gettimeofday () -. t0);
+          (match res.Milp.Bb.status with
+           | Milp.Bb.Optimal | Milp.Bb.Feasible ->
+             let m = Cosa_decode.decode f res in
+             let m = Cosa_decode.best_noc_order ~weights arch m in
+             let m, _ = Cosa_decode.repair arch m in
+             obj := exp (Cosa.breakdown_of_mapping ~weights arch m).Cosa.total :: !obj
+           | _ -> ()))
+        (subset ());
+      let n = float_of_int (List.length (subset ())) in
+      Prim.Texttab.add_row tab
+        [ name;
+          Printf.sprintf "%.0f" (float_of_int !vars /. n);
+          Printf.sprintf "%.0f" (float_of_int !cons /. n);
+          Printf.sprintf "%.2f" (!time /. n);
+          (if !obj = [] then "-" else Printf.sprintf "%.3g" (Prim.Stats.geomean !obj)) ])
+    [ ("grouped counts", true); ("per-factor binaries", false) ];
+  Buffer.add_string buf (Prim.Texttab.render tab);
+  Buffer.contents buf
+
+(* DESIGN §4.4: hardware multicast on/off, NoC simulator. *)
+let multicast () =
+  let base = Spec.baseline in
+  let no_mc = { base with Spec.aname = "simba-4x4-nomc";
+                noc = { base.Spec.noc with Spec.multicast = false } } in
+  let buf = Buffer.create 2048 in
+  Common.section buf "Ablation: NoC hardware multicast on vs off (cycle-level simulator)";
+  let tab = Prim.Texttab.create [ "layer"; "multicast on"; "multicast off"; "off/on" ] in
+  let ratios = ref [] in
+  List.iter
+    (fun layer ->
+      let m = (Cosa.schedule base layer).Cosa.mapping in
+      let on = (Noc_sim.simulate ~max_steps:24 base m).Noc_sim.latency in
+      let off = (Noc_sim.simulate ~max_steps:24 no_mc m).Noc_sim.latency in
+      ratios := (off /. on) :: !ratios;
+      Prim.Texttab.add_row tab
+        [ layer.Layer.name; Prim.Texttab.cell_f on; Prim.Texttab.cell_f off;
+          Prim.Texttab.cell_fx (off /. on) ])
+    (subset ());
+  Buffer.add_string buf (Prim.Texttab.render tab);
+  Buffer.add_string buf
+    (Printf.sprintf "geomean slowdown without multicast: %.2fx\n"
+       (Prim.Stats.geomean !ratios));
+  Buffer.contents buf
+
+(* Section III-E extension: objective-hyperparameter tuning around the
+   one-shot solver. *)
+let tuner () =
+  let arch = Spec.baseline in
+  let buf = Buffer.create 2048 in
+  Common.section buf
+    "Extension (Sec. III-E): weight-hyperparameter search around one-shot CoSA";
+  let tab =
+    Prim.Texttab.create [ "layer"; "CoSA latency"; "tuned latency"; "gain"; "solves" ]
+  in
+  let gains = ref [] in
+  List.iter
+    (fun layer ->
+      let plain = Cosa.schedule ~time_limit:2. arch layer in
+      let plain_lat = Common.latency arch plain.Cosa.mapping in
+      let tuned = Cosa_tuner.tune ~time_limit:2. arch layer in
+      let tuned_lat = Common.latency arch tuned.Cosa_tuner.best.Cosa.mapping in
+      gains := (plain_lat /. tuned_lat) :: !gains;
+      Prim.Texttab.add_row tab
+        [ layer.Layer.name;
+          Prim.Texttab.cell_f plain_lat;
+          Prim.Texttab.cell_f tuned_lat;
+          Prim.Texttab.cell_fx (plain_lat /. tuned_lat);
+          string_of_int tuned.Cosa_tuner.tried ])
+    (subset ());
+  Buffer.add_string buf (Prim.Texttab.render tab);
+  Buffer.add_string buf
+    (Printf.sprintf "geomean gain from tuning: %.2fx (9 one-shot solves per layer)\n"
+       (Prim.Stats.geomean !gains));
+  Buffer.contents buf
+
+(* Extended baseline comparison: the two extra feedback-driven schedulers
+   (simulated annealing, GAMMA-style genetic) alongside the paper's three. *)
+let searchers () =
+  let arch = Spec.baseline in
+  let buf = Buffer.create 2048 in
+  Common.section buf
+    "Extension: five-scheduler comparison (latency, lower is better)";
+  let tab =
+    Prim.Texttab.create
+      [ "layer"; "CoSA"; "Random"; "TL-Hybrid"; "Anneal"; "Genetic" ]
+  in
+  let ratios = Hashtbl.create 4 in
+  let note k r = Hashtbl.replace ratios k (r :: (try Hashtbl.find ratios k with Not_found -> [])) in
+  List.iter
+    (fun layer ->
+      let seed = Hashtbl.hash layer.Layer.name land 0xFFFFFF in
+      let cosa = Common.latency arch (Common.schedule arch layer Common.Cosa_s).Common.mapping in
+      let of_outcome (o : Baseline.outcome) =
+        match o.Baseline.best with
+        | Some m -> Common.latency arch m
+        | None -> infinity
+      in
+      let random = of_outcome (Random_mapper.search (Prim.Rng.create seed) arch layer) in
+      let hybrid = of_outcome (Hybrid_mapper.search (Prim.Rng.create seed) arch layer) in
+      let anneal = of_outcome (Anneal_mapper.search (Prim.Rng.create seed) arch layer) in
+      let genetic = of_outcome (Genetic_mapper.search (Prim.Rng.create seed) arch layer) in
+      note "random" (random /. cosa);
+      note "hybrid" (hybrid /. cosa);
+      note "anneal" (anneal /. cosa);
+      note "genetic" (genetic /. cosa);
+      Prim.Texttab.add_row tab
+        [ layer.Layer.name; Prim.Texttab.cell_f cosa; Prim.Texttab.cell_f random;
+          Prim.Texttab.cell_f hybrid; Prim.Texttab.cell_f anneal;
+          Prim.Texttab.cell_f genetic ])
+    (subset ());
+  Buffer.add_string buf (Prim.Texttab.render tab);
+  let geo k = Prim.Stats.geomean (Hashtbl.find ratios k) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "geomean CoSA speedup: vs Random %.2fx, vs Hybrid %.2fx, vs Anneal %.2fx, vs Genetic %.2fx\n"
+       (geo "random") (geo "hybrid") (geo "anneal") (geo "genetic"));
+  Buffer.contents buf
+
+(* End-to-end network totals: per-layer schedules weighted by each shape's
+   repetition count. *)
+let network () =
+  let arch = Spec.baseline in
+  let buf = Buffer.create 2048 in
+  Common.section buf
+    "Extension: end-to-end network latency/energy (repetition-weighted)";
+  let tab =
+    Prim.Texttab.create
+      [ "network"; "scheduler"; "total latency (Mcycles)"; "total energy (mJ)";
+        "vs Random" ]
+  in
+  List.iter
+    (fun (net : Network.t) ->
+      let totals =
+        List.map
+          (fun sched ->
+            let lat = ref 0. and en = ref 0. in
+            List.iter
+              (fun (e : Network.entry) ->
+                let m = (Common.schedule arch e.Network.layer sched).Common.mapping in
+                let ev = Model.evaluate arch m in
+                let k = float_of_int e.Network.repeats in
+                lat := !lat +. (k *. ev.Model.latency);
+                en := !en +. (k *. ev.Model.energy_pj))
+              net.Network.entries;
+            (sched, !lat, !en))
+          Common.[ Cosa_s; Random_s; Hybrid_s ]
+      in
+      let random_lat =
+        match List.find_opt (fun (s, _, _) -> s = Common.Random_s) totals with
+        | Some (_, l, _) -> l
+        | None -> nan
+      in
+      List.iter
+        (fun (sched, lat, en) ->
+          Prim.Texttab.add_row tab
+            [ net.Network.nname;
+              Common.scheduler_name sched;
+              Printf.sprintf "%.1f" (lat /. 1e6);
+              Printf.sprintf "%.2f" (en /. 1e9);
+              Prim.Texttab.cell_fx (random_lat /. lat) ])
+        totals)
+    Network.networks;
+  Buffer.add_string buf (Prim.Texttab.render tab);
+  Buffer.contents buf

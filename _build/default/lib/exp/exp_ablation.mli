@@ -1,0 +1,35 @@
+(** DESIGN.md §4 ablations and the Section III-E extension, each over a
+    representative six-layer slice of the suites. *)
+
+val subset : unit -> Layer.t list
+(** The shared ablation slice: heavy 3x3, pointwise, grouped, and GEMM
+    layers. *)
+
+val strategy : unit -> string
+(** Joint MIP vs two-stage decomposition vs auto arbitration. *)
+
+val weights : unit -> string
+(** Each Eq.-12 weight zeroed in turn vs the calibrated setting. *)
+
+val node_budget : unit -> string
+(** Schedule quality as the branch-and-bound node limit grows (anytime
+    behaviour of the joint MIP). *)
+
+val grouping : unit -> string
+(** Grouped-count encoding vs the paper's per-factor binaries: MIP size
+    and solve time. *)
+
+val multicast : unit -> string
+(** Cycle-level cost of disabling hardware multicast. *)
+
+val tuner : unit -> string
+(** Section III-E: objective-weight hyperparameter search around the
+    one-shot solver. *)
+
+val searchers : unit -> string
+(** Five-scheduler comparison: CoSA vs Random, Timeloop-Hybrid, simulated
+    annealing, and the GAMMA-style genetic mapper. *)
+
+val network : unit -> string
+(** End-to-end ResNet-50 / ResNeXt-50 latency and energy, weighting each
+    distinct layer shape by its repetition count. *)

@@ -1,0 +1,6 @@
+(** Fig. 11: the GPU case study (Section V-D). *)
+
+val fig11 : unit -> string
+(** CoSA-GPU (one-shot MIP) vs a simulated 50-trial TVM tuner on every
+    ResNet-50 layer, both evaluated on the analytical K80 model; reports
+    per-layer latencies, speedups, and time-to-solution. *)

@@ -1,0 +1,168 @@
+(* Motivation figures: the scheduling-space statistics of Section II. *)
+
+let fig1_layer = Zoo.find "3_14_256_256_1"
+
+(* Fig. 1: latency histogram of valid schedules for one ResNet-50 layer.
+   The paper samples 40K valid schedules; the default here is smaller so
+   the full harness stays fast — pass [samples] to match the paper. *)
+let fig1 ?(samples = 4000) () =
+  let arch = Spec.baseline in
+  let rng = Prim.Rng.create 0xF161 in
+  let latencies = ref [] in
+  let raw_draws = ref 0 and raw_valid = ref 0 in
+  (* validity-rate measurement on uniform draws over the full X space (the
+     paper's Table VI observes ~5 valid in 20K draws) *)
+  for _ = 1 to 20_000 do
+    incr raw_draws;
+    let m = Sampler.raw rng arch fig1_layer in
+    if Mapping.is_valid arch m then incr raw_valid
+  done;
+  let found = ref 0 in
+  while !found < samples do
+    match Sampler.valid rng arch fig1_layer with
+    | Some m ->
+      incr found;
+      latencies := (Model.evaluate arch m).Model.latency :: !latencies
+    | None -> ()
+  done;
+  let l = !latencies in
+  let buf = Buffer.create 4096 in
+  Common.section buf "Fig. 1: latency distribution of valid schedules (3_14_256_256_1)";
+  Buffer.add_string buf (Mapspace.report arch fig1_layer ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf
+       "valid schedules sampled: %d (uniform draws: %d valid in %d = %.3f%%)\n" samples
+       !raw_valid !raw_draws
+       (100. *. float_of_int !raw_valid /. float_of_int !raw_draws));
+  Buffer.add_string buf
+    (Printf.sprintf "best %.3g / median %.3g / worst %.3g cycles — worst/best = %.1fx\n\n"
+       (Prim.Stats.minimum l) (Prim.Stats.median l) (Prim.Stats.maximum l)
+       (Prim.Stats.maximum l /. Prim.Stats.minimum l));
+  let log_l = List.map log10 l in
+  Buffer.add_string buf "log10(latency) histogram:\n";
+  Buffer.add_string buf
+    (Prim.Stats.render_histogram (Prim.Stats.histogram ~bins:18 log_l));
+  Buffer.contents buf
+
+(* Fig. 3: loop-permutation sweep at the global-buffer level for a
+   weight-heavy layer. All six orders of {P, C, K} share one fixed tiling
+   that leaves one loop of each of P, C, K at the global-buffer level, as
+   in the paper's setup. *)
+let fig3_base layer =
+  let lp dim bound = { Mapping.dim; bound } in
+  Mapping.make layer
+    [|
+      { Mapping.temporal = [ lp Dims.P 4; lp Dims.Q 8 ]; spatial = [] };
+      { Mapping.temporal = []; spatial = [] };
+      { Mapping.temporal = [ lp Dims.R 3; lp Dims.S 3; lp Dims.C 4 ]; spatial = [] };
+      { Mapping.temporal = [ lp Dims.C 2 ]; spatial = [ lp Dims.K 16 ] };
+      { Mapping.temporal = [ lp Dims.P 2; lp Dims.C 4; lp Dims.K 8 ]; spatial = [] };
+      { Mapping.temporal = [ lp Dims.K 8 ]; spatial = [] };
+    |]
+
+let fig3 () =
+  let arch = Spec.baseline in
+  let layer = Layer.create ~name:"fig3" ~r:3 ~s:3 ~p:8 ~q:8 ~c:32 ~k:1024 ~n:1 () in
+  let base = fig3_base layer in
+  assert (Mapping.is_valid arch base);
+  let gb = Spec.level_count arch - 2 in
+  let orders =
+    [ ("CKP", Dims.[ C; K; P ]); ("CPK", Dims.[ C; P; K ]); ("KCP", Dims.[ K; C; P ]);
+      ("KPC", Dims.[ K; P; C ]); ("PCK", Dims.[ P; C; K ]); ("PKC", Dims.[ P; K; C ]) ]
+  in
+  let with_order order =
+    let levels = Array.copy base.Mapping.levels in
+    levels.(gb) <-
+      { levels.(gb) with
+        Mapping.temporal =
+          List.filter_map
+            (fun d ->
+              List.find_opt (fun (l : Mapping.loop) -> l.Mapping.dim = d)
+                levels.(gb).Mapping.temporal)
+            order };
+    Mapping.make layer levels
+  in
+  let buf = Buffer.create 1024 in
+  Common.section buf "Fig. 3: impact of loop permutation (R=S=3, P=Q=8, C=32, K=1024)";
+  let tab =
+    Prim.Texttab.create
+      [ "order"; "NoC-sim latency"; "model energy (uJ)"; "sim speedup vs worst" ]
+  in
+  let rows =
+    List.map
+      (fun (name, order) ->
+        let m = with_order order in
+        let sim = (Noc_sim.simulate ~max_steps:32 arch m).Noc_sim.latency in
+        let e = (Model.evaluate arch m).Model.energy_pj /. 1e6 in
+        (name, sim, e))
+      orders
+  in
+  let worst = List.fold_left (fun a (_, v, _) -> Float.max a v) 0. rows in
+  List.iter
+    (fun (name, v, e) ->
+      Prim.Texttab.add_row tab
+        [ name; Prim.Texttab.cell_f v; Printf.sprintf "%.2f" e;
+          Prim.Texttab.cell_fx (worst /. v) ])
+    rows;
+  Buffer.add_string buf (Prim.Texttab.render tab);
+  let best = List.fold_left (fun a (_, v, _) -> Float.min a v) infinity rows in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "best order is %.2fx faster than the worst (paper: 1.7x, P-outermost wins)\n"
+       (worst /. best));
+  Buffer.contents buf
+
+(* Fig. 4: spatial-mapping sweep on a 1x1 layer; each point pins a
+   different split of the 16 PEs across P, C, K. *)
+let fig4 () =
+  let arch = Spec.baseline in
+  let layer = Layer.create ~name:"fig4" ~r:1 ~s:1 ~p:16 ~q:16 ~c:256 ~k:1024 ~n:1 () in
+  let splits =
+    [ ("s:K16", [ (Dims.K, 16) ]);
+      ("s:C16", [ (Dims.C, 16) ]);
+      ("s:P16", [ (Dims.P, 16) ]);
+      ("s:P4C4", [ (Dims.P, 4); (Dims.C, 4) ]);
+      ("s:C4K4", [ (Dims.C, 4); (Dims.K, 4) ]);
+      ("s:P4K4", [ (Dims.P, 4); (Dims.K, 4) ]);
+      ("s:P2C4K2", [ (Dims.P, 2); (Dims.C, 4); (Dims.K, 2) ]);
+      ("s:P2C2K4", [ (Dims.P, 2); (Dims.C, 2); (Dims.K, 4) ]) ]
+  in
+  let buf = Buffer.create 1024 in
+  Common.section buf "Fig. 4: impact of spatial mapping (R=S=1, P=Q=16, C=256, K=1024)";
+  let tab =
+    Prim.Texttab.create [ "spatial"; "model latency"; "NoC-sim latency"; "sim vs worst" ]
+  in
+  let rows =
+    List.filter_map
+      (fun (name, pins) ->
+        let f = Cosa_formulation.build ~joint_permutation:false ~noc_spatial:pins arch layer in
+        let res =
+          Milp.Bb.solve ~node_limit:50_000 ~time_limit:4. ~priority:f.Cosa_formulation.priority
+            f.Cosa_formulation.lp
+        in
+        match res.Milp.Bb.status with
+        | Milp.Bb.Optimal | Milp.Bb.Feasible ->
+          let m = Cosa_decode.decode f res in
+          let m = Cosa_decode.best_noc_order arch m in
+          let m, _ = Cosa_decode.repair arch m in
+          if Mapping.is_valid arch m then
+            let sim = (Noc_sim.simulate ~max_steps:32 arch m).Noc_sim.latency in
+            Some (name, Common.latency arch m, sim)
+          else None
+        | _ -> None)
+      splits
+  in
+  let worst = List.fold_left (fun a (_, _, v) -> Float.max a v) 0. rows in
+  List.iter
+    (fun (name, lat, sim) ->
+      Prim.Texttab.add_row tab
+        [ name; Prim.Texttab.cell_f lat; Prim.Texttab.cell_f sim;
+          Prim.Texttab.cell_fx (worst /. sim) ])
+    rows;
+  Buffer.add_string buf (Prim.Texttab.render tab);
+  let best = List.fold_left (fun a (_, _, v) -> Float.min a v) infinity rows in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "best spatial mapping is %.2fx faster than the worst (paper: 4.3x on its NoC sim)\n"
+       (worst /. best));
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Section II motivation figures. *)
+
+val fig1 : ?samples:int -> unit -> string
+(** Latency histogram of valid schedules for ResNet-50 layer
+    3_14_256_256_1 plus the uniform-draw validity rate. Default 4000 valid
+    samples (the paper uses 40K; pass [samples] to match). *)
+
+val fig3 : unit -> string
+(** Loop-permutation sweep (six orders of P, C, K at the global buffer) on
+    a weight-heavy layer, evaluated on the NoC simulator and the energy
+    model. *)
+
+val fig4 : unit -> string
+(** Spatial-mapping sweep: eight ways to split the 16 PEs across P, C, K,
+    each solved with the spatial assignment pinned in the MIP. *)

@@ -1,0 +1,57 @@
+(* Fig. 10: cycle-level NoC-simulator evaluation. *)
+
+let sim_latency arch m =
+  try (Noc_sim.simulate ~max_steps:24 ~max_cycles:30_000_000 arch m).Noc_sim.latency
+  with Failure _ -> infinity
+
+let fig10 () =
+  let arch = Spec.baseline in
+  let schedulers = Common.[ Cosa_s; Random_s; Hybrid_s ] in
+  let buf = Buffer.create 8192 in
+  Common.section buf "Fig. 10: NoC-simulator speedup vs Random search (baseline 4x4 arch)";
+  let tab =
+    Prim.Texttab.create [ "suite"; "layer"; "CoSA/Random"; "Hybrid/Random"; "CoSA/Hybrid" ]
+  in
+  let ratios = ref [] in
+  List.iter
+    (fun (suite, layer) ->
+      let v s = sim_latency arch (Common.schedule arch layer s).Common.mapping in
+      let values = List.map (fun s -> (s, v s)) schedulers in
+      let get s = List.assoc s values in
+      let cosa = get Common.Cosa_s and rand = get Common.Random_s and hyb = get Common.Hybrid_s in
+      if cosa < infinity && rand < infinity && hyb < infinity then begin
+        ratios := (suite, (rand /. cosa, rand /. hyb, hyb /. cosa)) :: !ratios;
+        Prim.Texttab.add_row tab
+          [ suite; layer.Layer.name;
+            Prim.Texttab.cell_fx (rand /. cosa);
+            Prim.Texttab.cell_fx (rand /. hyb);
+            Prim.Texttab.cell_fx (hyb /. cosa) ]
+      end
+      else
+        Prim.Texttab.add_row tab [ suite; layer.Layer.name; "-"; "-"; "-" ])
+    (Common.suite_layers ());
+  Buffer.add_string buf (Prim.Texttab.render tab);
+  let all = List.rev !ratios in
+  let geo f rows = Prim.Stats.geomean (List.map f rows) in
+  let gtab =
+    Prim.Texttab.create [ "scope"; "CoSA vs Random"; "Hybrid vs Random"; "CoSA vs Hybrid" ]
+  in
+  List.iter
+    (fun suite ->
+      let rows = List.filter (fun (s, _) -> s = suite) all in
+      if rows <> [] then
+        Prim.Texttab.add_row gtab
+          [ suite;
+            Prim.Texttab.cell_fx (geo (fun (_, (a, _, _)) -> a) rows);
+            Prim.Texttab.cell_fx (geo (fun (_, (_, b, _)) -> b) rows);
+            Prim.Texttab.cell_fx (geo (fun (_, (_, _, c)) -> c) rows) ])
+    (List.sort_uniq compare (List.map fst all));
+  if all <> [] then
+    Prim.Texttab.add_row gtab
+      [ "ALL";
+        Prim.Texttab.cell_fx (geo (fun (_, (a, _, _)) -> a) all);
+        Prim.Texttab.cell_fx (geo (fun (_, (_, b, _)) -> b) all);
+        Prim.Texttab.cell_fx (geo (fun (_, (_, _, c)) -> c) all) ];
+  Buffer.add_string buf "\nGeomean speedups (NoC simulator):\n";
+  Buffer.add_string buf (Prim.Texttab.render gtab);
+  Buffer.contents buf

@@ -1,0 +1,6 @@
+(** Fig. 10: the cycle-level NoC-simulator comparison. *)
+
+val fig10 : unit -> string
+(** Per-layer simulated-latency speedups vs Random search on the baseline
+    architecture; layers whose simulation exceeds the cycle budget are
+    reported as "-" and excluded from the geomeans. *)

@@ -1,0 +1,23 @@
+(** Analytical-model (Timeloop-platform) experiments: Table VI, Figs 6-9. *)
+
+val tab6 : unit -> string
+(** Time-to-solution: average runtime, samples, and cost-model evaluations
+    per layer for CoSA / Random / Timeloop-Hybrid over all four suites. *)
+
+val fig6 : unit -> string
+(** Per-layer latency speedups vs Random search on the baseline 4x4
+    architecture, with per-suite and overall geomeans. *)
+
+val fig7 : unit -> string
+(** Same comparison with network energy as the target metric (the search
+    baselines re-optimise for energy). *)
+
+val fig8 : unit -> string
+(** Eq.-12 objective breakdown (weighted Util / Comp / Traf) of each
+    scheduler's mapping for ResNet-50 layer 3_7_512_512_1. *)
+
+val fig9a : unit -> string
+(** Fig-6-style table on the 8x8-PE architecture variant. *)
+
+val fig9b : unit -> string
+(** Fig-6-style table on the large-SRAM architecture variant. *)

@@ -1,0 +1,33 @@
+type t = { id : string; title : string; run : unit -> string }
+
+let all =
+  [
+    { id = "fig1"; title = "Latency histogram of valid schedules";
+      run = (fun () -> Exp_motivation.fig1 ()) };
+    { id = "fig3"; title = "Loop permutation sweep"; run = Exp_motivation.fig3 };
+    { id = "fig4"; title = "Spatial mapping sweep"; run = Exp_motivation.fig4 };
+    { id = "tab6"; title = "Time-to-solution comparison"; run = Exp_timeloop.tab6 };
+    { id = "fig6"; title = "Timeloop-model speedups, baseline arch"; run = Exp_timeloop.fig6 };
+    { id = "fig7"; title = "Network energy comparison"; run = Exp_timeloop.fig7 };
+    { id = "fig8"; title = "Objective breakdown"; run = Exp_timeloop.fig8 };
+    { id = "fig9a"; title = "Speedups on 8x8-PE arch"; run = Exp_timeloop.fig9a };
+    { id = "fig9b"; title = "Speedups on large-SRAM arch"; run = Exp_timeloop.fig9b };
+    { id = "fig10"; title = "NoC-simulator speedups"; run = Exp_nocsim.fig10 };
+    { id = "fig11"; title = "GPU case study vs TVM"; run = Exp_gpu.fig11 };
+    { id = "abl_strategy"; title = "Ablation: joint vs two-stage";
+      run = Exp_ablation.strategy };
+    { id = "abl_weights"; title = "Ablation: objective weights"; run = Exp_ablation.weights };
+    { id = "abl_nodes"; title = "Ablation: node budget"; run = Exp_ablation.node_budget };
+    { id = "abl_grouping"; title = "Ablation: factor grouping"; run = Exp_ablation.grouping };
+    { id = "abl_multicast"; title = "Ablation: NoC multicast"; run = Exp_ablation.multicast };
+    { id = "ext_tuner"; title = "Extension: objective-weight tuning (Sec. III-E)";
+      run = Exp_ablation.tuner };
+    { id = "ext_searchers"; title = "Extension: five-scheduler comparison";
+      run = Exp_ablation.searchers };
+    { id = "ext_network"; title = "Extension: end-to-end network totals";
+      run = Exp_ablation.network };
+  ]
+
+let find id = List.find (fun e -> e.id = id) all
+
+let ids () = List.map (fun e -> e.id) all

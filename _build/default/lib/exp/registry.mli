@@ -1,0 +1,17 @@
+(** Registry mapping experiment ids (DESIGN.md §3) to runnable generators.
+    Each run returns the full plain-text report that `bench/main.exe` and
+    `bin/cosa_cli.exe exp <id>` print. *)
+
+type t = {
+  id : string;
+  title : string;
+  run : unit -> string;
+}
+
+val all : t list
+(** Paper artefacts first (fig1 .. fig11, tab6), then ablations. *)
+
+val find : string -> t
+(** Raises [Not_found]. *)
+
+val ids : unit -> string list

@@ -1,0 +1,263 @@
+type spec = {
+  gname : string;
+  cores : int;
+  sm_count : int;
+  max_threads_per_block : int;
+  max_threads_per_sm : int;
+  shared_bytes : int;
+  reg_words_per_thread : int;
+  gmem_words_per_cycle : float;
+  l2_bytes : int;
+}
+
+let k80 =
+  {
+    gname = "K80";
+    cores = 2496;
+    sm_count = 13;
+    max_threads_per_block = 1024;
+    max_threads_per_sm = 2048;
+    shared_bytes = 48 * 1024;
+    reg_words_per_thread = 32;
+    gmem_words_per_cycle = 120.;
+    l2_bytes = 1536 * 1024;
+  }
+
+type gemm = { m : int; n : int; k : int }
+
+let gemm_of_layer (l : Layer.t) =
+  {
+    m = l.Layer.k;
+    n = l.Layer.p * l.Layer.q * l.Layer.n;
+    k = l.Layer.c * l.Layer.r * l.Layer.s;
+  }
+
+type tiling = { block_m : int; block_n : int; block_k : int; thread_m : int; thread_n : int }
+
+let fi = float_of_int
+
+let valid spec g t =
+  let pos = t.block_m >= 1 && t.block_n >= 1 && t.block_k >= 1 && t.thread_m >= 1 && t.thread_n >= 1 in
+  pos
+  && t.thread_m <= t.block_m
+  && t.thread_n <= t.block_n
+  && t.block_m mod t.thread_m = 0
+  && t.block_n mod t.thread_n = 0
+  && t.block_m <= g.m && t.block_n <= g.n && t.block_k <= g.k
+  && (let threads = t.block_m / t.thread_m * (t.block_n / t.thread_n) in
+      threads >= 1 && threads <= spec.max_threads_per_block)
+  && (* shared memory: A and B tiles, 4-byte words *)
+  ((t.block_m * t.block_k) + (t.block_k * t.block_n)) * 4 <= spec.shared_bytes
+  && (* register tile per thread *)
+  t.thread_m * t.thread_n + t.thread_m + t.thread_n <= spec.reg_words_per_thread
+
+let ceil_div a b = (a + b - 1) / b
+
+let latency spec g t =
+  if not (valid spec g t) then infinity
+  else begin
+    let blocks = ceil_div g.m t.block_m * ceil_div g.n t.block_n in
+    let threads_per_block = t.block_m / t.thread_m * (t.block_n / t.thread_n) in
+    (* occupancy: how many resident blocks an SM can hold *)
+    let blocks_per_sm_smem =
+      max 1 (spec.shared_bytes / (((t.block_m * t.block_k) + (t.block_k * t.block_n)) * 4))
+    in
+    let blocks_per_sm_threads = max 1 (spec.max_threads_per_sm / threads_per_block) in
+    let resident = min blocks_per_sm_smem blocks_per_sm_threads in
+    let active_threads =
+      min (blocks * threads_per_block)
+        (spec.sm_count * min spec.max_threads_per_sm (resident * threads_per_block))
+    in
+    let occupancy = Float.min 1. (fi active_threads /. fi spec.cores) in
+    let total_fmas = fi g.m *. fi g.n *. fi g.k in
+    let compute = total_fmas /. (fi spec.cores *. Float.max 0.05 occupancy) in
+    (* global memory: each block streams its A and B panels per K chunk *)
+    let k_chunks = fi (ceil_div g.k t.block_k) in
+    let traffic =
+      (fi blocks *. k_chunks
+       *. fi ((t.block_m * t.block_k) + (t.block_k * t.block_n)))
+      +. (fi g.m *. fi g.n)
+    in
+    let mem = traffic /. spec.gmem_words_per_cycle in
+    Float.max compute mem
+  end
+
+type result = { tiling : tiling; latency : float; solve_time : float; evaluations : int }
+
+(* One-shot CoSA-style MIP: allocate the prime-factor counts of M and N to
+   (register/thread, block, grid) and of K to (chunk, rest); maximise
+   log(threads) + log(block tiles) under log-capacity constraints. *)
+let cosa_schedule spec g =
+  let t0 = Unix.gettimeofday () in
+  let lp = Milp.Lp.create ~name:"cosa_gpu" () in
+  let pad = Prim.Factorize.pad_to_factorable in
+  let groups dim_n = Prim.Factorize.grouped_factors (pad dim_n) in
+  (* one integer count var per (prime, level) *)
+  let alloc name n levels =
+    List.map
+      (fun (p, mult) ->
+        let vars =
+          List.map
+            (fun lvl ->
+              Milp.Lp.add_var lp ~integer:true ~lb:0. ~ub:(fi mult)
+                (Printf.sprintf "%s_p%d_%s" name p lvl))
+            levels
+        in
+        Milp.Lp.add_constr lp (List.map (fun v -> (1., v)) vars) Milp.Lp.Eq (fi mult);
+        (p, vars))
+      (groups n)
+  in
+  (* M = reg x par x grid: [reg] is the per-thread register tile, [par] the
+     threads along that axis within a block, [grid] the thread blocks. *)
+  let m_vars = alloc "m" g.m [ "reg"; "par"; "grid" ] in
+  let n_vars = alloc "n" g.n [ "reg"; "par"; "grid" ] in
+  let k_vars = alloc "k" g.k [ "chunk"; "rest" ] in
+  let logp p = log (fi p) in
+  let pick i vars = List.map (fun (p, vs) -> (logp p, List.nth vs i)) vars in
+  let threads = pick 1 m_vars @ pick 1 n_vars in
+  (* block tile = register tile x thread parallelism *)
+  let blk_m = pick 0 m_vars @ pick 1 m_vars in
+  let blk_n = pick 0 n_vars @ pick 1 n_vars in
+  let chunk_k = pick 0 k_vars in
+  (* threads per block within [warp-efficiency floor, hardware limit] *)
+  Milp.Lp.add_constr lp threads Milp.Lp.Le (log (fi spec.max_threads_per_block));
+  Milp.Lp.add_constr lp threads Milp.Lp.Ge (log (Float.min 64. (fi (g.m * g.n))));
+  (* register tile per thread (thread_m * thread_n <= regs) *)
+  Milp.Lp.add_constr lp (pick 0 m_vars @ pick 0 n_vars) Milp.Lp.Le
+    (log (fi spec.reg_words_per_thread /. 2.));
+  (* shared memory per tile, halved per tensor as in the accelerator B matrix *)
+  let smem_words = fi spec.shared_bytes /. 4. /. 2. in
+  Milp.Lp.add_constr lp (blk_m @ chunk_k) Milp.Lp.Le (log smem_words);
+  Milp.Lp.add_constr lp (blk_n @ chunk_k) Milp.Lp.Le (log smem_words);
+  (* enough thread blocks to occupy every SM *)
+  let grid = pick 2 m_vars @ pick 2 n_vars in
+  Milp.Lp.add_constr lp grid Milp.Lp.Ge
+    (log (Float.min (fi spec.sm_count) (fi (g.m * g.n) /. 64.)));
+  (* keep every CUDA core busy: total threads across the grid must cover
+     the core count whenever the problem is large enough *)
+  Milp.Lp.add_constr lp (grid @ threads) Milp.Lp.Ge
+    (log (Float.min (fi spec.cores) (fi (g.m * g.n))));
+  (* objective: global-memory traffic is MNK (1/block_m + 1/block_n), which
+     is governed by the SMALLER block tile, so maximise the minimum of the
+     two (maximin via an auxiliary variable), plus thread parallelism and
+     shared-memory chunk depth for pipelining *)
+  let z = Milp.Lp.add_var lp ~lb:0. ~ub:(log (fi (max g.m g.n))) "min_blk" in
+  Milp.Lp.add_constr lp ((-1., z) :: blk_m) Milp.Lp.Ge 0.;
+  Milp.Lp.add_constr lp ((-1., z) :: blk_n) Milp.Lp.Ge 0.;
+  let objective =
+    ((4., z) :: List.map (fun (c, v) -> (0.5 *. c, v)) (blk_m @ blk_n))
+    @ threads
+    @ List.map (fun (c, v) -> (0.25 *. c, v)) chunk_k
+  in
+  Milp.Lp.set_objective lp `Maximize objective;
+  let res = Milp.Bb.solve ~node_limit:20_000 ~time_limit:5. lp in
+  let ok = match res.Milp.Bb.status with Milp.Bb.Optimal | Milp.Bb.Feasible -> true | _ -> false in
+  let value_of vars i =
+    List.fold_left
+      (fun acc (p, vs) ->
+        let c = int_of_float (Float.round (Milp.Bb.value res (List.nth vs i))) in
+        let rec pw acc k = if k = 0 then acc else pw (acc * p) (k - 1) in
+        pw acc c)
+      1 vars
+  in
+  let tiling =
+    if ok then
+      let thr_m = value_of m_vars 0 and thr_n = value_of n_vars 0 in
+      { block_m = thr_m * value_of m_vars 1;
+        block_n = thr_n * value_of n_vars 1;
+        block_k = value_of k_vars 0;
+        thread_m = thr_m;
+        thread_n = thr_n }
+    else { block_m = 1; block_n = 1; block_k = 1; thread_m = 1; thread_n = 1 }
+  in
+  (* Repair by stripping prime factors (preserves divisibility): shrink the
+     offending quantity until every hardware constraint holds. *)
+  let shrink x = if x <= 1 then 1 else x / List.hd (Prim.Factorize.prime_factors x) in
+  (* shrink a block tile while keeping it a multiple of its thread tile *)
+  let shrink_block b t = t * shrink (b / t) in
+  let rec repair t fuel =
+    if fuel = 0 || valid spec g t then t
+    else begin
+      let threads = t.block_m / t.thread_m * (t.block_n / t.thread_n) in
+      let smem = ((t.block_m * t.block_k) + (t.block_k * t.block_n)) * 4 in
+      let t' =
+        if t.thread_m * t.thread_n + t.thread_m + t.thread_n > spec.reg_words_per_thread
+        then
+          if t.thread_m >= t.thread_n then { t with thread_m = shrink t.thread_m }
+          else { t with thread_n = shrink t.thread_n }
+        else if threads > spec.max_threads_per_block then
+          if t.block_m / t.thread_m >= t.block_n / t.thread_n then
+            { t with block_m = shrink_block t.block_m t.thread_m }
+          else { t with block_n = shrink_block t.block_n t.thread_n }
+        else if smem > spec.shared_bytes then
+          if t.block_k > 1 then { t with block_k = shrink t.block_k }
+          else if t.block_m >= t.block_n then
+            { t with block_m = shrink_block t.block_m t.thread_m }
+          else { t with block_n = shrink_block t.block_n t.thread_n }
+        else if t.block_m > g.m then
+          { t with block_m = shrink_block t.block_m t.thread_m;
+            thread_m = min t.thread_m (shrink_block t.block_m t.thread_m) }
+        else if t.block_n > g.n then
+          { t with block_n = shrink_block t.block_n t.thread_n;
+            thread_n = min t.thread_n (shrink_block t.block_n t.thread_n) }
+        else if t.block_k > g.k then { t with block_k = shrink t.block_k }
+        else if t.block_m mod t.thread_m <> 0 then { t with thread_m = shrink t.thread_m }
+        else if t.block_n mod t.thread_n <> 0 then { t with thread_n = shrink t.thread_n }
+        else { block_m = 1; block_n = 1; block_k = 1; thread_m = 1; thread_n = 1 }
+      in
+      repair t' (fuel - 1)
+    end
+  in
+  let tiling = repair tiling 64 in
+  { tiling; latency = latency spec g tiling; solve_time = Unix.gettimeofday () -. t0;
+    evaluations = 1 }
+
+let divisors_capped n cap = List.filter (fun d -> d <= cap) (Prim.Factorize.divisors n)
+
+let tvm_search ?(trials = 50) rng spec g =
+  let t0 = Unix.gettimeofday () in
+  let pad = Prim.Factorize.pad_to_factorable in
+  let m = pad g.m and n = pad g.n and k = pad g.k in
+  let dm = divisors_capped m 256 and dn = divisors_capped n 256 and dk = divisors_capped k 64 in
+  let random_tiling () =
+    let bm = Prim.Rng.pick rng dm and bn = Prim.Rng.pick rng dn in
+    let bk = Prim.Rng.pick rng dk in
+    let tm = Prim.Rng.pick rng (List.filter (fun d -> bm mod d = 0) (divisors_capped bm 16)) in
+    let tn = Prim.Rng.pick rng (List.filter (fun d -> bn mod d = 0) (divisors_capped bn 16)) in
+    { block_m = bm; block_n = bn; block_k = bk; thread_m = tm; thread_n = tn }
+  in
+  let mutate t =
+    let tweak v choices =
+      if Prim.Rng.bool rng then v
+      else Prim.Rng.pick rng (List.filter (fun d -> d <= 2 * v && d * 2 >= v) choices)
+    in
+    {
+      block_m = tweak t.block_m dm;
+      block_n = tweak t.block_n dn;
+      block_k = tweak t.block_k dk;
+      thread_m = tweak t.thread_m (divisors_capped 16 16);
+      thread_n = tweak t.thread_n (divisors_capped 16 16);
+    }
+  in
+  let best = ref (random_tiling ()) in
+  let best_lat = ref (latency spec g !best) in
+  let evals = ref 1 in
+  for trial = 2 to trials do
+    let cand =
+      if trial <= trials / 2 || !best_lat = infinity then random_tiling () else mutate !best
+    in
+    incr evals;
+    let l = latency spec g cand in
+    if l < !best_lat then begin
+      best := cand;
+      best_lat := l
+    end
+  done;
+  (* guarantee a valid fallback *)
+  if !best_lat = infinity then begin
+    let t = { block_m = 1; block_n = 1; block_k = 1; thread_m = 1; thread_n = 1 } in
+    best := t;
+    best_lat := latency spec g t
+  end;
+  { tiling = !best; latency = !best_lat; solve_time = Unix.gettimeofday () -. t0;
+    evaluations = !evals }

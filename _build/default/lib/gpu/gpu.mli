@@ -1,0 +1,58 @@
+(** The paper's Section V-D case study: CoSA's constrained-optimization
+    formulation retargeted at GPU GEMM scheduling, compared against a
+    TVM-style iterative tuner.
+
+    Substitution (DESIGN.md): no physical K80 is available, so both CoSA-GPU
+    and the simulated TVM tuner are evaluated against the same analytical
+    GPU latency model — preserving the experiment's point: one-shot
+    constrained optimization vs. 50-trial feedback search over an identical
+    cost ground truth. *)
+
+type spec = {
+  gname : string;
+  cores : int;  (** CUDA cores *)
+  sm_count : int;
+  max_threads_per_block : int;
+  max_threads_per_sm : int;
+  shared_bytes : int;  (** shared memory per block *)
+  reg_words_per_thread : int;
+  gmem_words_per_cycle : float;  (** global-memory bandwidth *)
+  l2_bytes : int;
+}
+
+val k80 : spec
+
+type gemm = { m : int; n : int; k : int }
+
+val gemm_of_layer : Layer.t -> gemm
+(** im2col lowering: [m = K_out], [n = P*Q*N], [k = C*R*S]. *)
+
+type tiling = {
+  block_m : int;  (** thread-block tile *)
+  block_n : int;
+  block_k : int;  (** shared-memory K chunk *)
+  thread_m : int;  (** per-thread register tile *)
+  thread_n : int;
+}
+
+val valid : spec -> gemm -> tiling -> bool
+(** Thread-count, shared-memory, and register-file constraints; the paper
+    notes violating these yields invalid CUDA kernels. *)
+
+val latency : spec -> gemm -> tiling -> float
+(** Analytical latency (cycles): max of compute (occupancy-scaled core
+    throughput) and global-memory traffic time. [infinity] for invalid
+    tilings. *)
+
+type result = { tiling : tiling; latency : float; solve_time : float; evaluations : int }
+
+val cosa_schedule : spec -> gemm -> result
+(** One-shot MIP: prime factors of M and N split across register, block,
+    and grid levels; K split into the shared-memory chunk; log-linear
+    objective maximising thread parallelism and block-tile reuse under the
+    hardware constraints. *)
+
+val tvm_search : ?trials:int -> Prim.Rng.t -> spec -> gemm -> result
+(** TVM XGBoost-tuner stand-in: [trials] (default 50) iterations of
+    divisor-sampled candidates with greedy neighbourhood refinement around
+    the incumbent, each "measured" on the analytical model. *)

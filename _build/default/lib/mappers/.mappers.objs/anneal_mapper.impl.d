@@ -1,0 +1,1 @@
+lib/mappers/anneal_mapper.ml: Array Baseline Float Fun List Mapping Prim Sampler Spec Unix

@@ -1,0 +1,1 @@
+lib/mappers/anneal_mapper.mli: Baseline Layer Mapping Prim Spec

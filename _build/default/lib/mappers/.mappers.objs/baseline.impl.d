@@ -1,0 +1,1 @@
+lib/mappers/baseline.ml: Mapping Model Spec

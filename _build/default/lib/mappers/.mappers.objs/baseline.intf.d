@@ -1,0 +1,1 @@
+lib/mappers/baseline.mli: Mapping Spec

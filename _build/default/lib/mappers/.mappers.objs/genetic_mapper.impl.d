@@ -1,0 +1,1 @@
+lib/mappers/genetic_mapper.ml: Anneal_mapper Array Baseline Dims List Mapping Prim Sampler Spec Unix

@@ -1,0 +1,1 @@
+lib/mappers/genetic_mapper.mli: Baseline Layer Prim Spec

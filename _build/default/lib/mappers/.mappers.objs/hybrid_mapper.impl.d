@@ -1,0 +1,1 @@
+lib/mappers/hybrid_mapper.ml: Array Baseline List Mapping Prim Sampler Spec Unix

@@ -1,0 +1,1 @@
+lib/mappers/hybrid_mapper.mli: Baseline Layer Prim Spec

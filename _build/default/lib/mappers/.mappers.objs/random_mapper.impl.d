@@ -1,0 +1,1 @@
+lib/mappers/random_mapper.ml: Baseline Mapping Sampler Unix

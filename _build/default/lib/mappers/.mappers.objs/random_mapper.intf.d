@@ -1,0 +1,1 @@
+lib/mappers/random_mapper.mli: Baseline Layer Prim Spec

@@ -1,0 +1,122 @@
+(* Move kinds: factor relocation, spatial/temporal toggle, loop reorder. *)
+
+let strip_prime rng loops =
+  (* pick a loop, strip one prime off it; None if no loop has bound > 1 *)
+  let candidates =
+    List.filteri (fun _ (l : Mapping.loop) -> l.Mapping.bound > 1) loops
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+    let target = Prim.Rng.pick rng candidates in
+    let primes = Prim.Factorize.prime_factors target.Mapping.bound in
+    let p = Prim.Rng.pick rng primes in
+    let rest =
+      List.filter_map
+        (fun (l : Mapping.loop) ->
+          if l == target then
+            if l.Mapping.bound / p > 1 then Some { l with Mapping.bound = l.Mapping.bound / p }
+            else None
+          else Some l)
+        loops
+    in
+    Some (target.Mapping.dim, p, rest)
+
+let add_factor loops d p =
+  let rec go = function
+    | [] -> [ { Mapping.dim = d; bound = p } ]
+    | (l : Mapping.loop) :: rest when l.Mapping.dim = d ->
+      { l with Mapping.bound = l.Mapping.bound * p } :: rest
+    | l :: rest -> l :: go rest
+  in
+  go loops
+
+let perturb rng arch (m : Mapping.t) =
+  let nlev = Spec.level_count arch in
+  let levels = Array.copy m.Mapping.levels in
+  let kind = Prim.Rng.int rng 3 in
+  (match kind with
+   | 0 ->
+     (* relocate one temporal factor to another level *)
+     let from = Prim.Rng.int rng nlev in
+     (match strip_prime rng levels.(from).Mapping.temporal with
+      | Some (d, p, rest) ->
+        let dst = Prim.Rng.int rng nlev in
+        levels.(from) <- { (levels.(from)) with Mapping.temporal = rest };
+        levels.(dst) <-
+          { (levels.(dst)) with
+            Mapping.temporal = add_factor levels.(dst).Mapping.temporal d p }
+      | None -> ())
+   | 1 ->
+     (* toggle a factor between spatial and temporal at a spatial level *)
+     let spatial_levels =
+       List.filter
+         (fun i -> arch.Spec.levels.(i).Spec.fanout > 1)
+         (List.init nlev Fun.id)
+     in
+     let i = Prim.Rng.pick rng spatial_levels in
+     if Prim.Rng.bool rng then (
+       match strip_prime rng levels.(i).Mapping.temporal with
+       | Some (d, p, rest) ->
+         levels.(i) <-
+           { Mapping.temporal = rest; spatial = add_factor levels.(i).Mapping.spatial d p }
+       | None -> ())
+     else (
+       match strip_prime rng levels.(i).Mapping.spatial with
+       | Some (d, p, rest) ->
+         levels.(i) <-
+           { Mapping.spatial = rest; temporal = add_factor levels.(i).Mapping.temporal d p }
+       | None -> ())
+   | _ ->
+     (* swap two adjacent loops in a level's temporal order *)
+     let i = Prim.Rng.int rng nlev in
+     (match levels.(i).Mapping.temporal with
+      | a :: b :: rest when rest = [] || Prim.Rng.bool rng ->
+        levels.(i) <- { (levels.(i)) with Mapping.temporal = b :: a :: rest }
+      | a :: b :: c :: rest ->
+        levels.(i) <- { (levels.(i)) with Mapping.temporal = a :: c :: b :: rest }
+      | _ -> ()));
+  Mapping.make m.Mapping.layer levels
+
+let search ?(iterations = 2000) ?initial_temperature ?(cooling = 0.995)
+    ?(metric = Baseline.latency_metric) rng arch layer =
+  let t0 = Unix.gettimeofday () in
+  match Sampler.valid rng arch layer with
+  | None ->
+    { Baseline.best = None; best_metric = infinity; samples = 0; valid = 0; elapsed = 0. }
+  | Some start ->
+    let current = ref start in
+    let current_metric = ref (metric arch start) in
+    let best = ref start and best_metric = ref !current_metric in
+    let temperature =
+      ref (match initial_temperature with Some t -> t | None -> 0.2 *. !current_metric)
+    in
+    let samples = ref 1 and valid = ref 1 in
+    for _ = 1 to iterations do
+      incr samples;
+      let cand = perturb rng arch !current in
+      if Mapping.is_valid arch cand then begin
+        incr valid;
+        let v = metric arch cand in
+        let accept =
+          v <= !current_metric
+          || Prim.Rng.float rng 1. < exp ((!current_metric -. v) /. Float.max 1e-9 !temperature)
+        in
+        if accept then begin
+          current := cand;
+          current_metric := v;
+          temperature := !temperature *. cooling;
+          if v < !best_metric then begin
+            best := cand;
+            best_metric := v
+          end
+        end
+      end
+    done;
+    {
+      Baseline.best = Some !best;
+      best_metric = !best_metric;
+      samples = !samples;
+      valid = !valid;
+      elapsed = Unix.gettimeofday () -. t0;
+    }

@@ -1,0 +1,25 @@
+(** Simulated-annealing scheduler, a classic black-box baseline in the
+    style of the feedback-driven approaches of the paper's Table I.
+
+    The state is a valid mapping; moves perturb it (move one prime factor
+    between levels, toggle a factor spatial/temporal, swap two loops in a
+    level's order); a move to a worse mapping is accepted with probability
+    [exp (-delta / temperature)] under a geometric cooling schedule. *)
+
+val search :
+  ?iterations:int ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  ?metric:Baseline.metric ->
+  Prim.Rng.t ->
+  Spec.t ->
+  Layer.t ->
+  Baseline.outcome
+(** Defaults: [iterations = 2000], [initial_temperature] = 20% of the
+    starting metric, [cooling = 0.995] per accepted step,
+    [metric = latency]. *)
+
+val perturb : Prim.Rng.t -> Spec.t -> Mapping.t -> Mapping.t
+(** One random move (factor relocation, spatial/temporal toggle, or loop
+    reorder). The result may be invalid; callers re-validate. Exposed for
+    reuse as {!Genetic_mapper}'s mutation operator. *)

@@ -1,0 +1,13 @@
+type outcome = {
+  best : Mapping.t option;
+  best_metric : float;
+  samples : int;
+  valid : int;
+  elapsed : float;
+}
+
+type metric = Spec.t -> Mapping.t -> float
+
+let latency_metric arch m = (Model.evaluate arch m).Model.latency
+let energy_metric arch m = (Model.evaluate arch m).Model.energy_pj
+let edp_metric arch m = Model.edp (Model.evaluate arch m)

@@ -1,0 +1,20 @@
+(** Shared types for the search-based baseline schedulers. *)
+
+type outcome = {
+  best : Mapping.t option;  (** best valid mapping found (by the metric) *)
+  best_metric : float;  (** metric value of [best]; [infinity] if none *)
+  samples : int;  (** configurations drawn *)
+  valid : int;  (** valid mappings evaluated *)
+  elapsed : float;  (** wall-clock seconds *)
+}
+
+type metric = Spec.t -> Mapping.t -> float
+(** Lower is better. *)
+
+val latency_metric : metric
+(** Timeloop-model latency (cycles). *)
+
+val energy_metric : metric
+(** Timeloop-model energy (pJ). *)
+
+val edp_metric : metric

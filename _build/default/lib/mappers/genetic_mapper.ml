@@ -1,0 +1,97 @@
+(* Crossover: for each loop dimension, take the whole per-level placement
+   of that dimension's factors from one parent or the other. The child's
+   factorisation is correct by construction (each dim comes wholly from
+   one parent); capacity validity is re-checked. *)
+let crossover rng arch (a : Mapping.t) (b : Mapping.t) =
+  let nlev = Spec.level_count arch in
+  let pick_of = List.map (fun d -> (d, Prim.Rng.bool rng)) Dims.all_dims in
+  let from_parent d = if List.assoc d pick_of then a else b in
+  let levels =
+    Array.init nlev (fun i ->
+        let gather proj =
+          List.concat_map
+            (fun d ->
+              let parent = from_parent d in
+              List.filter
+                (fun (l : Mapping.loop) -> l.Mapping.dim = d)
+                (proj parent.Mapping.levels.(i)))
+            Dims.all_dims
+        in
+        {
+          Mapping.temporal = gather (fun lm -> lm.Mapping.temporal);
+          spatial = gather (fun lm -> lm.Mapping.spatial);
+        })
+  in
+  Mapping.make a.Mapping.layer levels
+
+let tournament rng scored =
+  let n = Array.length scored in
+  let i = Prim.Rng.int rng n and j = Prim.Rng.int rng n in
+  let (_, si) = scored.(i) and (_, sj) = scored.(j) in
+  if si <= sj then fst scored.(i) else fst scored.(j)
+
+let search ?(population = 24) ?(generations = 30) ?(mutation_rate = 0.4)
+    ?(metric = Baseline.latency_metric) rng arch layer =
+  let t0 = Unix.gettimeofday () in
+  let samples = ref 0 and valid = ref 0 in
+  let eval m =
+    incr valid;
+    metric arch m
+  in
+  (* seed population *)
+  let seed = ref [] in
+  let attempts = ref 0 in
+  while List.length !seed < population && !attempts < population * 10 do
+    incr attempts;
+    incr samples;
+    match Sampler.valid rng arch layer with
+    | Some m -> seed := m :: !seed
+    | None -> ()
+  done;
+  match !seed with
+  | [] ->
+    { Baseline.best = None; best_metric = infinity; samples = !samples; valid = 0;
+      elapsed = Unix.gettimeofday () -. t0 }
+  | seed ->
+    let scored = ref (Array.of_list (List.map (fun m -> (m, eval m)) seed)) in
+    let best = ref (fst !scored.(0)) and best_metric = ref (snd !scored.(0)) in
+    let note (m, s) =
+      if s < !best_metric then begin
+        best := m;
+        best_metric := s
+      end
+    in
+    Array.iter note !scored;
+    for _gen = 1 to generations do
+      let next = ref [ (!best, !best_metric) ] in
+      let fuel = ref (population * 20) in
+      while List.length !next < population && !fuel > 0 do
+        decr fuel;
+        let p1 = tournament rng !scored and p2 = tournament rng !scored in
+        incr samples;
+        let child = crossover rng arch p1 p2 in
+        let child =
+          if Prim.Rng.float rng 1. < mutation_rate then
+            Anneal_mapper.perturb rng arch child
+          else child
+        in
+        if Mapping.is_valid arch child then begin
+          let s = eval child in
+          note (child, s);
+          next := (child, s) :: !next
+        end
+      done;
+      (* top up from the current population if crossover kept failing *)
+      while List.length !next < population do
+        let p = tournament rng !scored in
+        next := (p, metric arch p) :: !next
+      done;
+      scored := Array.of_list !next
+    done;
+    {
+      Baseline.best = Some !best;
+      best_metric = !best_metric;
+      samples = !samples;
+      valid = !valid;
+      elapsed = Unix.gettimeofday () -. t0;
+    }

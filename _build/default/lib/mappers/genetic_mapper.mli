@@ -1,0 +1,20 @@
+(** Genetic-algorithm scheduler in the style of GAMMA [Kao & Krishna,
+    ICCAD 2020], one of the feedback-driven baselines in the paper's
+    Table I.
+
+    Individuals are valid mappings. Selection is tournament-based;
+    crossover splices the per-level allocations of two parents dimension
+    by dimension (repairing the factorisation); mutation reuses the
+    annealer's perturbation moves. Elitism keeps the best individual. *)
+
+val search :
+  ?population:int ->
+  ?generations:int ->
+  ?mutation_rate:float ->
+  ?metric:Baseline.metric ->
+  Prim.Rng.t ->
+  Spec.t ->
+  Layer.t ->
+  Baseline.outcome
+(** Defaults: [population = 24], [generations = 30],
+    [mutation_rate = 0.4], [metric = latency]. *)

@@ -1,0 +1,87 @@
+(* Distinct orders of the dims present at the NoC-boundary temporal levels;
+   the same order is applied at every boundary level (Timeloop's pruning
+   collapses permutations that only reorder unit loops). *)
+let noc_orders arch (m : Mapping.t) ~cap rng =
+  let noc = arch.Spec.noc_level in
+  let lvls =
+    List.init (Spec.level_count arch - noc) (fun k -> noc + k)
+  in
+  let present =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun i ->
+           List.filter_map
+             (fun (l : Mapping.loop) ->
+               if l.Mapping.bound > 1 then Some l.Mapping.dim else None)
+             m.Mapping.levels.(i).Mapping.temporal)
+         lvls)
+  in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | l ->
+      List.concat_map
+        (fun x -> List.map (fun rest -> x :: rest) (permutations (List.filter (( <> ) x) l)))
+        l
+  in
+  let all = Array.of_list (permutations present) in
+  Prim.Rng.shuffle rng all;
+  let n = min cap (Array.length all) in
+  (lvls, Array.to_list (Array.sub all 0 n))
+
+let with_order (m : Mapping.t) lvls order =
+  let levels =
+    Array.mapi
+      (fun i lm ->
+        if List.mem i lvls then
+          { lm with
+            Mapping.temporal =
+              List.filter_map
+                (fun d ->
+                  List.find_opt (fun (l : Mapping.loop) -> l.Mapping.dim = d)
+                    lm.Mapping.temporal)
+                order }
+        else lm)
+      m.Mapping.levels
+  in
+  Mapping.make m.Mapping.layer levels
+
+let search ?(threads = 32) ?(termination = 500) ?(perms_per_factorization = 24)
+    ?(metric = Baseline.latency_metric) rng arch layer =
+  let t0 = Unix.gettimeofday () in
+  let best = ref None and best_metric = ref infinity in
+  let valid = ref 0 and samples = ref 0 in
+  for _thread = 1 to threads do
+    let trng = Prim.Rng.split rng in
+    let non_improving = ref 0 in
+    while !non_improving < termination do
+      incr samples;
+      match Sampler.valid ~max_attempts:3 trng arch layer with
+      | None -> non_improving := !non_improving + 1
+      | Some base ->
+        let lvls, orders = noc_orders arch base ~cap:perms_per_factorization trng in
+        List.iter
+          (fun order ->
+            if !non_improving < termination then begin
+              let m = with_order base lvls order in
+              incr samples;
+              if Mapping.is_valid arch m then begin
+                incr valid;
+                let v = metric arch m in
+                if v < !best_metric -. 1e-9 then begin
+                  best_metric := v;
+                  best := Some m;
+                  non_improving := 0
+                end
+                else incr non_improving
+              end
+            end)
+          orders
+    done
+  done;
+  {
+    Baseline.best = !best;
+    best_metric = !best_metric;
+    samples = !samples;
+    valid = !valid;
+    elapsed = Unix.gettimeofday () -. t0;
+  }

@@ -1,0 +1,20 @@
+(** Emulation of the Timeloop Hybrid mapper (Section IV-B).
+
+    Each of [threads] independent searchers repeatedly picks a random
+    tiling factorisation, prunes superfluous permutations, and linearly
+    scans the pruned permutation subspace, evaluating every valid mapping
+    with the analytical model. A searcher self-terminates after
+    [termination] consecutive valid-but-not-better mappings (Timeloop's
+    default of 500); the best mapping over all searchers is returned. *)
+
+val search :
+  ?threads:int ->
+  ?termination:int ->
+  ?perms_per_factorization:int ->
+  ?metric:Baseline.metric ->
+  Prim.Rng.t ->
+  Spec.t ->
+  Layer.t ->
+  Baseline.outcome
+(** Defaults: [threads = 32], [termination = 500],
+    [perms_per_factorization = 24], [metric = latency]. *)

@@ -1,0 +1,30 @@
+let search ?(max_samples = 20_000) ?(target_valid = 5) ?(metric = Baseline.latency_metric)
+    rng arch layer =
+  let t0 = Unix.gettimeofday () in
+  let best = ref None and best_metric = ref infinity in
+  let valid = ref 0 and samples = ref 0 in
+  let consider m =
+    incr valid;
+    let v = metric arch m in
+    if v < !best_metric then begin
+      best_metric := v;
+      best := Some m
+    end
+  in
+  while !samples < max_samples && !valid < target_valid do
+    incr samples;
+    let m = Sampler.raw rng arch layer in
+    if Mapping.is_valid arch m then consider m
+  done;
+  if !valid = 0 then begin
+    match Sampler.valid rng arch layer with
+    | Some m -> consider m
+    | None -> ()
+  end;
+  {
+    Baseline.best = !best;
+    best_metric = !best_metric;
+    samples = !samples;
+    valid = !valid;
+    elapsed = Unix.gettimeofday () -. t0;
+  }

@@ -1,0 +1,20 @@
+(** The paper's Random-search baseline (Section IV-B).
+
+    Draws uniformly random scheduling configurations, keeps those that
+    validate, and returns the best valid one under the metric. The paper's
+    setting draws up to 20K samples and stops after five valid schedules —
+    matching its Table VI observation that random sampling finds only ~5
+    valid schedules in 20K draws. *)
+
+val search :
+  ?max_samples:int ->
+  ?target_valid:int ->
+  ?metric:Baseline.metric ->
+  Prim.Rng.t ->
+  Spec.t ->
+  Layer.t ->
+  Baseline.outcome
+(** Defaults: [max_samples = 20_000], [target_valid = 5],
+    [metric = latency]. If no raw draw validates, one constructive valid
+    sample ({!Sampler.valid}) is used so a baseline schedule always
+    exists. *)

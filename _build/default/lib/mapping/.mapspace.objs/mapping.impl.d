@@ -1,0 +1,1 @@
+lib/mapping/mapping.ml: Array Buffer Dims Layer List Printf Spec String

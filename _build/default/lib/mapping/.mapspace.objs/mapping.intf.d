@@ -1,0 +1,1 @@
+lib/mapping/mapping.mli: Dims Layer Spec

@@ -1,0 +1,1 @@
+lib/mapping/mapping_io.ml: Array Buffer Dims Fun Layer List Mapping Printf Result String

@@ -1,0 +1,1 @@
+lib/mapping/mapping_io.mli: Mapping

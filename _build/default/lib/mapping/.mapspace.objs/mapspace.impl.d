@@ -1,0 +1,1 @@
+lib/mapping/mapspace.ml: Float Layer List Printf Spec

@@ -1,0 +1,1 @@
+lib/mapping/mapspace.mli: Layer Spec

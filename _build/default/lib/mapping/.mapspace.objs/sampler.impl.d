@@ -1,0 +1,1 @@
+lib/mapping/sampler.ml: Array Dims Fun Layer List Mapping Prim Spec

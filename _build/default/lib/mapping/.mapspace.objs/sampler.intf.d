@@ -1,0 +1,1 @@
+lib/mapping/sampler.mli: Layer Mapping Prim Spec

@@ -1,0 +1,145 @@
+let dim_of_name = function
+  | "R" -> Some Dims.R
+  | "S" -> Some Dims.S
+  | "P" -> Some Dims.P
+  | "Q" -> Some Dims.Q
+  | "C" -> Some Dims.C
+  | "K" -> Some Dims.K
+  | "N" -> Some Dims.N
+  | _ -> None
+
+let loops_to_string loops =
+  String.concat ","
+    (List.map
+       (fun (l : Mapping.loop) ->
+         Printf.sprintf "%s:%d" (Dims.dim_name l.Mapping.dim) l.Mapping.bound)
+       loops)
+
+let to_string (m : Mapping.t) =
+  let buf = Buffer.create 512 in
+  let l = m.Mapping.layer in
+  Buffer.add_string buf
+    (Printf.sprintf "layer %s r=%d s=%d p=%d q=%d c=%d k=%d n=%d stride=%d\n"
+       l.Layer.name l.Layer.r l.Layer.s l.Layer.p l.Layer.q l.Layer.c l.Layer.k l.Layer.n
+       l.Layer.stride);
+  Array.iteri
+    (fun i lm ->
+      Buffer.add_string buf (Printf.sprintf "level %d" i);
+      if lm.Mapping.temporal <> [] then
+        Buffer.add_string buf (" temporal " ^ loops_to_string lm.Mapping.temporal);
+      if lm.Mapping.spatial <> [] then
+        Buffer.add_string buf (" spatial " ^ loops_to_string lm.Mapping.spatial);
+      Buffer.add_char buf '\n')
+    m.Mapping.levels;
+  Buffer.contents buf
+
+let parse_loops s =
+  if String.trim s = "" then Ok []
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | part :: rest ->
+        (match String.split_on_char ':' (String.trim part) with
+         | [ dname; bound ] ->
+           (match (dim_of_name dname, int_of_string_opt bound) with
+            | Some dim, Some b when b > 0 ->
+              go ({ Mapping.dim; bound = b } :: acc) rest
+            | Some _, Some b -> Error (Printf.sprintf "non-positive bound %d" b)
+            | None, _ -> Error (Printf.sprintf "unknown dimension %S" dname)
+            | Some _, None -> Error (Printf.sprintf "bad bound in %S" part))
+         | _ -> Error (Printf.sprintf "malformed loop %S" part))
+    in
+    go [] parts
+
+let parse_kv key s =
+  let prefix = key ^ "=" in
+  if String.length s > String.length prefix
+     && String.sub s 0 (String.length prefix) = prefix
+  then int_of_string_opt (String.sub s (String.length prefix)
+                            (String.length s - String.length prefix))
+  else None
+
+let ( let* ) r f = Result.bind r f
+
+let parse_layer_line line =
+  match String.split_on_char ' ' line with
+  | "layer" :: name :: kvs ->
+    let find key =
+      match List.find_map (parse_kv key) kvs with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing %s= in layer line" key)
+    in
+    let* r = find "r" in
+    let* s = find "s" in
+    let* p = find "p" in
+    let* q = find "q" in
+    let* c = find "c" in
+    let* k = find "k" in
+    let* n = find "n" in
+    let* stride = find "stride" in
+    (try Ok (Layer.create ~name ~stride ~r ~s ~p ~q ~c ~k ~n ())
+     with Invalid_argument msg -> Error msg)
+  | _ -> Error "first line must start with 'layer <name> ...'"
+
+(* split "temporal A spatial B" into its two optional clauses *)
+let parse_level_clauses rest =
+  let words = List.filter (( <> ) "") (String.split_on_char ' ' rest) in
+  let rec go mode t sp = function
+    | [] -> Ok (String.concat " " (List.rev t), String.concat " " (List.rev sp))
+    | "temporal" :: more -> go `T t sp more
+    | "spatial" :: more -> go `S t sp more
+    | w :: more ->
+      (match mode with
+       | `T -> go mode (w :: t) sp more
+       | `S -> go mode t (w :: sp) more
+       | `None -> Error (Printf.sprintf "unexpected token %S in level line" w))
+  in
+  go `None [] [] words
+
+let of_string text =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+  in
+  match lines with
+  | [] -> Error "empty input"
+  | layer_line :: level_lines ->
+    let* layer = parse_layer_line (String.trim layer_line) in
+    let rec parse_levels idx acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest ->
+        let line = String.trim line in
+        (match String.split_on_char ' ' line with
+         | "level" :: num :: _ ->
+           (match int_of_string_opt num with
+            | Some i when i = idx ->
+              let prefix = Printf.sprintf "level %d" i in
+              let clause =
+                String.sub line (String.length prefix)
+                  (String.length line - String.length prefix)
+              in
+              let* t_str, s_str = parse_level_clauses clause in
+              let* temporal = parse_loops t_str in
+              let* spatial = parse_loops s_str in
+              parse_levels (idx + 1) ({ Mapping.temporal; spatial } :: acc) rest
+            | Some i -> Error (Printf.sprintf "level %d out of order (expected %d)" i idx)
+            | None -> Error (Printf.sprintf "bad level number in %S" line))
+         | _ -> Error (Printf.sprintf "expected 'level <n> ...', got %S" line))
+    in
+    let* levels = parse_levels 0 [] level_lines in
+    if levels = [] then Error "no levels"
+    else Ok (Mapping.make layer (Array.of_list levels))
+
+let save path m =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string m))
+
+let load path =
+  match open_in path with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+  | exception Sys_error e -> Error e

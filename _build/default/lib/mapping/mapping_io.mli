@@ -1,0 +1,24 @@
+(** Plain-text serialisation of schedules, so mappings can be saved from
+    one run (e.g. `cosa_cli schedule --save`) and re-evaluated or compared
+    later without re-solving.
+
+    Format (one record per file, line-oriented):
+    {v
+    layer <name> r=3 s=3 p=14 q=14 c=256 k=256 n=1 stride=1
+    level 0 temporal P:4,Q:4 spatial K:8
+    level 1
+    ...
+    v} *)
+
+val to_string : Mapping.t -> string
+
+val of_string : string -> (Mapping.t, string) result
+(** Parses {!to_string} output. Returns [Error reason] on malformed input;
+    the parsed mapping is structurally checked (level indices contiguous
+    from 0, bounds positive) but not validated against any architecture —
+    use {!Mapping.validate} for that. *)
+
+val save : string -> Mapping.t -> unit
+(** Write to a file. Raises [Sys_error] on I/O failure. *)
+
+val load : string -> (Mapping.t, string) result

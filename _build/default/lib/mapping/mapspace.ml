@@ -1,0 +1,50 @@
+type count = {
+  tilings : float;
+  spatial_choices : float;
+  permutations : float;
+  configurations : float;
+}
+
+let fi = float_of_int
+
+(* C(n + k - 1, k - 1): ways to drop n identical balls into k bins *)
+let multiset n k =
+  let rec go acc i =
+    if i > n then acc else go (acc *. fi (k - 1 + i) /. fi i) (i + 1)
+  in
+  if k <= 0 then 0. else go 1. 1
+
+let factorial n =
+  let rec go acc i = if i > n then acc else go (acc *. fi i) (i + 1) in
+  go 1. 1
+
+let count arch layer =
+  let levels = Spec.level_count arch in
+  let groups = Layer.factor_groups layer in
+  (* tilings: per distinct (dim, prime), allocate its multiplicity across
+     levels; independent across groups *)
+  let tilings =
+    List.fold_left (fun acc (_, _, mult) -> acc *. multiset mult levels) 1. groups
+  in
+  let total_factors = List.length (Layer.factors layer) in
+  let spatial_choices = Float.pow 2. (fi total_factors) in
+  (* permutation upper bound: in the worst case all factors land in one
+     level and can be fully ordered *)
+  let permutations = factorial total_factors in
+  {
+    tilings;
+    spatial_choices;
+    permutations;
+    configurations = tilings *. spatial_choices *. permutations;
+  }
+
+let tilings arch layer = (count arch layer).tilings
+let configurations arch layer = (count arch layer).configurations
+let log10_configurations arch layer = log10 (configurations arch layer)
+
+let report arch layer =
+  let c = count arch layer in
+  Printf.sprintf
+    "%s: %.3g tilings x %.3g spatial/temporal choices x <= %.3g orderings ~ 10^%.1f configurations"
+    layer.Layer.name c.tilings c.spatial_choices c.permutations
+    (log10 c.configurations)

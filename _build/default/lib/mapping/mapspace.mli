@@ -1,0 +1,30 @@
+(** Analytic size of the scheduling space (Section II-A).
+
+    The paper motivates CoSA by the sheer size of the space: "there could
+    be millions, or even billions, of valid schedules" for one layer.
+    This module counts it exactly (as floats, since the counts overflow
+    63-bit integers for large layers):
+
+    - {!tilings}: ways to assign every prime factor of every loop bound to
+      a memory level — the multiset-allocation count
+      [prod_d C(n_d(p) + L - 1, L - 1)] over distinct primes per dim;
+    - {!configurations}: the full X-space the paper's encoding covers —
+      each factor additionally picks spatial/temporal, and each level's
+      loops can be permuted (bounded by per-level factor counts);
+    - {!log10_configurations}: the headline magnitude. *)
+
+type count = {
+  tilings : float;
+  spatial_choices : float;  (** 2^factors: the s/t axis *)
+  permutations : float;  (** upper bound: per-level orderings *)
+  configurations : float;  (** product of the three *)
+}
+
+val count : Spec.t -> Layer.t -> count
+
+val tilings : Spec.t -> Layer.t -> float
+val configurations : Spec.t -> Layer.t -> float
+val log10_configurations : Spec.t -> Layer.t -> float
+
+val report : Spec.t -> Layer.t -> string
+(** One-line human-readable summary. *)

@@ -1,0 +1,116 @@
+type placement = { level : int; spatial : bool }
+
+(* Build a Mapping.t from per-factor placements, with the given per-level
+   dimension order (a permutation of dims; dims absent at a level are
+   skipped). *)
+let build arch layer placements order_of_level =
+  let nlev = Spec.level_count arch in
+  let temporal = Array.make nlev [] and spatial = Array.make nlev [] in
+  (* accumulate per (level, dim) products *)
+  let tacc = Array.init nlev (fun _ -> Array.make 7 1) in
+  let sacc = Array.init nlev (fun _ -> Array.make 7 1) in
+  List.iter
+    (fun ((d, prime), pl) ->
+      let di = Dims.dim_index d in
+      if pl.spatial then sacc.(pl.level).(di) <- sacc.(pl.level).(di) * prime
+      else tacc.(pl.level).(di) <- tacc.(pl.level).(di) * prime)
+    placements;
+  for i = 0 to nlev - 1 do
+    let order = order_of_level i in
+    temporal.(i) <-
+      List.filter_map
+        (fun d ->
+          let b = tacc.(i).(Dims.dim_index d) in
+          if b > 1 then Some { Mapping.dim = d; bound = b } else None)
+        order;
+    spatial.(i) <-
+      List.filter_map
+        (fun d ->
+          let b = sacc.(i).(Dims.dim_index d) in
+          if b > 1 then Some { Mapping.dim = d; bound = b } else None)
+        Dims.all_dims
+  done;
+  Mapping.make layer
+    (Array.init nlev (fun i -> { Mapping.temporal = temporal.(i); spatial = spatial.(i) }))
+
+let random_order rng =
+  let a = Array.of_list Dims.all_dims in
+  Prim.Rng.shuffle rng a;
+  Array.to_list a
+
+let raw rng arch layer =
+  let nlev = Spec.level_count arch in
+  (* Uniform over the paper's full configuration space: every prime factor
+     independently picks a level and a spatial/temporal column — including
+     spatial columns at levels with no spatial resources, which Eq. 4 then
+     rejects. This is what makes uniform sampling find so few valid
+     schedules (Table VI). *)
+  let placements =
+    List.map
+      (fun (d, prime) ->
+        let level = Prim.Rng.int rng nlev in
+        let spatial = Prim.Rng.bool rng in
+        ((d, prime), { level; spatial }))
+      (Layer.factors layer)
+  in
+  let orders = Array.init nlev (fun _ -> random_order rng) in
+  build arch layer placements (fun i -> orders.(i))
+
+let valid ?(max_attempts = 50) rng arch layer =
+  let nlev = Spec.level_count arch in
+  let dram = Spec.dram_level arch in
+  let try_once () =
+    let factors = Array.of_list (Layer.factors layer) in
+    Prim.Rng.shuffle rng factors;
+    let placements = ref [] in
+    let spatial_room = Array.map (fun l -> l.Spec.fanout) arch.Spec.levels in
+    let ok = ref true in
+    Array.iter
+      (fun (d, prime) ->
+        if !ok then begin
+          (* candidate slots, tried in random order; DRAM-temporal always fits *)
+          let slots =
+            List.concat_map
+              (fun level ->
+                let t = [ { level; spatial = false } ] in
+                if arch.Spec.levels.(level).Spec.fanout >= prime * 1
+                   && spatial_room.(level) >= prime
+                then { level; spatial = true } :: t
+                else t)
+              (List.init nlev Fun.id)
+          in
+          let slots = Array.of_list slots in
+          Prim.Rng.shuffle rng slots;
+          let placed = ref false in
+          Array.iter
+            (fun slot ->
+              if not !placed then begin
+                let candidate = ((d, prime), slot) :: !placements in
+                let m = build arch layer candidate (fun _ -> Dims.all_dims) in
+                (* partial mapping: only capacity/fanout checks are meaningful *)
+                let feasible =
+                  List.for_all
+                    (function
+                      | Mapping.Bad_factorization _ -> true
+                      | Mapping.Spatial_overflow _ | Mapping.Buffer_overflow _ -> false)
+                    (Mapping.validate arch m)
+                in
+                if feasible then begin
+                  placements := candidate;
+                  if slot.spatial then
+                    spatial_room.(slot.level) <- spatial_room.(slot.level) / prime;
+                  placed := true
+                end
+              end)
+            slots;
+          if not !placed then
+            (* capacity exhausted everywhere below: fall back to DRAM *)
+            placements := ((d, prime), { level = dram; spatial = false }) :: !placements
+        end)
+      factors;
+    let orders = Array.init nlev (fun _ -> random_order rng) in
+    let m = build arch layer !placements (fun i -> orders.(i)) in
+    if Mapping.is_valid arch m then Some m else None
+  in
+  let rec loop k = if k = 0 then None else match try_once () with Some m -> Some m | None -> loop (k - 1) in
+  loop max_attempts

@@ -1,0 +1,1 @@
+lib/milp/bb.ml: Array Float Fun List Lp Presolve Simplex Unix

@@ -1,0 +1,1 @@
+lib/milp/bb.mli: Lp Simplex

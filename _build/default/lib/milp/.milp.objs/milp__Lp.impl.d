@@ -1,0 +1,1 @@
+lib/milp/lp.ml: Array Buffer Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/milp/presolve.ml: Array Float Simplex

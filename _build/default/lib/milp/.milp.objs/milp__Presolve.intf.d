@@ -1,0 +1,1 @@
+lib/milp/presolve.mli: Simplex

@@ -1,0 +1,288 @@
+type status = Optimal | Feasible | Infeasible | Unbounded | No_solution
+
+type result = {
+  status : status;
+  obj : float;
+  values : float array;
+  bound : float;
+  nodes : int;
+  simplex_iterations : int;
+  elapsed : float;
+}
+
+let value r v = r.values.(Lp.var_index v)
+
+(* Min-heap of B&B nodes keyed by LP bound. *)
+module Heap = struct
+  type 'a t = { mutable data : (float * 'a) array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+  let is_empty h = h.size = 0
+
+  let push h key v =
+    if h.size >= Array.length h.data then begin
+      let ncap = max 16 (2 * Array.length h.data) in
+      let nd = Array.make ncap (0., v) in
+      Array.blit h.data 0 nd 0 h.size;
+      h.data <- nd
+    end;
+    h.data.(h.size) <- (key, v);
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      let p = (!i - 1) / 2 in
+      let t = h.data.(p) in
+      h.data.(p) <- h.data.(!i);
+      h.data.(!i) <- t;
+      i := p
+    done
+
+  let pop h =
+    if h.size = 0 then invalid_arg "Heap.pop: empty";
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+      if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+      if !smallest = !i then continue_ := false
+      else begin
+        let t = h.data.(!smallest) in
+        h.data.(!smallest) <- h.data.(!i);
+        h.data.(!i) <- t;
+        i := !smallest
+      end
+    done;
+    top
+end
+
+(* Convert the model into equality standard form: one slack per inequality
+   row. Structural columns keep their indices; slacks follow. *)
+let relax model =
+  let nv = Lp.num_vars model in
+  let rows = Lp.constrs model in
+  let m = Array.length rows in
+  let nslack = Array.fold_left (fun acc (_, s, _) -> match s with Lp.Eq -> acc | Lp.Le | Lp.Ge -> acc + 1) 0 rows in
+  let ncols = nv + nslack in
+  let col_entries = Array.make ncols [] in
+  let rhs = Array.make m 0. in
+  let lb = Array.make ncols 0. and ub = Array.make ncols infinity in
+  for j = 0 to nv - 1 do
+    let l, u = Lp.bounds model (Lp.var_of_index model j) in
+    lb.(j) <- l;
+    ub.(j) <- u
+  done;
+  let next_slack = ref nv in
+  Array.iteri
+    (fun i (terms, sense, b) ->
+      rhs.(i) <- b;
+      Array.iter (fun (j, c) -> col_entries.(j) <- (i, c) :: col_entries.(j)) terms;
+      (match sense with
+       | Lp.Eq -> ()
+       | Lp.Le ->
+         col_entries.(!next_slack) <- [ (i, 1.) ];
+         lb.(!next_slack) <- 0.;
+         ub.(!next_slack) <- infinity;
+         incr next_slack
+       | Lp.Ge ->
+         col_entries.(!next_slack) <- [ (i, -1.) ];
+         lb.(!next_slack) <- 0.;
+         ub.(!next_slack) <- infinity;
+         incr next_slack))
+    rows;
+  let cols =
+    Array.map
+      (fun entries ->
+        let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+        (Array.of_list (List.map fst entries), Array.of_list (List.map snd entries)))
+      col_entries
+  in
+  let cost = Array.make ncols 0. in
+  let obj = Lp.objective_coeffs model in
+  let sign = match Lp.objective_sense model with `Minimize -> 1. | `Maximize -> -1. in
+  Array.iteri (fun j c -> cost.(j) <- sign *. c) obj;
+  { Simplex.nrows = m; ncols; cols; cost; lb; ub; rhs }
+
+type node = { nlb : (int * float) list; nub : (int * float) list; depth : int }
+
+(* Check a candidate assignment against the model's own constraints/bounds. *)
+let check_feasible ?(tol = 1e-6) model x =
+  let nv = Lp.num_vars model in
+  Array.length x = nv
+  && (let ok = ref true in
+      for j = 0 to nv - 1 do
+        let l, u = Lp.bounds model (Lp.var_of_index model j) in
+        if x.(j) < l -. tol || x.(j) > u +. tol then ok := false;
+        if Lp.is_integer model (Lp.var_of_index model j)
+           && Float.abs (x.(j) -. Float.round x.(j)) > tol
+        then ok := false
+      done;
+      Array.iter
+        (fun (terms, sense, rhs) ->
+          let lhs = Array.fold_left (fun acc (j, c) -> acc +. (c *. x.(j))) 0. terms in
+          let scale = 1. +. Float.abs rhs in
+          (match sense with
+           | Lp.Le -> if lhs > rhs +. (tol *. scale) then ok := false
+           | Lp.Ge -> if lhs < rhs -. (tol *. scale) then ok := false
+           | Lp.Eq -> if Float.abs (lhs -. rhs) > tol *. scale then ok := false))
+        (Lp.constrs model);
+      !ok)
+
+let solve ?(node_limit = 200_000) ?(time_limit = 60.) ?(integrality_tol = 1e-6) ?priority
+    ?(gap = 0.) ?warm_start model =
+  let t0 = Unix.gettimeofday () in
+  let base = relax model in
+  let nv = Lp.num_vars model in
+  let int_vars =
+    List.filter
+      (fun j -> Lp.is_integer model (Lp.var_of_index model j))
+      (List.init nv Fun.id)
+  in
+  let sign = match Lp.objective_sense model with `Minimize -> 1. | `Maximize -> -1. in
+  let obj_const = Lp.objective_constant model in
+  let user_obj internal = (sign *. internal) +. obj_const in
+  let nodes = ref 0 and simplex_iterations = ref 0 in
+  let incumbent = ref None in
+  let incumbent_obj = ref infinity in (* internal (minimisation) sense *)
+  (match warm_start with
+   | Some x when check_feasible ~tol:integrality_tol model x ->
+     let obj = Lp.objective_coeffs model in
+     let v = ref 0. in
+     Array.iteri (fun j c -> v := !v +. (c *. x.(j))) obj;
+     incumbent := Some (Array.copy x);
+     incumbent_obj := sign *. !v
+   | Some _ | None -> ());
+  let heap = Heap.create () in
+  let rows = Presolve.rows_of base in
+  let integer_cols =
+    let a = Array.make base.ncols false in
+    List.iter (fun j -> a.(j) <- true) int_vars;
+    a
+  in
+  let solve_node node =
+    let lb = Array.copy base.lb and ub = Array.copy base.ub in
+    List.iter (fun (j, v) -> lb.(j) <- max lb.(j) v) node.nlb;
+    List.iter (fun (j, v) -> ub.(j) <- min ub.(j) v) node.nub;
+    let conflict = ref false in
+    List.iter (fun (j, _) -> if lb.(j) > ub.(j) +. 1e-12 then conflict := true) node.nlb;
+    List.iter (fun (j, _) -> if lb.(j) > ub.(j) +. 1e-12 then conflict := true) node.nub;
+    if !conflict then
+      { Simplex.status = Simplex.Infeasible; obj = infinity; x = [||]; iterations = 0 }
+    else begin
+      (* propagate the branching decisions through the equality rows; this
+         often fixes sibling variables or proves the node infeasible
+         before any simplex work *)
+      let pre = Presolve.tighten ~integer:integer_cols base rows lb ub in
+      if not pre.Presolve.feasible then
+        { Simplex.status = Simplex.Infeasible; obj = infinity; x = [||]; iterations = 0 }
+      else Simplex.solve { base with lb; ub }
+    end
+  in
+  let prio j = match priority with Some p -> p.(j) | None -> 0. in
+  let fractional x =
+    (* branch on the highest-priority fractional integer variable,
+       most-fractional within a priority class *)
+    let best = ref (-1) and best_score = ref (neg_infinity, 0.) in
+    List.iter
+      (fun j ->
+        let f = x.(j) -. floor x.(j) in
+        let score = Float.min f (1. -. f) in
+        if score > integrality_tol && (prio j, score) > !best_score then begin
+          best := j;
+          best_score := (prio j, score)
+        end)
+      int_vars;
+    !best
+  in
+  let root = { nlb = []; nub = []; depth = 0 } in
+  let unbounded = ref false in
+  (* Evaluate one node. Returns the preferred child to plunge into (the one
+     matching the LP value's rounding) after queueing its sibling. *)
+  let process node parent_bound =
+    if parent_bound >= !incumbent_obj -. gap -. 1e-9 then None
+    else begin
+      incr nodes;
+      let res = solve_node node in
+      simplex_iterations := !simplex_iterations + res.Simplex.iterations;
+      match res.Simplex.status with
+      | Simplex.Infeasible | Simplex.Iteration_limit -> None
+      | Simplex.Unbounded ->
+        if node.depth = 0 then unbounded := true;
+        None
+      | Simplex.Optimal ->
+        if res.Simplex.obj >= !incumbent_obj -. gap -. 1e-9 then None
+        else begin
+          let bv = fractional res.Simplex.x in
+          if bv < 0 then begin
+            (* integral: new incumbent; snap integer values exactly *)
+            let x = Array.sub res.Simplex.x 0 nv in
+            List.iter (fun j -> x.(j) <- Float.round x.(j)) int_vars;
+            incumbent := Some x;
+            incumbent_obj := res.Simplex.obj;
+            None
+          end
+          else begin
+            let fv = res.Simplex.x.(bv) in
+            let down = { node with nub = (bv, floor fv) :: node.nub; depth = node.depth + 1 } in
+            let up = { node with nlb = (bv, ceil fv) :: node.nlb; depth = node.depth + 1 } in
+            let first, second = if fv -. floor fv <= 0.5 then (down, up) else (up, down) in
+            Heap.push heap res.Simplex.obj second;
+            Some (res.Simplex.obj, first)
+          end
+        end
+    end
+  in
+  (* Depth-first plunge from a node until it prunes, then resume best-first
+     from the heap. Plunging finds integral incumbents quickly, which best-
+     first search alone postpones indefinitely. *)
+  let out_of_budget () =
+    !nodes >= node_limit || Unix.gettimeofday () -. t0 > time_limit
+  in
+  let rec plunge node bound =
+    if not (out_of_budget ()) then
+      match process node bound with
+      | Some (b, child) -> plunge child b
+      | None -> ()
+  in
+  plunge root neg_infinity;
+  let best_open_bound = ref neg_infinity in
+  (try
+     while not (Heap.is_empty heap) do
+       if out_of_budget () then begin
+         (* record the tightest outstanding bound before bailing *)
+         let b, _ = Heap.pop heap in
+         best_open_bound := b;
+         raise Exit
+       end;
+       let bound, node = Heap.pop heap in
+       plunge node bound
+     done
+   with Exit -> ());
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let limit_hit = !best_open_bound > neg_infinity in
+  match !incumbent with
+  | Some x ->
+    let internal_bound = if limit_hit then !best_open_bound else !incumbent_obj in
+    { status = (if limit_hit then Feasible else Optimal);
+      obj = user_obj !incumbent_obj;
+      values = x;
+      bound = user_obj internal_bound;
+      nodes = !nodes;
+      simplex_iterations = !simplex_iterations;
+      elapsed }
+  | None ->
+    if !unbounded then
+      { status = Unbounded; obj = (match Lp.objective_sense model with
+          | `Minimize -> neg_infinity | `Maximize -> infinity);
+        values = Array.make nv 0.; bound = nan; nodes = !nodes;
+        simplex_iterations = !simplex_iterations; elapsed }
+    else if limit_hit then
+      { status = No_solution; obj = nan; values = Array.make nv 0.; bound = nan;
+        nodes = !nodes; simplex_iterations = !simplex_iterations; elapsed }
+    else
+      { status = Infeasible; obj = nan; values = Array.make nv 0.; bound = nan;
+        nodes = !nodes; simplex_iterations = !simplex_iterations; elapsed }

@@ -1,0 +1,51 @@
+(** Branch-and-bound MILP solver over {!Simplex} LP relaxations.
+
+    Best-first search ordered by the LP bound. Branching is on the most
+    fractional integer variable. Node and time limits make the solver
+    anytime: the best incumbent found so far is always returned. *)
+
+type status =
+  | Optimal        (** proved optimal within tolerance *)
+  | Feasible       (** limit hit with an incumbent in hand *)
+  | Infeasible
+  | Unbounded
+  | No_solution    (** limit hit before any incumbent was found *)
+
+type result = {
+  status : status;
+  obj : float;             (** objective in the model's own sense *)
+  values : float array;    (** one value per model variable *)
+  bound : float;           (** best proven bound on the optimum *)
+  nodes : int;
+  simplex_iterations : int;
+  elapsed : float;
+}
+
+val solve :
+  ?node_limit:int ->
+  ?time_limit:float ->
+  ?integrality_tol:float ->
+  ?priority:float array ->
+  ?gap:float ->
+  ?warm_start:float array ->
+  Lp.model ->
+  result
+(** Defaults: [node_limit = 200_000], [time_limit = 60.] seconds,
+    [integrality_tol = 1e-6], [gap = 0.]. [priority] (indexed by variable)
+    biases the branching rule: among fractional integer variables the
+    highest priority wins, most-fractional breaking ties. [gap] is an
+    absolute optimality tolerance: nodes whose LP bound is within [gap] of
+    the incumbent are pruned (the returned solution is then optimal within
+    [gap]). [warm_start], when feasible for the model, seeds the incumbent
+    so the search starts with an upper bound (a MIP start). *)
+
+val check_feasible : ?tol:float -> Lp.model -> float array -> bool
+(** Whether an assignment satisfies all bounds, integrality, and
+    constraints of the model (used for warm starts and in tests). *)
+
+val value : result -> Lp.var -> float
+(** Convenience accessor into [values]. *)
+
+val relax : Lp.model -> Simplex.problem
+(** The LP relaxation in equality standard form (slack variables appended
+    after the structural ones). Exposed for tests. *)

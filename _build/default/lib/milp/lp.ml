@@ -1,0 +1,135 @@
+type sense = Le | Ge | Eq
+
+type var = { idx : int; vname : string }
+
+type vinfo = { mutable lb : float; mutable ub : float; mutable integer : bool; v : var }
+
+type constr = { terms : (int * float) array; csense : sense; rhs : float; cname : string }
+
+type model = {
+  mname : string;
+  mutable vars : vinfo array;
+  mutable nvars : int;
+  mutable cons : constr array;
+  mutable ncons : int;
+  mutable obj : float array; (* resized alongside vars *)
+  mutable obj_sense : [ `Minimize | `Maximize ];
+  mutable obj_const : float;
+}
+
+let create ?(name = "model") () =
+  { mname = name; vars = [||]; nvars = 0; cons = [||]; ncons = 0; obj = [||];
+    obj_sense = `Minimize; obj_const = 0. }
+
+let grow_vars m =
+  let cap = Array.length m.vars in
+  if m.nvars >= cap then begin
+    let ncap = max 16 (2 * cap) in
+    let dummy = { lb = 0.; ub = 0.; integer = false; v = { idx = -1; vname = "" } } in
+    let nv = Array.make ncap dummy in
+    Array.blit m.vars 0 nv 0 m.nvars;
+    m.vars <- nv;
+    let nobj = Array.make ncap 0. in
+    Array.blit m.obj 0 nobj 0 m.nvars;
+    m.obj <- nobj
+  end
+
+let add_var m ?(integer = false) ?(lb = 0.) ?(ub = infinity) name =
+  if lb > ub then invalid_arg (Printf.sprintf "Lp.add_var %s: lb > ub" name);
+  grow_vars m;
+  let v = { idx = m.nvars; vname = name } in
+  m.vars.(m.nvars) <- { lb; ub; integer; v };
+  m.obj.(m.nvars) <- 0.;
+  m.nvars <- m.nvars + 1;
+  v
+
+let check_var m v =
+  if v.idx < 0 || v.idx >= m.nvars then invalid_arg "Lp: variable from another model"
+
+let normalize_terms m terms =
+  let tbl = Hashtbl.create (List.length terms) in
+  List.iter
+    (fun (c, v) ->
+      check_var m v;
+      let cur = try Hashtbl.find tbl v.idx with Not_found -> 0. in
+      Hashtbl.replace tbl v.idx (cur +. c))
+    terms;
+  let arr = Hashtbl.fold (fun i c acc -> if c <> 0. then (i, c) :: acc else acc) tbl [] in
+  let arr = Array.of_list arr in
+  Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+  arr
+
+let add_constr m ?name terms sense rhs =
+  let cname = match name with Some n -> n | None -> Printf.sprintf "c%d" m.ncons in
+  let c = { terms = normalize_terms m terms; csense = sense; rhs; cname } in
+  let cap = Array.length m.cons in
+  if m.ncons >= cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nc = Array.make ncap c in
+    Array.blit m.cons 0 nc 0 m.ncons;
+    m.cons <- nc
+  end;
+  m.cons.(m.ncons) <- c;
+  m.ncons <- m.ncons + 1
+
+let set_objective m sense ?(constant = 0.) terms =
+  Array.fill m.obj 0 m.nvars 0.;
+  List.iter (fun (c, v) -> check_var m v; m.obj.(v.idx) <- m.obj.(v.idx) +. c) terms;
+  m.obj_sense <- sense;
+  m.obj_const <- constant
+
+let name m = m.mname
+let num_vars m = m.nvars
+let num_constrs m = m.ncons
+let var_index v = v.idx
+
+let var_of_index m i =
+  if i < 0 || i >= m.nvars then invalid_arg "Lp.var_of_index";
+  m.vars.(i).v
+
+let var_name m v = check_var m v; v.vname
+let is_integer m v = check_var m v; m.vars.(v.idx).integer
+let bounds m v = check_var m v; let i = m.vars.(v.idx) in (i.lb, i.ub)
+let objective_sense m = m.obj_sense
+let objective_constant m = m.obj_const
+let objective_coeffs m = Array.sub m.obj 0 m.nvars
+
+let constrs m =
+  Array.init m.ncons (fun i ->
+      let c = m.cons.(i) in
+      (c.terms, c.csense, c.rhs))
+
+let eval_linexpr terms x =
+  List.fold_left (fun acc (c, v) -> acc +. (c *. x.(v.idx))) 0. terms
+
+let sense_str = function Le -> "<=" | Ge -> ">=" | Eq -> "="
+
+let to_string m =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %s\n"
+       m.mname
+       (match m.obj_sense with `Minimize -> "minimize" | `Maximize -> "maximize"));
+  Buffer.add_string buf "  obj:";
+  for i = 0 to m.nvars - 1 do
+    if m.obj.(i) <> 0. then
+      Buffer.add_string buf (Printf.sprintf " %+g %s" m.obj.(i) m.vars.(i).v.vname)
+  done;
+  if m.obj_const <> 0. then Buffer.add_string buf (Printf.sprintf " %+g" m.obj_const);
+  Buffer.add_char buf '\n';
+  for ci = 0 to m.ncons - 1 do
+    let c = m.cons.(ci) in
+    Buffer.add_string buf (Printf.sprintf "  %s:" c.cname);
+    Array.iter
+      (fun (i, coeff) ->
+        Buffer.add_string buf (Printf.sprintf " %+g %s" coeff m.vars.(i).v.vname))
+      c.terms;
+    Buffer.add_string buf (Printf.sprintf " %s %g\n" (sense_str c.csense) c.rhs)
+  done;
+  for i = 0 to m.nvars - 1 do
+    let vi = m.vars.(i) in
+    Buffer.add_string buf
+      (Printf.sprintf "  %g <= %s <= %g%s\n" vi.lb vi.v.vname vi.ub
+         (if vi.integer then " (int)" else ""))
+  done;
+  Buffer.contents buf

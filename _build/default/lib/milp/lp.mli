@@ -1,0 +1,47 @@
+(** Linear / mixed-integer program model builder.
+
+    A thin, Gurobi-flavoured modelling layer: create variables with bounds
+    and integrality, add linear constraints, set a linear objective. The
+    model is solved by {!Simplex} (LP relaxation) and {!Bb} (MILP). *)
+
+type model
+type var
+
+type sense = Le | Ge | Eq
+
+val create : ?name:string -> unit -> model
+
+val add_var : model -> ?integer:bool -> ?lb:float -> ?ub:float -> string -> var
+(** New variable. Defaults: [lb = 0.], [ub = infinity], continuous.
+    Raises [Invalid_argument] if [lb > ub]. *)
+
+val add_constr : model -> ?name:string -> (float * var) list -> sense -> float -> unit
+(** [add_constr m terms sense rhs] adds [sum terms (sense) rhs]. Repeated
+    variables in [terms] are summed. *)
+
+val set_objective : model -> [ `Minimize | `Maximize ] -> ?constant:float -> (float * var) list -> unit
+(** Replaces the objective. Default objective is [`Minimize 0]. *)
+
+(** {2 Introspection (used by solvers, tests, and debug dumps)} *)
+
+val name : model -> string
+val num_vars : model -> int
+val num_constrs : model -> int
+val var_index : var -> int
+val var_of_index : model -> int -> var
+val var_name : model -> var -> string
+val is_integer : model -> var -> bool
+val bounds : model -> var -> float * float
+val objective_sense : model -> [ `Minimize | `Maximize ]
+val objective_constant : model -> float
+val objective_coeffs : model -> float array
+(** Dense objective vector over variable indices, in the user's sense. *)
+
+val constrs : model -> ((int * float) array * sense * float) array
+(** Constraint rows as (sorted, deduplicated sparse terms, sense, rhs). *)
+
+val eval_linexpr : (float * var) list -> float array -> float
+(** Evaluate a term list against a dense solution vector. *)
+
+val to_string : model -> string
+(** Human-readable LP-format-ish dump (for debugging and tests). *)

@@ -1,0 +1,31 @@
+(** Bound tightening by interval propagation over equality rows.
+
+    Given a problem in equality standard form and working copies of the
+    variable bounds, repeatedly derives implied bounds for every variable
+    from each row's residual activity range, rounding integer variables'
+    bounds inward. Used by {!Bb} at every node: after a branch fixes part
+    of a conservation row (e.g. CoSA's Eq. 3 equalities), propagation
+    fixes or tightens the siblings, shrinking the LP and often proving
+    infeasibility without a simplex call. *)
+
+type result = {
+  feasible : bool;  (** false if some bound interval became empty *)
+  tightened : int;  (** number of individual bound changes applied *)
+  rounds : int;  (** propagation sweeps executed *)
+}
+
+val rows_of : Simplex.problem -> (int * float) array array
+(** Row-major view of the constraint matrix (built once, reusable across
+    nodes of the same problem). *)
+
+val tighten :
+  ?max_rounds:int ->
+  ?integer:bool array ->
+  Simplex.problem ->
+  (int * float) array array ->
+  float array ->
+  float array ->
+  result
+(** [tighten p rows lb ub] mutates [lb]/[ub] in place. [integer.(j)] marks
+    columns whose bounds may be rounded inward (default: none).
+    [max_rounds] defaults to 4. *)

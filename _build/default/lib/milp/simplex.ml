@@ -1,0 +1,437 @@
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type problem = {
+  nrows : int;
+  ncols : int;
+  cols : (int array * float array) array;
+  cost : float array;
+  lb : float array;
+  ub : float array;
+  rhs : float array;
+}
+
+type result = { status : status; obj : float; x : float array; iterations : int }
+
+let feas_tol = 1e-7
+let opt_tol = 1e-7
+let pivot_tol = 1e-9
+let refactor_every = 100
+
+(* Location of a column: basic in some row, or nonbasic resting at a bound. *)
+type location = Basic of int | At_lower | At_upper | Free_zero
+
+type state = {
+  p : problem;
+  m : int;                       (* rows *)
+  ntot : int;                    (* structural + artificial columns *)
+  acols : (int array * float array) array; (* all columns incl. artificials *)
+  alb : float array;
+  aub : float array;
+  loc : location array;
+  basis : int array;             (* column basic in each row *)
+  binv : float array array;      (* dense basis inverse, m x m *)
+  xb : float array;              (* values of basic variables, by row *)
+  xn : float array;              (* resting value of every column when nonbasic *)
+  mutable degenerate_streak : int;
+  mutable bland : bool;
+  mutable iterations : int;
+}
+
+let nonbasic_rest_value lb ub =
+  if lb > neg_infinity then lb else if ub < infinity then ub else 0.
+
+(* Rebuild the dense basis inverse by Gauss-Jordan elimination and recompute
+   basic values from scratch. Raises [Failure] on a singular basis, which
+   indicates an internal invariant violation. *)
+let refactorize st =
+  let m = st.m in
+  let mat = Array.make_matrix m m 0. in
+  for r = 0 to m - 1 do
+    let rows, coeffs = st.acols.(st.basis.(r)) in
+    Array.iteri (fun k row -> mat.(row).(r) <- coeffs.(k)) rows
+  done;
+  let inv = Array.init m (fun i -> Array.init m (fun j -> if i = j then 1. else 0.)) in
+  for col = 0 to m - 1 do
+    (* partial pivoting *)
+    let best = ref col in
+    for r = col + 1 to m - 1 do
+      if Float.abs mat.(r).(col) > Float.abs mat.(!best).(col) then best := r
+    done;
+    if Float.abs mat.(!best).(col) < pivot_tol then failwith "Simplex: singular basis";
+    if !best <> col then begin
+      let t = mat.(col) in mat.(col) <- mat.(!best); mat.(!best) <- t;
+      let t = inv.(col) in inv.(col) <- inv.(!best); inv.(!best) <- t
+    end;
+    let piv = mat.(col).(col) in
+    for j = 0 to m - 1 do
+      mat.(col).(j) <- mat.(col).(j) /. piv;
+      inv.(col).(j) <- inv.(col).(j) /. piv
+    done;
+    for r = 0 to m - 1 do
+      if r <> col then begin
+        let f = mat.(r).(col) in
+        if f <> 0. then
+          for j = 0 to m - 1 do
+            mat.(r).(j) <- mat.(r).(j) -. (f *. mat.(col).(j));
+            inv.(r).(j) <- inv.(r).(j) -. (f *. inv.(col).(j))
+          done
+      end
+    done
+  done;
+  for i = 0 to m - 1 do
+    Array.blit inv.(i) 0 st.binv.(i) 0 m
+  done;
+  (* xb = binv * (rhs - sum_{nonbasic j} A_j * xn_j) *)
+  let r = Array.copy st.p.rhs in
+  for j = 0 to st.ntot - 1 do
+    match st.loc.(j) with
+    | Basic _ -> ()
+    | At_lower | At_upper | Free_zero ->
+      let v = st.xn.(j) in
+      if v <> 0. then begin
+        let rows, coeffs = st.acols.(j) in
+        Array.iteri (fun k row -> r.(row) <- r.(row) -. (coeffs.(k) *. v)) rows
+      end
+  done;
+  for i = 0 to m - 1 do
+    let s = ref 0. in
+    for k = 0 to m - 1 do
+      s := !s +. (st.binv.(i).(k) *. r.(k))
+    done;
+    st.xb.(i) <- !s
+  done
+
+(* Reduced cost of column j given the dual vector y. *)
+let reduced_cost st cost y j =
+  let rows, coeffs = st.acols.(j) in
+  let s = ref cost.(j) in
+  Array.iteri (fun k row -> s := !s -. (y.(row) *. coeffs.(k))) rows;
+  !s
+
+let compute_duals st cost y =
+  let m = st.m in
+  for i = 0 to m - 1 do
+    y.(i) <- 0.
+  done;
+  for r = 0 to m - 1 do
+    let cb = cost.(st.basis.(r)) in
+    if cb <> 0. then
+      for i = 0 to m - 1 do
+        y.(i) <- y.(i) +. (cb *. st.binv.(r).(i))
+      done
+  done
+
+(* alpha = binv * column j *)
+let ftran st j alpha =
+  let m = st.m in
+  let rows, coeffs = st.acols.(j) in
+  for i = 0 to m - 1 do
+    alpha.(i) <- 0.
+  done;
+  for i = 0 to m - 1 do
+    let bi = st.binv.(i) in
+    let s = ref 0. in
+    Array.iteri (fun k row -> s := !s +. (bi.(row) *. coeffs.(k))) rows;
+    alpha.(i) <- !s
+  done
+
+exception Lp_unbounded
+exception Lp_iteration_limit
+
+(* One phase of the simplex: minimize [cost] from the current basis.
+   Mutates [st]; returns when no improving nonbasic column remains. *)
+let optimize st cost max_iterations =
+  let m = st.m in
+  let y = Array.make m 0. in
+  let alpha = Array.make m 0. in
+  let continue_ = ref true in
+  while !continue_ do
+    if st.iterations >= max_iterations then raise Lp_iteration_limit;
+    if st.iterations mod refactor_every = 0 && st.iterations > 0 then refactorize st;
+    compute_duals st cost y;
+    (* Pricing: Dantzig rule normally, Bland's rule after a degenerate streak. *)
+    let entering = ref (-1) in
+    let entering_dir = ref 1. in
+    let best_score = ref opt_tol in
+    (try
+       for j = 0 to st.ntot - 1 do
+         match st.loc.(j) with
+         | Basic _ -> ()
+         | loc ->
+           if st.aub.(j) -. st.alb.(j) > pivot_tol then begin
+             let d = reduced_cost st cost y j in
+             let dir =
+               match loc with
+               | At_lower | Free_zero -> if d < -.opt_tol then 1. else 0.
+               | At_upper -> if d > opt_tol then -1. else 0.
+               | Basic _ -> 0.
+             in
+             let dir =
+               (* a free variable can also move down on positive reduced cost *)
+               if dir = 0. && st.loc.(j) = Free_zero && d > opt_tol then -1. else dir
+             in
+             if dir <> 0. then
+               if st.bland then begin
+                 entering := j;
+                 entering_dir := dir;
+                 raise Exit
+               end
+               else if Float.abs d > !best_score then begin
+                 best_score := Float.abs d;
+                 entering := j;
+                 entering_dir := dir
+               end
+           end
+       done
+     with Exit -> ());
+    if !entering < 0 then continue_ := false
+    else begin
+      let j = !entering and dir = !entering_dir in
+      ftran st j alpha;
+      (* Ratio test: largest step t >= 0 keeping all basics inside their
+         bounds; the entering variable may also be blocked by its own
+         opposite bound (a bound flip, which needs no basis change). *)
+      let own_limit = st.aub.(j) -. st.alb.(j) in
+      let t = ref own_limit in
+      let leaving = ref (-1) in
+      let leaving_to_upper = ref false in
+      for i = 0 to m - 1 do
+        let rate = dir *. alpha.(i) in
+        let bj = st.basis.(i) in
+        if rate > pivot_tol then begin
+          (* basic value decreases toward its lower bound *)
+          if st.alb.(bj) > neg_infinity then begin
+            let step = (st.xb.(i) -. st.alb.(bj)) /. rate in
+            if step < !t -. pivot_tol || (step < !t +. pivot_tol && !leaving >= 0
+                 && Float.abs alpha.(i) > Float.abs alpha.(!leaving)) then begin
+              t := max 0. step;
+              leaving := i;
+              leaving_to_upper := false
+            end
+          end
+        end
+        else if rate < -.pivot_tol then begin
+          (* basic value increases toward its upper bound *)
+          if st.aub.(bj) < infinity then begin
+            let step = (st.aub.(bj) -. st.xb.(i)) /. -.rate in
+            if step < !t -. pivot_tol || (step < !t +. pivot_tol && !leaving >= 0
+                 && Float.abs alpha.(i) > Float.abs alpha.(!leaving)) then begin
+              t := max 0. step;
+              leaving := i;
+              leaving_to_upper := true
+            end
+          end
+        end
+      done;
+      if !t = infinity then raise Lp_unbounded;
+      let t = !t in
+      if t < feas_tol then st.degenerate_streak <- st.degenerate_streak + 1
+      else st.degenerate_streak <- 0;
+      if st.degenerate_streak > 2 * (m + st.ntot) then st.bland <- true;
+      (* apply the step to basic values *)
+      for i = 0 to m - 1 do
+        st.xb.(i) <- st.xb.(i) -. (dir *. t *. alpha.(i))
+      done;
+      if !leaving < 0 then begin
+        (* bound flip of the entering variable *)
+        st.xn.(j) <- st.xn.(j) +. (dir *. t);
+        st.loc.(j) <- (if dir > 0. then At_upper else At_lower)
+      end
+      else begin
+        let r = !leaving in
+        let old = st.basis.(r) in
+        (* leaving variable rests at the bound it reached *)
+        st.loc.(old) <- (if !leaving_to_upper then At_upper else At_lower);
+        st.xn.(old) <- (if !leaving_to_upper then st.aub.(old) else st.alb.(old));
+        (* entering variable becomes basic in row r *)
+        st.basis.(r) <- j;
+        st.loc.(j) <- Basic r;
+        st.xb.(r) <- st.xn.(j) +. (dir *. t);
+        (* eta update of the dense inverse *)
+        let piv = alpha.(r) in
+        let br = st.binv.(r) in
+        for k = 0 to m - 1 do
+          br.(k) <- br.(k) /. piv
+        done;
+        for i = 0 to m - 1 do
+          if i <> r then begin
+            let f = alpha.(i) in
+            if Float.abs f > pivot_tol then begin
+              let bi = st.binv.(i) in
+              for k = 0 to m - 1 do
+                bi.(k) <- bi.(k) -. (f *. br.(k))
+              done
+            end
+          end
+        done
+      end;
+      st.iterations <- st.iterations + 1
+    end
+  done
+
+let extract_x st =
+  let x = Array.make st.p.ncols 0. in
+  for j = 0 to st.p.ncols - 1 do
+    match st.loc.(j) with
+    | Basic r -> x.(j) <- st.xb.(r)
+    | At_lower | At_upper | Free_zero -> x.(j) <- st.xn.(j)
+  done;
+  x
+
+let objective_value p x =
+  let s = ref 0. in
+  for j = 0 to p.ncols - 1 do
+    s := !s +. (p.cost.(j) *. x.(j))
+  done;
+  !s
+
+let solve ?max_iterations p =
+  let m = p.nrows in
+  let max_iterations =
+    match max_iterations with
+    | Some k -> k
+    | None -> 2000 + (200 * (m + p.ncols))
+  in
+  if m = 0 then begin
+    (* No constraints: each variable goes to its cost-minimising bound. *)
+    let x = Array.make p.ncols 0. in
+    let unbounded = ref false in
+    for j = 0 to p.ncols - 1 do
+      let v =
+        if p.cost.(j) > 0. then p.lb.(j)
+        else if p.cost.(j) < 0. then p.ub.(j)
+        else nonbasic_rest_value p.lb.(j) p.ub.(j)
+      in
+      if Float.abs v = infinity then unbounded := true else x.(j) <- v
+    done;
+    if !unbounded then { status = Unbounded; obj = neg_infinity; x; iterations = 0 }
+    else { status = Optimal; obj = objective_value p x; x; iterations = 0 }
+  end
+  else begin
+    let ntot = p.ncols + m in
+    let acols = Array.make ntot ([||], [||]) in
+    Array.blit p.cols 0 acols 0 p.ncols;
+    let alb = Array.make ntot 0. and aub = Array.make ntot infinity in
+    Array.blit p.lb 0 alb 0 p.ncols;
+    Array.blit p.ub 0 aub 0 p.ncols;
+    let xn = Array.make ntot 0. in
+    let loc = Array.make ntot At_lower in
+    for j = 0 to p.ncols - 1 do
+      let v = nonbasic_rest_value p.lb.(j) p.ub.(j) in
+      xn.(j) <- v;
+      loc.(j) <-
+        (if p.lb.(j) > neg_infinity then At_lower
+         else if p.ub.(j) < infinity then At_upper
+         else Free_zero)
+    done;
+    (* residuals decide the sign of each artificial column *)
+    let resid = Array.copy p.rhs in
+    for j = 0 to p.ncols - 1 do
+      if xn.(j) <> 0. then begin
+        let rows, coeffs = p.cols.(j) in
+        Array.iteri (fun k row -> resid.(row) <- resid.(row) -. (coeffs.(k) *. xn.(j))) rows
+      end
+    done;
+    (* Crash basis: prefer a singleton (slack-like) column per row when the
+       residual fits its bounds; fall back to an artificial otherwise. This
+       usually makes phase 1 trivial for inequality-heavy models. *)
+    let singleton_for_row = Array.make m (-1) in
+    for j = p.ncols - 1 downto 0 do
+      let rows, coeffs = p.cols.(j) in
+      if Array.length rows = 1 && Float.abs coeffs.(0) > pivot_tol then
+        singleton_for_row.(rows.(0)) <- j
+    done;
+    let basis = Array.make m 0 in
+    let binv = Array.make_matrix m m 0. in
+    let xb = Array.make m 0. in
+    for i = 0 to m - 1 do
+      let crashed =
+        let j = singleton_for_row.(i) in
+        if j >= 0 then begin
+          let _, coeffs = p.cols.(j) in
+          let a = coeffs.(0) in
+          (* residual currently includes this column's resting contribution *)
+          let v = (resid.(i) +. (a *. xn.(j))) /. a in
+          if v >= p.lb.(j) -. feas_tol && v <= p.ub.(j) +. feas_tol then begin
+            resid.(i) <- resid.(i) +. (a *. xn.(j));
+            basis.(i) <- j;
+            loc.(j) <- Basic i;
+            binv.(i).(i) <- 1. /. a;
+            xb.(i) <- v;
+            (* the artificial for this row is never used: pin it to zero *)
+            acols.(p.ncols + i) <- ([| i |], [| 1. |]);
+            aub.(p.ncols + i) <- 0.;
+            true
+          end
+          else false
+        end
+        else false
+      in
+      if not crashed then begin
+        let sign = if resid.(i) >= 0. then 1. else -1. in
+        acols.(p.ncols + i) <- ([| i |], [| sign |]);
+        basis.(i) <- p.ncols + i;
+        loc.(p.ncols + i) <- Basic i;
+        binv.(i).(i) <- sign;
+        xb.(i) <- Float.abs resid.(i)
+      end
+    done;
+    let st =
+      { p; m; ntot; acols; alb; aub; loc; basis; binv; xb; xn;
+        degenerate_streak = 0; bland = false; iterations = 0 }
+    in
+    let phase1_cost = Array.make ntot 0. in
+    for i = 0 to m - 1 do
+      phase1_cost.(p.ncols + i) <- 1.
+    done;
+    let phase2_cost = Array.make ntot 0. in
+    Array.blit p.cost 0 phase2_cost 0 p.ncols;
+    try
+      optimize st phase1_cost max_iterations;
+      let infeas = ref 0. in
+      for i = 0 to m - 1 do
+        if st.basis.(i) >= p.ncols then infeas := !infeas +. st.xb.(i)
+      done;
+      for j = p.ncols to ntot - 1 do
+        match st.loc.(j) with
+        | At_upper -> infeas := !infeas +. st.xn.(j)
+        | At_lower | Free_zero | Basic _ -> ()
+      done;
+      if !infeas > 1e-6 then
+        { status = Infeasible; obj = infinity; x = extract_x st; iterations = st.iterations }
+      else begin
+        (* lock artificials at zero for phase 2 *)
+        for j = p.ncols to ntot - 1 do
+          st.aub.(j) <- 0.;
+          (match st.loc.(j) with
+           | At_upper -> st.loc.(j) <- At_lower
+           | At_lower | Free_zero | Basic _ -> ());
+          st.xn.(j) <- 0.
+        done;
+        st.bland <- false;
+        st.degenerate_streak <- 0;
+        optimize st phase2_cost max_iterations;
+        let x = extract_x st in
+        { status = Optimal; obj = objective_value p x; x; iterations = st.iterations }
+      end
+    with
+    | Lp_unbounded ->
+      { status = Unbounded; obj = neg_infinity; x = extract_x st; iterations = st.iterations }
+    | Lp_iteration_limit ->
+      { status = Iteration_limit; obj = nan; x = extract_x st; iterations = st.iterations }
+  end
+
+let feasible ?(tol = 1e-6) p x =
+  let ok = ref true in
+  for j = 0 to p.ncols - 1 do
+    if x.(j) < p.lb.(j) -. tol || x.(j) > p.ub.(j) +. tol then ok := false
+  done;
+  let lhs = Array.make p.nrows 0. in
+  for j = 0 to p.ncols - 1 do
+    let rows, coeffs = p.cols.(j) in
+    Array.iteri (fun k row -> lhs.(row) <- lhs.(row) +. (coeffs.(k) *. x.(j))) rows
+  done;
+  for i = 0 to p.nrows - 1 do
+    if Float.abs (lhs.(i) -. p.rhs.(i)) > tol *. (1. +. Float.abs p.rhs.(i)) then ok := false
+  done;
+  !ok

@@ -1,0 +1,34 @@
+(** Primal simplex for linear programs with bounded variables.
+
+    Solves [minimize c.x  s.t.  A x = b,  lb <= x <= ub] (all rows are
+    equalities; {!Bb.relax} adds slacks for inequality rows). Two-phase:
+    phase 1 drives artificial variables to zero from an all-artificial
+    starting basis; phase 2 optimises the true objective. The basis inverse
+    is kept dense and refactorised periodically, which is ample for the
+    problem sizes the CoSA formulation produces (hundreds of rows). *)
+
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type problem = {
+  nrows : int;
+  ncols : int;
+  cols : (int array * float array) array;  (** sparse column: row indices, coefficients *)
+  cost : float array;
+  lb : float array;   (** may be [neg_infinity] *)
+  ub : float array;   (** may be [infinity] *)
+  rhs : float array;
+}
+
+type result = {
+  status : status;
+  obj : float;          (** meaningful when [status = Optimal] *)
+  x : float array;      (** primal values for all columns *)
+  iterations : int;
+}
+
+val solve : ?max_iterations:int -> problem -> result
+(** Defaults to a generous iteration cap scaled with problem size. *)
+
+val feasible : ?tol:float -> problem -> float array -> bool
+(** [feasible p x] checks bounds and row equalities within [tol] (default
+    [1e-6]); used by tests to validate solver output independently. *)

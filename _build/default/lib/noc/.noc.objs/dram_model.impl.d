@@ -1,0 +1,1 @@
+lib/noc/dram_model.ml: Array List Spec

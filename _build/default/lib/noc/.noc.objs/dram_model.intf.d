@@ -1,0 +1,1 @@
+lib/noc/dram_model.mli: Spec

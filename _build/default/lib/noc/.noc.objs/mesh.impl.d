@@ -1,0 +1,1 @@
+lib/noc/mesh.ml: Array Hashtbl List Packet Queue Spec

@@ -1,0 +1,1 @@
+lib/noc/mesh.mli: Packet Spec

@@ -1,0 +1,1 @@
+lib/noc/noc_sim.ml: Array Dims Dram_model Float Hashtbl List Mapping Mesh Model Packet Printf Spec

@@ -1,0 +1,1 @@
+lib/noc/noc_sim.mli: Mapping Spec

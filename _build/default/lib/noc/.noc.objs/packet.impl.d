@@ -1,0 +1,1 @@
+lib/noc/packet.ml: Dims

@@ -1,0 +1,100 @@
+(* DRAMSim2-lite with FR-FCFS scheduling: requests wait in a bounded
+   reorder window; each scheduling decision prefers the oldest row-hit
+   request (open-row first), falling back to the oldest request. Row
+   activations proceed per bank and may overlap the data bus, which
+   serialises transfers. *)
+
+type req = { id : int; bytes : int; row : int; arrival : int }
+
+type in_service = { r : req; finish : int }
+
+type t = {
+  spec : Spec.dram;
+  mutable queue : req list;  (** oldest first *)
+  window : int;
+  open_rows : int array;  (** per bank; -1 = closed *)
+  bank_ready : int array;  (** cycle at which each bank can start a new activation *)
+  mutable bus_free : int;  (** cycle at which the data bus frees up *)
+  mutable in_service : in_service list;
+  mutable next_id : int;
+  mutable now : int;
+  mutable done_now : int list;
+  mutable busy_cycles : int;
+  mutable row_hits : int;
+  mutable row_misses : int;
+}
+
+let create spec =
+  {
+    spec;
+    queue = [];
+    window = 16;
+    open_rows = Array.make spec.Spec.banks (-1);
+    bank_ready = Array.make spec.Spec.banks 0;
+    bus_free = 0;
+    in_service = [];
+    next_id = 0;
+    now = 0;
+    done_now = [];
+    busy_cycles = 0;
+    row_hits = 0;
+    row_misses = 0;
+  }
+
+let request t ~bytes ~row =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.queue <- t.queue @ [ { id; bytes; row; arrival = t.now } ];
+  id
+
+let bank_of t r = r.row mod t.spec.Spec.banks
+
+(* FR-FCFS pick within the reorder window: oldest row hit, else oldest. *)
+let pick t =
+  let window = List.filteri (fun i _ -> i < t.window) t.queue in
+  let is_hit r = t.open_rows.(bank_of t r) = r.row in
+  match List.find_opt is_hit window with
+  | Some r -> Some r
+  | None -> (match window with r :: _ -> Some r | [] -> None)
+
+let schedule t =
+  (* issue as long as the bus can accept another transfer decision; one
+     issue per cycle keeps the model simple and slightly conservative *)
+  if t.bus_free <= t.now then
+    match pick t with
+    | None -> ()
+    | Some r ->
+      t.queue <- List.filter (fun q -> q.id <> r.id) t.queue;
+      let bank = bank_of t r in
+      let hit = t.open_rows.(bank) = r.row in
+      if hit then t.row_hits <- t.row_hits + 1 else t.row_misses <- t.row_misses + 1;
+      let activation = if hit then t.spec.Spec.t_row_hit else t.spec.Spec.t_row_miss in
+      (* the bank opens the row (possibly overlapping an ongoing transfer),
+         then the transfer serialises on the bus *)
+      let bank_open = max t.now t.bank_ready.(bank) + activation in
+      let transfer =
+        max 1 (int_of_float (ceil (float_of_int r.bytes /. t.spec.Spec.dram_bandwidth_words)))
+      in
+      let start = max bank_open t.bus_free in
+      let finish = start + transfer in
+      t.open_rows.(bank) <- r.row;
+      t.bank_ready.(bank) <- finish;
+      t.bus_free <- finish;
+      t.in_service <- { r; finish } :: t.in_service
+
+let step t =
+  t.now <- t.now + 1;
+  t.done_now <- [];
+  schedule t;
+  let finished, remaining =
+    List.partition (fun s -> s.finish <= t.now) t.in_service
+  in
+  t.in_service <- remaining;
+  t.done_now <- List.map (fun s -> s.r.id) finished;
+  if t.queue <> [] || t.in_service <> [] then t.busy_cycles <- t.busy_cycles + 1
+
+let completed t = t.done_now
+let busy t = t.queue <> [] || t.in_service <> []
+let total_busy_cycles t = t.busy_cycles
+let row_hit_count t = t.row_hits
+let row_miss_count t = t.row_misses

@@ -1,0 +1,32 @@
+(** DRAMSim2-lite: a banked DRAM model with FR-FCFS scheduling.
+
+    Requests wait in a bounded reorder window; each issue picks the oldest
+    row-hit request (open-row-first) and otherwise the oldest overall.
+    Row activations (hit vs. miss latency) proceed per bank and may
+    overlap in-flight transfers; the data bus serialises transfers at the
+    configured bandwidth. *)
+
+type t
+
+val create : Spec.dram -> t
+
+val request : t -> bytes:int -> row:int -> int
+(** Enqueue a request and return its id. [row] identifies the DRAM row
+    (callers typically derive it from the tile address); its bank is
+    [row mod banks]. *)
+
+val step : t -> unit
+(** Advance one cycle. *)
+
+val completed : t -> int list
+(** Request ids that finished during the last {!step}. *)
+
+val busy : t -> bool
+
+val total_busy_cycles : t -> int
+(** Cycles during which the DRAM was servicing or holding requests. *)
+
+val row_hit_count : t -> int
+val row_miss_count : t -> int
+(** Row-buffer locality counters (reported by the NoC deep-dive example
+    and checked by tests). *)

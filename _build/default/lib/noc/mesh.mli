@@ -1,0 +1,38 @@
+(** Cycle-level 2-D wormhole mesh with X-Y routing and tree multicast.
+
+    One router per PE; the global buffer has a dedicated injection/ejection
+    port on router 0 (the mesh corner, as in Simba's package organisation).
+    Routers are input-queued with credit-based backpressure (a flit moves
+    only when the downstream queue has space) and round-robin output
+    arbitration; a packet's flits hold their output port(s) from head to
+    tail (wormhole). Multicast replicates a flit to every branch port in
+    the X-Y tree in the same cycle, stalling until all branches can accept
+    it. *)
+
+type t
+
+type source = Gb | Node of int
+
+val create : Spec.noc -> t
+
+val inject : t -> source -> Packet.t -> unit
+(** Queue a packet for injection (source queues are unbounded; the mesh
+    drains them one flit per cycle per source). Multicast packets are
+    split into unicasts automatically when the NoC was configured without
+    multicast support. *)
+
+val step : t -> unit
+(** Advance one cycle. *)
+
+val delivered : t -> (source * Packet.t) list
+(** Packets fully delivered during the last {!step}, as
+    [(destination, packet)]; a multicast packet appears once per
+    destination reached. *)
+
+val idle : t -> bool
+(** No queued, in-flight, or partially delivered traffic remains. *)
+
+val cycles : t -> int
+val flit_hops : t -> int
+(** Total link traversals so far (energy proxy, cross-checked against the
+    analytical model in tests). *)

@@ -1,0 +1,32 @@
+(** Transaction-level, cycle-exact execution of a mapping on the mesh.
+
+    The driver derives the NoC transaction schedule from the mapping's
+    reuse analysis: one "NoC step" is one iteration of the flattened
+    temporal loops at and above the NoC boundary. Per step, the global
+    buffer multicasts weight and input tiles to the PE groups that share
+    them (gated by DRAM fetches), PEs compute with double buffering
+    (receive step s+1 while computing step s), and output tiles drain back
+    to the global buffer and DRAM. Long executions are sampled: the first
+    [max_steps] steps are simulated cycle-by-cycle and total latency is
+    extrapolated linearly (reported via [sampled]).
+
+    This platform exposes congestion, serialisation, and DRAM contention
+    that the analytical model's perfect-overlap assumption hides — the
+    paper's Fig. 10 platform. *)
+
+type stats = {
+  latency : float;  (** total cycles (extrapolated when [sampled]) *)
+  simulated_cycles : int;
+  simulated_steps : int;
+  total_steps : int;
+  sampled : bool;
+  flit_hops : int;
+  dram_busy_cycles : int;
+  packets : int;
+  compute_cycles_per_step : int;
+}
+
+val simulate : ?max_steps:int -> ?max_cycles:int -> Spec.t -> Mapping.t -> stats
+(** Defaults: [max_steps = 48], [max_cycles = 20_000_000]. Raises [Failure]
+    if the network deadlocks or the cycle budget is exhausted (neither
+    occurs for valid mappings on the shipped architectures). *)

@@ -1,0 +1,13 @@
+type t = {
+  id : int;
+  src : int;
+  dests : int list;
+  flits : int;
+  tensor : Dims.tensor;
+  step : int;
+}
+
+let make ~id ~src ~dests ~flits ~tensor ~step =
+  if dests = [] then invalid_arg "Packet.make: empty destination list";
+  if flits < 1 then invalid_arg "Packet.make: flits < 1";
+  { id; src; dests; flits; tensor; step }

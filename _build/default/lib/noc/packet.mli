@@ -1,0 +1,14 @@
+(** Packets and flits for the wormhole mesh. *)
+
+type t = {
+  id : int;
+  src : int;  (** node index; the global-buffer port is node [-1] *)
+  dests : int list;  (** destination node indices (multicast when > 1) *)
+  flits : int;  (** packet length including head flit *)
+  tensor : Dims.tensor;
+  step : int;  (** NoC iteration this payload belongs to *)
+}
+
+val make :
+  id:int -> src:int -> dests:int list -> flits:int -> tensor:Dims.tensor -> step:int -> t
+(** Raises [Invalid_argument] on an empty destination list or [flits < 1]. *)

@@ -1,0 +1,1 @@
+lib/prim/factorize.ml: Int List

@@ -1,0 +1,1 @@
+lib/prim/stats.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/prim/texttab.ml: Array Float List Printf String

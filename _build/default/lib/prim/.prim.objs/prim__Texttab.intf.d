@@ -1,0 +1,1 @@
+lib/prim/texttab.mli:

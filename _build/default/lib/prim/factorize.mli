@@ -1,0 +1,28 @@
+(** Prime factorisation utilities.
+
+    CoSA formulates scheduling as a prime-factor allocation problem: every
+    loop bound is decomposed into its prime factors, and each factor is
+    assigned a scheduling configuration. *)
+
+val is_prime : int -> bool
+(** [is_prime n] is [true] iff [n] is prime. [n <= 1] is not prime. *)
+
+val prime_factors : int -> int list
+(** [prime_factors n] is the non-decreasing list of prime factors of [n].
+    [prime_factors 1 = []]. Raises [Invalid_argument] when [n < 1]. *)
+
+val grouped_factors : int -> (int * int) list
+(** [grouped_factors n] is [prime_factors n] grouped as
+    [(prime, multiplicity)] pairs, primes increasing.
+    E.g. [grouped_factors 12 = [(2, 2); (3, 1)]]. *)
+
+val pad_to_factorable : ?max_prime:int -> int -> int
+(** [pad_to_factorable n] is the smallest [m >= n] all of whose prime factors
+    are [<= max_prime] (default 7). The paper pads large-prime loop bounds
+    before factorising so the allocation space is non-trivial. *)
+
+val divisors : int -> int list
+(** All positive divisors of [n], increasing. *)
+
+val product : int list -> int
+(** Product of a list of ints ([1] for the empty list). *)

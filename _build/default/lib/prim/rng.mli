@@ -1,0 +1,33 @@
+(** Deterministic SplitMix64 pseudo-random generator.
+
+    Every stochastic component (random mapper, Timeloop-Hybrid baseline, NoC
+    arbitration tie-breaking in tests) draws from an explicit [Rng.t] so runs
+    are reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. *)
+
+val copy : t -> t
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] when
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** Derive an independent generator (for per-"thread" seeding). *)

@@ -1,0 +1,63 @@
+let check_nonempty name = function [] -> invalid_arg ("Stats." ^ name ^ ": empty list") | _ -> ()
+
+let mean xs =
+  check_nonempty "mean" xs;
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  check_nonempty "geomean" xs;
+  List.iter (fun x -> if x <= 0. then invalid_arg "Stats.geomean: non-positive value") xs;
+  exp (mean (List.map log xs))
+
+let sorted xs = List.sort compare xs
+
+let percentile p xs =
+  check_nonempty "percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let a = Array.of_list (sorted xs) in
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else
+    let pos = p /. 100. *. float_of_int (n - 1) in
+    let i = int_of_float (floor pos) in
+    let frac = pos -. float_of_int i in
+    if i + 1 >= n then a.(n - 1) else (a.(i) *. (1. -. frac)) +. (a.(i + 1) *. frac)
+
+let median xs = percentile 50. xs
+
+let stddev xs =
+  check_nonempty "stddev" xs;
+  let m = mean xs in
+  let var = mean (List.map (fun x -> (x -. m) ** 2.) xs) in
+  sqrt var
+
+let minimum xs = check_nonempty "minimum" xs; List.fold_left min infinity xs
+let maximum xs = check_nonempty "maximum" xs; List.fold_left max neg_infinity xs
+
+type histogram = { lo : float; hi : float; counts : int array }
+
+let histogram ~bins xs =
+  check_nonempty "histogram" xs;
+  if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";
+  let lo = minimum xs and hi = maximum xs in
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  let bin_of x =
+    if width = 0. then 0
+    else min (bins - 1) (max 0 (int_of_float ((x -. lo) /. width)))
+  in
+  List.iter (fun x -> let b = bin_of x in counts.(b) <- counts.(b) + 1) xs;
+  { lo; hi; counts }
+
+let render_histogram ?(width = 50) { lo; hi; counts } =
+  let bins = Array.length counts in
+  let bin_width = (hi -. lo) /. float_of_int bins in
+  let maxc = Array.fold_left max 1 counts in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i c ->
+      let b_lo = lo +. (float_of_int i *. bin_width) in
+      let bar = String.make (c * width / maxc) '#' in
+      Buffer.add_string buf (Printf.sprintf "%12.4g | %-*s %d\n" b_lo width bar c))
+    counts;
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Small statistics helpers for experiment reporting. *)
+
+val mean : float list -> float
+(** Arithmetic mean. Raises [Invalid_argument] on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values (the paper reports geomean speedups). *)
+
+val median : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], linear interpolation. *)
+
+val stddev : float list -> float
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+type histogram = { lo : float; hi : float; counts : int array }
+
+val histogram : bins:int -> float list -> histogram
+(** Equal-width histogram over the data range. *)
+
+val render_histogram : ?width:int -> histogram -> string
+(** ASCII rendering, one row per bin. *)

@@ -1,0 +1,28 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) (List.length t.headers) rows in
+  let pad r = r @ List.init (ncols - List.length r) (fun _ -> "") in
+  let all = pad t.headers :: List.map pad rows in
+  let widths = Array.make ncols 0 in
+  List.iter (List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c))) all;
+  let render_row r =
+    String.concat "  " (List.mapi (fun i c -> Printf.sprintf "%-*s" widths.(i) c) r)
+  in
+  let rule = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  match all with
+  | header :: body ->
+    String.concat "\n" ((render_row header :: rule :: List.map render_row body) @ [ "" ])
+  | [] -> ""
+
+let cell_f x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else if Float.abs x >= 1000. then Printf.sprintf "%.4g" x
+  else Printf.sprintf "%.3f" x
+
+let cell_fx x = Printf.sprintf "%.2fx" x

@@ -1,0 +1,18 @@
+(** Plain-text table rendering for experiment output. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; short rows are padded with empty cells. *)
+
+val render : t -> string
+(** Render with aligned columns and a header rule. *)
+
+val cell_f : float -> string
+(** Format a float compactly for a table cell. *)
+
+val cell_fx : float -> string
+(** Format a speedup-style float as e.g. ["2.51x"]. *)

@@ -1,0 +1,1 @@
+lib/workload/dims.ml: Printf

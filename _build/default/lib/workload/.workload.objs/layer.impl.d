@@ -1,0 +1,1 @@
+lib/workload/layer.ml: Dims List Prim Printf

@@ -1,0 +1,1 @@
+lib/workload/network.mli: Layer

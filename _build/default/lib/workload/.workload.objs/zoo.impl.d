@@ -1,0 +1,1 @@
+lib/workload/zoo.ml: Layer List

@@ -1,0 +1,34 @@
+type dim = R | S | P | Q | C | K | N
+type tensor = W | IA | OA
+
+let all_dims = [ R; S; P; Q; C; K; N ]
+let all_tensors = [ W; IA; OA ]
+
+let dim_index = function R -> 0 | S -> 1 | P -> 2 | Q -> 3 | C -> 4 | K -> 5 | N -> 6
+
+let dim_of_index = function
+  | 0 -> R | 1 -> S | 2 -> P | 3 -> Q | 4 -> C | 5 -> K | 6 -> N
+  | i -> invalid_arg (Printf.sprintf "Dims.dim_of_index: %d" i)
+
+let tensor_index = function W -> 0 | IA -> 1 | OA -> 2
+
+let tensor_of_index = function
+  | 0 -> W | 1 -> IA | 2 -> OA
+  | i -> invalid_arg (Printf.sprintf "Dims.tensor_of_index: %d" i)
+
+let dim_name = function R -> "R" | S -> "S" | P -> "P" | Q -> "Q" | C -> "C" | K -> "K" | N -> "N"
+let tensor_name = function W -> "W" | IA -> "IA" | OA -> "OA"
+
+let relevant d t =
+  match t, d with
+  | W, (R | S | C | K) -> true
+  | W, (P | Q | N) -> false
+  | IA, (P | Q | C | N) -> true
+  | IA, (R | S | K) -> false
+  | OA, (P | Q | K | N) -> true
+  | OA, (R | S | C) -> false
+
+let model_relevant d t =
+  match t, d with
+  | IA, (R | S) -> true
+  | _ -> relevant d t

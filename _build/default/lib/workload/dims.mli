@@ -1,0 +1,36 @@
+(** The seven loop dimensions of a DNN operator and the three data tensors.
+
+    [R]/[S]: filter width/height; [P]/[Q]: output width/height; [C]: input
+    channels; [K]: output channels; [N]: batch. Tensors: weights [W], input
+    activations [IA], output activations [OA]. *)
+
+type dim = R | S | P | Q | C | K | N
+type tensor = W | IA | OA
+
+val all_dims : dim list
+val all_tensors : tensor list
+
+val dim_index : dim -> int
+(** Stable index in [0..6], ordered R, S, P, Q, C, K, N. *)
+
+val dim_of_index : int -> dim
+
+val tensor_index : tensor -> int
+(** Stable index in [0..2], ordered W, IA, OA. *)
+
+val tensor_of_index : int -> tensor
+
+val dim_name : dim -> string
+val tensor_name : tensor -> string
+
+val relevant : dim -> tensor -> bool
+(** The paper's constant matrix [A] (Table IV): which loop dimensions index
+    which tensor. [W]: R, S, C, K; [IA]: P, Q, C, N; [OA]: P, Q, K, N.
+    Note IA's dependence on R and S via the sliding window is deliberately
+    dropped here, as in the paper's formulation; the analytical model uses
+    {!model_relevant} and an exact halo computation instead. *)
+
+val model_relevant : dim -> tensor -> bool
+(** Relevance used by the Timeloop-class analytical model, which does track
+    the sliding window: identical to {!relevant} except [IA] also depends on
+    R and S. *)

@@ -1,0 +1,64 @@
+type t = {
+  name : string;
+  r : int;
+  s : int;
+  p : int;
+  q : int;
+  c : int;
+  k : int;
+  n : int;
+  stride : int;
+}
+
+let label_of ~r ~p ~c ~k ~stride = Printf.sprintf "%d_%d_%d_%d_%d" r p c k stride
+
+let create ?name ?(stride = 1) ~r ~s ~p ~q ~c ~k ~n () =
+  List.iter
+    (fun (v, what) ->
+      if v < 1 then invalid_arg (Printf.sprintf "Layer.create: %s = %d < 1" what v))
+    [ (r, "r"); (s, "s"); (p, "p"); (q, "q"); (c, "c"); (k, "k"); (n, "n"); (stride, "stride") ];
+  let name = match name with Some n -> n | None -> label_of ~r ~p ~c ~k ~stride in
+  { name; r; s; p; q; c; k; n; stride }
+
+let gemm ?name ~m ~n ~k () =
+  let name = match name with Some s -> s | None -> Printf.sprintf "gemm_%dx%dx%d" m n k in
+  create ~name ~r:1 ~s:1 ~p:n ~q:1 ~c:k ~k:m ~n:1 ()
+
+let bound t = function
+  | Dims.R -> t.r
+  | Dims.S -> t.s
+  | Dims.P -> t.p
+  | Dims.Q -> t.q
+  | Dims.C -> t.c
+  | Dims.K -> t.k
+  | Dims.N -> t.n
+
+let padded_bound t d = Prim.Factorize.pad_to_factorable (bound t d)
+
+let macs t = t.r * t.s * t.p * t.q * t.c * t.k * t.n
+
+let input_width t = ((t.p - 1) * t.stride) + t.r
+let input_height t = ((t.q - 1) * t.stride) + t.s
+
+let tensor_words t = function
+  | Dims.W -> t.r * t.s * t.c * t.k
+  | Dims.IA -> input_width t * input_height t * t.c * t.n
+  | Dims.OA -> t.p * t.q * t.k * t.n
+
+let factors t =
+  List.concat_map
+    (fun d ->
+      List.map (fun p -> (d, p)) (Prim.Factorize.prime_factors (padded_bound t d)))
+    Dims.all_dims
+
+let factor_groups t =
+  List.concat_map
+    (fun d ->
+      List.map (fun (p, m) -> (d, p, m)) (Prim.Factorize.grouped_factors (padded_bound t d)))
+    Dims.all_dims
+
+let label t = label_of ~r:t.r ~p:t.p ~c:t.c ~k:t.k ~stride:t.stride
+
+let to_string t =
+  Printf.sprintf "%s: R=%d S=%d P=%d Q=%d C=%d K=%d N=%d stride=%d" t.name t.r t.s t.p t.q
+    t.c t.k t.n t.stride

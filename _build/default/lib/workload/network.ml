@@ -1,0 +1,79 @@
+type entry = { layer : Layer.t; repeats : int }
+
+type t = { nname : string; entries : entry list }
+
+let entry name repeats = { layer = Zoo.find name; repeats }
+
+let resnet50 =
+  {
+    nname = "ResNet-50";
+    entries =
+      [
+        entry "7_112_3_64_2" 1;
+        (* conv2_x: 3 bottlenecks *)
+        entry "1_56_64_64_1" 1;
+        entry "1_56_256_64_1" 2;
+        entry "3_56_64_64_1" 3;
+        entry "1_56_64_256_1" 4 (* includes the projection shortcut *);
+        (* conv3_x: 4 bottlenecks *)
+        entry "1_56_256_128_1" 1;
+        entry "3_28_128_128_2" 1;
+        entry "3_28_128_128_1" 3;
+        entry "1_28_128_512_1" 4;
+        entry "1_28_512_128_1" 3;
+        entry "1_28_256_512_2" 1 (* projection shortcut *);
+        (* conv4_x: 6 bottlenecks *)
+        entry "1_28_512_256_1" 1;
+        entry "3_14_256_256_2" 1;
+        entry "3_14_256_256_1" 5;
+        entry "1_14_256_1024_1" 6;
+        entry "1_14_1024_256_1" 5;
+        entry "1_14_512_1024_2" 1 (* projection shortcut *);
+        (* conv5_x: 3 bottlenecks *)
+        entry "1_14_1024_512_1" 1;
+        entry "3_7_512_512_2" 1;
+        entry "3_7_512_512_1" 2;
+        entry "1_7_512_2048_1" 3;
+        entry "1_7_2048_512_1" 2;
+        entry "1_7_1024_2048_2" 1 (* projection shortcut *);
+        entry "fc1000" 1;
+      ];
+  }
+
+let resnext50 =
+  {
+    nname = "ResNeXt-50";
+    entries =
+      [
+        entry "x7_112_3_64_2" 1;
+        entry "1_56_64_128_1" 1;
+        entry "g3_56_4_4_1" (3 * 32);
+        entry "1_56_128_256_1" 4;
+        entry "x1_56_256_128_1" 2;
+        entry "1_56_256_256_1" 1;
+        entry "g3_28_8_8_2" 32;
+        entry "g3_28_8_8_1" (3 * 32);
+        entry "1_28_256_512_1" 2;
+        entry "x1_28_512_256_1" 3;
+        entry "1_28_512_512_1" 4;
+        entry "g3_14_16_16_2" 32;
+        entry "g3_14_16_16_1" (5 * 32);
+        entry "1_14_512_1024_1" 2;
+        entry "x1_14_1024_512_1" 5;
+        entry "1_14_1024_1024_1" 6;
+        entry "g3_7_32_32_2" 32;
+        entry "g3_7_32_32_1" (2 * 32);
+        entry "1_7_1024_2048_1" 2;
+        entry "1_7_2048_1024_1" 2;
+        entry "fc1000x" 1;
+      ];
+  }
+
+let layer_count t = List.fold_left (fun acc e -> acc + e.repeats) 0 t.entries
+
+let total_macs t =
+  List.fold_left
+    (fun acc e -> acc +. (float_of_int e.repeats *. float_of_int (Layer.macs e.layer)))
+    0. t.entries
+
+let networks = [ resnet50; resnext50 ]

@@ -1,0 +1,27 @@
+(** Whole-network workload descriptions: each distinct layer shape with its
+    repetition count, so end-to-end network latency/energy can be computed
+    from per-layer schedules (the per-layer figures in the paper weight
+    every distinct shape equally; deployment cares about the weighted
+    sum). *)
+
+type entry = { layer : Layer.t; repeats : int }
+
+type t = {
+  nname : string;
+  entries : entry list;
+}
+
+val resnet50 : t
+(** ResNet-50 with the standard bottleneck repetition counts (3/4/6/3
+    blocks); 53 convolutions + the FC layer in total. *)
+
+val resnext50 : t
+(** ResNeXt-50 32x4d; the grouped 3x3 entries carry an extra factor of 32
+    in [repeats] (one schedule per group). *)
+
+val layer_count : t -> int
+(** Total layer instances (sum of repeats). *)
+
+val total_macs : t -> float
+
+val networks : t list

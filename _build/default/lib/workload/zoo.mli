@@ -1,0 +1,27 @@
+(** The four DNN workload suites evaluated in the paper.
+
+    Each suite is the list of a network's distinct convolution / GEMM layer
+    shapes (as in the paper's figures, whose x-axes enumerate unique
+    [R_P_C_K_Stride] shapes), at batch size 1. *)
+
+val resnet50 : Layer.t list
+(** ResNet-50 [He et al. 2016]: the 21 distinct conv shapes (stride on the
+    3x3 of each downsampling bottleneck) plus the final FC as a GEMM. *)
+
+val resnext50 : Layer.t list
+(** ResNeXt-50 (32x4d) [Xie et al. 2017]: pointwise convs plus the 32-group
+    3x3 convs represented by their per-group shape. *)
+
+val deepbench_ocr : Layer.t list
+(** DeepBench OCR inference GEMMs expressed as layers. *)
+
+val deepbench_face : Layer.t list
+(** DeepBench-style face-recognition convolution shapes. The exact vendor
+    shapes are not redistributable; these are equivalent-scale stand-ins
+    (see DESIGN.md substitutions). *)
+
+val suites : (string * Layer.t list) list
+(** All four suites with their display names, in the paper's order. *)
+
+val find : string -> Layer.t
+(** Look up any layer across all suites by name. Raises [Not_found]. *)

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Array Dims List Spec String

@@ -1,0 +1,1 @@
+test/test_cosa.ml: Alcotest Array Cosa Cosa_decode Cosa_formulation Cosa_tuner Dims Float Layer List Mapping Milp Model Prim QCheck QCheck_alcotest Sampler Spec Zoo

@@ -1,0 +1,1 @@
+test/test_crossval.ml: Alcotest Layer List Model Noc_sim Prim Printf Sampler Spec

@@ -1,0 +1,1 @@
+test/test_decode.ml: Alcotest Array Cosa_decode Cosa_formulation Cosa_objective Dims Layer List Mapping Milp Prim Printf Sampler Spec

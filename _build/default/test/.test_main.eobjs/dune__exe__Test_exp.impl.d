@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Common Float List Mapping Registry Spec String Unix Zoo

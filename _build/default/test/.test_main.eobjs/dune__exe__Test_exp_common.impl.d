@@ -1,0 +1,1 @@
+test/test_exp_common.ml: Alcotest Buffer Common Cosa Layer List Model Spec String

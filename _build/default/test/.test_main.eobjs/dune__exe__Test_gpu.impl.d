@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Gpu Layer List Prim Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Baseline Cosa Hybrid_mapper Layer List Mapping Model Noc_sim Prim Random_mapper Spec Zoo

@@ -1,0 +1,1 @@
+test/test_mappers.ml: Alcotest Baseline Hybrid_mapper Layer Mapping Prim Random_mapper Sampler Spec Zoo

@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Array Dims Layer List Mapping Prim QCheck QCheck_alcotest Sampler Spec String

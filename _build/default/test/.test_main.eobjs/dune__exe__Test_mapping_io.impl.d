@@ -1,0 +1,1 @@
+test/test_mapping_io.ml: Alcotest Array Cosa Filename Fun Layer Mapping Mapping_io Prim QCheck QCheck_alcotest Sampler Spec Sys Zoo

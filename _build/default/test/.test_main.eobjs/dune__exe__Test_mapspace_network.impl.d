@@ -1,0 +1,1 @@
+test/test_mapspace_network.ml: Alcotest Cosa Layer List Mapping Mapspace Network Spec String Zoo

@@ -1,0 +1,1 @@
+test/test_mesh_wormhole.ml: Alcotest Dims List Mesh Packet Spec

@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Bb Float List Lp Milp Printf QCheck QCheck_alcotest Simplex String

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Dims Float Layer List Mapping Model Prim QCheck QCheck_alcotest Sampler Spec String

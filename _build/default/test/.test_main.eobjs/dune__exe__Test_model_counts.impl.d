@@ -1,0 +1,1 @@
+test/test_model_counts.ml: Alcotest Array Dims Layer Lazy Mapping Model Spec

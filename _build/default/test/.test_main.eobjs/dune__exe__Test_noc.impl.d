@@ -1,0 +1,1 @@
+test/test_noc.ml: Alcotest Cosa Dims Dram_model Layer List Mesh Model Noc_sim Packet Prim Printf Sampler Spec Zoo

@@ -1,0 +1,1 @@
+test/test_objective.ml: Alcotest Cosa Dims Float Layer Mapping Spec

@@ -1,0 +1,1 @@
+test/test_presolve.ml: Alcotest Array Bb Lp Milp Presolve QCheck QCheck_alcotest Simplex

@@ -1,0 +1,1 @@
+test/test_prim.ml: Alcotest Array Float Fun Gen List Prim Printf QCheck QCheck_alcotest String

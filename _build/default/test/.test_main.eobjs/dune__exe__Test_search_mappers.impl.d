@@ -1,0 +1,1 @@
+test/test_search_mappers.ml: Alcotest Anneal_mapper Baseline Dims Genetic_mapper Hybrid_mapper Layer List Mapping Prim Random_mapper Sampler Spec

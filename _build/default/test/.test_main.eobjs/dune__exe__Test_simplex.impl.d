@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array List Milp Prim Simplex

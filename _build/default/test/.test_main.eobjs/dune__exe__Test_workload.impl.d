@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Dims Layer List Printf QCheck QCheck_alcotest Zoo

@@ -1,0 +1,80 @@
+(* Tests for architecture specifications. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_baseline_table5 () =
+  let a = Spec.baseline in
+  check_int "six levels" 6 (Spec.level_count a);
+  check_int "dram level" 5 (Spec.dram_level a);
+  check_int "16 PEs" 16 (Spec.num_pes a);
+  check_int "64 MACs" 64 a.Spec.levels.(a.Spec.mac_level).Spec.fanout;
+  check_int "4x4 mesh" 4 a.Spec.noc.Spec.mesh_x;
+  check_int "flit 64b" 64 a.Spec.noc.Spec.flit_bits;
+  check_bool "multicast" true a.Spec.noc.Spec.multicast;
+  check_int "wbuf 32KB" (32 * 1024) a.Spec.levels.(2).Spec.capacity_bytes;
+  check_int "inputbuf 8KB" (8 * 1024) a.Spec.levels.(3).Spec.capacity_bytes;
+  check_int "accbuf 3KB" (3 * 1024) a.Spec.levels.(1).Spec.capacity_bytes;
+  check_int "gb 128KB" (128 * 1024) a.Spec.levels.(4).Spec.capacity_bytes;
+  check_int "w precision" 8 (a.Spec.precision_bits Dims.W);
+  check_int "psum precision" 24 (a.Spec.precision_bits Dims.OA)
+
+let test_b_matrix () =
+  let a = Spec.baseline in
+  (* Table IV B matrix *)
+  check_bool "wbuf stores W" true (Spec.stores a 2 Dims.W);
+  check_bool "wbuf not IA" false (Spec.stores a 2 Dims.IA);
+  check_bool "accbuf OA only" true
+    (Spec.stores a 1 Dims.OA && not (Spec.stores a 1 Dims.W));
+  check_bool "gb IA+OA" true (Spec.stores a 4 Dims.IA && Spec.stores a 4 Dims.OA);
+  check_bool "gb not W" false (Spec.stores a 4 Dims.W);
+  check_bool "dram all" true
+    (List.for_all (fun v -> Spec.stores a 5 v) Dims.all_tensors)
+
+let test_capacity_words () =
+  let a = Spec.baseline in
+  (* WBuf: 32KB dedicated to 8-bit weights -> 32768 words *)
+  Alcotest.(check (float 0.5)) "wbuf words" 32768. (Spec.capacity_words a 2 Dims.W);
+  (* GB shared by IA + OA: each gets 64KB; IA 8-bit -> 65536 words *)
+  Alcotest.(check (float 0.5)) "gb IA words" 65536. (Spec.capacity_words a 4 Dims.IA);
+  (* OA is 24-bit: 64KB * 8 / 24 words *)
+  Alcotest.(check (float 1.)) "gb OA words" (64. *. 1024. *. 8. /. 24.)
+    (Spec.capacity_words a 4 Dims.OA);
+  check_bool "dram unlimited" true (Spec.capacity_words a 5 Dims.W = infinity);
+  Alcotest.(check (float 0.)) "not stored = 0" 0. (Spec.capacity_words a 2 Dims.IA)
+
+let test_variants () =
+  let pe64 = Spec.pe64 in
+  check_int "pe64 has 64 PEs" 64 (Spec.num_pes pe64);
+  check_int "8x8 mesh" 8 pe64.Spec.noc.Spec.mesh_x;
+  check_bool "bandwidth doubled" true
+    (pe64.Spec.levels.(4).Spec.bandwidth_words
+     = 2. *. Spec.baseline.Spec.levels.(4).Spec.bandwidth_words);
+  let big = Spec.big_sram in
+  check_int "local x2" (64 * 1024) big.Spec.levels.(2).Spec.capacity_bytes;
+  check_int "gb x8" (1024 * 1024) big.Spec.levels.(4).Spec.capacity_bytes;
+  check_int "same PEs" 16 (Spec.num_pes big);
+  let edge = Spec.edge in
+  check_int "edge has 4 PEs" 4 (Spec.num_pes edge);
+  check_int "edge gb quarter" (32 * 1024) edge.Spec.levels.(4).Spec.capacity_bytes;
+  check_int "four variants" 4 (List.length Spec.variants)
+
+let test_to_string () =
+  let s = Spec.to_string Spec.baseline in
+  check_bool "mentions GlobalBuf" true
+    (let contains sub =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       go 0
+     in
+     contains "GlobalBuf" && contains "DRAM")
+
+let suite =
+  ( "arch",
+    [
+      Alcotest.test_case "Table V baseline" `Quick test_baseline_table5;
+      Alcotest.test_case "B matrix" `Quick test_b_matrix;
+      Alcotest.test_case "capacity words" `Quick test_capacity_words;
+      Alcotest.test_case "variants" `Quick test_variants;
+      Alcotest.test_case "to_string" `Quick test_to_string;
+    ] )

@@ -1,0 +1,68 @@
+(* Cross-validation of the two evaluation platforms: the analytical model
+   and the cycle-level simulator must broadly agree on how schedules rank
+   (the paper's Figs. 6 and 10 rely on both telling a consistent story). *)
+
+let check_bool = Alcotest.(check bool)
+
+let arch = Spec.baseline
+let layer = Layer.create ~name:"xv" ~r:1 ~s:1 ~p:8 ~q:8 ~c:16 ~k:16 ~n:1 ()
+
+let sample_pairs n =
+  let rng = Prim.Rng.create 0xCAFE in
+  let rec go acc k =
+    if k = 0 then acc
+    else
+      match Sampler.valid rng arch layer with
+      | Some m ->
+        let model = (Model.evaluate arch m).Model.latency in
+        let sim = (Noc_sim.simulate ~max_steps:16 arch m).Noc_sim.latency in
+        go ((model, sim) :: acc) (k - 1)
+      | None -> go acc k
+  in
+  go [] n
+
+let test_rank_agreement () =
+  let pairs = sample_pairs 8 in
+  (* Kendall-style concordance: over all pairs of schedules, the two
+     platforms order them the same way more often than not *)
+  let concordant = ref 0 and discordant = ref 0 in
+  List.iteri
+    (fun i (m1, s1) ->
+      List.iteri
+        (fun j (m2, s2) ->
+          if j > i then begin
+            let dm = compare m1 m2 and ds = compare s1 s2 in
+            if dm * ds > 0 then incr concordant
+            else if dm * ds < 0 then incr discordant
+          end)
+        pairs)
+    pairs;
+  check_bool
+    (Printf.sprintf "concordant %d > discordant %d" !concordant !discordant)
+    true
+    (!concordant > !discordant)
+
+let test_sim_never_beats_compute_floor () =
+  List.iter
+    (fun (model, sim) ->
+      ignore model;
+      check_bool "sim above zero" true (sim > 0.))
+    (sample_pairs 4)
+
+let test_extremes_agree_strongly () =
+  let pairs = sample_pairs 8 in
+  let by_model = List.sort (fun (a, _) (b, _) -> compare a b) pairs in
+  match (by_model, List.rev by_model) with
+  | (_, sim_best) :: _, (_, sim_worst) :: _ ->
+    (* the model's best schedule should simulate at most half as slow as
+       the model's worst schedule simulates *)
+    check_bool "extremes ordered" true (sim_best < sim_worst)
+  | _ -> Alcotest.fail "need samples"
+
+let suite =
+  ( "crossval",
+    [
+      Alcotest.test_case "rank agreement" `Slow test_rank_agreement;
+      Alcotest.test_case "sim sanity" `Slow test_sim_never_beats_compute_floor;
+      Alcotest.test_case "extremes agree" `Slow test_extremes_agree_strongly;
+    ] )

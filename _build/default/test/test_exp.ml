@@ -1,0 +1,74 @@
+(* Tests for the experiment harness plumbing (the heavy experiments
+   themselves run from bench/main.exe). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_registry_ids_unique () =
+  let ids = Registry.ids () in
+  check_int "unique" (List.length ids) (List.length (List.sort_uniq compare ids));
+  check_bool "paper artefacts present" true
+    (List.for_all (fun id -> List.mem id ids)
+       [ "fig1"; "fig3"; "fig4"; "tab6"; "fig6"; "fig7"; "fig8"; "fig9a"; "fig9b";
+         "fig10"; "fig11" ])
+
+let test_registry_find () =
+  let e = Registry.find "fig8" in
+  check_bool "title" true (String.length e.Registry.title > 0);
+  check_bool "missing raises" true
+    (match Registry.find "nope" with exception Not_found -> true | _ -> false)
+
+let test_schedule_cache () =
+  let layer = Zoo.find "g3_56_4_4_1" in
+  let t0 = Unix.gettimeofday () in
+  let a = Common.schedule Spec.baseline layer Common.Cosa_s in
+  let t1 = Unix.gettimeofday () in
+  let b = Common.schedule Spec.baseline layer Common.Cosa_s in
+  let t2 = Unix.gettimeofday () in
+  check_bool "same mapping" true
+    (Mapping.fingerprint a.Common.mapping = Mapping.fingerprint b.Common.mapping);
+  (* the second call must be a cache hit: at least 100x faster *)
+  check_bool "cache hit" true (t2 -. t1 < Float.max 1e-4 ((t1 -. t0) /. 100.))
+
+let test_scheduler_names () =
+  Alcotest.(check string) "cosa" "CoSA" (Common.scheduler_name Common.Cosa_s);
+  Alcotest.(check string) "random" "Random" (Common.scheduler_name Common.Random_s);
+  Alcotest.(check string) "hybrid" "TL-Hybrid" (Common.scheduler_name Common.Hybrid_s)
+
+let test_suite_layers () =
+  let layers = Common.suite_layers () in
+  check_bool "covers all suites" true
+    (List.length (List.sort_uniq compare (List.map fst layers)) = 4);
+  check_bool "dozens of layers" true (List.length layers >= 40)
+
+let test_baseline_schedulers_cached () =
+  let layer = Zoo.find "g3_56_4_4_1" in
+  List.iter
+    (fun s ->
+      let r = Common.schedule Spec.baseline layer s in
+      check_bool "valid mapping" true (Mapping.is_valid Spec.baseline r.Common.mapping);
+      check_bool "sane runtime" true (r.Common.runtime >= 0.))
+    Common.[ Cosa_s; Random_s; Hybrid_s ]
+
+let test_fig8_runs () =
+  (* fig8 is the cheapest full experiment: run it end to end *)
+  let report = (Registry.find "fig8").Registry.run () in
+  let contains sub =
+    let n = String.length report and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub report i m = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "mentions CoSA row" true (contains "CoSA");
+  check_bool "mentions objective" true (contains "Eq.12")
+
+let suite =
+  ( "exp",
+    [
+      Alcotest.test_case "registry ids" `Quick test_registry_ids_unique;
+      Alcotest.test_case "registry find" `Quick test_registry_find;
+      Alcotest.test_case "schedule cache" `Slow test_schedule_cache;
+      Alcotest.test_case "scheduler names" `Quick test_scheduler_names;
+      Alcotest.test_case "suite layers" `Quick test_suite_layers;
+      Alcotest.test_case "baselines cached" `Slow test_baseline_schedulers_cached;
+      Alcotest.test_case "fig8 end-to-end" `Slow test_fig8_runs;
+    ] )

@@ -1,0 +1,57 @@
+(* Tests for the experiment-harness helpers in Common. *)
+
+let check_bool = Alcotest.(check bool)
+
+let test_geomean_speedups_pairs () =
+  let base = [ ("a", 10.); ("b", 20.); ("c", 5.) ] in
+  let other = [ ("a", 5.); ("b", 10.); ("d", 1.) ] in
+  let r = Common.geomean_speedups base other in
+  Alcotest.(check (list (pair string (float 1e-9)))) "paired ratios"
+    [ ("a", 2.); ("b", 2.) ] r
+
+let test_geomean_speedups_zero_guard () =
+  let r = Common.geomean_speedups [ ("a", 1.) ] [ ("a", 0.) ] in
+  Alcotest.(check int) "zero denominators dropped" 0 (List.length r)
+
+let test_section_heading () =
+  let buf = Buffer.create 64 in
+  Common.section buf "Hello";
+  let s = Buffer.contents buf in
+  check_bool "title present" true (String.length s > 6);
+  check_bool "underline matches" true
+    (let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' s) in
+     match lines with
+     | [ title; rule ] -> String.length title = String.length rule
+     | _ -> false)
+
+let test_metrics_monotone () =
+  (* the three Common metric accessors must agree with Model.evaluate *)
+  let arch = Spec.baseline in
+  let layer = Layer.create ~name:"cm" ~r:1 ~s:1 ~p:4 ~q:4 ~c:8 ~k:8 ~n:1 () in
+  let m = Cosa.trivial_mapping arch layer in
+  let e = Model.evaluate arch m in
+  Alcotest.(check (float 1e-6)) "latency" e.Model.latency (Common.latency arch m);
+  Alcotest.(check (float 1e-6)) "energy" e.Model.energy_pj (Common.energy arch m);
+  Alcotest.(check (float 1e-6)) "noc energy" e.Model.noc_energy_pj (Common.noc_energy arch m)
+
+let test_cache_key_isolation () =
+  (* the same layer under different metrics must be cached separately for
+     the search-based schedulers *)
+  let arch = Spec.baseline in
+  let layer = Layer.create ~name:"iso_t" ~r:1 ~s:1 ~p:8 ~q:8 ~c:16 ~k:16 ~n:1 () in
+  let by_lat = Common.schedule ~metric:`Latency arch layer Common.Hybrid_s in
+  let by_en = Common.schedule ~metric:`Energy arch layer Common.Hybrid_s in
+  (* energy-optimised pick has energy no worse than the latency-optimised *)
+  check_bool "energy cache not clobbered" true
+    (Common.energy arch by_en.Common.mapping
+     <= Common.energy arch by_lat.Common.mapping +. 1e-6)
+
+let suite =
+  ( "exp_common",
+    [
+      Alcotest.test_case "geomean pairs" `Quick test_geomean_speedups_pairs;
+      Alcotest.test_case "zero guard" `Quick test_geomean_speedups_zero_guard;
+      Alcotest.test_case "section heading" `Quick test_section_heading;
+      Alcotest.test_case "metric accessors" `Quick test_metrics_monotone;
+      Alcotest.test_case "cache key isolation" `Slow test_cache_key_isolation;
+    ] )

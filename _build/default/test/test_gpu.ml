@@ -1,0 +1,113 @@
+(* Tests for the GPU case-study library. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let spec = Gpu.k80
+
+let tiling ~bm ~bn ~bk ~tm ~tn =
+  { Gpu.block_m = bm; block_n = bn; block_k = bk; thread_m = tm; thread_n = tn }
+
+let g = { Gpu.m = 256; n = 256; k = 256 }
+
+let test_gemm_of_layer () =
+  let l = Layer.create ~r:3 ~s:3 ~p:14 ~q:14 ~c:256 ~k:512 ~n:2 () in
+  let gg = Gpu.gemm_of_layer l in
+  check_int "m = output channels" 512 gg.Gpu.m;
+  check_int "n = spatial x batch" (14 * 14 * 2) gg.Gpu.n;
+  check_int "k = reduction" (256 * 3 * 3) gg.Gpu.k
+
+let test_valid () =
+  check_bool "reasonable tiling" true
+    (Gpu.valid spec g (tiling ~bm:64 ~bn:64 ~bk:16 ~tm:4 ~tn:4));
+  (* too many threads per block: 128*128 / 1 = 16384 *)
+  check_bool "thread overflow" false
+    (Gpu.valid spec g (tiling ~bm:128 ~bn:128 ~bk:8 ~tm:1 ~tn:1));
+  (* shared memory overflow: (256*64 + 64*256)*4 = 128KB > 48KB *)
+  check_bool "smem overflow" false
+    (Gpu.valid spec g (tiling ~bm:256 ~bn:256 ~bk:64 ~tm:16 ~tn:16));
+  (* register overflow: 16*16 + 32 > 32 *)
+  check_bool "register overflow" false
+    (Gpu.valid spec g (tiling ~bm:64 ~bn:64 ~bk:8 ~tm:16 ~tn:16));
+  (* misaligned thread tile *)
+  check_bool "divisibility" false
+    (Gpu.valid spec g (tiling ~bm:64 ~bn:64 ~bk:8 ~tm:3 ~tn:4));
+  (* block larger than the problem *)
+  check_bool "block exceeds problem" false
+    (Gpu.valid spec g (tiling ~bm:512 ~bn:64 ~bk:8 ~tm:4 ~tn:4))
+
+let test_latency () =
+  let t = tiling ~bm:64 ~bn:64 ~bk:16 ~tm:4 ~tn:4 in
+  let l = Gpu.latency spec g t in
+  check_bool "positive" true (l > 0. && l < infinity);
+  check_bool "invalid is infinite" true
+    (Gpu.latency spec g (tiling ~bm:512 ~bn:64 ~bk:8 ~tm:4 ~tn:4) = infinity);
+  (* compute lower bound: mnk / cores *)
+  let floor_cycles =
+    float_of_int g.Gpu.m *. float_of_int g.Gpu.n *. float_of_int g.Gpu.k
+    /. float_of_int spec.Gpu.cores
+  in
+  check_bool "above compute floor" true (l >= floor_cycles -. 1e-6)
+
+let test_cosa_schedule_valid () =
+  List.iter
+    (fun (m, n, k) ->
+      let g = { Gpu.m; n; k } in
+      let r = Gpu.cosa_schedule spec g in
+      check_bool
+        (Printf.sprintf "valid for %dx%dx%d" m n k)
+        true (Gpu.valid spec g r.Gpu.tiling);
+      check_bool "finite latency" true (r.Gpu.latency < infinity);
+      check_int "one-shot" 1 r.Gpu.evaluations)
+    [ (256, 256, 256); (512, 49, 4608); (64, 3136, 256); (1000, 1, 2048); (1, 1, 1) ]
+
+let test_tvm_search_valid () =
+  let rng = Prim.Rng.create 12 in
+  let r = Gpu.tvm_search ~trials:30 rng spec g in
+  check_bool "valid" true (Gpu.valid spec g r.Gpu.tiling);
+  check_bool "counts evaluations" true (r.Gpu.evaluations >= 30)
+
+let test_cosa_competitive () =
+  (* on a square compute-bound GEMM, one-shot CoSA should be within 2x of a
+     50-trial search *)
+  let rng = Prim.Rng.create 13 in
+  let c = Gpu.cosa_schedule spec g in
+  let t = Gpu.tvm_search rng spec g in
+  check_bool "within 2x of TVM" true (c.Gpu.latency <= 2. *. t.Gpu.latency)
+
+let prop_tvm_results_valid =
+  QCheck.Test.make ~name:"tvm search always returns valid tilings" ~count:25
+    (QCheck.make
+       QCheck.Gen.(
+         map
+           (fun (m, (n, k)) -> { Gpu.m; n; k })
+           (pair (int_range 1 1024) (pair (int_range 1 1024) (int_range 1 2048)))))
+    (fun g ->
+      let rng = Prim.Rng.create 14 in
+      let r = Gpu.tvm_search ~trials:10 rng spec g in
+      Gpu.valid spec g r.Gpu.tiling)
+
+let prop_cosa_results_valid =
+  QCheck.Test.make ~name:"cosa-gpu always returns valid tilings" ~count:20
+    (QCheck.make
+       QCheck.Gen.(
+         map
+           (fun (m, (n, k)) -> { Gpu.m; n; k })
+           (pair (int_range 1 1024) (pair (int_range 1 1024) (int_range 1 2048)))))
+    (fun g ->
+      let r = Gpu.cosa_schedule spec g in
+      Gpu.valid spec g r.Gpu.tiling)
+
+let suite =
+  let qc = QCheck_alcotest.to_alcotest in
+  ( "gpu",
+    [
+      Alcotest.test_case "gemm_of_layer" `Quick test_gemm_of_layer;
+      Alcotest.test_case "validity rules" `Quick test_valid;
+      Alcotest.test_case "latency model" `Quick test_latency;
+      Alcotest.test_case "cosa schedule valid" `Quick test_cosa_schedule_valid;
+      Alcotest.test_case "tvm search valid" `Quick test_tvm_search_valid;
+      Alcotest.test_case "cosa competitive" `Quick test_cosa_competitive;
+      qc prop_tvm_results_valid;
+      qc prop_cosa_results_valid;
+    ] )

@@ -1,0 +1,96 @@
+(* Cross-module integration tests: the end-to-end behaviours the paper's
+   evaluation depends on. *)
+
+let check_bool = Alcotest.(check bool)
+
+let arch = Spec.baseline
+
+(* The headline ordering: CoSA <= Hybrid <= Random (latency), allowing
+   small tolerances since Hybrid is stochastic. *)
+let test_scheduler_ordering () =
+  List.iter
+    (fun name ->
+      let layer = Zoo.find name in
+      let cosa =
+        (Model.evaluate arch (Cosa.schedule ~time_limit:3. arch layer).Cosa.mapping)
+          .Model.latency
+      in
+      let rng = Prim.Rng.create 17 in
+      let random =
+        match (Random_mapper.search rng arch layer).Baseline.best with
+        | Some m -> (Model.evaluate arch m).Model.latency
+        | None -> infinity
+      in
+      let hybrid =
+        match (Hybrid_mapper.search ~threads:8 rng arch layer).Baseline.best with
+        | Some m -> (Model.evaluate arch m).Model.latency
+        | None -> infinity
+      in
+      check_bool (name ^ ": cosa beats random") true (cosa <= random *. 1.05);
+      check_bool (name ^ ": hybrid beats random") true (hybrid <= random *. 1.05);
+      check_bool (name ^ ": cosa competitive with hybrid") true (cosa <= hybrid *. 1.6))
+    [ "3_14_256_256_1"; "g3_28_8_8_1" ]
+
+(* The analytical model and the NoC simulator must agree on ordering for
+   clearly-separated schedules. *)
+let test_platforms_agree_on_extremes () =
+  let layer = Zoo.find "g3_14_16_16_1" in
+  let good = (Cosa.schedule ~time_limit:3. arch layer).Cosa.mapping in
+  let bad = Cosa.trivial_mapping arch layer in
+  let model_good = (Model.evaluate arch good).Model.latency in
+  let model_bad = (Model.evaluate arch bad).Model.latency in
+  let sim_good = (Noc_sim.simulate ~max_steps:16 arch good).Noc_sim.latency in
+  let sim_bad = (Noc_sim.simulate ~max_steps:16 arch bad).Noc_sim.latency in
+  check_bool "model orders them" true (model_good < model_bad);
+  check_bool "sim orders them" true (sim_good < sim_bad)
+
+(* Scheduling must work on all three shipped architectures. *)
+let test_all_architectures () =
+  let layer = Zoo.find "g3_28_8_8_1" in
+  List.iter
+    (fun (name, a) ->
+      let r = Cosa.schedule ~time_limit:3. a layer in
+      check_bool (name ^ " valid") true (Mapping.is_valid a r.Cosa.mapping);
+      let e = Model.evaluate a r.Cosa.mapping in
+      check_bool (name ^ " evaluates") true (e.Model.latency > 0.))
+    Spec.variants
+
+(* More parallel hardware should never make CoSA's schedule slower on the
+   same layer (it can always fall back to not using the extra PEs). *)
+let test_bigger_array_not_slower () =
+  let layer = Zoo.find "3_14_256_256_1" in
+  let lat a = (Model.evaluate a (Cosa.schedule ~time_limit:3. a layer).Cosa.mapping).Model.latency in
+  check_bool "64 PEs <= 16 PEs latency" true (lat Spec.pe64 <= lat Spec.baseline *. 1.1)
+
+(* NoC-level energy should track the flit-hop count of the simulator in
+   direction (more hops, more energy) across multicast on/off. *)
+let test_energy_hops_direction () =
+  let layer = Zoo.find "g3_28_8_8_1" in
+  let m = (Cosa.schedule ~time_limit:3. arch layer).Cosa.mapping in
+  let no_mc = { arch with Spec.noc = { arch.Spec.noc with Spec.multicast = false } } in
+  let e_mc = (Model.evaluate arch m).Model.noc_energy_pj in
+  let e_no = (Model.evaluate no_mc m).Model.noc_energy_pj in
+  let h_mc = (Noc_sim.simulate ~max_steps:16 arch m).Noc_sim.flit_hops in
+  let h_no = (Noc_sim.simulate ~max_steps:16 no_mc m).Noc_sim.flit_hops in
+  check_bool "model energy rises without multicast" true (e_no >= e_mc);
+  check_bool "sim hops rise without multicast" true (h_no >= h_mc)
+
+(* The full-network example path: schedule a whole suite quickly and keep
+   every mapping valid. *)
+let test_whole_suite_schedulable () =
+  List.iter
+    (fun (layer : Layer.t) ->
+      let r = Cosa.schedule ~strategy:Cosa.Two_stage ~time_limit:1.5 arch layer in
+      check_bool (layer.Layer.name ^ " valid") true (Mapping.is_valid arch r.Cosa.mapping))
+    Zoo.deepbench_face
+
+let suite =
+  ( "integration",
+    [
+      Alcotest.test_case "scheduler ordering" `Slow test_scheduler_ordering;
+      Alcotest.test_case "platforms agree" `Slow test_platforms_agree_on_extremes;
+      Alcotest.test_case "all architectures" `Slow test_all_architectures;
+      Alcotest.test_case "bigger array" `Slow test_bigger_array_not_slower;
+      Alcotest.test_case "energy vs hops" `Slow test_energy_hops_direction;
+      Alcotest.test_case "whole suite" `Slow test_whole_suite_schedulable;
+    ] )

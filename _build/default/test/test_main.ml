@@ -1,0 +1,29 @@
+(* Test entry point: every module suite, unit and property tests. *)
+
+let () =
+  Alcotest.run "cosa"
+    [
+      Test_prim.suite;
+      Test_milp.suite;
+      Test_simplex.suite;
+      Test_presolve.suite;
+      Test_workload.suite;
+      Test_arch.suite;
+      Test_mapping.suite;
+      Test_mapping_io.suite;
+      Test_mapspace_network.suite;
+      Test_model.suite;
+      Test_model_counts.suite;
+      Test_noc.suite;
+      Test_mesh_wormhole.suite;
+      Test_cosa.suite;
+      Test_decode.suite;
+      Test_objective.suite;
+      Test_mappers.suite;
+      Test_search_mappers.suite;
+      Test_gpu.suite;
+      Test_exp.suite;
+      Test_exp_common.suite;
+      Test_integration.suite;
+      Test_crossval.suite;
+    ]

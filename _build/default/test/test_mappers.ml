@@ -1,0 +1,88 @@
+(* Tests for the baseline schedulers. *)
+
+let check_bool = Alcotest.(check bool)
+
+let arch = Spec.baseline
+let layer = Layer.create ~name:"map_t" ~r:1 ~s:1 ~p:8 ~q:8 ~c:16 ~k:16 ~n:1 ()
+
+let test_random_search () =
+  let rng = Prim.Rng.create 1 in
+  let o = Random_mapper.search ~max_samples:2_000 rng arch layer in
+  check_bool "found something" true (o.Baseline.best <> None);
+  (match o.Baseline.best with
+   | Some m -> check_bool "best is valid" true (Mapping.is_valid arch m)
+   | None -> ());
+  check_bool "counted samples" true (o.Baseline.samples > 0);
+  check_bool "metric recorded" true (o.Baseline.best_metric < infinity)
+
+let test_random_stops_at_target () =
+  let rng = Prim.Rng.create 2 in
+  let o = Random_mapper.search ~target_valid:1 rng arch layer in
+  check_bool "stops after first valid" true (o.Baseline.valid <= 2)
+
+let test_random_deterministic () =
+  let run seed =
+    let rng = Prim.Rng.create seed in
+    (Random_mapper.search ~max_samples:1_000 rng arch layer).Baseline.best_metric
+  in
+  Alcotest.(check (float 0.)) "same seed same result" (run 7) (run 7);
+  ignore (run 8)
+
+let test_hybrid_search () =
+  let rng = Prim.Rng.create 3 in
+  let o = Hybrid_mapper.search ~threads:4 ~termination:100 rng arch layer in
+  check_bool "found something" true (o.Baseline.best <> None);
+  (match o.Baseline.best with
+   | Some m -> check_bool "valid" true (Mapping.is_valid arch m)
+   | None -> ());
+  check_bool "evaluated many" true (o.Baseline.valid > 50)
+
+let test_hybrid_beats_random () =
+  (* with its permutation scan and self-termination, Hybrid should not lose
+     to best-of-5 random on a non-trivial layer *)
+  let l = Zoo.find "3_28_128_128_1" in
+  let r = Random_mapper.search (Prim.Rng.create 4) arch l in
+  let h = Hybrid_mapper.search ~threads:8 (Prim.Rng.create 4) arch l in
+  check_bool "hybrid <= random latency" true
+    (h.Baseline.best_metric <= r.Baseline.best_metric +. 1e-9)
+
+let test_energy_metric_changes_choice () =
+  let l = Zoo.find "3_28_128_128_1" in
+  let by_lat =
+    Hybrid_mapper.search ~threads:4 ~termination:100 ~metric:Baseline.latency_metric
+      (Prim.Rng.create 5) arch l
+  in
+  let by_en =
+    Hybrid_mapper.search ~threads:4 ~termination:100 ~metric:Baseline.energy_metric
+      (Prim.Rng.create 5) arch l
+  in
+  (* the energy-optimised run must have energy no worse than the
+     latency-optimised run's energy *)
+  match (by_en.Baseline.best, by_lat.Baseline.best) with
+  | Some me, Some ml ->
+    check_bool "energy metric optimises energy" true
+      (Baseline.energy_metric arch me <= Baseline.energy_metric arch ml +. 1e-6)
+  | _ -> Alcotest.fail "both searches should find mappings"
+
+let test_metrics_positive () =
+  let rng = Prim.Rng.create 6 in
+  match Sampler.valid rng arch layer with
+  | None -> Alcotest.fail "sampler failed"
+  | Some m ->
+    check_bool "latency > 0" true (Baseline.latency_metric arch m > 0.);
+    check_bool "energy > 0" true (Baseline.energy_metric arch m > 0.);
+    Alcotest.(check (float 1.)) "edp = product"
+      (Baseline.latency_metric arch m *. Baseline.energy_metric arch m)
+      (Baseline.edp_metric arch m)
+
+let suite =
+  ( "mappers",
+    [
+      Alcotest.test_case "random search" `Quick test_random_search;
+      Alcotest.test_case "random early stop" `Quick test_random_stops_at_target;
+      Alcotest.test_case "random deterministic" `Quick test_random_deterministic;
+      Alcotest.test_case "hybrid search" `Quick test_hybrid_search;
+      Alcotest.test_case "hybrid beats random" `Slow test_hybrid_beats_random;
+      Alcotest.test_case "energy metric" `Slow test_energy_metric_changes_choice;
+      Alcotest.test_case "metrics positive" `Quick test_metrics_positive;
+    ] )

@@ -1,0 +1,93 @@
+(* Tests for schedule serialisation. *)
+
+let check_bool = Alcotest.(check bool)
+
+let arch = Spec.baseline
+
+let test_roundtrip_simple () =
+  let layer = Layer.create ~name:"io_t" ~r:3 ~s:3 ~p:8 ~q:8 ~c:16 ~k:16 ~n:1 ~stride:2 () in
+  let rng = Prim.Rng.create 88 in
+  match Sampler.valid rng arch layer with
+  | None -> Alcotest.fail "sampler failed"
+  | Some m ->
+    let text = Mapping_io.to_string m in
+    (match Mapping_io.of_string text with
+     | Error e -> Alcotest.fail e
+     | Ok m' ->
+       Alcotest.(check string) "fingerprints equal" (Mapping.fingerprint m)
+         (Mapping.fingerprint m');
+       Alcotest.(check string) "layer preserved" (Layer.to_string m.Mapping.layer)
+         (Layer.to_string m'.Mapping.layer))
+
+let test_roundtrip_file () =
+  let layer = Zoo.find "g3_56_4_4_1" in
+  let m = Cosa.trivial_mapping arch layer in
+  let path = Filename.temp_file "cosa_map" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Mapping_io.save path m;
+      match Mapping_io.load path with
+      | Ok m' ->
+        Alcotest.(check string) "file roundtrip" (Mapping.fingerprint m)
+          (Mapping.fingerprint m')
+      | Error e -> Alcotest.fail e)
+
+let expect_error what text =
+  match Mapping_io.of_string text with
+  | Ok _ -> Alcotest.fail (what ^ ": expected a parse error")
+  | Error _ -> ()
+
+let test_parse_errors () =
+  expect_error "empty" "";
+  expect_error "no layer line" "level 0\n";
+  expect_error "bad dim" "layer x r=1 s=1 p=1 q=1 c=1 k=1 n=1 stride=1\nlevel 0 temporal Z:4\n";
+  expect_error "bad bound" "layer x r=1 s=1 p=1 q=1 c=1 k=1 n=1 stride=1\nlevel 0 temporal P:zero\n";
+  expect_error "negative bound" "layer x r=1 s=1 p=1 q=1 c=1 k=1 n=1 stride=1\nlevel 0 temporal P:-2\n";
+  expect_error "missing kv" "layer x r=1 s=1 p=1 q=1 c=1 k=1 n=1\nlevel 0\n";
+  expect_error "levels out of order" "layer x r=1 s=1 p=1 q=1 c=1 k=1 n=1 stride=1\nlevel 1\n";
+  expect_error "no levels" "layer x r=1 s=1 p=1 q=1 c=1 k=1 n=1 stride=1\n"
+
+let test_parse_valid_text () =
+  let text =
+    "layer demo r=1 s=1 p=4 q=4 c=8 k=8 n=1 stride=1\n\
+     level 0 temporal P:4,Q:4 spatial K:8\n\
+     level 1\n\
+     level 2 temporal C:2\n\
+     level 3 spatial C:4\n\
+     level 4\n\
+     level 5\n"
+  in
+  match Mapping_io.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+    check_bool "valid on baseline" true (Mapping.is_valid arch m);
+    Alcotest.(check int) "six levels" 6 (Array.length m.Mapping.levels);
+    Alcotest.(check int) "K spatial" 8 (Mapping.spatial_product m 0)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"serialisation roundtrips random valid mappings" ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         map
+           (fun (r, (p, (c, k))) -> Layer.create ~r ~s:r ~p ~q:p ~c ~k ~n:1 ())
+           (pair (int_range 1 3) (pair (int_range 1 16) (pair (int_range 1 64) (int_range 1 64))))))
+    (fun layer ->
+      let rng = Prim.Rng.create 89 in
+      match Sampler.valid rng arch layer with
+      | None -> true
+      | Some m ->
+        (match Mapping_io.of_string (Mapping_io.to_string m) with
+         | Ok m' -> Mapping.fingerprint m = Mapping.fingerprint m'
+         | Error _ -> false))
+
+let suite =
+  let qc = QCheck_alcotest.to_alcotest in
+  ( "mapping_io",
+    [
+      Alcotest.test_case "roundtrip" `Quick test_roundtrip_simple;
+      Alcotest.test_case "file roundtrip" `Quick test_roundtrip_file;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "parse valid text" `Quick test_parse_valid_text;
+      qc prop_roundtrip;
+    ] )

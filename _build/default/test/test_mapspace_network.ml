@@ -1,0 +1,76 @@
+(* Tests for the mapspace-size calculator and whole-network workloads. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let arch = Spec.baseline
+
+let test_mapspace_small_exact () =
+  (* C = 4 = 2^2 only: multiset(2 factors, 6 levels) = C(7,5) = 21 tilings *)
+  let l = Layer.create ~name:"ms" ~r:1 ~s:1 ~p:1 ~q:1 ~c:4 ~k:1 ~n:1 () in
+  Alcotest.(check (float 1e-9)) "tilings" 21. (Mapspace.tilings arch l);
+  let c = Mapspace.count arch l in
+  Alcotest.(check (float 1e-9)) "spatial axis" 4. c.Mapspace.spatial_choices;
+  Alcotest.(check (float 1e-9)) "orderings" 2. c.Mapspace.permutations;
+  Alcotest.(check (float 1e-9)) "configurations" (21. *. 4. *. 2.)
+    c.Mapspace.configurations
+
+let test_mapspace_unit_layer () =
+  let l = Layer.create ~name:"msu" ~r:1 ~s:1 ~p:1 ~q:1 ~c:1 ~k:1 ~n:1 () in
+  Alcotest.(check (float 1e-9)) "one tiling" 1. (Mapspace.tilings arch l);
+  Alcotest.(check (float 1e-9)) "one configuration" 1. (Mapspace.configurations arch l)
+
+let test_mapspace_paper_scale () =
+  (* the Section II-A layer: the space must be in the billions or beyond *)
+  let l = Zoo.find "3_14_256_256_1" in
+  check_bool "billions of configurations" true
+    (Mapspace.log10_configurations arch l > 9.);
+  check_bool "report mentions magnitude" true
+    (String.length (Mapspace.report arch l) > 20)
+
+let test_mapspace_monotone () =
+  (* more factors, more schedules *)
+  let small = Layer.create ~name:"s" ~r:1 ~s:1 ~p:4 ~q:4 ~c:16 ~k:16 ~n:1 () in
+  let big = Layer.create ~name:"b" ~r:3 ~s:3 ~p:16 ~q:16 ~c:64 ~k:64 ~n:1 () in
+  check_bool "bigger layer, bigger space" true
+    (Mapspace.configurations arch big > Mapspace.configurations arch small)
+
+let test_network_counts () =
+  (* ResNet-50 has 53 convolutions + 1 FC *)
+  check_int "resnet50 layer instances" 54 (Network.layer_count Network.resnet50);
+  check_bool "macs ~ 4 GMACs (batch 1)" true
+    (let m = Network.total_macs Network.resnet50 in
+     m > 3.5e9 && m < 4.5e9)
+
+let test_network_entries_resolve () =
+  List.iter
+    (fun (net : Network.t) ->
+      List.iter
+        (fun (e : Network.entry) ->
+          check_bool
+            (net.Network.nname ^ "/" ^ e.Network.layer.Layer.name)
+            true (e.Network.repeats >= 1))
+        net.Network.entries)
+    Network.networks
+
+let test_network_schedulable () =
+  (* every distinct shape in both networks must already be in the zoo and
+     be schedulable with a quick two-stage solve *)
+  List.iter
+    (fun (e : Network.entry) ->
+      let r = Cosa.schedule ~strategy:Cosa.Two_stage ~time_limit:1. arch e.Network.layer in
+      check_bool (e.Network.layer.Layer.name ^ " valid") true
+        (Mapping.is_valid arch r.Cosa.mapping))
+    (List.filteri (fun i _ -> i mod 5 = 0) Network.resnet50.Network.entries)
+
+let suite =
+  ( "mapspace_network",
+    [
+      Alcotest.test_case "mapspace exact small" `Quick test_mapspace_small_exact;
+      Alcotest.test_case "mapspace unit" `Quick test_mapspace_unit_layer;
+      Alcotest.test_case "mapspace paper scale" `Quick test_mapspace_paper_scale;
+      Alcotest.test_case "mapspace monotone" `Quick test_mapspace_monotone;
+      Alcotest.test_case "network counts" `Quick test_network_counts;
+      Alcotest.test_case "network entries" `Quick test_network_entries_resolve;
+      Alcotest.test_case "network schedulable" `Slow test_network_schedulable;
+    ] )

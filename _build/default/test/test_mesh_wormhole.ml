@@ -1,0 +1,107 @@
+(* Wormhole-protocol tests: channel locking, flit ordering, backpressure,
+   and hop-count accounting of the mesh. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let noc_spec = Spec.baseline.Spec.noc
+
+let run_until_idle ?(cap = 200_000) mesh =
+  let deliveries = ref [] in
+  let n = ref 0 in
+  while (not (Mesh.idle mesh)) && !n < cap do
+    incr n;
+    Mesh.step mesh;
+    deliveries := !deliveries @ Mesh.delivered mesh
+  done;
+  check_bool "drained" true (Mesh.idle mesh);
+  !deliveries
+
+let test_one_hop_per_cycle () =
+  (* a single 1-flit packet to the far corner takes at least the Manhattan
+     distance plus injection/ejection in cycles *)
+  let mesh = Mesh.create noc_spec in
+  Mesh.inject mesh Mesh.Gb
+    (Packet.make ~id:0 ~src:(-1) ~dests:[ 15 ] ~flits:1 ~tensor:Dims.W ~step:0);
+  ignore (run_until_idle mesh);
+  (* (0,0) -> (3,3): 6 links + inject + eject = 8 moves minimum *)
+  check_bool "cycle lower bound" true (Mesh.cycles mesh >= 8);
+  check_int "hop count exact" 8 (Mesh.flit_hops mesh)
+
+let test_hops_scale_with_flits () =
+  let hops n_flits =
+    let mesh = Mesh.create noc_spec in
+    Mesh.inject mesh Mesh.Gb
+      (Packet.make ~id:0 ~src:(-1) ~dests:[ 5 ] ~flits:n_flits ~tensor:Dims.W ~step:0);
+    ignore (run_until_idle mesh);
+    Mesh.flit_hops mesh
+  in
+  let h1 = hops 1 and h4 = hops 4 in
+  check_int "4 flits, 4x the hops" (4 * h1) h4
+
+let test_pipeline_throughput () =
+  (* a long packet pipelines: latency ~ path + flits, not path * flits *)
+  let mesh = Mesh.create noc_spec in
+  let flits = 32 in
+  Mesh.inject mesh Mesh.Gb
+    (Packet.make ~id:0 ~src:(-1) ~dests:[ 15 ] ~flits ~tensor:Dims.IA ~step:0);
+  ignore (run_until_idle mesh);
+  let path = 8 in
+  check_bool "pipelined latency" true
+    (Mesh.cycles mesh < path * flits && Mesh.cycles mesh >= path + flits - 1)
+
+let test_wormhole_no_interleaving () =
+  (* two multi-flit packets to the same destination share channels; wormhole
+     locking must keep each packet's flits contiguous so both still arrive
+     complete (delivery only fires when all flits arrived) *)
+  let mesh = Mesh.create noc_spec in
+  for i = 0 to 7 do
+    Mesh.inject mesh Mesh.Gb
+      (Packet.make ~id:i ~src:(-1) ~dests:[ 10 ] ~flits:7 ~tensor:Dims.W ~step:0)
+  done;
+  let delivered = run_until_idle mesh in
+  check_int "all packets arrive complete" 8 (List.length delivered)
+
+let test_backpressure_tiny_queues () =
+  (* queue depth 1 forces heavy backpressure; traffic must still drain *)
+  let spec = { noc_spec with Spec.queue_depth = 1 } in
+  let mesh = Mesh.create spec in
+  for i = 0 to 15 do
+    Mesh.inject mesh Mesh.Gb
+      (Packet.make ~id:i ~src:(-1) ~dests:[ i ] ~flits:4 ~tensor:Dims.IA ~step:0)
+  done;
+  let delivered = run_until_idle ~cap:500_000 mesh in
+  check_int "all drained under backpressure" 16 (List.length delivered)
+
+let test_multicast_tree_hop_count () =
+  (* multicast to a full row: trunk shared, one branch per column *)
+  let mesh = Mesh.create noc_spec in
+  Mesh.inject mesh Mesh.Gb
+    (Packet.make ~id:0 ~src:(-1) ~dests:[ 0; 1; 2; 3 ] ~flits:1 ~tensor:Dims.W ~step:0);
+  ignore (run_until_idle mesh);
+  (* inject + 3 east links + 4 ejections = 8 moves for the X-Y tree *)
+  check_int "tree hops" 8 (Mesh.flit_hops mesh)
+
+let test_bidirectional_fairness () =
+  (* opposite-direction streams share routers without starvation *)
+  let mesh = Mesh.create noc_spec in
+  for i = 0 to 30 do
+    Mesh.inject mesh (Mesh.Node 3)
+      (Packet.make ~id:i ~src:3 ~dests:[ 12 ] ~flits:3 ~tensor:Dims.OA ~step:0);
+    Mesh.inject mesh (Mesh.Node 12)
+      (Packet.make ~id:(100 + i) ~src:12 ~dests:[ 3 ] ~flits:3 ~tensor:Dims.OA ~step:0)
+  done;
+  let delivered = run_until_idle ~cap:500_000 mesh in
+  check_int "both streams complete" 62 (List.length delivered)
+
+let suite =
+  ( "mesh_wormhole",
+    [
+      Alcotest.test_case "one hop per cycle" `Quick test_one_hop_per_cycle;
+      Alcotest.test_case "hops scale with flits" `Quick test_hops_scale_with_flits;
+      Alcotest.test_case "pipeline throughput" `Quick test_pipeline_throughput;
+      Alcotest.test_case "no interleaving" `Quick test_wormhole_no_interleaving;
+      Alcotest.test_case "backpressure depth 1" `Quick test_backpressure_tiny_queues;
+      Alcotest.test_case "multicast tree hops" `Quick test_multicast_tree_hop_count;
+      Alcotest.test_case "bidirectional fairness" `Quick test_bidirectional_fairness;
+    ] )

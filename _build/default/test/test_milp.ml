@@ -1,0 +1,299 @@
+(* Tests for the MILP substrate: model builder, simplex, branch-and-bound. *)
+
+open Milp
+
+let check_float = Alcotest.(check (float 1e-6))
+let check_bool = Alcotest.(check bool)
+
+let status_pp = function
+  | Bb.Optimal -> "optimal"
+  | Bb.Feasible -> "feasible"
+  | Bb.Infeasible -> "infeasible"
+  | Bb.Unbounded -> "unbounded"
+  | Bb.No_solution -> "no_solution"
+
+let check_status what expect got =
+  Alcotest.(check string) what (status_pp expect) (status_pp got)
+
+(* --- Lp model builder --- *)
+
+let test_lp_builder () =
+  let m = Lp.create ~name:"t" () in
+  let x = Lp.add_var m ~lb:1. ~ub:5. "x" in
+  let y = Lp.add_var m ~integer:true "y" in
+  Alcotest.(check int) "num_vars" 2 (Lp.num_vars m);
+  Alcotest.(check string) "name" "x" (Lp.var_name m x);
+  check_bool "integer flag" true (Lp.is_integer m y);
+  check_bool "continuous flag" false (Lp.is_integer m x);
+  Alcotest.(check (pair (float 0.) (float 0.))) "bounds" (1., 5.) (Lp.bounds m x);
+  Lp.add_constr m [ (1., x); (2., x); (1., y) ] Lp.Le 10.;
+  (* duplicate terms are merged *)
+  let rows = Lp.constrs m in
+  Alcotest.(check int) "one row" 1 (Array.length rows);
+  let terms, _, _ = rows.(0) in
+  Alcotest.(check int) "merged terms" 2 (Array.length terms);
+  check_bool "dump mentions vars" true (String.length (Lp.to_string m) > 0)
+
+let test_lp_bad_bounds () =
+  let m = Lp.create () in
+  Alcotest.check_raises "lb > ub" (Invalid_argument "Lp.add_var bad: lb > ub") (fun () ->
+      ignore (Lp.add_var m ~lb:2. ~ub:1. "bad"))
+
+(* --- LP solving through the relaxation --- *)
+
+let solve_lp m = Bb.solve ~node_limit:1000 ~time_limit:10. m
+
+let test_lp_max () =
+  (* max 3x + 2y st x + y <= 4, x + 3y <= 6 -> (4, 0), obj 12 *)
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+  Lp.add_constr m [ (1., x); (1., y) ] Lp.Le 4.;
+  Lp.add_constr m [ (1., x); (3., y) ] Lp.Le 6.;
+  Lp.set_objective m `Maximize [ (3., x); (2., y) ];
+  let r = solve_lp m in
+  check_status "status" Bb.Optimal r.Bb.status;
+  check_float "obj" 12. r.Bb.obj;
+  check_float "x" 4. (Bb.value r x);
+  check_float "y" 0. (Bb.value r y)
+
+let test_lp_equality_and_ge () =
+  (* min 2u + v st u + v = 7, u - v >= 1 -> u=4, v=3, obj 11 *)
+  let m = Lp.create () in
+  let u = Lp.add_var m "u" and v = Lp.add_var m "v" in
+  Lp.add_constr m [ (1., u); (1., v) ] Lp.Eq 7.;
+  Lp.add_constr m [ (1., u); (-1., v) ] Lp.Ge 1.;
+  Lp.set_objective m `Minimize [ (2., u); (1., v) ];
+  let r = solve_lp m in
+  check_float "obj" 11. r.Bb.obj;
+  check_float "u" 4. (Bb.value r u)
+
+let test_lp_infeasible () =
+  let m = Lp.create () in
+  let w = Lp.add_var m ~ub:1. "w" in
+  Lp.add_constr m [ (1., w) ] Lp.Ge 2.;
+  check_status "status" Bb.Infeasible (solve_lp m).Bb.status
+
+let test_lp_unbounded () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  Lp.set_objective m `Maximize [ (1., x) ];
+  check_status "status" Bb.Unbounded (solve_lp m).Bb.status
+
+let test_lp_bounded_vars () =
+  (* variable upper bounds must be honoured without explicit rows *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~lb:2. ~ub:3. "x" and y = Lp.add_var m ~ub:10. "y" in
+  Lp.add_constr m [ (1., x); (1., y) ] Lp.Le 8.;
+  Lp.set_objective m `Maximize [ (1., x); (1., y) ];
+  let r = solve_lp m in
+  check_float "obj" 8. r.Bb.obj;
+  check_bool "x within bounds" true (Bb.value r x <= 3. +. 1e-9 && Bb.value r x >= 2. -. 1e-9)
+
+let test_lp_negative_lb () =
+  (* min x st x >= -5 with objective x -> -5 *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~lb:(-5.) ~ub:5. "x" in
+  Lp.set_objective m `Minimize [ (1., x) ];
+  let r = solve_lp m in
+  check_float "obj" (-5.) r.Bb.obj
+
+let test_lp_objective_constant () =
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:1. "x" in
+  Lp.set_objective m `Maximize ~constant:10. [ (1., x) ];
+  check_float "obj with constant" 11. (solve_lp m).Bb.obj
+
+let test_lp_no_constraints () =
+  let m = Lp.create () in
+  let x = Lp.add_var m ~lb:1. ~ub:4. "x" in
+  Lp.set_objective m `Maximize [ (2., x) ];
+  check_float "obj" 8. (solve_lp m).Bb.obj
+
+(* --- MILP --- *)
+
+let test_milp_knapsack () =
+  (* max 5a + 4b + 3c st 2a + 3b + c <= 5, binaries -> a=b=1 (obj 9) *)
+  let m = Lp.create () in
+  let a = Lp.add_var m ~integer:true ~ub:1. "a" in
+  let b = Lp.add_var m ~integer:true ~ub:1. "b" in
+  let c = Lp.add_var m ~integer:true ~ub:1. "c" in
+  Lp.add_constr m [ (2., a); (3., b); (1., c) ] Lp.Le 5.;
+  Lp.set_objective m `Maximize [ (5., a); (4., b); (3., c) ];
+  let r = solve_lp m in
+  check_float "obj" 9. r.Bb.obj;
+  check_float "a" 1. (Bb.value r a);
+  check_float "c" 0. (Bb.value r c)
+
+let test_milp_integrality () =
+  (* LP optimum fractional; MILP must round down: max x st 2x <= 5, x int *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~integer:true "x" in
+  Lp.add_constr m [ (2., x) ] Lp.Le 5.;
+  Lp.set_objective m `Maximize [ (1., x) ];
+  check_float "x = 2" 2. (solve_lp m).Bb.obj
+
+let test_milp_equality_int () =
+  (* x + y = 7, x,y int in [0,4]: max 3x + y -> x=4,y=3 obj 15 *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~integer:true ~ub:4. "x" in
+  let y = Lp.add_var m ~integer:true ~ub:4. "y" in
+  Lp.add_constr m [ (1., x); (1., y) ] Lp.Eq 7.;
+  Lp.set_objective m `Maximize [ (3., x); (1., y) ];
+  check_float "obj" 15. (solve_lp m).Bb.obj
+
+let test_milp_warm_start () =
+  let m = Lp.create () in
+  let x = Lp.add_var m ~integer:true ~ub:3. "x" in
+  Lp.add_constr m [ (1., x) ] Lp.Le 3.;
+  Lp.set_objective m `Maximize [ (1., x) ];
+  (* feasible warm start is accepted *)
+  check_bool "feasible ws" true (Bb.check_feasible m [| 2. |]);
+  check_bool "infeasible ws" false (Bb.check_feasible m [| 9. |]);
+  let r = Bb.solve ~warm_start:[| 2. |] ~node_limit:0 ~time_limit:10. m in
+  (* with zero nodes, the warm start is the answer *)
+  check_float "warm obj" 2. r.Bb.obj;
+  let r2 = Bb.solve ~warm_start:[| 2. |] m in
+  check_float "improves beyond warm" 3. r2.Bb.obj
+
+let test_milp_gap () =
+  let m = Lp.create () in
+  let x = Lp.add_var m ~integer:true ~ub:10. "x" in
+  Lp.set_objective m `Maximize [ (1., x) ];
+  Lp.add_constr m [ (1., x) ] Lp.Le 10.;
+  let r = Bb.solve ~gap:100. ~warm_start:[| 5. |] m in
+  (* huge gap: the warm incumbent is already within tolerance *)
+  check_bool "within gap" true (r.Bb.obj >= 5. -. 1e-9)
+
+let test_milp_priority_runs () =
+  let m = Lp.create () in
+  let x = Lp.add_var m ~integer:true ~ub:3. "x" in
+  let y = Lp.add_var m ~integer:true ~ub:3. "y" in
+  Lp.add_constr m [ (2., x); (2., y) ] Lp.Le 7.;
+  Lp.set_objective m `Maximize [ (1., x); (1., y) ];
+  let r = Bb.solve ~priority:[| 5.; 1. |] m in
+  check_float "obj" 3. r.Bb.obj
+
+let test_relax_shape () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+  Lp.add_constr m [ (1., x) ] Lp.Le 1.;
+  Lp.add_constr m [ (1., y) ] Lp.Ge 0.;
+  Lp.add_constr m [ (1., x); (1., y) ] Lp.Eq 1.;
+  let p = Bb.relax m in
+  Alcotest.(check int) "rows" 3 p.Simplex.nrows;
+  (* two slacks for the two inequalities *)
+  Alcotest.(check int) "cols" 4 p.Simplex.ncols
+
+let test_simplex_feasible_checker () =
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:2. "x" in
+  Lp.add_constr m [ (1., x) ] Lp.Le 1.5;
+  let p = Bb.relax m in
+  (* x = 1, slack = 0.5 satisfies the equality-form row *)
+  check_bool "feasible point" true (Simplex.feasible p [| 1.0; 0.5 |]);
+  check_bool "violated row" false (Simplex.feasible p [| 1.0; 2.0 |])
+
+(* --- Property tests: random MILPs vs exhaustive enumeration --- *)
+
+let random_milp_gen =
+  let open QCheck.Gen in
+  let small_int = int_range (-5) 5 in
+  int_range 1 3 >>= fun nvars ->
+  int_range 1 3 >>= fun nrows ->
+  list_size (return nvars) small_int >>= fun obj ->
+  list_size (return nrows) (pair (list_size (return nvars) small_int) (int_range 0 12))
+  >>= fun rows -> return (nvars, obj, rows)
+
+let brute_force nvars obj rows =
+  (* integer box [0,4]^n *)
+  let best = ref neg_infinity in
+  let rec go assign = function
+    | 0 ->
+      let a = Array.of_list (List.rev assign) in
+      let feasible =
+        List.for_all
+          (fun (coeffs, rhs) ->
+            let lhs = List.fold_left ( + ) 0 (List.mapi (fun i c -> c * a.(i)) coeffs) in
+            lhs <= rhs)
+          rows
+      in
+      if feasible then begin
+        let v = List.fold_left ( + ) 0 (List.mapi (fun i c -> c * a.(i)) obj) in
+        if float_of_int v > !best then best := float_of_int v
+      end
+    | k ->
+      for v = 0 to 4 do
+        go (v :: assign) (k - 1)
+      done
+  in
+  go [] nvars;
+  !best
+
+let prop_milp_matches_bruteforce =
+  QCheck.Test.make ~name:"B&B matches brute force on tiny MILPs" ~count:60
+    (QCheck.make random_milp_gen)
+    (fun (nvars, obj, rows) ->
+      let m = Lp.create () in
+      let vars =
+        List.init nvars (fun i -> Lp.add_var m ~integer:true ~ub:4. (Printf.sprintf "v%d" i))
+      in
+      List.iter
+        (fun (coeffs, rhs) ->
+          Lp.add_constr m
+            (List.map2 (fun c v -> (float_of_int c, v)) coeffs vars)
+            Lp.Le (float_of_int rhs))
+        rows;
+      Lp.set_objective m `Maximize (List.map2 (fun c v -> (float_of_int c, v)) obj vars);
+      let expect = brute_force nvars obj rows in
+      let r = Bb.solve ~node_limit:20_000 ~time_limit:10. m in
+      match r.Bb.status with
+      | Bb.Optimal -> Float.abs (r.Bb.obj -. expect) < 1e-6
+      | Bb.Infeasible -> expect = neg_infinity
+      | Bb.Feasible | Bb.Unbounded | Bb.No_solution -> false)
+
+let prop_lp_solution_feasible =
+  QCheck.Test.make ~name:"simplex solutions satisfy their problems" ~count:60
+    (QCheck.make random_milp_gen)
+    (fun (nvars, obj, rows) ->
+      let m = Lp.create () in
+      let vars =
+        List.init nvars (fun i -> Lp.add_var m ~ub:4. (Printf.sprintf "v%d" i))
+      in
+      List.iter
+        (fun (coeffs, rhs) ->
+          Lp.add_constr m
+            (List.map2 (fun c v -> (float_of_int c, v)) coeffs vars)
+            Lp.Le (float_of_int rhs))
+        rows;
+      Lp.set_objective m `Maximize (List.map2 (fun c v -> (float_of_int c, v)) obj vars);
+      let p = Bb.relax m in
+      let r = Simplex.solve p in
+      match r.Simplex.status with
+      | Simplex.Optimal -> Simplex.feasible p r.Simplex.x
+      | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit -> true)
+
+let suite =
+  let qc = QCheck_alcotest.to_alcotest in
+  ( "milp",
+    [
+      Alcotest.test_case "lp builder" `Quick test_lp_builder;
+      Alcotest.test_case "lp bad bounds" `Quick test_lp_bad_bounds;
+      Alcotest.test_case "lp max" `Quick test_lp_max;
+      Alcotest.test_case "lp eq + ge" `Quick test_lp_equality_and_ge;
+      Alcotest.test_case "lp infeasible" `Quick test_lp_infeasible;
+      Alcotest.test_case "lp unbounded" `Quick test_lp_unbounded;
+      Alcotest.test_case "lp bounded vars" `Quick test_lp_bounded_vars;
+      Alcotest.test_case "lp negative lb" `Quick test_lp_negative_lb;
+      Alcotest.test_case "lp objective constant" `Quick test_lp_objective_constant;
+      Alcotest.test_case "lp no constraints" `Quick test_lp_no_constraints;
+      Alcotest.test_case "milp knapsack" `Quick test_milp_knapsack;
+      Alcotest.test_case "milp integrality" `Quick test_milp_integrality;
+      Alcotest.test_case "milp equality" `Quick test_milp_equality_int;
+      Alcotest.test_case "milp warm start" `Quick test_milp_warm_start;
+      Alcotest.test_case "milp gap" `Quick test_milp_gap;
+      Alcotest.test_case "milp priority" `Quick test_milp_priority_runs;
+      Alcotest.test_case "relax shape" `Quick test_relax_shape;
+      Alcotest.test_case "feasibility checker" `Quick test_simplex_feasible_checker;
+      qc prop_milp_matches_bruteforce;
+      qc prop_lp_solution_feasible;
+    ] )

@@ -1,0 +1,199 @@
+(* Tests for the Timeloop-class analytical model: reuse analysis, access
+   counts, latency, and energy. *)
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+let arch = Spec.baseline
+
+let lp dim bound = { Mapping.dim; bound }
+
+(* Layer: 1x1 conv, P=Q=4, C=8, K=8, all temporal at chosen levels. *)
+let layer = Layer.create ~name:"model_t" ~r:1 ~s:1 ~p:4 ~q:4 ~c:8 ~k:8 ~n:1 ()
+
+let mapping_with_inner inner_order =
+  Mapping.make layer
+    [|
+      { Mapping.temporal = inner_order; spatial = [] };
+      { Mapping.temporal = []; spatial = [] };
+      { Mapping.temporal = [ lp Dims.C 8 ]; spatial = [] };
+      { Mapping.temporal = []; spatial = [] };
+      { Mapping.temporal = [ lp Dims.K 8 ]; spatial = [] };
+      { Mapping.temporal = []; spatial = [] };
+    |]
+
+let test_storage_chain () =
+  Alcotest.(check (list int)) "W chain" [ 0; 2; 5 ] (Model.storage_chain arch Dims.W);
+  Alcotest.(check (list int)) "IA chain" [ 0; 3; 4; 5 ] (Model.storage_chain arch Dims.IA);
+  Alcotest.(check (list int)) "OA chain" [ 0; 1; 4; 5 ] (Model.storage_chain arch Dims.OA)
+
+let test_refills_reuse () =
+  (* weight-stationary inner order: P,Q innermost means the W word in the
+     register is reused across 16 iterations *)
+  let ws = mapping_with_inner [ lp Dims.P 4; lp Dims.Q 4 ] in
+  (* register-level W refills: innermost W-relevant loop is C (level 2);
+     loops outside-and-including it: K8 * C8 = 64 *)
+  check_float "W reuse across P,Q" 64. (Model.refills ws Dims.W ~lo:0);
+  (* IA has no reuse at the register: innermost relevant loop is Q *)
+  check_float "IA refills everywhere" (4. *. 4. *. 8. *. 8.)
+    (Model.refills ws Dims.IA ~lo:0);
+  (* at the WBuf, refills count only loops at levels >= 2 *)
+  check_float "WBuf refills" 64. (Model.refills ws Dims.W ~lo:2);
+  (* the only loop above the GB is K, irrelevant to IA: the GB-resident
+     input tile is loaded exactly once *)
+  check_float "GB refills for IA" 1. (Model.refills ws Dims.IA ~lo:4)
+
+let test_refills_monotone () =
+  let m = mapping_with_inner [ lp Dims.P 4; lp Dims.Q 4 ] in
+  List.iter
+    (fun v ->
+      let prev = ref infinity in
+      for lo = 0 to 5 do
+        let r = Model.refills m v ~lo in
+        check_bool "refills decrease outward" true (r <= !prev +. 1e-9);
+        prev := r
+      done)
+    Dims.all_tensors
+
+let test_macs_and_compute () =
+  let m = mapping_with_inner [ lp Dims.P 4; lp Dims.Q 4 ] in
+  let e = Model.evaluate arch m in
+  check_float "macs = padded volume" (float_of_int (Layer.macs layer)) e.Model.macs;
+  check_float "compute = total temporal (no spatial)"
+    (float_of_int (Mapping.total_temporal m))
+    e.Model.compute_cycles;
+  check_bool "latency >= compute" true (e.Model.latency >= e.Model.compute_cycles -. 1e-9)
+
+let test_spatial_reduces_compute () =
+  let spatial =
+    Mapping.make layer
+      [|
+        { Mapping.temporal = [ lp Dims.P 4; lp Dims.Q 4 ]; spatial = [ lp Dims.C 8 ] };
+        { Mapping.temporal = []; spatial = [] };
+        { Mapping.temporal = []; spatial = [] };
+        { Mapping.temporal = []; spatial = [ lp Dims.K 8 ] };
+        { Mapping.temporal = []; spatial = [] };
+        { Mapping.temporal = []; spatial = [] };
+      |]
+  in
+  let e = Model.evaluate arch spatial in
+  check_float "compute shrinks by 64x" (float_of_int (Layer.macs layer) /. 64.)
+    e.Model.compute_cycles;
+  check_float "macs unchanged" (float_of_int (Layer.macs layer)) e.Model.macs;
+  check_bool "utilization counted" true (e.Model.pe_utilization > 0.)
+
+let test_dram_reads_cover_tensors () =
+  (* whatever the schedule, DRAM must be read at least once per live word *)
+  let m = mapping_with_inner [ lp Dims.P 4; lp Dims.Q 4 ] in
+  let e = Model.evaluate arch m in
+  let dram = Spec.dram_level arch in
+  let reads v = e.Model.counts.(dram).(Dims.tensor_index v).Model.reads in
+  check_bool "W read fully" true
+    (reads Dims.W >= float_of_int (Layer.tensor_words layer Dims.W));
+  check_bool "IA read fully" true
+    (reads Dims.IA >= float_of_int (Layer.tensor_words layer Dims.IA))
+
+let test_oa_drains () =
+  let m = mapping_with_inner [ lp Dims.P 4; lp Dims.Q 4 ] in
+  let e = Model.evaluate arch m in
+  let dram = Spec.dram_level arch in
+  let upd = e.Model.counts.(dram).(Dims.tensor_index Dims.OA).Model.updates in
+  check_bool "OA written at least once" true
+    (upd >= float_of_int (Layer.tensor_words layer Dims.OA))
+
+let test_permutation_changes_traffic () =
+  (* C8 at GB level vs K8 at GB level flips which tensor gets outer reuse *)
+  let a = mapping_with_inner [ lp Dims.P 4; lp Dims.Q 4 ] in
+  let swap =
+    Mapping.make layer
+      [|
+        { Mapping.temporal = [ lp Dims.P 4; lp Dims.Q 4 ]; spatial = [] };
+        { Mapping.temporal = []; spatial = [] };
+        { Mapping.temporal = [ lp Dims.K 8 ]; spatial = [] };
+        { Mapping.temporal = []; spatial = [] };
+        { Mapping.temporal = [ lp Dims.C 8 ]; spatial = [] };
+        { Mapping.temporal = []; spatial = [] };
+      |]
+  in
+  let ea = Model.evaluate arch a and eb = Model.evaluate arch swap in
+  check_bool "energy differs with loop structure" true
+    (Float.abs (ea.Model.energy_pj -. eb.Model.energy_pj) > 1.)
+
+let test_energy_breakdown_sums () =
+  let m = mapping_with_inner [ lp Dims.Q 4; lp Dims.P 4 ] in
+  let e = Model.evaluate arch m in
+  let sum = List.fold_left (fun a (_, x) -> a +. x) 0. e.Model.energy_breakdown in
+  check_float "breakdown sums to total" e.Model.energy_pj sum;
+  check_bool "every component nonnegative" true
+    (List.for_all (fun (_, x) -> x >= 0.) e.Model.energy_breakdown)
+
+let test_multicast_noc_traffic () =
+  (* P spatial at the NoC: weights are multicast (irrelevant), inputs are
+     distinct per PE *)
+  let m =
+    Mapping.make layer
+      [|
+        { Mapping.temporal = [ lp Dims.C 8; lp Dims.K 8 ]; spatial = [] };
+        { Mapping.temporal = []; spatial = [] };
+        { Mapping.temporal = []; spatial = [] };
+        { Mapping.temporal = [ lp Dims.Q 4 ]; spatial = [ lp Dims.P 4 ] };
+        { Mapping.temporal = []; spatial = [] };
+        { Mapping.temporal = []; spatial = [] };
+      |]
+  in
+  let e = Model.evaluate arch m in
+  let tr v = List.assoc v e.Model.traffic in
+  Alcotest.(check int) "W multicast width" 4 (tr Dims.W).Model.multicast;
+  Alcotest.(check int) "W distinct tiles" 1 (tr Dims.W).Model.distinct;
+  Alcotest.(check int) "IA distinct tiles" 4 (tr Dims.IA).Model.distinct;
+  Alcotest.(check int) "OA distinct tiles" 4 (tr Dims.OA).Model.distinct
+
+let test_summary_prints () =
+  let m = mapping_with_inner [ lp Dims.P 4; lp Dims.Q 4 ] in
+  let s = Model.summary arch (Model.evaluate arch m) in
+  check_bool "summary non-empty" true (String.length s > 100)
+
+let test_edp () =
+  let m = mapping_with_inner [ lp Dims.P 4; lp Dims.Q 4 ] in
+  let e = Model.evaluate arch m in
+  check_float "edp" (e.Model.energy_pj *. e.Model.latency) (Model.edp e)
+
+let layer_gen =
+  QCheck.Gen.(
+    map
+      (fun (r, (p, (c, k))) -> Layer.create ~r ~s:r ~p ~q:p ~c ~k ~n:1 ())
+      (pair (int_range 1 3) (pair (int_range 1 16) (pair (int_range 1 64) (int_range 1 64)))))
+
+let prop_model_sane_on_valid_mappings =
+  QCheck.Test.make ~name:"model invariants on random valid mappings" ~count:40
+    (QCheck.make layer_gen)
+    (fun layer ->
+      let rng = Prim.Rng.create 5 in
+      match Sampler.valid rng arch layer with
+      | None -> true
+      | Some m ->
+        let e = Model.evaluate arch m in
+        e.Model.latency >= e.Model.compute_cycles -. 1e-6
+        && e.Model.energy_pj > 0.
+        && e.Model.macs >= float_of_int (Layer.macs layer) -. 1e-6
+        && e.Model.pe_utilization > 0.
+        && e.Model.pe_utilization <= 1. +. 1e-9)
+
+let suite =
+  let qc = QCheck_alcotest.to_alcotest in
+  ( "model",
+    [
+      Alcotest.test_case "storage chains" `Quick test_storage_chain;
+      Alcotest.test_case "refills / reuse" `Quick test_refills_reuse;
+      Alcotest.test_case "refills monotone" `Quick test_refills_monotone;
+      Alcotest.test_case "macs and compute" `Quick test_macs_and_compute;
+      Alcotest.test_case "spatial reduces compute" `Quick test_spatial_reduces_compute;
+      Alcotest.test_case "dram covers tensors" `Quick test_dram_reads_cover_tensors;
+      Alcotest.test_case "oa drains" `Quick test_oa_drains;
+      Alcotest.test_case "permutation changes traffic" `Quick test_permutation_changes_traffic;
+      Alcotest.test_case "energy breakdown sums" `Quick test_energy_breakdown_sums;
+      Alcotest.test_case "multicast traffic split" `Quick test_multicast_noc_traffic;
+      Alcotest.test_case "summary prints" `Quick test_summary_prints;
+      Alcotest.test_case "edp" `Quick test_edp;
+      qc prop_model_sane_on_valid_mappings;
+    ] )

@@ -1,0 +1,90 @@
+(* Hand-computed access counts for the analytical model on a fully
+   explicit mapping (no spatial loops, so every count is a small integer).
+
+   Layer: 1x1 conv, P=Q=2, C=4, K=4.
+   Mapping: L0 temporal [P2; Q2], L2 temporal [C4], L4 temporal [K4].
+   Flattened nest, outermost first: K4 (GB) . C4 (WBuf) . P2 . Q2 (Reg).
+
+   Derived by hand:
+     refills(W,0)  = K4*C4 = 16 (innermost W-relevant loop is C)
+     refills(IA,0) = 64 (Q innermost is IA-relevant: no register reuse)
+     refills(IA,3) = refills(IA,4) = 1 (only K remains above: full reuse)
+     refills(OA,1) = 4 (innermost OA-relevant above AccBuf is K)
+     tile(IA,3) = P2*Q2*C4 = 16;  tile(OA,1) = 4;  tile(W,2) = 1 *)
+
+let check = Alcotest.(check (float 1e-6))
+
+let arch = Spec.baseline
+
+let layer = Layer.create ~name:"cnt_t" ~r:1 ~s:1 ~p:2 ~q:2 ~c:4 ~k:4 ~n:1 ()
+
+let lp dim bound = { Mapping.dim; bound }
+
+let mapping =
+  Mapping.make layer
+    [|
+      { Mapping.temporal = [ lp Dims.P 2; lp Dims.Q 2 ]; spatial = [] };
+      { Mapping.temporal = []; spatial = [] };
+      { Mapping.temporal = [ lp Dims.C 4 ]; spatial = [] };
+      { Mapping.temporal = []; spatial = [] };
+      { Mapping.temporal = [ lp Dims.K 4 ]; spatial = [] };
+      { Mapping.temporal = []; spatial = [] };
+    |]
+
+let eval = lazy (Model.evaluate arch mapping)
+
+let c level v field =
+  let e = Lazy.force eval in
+  let cnt = e.Model.counts.(level).(Dims.tensor_index v) in
+  match field with
+  | `Fills -> cnt.Model.fills
+  | `Reads -> cnt.Model.reads
+  | `Updates -> cnt.Model.updates
+
+let test_weight_path () =
+  (* registers refetch W once per (K, C) iteration; P, Q reuse in place *)
+  check "reg W fills" 16. (c 0 Dims.W `Fills);
+  check "wbuf W reads" 16. (c 2 Dims.W `Reads);
+  (* the WBuf tile is a single weight here; 16 fills of 1 word *)
+  check "wbuf W fills" 16. (c 2 Dims.W `Fills);
+  check "dram W reads" 16. (c 5 Dims.W `Reads)
+
+let test_input_path () =
+  check "reg IA fills (one per MAC)" 64. (c 0 Dims.IA `Fills);
+  check "inputbuf IA reads" 64. (c 3 Dims.IA `Reads);
+  (* the whole 16-word input loads into InputBuf exactly once *)
+  check "inputbuf IA fills" 16. (c 3 Dims.IA `Fills);
+  check "gb IA reads" 16. (c 4 Dims.IA `Reads);
+  check "gb IA fills" 16. (c 4 Dims.IA `Fills);
+  check "dram IA reads" 16. (c 5 Dims.IA `Reads)
+
+let test_output_path () =
+  (* every MAC result drains through the register *)
+  check "reg OA reads (drains)" 64. (c 0 Dims.OA `Reads);
+  check "accbuf OA updates" 64. (c 1 Dims.OA `Updates);
+  (* C iterations above force read-modify-write accumulation at AccBuf,
+     plus the drain reads toward the GB: 64 + 16 *)
+  check "accbuf OA reads" 80. (c 1 Dims.OA `Reads);
+  check "gb OA updates" 16. (c 4 Dims.OA `Updates);
+  (* K above the GB is OA-relevant: no reduction left, no accum reads *)
+  check "gb OA reads (drains only)" 16. (c 4 Dims.OA `Reads);
+  (* each output word reaches DRAM exactly once *)
+  check "dram OA updates" 16. (c 5 Dims.OA `Updates)
+
+let test_compute_and_tiles () =
+  let e = Lazy.force eval in
+  check "compute = 64" 64. e.Model.compute_cycles;
+  check "macs = 64" 64. e.Model.macs;
+  check "IA tile at InputBuf" 16.
+    (Lazy.force eval).Model.counts.(3).(Dims.tensor_index Dims.IA).Model.tile;
+  check "OA tile at AccBuf" 4.
+    (Lazy.force eval).Model.counts.(1).(Dims.tensor_index Dims.OA).Model.tile
+
+let suite =
+  ( "model_counts",
+    [
+      Alcotest.test_case "weight path" `Quick test_weight_path;
+      Alcotest.test_case "input path" `Quick test_input_path;
+      Alcotest.test_case "output path" `Quick test_output_path;
+      Alcotest.test_case "compute and tiles" `Quick test_compute_and_tiles;
+    ] )

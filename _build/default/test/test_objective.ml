@@ -1,0 +1,127 @@
+(* Hand-computed checks of the Eq. 5 / 6 / 11 evaluator (Cosa_objective)
+   on a small, fully explicit mapping. *)
+
+let check_float = Alcotest.(check (float 1e-6))
+let check_bool = Alcotest.(check bool)
+
+let arch = Spec.baseline
+
+(* Layer: 1x1 conv, P=4, Q=1, C=8, K=8.
+   Mapping:
+     L0 (Register) : temporal P4
+     L2 (WBuf)     : temporal C8
+     L3 (InputBuf) : spatial K2
+     L4 (GlobalBuf): temporal K4  (NoC-boundary loops)
+     L5 (DRAM)     : (empty)
+   All other levels empty. *)
+let layer = Layer.create ~name:"obj_t" ~r:1 ~s:1 ~p:4 ~q:1 ~c:8 ~k:8 ~n:1 ()
+
+let lp dim bound = { Mapping.dim; bound }
+
+let mapping =
+  Mapping.make layer
+    [|
+      { Mapping.temporal = [ lp Dims.P 4 ]; spatial = [] };
+      { Mapping.temporal = []; spatial = [] };
+      { Mapping.temporal = [ lp Dims.C 8 ]; spatial = [] };
+      { Mapping.temporal = []; spatial = [ lp Dims.K 2 ] };
+      { Mapping.temporal = [ lp Dims.K 4 ]; spatial = [] };
+      { Mapping.temporal = []; spatial = [] };
+    |]
+
+let unit_weights = { Cosa.w_util = 1.; w_comp = 1.; w_traf = 1. }
+
+let ln = log
+
+(* Expected Eq. 5 utilisation: sum over buffer levels I < DRAM, tensors v
+   stored at I, of log(product of A-relevant dim products below I).
+
+   Dim products below each level:
+     below L1/L2: P=4 (from L0)
+     below L3:    P=4, C=8
+     below L4:    P=4, C=8, K=2
+   Stored tensors: L0 {W,IA,OA} (tiles below L0 = 1 -> log 1 = 0),
+     L1 {OA}: OA ~ P,Q,K,N -> P4 -> ln 4
+     L2 {W}:  W ~ R,S,C,K  -> nothing below L2 except P (irrelevant) -> 0
+     L3 {IA}: IA ~ P,Q,C,N -> 4*8 = 32 -> ln 32
+     L4 {IA}: 4*8 -> ln 32;  {OA}: P4*K2 -> ln 8 *)
+let expected_util = ln 4. +. ln 32. +. ln 32. +. ln 8.
+
+(* Eq. 6 compute: log of total temporal product = 4 * 8 * 4 = 128 *)
+let expected_comp = ln 128.
+
+(* Eq. 11 traffic with unit weights.
+   D_v = log tile below the NoC level (L3): W: C8 -> ln 8; IA: P4*C8 -> ln 32;
+     OA: P4 -> ln 4.
+   L_v = relevant spatial at L3 (K2): W: ln 2; IA: 0; OA: ln 2.
+   T_v over NoC-boundary temporal loops (L4..L5 flattened: [K4]):
+     W: K relevant -> ln 4; IA: K irrelevant -> 0; OA: K relevant -> ln 4.
+   DRAM mirror (tensors staged through L4 = GB: IA and OA):
+     scale = max 1 (bw_GB / bw_DRAM) = 16/8 = 2.
+     D2_v = log tile below L4: IA: 4*8 -> ln 32; OA: 4*2 -> ln 8.
+     T2_v over DRAM-level loops (none) = 0.
+   traf = (ln 8 + ln 2 + ln 4)            (* W *)
+        + (ln 32 + 0 + 0) + 2 * ln 32     (* IA + mirror *)
+        + (ln 4 + ln 2 + ln 4) + 2 * ln 8 (* OA + mirror *) *)
+let expected_traf =
+  (ln 8. +. ln 2. +. ln 4.)
+  +. (ln 32. +. (2. *. ln 32.))
+  +. (ln 4. +. ln 2. +. ln 4. +. (2. *. ln 8.))
+
+let test_components () =
+  let o = Cosa.breakdown_of_mapping ~weights:unit_weights arch mapping in
+  check_float "Eq. 5 utilisation" expected_util o.Cosa.util;
+  check_float "Eq. 6 compute" expected_comp o.Cosa.comp;
+  check_float "Eq. 11 traffic" expected_traf o.Cosa.traf;
+  check_float "Eq. 12 composite"
+    ((-1. *. expected_util) +. expected_comp +. expected_traf)
+    o.Cosa.total
+
+let test_weights_scale_linearly () =
+  let w2 = { Cosa.w_util = 2.; w_comp = 3.; w_traf = 0.5 } in
+  let o = Cosa.breakdown_of_mapping ~weights:w2 arch mapping in
+  (* components are weight-independent; only total changes *)
+  check_float "util unweighted" expected_util o.Cosa.util;
+  check_float "total reweighted"
+    ((-2. *. expected_util) +. (3. *. expected_comp) +. (0.5 *. expected_traf))
+    o.Cosa.total
+
+let test_order_dependence () =
+  (* swapping the NoC-boundary loop set changes T_v: put C at GB instead of
+     K; now IA pays the iteration term and W keeps it *)
+  let swapped =
+    Mapping.make layer
+      [|
+        { Mapping.temporal = [ lp Dims.P 4 ]; spatial = [] };
+        { Mapping.temporal = []; spatial = [] };
+        { Mapping.temporal = [ lp Dims.K 4 ]; spatial = [] };
+        { Mapping.temporal = []; spatial = [ lp Dims.K 2 ] };
+        { Mapping.temporal = [ lp Dims.C 8 ]; spatial = [] };
+        { Mapping.temporal = []; spatial = [] };
+      |]
+  in
+  let a = Cosa.breakdown_of_mapping ~weights:unit_weights arch mapping in
+  let b = Cosa.breakdown_of_mapping ~weights:unit_weights arch swapped in
+  check_bool "different loop structure, different traffic" true
+    (Float.abs (a.Cosa.traf -. b.Cosa.traf) > 0.01);
+  (* compute is invariant to where temporal loops sit *)
+  check_float "compute invariant" a.Cosa.comp b.Cosa.comp
+
+let test_trivial_mapping_objective () =
+  (* all-DRAM schedule: zero buffer utilisation, maximal traffic iterations *)
+  let trivial = Cosa.trivial_mapping arch layer in
+  let o = Cosa.breakdown_of_mapping ~weights:unit_weights arch trivial in
+  check_float "no utilisation" 0. o.Cosa.util;
+  (* everything temporal: 4 * 8 * 8 = 256 *)
+  check_float "all-temporal compute" (ln 256.) o.Cosa.comp;
+  let best = Cosa.breakdown_of_mapping ~weights:unit_weights arch mapping in
+  check_bool "trivial scores worse" true (o.Cosa.total > best.Cosa.total)
+
+let suite =
+  ( "objective",
+    [
+      Alcotest.test_case "hand-computed components" `Quick test_components;
+      Alcotest.test_case "weights scale linearly" `Quick test_weights_scale_linearly;
+      Alcotest.test_case "order dependence" `Quick test_order_dependence;
+      Alcotest.test_case "trivial mapping" `Quick test_trivial_mapping_objective;
+    ] )

@@ -1,0 +1,191 @@
+(* Unit and property tests for the prim library. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Factorize --- *)
+
+let test_is_prime () =
+  List.iter
+    (fun (n, expect) -> check_bool (Printf.sprintf "is_prime %d" n) expect (Prim.Factorize.is_prime n))
+    [ (-3, false); (0, false); (1, false); (2, true); (3, true); (4, false); (17, true);
+      (25, false); (97, true); (561, false); (7919, true) ]
+
+let test_prime_factors () =
+  Alcotest.(check (list int)) "12" [ 2; 2; 3 ] (Prim.Factorize.prime_factors 12);
+  Alcotest.(check (list int)) "1" [] (Prim.Factorize.prime_factors 1);
+  Alcotest.(check (list int)) "97" [ 97 ] (Prim.Factorize.prime_factors 97);
+  Alcotest.(check (list int)) "1024" (List.init 10 (fun _ -> 2))
+    (Prim.Factorize.prime_factors 1024);
+  Alcotest.check_raises "0 rejected" (Invalid_argument "Factorize.prime_factors: n < 1")
+    (fun () -> ignore (Prim.Factorize.prime_factors 0))
+
+let test_grouped_factors () =
+  Alcotest.(check (list (pair int int))) "360" [ (2, 3); (3, 2); (5, 1) ]
+    (Prim.Factorize.grouped_factors 360)
+
+let test_pad () =
+  check_int "smooth stays" 56 (Prim.Factorize.pad_to_factorable 56);
+  check_int "1000 smooth" 1000 (Prim.Factorize.pad_to_factorable 1000);
+  (* 11 is not 7-smooth; next smooth number is 12 *)
+  check_int "11 -> 12" 12 (Prim.Factorize.pad_to_factorable 11);
+  check_int "13 -> 14" 14 (Prim.Factorize.pad_to_factorable 13);
+  check_int "max_prime=2" 16 (Prim.Factorize.pad_to_factorable ~max_prime:2 9)
+
+let test_divisors () =
+  Alcotest.(check (list int)) "12" [ 1; 2; 3; 4; 6; 12 ] (Prim.Factorize.divisors 12);
+  Alcotest.(check (list int)) "49" [ 1; 7; 49 ] (Prim.Factorize.divisors 49);
+  Alcotest.(check (list int)) "1" [ 1 ] (Prim.Factorize.divisors 1)
+
+let prop_factor_product =
+  QCheck.Test.make ~name:"prime_factors multiply back" ~count:500
+    QCheck.(int_range 1 100_000)
+    (fun n -> Prim.Factorize.product (Prim.Factorize.prime_factors n) = n)
+
+let prop_factors_prime =
+  QCheck.Test.make ~name:"prime_factors are prime" ~count:300
+    QCheck.(int_range 2 50_000)
+    (fun n -> List.for_all Prim.Factorize.is_prime (Prim.Factorize.prime_factors n))
+
+let prop_pad_smooth =
+  QCheck.Test.make ~name:"pad_to_factorable is 7-smooth and >= n" ~count:300
+    QCheck.(int_range 1 20_000)
+    (fun n ->
+      let m = Prim.Factorize.pad_to_factorable n in
+      m >= n && List.for_all (fun p -> p <= 7) (Prim.Factorize.prime_factors m))
+
+let prop_divisors_divide =
+  QCheck.Test.make ~name:"divisors divide n" ~count:200
+    QCheck.(int_range 1 10_000)
+    (fun n -> List.for_all (fun d -> n mod d = 0) (Prim.Factorize.divisors n))
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Prim.Rng.create 42 and b = Prim.Rng.create 42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Prim.Rng.int a 1_000_000) (Prim.Rng.int b 1_000_000)
+  done
+
+let test_rng_bounds () =
+  let r = Prim.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prim.Rng.int r 13 in
+    check_bool "in range" true (v >= 0 && v < 13)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound <= 0") (fun () ->
+      ignore (Prim.Rng.int r 0))
+
+let test_rng_shuffle_permutes () =
+  let r = Prim.Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Prim.Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_rng_split_independent () =
+  let r = Prim.Rng.create 1 in
+  let s = Prim.Rng.split r in
+  let x = Prim.Rng.int r 1000 and y = Prim.Rng.int s 1000 in
+  (* streams should not be identical step-by-step *)
+  let differs = ref (x <> y) in
+  for _ = 1 to 20 do
+    if Prim.Rng.int r 1000 <> Prim.Rng.int s 1000 then differs := true
+  done;
+  check_bool "split diverges" true !differs
+
+let test_rng_float_bounds () =
+  let r = Prim.Rng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Prim.Rng.float r 2.5 in
+    check_bool "float in range" true (v >= 0. && v < 2.5)
+  done
+
+(* --- Stats --- *)
+
+let test_stats_basic () =
+  check_float "mean" 2. (Prim.Stats.mean [ 1.; 2.; 3. ]);
+  check_float "geomean" 2. (Prim.Stats.geomean [ 1.; 2.; 4. ]);
+  check_float "median odd" 3. (Prim.Stats.median [ 5.; 1.; 3. ]);
+  check_float "median even" 2.5 (Prim.Stats.median [ 1.; 2.; 3.; 4. ]);
+  check_float "p0" 1. (Prim.Stats.percentile 0. [ 1.; 2.; 3. ]);
+  check_float "p100" 3. (Prim.Stats.percentile 100. [ 1.; 2.; 3. ]);
+  check_float "min" 1. (Prim.Stats.minimum [ 3.; 1.; 2. ]);
+  check_float "max" 3. (Prim.Stats.maximum [ 3.; 1.; 2. ]);
+  check_float "stddev" 0. (Prim.Stats.stddev [ 4.; 4.; 4. ])
+
+let test_stats_errors () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty list") (fun () ->
+      ignore (Prim.Stats.mean []));
+  Alcotest.check_raises "geomean nonpositive"
+    (Invalid_argument "Stats.geomean: non-positive value") (fun () ->
+      ignore (Prim.Stats.geomean [ 1.; 0. ]))
+
+let test_histogram () =
+  let h = Prim.Stats.histogram ~bins:4 [ 0.; 1.; 2.; 3.; 4. ] in
+  check_int "bins" 4 (Array.length h.Prim.Stats.counts);
+  check_int "total count" 5 (Array.fold_left ( + ) 0 h.Prim.Stats.counts);
+  let rendered = Prim.Stats.render_histogram h in
+  check_bool "renders rows" true (String.length rendered > 0)
+
+let prop_geomean_bounded =
+  QCheck.Test.make ~name:"geomean between min and max" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.001 1000.))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let g = Prim.Stats.geomean xs in
+      g >= Prim.Stats.minimum xs -. 1e-9 && g <= Prim.Stats.maximum xs +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 2 20) (float_range 0. 100.)) (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (xs, (p1, p2)) ->
+      QCheck.assume (xs <> []);
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Prim.Stats.percentile lo xs <= Prim.Stats.percentile hi xs +. 1e-9)
+
+(* --- Texttab --- *)
+
+let test_texttab () =
+  let t = Prim.Texttab.create [ "a"; "bb" ] in
+  Prim.Texttab.add_row t [ "x"; "y"; "z" ];
+  Prim.Texttab.add_row t [ "long-cell" ];
+  let s = Prim.Texttab.render t in
+  check_bool "has header" true (String.length s > 0);
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "x present" true (contains "x");
+  check_bool "long-cell present" true (contains "long-cell");
+  Alcotest.(check string) "cell_fx" "2.50x" (Prim.Texttab.cell_fx 2.5);
+  Alcotest.(check string) "cell_f int-like" "42" (Prim.Texttab.cell_f 42.)
+
+let suite =
+  let qc = QCheck_alcotest.to_alcotest in
+  ( "prim",
+    [
+      Alcotest.test_case "is_prime" `Quick test_is_prime;
+      Alcotest.test_case "prime_factors" `Quick test_prime_factors;
+      Alcotest.test_case "grouped_factors" `Quick test_grouped_factors;
+      Alcotest.test_case "pad_to_factorable" `Quick test_pad;
+      Alcotest.test_case "divisors" `Quick test_divisors;
+      Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+      Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+      Alcotest.test_case "rng shuffle permutes" `Quick test_rng_shuffle_permutes;
+      Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+      Alcotest.test_case "rng float" `Quick test_rng_float_bounds;
+      Alcotest.test_case "stats basics" `Quick test_stats_basic;
+      Alcotest.test_case "stats errors" `Quick test_stats_errors;
+      Alcotest.test_case "histogram" `Quick test_histogram;
+      Alcotest.test_case "texttab" `Quick test_texttab;
+      qc prop_factor_product;
+      qc prop_factors_prime;
+      qc prop_pad_smooth;
+      qc prop_divisors_divide;
+      qc prop_geomean_bounded;
+      qc prop_percentile_monotone;
+    ] )

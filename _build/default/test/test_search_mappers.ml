@@ -1,0 +1,90 @@
+(* Tests for the annealing and genetic schedulers. *)
+
+let check_bool = Alcotest.(check bool)
+
+let arch = Spec.baseline
+let layer = Layer.create ~name:"sm_t" ~r:1 ~s:1 ~p:8 ~q:8 ~c:16 ~k:16 ~n:1 ()
+
+let test_anneal_finds_valid () =
+  let rng = Prim.Rng.create 1 in
+  let o = Anneal_mapper.search ~iterations:400 rng arch layer in
+  (match o.Baseline.best with
+   | Some m -> check_bool "valid" true (Mapping.is_valid arch m)
+   | None -> Alcotest.fail "annealing found nothing");
+  check_bool "metric finite" true (o.Baseline.best_metric < infinity);
+  check_bool "counted" true (o.Baseline.samples > 100)
+
+let test_anneal_improves_over_start () =
+  (* the best must be no worse than a fresh constructive sample under the
+     same seed stream *)
+  let rng = Prim.Rng.create 2 in
+  let start = Sampler.valid (Prim.Rng.copy rng) arch layer in
+  let o = Anneal_mapper.search ~iterations:800 rng arch layer in
+  match (start, o.Baseline.best) with
+  | Some s, Some _ ->
+    check_bool "no worse than its own start" true
+      (o.Baseline.best_metric <= Baseline.latency_metric arch s +. 1e-9)
+  | _ -> Alcotest.fail "both should exist"
+
+let test_perturb_preserves_factorization () =
+  let rng = Prim.Rng.create 3 in
+  match Sampler.valid rng arch layer with
+  | None -> Alcotest.fail "sampler failed"
+  | Some m ->
+    for _ = 1 to 200 do
+      let m' = Anneal_mapper.perturb rng arch m in
+      List.iter
+        (fun d ->
+          Alcotest.(check int)
+            (Dims.dim_name d)
+            (Mapping.dim_product m ~upto:6 d)
+            (Mapping.dim_product m' ~upto:6 d))
+        Dims.all_dims
+    done
+
+let test_genetic_finds_valid () =
+  let rng = Prim.Rng.create 4 in
+  let o = Genetic_mapper.search ~population:12 ~generations:8 rng arch layer in
+  (match o.Baseline.best with
+   | Some m -> check_bool "valid" true (Mapping.is_valid arch m)
+   | None -> Alcotest.fail "GA found nothing");
+  check_bool "evaluated population" true (o.Baseline.valid >= 12)
+
+let test_genetic_elitism () =
+  (* the reported best must be at least as good as any seed individual:
+     run with zero generations worth of improvement pressure *)
+  let rng = Prim.Rng.create 5 in
+  let o1 = Genetic_mapper.search ~population:10 ~generations:1 rng arch layer in
+  let o2 = Genetic_mapper.search ~population:10 ~generations:12 (Prim.Rng.create 5) arch layer in
+  check_bool "more generations no worse" true
+    (o2.Baseline.best_metric <= o1.Baseline.best_metric +. 1e-9)
+
+let test_all_searchers_comparable () =
+  (* on a simple layer all four search baselines should land within an
+     order of magnitude of each other *)
+  let metrics =
+    [
+      (Random_mapper.search (Prim.Rng.create 6) arch layer).Baseline.best_metric;
+      (Hybrid_mapper.search ~threads:4 ~termination:100 (Prim.Rng.create 6) arch layer)
+        .Baseline.best_metric;
+      (Anneal_mapper.search ~iterations:500 (Prim.Rng.create 6) arch layer)
+        .Baseline.best_metric;
+      (Genetic_mapper.search ~population:12 ~generations:10 (Prim.Rng.create 6) arch layer)
+        .Baseline.best_metric;
+    ]
+  in
+  let lo = List.fold_left min infinity metrics in
+  let hi = List.fold_left max 0. metrics in
+  check_bool "all found something" true (hi < infinity);
+  check_bool "within 20x of each other" true (hi /. lo < 20.)
+
+let suite =
+  ( "search_mappers",
+    [
+      Alcotest.test_case "anneal valid" `Quick test_anneal_finds_valid;
+      Alcotest.test_case "anneal improves" `Quick test_anneal_improves_over_start;
+      Alcotest.test_case "perturb factorization" `Quick test_perturb_preserves_factorization;
+      Alcotest.test_case "genetic valid" `Quick test_genetic_finds_valid;
+      Alcotest.test_case "genetic elitism" `Quick test_genetic_elitism;
+      Alcotest.test_case "searchers comparable" `Slow test_all_searchers_comparable;
+    ] )

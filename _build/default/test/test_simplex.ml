@@ -1,0 +1,158 @@
+(* Lower-level simplex tests: standard-form problems fed directly to
+   Milp.Simplex (bypassing the Lp/Bb layers). *)
+
+open Milp
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+(* build a standard-form problem from dense rows *)
+let problem ~rows ~cost ~lb ~ub ~rhs =
+  let nrows = Array.length rows in
+  let ncols = Array.length cost in
+  let cols =
+    Array.init ncols (fun j ->
+        let entries = ref [] in
+        for i = nrows - 1 downto 0 do
+          if rows.(i).(j) <> 0. then entries := (i, rows.(i).(j)) :: !entries
+        done;
+        ( Array.of_list (List.map fst !entries),
+          Array.of_list (List.map snd !entries) ))
+  in
+  { Simplex.nrows; ncols; cols; cost; lb; ub; rhs }
+
+let test_simple_equality () =
+  (* min x1 + x2 st x1 + x2 = 2, 0 <= xi <= 2 -> obj 2 *)
+  let p =
+    problem
+      ~rows:[| [| 1.; 1. |] |]
+      ~cost:[| 1.; 1. |]
+      ~lb:[| 0.; 0. |]
+      ~ub:[| 2.; 2. |]
+      ~rhs:[| 2. |]
+  in
+  let r = Simplex.solve p in
+  check_bool "optimal" true (r.Simplex.status = Simplex.Optimal);
+  check_float "obj" 2. r.Simplex.obj;
+  check_bool "feasible" true (Simplex.feasible p r.Simplex.x)
+
+let test_bound_flip () =
+  (* maximize x (cost -1) with a slack-style column: x + s = 10, x <= 3:
+     x should flip to its upper bound without entering the basis chain *)
+  let p =
+    problem
+      ~rows:[| [| 1.; 1. |] |]
+      ~cost:[| -1.; 0. |]
+      ~lb:[| 0.; 0. |]
+      ~ub:[| 3.; infinity |]
+      ~rhs:[| 10. |]
+  in
+  let r = Simplex.solve p in
+  check_float "x at upper bound" 3. r.Simplex.x.(0);
+  check_float "slack fills" 7. r.Simplex.x.(1)
+
+let test_negative_rhs () =
+  (* x1 - x2 = -3 with x free-ish bounds *)
+  let p =
+    problem
+      ~rows:[| [| 1.; -1. |] |]
+      ~cost:[| 1.; 1. |]
+      ~lb:[| 0.; 0. |]
+      ~ub:[| 10.; 10. |]
+      ~rhs:[| -3. |]
+  in
+  let r = Simplex.solve p in
+  check_bool "optimal" true (r.Simplex.status = Simplex.Optimal);
+  check_float "obj = 3 (x2 = 3)" 3. r.Simplex.obj
+
+let test_degenerate () =
+  (* several constraints intersecting at the same vertex: anti-cycling must
+     still terminate *)
+  let p =
+    problem
+      ~rows:[| [| 1.; 1.; 1. |]; [| 1.; 1.; 0. |]; [| 1.; 0.; 0. |] |]
+      ~cost:[| -1.; -1.; -1. |]
+      ~lb:[| 0.; 0.; 0. |]
+      ~ub:[| infinity; infinity; infinity |]
+      ~rhs:[| 1.; 1.; 1. |]
+  in
+  let r = Simplex.solve p in
+  check_bool "terminates optimally" true (r.Simplex.status = Simplex.Optimal);
+  check_float "obj" (-1.) r.Simplex.obj
+
+let test_infeasible_equalities () =
+  let p =
+    problem
+      ~rows:[| [| 1. |]; [| 1. |] |]
+      ~cost:[| 0. |]
+      ~lb:[| 0. |]
+      ~ub:[| 10. |]
+      ~rhs:[| 1.; 2. |]
+  in
+  check_bool "infeasible" true ((Simplex.solve p).Simplex.status = Simplex.Infeasible)
+
+let test_free_variable () =
+  (* a variable with no finite bounds, pinned only by an equality *)
+  let p =
+    problem
+      ~rows:[| [| 1.; 1. |] |]
+      ~cost:[| 1.; 0. |]
+      ~lb:[| neg_infinity; 0. |]
+      ~ub:[| infinity; 5. |]
+      ~rhs:[| 2. |]
+  in
+  let r = Simplex.solve p in
+  (* min x1 with x1 = 2 - x2, x2 <= 5 -> x1 = -3 *)
+  check_float "obj" (-3.) r.Simplex.obj
+
+let test_larger_random_consistency () =
+  (* a moderately sized random LP: simplex result must satisfy feasibility
+     and match a second solve exactly (determinism) *)
+  let rng = Prim.Rng.create 55 in
+  let nrows = 12 and ncols = 20 in
+  let rows =
+    Array.init nrows (fun _ ->
+        Array.init ncols (fun _ ->
+            if Prim.Rng.int rng 3 = 0 then float_of_int (1 + Prim.Rng.int rng 4) else 0.))
+  in
+  (* guarantee feasibility: rhs = A * ones *)
+  let rhs = Array.map (fun row -> Array.fold_left ( +. ) 0. row) rows in
+  let cost = Array.init ncols (fun _ -> float_of_int (Prim.Rng.int rng 7 - 3)) in
+  let p =
+    problem ~rows ~cost
+      ~lb:(Array.make ncols 0.)
+      ~ub:(Array.make ncols 10.)
+      ~rhs
+  in
+  let r1 = Simplex.solve p and r2 = Simplex.solve p in
+  check_bool "optimal" true (r1.Simplex.status = Simplex.Optimal);
+  check_bool "feasible" true (Simplex.feasible p r1.Simplex.x);
+  check_float "deterministic" r1.Simplex.obj r2.Simplex.obj;
+  (* all-ones is feasible, so the minimum is at most cost . ones *)
+  let ones_obj = Array.fold_left ( +. ) 0. cost in
+  check_bool "no worse than ones" true (r1.Simplex.obj <= ones_obj +. 1e-6)
+
+let test_iteration_limit () =
+  let p =
+    problem
+      ~rows:[| [| 1.; 1. |] |]
+      ~cost:[| -1.; -1. |]
+      ~lb:[| 0.; 0. |]
+      ~ub:[| 5.; 5. |]
+      ~rhs:[| 4. |]
+  in
+  let r = Simplex.solve ~max_iterations:0 p in
+  check_bool "reports limit" true (r.Simplex.status = Simplex.Iteration_limit)
+
+let suite =
+  ( "simplex",
+    [
+      Alcotest.test_case "equality" `Quick test_simple_equality;
+      Alcotest.test_case "bound flip" `Quick test_bound_flip;
+      Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+      Alcotest.test_case "degenerate" `Quick test_degenerate;
+      Alcotest.test_case "infeasible equalities" `Quick test_infeasible_equalities;
+      Alcotest.test_case "free variable" `Quick test_free_variable;
+      Alcotest.test_case "random LP consistency" `Quick test_larger_random_consistency;
+      Alcotest.test_case "iteration limit" `Quick test_iteration_limit;
+    ] )
