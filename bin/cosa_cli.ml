@@ -25,6 +25,40 @@ let find_layer name =
     Printf.eprintf "unknown layer %S; try `cosa_cli list layers`\n" name;
     exit 1
 
+(* Shared robustness flags: a per-call wall-clock budget and the
+   deterministic fault-injection harness (for soak/chaos testing from the
+   command line). *)
+let time_limit_arg =
+  Arg.(value & opt float 4. & info [ "time-limit" ] ~docv:"SECONDS"
+         ~doc:"Wall-clock budget for the whole scheduling call; enforced down to \
+               the simplex pivot loop, degrading through the fallback ladder if \
+               it expires.")
+
+let fault_seed_arg =
+  Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED"
+         ~doc:"Arm the deterministic fault-injection harness with $(docv). The \
+               same seed fires the same faults at the same sites every run.")
+
+let fault_rate_arg =
+  Arg.(value & opt float 0.02 & info [ "fault-rate" ] ~docv:"RATE"
+         ~doc:"Per-site-visit fault probability when --fault-seed is given.")
+
+let with_faults fault_seed fault_rate f =
+  match fault_seed with
+  | None -> f ()
+  | Some seed ->
+    if not (fault_rate >= 0. && fault_rate <= 1.) then begin
+      Printf.eprintf "--fault-rate must be in [0, 1] (got %g)\n" fault_rate;
+      exit 2
+    end;
+    Robust.Fault.with_faults ~rate:fault_rate seed (fun () ->
+        let r = f () in
+        Printf.printf "faults fired: %d\n" (Robust.Fault.fired_count ());
+        List.iter
+          (fun (site, visit) -> Printf.printf "  %s (visit %d)\n" site visit)
+          (Robust.Fault.fired ());
+        r)
+
 (* cosa_cli schedule <layer> *)
 let schedule_cmd =
   let strategy_conv =
@@ -38,10 +72,13 @@ let schedule_cmd =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
            ~doc:"Also write the schedule to $(docv) (cosa_cli evaluate reads it back).")
   in
-  let run arch_name layer_name strategy save =
+  let run arch_name layer_name strategy save time_limit fault_seed fault_rate =
     let arch = arch_of_name arch_name in
     let layer = find_layer layer_name in
-    let r = Cosa.schedule ~strategy arch layer in
+    let r =
+      with_faults fault_seed fault_rate (fun () ->
+          Cosa.schedule ~strategy ~time_limit arch layer)
+    in
     (match save with
      | Some path ->
        Mapping_io.save path r.Cosa.mapping;
@@ -50,7 +87,7 @@ let schedule_cmd =
     let e = Model.evaluate arch r.Cosa.mapping in
     Printf.printf "layer: %s\narch: %s\n\n%s\n" (Layer.to_string layer) arch.Spec.aname
       (Mapping.to_loop_nest arch r.Cosa.mapping);
-    Printf.printf "solver: %s in %.2fs (%d nodes)%s%s\n"
+    Printf.printf "solver: %s in %.2fs (%d nodes), %s%s\n"
       (match r.Cosa.solver_status with
        | Milp.Bb.Optimal -> "optimal"
        | Milp.Bb.Feasible -> "feasible (limit hit)"
@@ -58,8 +95,13 @@ let schedule_cmd =
        | Milp.Bb.Unbounded -> "unbounded"
        | Milp.Bb.No_solution -> "no solution (fallback schedule)")
       r.Cosa.solve_time r.Cosa.nodes
-      (if r.Cosa.used_joint then ", joint MIP" else ", two-stage")
+      (Cosa.source_to_string r.Cosa.source)
       (if r.Cosa.repaired then ", capacity-repaired" else "");
+    (match r.Cosa.fallback_chain with
+     | [] -> ()
+     | chain ->
+       Printf.printf "fallbacks: %s\n"
+         (String.concat " -> " (List.map Robust.Failure.to_string chain)));
     Printf.printf "objective: util=%.2f comp=%.2f traf=%.2f total=%.2f\n"
       r.Cosa.objective.Cosa.util r.Cosa.objective.Cosa.comp r.Cosa.objective.Cosa.traf
       r.Cosa.objective.Cosa.total;
@@ -67,7 +109,8 @@ let schedule_cmd =
       e.Model.latency e.Model.energy_pj (100. *. e.Model.pe_utilization)
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Produce a CoSA schedule for a layer and report it.")
-    Term.(const run $ arch_arg $ layer_arg $ strategy_arg $ save_arg)
+    Term.(const run $ arch_arg $ layer_arg $ strategy_arg $ save_arg $ time_limit_arg
+          $ fault_seed_arg $ fault_rate_arg)
 
 (* cosa_cli exp <id> *)
 let exp_cmd =
@@ -88,24 +131,30 @@ let exp_cmd =
 
 (* cosa_cli simulate <layer> *)
 let simulate_cmd =
-  let run arch_name layer_name =
+  let run arch_name layer_name time_limit fault_seed fault_rate =
     let arch = arch_of_name arch_name in
     let layer = find_layer layer_name in
-    let r = Cosa.schedule arch layer in
-    let s = Noc_sim.simulate arch r.Cosa.mapping in
-    Printf.printf "layer %s on %s (CoSA schedule)\n" layer.Layer.name arch.Spec.aname;
-    Printf.printf
-      "NoC-simulated latency: %.0f cycles%s\n\
-       simulated %d cycles over %d/%d NoC steps; %d packets, %d flit-hops\n\
-       DRAM busy %d cycles; PE compute %d cycles/step\n"
-      s.Noc_sim.latency
-      (if s.Noc_sim.sampled then " (sampled + extrapolated)" else "")
-      s.Noc_sim.simulated_cycles s.Noc_sim.simulated_steps s.Noc_sim.total_steps
-      s.Noc_sim.packets s.Noc_sim.flit_hops s.Noc_sim.dram_busy_cycles
-      s.Noc_sim.compute_cycles_per_step
+    with_faults fault_seed fault_rate (fun () ->
+        let r = Cosa.schedule ~time_limit arch layer in
+        match Noc_sim.simulate_r arch r.Cosa.mapping with
+        | Error f ->
+          Printf.eprintf "simulation failed: %s\n" (Robust.Failure.to_string f);
+          exit 1
+        | Ok s ->
+          Printf.printf "layer %s on %s (CoSA schedule)\n" layer.Layer.name arch.Spec.aname;
+          Printf.printf
+            "NoC-simulated latency: %.0f cycles%s\n\
+             simulated %d cycles over %d/%d NoC steps; %d packets, %d flit-hops\n\
+             DRAM busy %d cycles; PE compute %d cycles/step\n"
+            s.Noc_sim.latency
+            (if s.Noc_sim.sampled then " (sampled + extrapolated)" else "")
+            s.Noc_sim.simulated_cycles s.Noc_sim.simulated_steps s.Noc_sim.total_steps
+            s.Noc_sim.packets s.Noc_sim.flit_hops s.Noc_sim.dram_busy_cycles
+            s.Noc_sim.compute_cycles_per_step)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the cycle-level NoC simulator on a CoSA schedule.")
-    Term.(const run $ arch_arg $ layer_arg)
+    Term.(const run $ arch_arg $ layer_arg $ time_limit_arg $ fault_seed_arg
+          $ fault_rate_arg)
 
 (* cosa_cli evaluate <file> *)
 let evaluate_cmd =

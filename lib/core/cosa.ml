@@ -23,6 +23,15 @@ type objective_breakdown = Cosa_objective.t = {
 
 type strategy = Auto | Joint | Two_stage
 
+(* Which rung of the degradation ladder produced the returned mapping. *)
+type source = Milp_joint | Milp_two_stage | Heuristic_sampler | Trivial
+
+let source_to_string = function
+  | Milp_joint -> "joint MIP"
+  | Milp_two_stage -> "two-stage MIP"
+  | Heuristic_sampler -> "heuristic sampler"
+  | Trivial -> "trivial fallback"
+
 type result = {
   mapping : Mapping.t;
   objective : objective_breakdown;
@@ -31,6 +40,10 @@ type result = {
   nodes : int;
   repaired : bool;
   used_joint : bool;
+  source : source;
+  fallback_chain : Robust.Failure.t list;
+      (* why each failed rung fell through, in the order the ladder was
+         descended; empty exactly when the answer came without a fallback *)
 }
 
 let breakdown_of_mapping ?weights arch m = Cosa_objective.of_mapping ?weights arch m
@@ -52,83 +65,164 @@ let trivial_mapping arch layer =
   in
   Mapping.make layer levels
 
-let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4.) arch layer =
+let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4.)
+    ?(deadline = Robust.Deadline.none) ?(heuristic_retries = 3) arch layer =
   let weights = match weights with Some w -> w | None -> calibrate arch in
   let t0 = Unix.gettimeofday () in
-  (* A cheap deterministic heuristic mapping seeds the branch-and-bound with
-     an incumbent (MIP start), so the search begins with an upper bound. *)
-  let heuristic_mapping () =
-    let rng = Prim.Rng.create 0x5eed in
-    let candidates =
-      List.filter_map (fun _ -> Sampler.valid rng arch layer) (List.init 8 Fun.id)
+  (* effective budget: the tighter of the per-call time limit and the
+     caller's absolute deadline; threaded through B&B into the simplex *)
+  let dl = Robust.Deadline.tighten (Robust.Deadline.after time_limit) deadline in
+  let failures = ref [] in
+  let push f = failures := f :: !failures in
+  let chain () = Robust.Failure.dedup_consecutive (List.rev !failures) in
+  let last_status = ref Milp.Bb.No_solution in
+  let total_nodes = ref 0 in
+  let solve_time () = Unix.gettimeofday () -. t0 in
+  let finish ?(repaired = false) ~source mapping =
+    {
+      mapping;
+      objective = Cosa_objective.of_mapping ~weights arch mapping;
+      solver_status = !last_status;
+      solve_time = solve_time ();
+      nodes = !total_nodes;
+      repaired;
+      used_joint = (source = Milp_joint);
+      source;
+      fallback_chain = chain ();
+    }
+  in
+  (* Sample up to [n] valid mappings and keep the best by the CoSA
+     objective, evaluating each candidate exactly once. Used both to seed
+     the branch-and-bound with an incumbent (MIP start) and as the
+     heuristic rung of the degradation ladder. *)
+  let best_sampled ~seed ~n =
+    let rng = Prim.Rng.create seed in
+    let scored =
+      List.filter_map
+        (fun _ ->
+          match Sampler.valid rng arch layer with
+          | None -> None
+          | Some c ->
+            Some ((Cosa_objective.of_mapping ~weights arch c).Cosa_objective.total, c))
+        (List.init n Fun.id)
     in
-    match candidates with
+    match scored with
     | [] -> None
     | first :: rest ->
-      let score c = (Cosa_objective.of_mapping ~weights arch c).Cosa_objective.total in
       Some
-        (List.fold_left
-           (fun best c -> if score c < score best then c else best)
-           first rest)
+        (snd
+           (List.fold_left
+              (fun (bs, bm) (s, m) -> if s < bs then (s, m) else (bs, bm))
+              first rest))
   in
-  let warm = heuristic_mapping () in
-  let attempt joint =
-    let f = Cosa_formulation.build ~weights ~joint_permutation:joint arch layer in
-    let warm_start =
-      match warm with
-      | Some wm -> Cosa_formulation.mip_start f wm
-      | None -> None
-    in
-    let res =
-      Milp.Bb.solve ~node_limit ~time_limit ~priority:f.Cosa_formulation.priority ~gap:0.05
-        ?warm_start f.Cosa_formulation.lp
-    in
-    match res.Milp.Bb.status with
-    | Milp.Bb.Optimal | Milp.Bb.Feasible ->
-      let m = Cosa_decode.decode f res in
-      let m = if joint then m else Cosa_decode.best_noc_order ~weights arch m in
-      let m, repaired = Cosa_decode.repair arch m in
-      if Mapping.is_valid arch m then Some (m, res, repaired) else None
-    | Milp.Bb.Infeasible | Milp.Bb.Unbounded | Milp.Bb.No_solution -> None
+  let warm =
+    if Robust.Deadline.expired dl || Robust.Fault.fire "cosa.warm" then None
+    else best_sampled ~seed:0x5eed ~n:8
   in
-  let candidates =
-    match strategy with
-    | Joint -> [ (true, attempt true) ]
-    | Two_stage -> [ (false, attempt false) ]
-    | Auto -> [ (true, attempt true); (false, attempt false) ]
+  (* Rung 1: one-shot constrained optimisation. A failed attempt records
+     why (typed) and yields None instead of raising. Each attempt gets an
+     explicit share of the remaining budget so that under [Auto] the joint
+     solve cannot starve the two-stage one; [dl] still caps the total. *)
+  let attempt ~budget joint =
+    match Cosa_formulation.build ~weights ~joint_permutation:joint arch layer with
+    | exception e ->
+      push (Robust.Failure.Invalid_input (Printexc.to_string e));
+      None
+    | f ->
+      let warm_start =
+        match warm with
+        | Some wm -> Cosa_formulation.mip_start f wm
+        | None -> None
+      in
+      let res =
+        Milp.Bb.solve ~node_limit ~time_limit:budget ~deadline:dl
+          ~priority:f.Cosa_formulation.priority ~gap:0.05 ?warm_start f.Cosa_formulation.lp
+      in
+      total_nodes := !total_nodes + res.Milp.Bb.nodes;
+      last_status := res.Milp.Bb.status;
+      let fail_with fallback =
+        (* prefer the solver's own typed failures; fall back to a
+           status-derived cause when it swallowed none *)
+        (match List.sort_uniq compare res.Milp.Bb.failures with
+         | [] -> push fallback
+         | fs -> List.iter push fs);
+        None
+      in
+      (match res.Milp.Bb.status with
+       | Milp.Bb.Optimal | Milp.Bb.Feasible -> (
+         match Cosa_decode.decode_r f res with
+         | Error df ->
+           push df;
+           None
+         | Ok m ->
+           let m = if joint then m else Cosa_decode.best_noc_order ~weights arch m in
+           let m, repaired = Cosa_decode.repair arch m in
+           if Mapping.is_valid arch m then Some (m, res, repaired)
+           else (
+             push Robust.Failure.Decode_failed;
+             None))
+       | Milp.Bb.Infeasible | Milp.Bb.Unbounded -> fail_with Robust.Failure.Infeasible
+       | Milp.Bb.No_solution ->
+         fail_with
+           (if Robust.Deadline.expired dl then Robust.Failure.Deadline_exceeded
+            else Robust.Failure.Iteration_limit))
+  in
+  let milp_attempts =
+    match strategy with Joint -> [ true ] | Two_stage -> [ false ] | Auto -> [ true; false ]
+  in
+  let n_attempts = List.length milp_attempts in
+  let milp_results =
+    List.filter_map Fun.id
+    @@ List.mapi
+      (fun i joint ->
+        if Robust.Deadline.expired dl then begin
+          push Robust.Failure.Deadline_exceeded;
+          None
+        end
+        else
+          (* even split of what is left over the attempts still to run *)
+          let budget =
+            Robust.Deadline.remaining dl /. float_of_int (n_attempts - i)
+          in
+          match attempt ~budget joint with
+          | Some (m, res, repaired) -> Some (joint, m, res, repaired)
+          | None -> None)
+      milp_attempts
   in
   (* Arbitrate between the (at most two) one-shot candidates with a single
      analytical-model evaluation each — deterministic and closed-form, not
      iterative search (see DESIGN.md fidelity notes). *)
   let scored =
-    List.filter_map
-      (fun (joint, outcome) ->
-        match outcome with
-        | Some (m, res, repaired) ->
-          Some ((Model.evaluate arch m).Model.latency, (m, res, repaired, joint))
-        | None -> None)
-      candidates
+    List.map
+      (fun (joint, m, res, repaired) ->
+        ((Model.evaluate arch m).Model.latency, (joint, m, res, repaired)))
+      milp_results
   in
-  let solve_time () = Unix.gettimeofday () -. t0 in
   match List.sort (fun (a, _) (b, _) -> compare a b) scored with
-  | (_, (mapping, res, repaired, used_joint)) :: _ ->
-    {
-      mapping;
-      objective = Cosa_objective.of_mapping ~weights arch mapping;
-      solver_status = res.Milp.Bb.status;
-      solve_time = solve_time ();
-      nodes = res.Milp.Bb.nodes;
-      repaired;
-      used_joint;
-    }
-  | [] ->
-    let mapping = trivial_mapping arch layer in
-    {
-      mapping;
-      objective = Cosa_objective.of_mapping ~weights arch mapping;
-      solver_status = Milp.Bb.No_solution;
-      solve_time = solve_time ();
-      nodes = 0;
-      repaired = false;
-      used_joint = false;
-    }
+  | (_, (joint, mapping, res, repaired)) :: _ ->
+    last_status := res.Milp.Bb.status;
+    finish ~repaired ~source:(if joint then Milp_joint else Milp_two_stage) mapping
+  | [] -> (
+    (* Rung 2: heuristic sampler with seed-perturbed retries. *)
+    let rec heuristic k =
+      if Robust.Deadline.expired dl then begin
+        push Robust.Failure.Deadline_exceeded;
+        None
+      end
+      else if k > heuristic_retries then begin
+        push Robust.Failure.Infeasible;
+        None
+      end
+      else
+        match best_sampled ~seed:(0x5eed + (0x9e37 * k)) ~n:8 with
+        | Some m -> Some m
+        | None -> heuristic (k + 1)
+    in
+    (* the warm-start incumbent, when it exists, is already rung-2 output *)
+    let heuristic_result = match warm with Some m -> Some m | None -> heuristic 0 in
+    match heuristic_result with
+    | Some m -> finish ~source:Heuristic_sampler m
+    | None ->
+      (* Rung 3: the all-DRAM schedule — always constructible, always
+         valid, never worth returning unless everything above failed. *)
+      finish ~source:Trivial (trivial_mapping arch layer))

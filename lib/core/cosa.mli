@@ -26,6 +26,14 @@ type strategy =
   | Joint  (** the paper's single joint MIP only *)
   | Two_stage  (** tiling/spatial MIP, then exact permutation sub-solve *)
 
+type source =
+  | Milp_joint  (** the paper's one-shot joint MIP *)
+  | Milp_two_stage  (** tiling MIP + exact permutation sub-solve *)
+  | Heuristic_sampler  (** random valid-mapping sampler, best-of-N *)
+  | Trivial  (** the all-DRAM fallback schedule *)
+
+val source_to_string : source -> string
+
 type result = {
   mapping : Mapping.t;
   objective : objective_breakdown;
@@ -34,6 +42,10 @@ type result = {
   nodes : int;
   repaired : bool;  (** decode needed the capacity repair pass *)
   used_joint : bool;  (** the returned mapping came from the joint MIP *)
+  source : source;  (** the degradation-ladder rung that produced [mapping] *)
+  fallback_chain : Robust.Failure.t list;
+      (** why each failed rung fell through, in ladder order, with runs of
+          identical causes collapsed. Empty exactly when no rung failed. *)
 }
 
 val schedule :
@@ -41,13 +53,24 @@ val schedule :
   ?strategy:strategy ->
   ?node_limit:int ->
   ?time_limit:float ->
+  ?deadline:Robust.Deadline.t ->
+  ?heuristic_retries:int ->
   Spec.t ->
   Layer.t ->
   result
-(** Produce a schedule in one shot. The returned mapping is always valid on
-    the architecture (an all-DRAM schedule is the final fallback). Default
-    [time_limit] (per MIP attempt) is 4 seconds; [Auto] runs at most two
-    attempts. *)
+(** Produce a schedule in one shot. [schedule] never raises and the
+    returned mapping is always valid on the architecture: on any typed
+    failure (solver abort, blown deadline, decode failure, injected fault)
+    it descends the degradation ladder
+
+    {v MIP (joint and/or two-stage) -> heuristic sampler -> all-DRAM v}
+
+    recording each rung's failure in [fallback_chain]. The wall-clock
+    budget is the tighter of [time_limit] (relative, default 4 s, covering
+    the whole call) and [deadline] (absolute); it is enforced down to the
+    simplex pivot loop, so even a single LP solve cannot blow the budget.
+    [heuristic_retries] (default 3) bounds the seed-perturbed sampler
+    retries on the heuristic rung. *)
 
 val breakdown_of_mapping : ?weights:weights -> Spec.t -> Mapping.t -> objective_breakdown
 (** Evaluate the paper's three objective terms on {e any} concrete mapping

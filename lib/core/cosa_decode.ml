@@ -4,6 +4,8 @@ let pow_int base e =
   let rec go acc e = if e = 0 then acc else go (acc * base) (e - 1) in
   go 1 e
 
+(* Legacy decoder: raises [Invalid_argument] on an empty solution. Prefer
+   [decode_r], which returns a typed failure instead. *)
 let decode (f : Cosa_formulation.t) (res : Milp.Bb.result) =
   if Array.length res.Milp.Bb.values = 0 then invalid_arg "Cosa_decode.decode: no solution";
   let arch = f.Cosa_formulation.arch in
@@ -66,6 +68,19 @@ let decode (f : Cosa_formulation.t) (res : Milp.Bb.result) =
         { Mapping.temporal; spatial })
   in
   Mapping.make f.Cosa_formulation.layer levels
+
+(* Result-returning decoder: no exception escapes. An empty solution vector
+   or any decode-time exception becomes [Decode_failed]; the fault harness
+   can force a failure here via the "decode.decode" site. *)
+let decode_r (f : Cosa_formulation.t) (res : Milp.Bb.result) =
+  match Robust.Fault.check "decode.decode" with
+  | Error e -> Error e
+  | Ok () ->
+    if Array.length res.Milp.Bb.values = 0 then Error Robust.Failure.Decode_failed
+    else (
+      match decode f res with
+      | m -> Ok m
+      | exception _ -> Error Robust.Failure.Decode_failed)
 
 (* Move one prime factor of a dimension relevant to the overflowing tensor
    from below the overflowing buffer to the overflow level itself (which

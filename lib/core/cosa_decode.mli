@@ -16,6 +16,12 @@ val decode : Cosa_formulation.t -> Milp.Bb.result -> Mapping.t
 (** Raw decode, before repair. Raises [Invalid_argument] if the result has
     no solution values. *)
 
+val decode_r :
+  Cosa_formulation.t -> Milp.Bb.result -> (Mapping.t, Robust.Failure.t) Stdlib.result
+(** Like {!decode} but total: an empty solution vector or any decode-time
+    exception comes back as [Error Decode_failed], and the fault-injection
+    site ["decode.decode"] can force an [Injected] failure. *)
+
 val repair : Spec.t -> Mapping.t -> Mapping.t * bool
 (** [repair arch m] returns a valid mapping and whether any change was
     needed. Factors are moved outward (toward DRAM) from overflowing

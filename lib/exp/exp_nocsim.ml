@@ -1,8 +1,9 @@
 (* Fig. 10: cycle-level NoC-simulator evaluation. *)
 
 let sim_latency arch m =
-  try (Noc_sim.simulate ~max_steps:24 ~max_cycles:30_000_000 arch m).Noc_sim.latency
-  with Failure _ -> infinity
+  match Noc_sim.simulate_r ~max_steps:24 ~max_cycles:30_000_000 arch m with
+  | Ok s -> s.Noc_sim.latency
+  | Error _ -> infinity
 
 let fig10 () =
   let arch = Spec.baseline in

@@ -57,6 +57,8 @@ let raw rng arch layer =
   build arch layer placements (fun i -> orders.(i))
 
 let valid ?(max_attempts = 50) rng arch layer =
+  if Robust.Fault.fire "sampler.valid" then None
+  else
   let nlev = Spec.level_count arch in
   let dram = Spec.dram_level arch in
   let try_once () =

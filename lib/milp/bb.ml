@@ -8,6 +8,9 @@ type result = {
   nodes : int;
   simplex_iterations : int;
   elapsed : float;
+  failures : Robust.Failure.t list;
+      (* typed failures swallowed during the search (pruned nodes whose LP
+         aborted, expired deadline, injected faults), oldest first *)
 }
 
 let value r v = r.values.(Lp.var_index v)
@@ -132,9 +135,24 @@ let check_feasible ?(tol = 1e-6) model x =
         (Lp.constrs model);
       !ok)
 
-let solve ?(node_limit = 200_000) ?(time_limit = 60.) ?(integrality_tol = 1e-6) ?priority
-    ?(gap = 0.) ?warm_start model =
+let solve ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.Deadline.none)
+    ?(integrality_tol = 1e-6) ?priority ?(gap = 0.) ?warm_start model =
   let t0 = Unix.gettimeofday () in
+  (* the effective budget is the tighter of the relative time limit and the
+     caller's absolute deadline; both propagate into every node's simplex *)
+  let dl = Robust.Deadline.tighten (Robust.Deadline.after time_limit) deadline in
+  let failures = ref [] in
+  let nfailures = ref 0 in
+  let record_failure f =
+    (* cap the log so a fault storm cannot grow the result without bound *)
+    if !nfailures < 64 then begin
+      failures := f :: !failures;
+      incr nfailures
+    end
+  in
+  (* set when the search is cut short (budget, deadline, or aborted node
+     LPs): the incumbent can then no longer be certified optimal *)
+  let explored_all = ref true in
   let base = relax model in
   let nv = Lp.num_vars model in
   let int_vars =
@@ -171,15 +189,15 @@ let solve ?(node_limit = 200_000) ?(time_limit = 60.) ?(integrality_tol = 1e-6) 
     List.iter (fun (j, _) -> if lb.(j) > ub.(j) +. 1e-12 then conflict := true) node.nlb;
     List.iter (fun (j, _) -> if lb.(j) > ub.(j) +. 1e-12 then conflict := true) node.nub;
     if !conflict then
-      { Simplex.status = Simplex.Infeasible; obj = infinity; x = [||]; iterations = 0 }
+      Ok { Simplex.status = Simplex.Infeasible; obj = infinity; x = [||]; iterations = 0 }
     else begin
       (* propagate the branching decisions through the equality rows; this
          often fixes sibling variables or proves the node infeasible
          before any simplex work *)
       let pre = Presolve.tighten ~integer:integer_cols base rows lb ub in
       if not pre.Presolve.feasible then
-        { Simplex.status = Simplex.Infeasible; obj = infinity; x = [||]; iterations = 0 }
-      else Simplex.solve { base with lb; ub }
+        Ok { Simplex.status = Simplex.Infeasible; obj = infinity; x = [||]; iterations = 0 }
+      else Simplex.solve_r ~deadline:dl { base with lb; ub }
     end
   in
   let prio j = match priority with Some p -> p.(j) | None -> 0. in
@@ -206,7 +224,18 @@ let solve ?(node_limit = 200_000) ?(time_limit = 60.) ?(integrality_tol = 1e-6) 
     if parent_bound >= !incumbent_obj -. gap -. 1e-9 then None
     else begin
       incr nodes;
-      let res = solve_node node in
+      match
+        match Robust.Fault.check "bb.node" with
+        | Error f -> Error f
+        | Ok () -> solve_node node
+      with
+      | Error f ->
+        (* a node LP that aborts (singular basis, NaN, deadline, injected
+           fault) is pruned, but the search can no longer claim optimality *)
+        record_failure f;
+        explored_all := false;
+        None
+      | Ok res ->
       simplex_iterations := !simplex_iterations + res.Simplex.iterations;
       match res.Simplex.status with
       | Simplex.Infeasible | Simplex.Iteration_limit -> None
@@ -239,11 +268,10 @@ let solve ?(node_limit = 200_000) ?(time_limit = 60.) ?(integrality_tol = 1e-6) 
   (* Depth-first plunge from a node until it prunes, then resume best-first
      from the heap. Plunging finds integral incumbents quickly, which best-
      first search alone postpones indefinitely. *)
-  let out_of_budget () =
-    !nodes >= node_limit || Unix.gettimeofday () -. t0 > time_limit
-  in
+  let out_of_budget () = !nodes >= node_limit || Robust.Deadline.expired dl in
   let rec plunge node bound =
-    if not (out_of_budget ()) then
+    if out_of_budget () then explored_all := false
+    else
       match process node bound with
       | Some (b, child) -> plunge child b
       | None -> ()
@@ -256,6 +284,7 @@ let solve ?(node_limit = 200_000) ?(time_limit = 60.) ?(integrality_tol = 1e-6) 
          (* record the tightest outstanding bound before bailing *)
          let b, _ = Heap.pop heap in
          best_open_bound := b;
+         explored_all := false;
          raise Exit
        end;
        let bound, node = Heap.pop heap in
@@ -263,26 +292,35 @@ let solve ?(node_limit = 200_000) ?(time_limit = 60.) ?(integrality_tol = 1e-6) 
      done
    with Exit -> ());
   let elapsed = Unix.gettimeofday () -. t0 in
-  let limit_hit = !best_open_bound > neg_infinity in
+  if Robust.Deadline.expired dl
+     && not !explored_all
+     && not (List.exists (Robust.Failure.equal Robust.Failure.Deadline_exceeded) !failures)
+  then failures := Robust.Failure.Deadline_exceeded :: !failures;
+  let failures = List.rev !failures in
+  let limit_hit = not !explored_all in
   match !incumbent with
   | Some x ->
-    let internal_bound = if limit_hit then !best_open_bound else !incumbent_obj in
+    let internal_bound =
+      if limit_hit && !best_open_bound > neg_infinity then !best_open_bound
+      else !incumbent_obj
+    in
     { status = (if limit_hit then Feasible else Optimal);
       obj = user_obj !incumbent_obj;
       values = x;
       bound = user_obj internal_bound;
       nodes = !nodes;
       simplex_iterations = !simplex_iterations;
-      elapsed }
+      elapsed;
+      failures }
   | None ->
     if !unbounded then
       { status = Unbounded; obj = (match Lp.objective_sense model with
           | `Minimize -> neg_infinity | `Maximize -> infinity);
         values = Array.make nv 0.; bound = nan; nodes = !nodes;
-        simplex_iterations = !simplex_iterations; elapsed }
+        simplex_iterations = !simplex_iterations; elapsed; failures }
     else if limit_hit then
       { status = No_solution; obj = nan; values = Array.make nv 0.; bound = nan;
-        nodes = !nodes; simplex_iterations = !simplex_iterations; elapsed }
+        nodes = !nodes; simplex_iterations = !simplex_iterations; elapsed; failures }
     else
       { status = Infeasible; obj = nan; values = Array.make nv 0.; bound = nan;
-        nodes = !nodes; simplex_iterations = !simplex_iterations; elapsed }
+        nodes = !nodes; simplex_iterations = !simplex_iterations; elapsed; failures }

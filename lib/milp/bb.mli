@@ -19,11 +19,18 @@ type result = {
   nodes : int;
   simplex_iterations : int;
   elapsed : float;
+  failures : Robust.Failure.t list;
+      (** typed failures swallowed during the search (node LPs that aborted
+          on a singular basis, NaN corruption, injected faults, or the
+          deadline), oldest first, capped at 64 entries. Empty on a clean
+          run. When non-empty the search skipped subtrees, so an [Optimal]
+          claim is downgraded to [Feasible]. *)
 }
 
 val solve :
   ?node_limit:int ->
   ?time_limit:float ->
+  ?deadline:Robust.Deadline.t ->
   ?integrality_tol:float ->
   ?priority:float array ->
   ?gap:float ->
@@ -31,13 +38,18 @@ val solve :
   Lp.model ->
   result
 (** Defaults: [node_limit = 200_000], [time_limit = 60.] seconds,
-    [integrality_tol = 1e-6], [gap = 0.]. [priority] (indexed by variable)
-    biases the branching rule: among fractional integer variables the
-    highest priority wins, most-fractional breaking ties. [gap] is an
-    absolute optimality tolerance: nodes whose LP bound is within [gap] of
-    the incumbent are pruned (the returned solution is then optimal within
-    [gap]). [warm_start], when feasible for the model, seeds the incumbent
-    so the search starts with an upper bound (a MIP start). *)
+    [integrality_tol = 1e-6], [gap = 0.]. The effective wall-clock budget
+    is the tighter of [time_limit] (relative) and [deadline] (absolute);
+    it is propagated into every node's simplex solve, so a single long LP
+    cannot blow the budget. [solve] never raises: node LPs that fail with
+    a typed error are pruned and reported via [failures]. [priority]
+    (indexed by variable) biases the branching rule: among fractional
+    integer variables the highest priority wins, most-fractional breaking
+    ties. [gap] is an absolute optimality tolerance: nodes whose LP bound
+    is within [gap] of the incumbent are pruned (the returned solution is
+    then optimal within [gap]). [warm_start], when feasible for the model,
+    seeds the incumbent so the search starts with an upper bound (a MIP
+    start). *)
 
 val check_feasible : ?tol:float -> Lp.model -> float array -> bool
 (** Whether an assignment satisfies all bounds, integrality, and

@@ -1,5 +1,10 @@
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
+(* Internal control-flow exception: aborts the current solve with a typed
+   failure (singular basis, deadline, NaN corruption, injected fault).
+   Never escapes [solve_r]; [solve] re-raises it as [Robust.Failure.Error]. *)
+exception Lp_abort of Robust.Failure.t
+
 type problem = {
   nrows : int;
   ncols : int;
@@ -41,9 +46,12 @@ let nonbasic_rest_value lb ub =
   if lb > neg_infinity then lb else if ub < infinity then ub else 0.
 
 (* Rebuild the dense basis inverse by Gauss-Jordan elimination and recompute
-   basic values from scratch. Raises [Failure] on a singular basis, which
-   indicates an internal invariant violation. *)
+   basic values from scratch. Raises [Lp_abort Singular_basis] on a singular
+   basis, which indicates an internal invariant violation. *)
 let refactorize st =
+  (match Robust.Fault.check "simplex.refactor" with
+   | Ok () -> ()
+   | Error f -> raise (Lp_abort f));
   let m = st.m in
   let mat = Array.make_matrix m m 0. in
   for r = 0 to m - 1 do
@@ -57,7 +65,8 @@ let refactorize st =
     for r = col + 1 to m - 1 do
       if Float.abs mat.(r).(col) > Float.abs mat.(!best).(col) then best := r
     done;
-    if Float.abs mat.(!best).(col) < pivot_tol then failwith "Simplex: singular basis";
+    if Float.abs mat.(!best).(col) < pivot_tol then
+      raise (Lp_abort Robust.Failure.Singular_basis);
     if !best <> col then begin
       let t = mat.(col) in mat.(col) <- mat.(!best); mat.(!best) <- t;
       let t = inv.(col) in inv.(col) <- inv.(!best); inv.(!best) <- t
@@ -101,6 +110,15 @@ let refactorize st =
     st.xb.(i) <- !s
   done
 
+(* NaN/Inf anywhere in the basic values means the eta updates have silently
+   corrupted the factorization; surface it as a typed failure instead of
+   letting garbage propagate into branching decisions. *)
+let check_health st =
+  for i = 0 to st.m - 1 do
+    if not (Float.is_finite st.xb.(i)) then
+      raise (Lp_abort Robust.Failure.Numerical_instability)
+  done
+
 (* Reduced cost of column j given the dual vector y. *)
 let reduced_cost st cost y j =
   let rows, coeffs = st.acols.(j) in
@@ -139,14 +157,27 @@ exception Lp_unbounded
 exception Lp_iteration_limit
 
 (* One phase of the simplex: minimize [cost] from the current basis.
-   Mutates [st]; returns when no improving nonbasic column remains. *)
-let optimize st cost max_iterations =
+   Mutates [st]; returns when no improving nonbasic column remains. The
+   deadline is polled every [deadline_every] iterations — frequent enough
+   that a single solve cannot overshoot its budget by more than a few
+   pivots, rare enough that the clock read does not show up in profiles. *)
+let deadline_every = 32
+
+let optimize st cost max_iterations deadline =
   let m = st.m in
   let y = Array.make m 0. in
   let alpha = Array.make m 0. in
   let continue_ = ref true in
   while !continue_ do
     if st.iterations >= max_iterations then raise Lp_iteration_limit;
+    (match Robust.Fault.check "simplex.pivot" with
+     | Ok () -> ()
+     | Error f -> raise (Lp_abort f));
+    if st.iterations mod deadline_every = 0 then begin
+      if Robust.Deadline.expired deadline then
+        raise (Lp_abort Robust.Failure.Deadline_exceeded);
+      check_health st
+    end;
     if st.iterations mod refactor_every = 0 && st.iterations > 0 then refactorize st;
     compute_duals st cost y;
     (* Pricing: Dantzig rule normally, Bland's rule after a degenerate streak. *)
@@ -285,7 +316,11 @@ let objective_value p x =
   done;
   !s
 
-let solve ?max_iterations p =
+(* Result-returning entry point: all abnormal terminations (singular basis,
+   blown deadline, NaN corruption, injected faults) come back as a typed
+   [Error]; [Unbounded]/[Infeasible]/[Iteration_limit] remain ordinary
+   statuses because branch-and-bound treats them as prunable outcomes. *)
+let solve_r ?max_iterations ?(deadline = Robust.Deadline.none) p =
   let m = p.nrows in
   let max_iterations =
     match max_iterations with
@@ -304,8 +339,8 @@ let solve ?max_iterations p =
       in
       if Float.abs v = infinity then unbounded := true else x.(j) <- v
     done;
-    if !unbounded then { status = Unbounded; obj = neg_infinity; x; iterations = 0 }
-    else { status = Optimal; obj = objective_value p x; x; iterations = 0 }
+    if !unbounded then Ok { status = Unbounded; obj = neg_infinity; x; iterations = 0 }
+    else Ok { status = Optimal; obj = objective_value p x; x; iterations = 0 }
   end
   else begin
     let ntot = p.ncols + m in
@@ -387,7 +422,7 @@ let solve ?max_iterations p =
     let phase2_cost = Array.make ntot 0. in
     Array.blit p.cost 0 phase2_cost 0 p.ncols;
     try
-      optimize st phase1_cost max_iterations;
+      optimize st phase1_cost max_iterations deadline;
       let infeas = ref 0. in
       for i = 0 to m - 1 do
         if st.basis.(i) >= p.ncols then infeas := !infeas +. st.xb.(i)
@@ -398,7 +433,7 @@ let solve ?max_iterations p =
         | At_lower | Free_zero | Basic _ -> ()
       done;
       if !infeas > 1e-6 then
-        { status = Infeasible; obj = infinity; x = extract_x st; iterations = st.iterations }
+        Ok { status = Infeasible; obj = infinity; x = extract_x st; iterations = st.iterations }
       else begin
         (* lock artificials at zero for phase 2 *)
         for j = p.ncols to ntot - 1 do
@@ -410,16 +445,27 @@ let solve ?max_iterations p =
         done;
         st.bland <- false;
         st.degenerate_streak <- 0;
-        optimize st phase2_cost max_iterations;
+        optimize st phase2_cost max_iterations deadline;
         let x = extract_x st in
-        { status = Optimal; obj = objective_value p x; x; iterations = st.iterations }
+        if not (Float.is_finite (objective_value p x)) then
+          Error Robust.Failure.Numerical_instability
+        else
+          Ok { status = Optimal; obj = objective_value p x; x; iterations = st.iterations }
       end
     with
     | Lp_unbounded ->
-      { status = Unbounded; obj = neg_infinity; x = extract_x st; iterations = st.iterations }
+      Ok { status = Unbounded; obj = neg_infinity; x = extract_x st; iterations = st.iterations }
     | Lp_iteration_limit ->
-      { status = Iteration_limit; obj = nan; x = extract_x st; iterations = st.iterations }
+      Ok { status = Iteration_limit; obj = nan; x = extract_x st; iterations = st.iterations }
+    | Lp_abort f -> Error f
   end
+
+(* Legacy exception-raising wrapper: raises [Robust.Failure.Error] where
+   [solve_r] would return [Error]. Prefer [solve_r] in new code. *)
+let solve ?max_iterations p =
+  match solve_r ?max_iterations p with
+  | Ok r -> r
+  | Error f -> raise (Robust.Failure.Error f)
 
 let feasible ?(tol = 1e-6) p x =
   let ok = ref true in

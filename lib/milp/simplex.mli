@@ -26,8 +26,23 @@ type result = {
   iterations : int;
 }
 
+val solve_r :
+  ?max_iterations:int ->
+  ?deadline:Robust.Deadline.t ->
+  problem ->
+  (result, Robust.Failure.t) Stdlib.result
+(** Result-returning entry point. Defaults to a generous iteration cap
+    scaled with problem size and no deadline. The deadline is polled every
+    few dozen pivots, so a solve never overruns its budget by more than a
+    handful of iterations. [Error] covers abnormal terminations only —
+    [Singular_basis], [Deadline_exceeded], [Numerical_instability] (NaN/Inf
+    detected in the tableau or objective), and [Injected] faults from
+    {!Robust.Fault}; infeasible, unbounded, and iteration-limited solves
+    remain ordinary [Ok] statuses. *)
+
 val solve : ?max_iterations:int -> problem -> result
-(** Defaults to a generous iteration cap scaled with problem size. *)
+(** Legacy wrapper around {!solve_r} without a deadline; raises
+    [Robust.Failure.Error] where [solve_r] would return [Error]. *)
 
 val feasible : ?tol:float -> problem -> float array -> bool
 (** [feasible p x] checks bounds and row equalities within [tol] (default

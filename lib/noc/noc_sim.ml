@@ -56,7 +56,12 @@ let tile_groups arch (m : Mapping.t) v =
 
 let word_bytes arch v = max 1 ((arch.Spec.precision_bits v + 7) / 8)
 
-let simulate ?(max_steps = 48) ?(max_cycles = 20_000_000) arch (m : Mapping.t) =
+(* Internal abort used for deadline expiry and injected faults mid-run;
+   never escapes [simulate_r]. *)
+exception Sim_abort of Robust.Failure.t
+
+let simulate_r ?(max_steps = 48) ?(max_cycles = 20_000_000)
+    ?(deadline = Robust.Deadline.none) arch (m : Mapping.t) =
   let noc = arch.Spec.noc_level in
   let dram_lvl = Spec.dram_level arch in
   let total_steps =
@@ -205,8 +210,19 @@ let simulate ?(max_steps = 48) ?(max_cycles = 20_000_000) arch (m : Mapping.t) =
     && not (Dram_model.busy dram)
     && Mesh.idle mesh
   in
+  let abort = ref None in
+  (try
   while (not (finished ())) && !cycle < max_cycles do
     incr cycle;
+    (* budget/fault poll: cheap enough at this stride to be free, frequent
+       enough that an expired deadline stops the run within ~256 cycles *)
+    if !cycle land 255 = 0 then begin
+      (match Robust.Fault.check "noc.step" with
+       | Ok () -> ()
+       | Error f -> raise (Sim_abort f));
+      if Robust.Deadline.expired deadline then
+        raise (Sim_abort Robust.Failure.Deadline_exceeded)
+    end;
     (* DRAM *)
     Dram_model.step dram;
     List.iter
@@ -269,20 +285,32 @@ let simulate ?(max_steps = 48) ?(max_cycles = 20_000_000) arch (m : Mapping.t) =
         if ready then pe_compute.(pe) <- cycles_per_step
       end
     done
-  done;
+  done
+  with Sim_abort f -> abort := Some f);
+  match !abort with
+  | Some f -> Error f
+  | None ->
   if !cycle >= max_cycles then
-    failwith
-      (Printf.sprintf "Noc_sim.simulate: cycle budget exhausted (%d cycles, step %d/%d)"
-         !cycle (min_pe_step ()) steps);
-  let latency = fi !cycle /. ratio in
-  {
-    latency;
-    simulated_cycles = !cycle;
-    simulated_steps = steps;
-    total_steps;
-    sampled = steps < total_steps;
-    flit_hops = Mesh.flit_hops mesh;
-    dram_busy_cycles = Dram_model.total_busy_cycles dram;
-    packets = !packets;
-    compute_cycles_per_step = cycles_per_step;
-  }
+    (* exhausting the cycle budget without converging (a deadlock or an
+       invalid mapping's feed schedule) is the simulator's iteration limit *)
+    Error Robust.Failure.Iteration_limit
+  else
+    Ok
+      {
+        latency = fi !cycle /. ratio;
+        simulated_cycles = !cycle;
+        simulated_steps = steps;
+        total_steps;
+        sampled = steps < total_steps;
+        flit_hops = Mesh.flit_hops mesh;
+        dram_busy_cycles = Dram_model.total_busy_cycles dram;
+        packets = !packets;
+        compute_cycles_per_step = cycles_per_step;
+      }
+
+(* Legacy wrapper: raises [Robust.Failure.Error] where [simulate_r] returns
+   [Error]. Prefer [simulate_r] in new code. *)
+let simulate ?max_steps ?max_cycles arch m =
+  match simulate_r ?max_steps ?max_cycles arch m with
+  | Ok s -> s
+  | Error f -> raise (Robust.Failure.Error f)

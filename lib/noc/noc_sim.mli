@@ -26,7 +26,21 @@ type stats = {
   compute_cycles_per_step : int;
 }
 
+val simulate_r :
+  ?max_steps:int ->
+  ?max_cycles:int ->
+  ?deadline:Robust.Deadline.t ->
+  Spec.t ->
+  Mapping.t ->
+  (stats, Robust.Failure.t) Stdlib.result
+(** Defaults: [max_steps = 48], [max_cycles = 20_000_000], no deadline.
+    [Error Iteration_limit] when the cycle budget is exhausted without the
+    run converging (a deadlock, or an invalid mapping's feed schedule —
+    neither occurs for valid mappings on the shipped architectures);
+    [Error Deadline_exceeded] when the wall-clock deadline expires mid-run
+    (polled every 256 simulated cycles); [Error (Injected _)] when the
+    ["noc.step"] fault site fires. *)
+
 val simulate : ?max_steps:int -> ?max_cycles:int -> Spec.t -> Mapping.t -> stats
-(** Defaults: [max_steps = 48], [max_cycles = 20_000_000]. Raises [Failure]
-    if the network deadlocks or the cycle budget is exhausted (neither
-    occurs for valid mappings on the shipped architectures). *)
+(** Legacy wrapper around {!simulate_r} without a deadline; raises
+    [Robust.Failure.Error] where [simulate_r] would return [Error]. *)

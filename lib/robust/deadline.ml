@@ -1,0 +1,34 @@
+(* Wall-clock deadlines threaded from [Cosa.schedule] down into the simplex
+   pivot loop. A deadline latches once it trips: even if the system clock
+   steps backwards, [expired] never un-expires, so budget checks behave
+   monotonically. [none] never expires and costs one float compare per
+   check, so inner loops can test unconditionally. *)
+
+type t = { expires_at : float; mutable tripped : bool }
+
+let none = { expires_at = infinity; tripped = false }
+
+(* A deadline [seconds] from now; negative budgets expire immediately. *)
+let after seconds =
+  { expires_at = Unix.gettimeofday () +. Float.max 0. seconds; tripped = false }
+
+let at expires_at = { expires_at; tripped = false }
+
+let expired t =
+  t.tripped
+  || (t.expires_at < infinity
+      && Unix.gettimeofday () >= t.expires_at
+      && (t.tripped <- true;
+          true))
+
+let remaining t =
+  if t.tripped then 0.
+  else if t.expires_at = infinity then infinity
+  else Float.max 0. (t.expires_at -. Unix.gettimeofday ())
+
+let is_finite t = t.expires_at < infinity
+
+(* The earlier of two deadlines. *)
+let tighten a b = if a.expires_at <= b.expires_at then a else b
+
+let check t = if expired t then Error Failure.Deadline_exceeded else Ok ()

@@ -1,0 +1,46 @@
+(* Typed error taxonomy for the scheduling pipeline. Every way a stage can
+   fail is a constructor here, so callers can match on *why* a rung of the
+   degradation ladder fell through instead of parsing exception strings.
+   [Error] is the only exception the legacy (non-[Result]) entry points are
+   allowed to raise. *)
+
+type t =
+  | Singular_basis        (* simplex basis matrix not invertible *)
+  | Iteration_limit       (* pivot/cycle budget exhausted *)
+  | Deadline_exceeded     (* wall-clock budget exhausted *)
+  | Numerical_instability (* NaN/Inf detected in solver state *)
+  | Infeasible            (* stage proved, or could find, no valid schedule *)
+  | Decode_failed         (* MILP solution could not be decoded/repaired *)
+  | Invalid_input of string
+  | Injected of string    (* fault-injection harness fired at this site *)
+
+exception Error of t
+
+let to_string = function
+  | Singular_basis -> "singular basis"
+  | Iteration_limit -> "iteration limit"
+  | Deadline_exceeded -> "deadline exceeded"
+  | Numerical_instability -> "numerical instability"
+  | Infeasible -> "infeasible"
+  | Decode_failed -> "decode failed"
+  | Invalid_input s -> "invalid input: " ^ s
+  | Injected site -> "injected fault at " ^ site
+
+let pp fmt f = Format.pp_print_string fmt (to_string f)
+
+let equal (a : t) (b : t) = a = b
+
+let is_injected = function Injected _ -> true | _ -> false
+
+(* Collapse runs of identical failures: a ladder that skips three rungs on
+   one expired deadline reports the cause once, not three times. *)
+let dedup_consecutive l =
+  List.rev
+    (List.fold_left
+       (fun acc f -> match acc with g :: _ when equal f g -> acc | _ -> f :: acc)
+       [] l)
+
+let () =
+  Printexc.register_printer (function
+    | Error f -> Some ("Robust.Failure.Error: " ^ to_string f)
+    | _ -> None)

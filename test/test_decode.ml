@@ -47,7 +47,7 @@ let test_mip_start_roundtrip () =
      | Some x ->
        let fake =
          { Milp.Bb.status = Milp.Bb.Optimal; obj = 0.; values = x; bound = 0.; nodes = 0;
-           simplex_iterations = 0; elapsed = 0. }
+           simplex_iterations = 0; elapsed = 0.; failures = [] }
        in
        let m' = Cosa_decode.decode f fake in
        for i = 0 to Spec.level_count arch - 1 do

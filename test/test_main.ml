@@ -15,6 +15,7 @@ let () =
       Test_model.suite;
       Test_model_counts.suite;
       Test_noc.suite;
+      Test_robust.suite;
       Test_mesh_wormhole.suite;
       Test_cosa.suite;
       Test_decode.suite;

@@ -218,6 +218,20 @@ let test_dram_bank_parallel_overlap () =
   in
   check_bool "bank overlap helps" true (parallel < serial)
 
+let test_sim_cycle_budget_typed () =
+  (* regression: exhausting the cycle budget used to [failwith]; it must now
+     surface as a typed [Iteration_limit] from [simulate_r] and as
+     [Robust.Failure.Error] from the legacy wrapper *)
+  let layer = Zoo.find "3_14_256_256_1" in
+  let m = Cosa.trivial_mapping Spec.baseline layer in
+  (match Noc_sim.simulate_r ~max_steps:8 ~max_cycles:100 Spec.baseline m with
+   | Error Robust.Failure.Iteration_limit -> ()
+   | Error f -> Alcotest.fail ("unexpected failure: " ^ Robust.Failure.to_string f)
+   | Ok _ -> Alcotest.fail "expected the cycle budget to be exhausted");
+  Alcotest.check_raises "legacy wrapper raises typed error"
+    (Robust.Failure.Error Robust.Failure.Iteration_limit)
+    (fun () -> ignore (Noc_sim.simulate ~max_steps:8 ~max_cycles:100 Spec.baseline m))
+
 let suite =
   ( "noc",
     [
@@ -236,6 +250,7 @@ let suite =
       Alcotest.test_case "sim small exact" `Quick test_sim_small_exact;
       Alcotest.test_case "sim deterministic" `Slow test_sim_deterministic;
       Alcotest.test_case "sim sampling" `Quick test_sim_sampling_extrapolates;
+      Alcotest.test_case "sim cycle budget typed" `Quick test_sim_cycle_budget_typed;
       Alcotest.test_case "sim vs model" `Slow test_sim_slower_than_model;
     ] )
 
