@@ -43,6 +43,20 @@ let fault_rate_arg =
   Arg.(value & opt float 0.02 & info [ "fault-rate" ] ~docv:"RATE"
          ~doc:"Per-site-visit fault probability when --fault-seed is given.")
 
+let certify_arg =
+  let certify_conv =
+    Arg.enum [ ("off", Cosa.Off); ("warn", Cosa.Warn); ("strict", Cosa.Strict) ]
+  in
+  Arg.(value & opt certify_conv Cosa.Warn & info [ "certify" ] ~docv:"MODE"
+         ~doc:"Exact-arithmetic certification of returned schedules: $(b,off) \
+               trusts the float pipeline, $(b,warn) (default) certifies and \
+               reports the verdict, $(b,strict) rejects any rung whose \
+               certificate fails and descends the fallback ladder.")
+
+let print_certification = function
+  | Cosa.Cert_skipped -> ()
+  | v -> Printf.printf "certification: %s\n" (Cosa.certification_to_string v)
+
 let with_faults fault_seed fault_rate f =
   match fault_seed with
   | None -> f ()
@@ -72,12 +86,12 @@ let schedule_cmd =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
            ~doc:"Also write the schedule to $(docv) (cosa_cli evaluate reads it back).")
   in
-  let run arch_name layer_name strategy save time_limit fault_seed fault_rate =
+  let run arch_name layer_name strategy save time_limit fault_seed fault_rate certify =
     let arch = arch_of_name arch_name in
     let layer = find_layer layer_name in
     let r =
       with_faults fault_seed fault_rate (fun () ->
-          Cosa.schedule ~strategy ~time_limit arch layer)
+          Cosa.schedule ~strategy ~time_limit ~certify arch layer)
     in
     (match save with
      | Some path ->
@@ -97,6 +111,7 @@ let schedule_cmd =
       r.Cosa.solve_time r.Cosa.nodes
       (Cosa.source_to_string r.Cosa.source)
       (if r.Cosa.repaired then ", capacity-repaired" else "");
+    print_certification r.Cosa.certification;
     (match r.Cosa.fallback_chain with
      | [] -> ()
      | chain ->
@@ -110,7 +125,7 @@ let schedule_cmd =
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Produce a CoSA schedule for a layer and report it.")
     Term.(const run $ arch_arg $ layer_arg $ strategy_arg $ save_arg $ time_limit_arg
-          $ fault_seed_arg $ fault_rate_arg)
+          $ fault_seed_arg $ fault_rate_arg $ certify_arg)
 
 (* cosa_cli exp <id> *)
 let exp_cmd =
@@ -131,11 +146,11 @@ let exp_cmd =
 
 (* cosa_cli simulate <layer> *)
 let simulate_cmd =
-  let run arch_name layer_name time_limit fault_seed fault_rate =
+  let run arch_name layer_name time_limit fault_seed fault_rate certify =
     let arch = arch_of_name arch_name in
     let layer = find_layer layer_name in
     with_faults fault_seed fault_rate (fun () ->
-        let r = Cosa.schedule ~time_limit arch layer in
+        let r = Cosa.schedule ~time_limit ~certify arch layer in
         match Noc_sim.simulate_r arch r.Cosa.mapping with
         | Error f ->
           Printf.eprintf "simulation failed: %s\n" (Robust.Failure.to_string f);
@@ -150,11 +165,20 @@ let simulate_cmd =
             (if s.Noc_sim.sampled then " (sampled + extrapolated)" else "")
             s.Noc_sim.simulated_cycles s.Noc_sim.simulated_steps s.Noc_sim.total_steps
             s.Noc_sim.packets s.Noc_sim.flit_hops s.Noc_sim.dram_busy_cycles
-            s.Noc_sim.compute_cycles_per_step)
+            s.Noc_sim.compute_cycles_per_step;
+          print_certification r.Cosa.certification;
+          (* flit-conservation certificate over the finished simulation *)
+          if certify <> Cosa.Off then begin
+            match Certify.Noc_cert.check s with
+            | Certify.Certificate.Certified -> Printf.printf "NoC flits: certified\n"
+            | Certify.Certificate.Violated _ as c ->
+              Printf.printf "NoC flits: %s\n" (Certify.Certificate.to_string c);
+              if certify = Cosa.Strict then exit 1
+          end)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the cycle-level NoC simulator on a CoSA schedule.")
     Term.(const run $ arch_arg $ layer_arg $ time_limit_arg $ fault_seed_arg
-          $ fault_rate_arg)
+          $ fault_rate_arg $ certify_arg)
 
 (* cosa_cli evaluate <file> *)
 let evaluate_cmd =

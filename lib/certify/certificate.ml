@@ -1,0 +1,50 @@
+(* Common vocabulary of the certification layer: a certificate is either a
+   pass or a list of violations, each naming the violated constraint and
+   carrying the *exact* residual (computed in Prim.Ratio, so zero means the
+   constraint holds exactly and a nonzero value is the precise violation
+   amount, not a float approximation). *)
+
+type violation = {
+  constraint_name : string;  (* e.g. "row cap_l0_W", "var x_3 upper bound" *)
+  residual : string;         (* exact rational amount of the violation *)
+  detail : string;           (* human-readable elaboration *)
+}
+
+type t = Certified | Violated of violation list
+
+(* How Cosa.schedule reacts to a failed certificate. *)
+type mode = Off | Warn | Strict
+
+let mode_to_string = function Off -> "off" | Warn -> "warn" | Strict -> "strict"
+
+let violation ~constraint_name ~residual ~detail = { constraint_name; residual; detail }
+
+let violation_to_string v =
+  Printf.sprintf "%s: %s (residual %s)" v.constraint_name v.detail v.residual
+
+let to_string = function
+  | Certified -> "certified"
+  | Violated vs ->
+    Printf.sprintf "NOT certified: %s"
+      (String.concat "; " (List.map violation_to_string vs))
+
+let is_certified = function Certified -> true | Violated _ -> false
+
+let violations = function Certified -> [] | Violated vs -> vs
+
+(* Merge: certified only when every part is. *)
+let combine a b =
+  match (a, b) with
+  | Certified, c | c, Certified -> c
+  | Violated va, Violated vb -> Violated (va @ vb)
+
+(* The Robust.Failure payload for one failed certificate: the first
+   violated constraint with its exact residual (the full list is in the
+   certificate itself; the fallback chain wants one line per rung). *)
+let to_failure = function
+  | Certified -> None
+  | Violated [] -> None
+  | Violated (v :: _) ->
+    Some
+      (Robust.Failure.Certification_failed
+         (Printf.sprintf "%s (residual %s)" v.constraint_name v.residual))

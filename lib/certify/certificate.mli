@@ -1,0 +1,34 @@
+(** Certificates: the result vocabulary of the exact-arithmetic checkers.
+
+    A certificate is {!Certified} or a list of {!violation}s. Residuals are
+    computed in {!Prim.Ratio} and rendered exactly, so a violation's
+    [residual] string is the precise amount by which the constraint is
+    broken — not a float approximation of it. *)
+
+type violation = {
+  constraint_name : string;  (** which constraint, e.g. ["row cap_l0_W"] *)
+  residual : string;  (** exact rational violation amount *)
+  detail : string;  (** human-readable elaboration *)
+}
+
+type t = Certified | Violated of violation list
+
+(** Reaction of [Cosa.schedule] to a failed certificate: [Off] skips
+    checking, [Warn] records the violation but keeps the result, [Strict]
+    rejects the rung and descends the degradation ladder. *)
+type mode = Off | Warn | Strict
+
+val mode_to_string : mode -> string
+
+val violation : constraint_name:string -> residual:string -> detail:string -> violation
+val violation_to_string : violation -> string
+val to_string : t -> string
+val is_certified : t -> bool
+val violations : t -> violation list
+
+val combine : t -> t -> t
+(** Certified only when both parts are; violations concatenate. *)
+
+val to_failure : t -> Robust.Failure.t option
+(** [Certification_failed] carrying the first violated constraint and its
+    exact residual; [None] for {!Certified}. *)

@@ -1,0 +1,133 @@
+(* Exact-arithmetic replay of a claimed LP/MIP solution against the model.
+
+   Production solvers (Gurobi's solution checker, for one) re-verify every
+   answer outside the numerical kernel, because a floating-point simplex
+   can return near-feasible garbage while reporting Optimal. This module is
+   that independent checker: every coefficient, bound, and solution value
+   is converted losslessly to Prim.Ratio (finite doubles are dyadic
+   rationals), rows and bounds are re-evaluated with zero rounding error,
+   and the result is compared against the solver's own declared tolerances
+   (Milp.Simplex.Tolerances — shared, so checker and solver cannot drift).
+
+   Tolerance semantics mirror Bb.check_feasible: bounds within feas_tol,
+   rows within feas_tol * (1 + |rhs|), integrality within int_tol, and the
+   reported objective within opt_tol * (1 + |reported|). *)
+
+module R = Prim.Ratio
+
+let r = R.of_float
+
+(* Scaled feasibility slack for a row with right-hand side [rhs]. *)
+let row_slack feas rhs = R.mul feas (R.add R.one (R.abs rhs))
+
+let check ?(tol = Milp.Simplex.Tolerances.default) ?(int_tol = 1e-6) ?obj model x =
+  match Robust.Fault.check "certify.lp" with
+  | Error f ->
+    Certificate.Violated
+      [ Certificate.violation ~constraint_name:"certify.lp" ~residual:"0"
+          ~detail:(Robust.Failure.to_string f) ]
+  | Ok () ->
+    let nv = Milp.Lp.num_vars model in
+    if Array.length x <> nv then
+      Certificate.Violated
+        [ Certificate.violation ~constraint_name:"solution vector"
+            ~residual:(string_of_int (Array.length x - nv))
+            ~detail:
+              (Printf.sprintf "length %d, model has %d variables" (Array.length x) nv) ]
+    else begin
+      let feas = r tol.Milp.Simplex.Tolerances.feas_tol in
+      let opt = r tol.Milp.Simplex.Tolerances.opt_tol in
+      let itol = r int_tol in
+      let violations = ref [] in
+      let bad ~constraint_name ~residual ~detail =
+        violations :=
+          Certificate.violation ~constraint_name ~residual:(R.to_string residual) ~detail
+          :: !violations
+      in
+      (* variable bounds and integrality *)
+      for j = 0 to nv - 1 do
+        let v = Milp.Lp.var_of_index model j in
+        let vname = Milp.Lp.var_name model v in
+        let lb, ub = Milp.Lp.bounds model v in
+        let xj = r x.(j) in
+        if Float.is_finite lb then begin
+          let below = R.sub (r lb) xj in
+          if R.compare below feas > 0 then
+            bad
+              ~constraint_name:(Printf.sprintf "var %s lower bound" vname)
+              ~residual:below
+              ~detail:(Printf.sprintf "%g < lb %g" x.(j) lb)
+        end;
+        if Float.is_finite ub then begin
+          let above = R.sub xj (r ub) in
+          if R.compare above feas > 0 then
+            bad
+              ~constraint_name:(Printf.sprintf "var %s upper bound" vname)
+              ~residual:above
+              ~detail:(Printf.sprintf "%g > ub %g" x.(j) ub)
+        end;
+        if Milp.Lp.is_integer model v && Float.is_finite x.(j) then begin
+          let frac = R.abs (R.sub xj (r (Float.round x.(j)))) in
+          if R.compare frac itol > 0 then
+            bad
+              ~constraint_name:(Printf.sprintf "var %s integrality" vname)
+              ~residual:frac
+              ~detail:(Printf.sprintf "%g is not integral" x.(j))
+        end;
+        if not (Float.is_finite x.(j)) then
+          bad
+            ~constraint_name:(Printf.sprintf "var %s value" vname)
+            ~residual:R.zero
+            ~detail:(Printf.sprintf "non-finite value %g" x.(j))
+      done;
+      (* constraint rows, exactly *)
+      Array.iteri
+        (fun i (terms, sense, rhs) ->
+          let lhs =
+            Array.fold_left
+              (fun acc (j, c) -> R.add acc (R.mul (r c) (r x.(j))))
+              R.zero terms
+          in
+          let rrhs = r rhs in
+          let slack = row_slack feas rrhs in
+          let name = Milp.Lp.constr_name model i in
+          let report residual rel =
+            bad
+              ~constraint_name:(Printf.sprintf "row %s" name)
+              ~residual
+              ~detail:
+                (Printf.sprintf "lhs %g %s rhs %g beyond tolerance" (R.to_float lhs) rel
+                   rhs)
+          in
+          match sense with
+          | Milp.Lp.Le ->
+            let over = R.sub lhs rrhs in
+            if R.compare over slack > 0 then report over ">"
+          | Milp.Lp.Ge ->
+            let under = R.sub rrhs lhs in
+            if R.compare under slack > 0 then report under "<"
+          | Milp.Lp.Eq ->
+            let dev = R.abs (R.sub lhs rrhs) in
+            if R.compare dev slack > 0 then report dev "<>")
+        (Milp.Lp.constrs model);
+      (* reported objective vs exact recomputation (user sense) *)
+      (match obj with
+       | Some reported when Float.is_finite reported ->
+         let coeffs = Milp.Lp.objective_coeffs model in
+         let exact = ref (r (Milp.Lp.objective_constant model)) in
+         Array.iteri (fun j c -> if c <> 0. then exact := R.add !exact (R.mul (r c) (r x.(j)))) coeffs;
+         let dev = R.abs (R.sub !exact (r reported)) in
+         let slack = R.mul opt (R.add R.one (R.abs (r reported))) in
+         if R.compare dev slack > 0 then
+           bad ~constraint_name:"objective value" ~residual:dev
+             ~detail:
+               (Printf.sprintf "reported %g, exact recomputation %g" reported
+                  (R.to_float !exact))
+       | Some reported ->
+         bad ~constraint_name:"objective value" ~residual:R.zero
+           ~detail:(Printf.sprintf "reported objective %g is not finite" reported)
+       | None -> ());
+      match List.rev !violations with
+      | [] -> Certificate.Certified
+      | vs -> Certificate.Violated vs
+    end

@@ -1,0 +1,29 @@
+(** Exact-arithmetic certification of LP/MIP solutions.
+
+    Replays a claimed solution vector against the {!Milp.Lp} model with
+    {!Prim.Ratio} arithmetic: variable bounds, integrality of integer
+    variables, every constraint row, and (optionally) the reported
+    objective value. All conversions from double are lossless, so residuals
+    in the returned violations are exact.
+
+    This is the trust-but-verify layer production MIP solvers ship as
+    independent solution checkers: it shares no code with the simplex or
+    the branch-and-bound. *)
+
+val check :
+  ?tol:Milp.Simplex.Tolerances.t ->
+  ?int_tol:float ->
+  ?obj:float ->
+  Milp.Lp.model ->
+  float array ->
+  Certificate.t
+(** [check model x] certifies [x] against [model]. [tol] defaults to
+    {!Milp.Simplex.Tolerances.default} — the same record the solver runs
+    with. [int_tol] (default [1e-6]) matches {!Milp.Bb.solve}'s default
+    integrality tolerance. When [obj] is given, the reported objective is
+    compared against an exact recomputation within
+    [opt_tol * (1 + |obj|)]. Row feasibility uses the same
+    [feas_tol * (1 + |rhs|)] scaling as [Bb]'s incumbent check.
+
+    The fault-injection site ["certify.lp"] can force a violation, for
+    chaos-testing the strict-mode ladder descent. *)

@@ -1,0 +1,141 @@
+(* Independent exact recheck of a decoded mapping.
+
+   Deliberately shares no code with Cosa_decode or Mapping.validate: tile
+   footprints and factorization products are recomputed here from first
+   principles in integer arithmetic (capacities, which the architecture
+   stores as floats, are compared exactly via Prim.Ratio). A schedule that
+   passes this check satisfies the paper's hard constraints — tiling
+   factors multiply to the padded layer dimensions, per-level tile
+   footprints fit the buffers, spatial factors fit the fanout and the NoC
+   mesh — regardless of what the float pipeline believed. *)
+
+module R = Prim.Ratio
+
+let bad ~constraint_name ~residual ~detail =
+  Certificate.violation ~constraint_name ~residual ~detail
+
+(* Product over levels [0, upto) of the temporal and spatial bounds of
+   dimension [d]. *)
+let dim_product (m : Mapping.t) ~upto d =
+  let acc = ref 1 in
+  for i = 0 to min (upto - 1) (Array.length m.Mapping.levels - 1) do
+    let lm = m.Mapping.levels.(i) in
+    List.iter
+      (fun (l : Mapping.loop) -> if l.Mapping.dim = d then acc := !acc * l.Mapping.bound)
+      (lm.Mapping.temporal @ lm.Mapping.spatial)
+  done;
+  !acc
+
+(* Exact integer tile footprint of tensor [v] held at level [i]; the
+   input-activation halo uses the sliding-window extent. *)
+let tile_words (m : Mapping.t) i v =
+  let d = dim_product m ~upto:i in
+  let stride = m.Mapping.layer.Layer.stride in
+  match v with
+  | Dims.W -> d Dims.R * d Dims.S * d Dims.C * d Dims.K
+  | Dims.OA -> d Dims.P * d Dims.Q * d Dims.K * d Dims.N
+  | Dims.IA ->
+    let w = ((d Dims.P - 1) * stride) + d Dims.R in
+    let h = ((d Dims.Q - 1) * stride) + d Dims.S in
+    w * h * d Dims.C * d Dims.N
+
+let check arch (m : Mapping.t) =
+  match Robust.Fault.check "certify.mapping" with
+  | Error f ->
+    Certificate.Violated
+      [ bad ~constraint_name:"certify.mapping" ~residual:"0"
+          ~detail:(Robust.Failure.to_string f) ]
+  | Ok () ->
+    let nlev = Array.length m.Mapping.levels in
+    if nlev <> Spec.level_count arch then
+      Certificate.Violated
+        [ bad ~constraint_name:"level count"
+            ~residual:(string_of_int (nlev - Spec.level_count arch))
+            ~detail:
+              (Printf.sprintf "mapping has %d levels, architecture %d" nlev
+                 (Spec.level_count arch)) ]
+    else begin
+      let violations = ref [] in
+      let push v = violations := v :: !violations in
+      (* all loop bounds positive *)
+      Array.iteri
+        (fun i lm ->
+          List.iter
+            (fun (l : Mapping.loop) ->
+              if l.Mapping.bound < 1 then
+                push
+                  (bad
+                     ~constraint_name:
+                       (Printf.sprintf "level %d loop %s bound" i
+                          (Dims.dim_name l.Mapping.dim))
+                     ~residual:(string_of_int (1 - l.Mapping.bound))
+                     ~detail:(Printf.sprintf "bound %d < 1" l.Mapping.bound)))
+            (lm.Mapping.temporal @ lm.Mapping.spatial))
+        m.Mapping.levels;
+      (* tiling factors multiply to the padded layer dimensions *)
+      List.iter
+        (fun d ->
+          let prod = dim_product m ~upto:nlev d in
+          let expect = Layer.padded_bound m.Mapping.layer d in
+          if prod <> expect then
+            push
+              (bad
+                 ~constraint_name:(Printf.sprintf "dim %s factorization" (Dims.dim_name d))
+                 ~residual:(string_of_int (prod - expect))
+                 ~detail:
+                   (Printf.sprintf "factors multiply to %d, padded bound is %d" prod
+                      expect)))
+        Dims.all_dims;
+      (* spatial factors fit each level's fanout *)
+      for i = 0 to nlev - 1 do
+        let used =
+          List.fold_left
+            (fun a (l : Mapping.loop) -> a * l.Mapping.bound)
+            1 m.Mapping.levels.(i).Mapping.spatial
+        in
+        let fanout = arch.Spec.levels.(i).Spec.fanout in
+        if used > fanout then
+          push
+            (bad
+               ~constraint_name:(Printf.sprintf "level %d spatial fanout" i)
+               ~residual:(string_of_int (used - fanout))
+               ~detail:(Printf.sprintf "spatial product %d exceeds fanout %d" used fanout));
+        (* the NoC-boundary spatial factors must also fit the physical mesh *)
+        if i = arch.Spec.noc_level then begin
+          let mesh = arch.Spec.noc.Spec.mesh_x * arch.Spec.noc.Spec.mesh_y in
+          if used > mesh then
+            push
+              (bad ~constraint_name:"NoC mesh fanout"
+                 ~residual:(string_of_int (used - mesh))
+                 ~detail:
+                   (Printf.sprintf "spatial product %d exceeds the %dx%d mesh" used
+                      arch.Spec.noc.Spec.mesh_x arch.Spec.noc.Spec.mesh_y))
+        end
+      done;
+      (* tile footprints fit the buffers (exact words vs capacity) *)
+      for i = 0 to nlev - 1 do
+        if i <> Spec.dram_level arch then
+          List.iter
+            (fun v ->
+              if Spec.stores arch i v then begin
+                let words = tile_words m i v in
+                let cap = Spec.capacity_words arch i v in
+                if Float.is_finite cap
+                   && R.compare (R.of_int words) (R.of_float cap) > 0
+                then
+                  push
+                    (bad
+                       ~constraint_name:
+                         (Printf.sprintf "level %d %s capacity" i (Dims.tensor_name v))
+                       ~residual:
+                         (R.to_string (R.sub (R.of_int words) (R.of_float cap)))
+                       ~detail:
+                         (Printf.sprintf "tile of %d words exceeds capacity %g words"
+                            words cap))
+              end)
+            Dims.all_tensors
+      done;
+      match List.rev !violations with
+      | [] -> Certificate.Certified
+      | vs -> Certificate.Violated vs
+    end

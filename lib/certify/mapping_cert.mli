@@ -1,0 +1,18 @@
+(** Independent exact certification of a concrete mapping.
+
+    Rechecks — from first principles, in integer/rational arithmetic and
+    sharing no code with [Cosa_decode] or [Mapping.validate] — that:
+
+    - every per-dimension tiling product equals the padded layer bound;
+    - every per-level tile footprint (including the input-activation
+      sliding-window halo) fits the level's buffer capacity;
+    - spatial factors fit each level's fanout, and the NoC-boundary
+      spatial factors fit the physical mesh.
+
+    Violations carry exact residuals (words over capacity, factor excess),
+    so a failed certificate names precisely what is broken and by how
+    much. *)
+
+val check : Spec.t -> Mapping.t -> Certificate.t
+(** The fault-injection site ["certify.mapping"] can force a violation,
+    for chaos-testing the strict-mode ladder descent. *)

@@ -1,0 +1,35 @@
+(* Flit-conservation certificate over a completed NoC simulation.
+
+   The mesh keeps a conservation ledger (Mesh.flits_injected / _ejected /
+   _forked); once the simulation drains, every flit that entered the mesh
+   plus every multicast-tree copy must have left through an ejection port:
+   injected + forked = ejected, exactly. A mismatch means the simulator
+   lost or duplicated traffic — a result whose latency cannot be trusted. *)
+
+let check (s : Noc_sim.stats) =
+  let violations = ref [] in
+  let push ~constraint_name ~residual ~detail =
+    violations := Certificate.violation ~constraint_name ~residual ~detail :: !violations
+  in
+  let balance = s.Noc_sim.flits_injected + s.Noc_sim.flits_forked - s.Noc_sim.flits_ejected in
+  if balance <> 0 then
+    push ~constraint_name:"flit conservation" ~residual:(string_of_int balance)
+      ~detail:
+        (Printf.sprintf "injected %d + forked %d <> ejected %d" s.Noc_sim.flits_injected
+           s.Noc_sim.flits_forked s.Noc_sim.flits_ejected);
+  if s.Noc_sim.flits_injected < 0 || s.Noc_sim.flits_ejected < 0 || s.Noc_sim.flits_forked < 0
+  then
+    push ~constraint_name:"flit counters" ~residual:"0"
+      ~detail:
+        (Printf.sprintf "negative counter: injected %d, ejected %d, forked %d"
+           s.Noc_sim.flits_injected s.Noc_sim.flits_ejected s.Noc_sim.flits_forked);
+  (* every ejected flit traversed at least one link, so hops bound ejections *)
+  if s.Noc_sim.flit_hops < s.Noc_sim.flits_ejected then
+    push ~constraint_name:"flit hops"
+      ~residual:(string_of_int (s.Noc_sim.flits_ejected - s.Noc_sim.flit_hops))
+      ~detail:
+        (Printf.sprintf "%d ejected flits but only %d link traversals"
+           s.Noc_sim.flits_ejected s.Noc_sim.flit_hops);
+  match List.rev !violations with
+  | [] -> Certificate.Certified
+  | vs -> Certificate.Violated vs

@@ -1,0 +1,9 @@
+(** Flit-conservation certificate for completed NoC simulations.
+
+    Certifies that flits injected into the mesh (plus multicast-tree
+    copies) exactly equal flits drained at ejection ports — the
+    end-of-run invariant of {!Mesh}'s conservation ledger. A violation
+    means the simulator lost or duplicated traffic and its latency figure
+    cannot be trusted. *)
+
+val check : Noc_sim.stats -> Certificate.t

@@ -32,6 +32,19 @@ let source_to_string = function
   | Heuristic_sampler -> "heuristic sampler"
   | Trivial -> "trivial fallback"
 
+type certify_mode = Certify.Certificate.mode = Off | Warn | Strict
+
+let certify_mode_to_string = Certify.Certificate.mode_to_string
+
+(* Outcome of the exact-arithmetic certification stage for the returned
+   mapping (Cert_skipped exactly when certification ran in [Off] mode). *)
+type certification = Cert_skipped | Cert_ok | Cert_failed of string list
+
+let certification_to_string = function
+  | Cert_skipped -> "certification skipped"
+  | Cert_ok -> "certified"
+  | Cert_failed vs -> "certification FAILED: " ^ String.concat "; " vs
+
 type result = {
   mapping : Mapping.t;
   objective : objective_breakdown;
@@ -41,6 +54,9 @@ type result = {
   repaired : bool;
   used_joint : bool;
   source : source;
+  certification : certification;
+      (* exact-arithmetic verdict on the returned mapping (and, for MIP
+         rungs, on the solver's claimed solution) *)
   fallback_chain : Robust.Failure.t list;
       (* why each failed rung fell through, in the order the ladder was
          descended; empty exactly when the answer came without a fallback *)
@@ -66,7 +82,8 @@ let trivial_mapping arch layer =
   Mapping.make layer levels
 
 let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4.)
-    ?(deadline = Robust.Deadline.none) ?(heuristic_retries = 3) arch layer =
+    ?(deadline = Robust.Deadline.none) ?(heuristic_retries = 3) ?(certify = Warn) arch layer
+    =
   let weights = match weights with Some w -> w | None -> calibrate arch in
   let t0 = Unix.gettimeofday () in
   (* effective budget: the tighter of the per-call time limit and the
@@ -78,7 +95,7 @@ let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4
   let last_status = ref Milp.Bb.No_solution in
   let total_nodes = ref 0 in
   let solve_time () = Unix.gettimeofday () -. t0 in
-  let finish ?(repaired = false) ~source mapping =
+  let finish ?(repaired = false) ~certification ~source mapping =
     {
       mapping;
       objective = Cosa_objective.of_mapping ~weights arch mapping;
@@ -88,8 +105,43 @@ let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4
       repaired;
       used_joint = (source = Milp_joint);
       source;
+      certification;
       fallback_chain = chain ();
     }
+  in
+  (* Certification stage, run on every rung's candidate before it is
+     accepted: replay the solver's claimed LP solution (MIP rungs only)
+     and independently recheck the decoded mapping, both in exact
+     arithmetic. Returns the verdict to record plus, on violation, the
+     typed failure that [Strict] mode pushes before descending a rung. *)
+  let certify_candidate ?lp mapping =
+    match certify with
+    | Off -> (Cert_skipped, None)
+    | Warn | Strict ->
+      let lp_cert =
+        match lp with
+        | Some (model, obj, values) -> Certify.Lp_cert.check ~obj model values
+        | None -> Certify.Certificate.Certified
+      in
+      let cert =
+        Certify.Certificate.combine lp_cert (Certify.Mapping_cert.check arch mapping)
+      in
+      (match cert with
+       | Certify.Certificate.Certified -> (Cert_ok, None)
+       | Certify.Certificate.Violated vs ->
+         ( Cert_failed (List.map Certify.Certificate.violation_to_string vs),
+           Certify.Certificate.to_failure cert ))
+  in
+  (* In [Strict] mode a candidate with a failed certificate is rejected —
+     the violation joins the fallback chain and the ladder descends (via
+     [retry]); in [Warn] mode the candidate is kept with the verdict
+     recorded on the result. *)
+  let accept_certified ?lp mapping retry k =
+    match certify_candidate ?lp mapping with
+    | _, Some f when certify = Strict ->
+      push f;
+      retry ()
+    | verdict, _ -> k verdict
   in
   (* Sample up to [n] valid mappings and keep the best by the CoSA
      objective, evaluating each candidate exactly once. Used both to seed
@@ -125,6 +177,9 @@ let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4
      solve cannot starve the two-stage one; [dl] still caps the total. *)
   let attempt ~budget joint =
     match Cosa_formulation.build ~weights ~joint_permutation:joint arch layer with
+    | exception Robust.Failure.Error f ->
+      push f;
+      None
     | exception e ->
       push (Robust.Failure.Invalid_input (Printexc.to_string e));
       None
@@ -157,7 +212,12 @@ let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4
          | Ok m ->
            let m = if joint then m else Cosa_decode.best_noc_order ~weights arch m in
            let m, repaired = Cosa_decode.repair arch m in
-           if Mapping.is_valid arch m then Some (m, res, repaired)
+           if Mapping.is_valid arch m then
+             accept_certified
+               ~lp:(f.Cosa_formulation.lp, res.Milp.Bb.obj, res.Milp.Bb.values)
+               m
+               (fun () -> None)
+               (fun verdict -> Some (m, res, repaired, verdict))
            else (
              push Robust.Failure.Decode_failed;
              None))
@@ -185,7 +245,7 @@ let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4
             Robust.Deadline.remaining dl /. float_of_int (n_attempts - i)
           in
           match attempt ~budget joint with
-          | Some (m, res, repaired) -> Some (joint, m, res, repaired)
+          | Some (m, res, repaired, verdict) -> Some (joint, m, res, repaired, verdict)
           | None -> None)
       milp_attempts
   in
@@ -194,14 +254,15 @@ let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4
      iterative search (see DESIGN.md fidelity notes). *)
   let scored =
     List.map
-      (fun (joint, m, res, repaired) ->
-        ((Model.evaluate arch m).Model.latency, (joint, m, res, repaired)))
+      (fun ((_, m, _, _, _) as cand) -> ((Model.evaluate arch m).Model.latency, cand))
       milp_results
   in
   match List.sort (fun (a, _) (b, _) -> compare a b) scored with
-  | (_, (joint, mapping, res, repaired)) :: _ ->
+  | (_, (joint, mapping, res, repaired, verdict)) :: _ ->
     last_status := res.Milp.Bb.status;
-    finish ~repaired ~source:(if joint then Milp_joint else Milp_two_stage) mapping
+    finish ~repaired ~certification:verdict
+      ~source:(if joint then Milp_joint else Milp_two_stage)
+      mapping
   | [] -> (
     (* Rung 2: heuristic sampler with seed-perturbed retries. *)
     let rec heuristic k =
@@ -215,14 +276,25 @@ let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4
       end
       else
         match best_sampled ~seed:(0x5eed + (0x9e37 * k)) ~n:8 with
-        | Some m -> Some m
+        | Some m ->
+          accept_certified m (fun () -> heuristic (k + 1)) (fun verdict -> Some (m, verdict))
         | None -> heuristic (k + 1)
     in
-    (* the warm-start incumbent, when it exists, is already rung-2 output *)
-    let heuristic_result = match warm with Some m -> Some m | None -> heuristic 0 in
+    (* the warm-start incumbent, when it exists, is already rung-2 output,
+       but it too must pass certification before being returned *)
+    let heuristic_result =
+      match warm with
+      | Some m -> accept_certified m (fun () -> heuristic 0) (fun verdict -> Some (m, verdict))
+      | None -> heuristic 0
+    in
     match heuristic_result with
-    | Some m -> finish ~source:Heuristic_sampler m
+    | Some (m, verdict) -> finish ~certification:verdict ~source:Heuristic_sampler m
     | None ->
       (* Rung 3: the all-DRAM schedule — always constructible, always
-         valid, never worth returning unless everything above failed. *)
-      finish ~source:Trivial (trivial_mapping arch layer))
+         valid, never worth returning unless everything above failed. There
+         is no rung below it, so a strict-mode certification failure here
+         is recorded on the result (and in the chain) rather than hidden. *)
+      let m = trivial_mapping arch layer in
+      let verdict, failure = certify_candidate m in
+      (match failure with Some f when certify = Strict -> push f | _ -> ());
+      finish ~certification:verdict ~source:Trivial m)

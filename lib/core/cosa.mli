@@ -34,6 +34,22 @@ type source =
 
 val source_to_string : source -> string
 
+type certify_mode = Certify.Certificate.mode =
+  | Off  (** no certification; trust the float pipeline *)
+  | Warn  (** certify and record the verdict, but keep the candidate *)
+  | Strict  (** a failed certificate rejects the rung; the ladder descends *)
+
+val certify_mode_to_string : certify_mode -> string
+
+type certification =
+  | Cert_skipped  (** certification mode was [Off] *)
+  | Cert_ok  (** the returned schedule passed exact-arithmetic certification *)
+  | Cert_failed of string list
+      (** violated constraints (with exact residuals); only reachable in
+          [Warn] mode, or in [Strict] mode on the bottom (trivial) rung *)
+
+val certification_to_string : certification -> string
+
 type result = {
   mapping : Mapping.t;
   objective : objective_breakdown;
@@ -43,6 +59,10 @@ type result = {
   repaired : bool;  (** decode needed the capacity repair pass *)
   used_joint : bool;  (** the returned mapping came from the joint MIP *)
   source : source;  (** the degradation-ladder rung that produced [mapping] *)
+  certification : certification;
+      (** exact-arithmetic verdict on the returned schedule: the solver's
+          claimed LP solution replayed against the model (MIP rungs) and an
+          independent recheck of the decoded mapping (all rungs) *)
   fallback_chain : Robust.Failure.t list;
       (** why each failed rung fell through, in ladder order, with runs of
           identical causes collapsed. Empty exactly when no rung failed. *)
@@ -55,6 +75,7 @@ val schedule :
   ?time_limit:float ->
   ?deadline:Robust.Deadline.t ->
   ?heuristic_retries:int ->
+  ?certify:certify_mode ->
   Spec.t ->
   Layer.t ->
   result
@@ -70,7 +91,17 @@ val schedule :
     the whole call) and [deadline] (absolute); it is enforced down to the
     simplex pivot loop, so even a single LP solve cannot blow the budget.
     [heuristic_retries] (default 3) bounds the seed-perturbed sampler
-    retries on the heuristic rung. *)
+    retries on the heuristic rung.
+
+    Every rung's candidate additionally passes through the exact-arithmetic
+    certification layer ({!Certify}) according to [certify] (default
+    [Warn]): MIP solutions are replayed against the LP model and the
+    decoded mapping is independently rechecked, both in rational
+    arithmetic. Under [Strict] a candidate whose certificate fails is
+    rejected — the violation joins [fallback_chain] as
+    {!Robust.Failure.Certification_failed} and the ladder descends — so
+    the returned schedule is certified valid whenever
+    [result.certification = Cert_ok]. *)
 
 val breakdown_of_mapping : ?weights:weights -> Spec.t -> Mapping.t -> objective_breakdown
 (** Evaluate the paper's three objective terms on {e any} concrete mapping

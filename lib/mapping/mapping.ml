@@ -47,7 +47,12 @@ let validate arch t =
   let nlev = Array.length t.levels in
   let violations = ref [] in
   if nlev <> Spec.level_count arch then
-    invalid_arg "Mapping.validate: level count mismatch with architecture";
+    (* typed, not [Invalid_argument]: validate runs inside the scheduling
+       pipeline, which surfaces every failure as a [Robust.Failure.t] *)
+    raise
+      (Robust.Failure.Error
+         (Robust.Failure.Invalid_input
+            "Mapping.validate: level count mismatch with architecture"));
   List.iter
     (fun d ->
       let prod = dim_product t ~upto:nlev d in

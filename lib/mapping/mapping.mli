@@ -40,7 +40,9 @@ type violation =
   | Buffer_overflow of int * Dims.tensor * float * float  (** level, tensor, words, cap *)
 
 val validate : Spec.t -> t -> violation list
-(** Empty list iff the mapping is valid on the architecture. *)
+(** Empty list iff the mapping is valid on the architecture. Raises
+    [Robust.Failure.Error (Invalid_input _)] when the mapping's level count
+    does not match the architecture's. *)
 
 val is_valid : Spec.t -> t -> bool
 

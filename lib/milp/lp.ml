@@ -35,7 +35,13 @@ let grow_vars m =
   end
 
 let add_var m ?(integer = false) ?(lb = 0.) ?(ub = infinity) name =
-  if lb > ub then invalid_arg (Printf.sprintf "Lp.add_var %s: lb > ub" name);
+  if lb > ub then
+    (* typed, not [Invalid_argument]: this is reachable from [Cosa.schedule]
+       via formulation building, and the Result pipeline must be able to
+       catch it as a [Robust.Failure.t] *)
+    raise
+      (Robust.Failure.Error
+         (Robust.Failure.Invalid_input (Printf.sprintf "Lp.add_var %s: lb > ub" name)));
   grow_vars m;
   let v = { idx = m.nvars; vname = name } in
   m.vars.(m.nvars) <- { lb; ub; integer; v };
@@ -98,6 +104,10 @@ let constrs m =
   Array.init m.ncons (fun i ->
       let c = m.cons.(i) in
       (c.terms, c.csense, c.rhs))
+
+let constr_name m i =
+  if i < 0 || i >= m.ncons then invalid_arg "Lp.constr_name";
+  m.cons.(i).cname
 
 let eval_linexpr terms x =
   List.fold_left (fun acc (c, v) -> acc +. (c *. x.(v.idx))) 0. terms

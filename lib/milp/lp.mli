@@ -13,7 +13,8 @@ val create : ?name:string -> unit -> model
 
 val add_var : model -> ?integer:bool -> ?lb:float -> ?ub:float -> string -> var
 (** New variable. Defaults: [lb = 0.], [ub = infinity], continuous.
-    Raises [Invalid_argument] if [lb > ub]. *)
+    Raises [Robust.Failure.Error (Invalid_input _)] if [lb > ub], so model
+    builders running inside the scheduling pipeline fail typed. *)
 
 val add_constr : model -> ?name:string -> (float * var) list -> sense -> float -> unit
 (** [add_constr m terms sense rhs] adds [sum terms (sense) rhs]. Repeated
@@ -39,6 +40,10 @@ val objective_coeffs : model -> float array
 
 val constrs : model -> ((int * float) array * sense * float) array
 (** Constraint rows as (sorted, deduplicated sparse terms, sense, rhs). *)
+
+val constr_name : model -> int -> string
+(** Name of the [i]-th constraint row (indices as in {!constrs}); used by
+    the certifier to name violated rows. *)
 
 val eval_linexpr : (float * var) list -> float array -> float
 (** Evaluate a term list against a dense solution vector. *)

@@ -17,9 +17,18 @@ type problem = {
 
 type result = { status : status; obj : float; x : float array; iterations : int }
 
-let feas_tol = 1e-7
-let opt_tol = 1e-7
-let pivot_tol = 1e-9
+(* The solver's numerical tolerances, exposed as one record so the exact-
+   arithmetic certifier (lib/certify) checks against the very same values
+   the pivot loop used — the checker and the solver cannot drift apart. *)
+module Tolerances = struct
+  type t = { feas_tol : float; opt_tol : float; pivot_tol : float }
+
+  let default = { feas_tol = 1e-7; opt_tol = 1e-7; pivot_tol = 1e-9 }
+end
+
+let feas_tol = Tolerances.default.Tolerances.feas_tol
+let opt_tol = Tolerances.default.Tolerances.opt_tol
+let pivot_tol = Tolerances.default.Tolerances.pivot_tol
 let refactor_every = 100
 
 (* Location of a column: basic in some row, or nonbasic resting at a bound. *)

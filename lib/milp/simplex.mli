@@ -9,6 +9,20 @@
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
+(** Numerical tolerances of the pivot loop, exposed as one record so the
+    exact-arithmetic certifier ([lib/certify]) and the solver share a
+    single source of truth. *)
+module Tolerances : sig
+  type t = {
+    feas_tol : float;  (** bound/row feasibility slack *)
+    opt_tol : float;  (** reduced-cost optimality threshold *)
+    pivot_tol : float;  (** smallest usable pivot magnitude *)
+  }
+
+  val default : t
+  (** The values the solver itself runs with. *)
+end
+
 type problem = {
   nrows : int;
   ncols : int;

@@ -33,6 +33,11 @@ type t = {
   mutable cycle : int;
   mutable hops : int;
   mutable inflight : int;
+  (* flit conservation ledger, checked by the certification layer: once the
+     mesh is idle, injected + forked = ejected must hold exactly *)
+  mutable injected_flits : int;  (** flits that entered a router from a source queue *)
+  mutable ejected_flits : int;  (** flits that left through a local/GB ejection port *)
+  mutable forked_flits : int;  (** extra copies created by multicast tree branches *)
 }
 
 let create (spec : Spec.noc) =
@@ -58,6 +63,9 @@ let create (spec : Spec.noc) =
     cycle = 0;
     hops = 0;
     inflight = 0;
+    injected_flits = 0;
+    ejected_flits = 0;
+    forked_flits = 0;
   }
 
 let inject t src pkt =
@@ -98,6 +106,7 @@ let neighbor t r o =
   | () -> None
 
 let record_delivery t (dst : source) (f : flit) =
+  t.ejected_flits <- t.ejected_flits + 1;
   let node = match dst with Gb -> -1 | Node i -> i in
   let key = (f.pkt.Packet.id, node) in
   let got = (try Hashtbl.find t.assembly key with Not_found -> 0) + 1 in
@@ -156,6 +165,10 @@ let step t =
             let f = Queue.pop rt.in_q.(ip) in
             t.inflight <- t.inflight - 1;
             moved_inputs := ip :: !moved_inputs;
+            (* every output beyond the first is a multicast-tree copy *)
+            let nports = ref 0 in
+            Array.iter (fun used -> if used then incr nports) ports;
+            t.forked_flits <- t.forked_flits + !nports - 1;
             for o = 0 to n_ports - 1 do
               if ports.(o) then begin
                 out_used.(ri).(o) <- true;
@@ -211,6 +224,7 @@ let step t =
           t.routers.(ri).in_q.(ip);
         space.(ri).(ip) <- space.(ri).(ip) - 1;
         t.inflight <- t.inflight + 1;
+        t.injected_flits <- t.injected_flits + 1;
         pn.sent <- pn.sent + 1;
         t.hops <- t.hops + 1;
         if tail then ignore (Queue.pop q)
@@ -230,3 +244,6 @@ let idle t =
 
 let cycles t = t.cycle
 let flit_hops t = t.hops
+let flits_injected t = t.injected_flits
+let flits_ejected t = t.ejected_flits
+let flits_forked t = t.forked_flits

@@ -36,3 +36,19 @@ val cycles : t -> int
 val flit_hops : t -> int
 (** Total link traversals so far (energy proxy, cross-checked against the
     analytical model in tests). *)
+
+(** {2 Flit conservation ledger}
+
+    Checked by the certification layer ([Certify.Noc_cert]): once {!idle}
+    holds, [flits_injected + flits_forked = flits_ejected] must hold
+    exactly — every flit that entered the mesh (plus every multicast-tree
+    copy) left through an ejection port. *)
+
+val flits_injected : t -> int
+(** Flits moved from a source queue into a router. *)
+
+val flits_ejected : t -> int
+(** Flits that left through a local or global-buffer ejection port. *)
+
+val flits_forked : t -> int
+(** Extra flit copies created at multicast branch points. *)

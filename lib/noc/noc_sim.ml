@@ -8,6 +8,9 @@ type stats = {
   dram_busy_cycles : int;
   packets : int;
   compute_cycles_per_step : int;
+  flits_injected : int;
+  flits_ejected : int;
+  flits_forked : int;
 }
 
 let fi = float_of_int
@@ -286,7 +289,11 @@ let simulate_r ?(max_steps = 48) ?(max_cycles = 20_000_000)
       end
     done
   done
-  with Sim_abort f -> abort := Some f);
+  with
+  | Sim_abort f -> abort := Some f
+  | Robust.Failure.Error f ->
+    (* typed argument errors from packet construction etc. *)
+    abort := Some f);
   match !abort with
   | Some f -> Error f
   | None ->
@@ -306,6 +313,9 @@ let simulate_r ?(max_steps = 48) ?(max_cycles = 20_000_000)
         dram_busy_cycles = Dram_model.total_busy_cycles dram;
         packets = !packets;
         compute_cycles_per_step = cycles_per_step;
+        flits_injected = Mesh.flits_injected mesh;
+        flits_ejected = Mesh.flits_ejected mesh;
+        flits_forked = Mesh.flits_forked mesh;
       }
 
 (* Legacy wrapper: raises [Robust.Failure.Error] where [simulate_r] returns

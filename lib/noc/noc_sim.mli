@@ -24,6 +24,12 @@ type stats = {
   dram_busy_cycles : int;
   packets : int;
   compute_cycles_per_step : int;
+  flits_injected : int;  (** {!Mesh.flits_injected} at completion *)
+  flits_ejected : int;  (** {!Mesh.flits_ejected} at completion *)
+  flits_forked : int;
+      (** {!Mesh.flits_forked} at completion. Conservation — certified by
+          [Certify.Noc_cert] — requires
+          [flits_injected + flits_forked = flits_ejected]. *)
 }
 
 val simulate_r :

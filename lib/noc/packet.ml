@@ -7,7 +7,12 @@ type t = {
   step : int;
 }
 
+(* Typed, not [Invalid_argument]: packets are built inside the NoC
+   simulation loop, whose Result entry point catches [Robust.Failure.Error]
+   instead of letting argument errors escape untyped. *)
+let reject msg = raise (Robust.Failure.Error (Robust.Failure.Invalid_input msg))
+
 let make ~id ~src ~dests ~flits ~tensor ~step =
-  if dests = [] then invalid_arg "Packet.make: empty destination list";
-  if flits < 1 then invalid_arg "Packet.make: flits < 1";
+  if dests = [] then reject "Packet.make: empty destination list";
+  if flits < 1 then reject "Packet.make: flits < 1";
   { id; src; dests; flits; tensor; step }

@@ -11,4 +11,6 @@ type t = {
 
 val make :
   id:int -> src:int -> dests:int list -> flits:int -> tensor:Dims.tensor -> step:int -> t
-(** Raises [Invalid_argument] on an empty destination list or [flits < 1]. *)
+(** Raises [Robust.Failure.Error (Invalid_input _)] on an empty destination
+    list or [flits < 1], so the simulation's Result pipeline can surface it
+    as a typed failure. *)

@@ -1,0 +1,317 @@
+(* Arbitrary-precision signed integers, pure OCaml (no zarith). Magnitudes
+   are little-endian limb arrays in base 2^15, so every intermediate of the
+   schoolbook routines fits comfortably in a native 63-bit int. Sizes here
+   are tiny by bignum standards — certificates multiply a few hundred
+   doubles — so simplicity beats asymptotics throughout (schoolbook
+   multiplication, bit-by-bit division). *)
+
+let base_bits = 15
+let base = 1 lsl base_bits
+let limb_mask = base - 1
+
+type t = { sign : int; mag : int array }
+(* invariant: sign in {-1, 0, 1}; mag has no high zero limbs;
+   sign = 0 iff mag = [||] *)
+
+let zero = { sign = 0; mag = [||] }
+
+let trim mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length mag then mag else Array.sub mag 0 !n
+
+let make sign mag =
+  let mag = trim mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    (* accumulate limbs from the negative side so [min_int] cannot
+       overflow on negation *)
+    let m = if n > 0 then -n else n in
+    let rec limbs m acc = if m = 0 then acc else limbs (m / base) (-(m mod base) :: acc) in
+    make sign (Array.of_list (List.rev (limbs m [])))
+  end
+
+let one = of_int 1
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let compare_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then compare_mag a.mag b.mag
+  else compare_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let r = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let t = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- t land limb_mask;
+    carry := t lsr base_bits
+  done;
+  r.(n) <- !carry;
+  r
+
+(* precondition: a >= b as magnitudes *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let t = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if t < 0 then begin
+      r.(i) <- t + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- t;
+      borrow := 0
+    end
+  done;
+  r
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (add_mag a.mag b.mag)
+  else begin
+    match compare_mag a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> make a.sign (sub_mag a.mag b.mag)
+    | _ -> make b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make (la + lb) 0 in
+  for i = 0 to la - 1 do
+    let ai = a.(i) in
+    if ai <> 0 then begin
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let t = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- t land limb_mask;
+        carry := t lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let t = r.(!k) + !carry in
+        r.(!k) <- t land limb_mask;
+        carry := t lsr base_bits;
+        incr k
+      done
+    end
+  done;
+  r
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero else make (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let shift_left t bits =
+  if bits < 0 then invalid_arg "Bigint.shift_left: negative shift";
+  if t.sign = 0 || bits = 0 then t
+  else begin
+    let limb_shift = bits / base_bits and bit_shift = bits mod base_bits in
+    let la = Array.length t.mag in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = t.mag.(i) lsl bit_shift in
+      r.(i + limb_shift) <- r.(i + limb_shift) lor (v land limb_mask);
+      r.(i + limb_shift + 1) <- v lsr base_bits
+    done;
+    make t.sign r
+  end
+
+let bit_length_mag mag =
+  let n = Array.length mag in
+  if n = 0 then 0
+  else begin
+    let top = mag.(n - 1) in
+    let rec width v = if v = 0 then 0 else 1 + width (v lsr 1) in
+    ((n - 1) * base_bits) + width top
+  end
+
+let bit_of mag i =
+  let limb = i / base_bits in
+  if limb >= Array.length mag then 0 else (mag.(limb) lsr (i mod base_bits)) land 1
+
+(* Magnitude division by bit-by-bit shift-subtract: O(bits * limbs), ample
+   for certificate-sized numbers. Returns (quotient, remainder). *)
+let divmod_mag a b =
+  if compare_mag a b < 0 then ([||], a)
+  else begin
+    let nbits = bit_length_mag a in
+    let q = Array.make (Array.length a) 0 in
+    let r = ref [||] in
+    for i = nbits - 1 downto 0 do
+      let shifted = add_mag (add_mag !r !r) [| bit_of a i |] in
+      let shifted = trim shifted in
+      if compare_mag shifted b >= 0 then begin
+        r := sub_mag shifted b;
+        q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+      end
+      else r := shifted
+    done;
+    (trim q, trim !r)
+  end
+
+(* Truncated division (quotient toward zero, remainder has the dividend's
+   sign), matching OCaml's [/] and [mod] on ints. *)
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else begin
+    let qm, rm = divmod_mag a.mag b.mag in
+    (make (a.sign * b.sign) qm, make a.sign rm)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let shift_right t bits =
+  if bits < 0 then invalid_arg "Bigint.shift_right: negative shift";
+  if t.sign = 0 || bits = 0 then t
+  else begin
+    let limb_shift = bits / base_bits and bit_shift = bits mod base_bits in
+    let n = Array.length t.mag - limb_shift in
+    if n <= 0 then zero
+    else begin
+      let r = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = t.mag.(i + limb_shift) lsr bit_shift in
+        let hi =
+          if bit_shift > 0 && i + limb_shift + 1 < Array.length t.mag then
+            (t.mag.(i + limb_shift + 1) lsl (base_bits - bit_shift)) land limb_mask
+          else 0
+        in
+        r.(i) <- lo lor hi
+      done;
+      make t.sign r
+    end
+  end
+
+let trailing_zeros t =
+  if t.sign = 0 then 0
+  else begin
+    let i = ref 0 in
+    while t.mag.(!i) = 0 do
+      incr i
+    done;
+    let limb = t.mag.(!i) in
+    let b = ref 0 in
+    while limb land (1 lsl !b) = 0 do
+      incr b
+    done;
+    (!i * base_bits) + !b
+  end
+
+let is_power_of_two t =
+  t.sign = 1
+  &&
+  let n = Array.length t.mag in
+  let top = t.mag.(n - 1) in
+  top land (top - 1) = 0
+  &&
+  let rec low_zero i = i >= n - 1 || (t.mag.(i) = 0 && low_zero (i + 1)) in
+  low_zero 0
+
+(* Binary (Stein) gcd: only shifts and subtractions, which are far cheaper
+   here than the bit-by-bit division a Euclid loop would lean on. *)
+let gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero a then b
+  else if is_zero b then a
+  else begin
+    let ka = trailing_zeros a and kb = trailing_zeros b in
+    let common = Stdlib.min ka kb in
+    let rec loop a b =
+      (* both odd *)
+      let c = compare_mag a.mag b.mag in
+      if c = 0 then a
+      else begin
+        let hi, lo = if c > 0 then (a, b) else (b, a) in
+        let d = sub hi lo in
+        loop (shift_right d (trailing_zeros d)) lo
+      end
+    in
+    shift_left (loop (shift_right a ka) (shift_right b kb)) common
+  end
+
+let to_float t =
+  let v = ref 0. in
+  for i = Array.length t.mag - 1 downto 0 do
+    v := (!v *. float_of_int base) +. float_of_int t.mag.(i)
+  done;
+  float_of_int t.sign *. !v
+
+let to_int_opt t =
+  (* a native int needs at most 5 limbs (63 bits); accumulate on the
+     negative side, which (unlike the positive one) reaches min_int *)
+  if Array.length t.mag > 5 then None
+  else begin
+    let v = ref 0 and ok = ref true in
+    for i = Array.length t.mag - 1 downto 0 do
+      (* v*base - limb underflows exactly when v < ceil((min_int+limb)/base);
+         truncation toward zero IS that ceiling for a negative dividend *)
+      let limit = (min_int + t.mag.(i)) / base in
+      if !v < limit then ok := false else v := (!v * base) - t.mag.(i)
+    done;
+    if not !ok then None
+    else if t.sign >= 0 then if !v = min_int then None else Some (- !v)
+    else Some !v
+  end
+
+(* Divide a magnitude by a small positive int in place-free style; used by
+   decimal printing only. *)
+let divmod_small mag d =
+  let n = Array.length mag in
+  let q = Array.make n 0 in
+  let r = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!r * base) + mag.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (trim q, !r)
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let chunks = ref [] in
+    let mag = ref t.mag in
+    while Array.length !mag > 0 do
+      let q, r = divmod_small !mag 10_000 in
+      chunks := r :: !chunks;
+      mag := q
+    done;
+    let buf = Buffer.create 32 in
+    if t.sign < 0 then Buffer.add_char buf '-';
+    (match !chunks with
+     | [] -> Buffer.add_char buf '0'
+     | first :: rest ->
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%04d" c)) rest);
+    Buffer.contents buf
+  end

@@ -1,0 +1,57 @@
+(** Arbitrary-precision signed integers, pure OCaml.
+
+    Backing store for {!Ratio}'s exact rational arithmetic; implemented
+    with base-2^15 limbs and schoolbook algorithms, which is ample for the
+    certificate-sized numbers this repo manipulates. No external
+    dependencies (deliberately: the container has no zarith). *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [None] when the value does not fit a native [int]. *)
+
+val sign : t -> int
+(** [-1], [0], or [1]. *)
+
+val is_zero : t -> bool
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Truncated division: quotient toward zero, remainder carries the
+    dividend's sign (as OCaml's [/] and [mod]). Raises [Division_by_zero]. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val gcd : t -> t -> t
+(** Non-negative; [gcd 0 0 = 0]. *)
+
+val shift_left : t -> int -> t
+(** Multiply by 2^bits. Raises [Invalid_argument] on a negative shift. *)
+
+val shift_right : t -> int -> t
+(** Divide the magnitude by 2^bits, truncating (sign preserved). Raises
+    [Invalid_argument] on a negative shift. *)
+
+val trailing_zeros : t -> int
+(** Index of the lowest set bit of the magnitude; [0] for zero. *)
+
+val is_power_of_two : t -> bool
+(** True exactly for positive powers of two (including [one]). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val to_float : t -> float
+(** Nearest double ([infinity] on overflow). *)
+
+val to_string : t -> string
+(** Decimal. *)

@@ -1,0 +1,82 @@
+(* Exact normalized rationals over Bigint. The certification layer replays
+   floating-point solver output in this type: every finite double is
+   exactly a dyadic rational, so [of_float] is lossless and all subsequent
+   +/-/* are exact. Invariant: den > 0 and gcd(|num|, den) = 1; zero is
+   0/1. *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+
+let make num den =
+  if Bigint.is_zero den then invalid_arg "Ratio.make: zero denominator";
+  if Bigint.is_zero num then zero
+  else begin
+    let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
+    if Bigint.equal den Bigint.one then { num; den }
+    else if Bigint.is_power_of_two den then begin
+      (* dyadic fast path — the certifier's whole workload: floats are
+         dyadic and +/-/* keep denominators powers of two, so the gcd is
+         2^k with k read straight off the trailing zeros *)
+      let k = Stdlib.min (Bigint.trailing_zeros num) (Bigint.trailing_zeros den) in
+      if k = 0 then { num; den }
+      else { num = Bigint.shift_right num k; den = Bigint.shift_right den k }
+    end
+    else begin
+      let g = Bigint.gcd num den in
+      if Bigint.equal g Bigint.one then { num; den }
+      else { num = Bigint.div num g; den = Bigint.div den g }
+    end
+  end
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+
+let num t = t.num
+let den t = t.den
+
+(* Exact: decompose the double as mantissa * 2^exponent. *)
+let of_float f =
+  if not (Float.is_finite f) then invalid_arg "Ratio.of_float: not finite";
+  if f = 0. then zero
+  else begin
+    let m, e = Float.frexp f in
+    let mant = int_of_float (Float.ldexp m 53) in
+    let exp = e - 53 in
+    if exp >= 0 then of_bigint (Bigint.shift_left (Bigint.of_int mant) exp)
+    else make (Bigint.of_int mant) (Bigint.shift_left Bigint.one (-exp))
+  end
+
+let sign t = Bigint.sign t.num
+let neg t = { t with num = Bigint.neg t.num }
+let abs t = { t with num = Bigint.abs t.num }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let div a b =
+  if Bigint.is_zero b.num then raise Division_by_zero;
+  make (Bigint.mul a.num b.den) (Bigint.mul a.den b.num)
+
+let compare a b =
+  (* denominators are positive, so cross-multiplication preserves order *)
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let is_integer t = Bigint.equal t.den Bigint.one
+
+let to_float t = Bigint.to_float t.num /. Bigint.to_float t.den
+
+let to_string t =
+  if is_integer t then Bigint.to_string t.num
+  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den

@@ -1,0 +1,57 @@
+(** Exact normalized rationals (arbitrary precision, no external deps).
+
+    The solution-certification layer ({!Certify} in [lib/certify]) replays
+    floating-point solver output in this type. Every finite double is
+    exactly a dyadic rational, so {!of_float} is lossless and sums and
+    products of converted values incur no rounding at all — a residual of
+    zero means the constraint holds {e exactly}, and a nonzero residual is
+    the {e exact} violation amount.
+
+    Invariants: the denominator is positive and coprime with the
+    numerator; zero is represented as 0/1. *)
+
+type t
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+val of_ints : int -> int -> t
+(** [of_ints n d] is n/d. Raises [Invalid_argument] when [d = 0]. *)
+
+val of_bigint : Bigint.t -> t
+
+val of_float : float -> t
+(** Exact conversion of a finite double. Raises [Invalid_argument] on
+    NaN or infinities. *)
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den], normalized. Raises [Invalid_argument] when [den] is
+    zero. *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+(** Normalized components: [den] is positive, [gcd (abs num) den = 1]. *)
+
+val sign : t -> int
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** Raises [Division_by_zero]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_integer : t -> bool
+
+val to_float : t -> float
+(** Nearest double (approximate for large components). *)
+
+val to_string : t -> string
+(** ["num/den"], or just ["num"] for integers. Exact. *)

@@ -13,6 +13,9 @@ type t =
   | Decode_failed         (* MILP solution could not be decoded/repaired *)
   | Invalid_input of string
   | Injected of string    (* fault-injection harness fired at this site *)
+  | Certification_failed of string
+      (* exact-arithmetic certification rejected a claimed solution; the
+         payload names the violated constraint and the exact residual *)
 
 exception Error of t
 
@@ -25,6 +28,7 @@ let to_string = function
   | Decode_failed -> "decode failed"
   | Invalid_input s -> "invalid input: " ^ s
   | Injected site -> "injected fault at " ^ site
+  | Certification_failed what -> "certification failed: " ^ what
 
 let pp fmt f = Format.pp_print_string fmt (to_string f)
 

@@ -1,0 +1,286 @@
+(* Tests for the exact-arithmetic certification layer: LP solution replay,
+   independent mapping recheck, NoC flit conservation, and the strict-mode
+   degradation-ladder descent in Cosa.schedule. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let arch = Spec.baseline
+
+let certified what = function
+  | Certify.Certificate.Certified -> ()
+  | Certify.Certificate.Violated _ as c ->
+    Alcotest.failf "%s: expected certified, got %s" what (Certify.Certificate.to_string c)
+
+(* a violation whose constraint name mentions [frag] must be present *)
+let violated_on what frag cert =
+  match cert with
+  | Certify.Certificate.Certified -> Alcotest.failf "%s: expected a violation" what
+  | Certify.Certificate.Violated vs ->
+    let mentions (v : Certify.Certificate.violation) =
+      let name = v.Certify.Certificate.constraint_name in
+      let n = String.length name and m = String.length frag in
+      let rec go i = i + m <= n && (String.sub name i m = frag || go (i + 1)) in
+      go 0
+    in
+    check_bool
+      (Printf.sprintf "%s: some violation names %S (got: %s)" what frag
+         (String.concat "; "
+            (List.map (fun v -> v.Certify.Certificate.constraint_name) vs)))
+      true
+      (List.exists mentions vs)
+
+(* --- LP certificates --- *)
+
+(* max 3x + 2y  st  x + y <= 4 (row "cap"), x integer in [0, 10] *)
+let small_model () =
+  let m = Milp.Lp.create ~name:"cert_test" () in
+  let x = Milp.Lp.add_var m ~integer:true ~lb:0. ~ub:10. "x" in
+  let y = Milp.Lp.add_var m ~lb:0. ~ub:10. "y" in
+  Milp.Lp.add_constr m ~name:"cap" [ (1., x); (1., y) ] Milp.Lp.Le 4.;
+  Milp.Lp.set_objective m `Maximize [ (3., x); (2., y) ];
+  m
+
+let test_lp_cert_accepts_solver_answer () =
+  let m = small_model () in
+  let res = Milp.Bb.solve ~node_limit:1000 ~time_limit:10. m in
+  check_bool "solved" true (res.Milp.Bb.status = Milp.Bb.Optimal);
+  certified "genuine B&B solution"
+    (Certify.Lp_cert.check ~obj:res.Milp.Bb.obj m res.Milp.Bb.values)
+
+let test_lp_cert_rejects_corruption () =
+  let m = small_model () in
+  (* row violation: 5 + 0 > 4 *)
+  violated_on "row violation" "cap" (Certify.Lp_cert.check m [| 5.; 0. |]);
+  (* bound violation: x = 11 > ub 10 *)
+  violated_on "upper bound" "x upper bound" (Certify.Lp_cert.check m [| 11.; 0. |]);
+  (* integrality violation on x *)
+  violated_on "integrality" "x integrality" (Certify.Lp_cert.check m [| 1.5; 1. |]);
+  (* lying about the objective: claims 100, exact is 3*2 + 2*1 = 8 *)
+  violated_on "objective lie" "objective" (Certify.Lp_cert.check ~obj:100. m [| 2.; 1. |]);
+  (* wrong solution-vector length *)
+  violated_on "bad length" "solution vector" (Certify.Lp_cert.check m [| 1. |]);
+  (* exact arithmetic keeps sub-tolerance float noise acceptable *)
+  certified "within tolerance" (Certify.Lp_cert.check m [| 3.; 1. +. 1e-9 |])
+
+(* --- mapping certificates --- *)
+
+let test_mapping_cert_accepts_valid () =
+  let layer = Zoo.find "3_56_64_64_1" in
+  certified "trivial mapping" (Certify.Mapping_cert.check arch (Cosa.trivial_mapping arch layer));
+  let rng = Prim.Rng.create 17 in
+  match Sampler.valid rng arch layer with
+  | None -> Alcotest.fail "sampler produced nothing"
+  | Some m ->
+    check_bool "sampler mapping valid" true (Mapping.is_valid arch m);
+    certified "sampler mapping" (Certify.Mapping_cert.check arch m)
+
+(* corrupting one tiling factor must be caught, named, and quantified *)
+let test_mapping_cert_rejects_bad_factorization () =
+  let layer = Zoo.find "3_56_64_64_1" in
+  let m = Cosa.trivial_mapping arch layer in
+  let dram = Spec.dram_level arch in
+  let corrupt =
+    { m with
+      Mapping.levels =
+        Array.mapi
+          (fun i (lm : Mapping.level_map) ->
+            if i <> dram then lm
+            else
+              { lm with
+                Mapping.temporal =
+                  List.map
+                    (fun (l : Mapping.loop) ->
+                      if l.Mapping.dim = Dims.K then { l with Mapping.bound = l.Mapping.bound * 2 }
+                      else l)
+                    lm.Mapping.temporal })
+          m.Mapping.levels }
+  in
+  violated_on "doubled K factor" "K factorization" (Certify.Mapping_cert.check arch corrupt)
+
+let test_mapping_cert_rejects_capacity_overflow () =
+  let layer = Zoo.find "3_56_64_64_1" in
+  let m = Cosa.trivial_mapping arch layer in
+  let dram = Spec.dram_level arch in
+  (* move the whole loop nest innermost: every on-chip tile becomes the
+     full layer, which cannot fit any buffer *)
+  let corrupt =
+    { m with
+      Mapping.levels =
+        Array.mapi
+          (fun i (lm : Mapping.level_map) ->
+            if i = 0 then { lm with Mapping.temporal = m.Mapping.levels.(dram).Mapping.temporal }
+            else if i = dram then { lm with Mapping.temporal = [] }
+            else lm)
+          m.Mapping.levels }
+  in
+  violated_on "whole layer innermost" "capacity" (Certify.Mapping_cert.check arch corrupt)
+
+let test_mapping_cert_rejects_spatial_overflow () =
+  let layer = Zoo.find "3_56_64_64_1" in
+  let m = Cosa.trivial_mapping arch layer in
+  let corrupt =
+    { m with
+      Mapping.levels =
+        Array.mapi
+          (fun i (lm : Mapping.level_map) ->
+            if i = 0 then
+              { lm with Mapping.spatial = [ { Mapping.dim = Dims.K; bound = 1024 } ] }
+            else lm)
+          m.Mapping.levels }
+  in
+  violated_on "oversubscribed fanout" "fanout" (Certify.Mapping_cert.check arch corrupt)
+
+(* --- NoC flit conservation --- *)
+
+let test_noc_cert_on_real_simulation () =
+  let layer = Zoo.find "3_56_64_64_1" in
+  let m = (Cosa.schedule ~time_limit:2. arch layer).Cosa.mapping in
+  match Noc_sim.simulate_r arch m with
+  | Error f -> Alcotest.failf "simulation failed: %s" (Robust.Failure.to_string f)
+  | Ok s ->
+    check_bool "traffic flowed" true (s.Noc_sim.flits_injected > 0);
+    certified "flit conservation" (Certify.Noc_cert.check s)
+
+let test_noc_cert_rejects_imbalance () =
+  let layer = Zoo.find "3_56_64_64_1" in
+  let m = Cosa.trivial_mapping arch layer in
+  match Noc_sim.simulate_r arch m with
+  | Error f -> Alcotest.failf "simulation failed: %s" (Robust.Failure.to_string f)
+  | Ok s ->
+    (* fabricate a lost flit *)
+    violated_on "lost flit" "flit conservation"
+      (Certify.Noc_cert.check { s with Noc_sim.flits_ejected = s.Noc_sim.flits_ejected - 1 })
+
+(* --- typed exception surface (no Invalid_argument leaks) --- *)
+
+let test_validate_level_mismatch_typed () =
+  let layer = Zoo.find "3_56_64_64_1" in
+  let m = Cosa.trivial_mapping arch layer in
+  let short = { m with Mapping.levels = Array.sub m.Mapping.levels 0 2 } in
+  Alcotest.check_raises "level mismatch is typed"
+    (Robust.Failure.Error
+       (Robust.Failure.Invalid_input "Mapping.validate: level count mismatch with architecture"))
+    (fun () -> ignore (Mapping.validate arch short))
+
+(* --- the certification stage inside Cosa.schedule --- *)
+
+let has_cert_failure r =
+  List.exists
+    (function Robust.Failure.Certification_failed _ -> true | _ -> false)
+    r.Cosa.fallback_chain
+
+let test_schedule_off_skips () =
+  let layer = Zoo.find "3_56_64_64_1" in
+  let r = Cosa.schedule ~time_limit:1. ~certify:Cosa.Off arch layer in
+  check_bool "skipped" true (r.Cosa.certification = Cosa.Cert_skipped)
+
+let test_schedule_default_certifies () =
+  let layer = Zoo.find "3_56_64_64_1" in
+  let r = Cosa.schedule ~time_limit:1.5 arch layer in
+  check_bool "default warn mode certifies" true (r.Cosa.certification = Cosa.Cert_ok);
+  check_bool "mapping valid" true (Mapping.is_valid arch r.Cosa.mapping)
+
+let test_schedule_strict_certified () =
+  let layer = Zoo.find "1_56_64_64_1" in
+  let r = Cosa.schedule ~time_limit:1.5 ~certify:Cosa.Strict arch layer in
+  check_bool "strict result certified" true (r.Cosa.certification = Cosa.Cert_ok);
+  check_bool "no cert failures in chain" false (has_cert_failure r)
+
+(* a fault on the "certify.lp" site fails certification of every MIP rung;
+   Strict must descend to a certifying non-MIP rung and still return a
+   certified schedule, recording why in the fallback chain *)
+let test_schedule_strict_falls_through () =
+  let layer = Zoo.find "3_56_64_64_1" in
+  let r =
+    Robust.Fault.with_faults ~rate:1. ~only:[ "certify.lp" ] 42 (fun () ->
+        Cosa.schedule ~time_limit:1.5 ~certify:Cosa.Strict arch layer)
+  in
+  check_bool "descended below the MIP rungs" true
+    (match r.Cosa.source with
+     | Cosa.Heuristic_sampler | Cosa.Trivial -> true
+     | Cosa.Milp_joint | Cosa.Milp_two_stage -> false);
+  check_bool "chain records the certification failure" true (has_cert_failure r);
+  check_bool "returned schedule is certified" true (r.Cosa.certification = Cosa.Cert_ok);
+  check_bool "mapping valid" true (Mapping.is_valid arch r.Cosa.mapping)
+
+(* the same fault under Warn keeps the MIP answer, with the verdict
+   recorded on the result instead of a ladder descent *)
+let test_schedule_warn_keeps_candidate () =
+  let layer = Zoo.find "3_56_64_64_1" in
+  let r =
+    Robust.Fault.with_faults ~rate:1. ~only:[ "certify.lp" ] 42 (fun () ->
+        Cosa.schedule ~time_limit:1.5 ~certify:Cosa.Warn arch layer)
+  in
+  check_bool "stayed on a MIP rung" true
+    (match r.Cosa.source with
+     | Cosa.Milp_joint | Cosa.Milp_two_stage -> true
+     | Cosa.Heuristic_sampler | Cosa.Trivial -> false);
+  check_bool "verdict recorded" true
+    (match r.Cosa.certification with Cosa.Cert_failed _ -> true | _ -> false);
+  check_bool "no descent on warn" false (has_cert_failure r)
+
+(* every-rung chaos: when every certifier call is faulted, Strict bottoms
+   out on the trivial rung with the failure recorded, never raising *)
+let test_schedule_strict_bottoms_out () =
+  let layer = Zoo.find "3_56_64_64_1" in
+  let r =
+    Robust.Fault.with_faults ~rate:1. ~only:[ "certify.lp"; "certify.mapping" ] 7 (fun () ->
+        Cosa.schedule ~time_limit:1.5 ~certify:Cosa.Strict arch layer)
+  in
+  check_bool "bottoms out on trivial" true (r.Cosa.source = Cosa.Trivial);
+  check_bool "verdict recorded" true
+    (match r.Cosa.certification with Cosa.Cert_failed _ -> true | _ -> false);
+  check_bool "mapping still valid" true (Mapping.is_valid arch r.Cosa.mapping)
+
+(* 5-seed soak: strict certification across fault seeds must always return
+   a valid mapping, and a certified one whenever certification passed *)
+let test_strict_soak () =
+  let layer = Zoo.find "1_28_128_512_1" in
+  List.iter
+    (fun seed ->
+      let r =
+        Robust.Fault.with_faults ~rate:0.05 seed (fun () ->
+            Cosa.schedule ~time_limit:1. ~certify:Cosa.Strict arch layer)
+      in
+      check_bool
+        (Printf.sprintf "seed %d returns a valid mapping" seed)
+        true
+        (Mapping.is_valid arch r.Cosa.mapping);
+      match r.Cosa.certification with
+      | Cosa.Cert_ok | Cosa.Cert_failed _ -> ()
+      | Cosa.Cert_skipped -> Alcotest.failf "seed %d: certification did not run" seed)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_certification_to_string () =
+  check_bool "ok" true (Cosa.certification_to_string Cosa.Cert_ok = "certified");
+  check_int "mode names" 3
+    (List.length
+       (List.sort_uniq compare
+          (List.map Cosa.certify_mode_to_string [ Cosa.Off; Cosa.Warn; Cosa.Strict ])))
+
+let suite =
+  ( "certify",
+    [
+      Alcotest.test_case "lp cert accepts solver answer" `Quick test_lp_cert_accepts_solver_answer;
+      Alcotest.test_case "lp cert rejects corruption" `Quick test_lp_cert_rejects_corruption;
+      Alcotest.test_case "mapping cert accepts valid" `Quick test_mapping_cert_accepts_valid;
+      Alcotest.test_case "mapping cert rejects bad factorization" `Quick
+        test_mapping_cert_rejects_bad_factorization;
+      Alcotest.test_case "mapping cert rejects capacity overflow" `Quick
+        test_mapping_cert_rejects_capacity_overflow;
+      Alcotest.test_case "mapping cert rejects spatial overflow" `Quick
+        test_mapping_cert_rejects_spatial_overflow;
+      Alcotest.test_case "noc cert on real simulation" `Slow test_noc_cert_on_real_simulation;
+      Alcotest.test_case "noc cert rejects imbalance" `Quick test_noc_cert_rejects_imbalance;
+      Alcotest.test_case "validate level mismatch typed" `Quick test_validate_level_mismatch_typed;
+      Alcotest.test_case "schedule certify:off skips" `Quick test_schedule_off_skips;
+      Alcotest.test_case "schedule default certifies" `Quick test_schedule_default_certifies;
+      Alcotest.test_case "schedule strict certified" `Quick test_schedule_strict_certified;
+      Alcotest.test_case "strict falls through on cert failure" `Quick
+        test_schedule_strict_falls_through;
+      Alcotest.test_case "warn keeps candidate" `Quick test_schedule_warn_keeps_candidate;
+      Alcotest.test_case "strict bottoms out" `Quick test_schedule_strict_bottoms_out;
+      Alcotest.test_case "strict 5-seed soak" `Slow test_strict_soak;
+      Alcotest.test_case "certification strings" `Quick test_certification_to_string;
+    ] )

@@ -18,6 +18,7 @@ let () =
       Test_robust.suite;
       Test_mesh_wormhole.suite;
       Test_cosa.suite;
+      Test_certify.suite;
       Test_decode.suite;
       Test_objective.suite;
       Test_mappers.suite;

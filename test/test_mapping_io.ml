@@ -33,6 +33,38 @@ let test_roundtrip_file () =
           (Mapping.fingerprint m')
       | Error e -> Alcotest.fail e)
 
+(* property: a save/load cycle through an actual file is lossless for
+   sampler-produced valid mappings, including strided layers and layer
+   metadata — complements the in-memory roundtrip property below *)
+let prop_file_roundtrip =
+  QCheck.Test.make ~name:"file save/load roundtrips strided mappings" ~count:20
+    (QCheck.make
+       ~print:(fun (l, seed) -> Printf.sprintf "%s seed=%d" (Layer.to_string l) seed)
+       QCheck.Gen.(
+         pair
+           (map
+              (fun ((r, st), (p, (c, k))) ->
+                Layer.create ~name:"io_prop" ~r ~s:r ~p ~q:p ~c ~k ~n:1 ~stride:st ())
+              (pair (pair (int_range 1 3) (int_range 1 2))
+                 (pair (int_range 1 16) (pair (int_range 1 64) (int_range 1 64)))))
+           (int_range 0 10_000)))
+    (fun (layer, seed) ->
+      let rng = Prim.Rng.create seed in
+      match Sampler.valid rng arch layer with
+      | None -> true
+      | Some m ->
+        let path = Filename.temp_file "cosa_map_prop" ".txt" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Mapping_io.save path m;
+            match Mapping_io.load path with
+            | Error _ -> false
+            | Ok m' ->
+              String.equal (Mapping.fingerprint m) (Mapping.fingerprint m')
+              && String.equal (Layer.to_string m.Mapping.layer)
+                   (Layer.to_string m'.Mapping.layer)))
+
 let expect_error what text =
   match Mapping_io.of_string text with
   | Ok _ -> Alcotest.fail (what ^ ": expected a parse error")
@@ -90,4 +122,5 @@ let suite =
       Alcotest.test_case "parse errors" `Quick test_parse_errors;
       Alcotest.test_case "parse valid text" `Quick test_parse_valid_text;
       qc prop_roundtrip;
+      qc prop_file_roundtrip;
     ] )

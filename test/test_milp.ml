@@ -36,8 +36,9 @@ let test_lp_builder () =
 
 let test_lp_bad_bounds () =
   let m = Lp.create () in
-  Alcotest.check_raises "lb > ub" (Invalid_argument "Lp.add_var bad: lb > ub") (fun () ->
-      ignore (Lp.add_var m ~lb:2. ~ub:1. "bad"))
+  Alcotest.check_raises "lb > ub"
+    (Robust.Failure.Error (Robust.Failure.Invalid_input "Lp.add_var bad: lb > ub"))
+    (fun () -> ignore (Lp.add_var m ~lb:2. ~ub:1. "bad"))
 
 (* --- LP solving through the relaxation --- *)
 

@@ -89,9 +89,13 @@ let test_cross_traffic () =
   check_int "32 deliveries" 32 (List.length delivered)
 
 let test_packet_invalid_args () =
-  Alcotest.check_raises "empty dests" (Invalid_argument "Packet.make: empty destination list")
+  (* malformed packets surface as typed robustness failures, not escaping
+     Invalid_argument *)
+  Alcotest.check_raises "empty dests"
+    (Robust.Failure.Error (Robust.Failure.Invalid_input "Packet.make: empty destination list"))
     (fun () -> ignore (Packet.make ~id:0 ~src:0 ~dests:[] ~flits:1 ~tensor:Dims.W ~step:0));
-  Alcotest.check_raises "zero flits" (Invalid_argument "Packet.make: flits < 1") (fun () ->
+  Alcotest.check_raises "zero flits"
+    (Robust.Failure.Error (Robust.Failure.Invalid_input "Packet.make: flits < 1")) (fun () ->
       ignore (Packet.make ~id:0 ~src:0 ~dests:[ 1 ] ~flits:0 ~tensor:Dims.W ~step:0))
 
 (* --- DRAM model --- *)

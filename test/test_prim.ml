@@ -146,6 +146,81 @@ let prop_percentile_monotone =
       let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
       Prim.Stats.percentile lo xs <= Prim.Stats.percentile hi xs +. 1e-9)
 
+(* --- Bigint / Ratio (exact arithmetic backing the certifier) --- *)
+
+module B = Prim.Bigint
+module R = Prim.Ratio
+
+let test_bigint_basics () =
+  check_int "of_int/to_int" 12345 (Option.get (B.to_int_opt (B.of_int 12345)));
+  check_int "neg" (-7) (Option.get (B.to_int_opt (B.neg (B.of_int 7))));
+  Alcotest.(check string) "to_string" "-12345" (B.to_string (B.of_int (-12345)));
+  check_int "min_int roundtrips" min_int (Option.get (B.to_int_opt (B.of_int min_int)));
+  (* 2^200 has no int representation but survives arithmetic *)
+  let big = B.shift_left B.one 200 in
+  check_bool "2^200 too big for int" true (B.to_int_opt big = None);
+  let q, r = B.divmod big (B.of_int 1_000_003) in
+  check_bool "divmod reconstructs" true
+    B.(equal big (add (mul q (B.of_int 1_000_003)) r));
+  check_int "gcd" 6 (Option.get (B.to_int_opt (B.gcd (B.of_int 54) (B.of_int (-24)))))
+
+let test_ratio_basics () =
+  let half = R.of_ints 1 2 and third = R.of_ints 1 3 in
+  Alcotest.(check string) "1/2 + 1/3" "5/6" (R.to_string (R.add half third));
+  Alcotest.(check string) "normalized" "-2/3" (R.to_string (R.of_ints 4 (-6)));
+  check_bool "0.1 is not 1/10 exactly" false (R.equal (R.of_float 0.1) (R.of_ints 1 10));
+  check_bool "0.5 is exactly 1/2" true (R.equal (R.of_float 0.5) half);
+  check_bool "is_integer" true (R.is_integer (R.of_int 42));
+  check_float "to_float" 0.75 (R.to_float (R.of_ints 3 4))
+
+let ratio_gen =
+  QCheck.Gen.(
+    map (fun (n, d) -> R.of_ints n d) (pair (int_range (-1000) 1000) (int_range 1 1000)))
+
+let ratio_arb = QCheck.make ~print:R.to_string ratio_gen
+
+let prop_ratio_ring =
+  QCheck.Test.make ~name:"ratio ring axioms (exact)" ~count:300
+    (QCheck.triple ratio_arb ratio_arb ratio_arb)
+    (fun (a, b, c) ->
+      R.equal (R.add a b) (R.add b a)
+      && R.equal (R.mul a b) (R.mul b a)
+      && R.equal (R.add (R.add a b) c) (R.add a (R.add b c))
+      && R.equal (R.mul (R.mul a b) c) (R.mul a (R.mul b c))
+      && R.equal (R.mul a (R.add b c)) (R.add (R.mul a b) (R.mul a c))
+      && R.equal (R.add a (R.of_int 0)) a
+      && R.equal (R.mul a (R.of_int 1)) a
+      && R.equal (R.sub a a) (R.of_int 0))
+
+let prop_ratio_normalized =
+  QCheck.Test.make ~name:"ratio stays normalized" ~count:300
+    (QCheck.pair ratio_arb ratio_arb)
+    (fun (a, b) ->
+      List.for_all
+        (fun r ->
+          B.sign (R.den r) = 1
+          && B.equal (B.gcd (R.num r) (R.den r)) B.one)
+        [ R.add a b; R.sub a b; R.mul a b ])
+
+let prop_ratio_compare_float =
+  (* on small integer-pair rationals the float images are exact, so exact
+     comparison must agree with the float reference *)
+  QCheck.Test.make ~name:"ratio compare agrees with float reference" ~count:300
+    QCheck.(pair (pair (int_range (-100) 100) (int_range 1 50))
+              (pair (int_range (-100) 100) (int_range 1 50)))
+    (fun ((n1, d1), (n2, d2)) ->
+      let a = R.of_ints n1 d1 and b = R.of_ints n2 d2 in
+      let fa = float_of_int n1 /. float_of_int d1
+      and fb = float_of_int n2 /. float_of_int d2 in
+      if Float.abs (fa -. fb) > 1e-9 then compare fa fb = R.compare a b else true)
+
+let prop_ratio_of_float_exact =
+  (* of_float is the exact dyadic decomposition: converting back must be
+     the identity, and exact sums of dyadics replay float sums *)
+  QCheck.Test.make ~name:"of_float exact roundtrip" ~count:300
+    QCheck.(float_range (-1e6) 1e6)
+    (fun f -> Float.equal (R.to_float (R.of_float f)) f)
+
 (* --- Texttab --- *)
 
 let test_texttab () =
@@ -181,6 +256,8 @@ let suite =
       Alcotest.test_case "stats basics" `Quick test_stats_basic;
       Alcotest.test_case "stats errors" `Quick test_stats_errors;
       Alcotest.test_case "histogram" `Quick test_histogram;
+      Alcotest.test_case "bigint basics" `Quick test_bigint_basics;
+      Alcotest.test_case "ratio basics" `Quick test_ratio_basics;
       Alcotest.test_case "texttab" `Quick test_texttab;
       qc prop_factor_product;
       qc prop_factors_prime;
@@ -188,4 +265,8 @@ let suite =
       qc prop_divisors_divide;
       qc prop_geomean_bounded;
       qc prop_percentile_monotone;
+      qc prop_ratio_ring;
+      qc prop_ratio_normalized;
+      qc prop_ratio_compare_float;
+      qc prop_ratio_of_float_exact;
     ] )
