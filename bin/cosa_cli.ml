@@ -34,6 +34,12 @@ let time_limit_arg =
                the simplex pivot loop, degrading through the fallback ladder if \
                it expires.")
 
+let node_limit_arg =
+  Arg.(value & opt int 50_000 & info [ "node-limit" ] ~docv:"NODES"
+         ~doc:"Per-attempt branch-and-bound node budget. Unlike --time-limit, \
+               node-bound termination is deterministic: make $(docv) the \
+               binding limit when byte-reproducible schedules matter.")
+
 let fault_seed_arg =
   Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED"
          ~doc:"Arm the deterministic fault-injection harness with $(docv). The \
@@ -86,12 +92,13 @@ let schedule_cmd =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
            ~doc:"Also write the schedule to $(docv) (cosa_cli evaluate reads it back).")
   in
-  let run arch_name layer_name strategy save time_limit fault_seed fault_rate certify =
+  let run arch_name layer_name strategy save node_limit time_limit fault_seed fault_rate
+      certify =
     let arch = arch_of_name arch_name in
     let layer = find_layer layer_name in
     let r =
       with_faults fault_seed fault_rate (fun () ->
-          Cosa.schedule ~strategy ~time_limit ~certify arch layer)
+          Cosa.schedule ~strategy ~node_limit ~time_limit ~certify arch layer)
     in
     (match save with
      | Some path ->
@@ -124,8 +131,64 @@ let schedule_cmd =
       e.Model.latency e.Model.energy_pj (100. *. e.Model.pe_utilization)
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Produce a CoSA schedule for a layer and report it.")
-    Term.(const run $ arch_arg $ layer_arg $ strategy_arg $ save_arg $ time_limit_arg
-          $ fault_seed_arg $ fault_rate_arg $ certify_arg)
+    Term.(const run $ arch_arg $ layer_arg $ strategy_arg $ save_arg $ node_limit_arg
+          $ time_limit_arg $ fault_seed_arg $ fault_rate_arg $ certify_arg)
+
+(* cosa_cli batch --network resnet50 --jobs 4 --cache-dir PATH *)
+let batch_cmd =
+  let network_arg =
+    Arg.(value & opt string "resnet50" & info [ "n"; "network" ] ~docv:"NETWORK"
+           ~doc:"Network to schedule (resnet50, resnext50; name matching is \
+                 case/dash-insensitive).")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Solve cache misses on $(docv) OCaml domains. Results are \
+                 deterministic: any $(docv) yields byte-identical schedules.")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"PATH"
+           ~doc:"Persist schedules under $(docv). Disk entries are \
+                 trust-but-verify: each is re-certified in exact arithmetic \
+                 before being served, and rejected entries fall through to a \
+                 live solve.")
+  in
+  let cache_size_arg =
+    Arg.(value & opt int 256 & info [ "cache-size" ] ~docv:"ENTRIES"
+           ~doc:"In-memory LRU capacity (distinct schedules).")
+  in
+  let strategy_conv =
+    Arg.enum [ ("auto", Cosa.Auto); ("joint", Cosa.Joint); ("two-stage", Cosa.Two_stage) ]
+  in
+  let strategy_arg =
+    Arg.(value & opt strategy_conv Cosa.Auto & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+           ~doc:"Solver strategy: auto, joint, or two-stage.")
+  in
+  let run arch_name network_name jobs cache_dir cache_size node_limit strategy time_limit
+      certify =
+    let arch = arch_of_name arch_name in
+    let net =
+      match Network.find network_name with
+      | Some n -> n
+      | None ->
+        Printf.eprintf "unknown network %S (available: %s)\n" network_name
+          (String.concat ", " (List.map (fun n -> n.Network.nname) Network.networks));
+        exit 1
+    in
+    let cache = Serve.Schedule_cache.create ?dir:cache_dir ~capacity:cache_size () in
+    let cfg =
+      Serve.Service.config ~strategy ~certify ~node_limit ~time_limit ~jobs arch
+    in
+    let report = Serve.Service.schedule_network ~cache cfg net in
+    print_string (Serve.Service.report_to_string report);
+    if report.Serve.Service.failed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Schedule a whole network: dedup shapes, serve from the certified \
+             schedule cache, solve misses on a domain pool.")
+    Term.(const run $ arch_arg $ network_arg $ jobs_arg $ cache_dir_arg $ cache_size_arg
+          $ node_limit_arg $ strategy_arg $ time_limit_arg $ certify_arg)
 
 (* cosa_cli exp <id> *)
 let exp_cmd =
@@ -235,4 +298,7 @@ let list_cmd =
 let () =
   let doc = "CoSA: scheduling spatial DNN accelerators by constrained optimization" in
   let info = Cmd.info "cosa_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ schedule_cmd; exp_cmd; simulate_cmd; evaluate_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ schedule_cmd; batch_cmd; exp_cmd; simulate_cmd; evaluate_cmd; list_cmd ]))

@@ -53,6 +53,34 @@ let capacity_words t i v =
 
 let num_pes t = t.levels.(t.noc_level).fanout
 
+(* Canonical content key: every field that influences scheduling decisions,
+   rendered on a single line with hex floats so the key is bit-stable. The
+   display [aname] is deliberately excluded — two specs with equal keys
+   produce identical schedules, so the key (not the name) is the
+   architecture's contribution to schedule-cache fingerprints. *)
+let key t =
+  let fl = Printf.sprintf "%h" in
+  let level l =
+    Printf.sprintf "%s,%d,%s,%d,%s,%s" l.lname l.capacity_bytes
+      (String.concat "+" (List.map Dims.tensor_name l.stores))
+      l.fanout (fl l.bandwidth_words) (fl l.energy_pj)
+  in
+  let noc n =
+    Printf.sprintf "%dx%d,%d,%d,%d,%b,%d,%s" n.mesh_x n.mesh_y n.flit_bits
+      n.router_latency n.link_latency n.multicast n.queue_depth (fl n.hop_energy_pj)
+  in
+  let dram d =
+    Printf.sprintf "%d,%d,%d,%d,%d,%s" d.banks d.row_bytes d.t_row_hit d.t_row_miss
+      d.burst_bytes (fl d.dram_bandwidth_words)
+  in
+  Printf.sprintf "levels=%s;noc_level=%d;mac_level=%d;noc=%s;dram=%s;mac=%s;bits=%s"
+    (String.concat "/" (Array.to_list (Array.map level t.levels)))
+    t.noc_level t.mac_level (noc t.noc) (dram t.dram) (fl t.mac_energy_pj)
+    (String.concat ","
+       (List.map
+          (fun v -> Printf.sprintf "%s:%d" (Dims.tensor_name v) (t.precision_bits v))
+          Dims.all_tensors))
+
 let simba_precision = function Dims.W | Dims.IA -> 8 | Dims.OA -> 24
 
 (* Energy-per-access values follow the relative ordering of Timeloop's

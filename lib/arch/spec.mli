@@ -61,6 +61,12 @@ val capacity_words : t -> int -> Dims.tensor -> float
 
 val num_pes : t -> int
 
+val key : t -> string
+(** Canonical single-line content key over every scheduling-relevant field
+    (levels, NoC, DRAM, energies, precisions — floats in hex), with the
+    display [aname] excluded. Equal keys mean interchangeable architectures;
+    used for schedule-cache fingerprints. *)
+
 val baseline : t
 (** Table V: 4x4 mesh of PEs; 64 MACs, 64 B registers, 3 KB accumulation
     buffer, 32 KB weight buffer, 8 KB input buffer per PE; 128 KB global

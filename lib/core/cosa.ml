@@ -23,6 +23,11 @@ type objective_breakdown = Cosa_objective.t = {
 
 type strategy = Auto | Joint | Two_stage
 
+let strategy_to_string = function
+  | Auto -> "auto"
+  | Joint -> "joint"
+  | Two_stage -> "two-stage"
+
 (* Which rung of the degradation ladder produced the returned mapping. *)
 type source = Milp_joint | Milp_two_stage | Heuristic_sampler | Trivial
 
@@ -85,7 +90,7 @@ let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4
     ?(deadline = Robust.Deadline.none) ?(heuristic_retries = 3) ?(certify = Warn) arch layer
     =
   let weights = match weights with Some w -> w | None -> calibrate arch in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Robust.Deadline.now () in
   (* effective budget: the tighter of the per-call time limit and the
      caller's absolute deadline; threaded through B&B into the simplex *)
   let dl = Robust.Deadline.tighten (Robust.Deadline.after time_limit) deadline in
@@ -94,7 +99,7 @@ let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4
   let chain () = Robust.Failure.dedup_consecutive (List.rev !failures) in
   let last_status = ref Milp.Bb.No_solution in
   let total_nodes = ref 0 in
-  let solve_time () = Unix.gettimeofday () -. t0 in
+  let solve_time () = Robust.Deadline.now () -. t0 in
   let finish ?(repaired = false) ~certification ~source mapping =
     {
       mapping;

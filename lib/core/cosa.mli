@@ -26,6 +26,8 @@ type strategy =
   | Joint  (** the paper's single joint MIP only *)
   | Two_stage  (** tiling/spatial MIP, then exact permutation sub-solve *)
 
+val strategy_to_string : strategy -> string
+
 type source =
   | Milp_joint  (** the paper's one-shot joint MIP *)
   | Milp_two_stage  (** tiling MIP + exact permutation sub-solve *)

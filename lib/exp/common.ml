@@ -18,8 +18,11 @@ let seed_of_string s = Hashtbl.hash s land 0xFFFFFF
 
 let schedule ?(metric = `Latency) arch layer sched =
   let metric_name = match metric with `Latency -> "lat" | `Energy -> "en" in
+  (* keyed by canonical shape, not display name: shape-equal layers (e.g.
+     the ResNet-50 stem reappearing in ResNeXt-50 under another name) are
+     solved once per (arch, scheduler, metric) across every experiment *)
   let key =
-    Printf.sprintf "%s/%s/%s/%s" arch.Spec.aname layer.Layer.name
+    Printf.sprintf "%s/%s/%s/%s" arch.Spec.aname (Layer.key layer)
       (scheduler_name sched)
       (match sched with Cosa_s -> "-" | Random_s | Hybrid_s -> metric_name)
   in

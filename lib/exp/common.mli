@@ -16,9 +16,12 @@ type scheduled = {
 
 val schedule :
   ?metric:[ `Latency | `Energy ] -> Spec.t -> Layer.t -> scheduler -> scheduled
-(** Cached. The metric selects what Random / Hybrid optimise for (CoSA's
-    mapping does not depend on it). Search-based schedulers use a seed
-    derived from the layer name, so results are reproducible. *)
+(** Cached by canonical layer shape ({!Layer.key}), so shape-equal layers
+    are scheduled once per (arch, scheduler, metric) across all tables and
+    figures regardless of display name. The metric selects what Random /
+    Hybrid optimise for (CoSA's mapping does not depend on it).
+    Search-based schedulers use a seed derived from the cache key, so
+    results are reproducible. *)
 
 val latency : Spec.t -> Mapping.t -> float
 val energy : Spec.t -> Mapping.t -> float

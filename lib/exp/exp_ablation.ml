@@ -245,14 +245,15 @@ let network () =
         List.map
           (fun sched ->
             let lat = ref 0. and en = ref 0. in
+            (* schedule each distinct shape once; weight by summed repeats *)
             List.iter
-              (fun (e : Network.entry) ->
+              (fun ((e : Network.entry), repeats) ->
                 let m = (Common.schedule arch e.Network.layer sched).Common.mapping in
                 let ev = Model.evaluate arch m in
-                let k = float_of_int e.Network.repeats in
+                let k = float_of_int repeats in
                 lat := !lat +. (k *. ev.Model.latency);
                 en := !en +. (k *. ev.Model.energy_pj))
-              net.Network.entries;
+              (Network.distinct net);
             (sched, !lat, !en))
           Common.[ Cosa_s; Random_s; Hybrid_s ]
       in

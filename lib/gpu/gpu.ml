@@ -88,7 +88,7 @@ type result = { tiling : tiling; latency : float; solve_time : float; evaluation
    (register/thread, block, grid) and of K to (chunk, rest); maximise
    log(threads) + log(block tiles) under log-capacity constraints. *)
 let cosa_schedule spec g =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Robust.Deadline.now () in
   let lp = Milp.Lp.create ~name:"cosa_gpu" () in
   let pad = Prim.Factorize.pad_to_factorable in
   let groups dim_n = Prim.Factorize.grouped_factors (pad dim_n) in
@@ -209,13 +209,13 @@ let cosa_schedule spec g =
     end
   in
   let tiling = repair tiling 64 in
-  { tiling; latency = latency spec g tiling; solve_time = Unix.gettimeofday () -. t0;
+  { tiling; latency = latency spec g tiling; solve_time = Robust.Deadline.now () -. t0;
     evaluations = 1 }
 
 let divisors_capped n cap = List.filter (fun d -> d <= cap) (Prim.Factorize.divisors n)
 
 let tvm_search ?(trials = 50) rng spec g =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Robust.Deadline.now () in
   let pad = Prim.Factorize.pad_to_factorable in
   let m = pad g.m and n = pad g.n and k = pad g.k in
   let dm = divisors_capped m 256 and dn = divisors_capped n 256 and dk = divisors_capped k 64 in
@@ -259,5 +259,5 @@ let tvm_search ?(trials = 50) rng spec g =
     best := t;
     best_lat := latency spec g t
   end;
-  { tiling = !best; latency = !best_lat; solve_time = Unix.gettimeofday () -. t0;
+  { tiling = !best; latency = !best_lat; solve_time = Robust.Deadline.now () -. t0;
     evaluations = !evals }

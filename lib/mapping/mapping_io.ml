@@ -143,3 +143,102 @@ let load path =
       ~finally:(fun () -> close_in ic)
       (fun () -> of_string (really_input_string ic (in_channel_length ic)))
   | exception Sys_error e -> Error e
+
+(* ---- provenance-carrying records ------------------------------------- *)
+
+type meta = {
+  weights : (float * float * float) option;
+  strategy : string;
+  source : string;
+  verdict : string;
+  objective : (float * float * float * float) option;
+  solve_time : float;
+}
+
+let default_meta =
+  { weights = None; strategy = ""; source = ""; verdict = ""; objective = None;
+    solve_time = 0. }
+
+(* Floats are rendered in C99 hex notation ("%h") and parsed back with
+   [float_of_string], which round-trips every finite double bit-exactly —
+   a schedule cache must reproduce objective values, not approximate
+   them. *)
+let fl = Printf.sprintf "%h"
+
+let meta_to_string m =
+  let buf = Buffer.create 256 in
+  (match m.weights with
+   | Some (u, c, t) ->
+     Buffer.add_string buf (Printf.sprintf "@weights %s %s %s\n" (fl u) (fl c) (fl t))
+   | None -> ());
+  if m.strategy <> "" then Buffer.add_string buf ("@strategy " ^ m.strategy ^ "\n");
+  if m.source <> "" then Buffer.add_string buf ("@source " ^ m.source ^ "\n");
+  if m.verdict <> "" then Buffer.add_string buf ("@certification " ^ m.verdict ^ "\n");
+  (match m.objective with
+   | Some (u, c, t, total) ->
+     Buffer.add_string buf
+       (Printf.sprintf "@objective %s %s %s %s\n" (fl u) (fl c) (fl t) (fl total))
+   | None -> ());
+  if m.solve_time <> 0. then
+    Buffer.add_string buf ("@solve-time " ^ fl m.solve_time ^ "\n");
+  Buffer.contents buf
+
+let record_to_string meta m = meta_to_string meta ^ to_string m
+
+let parse_floats what s k =
+  let parts = List.filter (( <> ) "") (String.split_on_char ' ' s) in
+  match List.map float_of_string_opt parts with
+  | fs when List.for_all Option.is_some fs -> k (List.map Option.get fs)
+  | _ -> Error (Printf.sprintf "bad float in @%s line" what)
+
+let parse_meta_line meta line =
+  match String.index_opt line ' ' with
+  | None -> Error (Printf.sprintf "malformed metadata line %S" line)
+  | Some i ->
+    let key = String.sub line 1 (i - 1) in
+    let rest = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+    (match key with
+     | "weights" ->
+       parse_floats key rest (function
+         | [ u; c; t ] -> Ok { meta with weights = Some (u, c, t) }
+         | _ -> Error "@weights needs three values")
+     | "strategy" -> Ok { meta with strategy = rest }
+     | "source" -> Ok { meta with source = rest }
+     | "certification" -> Ok { meta with verdict = rest }
+     | "objective" ->
+       parse_floats key rest (function
+         | [ u; c; t; total ] -> Ok { meta with objective = Some (u, c, t, total) }
+         | _ -> Error "@objective needs four values")
+     | "solve-time" ->
+       parse_floats key rest (function
+         | [ t ] -> Ok { meta with solve_time = t }
+         | _ -> Error "@solve-time needs one value")
+     | k -> Error (Printf.sprintf "unknown metadata key @%s" k))
+
+let record_of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec peel meta = function
+    | line :: rest when String.trim line = "" -> peel meta rest
+    | line :: rest when String.length (String.trim line) > 0 && (String.trim line).[0] = '@'
+      ->
+      let* meta = parse_meta_line meta (String.trim line) in
+      peel meta rest
+    | body ->
+      let* m = of_string (String.concat "\n" body) in
+      Ok (meta, m)
+  in
+  peel default_meta lines
+
+let save_record path meta m =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (record_to_string meta m))
+
+let load_record path =
+  match open_in path with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> record_of_string (really_input_string ic (in_channel_length ic)))
+  | exception Sys_error e -> Error e

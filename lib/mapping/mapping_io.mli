@@ -22,3 +22,48 @@ val save : string -> Mapping.t -> unit
 (** Write to a file. Raises [Sys_error] on I/O failure. *)
 
 val load : string -> (Mapping.t, string) result
+
+(** {2 Provenance-carrying records}
+
+    A record is a mapping preceded by optional [@key value] metadata lines
+    describing where the schedule came from: the objective weights and
+    strategy it was solved under, the degradation-ladder rung
+    ([Cosa.source] rendered as text), the certification verdict, the
+    objective breakdown, and the solve time. Floats are serialised as C99
+    hex literals, so every finite value round-trips bit-exactly — the
+    property safe cache persistence depends on.
+
+    {v
+    @weights 0x1p-1 0x1p+2 0x1.8p+1
+    @strategy auto
+    @source joint MIP
+    @certification ok
+    @objective 0x1.4p+3 0x1.1p+5 0x1.8p+4 0x1.9p+5
+    @solve-time 0x1.2p-3
+    layer <name> r=3 s=3 ...
+    level 0 ...
+    v} *)
+
+type meta = {
+  weights : (float * float * float) option;  (** w_util, w_comp, w_traf *)
+  strategy : string;  (** e.g. ["auto"], ["joint"], ["two-stage"] *)
+  source : string;  (** degradation-ladder rung, e.g. ["joint MIP"] *)
+  verdict : string;  (** certification verdict, e.g. ["ok"] / ["failed"] *)
+  objective : (float * float * float * float) option;
+      (** util, comp, traf, total (Eq. 12 breakdown) *)
+  solve_time : float;  (** seconds; 0 when unknown *)
+}
+
+val default_meta : meta
+(** All-absent metadata ([None]/[""]/[0.]); what a bare mapping file (the
+    pre-record format) parses to, so old files stay loadable. *)
+
+val record_to_string : meta -> Mapping.t -> string
+
+val record_of_string : string -> (meta * Mapping.t, string) result
+(** Absent metadata lines leave the corresponding {!default_meta} field;
+    malformed or unknown [@] lines are an [Error] (corruption must be
+    detected, not silently dropped). *)
+
+val save_record : string -> meta -> Mapping.t -> unit
+val load_record : string -> (meta * Mapping.t, string) result

@@ -137,7 +137,7 @@ let check_feasible ?(tol = 1e-6) model x =
 
 let solve ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.Deadline.none)
     ?(integrality_tol = 1e-6) ?priority ?(gap = 0.) ?warm_start model =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Robust.Deadline.now () in
   (* the effective budget is the tighter of the relative time limit and the
      caller's absolute deadline; both propagate into every node's simplex *)
   let dl = Robust.Deadline.tighten (Robust.Deadline.after time_limit) deadline in
@@ -291,7 +291,7 @@ let solve ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.Deadli
        plunge node bound
      done
    with Exit -> ());
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = Robust.Deadline.now () -. t0 in
   if Robust.Deadline.expired dl
      && not !explored_all
      && not (List.exists (Robust.Failure.equal Robust.Failure.Deadline_exceeded) !failures)

@@ -4,27 +4,45 @@
    monotonically. [none] never expires and costs one float compare per
    check, so inner loops can test unconditionally. *)
 
+(* Monotonic-safe clock shared by every deadline check and solve-time
+   measurement in the pipeline: wall-clock readings are latched through an
+   atomic high-water mark, so a system clock stepping backwards (NTP
+   adjustment, VM migration) can never make an elapsed-time delta negative,
+   un-expire a budget, or skew cache-warm latency numbers. The latch is
+   shared across domains, which also gives concurrent solvers a consistent
+   notion of "now". *)
+let high_water = Atomic.make 0.
+
+let now () =
+  let t = Unix.gettimeofday () in
+  let rec latch () =
+    let prev = Atomic.get high_water in
+    if t <= prev then prev
+    else if Atomic.compare_and_set high_water prev t then t
+    else latch ()
+  in
+  latch ()
+
 type t = { expires_at : float; mutable tripped : bool }
 
 let none = { expires_at = infinity; tripped = false }
 
 (* A deadline [seconds] from now; negative budgets expire immediately. *)
-let after seconds =
-  { expires_at = Unix.gettimeofday () +. Float.max 0. seconds; tripped = false }
+let after seconds = { expires_at = now () +. Float.max 0. seconds; tripped = false }
 
 let at expires_at = { expires_at; tripped = false }
 
 let expired t =
   t.tripped
   || (t.expires_at < infinity
-      && Unix.gettimeofday () >= t.expires_at
+      && now () >= t.expires_at
       && (t.tripped <- true;
           true))
 
 let remaining t =
   if t.tripped then 0.
   else if t.expires_at = infinity then infinity
-  else Float.max 0. (t.expires_at -. Unix.gettimeofday ())
+  else Float.max 0. (t.expires_at -. now ())
 
 let is_finite t = t.expires_at < infinity
 

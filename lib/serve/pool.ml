@@ -1,0 +1,54 @@
+(* Fixed pool of OCaml 5 domains for solving independent layers.
+
+   Work-stealing is a shared atomic index over an immutable item array;
+   each worker claims the next unclaimed index and writes its result into
+   that slot, so results always come back in input order no matter which
+   domain ran what or in which order they finished — the property the
+   batch determinism tests (`--jobs 1` vs `--jobs 4`) rely on.
+
+   One task failing must not sink the batch: every task runs under a typed
+   harness that converts a raised [Robust.Failure.Error] into that slot's
+   [Error] (and any other exception into [Invalid_input]), leaving the
+   remaining slots to complete normally. The scheduling pipeline below this
+   layer keeps per-task state local (solver state, RNGs, certificates), so
+   tasks are domain-safe as long as the fault-injection harness is not
+   armed (its plan is process-global). *)
+
+let wrap f x =
+  match f x with
+  | v -> Ok v
+  | exception Robust.Failure.Error fl -> Error fl
+  | exception e ->
+    Error (Robust.Failure.Invalid_input ("pool task raised: " ^ Printexc.to_string e))
+
+let run ~jobs f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let results =
+      Array.make n (Error (Robust.Failure.Invalid_input "pool: task never ran"))
+    in
+    let jobs = max 1 (min jobs n) in
+    if jobs = 1 then
+      (* inline: zero domain overhead, and the determinism baseline *)
+      Array.iteri (fun i x -> results.(i) <- wrap f x) items
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            results.(i) <- wrap f items.(i);
+            loop ()
+          end
+        in
+        loop ()
+      in
+      (* the calling domain is worker number [jobs] *)
+      let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join spawned
+    end;
+    Array.to_list results
+  end

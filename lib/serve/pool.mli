@@ -1,0 +1,16 @@
+(** Fixed domain pool with deterministic result ordering.
+
+    [run ~jobs f items] applies [f] to every item, using up to [jobs]
+    domains (the calling domain counts as one; [jobs <= 1] runs inline).
+    Results come back in input order regardless of completion order, and
+    each slot is independently typed: a task that raises
+    [Robust.Failure.Error f] yields [Error f] in its slot (any other
+    exception becomes [Invalid_input]) without affecting sibling tasks —
+    one layer blowing its deadline cannot sink the batch.
+
+    Deadlines propagate through the closure: callers capture the
+    per-request {!Robust.Deadline.t} in [f]; {!Robust.Deadline.now} and
+    deadline trips are domain-safe. Do not arm the process-global
+    fault-injection harness around a multi-domain run. *)
+
+val run : jobs:int -> ('a -> 'b) -> 'a list -> ('b, Robust.Failure.t) result list

@@ -1,0 +1,219 @@
+(* Bounded LRU of certified schedules, with optional on-disk persistence.
+
+   The memory tier is an exact LRU: a hash table from canonical fingerprint
+   to an intrusive doubly-linked node, list head = most recently used.
+   Everything this process solved or verified lives here and is served
+   as-is.
+
+   The disk tier is trust-but-verify. A file is only evidence, never
+   authority: on a disk probe the record must (1) carry the exact canonical
+   fingerprint of the request — the file name is just a hash, and hashes
+   can collide or files can be stale; (2) describe the same layer shape;
+   and (3) pass the exact-arithmetic mapping certificate against the
+   requested architecture. Anything else — unreadable file, parse error,
+   key mismatch, failed certificate — counts as [disk_rejects] and falls
+   through to a miss, so a corrupted cache directory can cost a re-solve
+   but can never crash the service or serve an invalid schedule.
+
+   Not domain-safe: the service performs all cache traffic on the
+   coordinating domain, before and after the solve fan-out. *)
+
+type entry = { meta : Mapping_io.meta; mapping : Mapping.t }
+
+type stats = {
+  mutable hits : int;  (* memory hits *)
+  mutable disk_hits : int;  (* disk probes that verified and were promoted *)
+  mutable misses : int;  (* full misses, after any disk probe *)
+  mutable disk_rejects : int;  (* unreadable/stale/uncertified disk records *)
+  mutable evictions : int;
+  mutable stores : int;
+}
+
+type node = {
+  key : string;  (* Fingerprint.canon *)
+  file_stem : string;  (* Fingerprint.hash *)
+  mutable value : entry;
+  mutable prev : node option;  (* toward head (more recent) *)
+  mutable next : node option;  (* toward tail (less recent) *)
+}
+
+type t = {
+  capacity : int;
+  dir : string option;
+  tbl : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  stats : stats;
+}
+
+let create ?dir ~capacity () =
+  if capacity < 1 then
+    raise (Robust.Failure.Error (Invalid_input "Schedule_cache.create: capacity < 1"));
+  (match dir with
+   | Some d when not (Sys.file_exists d) ->
+     (try Unix.mkdir d 0o755 with Unix.Unix_error _ -> ())
+   | _ -> ());
+  {
+    capacity;
+    dir;
+    tbl = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    stats =
+      { hits = 0; disk_hits = 0; misses = 0; disk_rejects = 0; evictions = 0; stores = 0 };
+  }
+
+let length t = Hashtbl.length t.tbl
+let capacity t = t.capacity
+let stats t = t.stats
+
+let hit_rate t =
+  let served = t.stats.hits + t.stats.disk_hits in
+  let total = served + t.stats.misses in
+  if total = 0 then 0. else float_of_int served /. float_of_int total
+
+(* ---- intrusive LRU list ---------------------------------------------- *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  match t.head with
+  | Some h when h == n -> ()
+  | _ ->
+    unlink t n;
+    push_front t n
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl n.key;
+    t.stats.evictions <- t.stats.evictions + 1
+
+(* Insert or refresh a memory entry (no disk traffic, no stats). *)
+let insert t fp entry =
+  let key = Fingerprint.canon fp in
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+    n.value <- entry;
+    touch t n
+  | None ->
+    if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+    let n =
+      { key; file_stem = Fingerprint.hash fp; value = entry; prev = None; next = None }
+    in
+    Hashtbl.add t.tbl key n;
+    push_front t n
+
+(* ---- disk tier -------------------------------------------------------- *)
+
+let file_path dir fp = Filename.concat dir (Fingerprint.hash fp ^ ".cosa")
+
+(* First line frames the record with the full canonical fingerprint; the
+   rest is a [Mapping_io] provenance record. *)
+let key_prefix = "key "
+
+let disk_write t fp entry =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+    (try
+       let path = file_path dir fp in
+       let tmp = path ^ ".tmp" in
+       let oc = open_out tmp in
+       Fun.protect
+         ~finally:(fun () -> close_out oc)
+         (fun () ->
+           output_string oc (key_prefix ^ Fingerprint.canon fp ^ "\n");
+           output_string oc (Mapping_io.record_to_string entry.meta entry.mapping));
+       Sys.rename tmp path
+     with Sys_error _ | Unix.Unix_error _ -> ())
+
+(* A disk probe that verifies before serving; any failure is a reject. *)
+let disk_load t ~arch ~layer fp =
+  match t.dir with
+  | None -> None
+  | Some dir ->
+    let path = file_path dir fp in
+    if not (Sys.file_exists path) then None
+    else begin
+      let reject () =
+        t.stats.disk_rejects <- t.stats.disk_rejects + 1;
+        None
+      in
+      let parsed =
+        try
+          let ic = open_in path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () ->
+              let text = really_input_string ic (in_channel_length ic) in
+              match String.index_opt text '\n' with
+              | Some i
+                when String.length text > String.length key_prefix
+                     && String.sub text 0 (String.length key_prefix) = key_prefix ->
+                let canon = String.sub text (String.length key_prefix)
+                    (i - String.length key_prefix)
+                in
+                let rest = String.sub text (i + 1) (String.length text - i - 1) in
+                Some (canon, Mapping_io.record_of_string rest)
+              | _ -> None)
+        with _ -> None (* unreadable or truncated: reject, never crash *)
+      in
+      match parsed with
+      | None | Some (_, Error _) -> reject ()
+      | Some (canon, Ok (meta, mapping)) ->
+        if canon <> Fingerprint.canon fp then reject () (* collision or stale *)
+        else if Layer.key mapping.Mapping.layer <> Layer.key layer then reject ()
+        else begin
+          (* trust-but-verify: re-certify against the *requested*
+             architecture in exact arithmetic before serving *)
+          match Certify.Mapping_cert.check arch mapping with
+          | Certify.Certificate.Certified ->
+            t.stats.disk_hits <- t.stats.disk_hits + 1;
+            insert t fp { meta; mapping };
+            Some { meta; mapping }
+          | Certify.Certificate.Violated _ | (exception Robust.Failure.Error _) ->
+            reject ()
+        end
+    end
+
+(* ---- public API ------------------------------------------------------- *)
+
+type tier = Memory | Disk
+
+let find t ~arch ~layer fp =
+  match Hashtbl.find_opt t.tbl (Fingerprint.canon fp) with
+  | Some n ->
+    t.stats.hits <- t.stats.hits + 1;
+    touch t n;
+    Some (n.value, Memory)
+  | None ->
+    (match disk_load t ~arch ~layer fp with
+     | Some entry -> Some (entry, Disk)
+     | None ->
+       t.stats.misses <- t.stats.misses + 1;
+       None)
+
+let store t fp entry =
+  t.stats.stores <- t.stats.stores + 1;
+  insert t fp entry;
+  disk_write t fp entry
+
+let lru_keys t =
+  (* head (most recent) first *)
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.file_stem :: acc) n.next
+  in
+  go [] t.head

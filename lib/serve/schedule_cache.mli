@@ -1,0 +1,52 @@
+(** Bounded LRU of schedules with optional on-disk persistence.
+
+    The memory tier is an exact least-recently-used cache (capacity counts
+    entries). The disk tier, enabled by [create ~dir], is trust-but-verify:
+    a disk record is served only after its framed canonical fingerprint
+    matches the request, its layer shape matches, and the mapping passes
+    {!Certify.Mapping_cert} against the requested architecture in exact
+    arithmetic. Unreadable, stale, colliding or uncertifiable records count
+    as [disk_rejects] and behave as misses — a corrupted cache directory
+    can cost a re-solve, never a crash or an invalid schedule.
+
+    Not domain-safe: callers must confine cache traffic to one domain (the
+    batch service probes before, and stores after, its solve fan-out). *)
+
+type entry = { meta : Mapping_io.meta; mapping : Mapping.t }
+
+type stats = {
+  mutable hits : int;  (** memory hits *)
+  mutable disk_hits : int;  (** verified disk records, promoted to memory *)
+  mutable misses : int;  (** full misses (after any disk probe) *)
+  mutable disk_rejects : int;  (** disk records rejected by framing/certification *)
+  mutable evictions : int;
+  mutable stores : int;
+}
+
+type t
+
+type tier = Memory | Disk
+
+val create : ?dir:string -> capacity:int -> unit -> t
+(** Raises [Robust.Failure.Error (Invalid_input _)] when [capacity < 1].
+    [dir] is created if missing; persistence failures are silent
+    (best-effort disk tier). *)
+
+val find : t -> arch:Spec.t -> layer:Layer.t -> Fingerprint.t -> (entry * tier) option
+(** Memory first (promotes to most-recent), then disk with verification
+    (promotes into memory). Updates {!stats}. *)
+
+val store : t -> Fingerprint.t -> entry -> unit
+(** Insert as most-recent, evicting the LRU entry at capacity, and persist
+    to [dir] when configured (atomic write-then-rename). *)
+
+val length : t -> int
+val capacity : t -> int
+val stats : t -> stats
+
+val hit_rate : t -> float
+(** Served-from-cache fraction of all {!find} calls so far, in [0;1]. *)
+
+val lru_keys : t -> string list
+(** File stems (fingerprint hashes), most recently used first — exposed for
+    tests asserting eviction order. *)

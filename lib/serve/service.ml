@@ -1,0 +1,247 @@
+(* The batch scheduling service.
+
+   [schedule_network] turns a whole-network request into the minimum amount
+   of solver work: entries are deduplicated by fingerprint (via
+   [Network.distinct] — shape-equal layers share one solve), the cache is
+   probed for each distinct shape, and only the misses go to the domain
+   pool. Cache traffic stays on the coordinating domain (the cache is not
+   domain-safe); the pool only ever runs [Cosa.schedule], whose state is
+   all request-local. Results are expanded by each shape's summed repeat
+   count into repetition-weighted network latency/energy totals. *)
+
+type config = {
+  arch : Spec.t;
+  weights : Cosa.weights;
+  strategy : Cosa.strategy;
+  certify : Cosa.certify_mode;
+  node_limit : int;  (* per-attempt branch-and-bound node budget *)
+  time_limit : float;  (* per-layer budget, as in [Cosa.schedule] *)
+  deadline : Robust.Deadline.t;  (* batch-wide absolute deadline *)
+  jobs : int;
+}
+
+let config ?weights ?(strategy = Cosa.Auto) ?(certify = Cosa.Warn) ?(node_limit = 50_000)
+    ?(time_limit = 4.) ?(deadline = Robust.Deadline.none) ?(jobs = 1) arch =
+  {
+    arch;
+    weights = (match weights with Some w -> w | None -> Cosa.calibrate arch);
+    strategy;
+    certify;
+    node_limit;
+    time_limit;
+    deadline;
+    jobs = max 1 jobs;
+  }
+
+type origin = Cache_memory | Cache_disk | Solved of Cosa.source
+
+let origin_to_string = function
+  | Cache_memory -> "cache(mem)"
+  | Cache_disk -> "cache(disk)"
+  | Solved s -> Cosa.source_to_string s
+
+type served = {
+  mapping : Mapping.t;
+  objective : Cosa.objective_breakdown;
+  origin : origin;
+  verdict : string;  (* certification verdict token: ok / skipped / failed *)
+  solve_time : float;  (* this request's wall time for the shape; ~0 on hits *)
+  fallback_chain : Robust.Failure.t list;  (* empty for cache hits *)
+}
+
+type layer_report = {
+  layer : Layer.t;
+  repeats : int;
+  served : (served, Robust.Failure.t) result;
+  latency : float;  (* per instance, model cycles; 0 when failed *)
+  energy_pj : float;
+}
+
+type report = {
+  network_name : string;
+  layers : layer_report list;  (* one per distinct shape, network order *)
+  instances : int;
+  distinct : int;
+  served_from_cache : int;
+  failed : int;
+  total_latency : float;  (* repetition-weighted cycles *)
+  total_energy_pj : float;
+  solve_p50 : float;
+  solve_p95 : float;
+  cache_stats : Schedule_cache.stats option;
+  wall_time : float;
+}
+
+let verdict_token = function
+  | Cosa.Cert_skipped -> "skipped"
+  | Cosa.Cert_ok -> "ok"
+  | Cosa.Cert_failed _ -> "failed"
+
+let meta_of_result cfg (r : Cosa.result) =
+  {
+    Mapping_io.weights =
+      Some (cfg.weights.Cosa.w_util, cfg.weights.Cosa.w_comp, cfg.weights.Cosa.w_traf);
+    strategy = Cosa.strategy_to_string cfg.strategy;
+    source = Cosa.source_to_string r.Cosa.source;
+    verdict = verdict_token r.Cosa.certification;
+    objective =
+      Some
+        ( r.Cosa.objective.Cosa.util, r.Cosa.objective.Cosa.comp,
+          r.Cosa.objective.Cosa.traf, r.Cosa.objective.Cosa.total );
+    solve_time = r.Cosa.solve_time;
+  }
+
+let schedule_network ?cache cfg (net : Network.t) =
+  let t0 = Robust.Deadline.now () in
+  let dedup = Network.distinct net in
+  (* 1. probe the cache for every distinct shape (coordinator domain) *)
+  let probed =
+    List.map
+      (fun ((e : Network.entry), reps) ->
+        let fp =
+          Fingerprint.make ~weights:cfg.weights ~strategy:cfg.strategy
+            ~certify:cfg.certify cfg.arch e.Network.layer
+        in
+        let hit =
+          Option.bind cache (fun c ->
+              Schedule_cache.find c ~arch:cfg.arch ~layer:e.Network.layer fp)
+        in
+        (e, reps, fp, hit))
+      dedup
+  in
+  (* 2. fan the misses out over the domain pool *)
+  let misses =
+    List.filter_map
+      (fun (e, _, fp, hit) -> if Option.is_none hit then Some (e, fp) else None)
+      probed
+  in
+  let solve ((e : Network.entry), _fp) =
+    let t = Robust.Deadline.now () in
+    let r =
+      Cosa.schedule ~weights:cfg.weights ~strategy:cfg.strategy
+        ~node_limit:cfg.node_limit ~time_limit:cfg.time_limit ~deadline:cfg.deadline
+        ~certify:cfg.certify cfg.arch e.Network.layer
+    in
+    (r, Robust.Deadline.now () -. t)
+  in
+  let solved = Pool.run ~jobs:cfg.jobs solve misses in
+  (* 3. store fresh certified results and index them (coordinator domain) *)
+  let by_canon = Hashtbl.create 32 in
+  List.iter2
+    (fun (_, fp) res ->
+      Hashtbl.replace by_canon (Fingerprint.canon fp) res;
+      match (cache, res) with
+      | Some c, Ok ((r : Cosa.result), _) ->
+        (* don't persist a schedule known to have failed certification *)
+        (match r.Cosa.certification with
+         | Cosa.Cert_failed _ -> ()
+         | Cosa.Cert_skipped | Cosa.Cert_ok ->
+           Schedule_cache.store c fp
+             { Schedule_cache.meta = meta_of_result cfg r; mapping = r.Cosa.mapping })
+      | _ -> ())
+    misses solved;
+  (* 4. expand by repeats into the weighted report *)
+  let layers =
+    List.map
+      (fun ((e : Network.entry), reps, fp, hit) ->
+        let served =
+          match hit with
+          | Some ((entry : Schedule_cache.entry), tier) ->
+            Ok
+              {
+                mapping = entry.Schedule_cache.mapping;
+                objective =
+                  Cosa.breakdown_of_mapping ~weights:cfg.weights cfg.arch
+                    entry.Schedule_cache.mapping;
+                origin =
+                  (match tier with
+                   | Schedule_cache.Memory -> Cache_memory
+                   | Schedule_cache.Disk -> Cache_disk);
+                verdict = entry.Schedule_cache.meta.Mapping_io.verdict;
+                solve_time = 0.;
+                fallback_chain = [];
+              }
+          | None ->
+            (match Hashtbl.find_opt by_canon (Fingerprint.canon fp) with
+             | Some (Ok ((r : Cosa.result), dt)) ->
+               Ok
+                 {
+                   mapping = r.Cosa.mapping;
+                   objective = r.Cosa.objective;
+                   origin = Solved r.Cosa.source;
+                   verdict = verdict_token r.Cosa.certification;
+                   solve_time = dt;
+                   fallback_chain = r.Cosa.fallback_chain;
+                 }
+             | Some (Error f) -> Error f
+             | None -> Error (Robust.Failure.Invalid_input "service: lost solve result"))
+        in
+        let latency, energy_pj =
+          match served with
+          | Ok s ->
+            let ev = Model.evaluate cfg.arch s.mapping in
+            (ev.Model.latency, ev.Model.energy_pj)
+          | Error _ -> (0., 0.)
+        in
+        { layer = e.Network.layer; repeats = reps; served; latency; energy_pj })
+      probed
+  in
+  let sum f = List.fold_left (fun acc lr -> acc +. f lr) 0. layers in
+  let solve_times =
+    List.map (fun lr -> match lr.served with Ok s -> s.solve_time | Error _ -> 0.) layers
+  in
+  let pct p = match solve_times with [] -> 0. | ts -> Prim.Stats.percentile p ts in
+  {
+    network_name = net.Network.nname;
+    layers;
+    instances = Network.layer_count net;
+    distinct = List.length dedup;
+    served_from_cache =
+      List.length (List.filter (fun (_, _, _, h) -> Option.is_some h) probed);
+    failed = List.length (List.filter (fun lr -> Result.is_error lr.served) layers);
+    total_latency = sum (fun lr -> float_of_int lr.repeats *. lr.latency);
+    total_energy_pj = sum (fun lr -> float_of_int lr.repeats *. lr.energy_pj);
+    solve_p50 = pct 50.;
+    solve_p95 = pct 95.;
+    cache_stats = Option.map Schedule_cache.stats cache;
+    wall_time = Robust.Deadline.now () -. t0;
+  }
+
+let report_to_string r =
+  let buf = Buffer.create 2048 in
+  let tab =
+    Prim.Texttab.create
+      [ "layer"; "x"; "served by"; "cert"; "solve (s)"; "latency (cyc)"; "energy (pJ)" ]
+  in
+  List.iter
+    (fun lr ->
+      match lr.served with
+      | Ok s ->
+        Prim.Texttab.add_row tab
+          [ lr.layer.Layer.name; string_of_int lr.repeats; origin_to_string s.origin;
+            s.verdict; Printf.sprintf "%.3f" s.solve_time;
+            Printf.sprintf "%.0f" lr.latency; Printf.sprintf "%.3g" lr.energy_pj ]
+      | Error f ->
+        Prim.Texttab.add_row tab
+          [ lr.layer.Layer.name; string_of_int lr.repeats;
+            "FAILED: " ^ Robust.Failure.to_string f; "-"; "-"; "-"; "-" ])
+    r.layers;
+  Buffer.add_string buf (Prim.Texttab.render tab);
+  Buffer.add_string buf
+    (Printf.sprintf "\nbatch %s: %d instances, %d distinct shapes, %d served from cache, %d failed\n"
+       r.network_name r.instances r.distinct r.served_from_cache r.failed);
+  Buffer.add_string buf
+    (Printf.sprintf "total network latency: %.0f cycles\ntotal network energy: %.6g pJ\n"
+       r.total_latency r.total_energy_pj);
+  Buffer.add_string buf
+    (Printf.sprintf "solve time p50/p95: %.3f/%.3f s\n" r.solve_p50 r.solve_p95);
+  (match r.cache_stats with
+   | Some s ->
+     Buffer.add_string buf
+       (Printf.sprintf
+          "cache: hits=%d disk_hits=%d misses=%d disk_rejects=%d evictions=%d stores=%d\n"
+          s.Schedule_cache.hits s.Schedule_cache.disk_hits s.Schedule_cache.misses
+          s.Schedule_cache.disk_rejects s.Schedule_cache.evictions s.Schedule_cache.stores)
+   | None -> ());
+  Buffer.add_string buf (Printf.sprintf "wall time: %.3f s\n" r.wall_time);
+  Buffer.contents buf

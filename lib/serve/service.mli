@@ -1,0 +1,84 @@
+(** Domain-parallel batch scheduling with a certified schedule cache.
+
+    [schedule_network] serves a whole network in one call: entries are
+    deduplicated by content fingerprint (shape-equal layers share one
+    solve), the {!Schedule_cache} is probed per distinct shape, misses are
+    solved concurrently on a {!Pool} of OCaml 5 domains, and results are
+    expanded by each shape's summed repeat count into repetition-weighted
+    network totals. Per-layer failures are typed and isolated: one layer
+    blowing its budget degrades that layer (or marks it failed), never the
+    batch. *)
+
+type config = {
+  arch : Spec.t;
+  weights : Cosa.weights;
+  strategy : Cosa.strategy;
+  certify : Cosa.certify_mode;
+  node_limit : int;  (** per-attempt branch-and-bound node budget *)
+  time_limit : float;  (** per-layer budget (seconds) *)
+  deadline : Robust.Deadline.t;  (** batch-wide absolute deadline *)
+  jobs : int;  (** domain-pool width; 1 = inline *)
+}
+
+val config :
+  ?weights:Cosa.weights ->
+  ?strategy:Cosa.strategy ->
+  ?certify:Cosa.certify_mode ->
+  ?node_limit:int ->
+  ?time_limit:float ->
+  ?deadline:Robust.Deadline.t ->
+  ?jobs:int ->
+  Spec.t ->
+  config
+(** Defaults mirror {!Cosa.schedule} ([strategy Auto], [certify Warn],
+    [node_limit 50_000], [time_limit 4.], no deadline, [jobs 1]); absent
+    [weights] are calibrated from the architecture.
+
+    Determinism note: results are bit-deterministic across [jobs] counts
+    and runs whenever solves terminate on optimality or the node budget
+    rather than a wall-clock cutoff — choose [node_limit] (deterministic)
+    as the binding budget and keep [time_limit]/[deadline] as safety nets
+    when reproducibility matters. *)
+
+type origin = Cache_memory | Cache_disk | Solved of Cosa.source
+
+val origin_to_string : origin -> string
+
+type served = {
+  mapping : Mapping.t;
+  objective : Cosa.objective_breakdown;
+  origin : origin;
+  verdict : string;  (** certification verdict token: ok / skipped / failed *)
+  solve_time : float;  (** this request's wall time for the shape; ~0 on hits *)
+  fallback_chain : Robust.Failure.t list;  (** empty for cache hits *)
+}
+
+type layer_report = {
+  layer : Layer.t;
+  repeats : int;  (** summed over shape-equal entries *)
+  served : (served, Robust.Failure.t) result;
+  latency : float;  (** per instance, model cycles; 0 when failed *)
+  energy_pj : float;
+}
+
+type report = {
+  network_name : string;
+  layers : layer_report list;  (** one per distinct shape, network order *)
+  instances : int;
+  distinct : int;
+  served_from_cache : int;
+  failed : int;
+  total_latency : float;  (** repetition-weighted cycles *)
+  total_energy_pj : float;
+  solve_p50 : float;  (** per-shape serve-time percentiles (seconds) *)
+  solve_p95 : float;
+  cache_stats : Schedule_cache.stats option;
+  wall_time : float;
+}
+
+val schedule_network : ?cache:Schedule_cache.t -> config -> Network.t -> report
+(** Never raises. Cache traffic runs on the calling domain only; the pool
+    runs nothing but [Cosa.schedule]. Freshly solved schedules are stored
+    back unless their certificate failed. *)
+
+val report_to_string : report -> string

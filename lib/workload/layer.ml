@@ -57,6 +57,11 @@ let factor_groups t =
       List.map (fun (p, m) -> (d, p, m)) (Prim.Factorize.grouped_factors (padded_bound t d)))
     Dims.all_dims
 
+let key t =
+  Printf.sprintf "r%d.s%d.p%d.q%d.c%d.k%d.n%d.st%d" t.r t.s t.p t.q t.c t.k t.n t.stride
+
+let equal_shape a b = key a = key b
+
 let label t = label_of ~r:t.r ~p:t.p ~c:t.c ~k:t.k ~stride:t.stride
 
 let to_string t =

@@ -52,6 +52,16 @@ val factors : t -> (Dims.dim * int) list
 val factor_groups : t -> (Dims.dim * int * int) list
 (** {!factors} grouped as (dim, prime, multiplicity). *)
 
+val key : t -> string
+(** Canonical shape key: all seven loop bounds plus the stride, with the
+    display [name] deliberately excluded. Two layers with equal keys are
+    interchangeable for scheduling — every mapper, the analytical model and
+    the certifiers see only the dimensions — so the key is the layer's
+    contribution to schedule-cache fingerprints and shape deduplication. *)
+
+val equal_shape : t -> t -> bool
+(** Structural equality on {!key} (name-blind). *)
+
 val label : t -> string
 (** The paper's x-axis label: [R_P_C_K_Stride]. *)
 

@@ -71,9 +71,43 @@ let resnext50 =
 
 let layer_count t = List.fold_left (fun acc e -> acc + e.repeats) 0 t.entries
 
+(* Shape deduplication: entries whose layers have equal canonical shape
+   keys collapse to the first occurrence with their repeats summed, so a
+   scheduler solves each distinct shape exactly once and weights the result
+   by the combined instance count. Order follows first occurrence. *)
+let distinct t =
+  let tbl : (string, int ref) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let k = Layer.key e.layer in
+      match Hashtbl.find_opt tbl k with
+      | Some r -> r := !r + e.repeats
+      | None ->
+        let r = ref e.repeats in
+        Hashtbl.add tbl k r;
+        order := (e, r) :: !order)
+    t.entries;
+  List.rev_map (fun (e, r) -> (e, !r)) !order
+
+let distinct_count t = List.length (distinct t)
+
 let total_macs t =
   List.fold_left
     (fun acc e -> acc +. (float_of_int e.repeats *. float_of_int (Layer.macs e.layer)))
     0. t.entries
 
 let networks = [ resnet50; resnext50 ]
+
+(* Lookup tolerant of the usual spellings: "resnet50", "ResNet-50", ... *)
+let find name =
+  let canon s =
+    String.concat ""
+      (List.filter_map
+         (fun c ->
+           match Char.lowercase_ascii c with
+           | ('a' .. 'z' | '0' .. '9') as l -> Some (String.make 1 l)
+           | _ -> None)
+         (List.init (String.length s) (String.get s)))
+  in
+  List.find_opt (fun n -> canon n.nname = canon name) networks

@@ -22,6 +22,18 @@ val resnext50 : t
 val layer_count : t -> int
 (** Total layer instances (sum of repeats). *)
 
+val distinct : t -> (entry * int) list
+(** Shape-deduplicated entries: layers with equal {!Layer.key}s collapse to
+    their first occurrence, repeats summed — the work-list a batch
+    scheduler actually has to solve. First-occurrence order; the summed
+    repeats of all groups add up to {!layer_count}. *)
+
+val distinct_count : t -> int
+
+val find : string -> t option
+(** Case-, dash- and underscore-insensitive lookup in {!networks}
+    (["resnet50"] finds ResNet-50). *)
+
 val total_macs : t -> float
 
 val networks : t list

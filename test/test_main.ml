@@ -26,6 +26,7 @@ let () =
       Test_gpu.suite;
       Test_exp.suite;
       Test_exp_common.suite;
+      Test_serve.suite;
       Test_integration.suite;
       Test_crossval.suite;
     ]

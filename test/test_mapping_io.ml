@@ -97,6 +97,75 @@ let test_parse_valid_text () =
     Alcotest.(check int) "six levels" 6 (Array.length m.Mapping.levels);
     Alcotest.(check int) "K spatial" 8 (Mapping.spatial_product m 0)
 
+(* ---- provenance-carrying records -------------------------------------- *)
+
+let meta_eq (a : Mapping_io.meta) (b : Mapping_io.meta) =
+  (* bit-exact float comparison is the point: %h must round-trip doubles *)
+  a.Mapping_io.weights = b.Mapping_io.weights
+  && a.Mapping_io.strategy = b.Mapping_io.strategy
+  && a.Mapping_io.source = b.Mapping_io.source
+  && a.Mapping_io.verdict = b.Mapping_io.verdict
+  && a.Mapping_io.objective = b.Mapping_io.objective
+  && a.Mapping_io.solve_time = b.Mapping_io.solve_time
+
+let test_record_roundtrip () =
+  let layer = Zoo.find "g3_56_4_4_1" in
+  let m = Cosa.trivial_mapping arch layer in
+  let meta =
+    { Mapping_io.weights = Some (0.1, 1e-300, 12345.6789);
+      strategy = "two-stage"; source = "two-stage MIP"; verdict = "ok";
+      objective = Some (1. /. 3., Float.pi, 0x1.fffffffffffffp-2, 98.34);
+      solve_time = 0.4375 }
+  in
+  let path = Filename.temp_file "cosa_rec" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Mapping_io.save_record path meta m;
+      match Mapping_io.load_record path with
+      | Error e -> Alcotest.fail e
+      | Ok (meta', m') ->
+        check_bool "meta bit-exact" true (meta_eq meta meta');
+        Alcotest.(check string) "mapping preserved" (Mapping.fingerprint m)
+          (Mapping.fingerprint m'));
+  (* a bare legacy mapping (no @-lines) still loads, with default meta *)
+  (match Mapping_io.record_of_string (Mapping_io.to_string m) with
+   | Ok (meta', m') ->
+     check_bool "legacy text gets default meta" true
+       (meta_eq Mapping_io.default_meta meta');
+     Alcotest.(check string) "legacy mapping intact" (Mapping.fingerprint m)
+       (Mapping.fingerprint m')
+   | Error e -> Alcotest.fail e);
+  (* unknown metadata keys are an error, not silently dropped *)
+  (match Mapping_io.record_of_string ("@bogus 1\n" ^ Mapping_io.to_string m) with
+   | Ok _ -> Alcotest.fail "unknown @key should be rejected"
+   | Error _ -> ())
+
+(* property: records round-trip any finite provenance floats bit-exactly,
+   including subnormals and values with no short decimal form *)
+let prop_record_roundtrip =
+  let finite = QCheck.Gen.map (fun (a, b) -> Int64.float_of_bits (Int64.logxor (Int64.of_int a) (Int64.shift_left (Int64.of_int b) 31))) QCheck.Gen.(pair (int_bound max_int) (int_bound max_int)) in
+  let finite = QCheck.Gen.map (fun f -> if Float.is_nan f || Float.abs f = infinity then 0.5 else f) finite in
+  QCheck.Test.make ~name:"provenance records roundtrip floats bit-exactly" ~count:50
+    (QCheck.make
+       ~print:(fun (u, c, t, total, st) ->
+         Printf.sprintf "%h %h %h %h %h" u c t total st)
+       QCheck.Gen.(
+         map
+           (fun (u, (c, (t, (total, st)))) -> (u, c, t, total, st))
+           (pair finite (pair finite (pair finite (pair finite finite))))))
+    (fun (u, c, t, total, st) ->
+      let layer = Zoo.find "g3_56_4_4_1" in
+      let m = Cosa.trivial_mapping arch layer in
+      let meta =
+        { Mapping_io.weights = Some (u, c, t); strategy = "auto"; source = "joint MIP";
+          verdict = "skipped"; objective = Some (u, c, t, total); solve_time = st }
+      in
+      match Mapping_io.record_of_string (Mapping_io.record_to_string meta m) with
+      | Error _ -> false
+      | Ok (meta', m') ->
+        meta_eq meta meta' && Mapping.fingerprint m = Mapping.fingerprint m')
+
 let prop_roundtrip =
   QCheck.Test.make ~name:"serialisation roundtrips random valid mappings" ~count:40
     (QCheck.make
@@ -121,6 +190,8 @@ let suite =
       Alcotest.test_case "file roundtrip" `Quick test_roundtrip_file;
       Alcotest.test_case "parse errors" `Quick test_parse_errors;
       Alcotest.test_case "parse valid text" `Quick test_parse_valid_text;
+      Alcotest.test_case "record roundtrip" `Quick test_record_roundtrip;
       qc prop_roundtrip;
       qc prop_file_roundtrip;
+      qc prop_record_roundtrip;
     ] )

@@ -1,0 +1,281 @@
+(* Tests for the batch scheduling service: fingerprints, the certified
+   LRU schedule cache (memory + trust-but-verify disk tier), the domain
+   pool, and the end-to-end service counters. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let arch = Spec.baseline
+let weights = Cosa.calibrate arch
+
+(* Small layers so every live solve in this suite is fast; node-bound
+   two-stage solves are also deterministic (see the bench). *)
+let layer_a = Layer.create ~name:"srv_a" ~r:1 ~s:1 ~p:4 ~q:4 ~c:8 ~k:8 ~n:1 ()
+let layer_b = Layer.create ~name:"srv_b" ~r:3 ~s:3 ~p:4 ~q:4 ~c:4 ~k:8 ~n:1 ()
+let layer_c = Layer.create ~name:"srv_c" ~r:1 ~s:1 ~p:8 ~q:8 ~c:4 ~k:4 ~n:1 ()
+
+let fp ?(weights = weights) ?(strategy = Cosa.Two_stage) ?(certify = Cosa.Warn) layer =
+  Serve.Fingerprint.make ~weights ~strategy ~certify arch layer
+
+let entry_of layer =
+  { Serve.Schedule_cache.meta = Mapping_io.default_meta;
+    mapping = Cosa.trivial_mapping arch layer }
+
+let fast_config ?jobs () =
+  Serve.Service.config ~strategy:Cosa.Two_stage ~node_limit:2_000 ~time_limit:60.
+    ?jobs arch
+
+let net_of ~name entries =
+  { Network.nname = name;
+    entries = List.map (fun (l, repeats) -> { Network.layer = l; repeats }) entries }
+
+(* ---- fingerprints ----------------------------------------------------- *)
+
+let test_fingerprint () =
+  (* name-blind: same shape under a different name is the same request *)
+  let renamed = Layer.create ~name:"other" ~r:1 ~s:1 ~p:4 ~q:4 ~c:8 ~k:8 ~n:1 () in
+  check_bool "name-blind equal" true (Serve.Fingerprint.equal (fp layer_a) (fp renamed));
+  check_bool "hash agrees" true
+    (Serve.Fingerprint.hash (fp layer_a) = Serve.Fingerprint.hash (fp renamed));
+  (* every input the answer depends on separates requests *)
+  check_bool "layers differ" false (Serve.Fingerprint.equal (fp layer_a) (fp layer_b));
+  check_bool "weights differ" false
+    (Serve.Fingerprint.equal (fp layer_a)
+       (fp ~weights:{ weights with Cosa.w_util = weights.Cosa.w_util +. 1. } layer_a));
+  check_bool "strategy differs" false
+    (Serve.Fingerprint.equal (fp layer_a) (fp ~strategy:Cosa.Joint layer_a));
+  check_bool "certify differs" false
+    (Serve.Fingerprint.equal (fp layer_a) (fp ~certify:Cosa.Strict layer_a));
+  check_int "hash is 16 hex chars" 16 (String.length (Serve.Fingerprint.hash (fp layer_a)))
+
+(* ---- LRU memory tier -------------------------------------------------- *)
+
+let test_lru_eviction () =
+  let c = Serve.Schedule_cache.create ~capacity:2 () in
+  let fa = fp layer_a and fb = fp layer_b and fc = fp layer_c in
+  Serve.Schedule_cache.store c fa (entry_of layer_a);
+  Serve.Schedule_cache.store c fb (entry_of layer_b);
+  Alcotest.(check (list string))
+    "most recent first"
+    [ Serve.Fingerprint.hash fb; Serve.Fingerprint.hash fa ]
+    (Serve.Schedule_cache.lru_keys c);
+  (* a hit promotes a to the front, so b becomes the eviction victim *)
+  check_bool "memory hit" true
+    (match Serve.Schedule_cache.find c ~arch ~layer:layer_a fa with
+     | Some (_, Serve.Schedule_cache.Memory) -> true
+     | _ -> false);
+  Serve.Schedule_cache.store c fc (entry_of layer_c);
+  Alcotest.(check (list string))
+    "b evicted at capacity"
+    [ Serve.Fingerprint.hash fc; Serve.Fingerprint.hash fa ]
+    (Serve.Schedule_cache.lru_keys c);
+  check_int "length at capacity" 2 (Serve.Schedule_cache.length c);
+  check_bool "evicted entry misses" true
+    (Serve.Schedule_cache.find c ~arch ~layer:layer_b fb = None);
+  let s = Serve.Schedule_cache.stats c in
+  check_int "one eviction" 1 s.Serve.Schedule_cache.evictions;
+  check_int "one hit" 1 s.Serve.Schedule_cache.hits;
+  check_int "one miss" 1 s.Serve.Schedule_cache.misses;
+  check_bool "capacity < 1 rejected" true
+    (match Serve.Schedule_cache.create ~capacity:0 () with
+     | exception Robust.Failure.Error (Robust.Failure.Invalid_input _) -> true
+     | _ -> false)
+
+(* ---- disk tier: trust-but-verify -------------------------------------- *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "cosa_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+(* A mapping that parses fine but cannot certify: a stray extra factor of
+   2 on C breaks the exact factorization product. *)
+let uncertifiable_mapping layer =
+  let m = Cosa.trivial_mapping arch layer in
+  let levels = Array.copy m.Mapping.levels in
+  let d = Array.length levels - 1 in
+  levels.(d) <-
+    { levels.(d) with
+      Mapping.temporal =
+        { Mapping.dim = Dims.C; bound = 2 } :: levels.(d).Mapping.temporal };
+  Mapping.make layer levels
+
+let overwrite_record dir f text =
+  let path = Filename.concat dir (Serve.Fingerprint.hash f ^ ".cosa") in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+let framed f meta mapping =
+  "key " ^ Serve.Fingerprint.canon f ^ "\n" ^ Mapping_io.record_to_string meta mapping
+
+let test_disk_verify () =
+  with_temp_dir (fun dir ->
+      let f = fp layer_a in
+      let good =
+        let r = Cosa.schedule ~strategy:Cosa.Two_stage ~node_limit:2_000 arch layer_a in
+        { Serve.Schedule_cache.meta = Mapping_io.default_meta; mapping = r.Cosa.mapping }
+      in
+      let fresh () = Serve.Schedule_cache.create ~dir ~capacity:8 () in
+      let c1 = fresh () in
+      Serve.Schedule_cache.store c1 f good;
+      (* a new process (fresh memory) verifies the record and promotes it *)
+      let c2 = fresh () in
+      (match Serve.Schedule_cache.find c2 ~arch ~layer:layer_a f with
+       | Some (e, Serve.Schedule_cache.Disk) ->
+         Alcotest.(check string)
+           "disk mapping intact"
+           (Mapping.fingerprint good.Serve.Schedule_cache.mapping)
+           (Mapping.fingerprint e.Serve.Schedule_cache.mapping)
+       | _ -> Alcotest.fail "expected a verified disk hit");
+      check_bool "promoted to memory" true
+        (match Serve.Schedule_cache.find c2 ~arch ~layer:layer_a f with
+         | Some (_, Serve.Schedule_cache.Memory) -> true
+         | _ -> false);
+      (* corrupted: right key, uncertifiable mapping -> reject, no crash *)
+      overwrite_record dir f
+        (framed f Mapping_io.default_meta (uncertifiable_mapping layer_a));
+      let c3 = fresh () in
+      check_bool "uncertifiable record misses" true
+        (Serve.Schedule_cache.find c3 ~arch ~layer:layer_a f = None);
+      check_int "counted as disk reject" 1
+        (Serve.Schedule_cache.stats c3).Serve.Schedule_cache.disk_rejects;
+      (* stale: the file holds a different layer's schedule under our name *)
+      overwrite_record dir f
+        (framed f Mapping_io.default_meta (Cosa.trivial_mapping arch layer_b));
+      check_bool "stale shape misses" true
+        (Serve.Schedule_cache.find (fresh ()) ~arch ~layer:layer_a f = None);
+      (* mismatched fingerprint frame (hash collision / moved file) *)
+      overwrite_record dir f
+        ("key somebody-else\n"
+         ^ Mapping_io.record_to_string Mapping_io.default_meta
+             good.Serve.Schedule_cache.mapping);
+      check_bool "foreign key misses" true
+        (Serve.Schedule_cache.find (fresh ()) ~arch ~layer:layer_a f = None);
+      (* outright garbage *)
+      overwrite_record dir f "key ";
+      check_bool "garbage misses" true
+        (Serve.Schedule_cache.find (fresh ()) ~arch ~layer:layer_a f = None))
+
+(* A corrupted disk entry must fall through to a live solve — and the
+   service then repairs the directory with the fresh result. *)
+let test_disk_reject_falls_through () =
+  with_temp_dir (fun dir ->
+      let cfg = fast_config () in
+      let f =
+        Serve.Fingerprint.make ~weights:cfg.Serve.Service.weights
+          ~strategy:cfg.Serve.Service.strategy ~certify:cfg.Serve.Service.certify arch
+          layer_a
+      in
+      overwrite_record dir f
+        (framed f Mapping_io.default_meta (uncertifiable_mapping layer_a));
+      let cache = Serve.Schedule_cache.create ~dir ~capacity:8 () in
+      let net = net_of ~name:"one" [ (layer_a, 1) ] in
+      let report = Serve.Service.schedule_network ~cache cfg net in
+      check_int "no failures" 0 report.Serve.Service.failed;
+      check_int "not served from cache" 0 report.Serve.Service.served_from_cache;
+      (match report.Serve.Service.layers with
+       | [ lr ] ->
+         check_bool "served by a live solve" true
+           (match lr.Serve.Service.served with
+            | Ok { Serve.Service.origin = Serve.Service.Solved _; _ } -> true
+            | _ -> false)
+       | _ -> Alcotest.fail "expected one layer report");
+      (* the bad record was overwritten by the store-back: next process hits *)
+      let c2 = Serve.Schedule_cache.create ~dir ~capacity:8 () in
+      check_bool "directory repaired" true
+        (match Serve.Schedule_cache.find c2 ~arch ~layer:layer_a f with
+         | Some (_, Serve.Schedule_cache.Disk) -> true
+         | _ -> false))
+
+(* ---- domain pool ------------------------------------------------------ *)
+
+let test_pool_ordering_and_isolation () =
+  let items = List.init 20 Fun.id in
+  let sq = List.map (fun i -> Ok (i * i)) items in
+  Alcotest.(check bool) "jobs=1 in order" true (Serve.Pool.run ~jobs:1 (fun i -> i * i) items = sq);
+  Alcotest.(check bool) "jobs=4 in order" true (Serve.Pool.run ~jobs:4 (fun i -> i * i) items = sq);
+  (* one failing task yields a typed Error in its slot, siblings unharmed *)
+  let f i =
+    if i = 7 then raise (Robust.Failure.Error Robust.Failure.Deadline_exceeded)
+    else if i = 11 then failwith "plain exn"
+    else i
+  in
+  let results = Serve.Pool.run ~jobs:4 f items in
+  check_int "all slots present" 20 (List.length results);
+  List.iteri
+    (fun i r ->
+      match (i, r) with
+      | 7, Error Robust.Failure.Deadline_exceeded -> ()
+      | 7, _ -> Alcotest.fail "slot 7 should carry its typed failure"
+      | 11, Error (Robust.Failure.Invalid_input _) -> ()
+      | 11, _ -> Alcotest.fail "slot 11 should wrap the stray exception"
+      | _, Ok v -> check_int "slot value" i v
+      | _, Error _ -> Alcotest.fail "healthy slot failed")
+    results
+
+(* jobs=1 and jobs=4 must produce byte-identical schedules when solves
+   terminate on the (deterministic) node budget, not the wall clock. *)
+let test_pool_determinism () =
+  let net = net_of ~name:"det" [ (layer_a, 2); (layer_b, 1); (layer_c, 3) ] in
+  let run jobs = Serve.Service.schedule_network (fast_config ~jobs ()) net in
+  let render report =
+    List.map
+      (fun (lr : Serve.Service.layer_report) ->
+        match lr.Serve.Service.served with
+        | Ok s -> Mapping_io.to_string s.Serve.Service.mapping
+        | Error f -> Robust.Failure.to_string f)
+      report.Serve.Service.layers
+  in
+  let one = run 1 and four = run 4 in
+  Alcotest.(check (list string)) "schedules byte-identical" (render one) (render four);
+  check_bool "latency identical" true
+    (one.Serve.Service.total_latency = four.Serve.Service.total_latency);
+  check_bool "energy identical" true
+    (one.Serve.Service.total_energy_pj = four.Serve.Service.total_energy_pj)
+
+(* ---- service counters and dedup --------------------------------------- *)
+
+let test_service_counters () =
+  (* two entries share layer_a's shape under different names *)
+  let alias = Layer.create ~name:"srv_a_alias" ~r:1 ~s:1 ~p:4 ~q:4 ~c:8 ~k:8 ~n:1 () in
+  let net = net_of ~name:"ctr" [ (layer_a, 2); (alias, 3); (layer_b, 1) ] in
+  let cache = Serve.Schedule_cache.create ~capacity:16 () in
+  let cfg = fast_config () in
+  let r1 = Serve.Service.schedule_network ~cache cfg net in
+  check_int "instances" 6 r1.Serve.Service.instances;
+  check_int "distinct shapes" 2 r1.Serve.Service.distinct;
+  check_int "cold run misses everything" 0 r1.Serve.Service.served_from_cache;
+  check_int "no failures" 0 r1.Serve.Service.failed;
+  (* aliased entry collapsed into layer_a's report with summed repeats *)
+  (match r1.Serve.Service.layers with
+   | [ first; second ] ->
+     check_int "summed repeats" 5 first.Serve.Service.repeats;
+     check_int "other repeats" 1 second.Serve.Service.repeats
+   | _ -> Alcotest.fail "expected two distinct layer reports");
+  check_bool "weighted latency positive" true (r1.Serve.Service.total_latency > 0.);
+  let r2 = Serve.Service.schedule_network ~cache cfg net in
+  check_int "warm run all from cache" 2 r2.Serve.Service.served_from_cache;
+  check_bool "warm totals identical" true
+    (r1.Serve.Service.total_latency = r2.Serve.Service.total_latency
+    && r1.Serve.Service.total_energy_pj = r2.Serve.Service.total_energy_pj);
+  let s = Serve.Schedule_cache.stats cache in
+  check_int "memory hits" 2 s.Serve.Schedule_cache.hits;
+  check_int "stores" 2 s.Serve.Schedule_cache.stores;
+  check_bool "hit rate is half" true (Serve.Schedule_cache.hit_rate cache = 0.5)
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "fingerprint" `Quick test_fingerprint;
+      Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+      Alcotest.test_case "disk trust-but-verify" `Quick test_disk_verify;
+      Alcotest.test_case "disk reject falls through" `Quick test_disk_reject_falls_through;
+      Alcotest.test_case "pool ordering and isolation" `Quick test_pool_ordering_and_isolation;
+      Alcotest.test_case "pool determinism" `Quick test_pool_determinism;
+      Alcotest.test_case "service counters" `Quick test_service_counters;
+    ] )

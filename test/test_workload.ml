@@ -105,6 +105,46 @@ let test_resnet_shapes () =
   let fig1 = Zoo.find "3_14_256_256_1" in
   check_int "fig1 P" 14 (Layer.bound fig1 Dims.P)
 
+let test_network_distinct () =
+  (* ResNet-50: 53 convolutions + FC = 54 instances over 24 entries, every
+     entry already a distinct shape *)
+  let net = Network.resnet50 in
+  check_int "resnet50 instances" 54 (Network.layer_count net);
+  check_int "resnet50 entries" 24 (List.length net.Network.entries);
+  check_int "resnet50 distinct shapes" 24 (Network.distinct_count net);
+  let d = Network.distinct net in
+  check_int "summed repeats cover all instances" (Network.layer_count net)
+    (List.fold_left (fun acc (_, reps) -> acc + reps) 0 d);
+  (* same invariant on ResNeXt-50 *)
+  check_int "resnext50 repeats conserved" (Network.layer_count Network.resnext50)
+    (List.fold_left (fun acc (_, reps) -> acc + reps) 0
+       (Network.distinct Network.resnext50));
+  (* shape-equal entries under different names merge, first occurrence
+     wins, repeats sum *)
+  let shape name = Layer.create ~name ~r:1 ~s:1 ~p:4 ~q:4 ~c:8 ~k:8 ~n:1 () in
+  let other = Layer.create ~name:"other" ~r:3 ~s:3 ~p:4 ~q:4 ~c:4 ~k:4 ~n:1 () in
+  let dup =
+    { Network.nname = "dup";
+      entries =
+        [ { Network.layer = shape "first"; repeats = 2 };
+          { Network.layer = other; repeats = 1 };
+          { Network.layer = shape "second"; repeats = 3 } ] }
+  in
+  check_int "duplicates collapse" 2 (Network.distinct_count dup);
+  (match Network.distinct dup with
+   | [ (e1, r1); (e2, r2) ] ->
+     Alcotest.(check string) "first occurrence kept" "first" e1.Network.layer.Layer.name;
+     check_int "repeats summed" 5 r1;
+     Alcotest.(check string) "order preserved" "other" e2.Network.layer.Layer.name;
+     check_int "singleton repeats" 1 r2
+   | _ -> Alcotest.fail "expected two distinct groups");
+  (* find is case/dash/underscore-insensitive *)
+  check_bool "find resnet50" true
+    (match Network.find "ResNet-50" with
+     | Some n -> n.Network.nname = Network.resnet50.Network.nname
+     | None -> false);
+  check_bool "find unknown" true (Network.find "vgg" = None)
+
 let prop_factors_multiply_to_padded =
   QCheck.Test.make ~name:"layer factors multiply to padded bounds" ~count:100
     QCheck.(quad (int_range 1 7) (int_range 1 64) (int_range 1 512) (int_range 1 512))
@@ -134,5 +174,6 @@ let suite =
       Alcotest.test_case "padded bounds" `Quick test_padded_bound;
       Alcotest.test_case "zoo suites" `Quick test_zoo;
       Alcotest.test_case "resnet shapes" `Quick test_resnet_shapes;
+      Alcotest.test_case "network distinct" `Quick test_network_distinct;
       qc prop_factors_multiply_to_padded;
     ] )
