@@ -4,22 +4,94 @@
    Test.make per reproduced artefact family).
 
    Run with: dune exec bench/main.exe
-   A single experiment: dune exec bin/cosa_cli.exe -- exp fig6 *)
+   A single experiment: dune exec bin/cosa_cli.exe -- exp fig6
+
+   Besides the human-readable report on stdout, the harness accumulates a
+   machine-readable summary — per-experiment wall time plus a telemetry
+   snapshot (branch-and-bound nodes, simplex iterations, cache hit rates,
+   micro-kernel ns/run) — and writes it to BENCH_results.json so CI and
+   regression tooling can diff runs without parsing tables. *)
+
+(* ---- machine-readable results ---------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.6g" x
+
+(* Counters of a snapshot as one JSON object (histograms are summarised by
+   count and sum — enough for rate regressions without bucket noise). *)
+let snapshot_json (s : Telemetry.Metrics.snapshot) =
+  let counters =
+    List.map
+      (fun (name, v) -> Printf.sprintf "\"%s\":%d" (json_escape name) v)
+      s.Telemetry.Metrics.counters
+  in
+  let hists =
+    List.map
+      (fun (name, (h : Telemetry.Metrics.hist_snapshot)) ->
+        Printf.sprintf "\"%s\":{\"count\":%d,\"sum\":%s}" (json_escape name)
+          h.Telemetry.Metrics.count (json_float h.Telemetry.Metrics.sum))
+      s.Telemetry.Metrics.histograms
+  in
+  Printf.sprintf "{\"counters\":{%s},\"histograms\":{%s}}"
+    (String.concat "," counters) (String.concat "," hists)
+
+let exp_results : string list ref = ref []
+let serve_result : string option ref = ref None
+let micro_results : string list ref = ref []
+
+let write_results path =
+  let sections =
+    [ Printf.sprintf "\"experiments\":[%s]" (String.concat "," (List.rev !exp_results)) ]
+    @ (match !serve_result with Some s -> [ "\"serve\":" ^ s ] | None -> [])
+    @ [ Printf.sprintf "\"micro\":[%s]" (String.concat "," (List.rev !micro_results)) ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc ("{" ^ String.concat "," sections ^ "}\n"));
+  Printf.printf "machine-readable results written to %s\n" path
 
 let run_experiments () =
+  Telemetry.Sink.set Telemetry.Sink.Memory;
   List.iter
     (fun (e : Registry.t) ->
+      Telemetry.Metrics.reset ();
       let t0 = Unix.gettimeofday () in
       let report = e.Registry.run () in
+      let wall = Unix.gettimeofday () -. t0 in
       print_string report;
-      Printf.printf "[%s completed in %.1f s]\n" e.Registry.id (Unix.gettimeofday () -. t0);
+      Printf.printf "[%s completed in %.1f s]\n" e.Registry.id wall;
+      exp_results :=
+        Printf.sprintf "{\"id\":\"%s\",\"wall_s\":%s,\"telemetry\":%s}"
+          (json_escape e.Registry.id) (json_float wall)
+          (snapshot_json (Telemetry.Metrics.snapshot ()))
+        :: !exp_results;
       flush stdout)
-    Registry.all
+    Registry.all;
+  Telemetry.Metrics.reset ();
+  Telemetry.Sink.set Telemetry.Sink.Null
 
 (* Bechamel micro-benchmarks: the kernels whose cost dominates each
    artefact family. *)
 let micro_benchmarks () =
   let open Bechamel in
+  (* the micro numbers are the <2%-overhead acceptance baseline, so they
+     must measure the disabled-telemetry fast path *)
+  Telemetry.Sink.set Telemetry.Sink.Null;
   let arch = Spec.baseline in
   let layer = Zoo.find "3_14_256_256_1" in
   let mapping = (Cosa.schedule arch layer).Cosa.mapping in
@@ -72,7 +144,12 @@ let micro_benchmarks () =
       Hashtbl.iter
         (fun name est ->
           match Analyze.OLS.estimates est with
-          | Some [ ns ] -> Printf.printf "  %-32s %12.1f ns/run\n" name ns
+          | Some [ ns ] ->
+            Printf.printf "  %-32s %12.1f ns/run\n" name ns;
+            micro_results :=
+              Printf.sprintf "{\"name\":\"%s\",\"ns_per_run\":%s}" (json_escape name)
+                (json_float ns)
+              :: !micro_results
           | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
         analyzed)
     tests;
@@ -86,6 +163,8 @@ let serve_benchmarks () =
   print_newline ();
   print_endline "Batch service: cold vs warm network scheduling";
   print_endline "==============================================";
+  Telemetry.Sink.set Telemetry.Sink.Memory;
+  Telemetry.Metrics.reset ();
   let arch = Spec.baseline in
   let net = Network.resnet50 in
   let mappings report =
@@ -124,10 +203,24 @@ let serve_benchmarks () =
   (* pool determinism: same request, 1 domain vs 4 domains, fresh caches *)
   let one = run ~jobs:1 ~cache:(Serve.Schedule_cache.create ~capacity:256 ()) arch in
   let four = run ~jobs:4 ~cache:(Serve.Schedule_cache.create ~capacity:256 ()) arch in
-  Printf.printf "1-domain vs 4-domain schedules identical: %b\n"
-    (mappings one = mappings four);
+  let jobs_identical = mappings one = mappings four in
+  Printf.printf "1-domain vs 4-domain schedules identical: %b\n" jobs_identical;
   Printf.printf "1-domain vs 4-domain total latency identical: %b\n"
     (one.Serve.Service.total_latency = four.Serve.Service.total_latency);
+  serve_result :=
+    Some
+      (Printf.sprintf
+         "{\"cold_s\":%s,\"warm_s\":%s,\"warm_speedup\":%s,\"warm_hit_rate\":%s,\
+          \"warm_identical\":%b,\"jobs_identical\":%b,\"telemetry\":%s}"
+         (json_float cold.Serve.Service.wall_time)
+         (json_float warm.Serve.Service.wall_time)
+         (json_float speedup)
+         (json_float (Serve.Schedule_cache.hit_rate cache))
+         (mappings cold = mappings warm)
+         jobs_identical
+         (snapshot_json (Telemetry.Metrics.snapshot ())));
+  Telemetry.Metrics.reset ();
+  Telemetry.Sink.set Telemetry.Sink.Null;
   flush stdout
 
 let () =
@@ -146,4 +239,5 @@ let () =
      run_experiments ();
      serve_benchmarks ();
      micro_benchmarks ());
-  Printf.printf "\nTotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\nTotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0);
+  write_results "BENCH_results.json"

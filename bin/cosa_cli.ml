@@ -63,6 +63,48 @@ let print_certification = function
   | Cosa.Cert_skipped -> ()
   | v -> Printf.printf "certification: %s\n" (Cosa.certification_to_string v)
 
+(* Shared observability flags. Telemetry defaults to the Null sink —
+   recording primitives are compiled in everywhere but reduce to one
+   atomic load unless one of these flags arms a sink. *)
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace_event JSON trace of the run to $(docv). \
+               Load it in chrome://tracing or https://ui.perfetto.dev; spans \
+               are grouped per OCaml domain, so --jobs N shows N solver lanes.")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"After the command finishes, print the process-wide telemetry \
+               counters, gauges, and latency histograms.")
+
+let profile_arg =
+  Arg.(value & flag & info [ "profile" ]
+         ~doc:"After the command finishes, print an aggregate span profile \
+               (call count and total/mean wall time per span name).")
+
+(* Arm the sink before [f], flush/report after — including on exit/exception
+   paths, so a --trace of a run that dies still loads in the viewer. *)
+let with_telemetry trace metrics profile f =
+  match (trace, metrics, profile) with
+  | None, false, false -> f ()
+  | _ ->
+    (match trace with
+     | Some path -> Telemetry.Sink.set (Telemetry.Sink.File path)
+     | None -> Telemetry.Sink.set Telemetry.Sink.Memory);
+    Telemetry.Metrics.reset ();
+    Telemetry.Trace.reset ();
+    let report () =
+      (match trace with
+       | Some path ->
+         Telemetry.Trace.write_file path;
+         Printf.printf "trace written to %s (%d events)\n" path
+           (List.length (Telemetry.Trace.events ()))
+       | None -> ());
+      if metrics then print_string (Telemetry.Metrics.report ());
+      if profile then print_string (Telemetry.Trace.profile_summary ())
+    in
+    Fun.protect ~finally:report f
+
 let with_faults fault_seed fault_rate f =
   match fault_seed with
   | None -> f ()
@@ -93,12 +135,13 @@ let schedule_cmd =
            ~doc:"Also write the schedule to $(docv) (cosa_cli evaluate reads it back).")
   in
   let run arch_name layer_name strategy save node_limit time_limit fault_seed fault_rate
-      certify =
+      certify trace metrics profile =
     let arch = arch_of_name arch_name in
     let layer = find_layer layer_name in
     let r =
-      with_faults fault_seed fault_rate (fun () ->
-          Cosa.schedule ~strategy ~node_limit ~time_limit ~certify arch layer)
+      with_telemetry trace metrics profile (fun () ->
+          with_faults fault_seed fault_rate (fun () ->
+              Cosa.schedule ~strategy ~node_limit ~time_limit ~certify arch layer))
     in
     (match save with
      | Some path ->
@@ -132,7 +175,8 @@ let schedule_cmd =
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Produce a CoSA schedule for a layer and report it.")
     Term.(const run $ arch_arg $ layer_arg $ strategy_arg $ save_arg $ node_limit_arg
-          $ time_limit_arg $ fault_seed_arg $ fault_rate_arg $ certify_arg)
+          $ time_limit_arg $ fault_seed_arg $ fault_rate_arg $ certify_arg $ trace_arg
+          $ metrics_arg $ profile_arg)
 
 (* cosa_cli batch --network resnet50 --jobs 4 --cache-dir PATH *)
 let batch_cmd =
@@ -165,7 +209,7 @@ let batch_cmd =
            ~doc:"Solver strategy: auto, joint, or two-stage.")
   in
   let run arch_name network_name jobs cache_dir cache_size node_limit strategy time_limit
-      certify =
+      certify trace metrics profile =
     let arch = arch_of_name arch_name in
     let net =
       match Network.find network_name with
@@ -179,7 +223,10 @@ let batch_cmd =
     let cfg =
       Serve.Service.config ~strategy ~certify ~node_limit ~time_limit ~jobs arch
     in
-    let report = Serve.Service.schedule_network ~cache cfg net in
+    let report =
+      with_telemetry trace metrics profile (fun () ->
+          Serve.Service.schedule_network ~cache cfg net)
+    in
     print_string (Serve.Service.report_to_string report);
     if report.Serve.Service.failed > 0 then exit 1
   in
@@ -188,7 +235,8 @@ let batch_cmd =
        ~doc:"Schedule a whole network: dedup shapes, serve from the certified \
              schedule cache, solve misses on a domain pool.")
     Term.(const run $ arch_arg $ network_arg $ jobs_arg $ cache_dir_arg $ cache_size_arg
-          $ node_limit_arg $ strategy_arg $ time_limit_arg $ certify_arg)
+          $ node_limit_arg $ strategy_arg $ time_limit_arg $ certify_arg $ trace_arg
+          $ metrics_arg $ profile_arg)
 
 (* cosa_cli exp <id> *)
 let exp_cmd =
@@ -209,9 +257,11 @@ let exp_cmd =
 
 (* cosa_cli simulate <layer> *)
 let simulate_cmd =
-  let run arch_name layer_name time_limit fault_seed fault_rate certify =
+  let run arch_name layer_name time_limit fault_seed fault_rate certify trace metrics
+      profile =
     let arch = arch_of_name arch_name in
     let layer = find_layer layer_name in
+    with_telemetry trace metrics profile @@ fun () ->
     with_faults fault_seed fault_rate (fun () ->
         let r = Cosa.schedule ~time_limit ~certify arch layer in
         match Noc_sim.simulate_r arch r.Cosa.mapping with
@@ -241,7 +291,7 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the cycle-level NoC simulator on a CoSA schedule.")
     Term.(const run $ arch_arg $ layer_arg $ time_limit_arg $ fault_seed_arg
-          $ fault_rate_arg $ certify_arg)
+          $ fault_rate_arg $ certify_arg $ trace_arg $ metrics_arg $ profile_arg)
 
 (* cosa_cli evaluate <file> *)
 let evaluate_cmd =

@@ -4,6 +4,11 @@
    Run with: dune exec examples/quickstart.exe *)
 
 let () =
+  (* 0. Turn telemetry on. It is off (and free) by default; the Memory
+     sink records counters and spans in-process so we can print a summary
+     of what the solver did at the end. *)
+  Telemetry.Sink.set Telemetry.Sink.Memory;
+
   (* 1. Pick a workload: a 3x3 convolution from ResNet-50 with 256 input
      and output channels and a 14x14 output (the paper's Fig. 1 layer). *)
   let layer = Zoo.find "3_14_256_256_1" in
@@ -31,4 +36,16 @@ let () =
   (* 6. And with the cycle-level NoC simulator, which also sees congestion. *)
   let sim = Noc_sim.simulate arch result.Cosa.mapping in
   Printf.printf "\nNoC simulator: %.0f cycles (%d packets, %d flit-hops)\n"
-    sim.Noc_sim.latency sim.Noc_sim.packets sim.Noc_sim.flit_hops
+    sim.Noc_sim.latency sim.Noc_sim.packets sim.Noc_sim.flit_hops;
+
+  (* 7. What did all of that cost? The telemetry counters saw every
+     branch-and-bound node, simplex iteration, and model evaluation the
+     run performed. *)
+  let snap = Telemetry.Metrics.snapshot () in
+  let v = Telemetry.Metrics.counter_value snap in
+  let tab = Prim.Texttab.create [ "telemetry counter"; "value" ] in
+  List.iter
+    (fun name -> Prim.Texttab.add_row tab [ name; string_of_int (v name) ])
+    [ "bb.nodes"; "simplex.solves"; "simplex.phase1_iterations";
+      "simplex.phase2_iterations"; "model.evaluations"; "dram.requests" ];
+  Printf.printf "\n%s" (Prim.Texttab.render tab)

@@ -78,7 +78,13 @@ let reduction_above m ~lo =
       l.Mapping.bound > 1 && not (Dims.model_relevant l.Mapping.dim Dims.OA))
     (flat_temporal m ~lo)
 
+(* Evaluations happen everywhere — objective scoring, heuristic sampling,
+   report expansion — so the counter is the cheapest proxy for total
+   analytical-model work a run performed. *)
+let m_evaluations = Telemetry.Metrics.counter "model.evaluations"
+
 let evaluate arch (m : Mapping.t) =
+  Telemetry.Metrics.incr m_evaluations;
   let nlev = Spec.level_count arch in
   let counts =
     Array.init nlev (fun i ->

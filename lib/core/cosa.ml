@@ -69,6 +69,29 @@ type result = {
 
 let breakdown_of_mapping ?weights arch m = Cosa_objective.of_mapping ?weights arch m
 
+(* Telemetry: one span per ladder rung (category "cosa") carrying the
+   strategy and the certification verdict, plus counters for which rung
+   served and how certification went. *)
+let m_schedules = Telemetry.Metrics.counter "cosa.schedules"
+let m_src_joint = Telemetry.Metrics.counter "cosa.source.joint"
+let m_src_two_stage = Telemetry.Metrics.counter "cosa.source.two_stage"
+let m_src_heuristic = Telemetry.Metrics.counter "cosa.source.heuristic"
+let m_src_trivial = Telemetry.Metrics.counter "cosa.source.trivial"
+let m_cert_ok = Telemetry.Metrics.counter "cosa.cert.ok"
+let m_cert_failed = Telemetry.Metrics.counter "cosa.cert.failed"
+let m_fallbacks = Telemetry.Metrics.counter "cosa.fallback_steps"
+
+let source_counter = function
+  | Milp_joint -> m_src_joint
+  | Milp_two_stage -> m_src_two_stage
+  | Heuristic_sampler -> m_src_heuristic
+  | Trivial -> m_src_trivial
+
+let verdict_token = function
+  | Cert_skipped -> "skipped"
+  | Cert_ok -> "ok"
+  | Cert_failed _ -> "failed"
+
 let trivial_mapping arch layer =
   let nlev = Spec.level_count arch in
   let dram = Spec.dram_level arch in
@@ -86,7 +109,7 @@ let trivial_mapping arch layer =
   in
   Mapping.make layer levels
 
-let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4.)
+let schedule_impl ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4.)
     ?(deadline = Robust.Deadline.none) ?(heuristic_retries = 3) ?(certify = Warn) arch layer
     =
   let weights = match weights with Some w -> w | None -> calibrate arch in
@@ -101,6 +124,13 @@ let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4
   let total_nodes = ref 0 in
   let solve_time () = Robust.Deadline.now () -. t0 in
   let finish ?(repaired = false) ~certification ~source mapping =
+    let fallback_chain = chain () in
+    Telemetry.Metrics.incr (source_counter source);
+    Telemetry.Metrics.add m_fallbacks (List.length fallback_chain);
+    (match certification with
+     | Cert_ok -> Telemetry.Metrics.incr m_cert_ok
+     | Cert_failed _ -> Telemetry.Metrics.incr m_cert_failed
+     | Cert_skipped -> ());
     {
       mapping;
       objective = Cosa_objective.of_mapping ~weights arch mapping;
@@ -111,7 +141,7 @@ let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4
       used_joint = (source = Milp_joint);
       source;
       certification;
-      fallback_chain = chain ();
+      fallback_chain;
     }
   in
   (* Certification stage, run on every rung's candidate before it is
@@ -181,6 +211,11 @@ let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4
      explicit share of the remaining budget so that under [Auto] the joint
      solve cannot starve the two-stage one; [dl] still caps the total. *)
   let attempt ~budget joint =
+    let sp =
+      Telemetry.Trace.begin_span ~cat:"cosa"
+        (if joint then "cosa.rung.joint" else "cosa.rung.two_stage")
+    in
+    let outcome =
     match Cosa_formulation.build ~weights ~joint_permutation:joint arch layer with
     | exception Robust.Failure.Error f ->
       push f;
@@ -231,6 +266,16 @@ let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4
          fail_with
            (if Robust.Deadline.expired dl then Robust.Failure.Deadline_exceeded
             else Robust.Failure.Iteration_limit))
+    in
+    Telemetry.Trace.end_span
+      ~args:
+        [ ("strategy", strategy_to_string strategy);
+          ( "verdict",
+            match outcome with
+            | Some (_, _, _, v) -> verdict_token v
+            | None -> "fell-through" ) ]
+      sp;
+    outcome
   in
   let milp_attempts =
     match strategy with Joint -> [ true ] | Two_stage -> [ false ] | Auto -> [ true; false ]
@@ -287,11 +332,19 @@ let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4
     in
     (* the warm-start incumbent, when it exists, is already rung-2 output,
        but it too must pass certification before being returned *)
+    let sp = Telemetry.Trace.begin_span ~cat:"cosa" "cosa.rung.heuristic" in
     let heuristic_result =
       match warm with
       | Some m -> accept_certified m (fun () -> heuristic 0) (fun verdict -> Some (m, verdict))
       | None -> heuristic 0
     in
+    Telemetry.Trace.end_span
+      ~args:
+        [ ( "verdict",
+            match heuristic_result with
+            | Some (_, v) -> verdict_token v
+            | None -> "fell-through" ) ]
+      sp;
     match heuristic_result with
     | Some (m, verdict) -> finish ~certification:verdict ~source:Heuristic_sampler m
     | None ->
@@ -299,7 +352,26 @@ let schedule ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limit = 4
          valid, never worth returning unless everything above failed. There
          is no rung below it, so a strict-mode certification failure here
          is recorded on the result (and in the chain) rather than hidden. *)
+      let sp = Telemetry.Trace.begin_span ~cat:"cosa" "cosa.rung.trivial" in
       let m = trivial_mapping arch layer in
       let verdict, failure = certify_candidate m in
       (match failure with Some f when certify = Strict -> push f | _ -> ());
+      Telemetry.Trace.end_span ~args:[ ("verdict", verdict_token verdict) ] sp;
       finish ~certification:verdict ~source:Trivial m)
+
+(* Public entry point: one "cosa.schedule" span per call, annotated with
+   the layer, the serving rung, and the certification verdict. *)
+let schedule ?weights ?strategy ?node_limit ?time_limit ?deadline ?heuristic_retries
+    ?certify arch layer =
+  Telemetry.Metrics.incr m_schedules;
+  let sp = Telemetry.Trace.begin_span ~cat:"cosa" "cosa.schedule" in
+  let r =
+    schedule_impl ?weights ?strategy ?node_limit ?time_limit ?deadline
+      ?heuristic_retries ?certify arch layer
+  in
+  Telemetry.Trace.end_span
+    ~args:
+      [ ("layer", layer.Layer.name); ("source", source_to_string r.source);
+        ("verdict", verdict_token r.certification) ]
+    sp;
+  r

@@ -15,6 +15,17 @@ type result = {
 
 let value r v = r.values.(Lp.var_index v)
 
+(* Telemetry: one span per search plus one per evaluated node (category
+   "bb"), a per-reason prune breakdown, and an instant event on every
+   incumbent update so a trace shows the gap closing over time. *)
+let m_nodes = Telemetry.Metrics.counter "bb.nodes"
+let m_prune_bound = Telemetry.Metrics.counter "bb.prune.bound"
+let m_prune_infeasible = Telemetry.Metrics.counter "bb.prune.infeasible"
+let m_prune_gap = Telemetry.Metrics.counter "bb.prune.gap"
+let m_prune_integral = Telemetry.Metrics.counter "bb.prune.integral"
+let m_prune_aborted = Telemetry.Metrics.counter "bb.prune.aborted"
+let m_incumbents = Telemetry.Metrics.counter "bb.incumbents"
+
 (* Min-heap of B&B nodes keyed by LP bound. *)
 module Heap = struct
   type 'a t = { mutable data : (float * 'a) array; mutable size : int }
@@ -135,7 +146,7 @@ let check_feasible ?(tol = 1e-6) model x =
         (Lp.constrs model);
       !ok)
 
-let solve ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.Deadline.none)
+let solve_impl ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.Deadline.none)
     ?(integrality_tol = 1e-6) ?priority ?(gap = 0.) ?warm_start model =
   let t0 = Robust.Deadline.now () in
   (* the effective budget is the tighter of the relative time limit and the
@@ -221,9 +232,14 @@ let solve ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.Deadli
   (* Evaluate one node. Returns the preferred child to plunge into (the one
      matching the LP value's rounding) after queueing its sibling. *)
   let process node parent_bound =
-    if parent_bound >= !incumbent_obj -. gap -. 1e-9 then None
+    if parent_bound >= !incumbent_obj -. gap -. 1e-9 then begin
+      Telemetry.Metrics.incr m_prune_bound;
+      None
+    end
     else begin
       incr nodes;
+      Telemetry.Metrics.incr m_nodes;
+      Telemetry.Trace.with_span ~cat:"bb" "bb.node" @@ fun () ->
       match
         match Robust.Fault.check "bb.node" with
         | Error f -> Error f
@@ -234,16 +250,23 @@ let solve ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.Deadli
            fault) is pruned, but the search can no longer claim optimality *)
         record_failure f;
         explored_all := false;
+        Telemetry.Metrics.incr m_prune_aborted;
         None
       | Ok res ->
       simplex_iterations := !simplex_iterations + res.Simplex.iterations;
       match res.Simplex.status with
-      | Simplex.Infeasible | Simplex.Iteration_limit -> None
+      | Simplex.Infeasible | Simplex.Iteration_limit ->
+        Telemetry.Metrics.incr m_prune_infeasible;
+        None
       | Simplex.Unbounded ->
         if node.depth = 0 then unbounded := true;
+        Telemetry.Metrics.incr m_prune_infeasible;
         None
       | Simplex.Optimal ->
-        if res.Simplex.obj >= !incumbent_obj -. gap -. 1e-9 then None
+        if res.Simplex.obj >= !incumbent_obj -. gap -. 1e-9 then begin
+          Telemetry.Metrics.incr m_prune_gap;
+          None
+        end
         else begin
           let bv = fractional res.Simplex.x in
           if bv < 0 then begin
@@ -252,6 +275,12 @@ let solve ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.Deadli
             List.iter (fun j -> x.(j) <- Float.round x.(j)) int_vars;
             incumbent := Some x;
             incumbent_obj := res.Simplex.obj;
+            Telemetry.Metrics.incr m_prune_integral;
+            Telemetry.Metrics.incr m_incumbents;
+            Telemetry.Trace.instant ~cat:"bb" "bb.incumbent"
+              ~args:
+                [ ("obj", Printf.sprintf "%.6g" (user_obj res.Simplex.obj));
+                  ("nodes", string_of_int !nodes) ];
             None
           end
           else begin
@@ -324,3 +353,10 @@ let solve ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.Deadli
     else
       { status = Infeasible; obj = nan; values = Array.make nv 0.; bound = nan;
         nodes = !nodes; simplex_iterations = !simplex_iterations; elapsed; failures }
+
+(* Public entry point: one "bb.solve" span covers the whole search. *)
+let solve ?node_limit ?time_limit ?deadline ?integrality_tol ?priority ?gap ?warm_start
+    model =
+  Telemetry.Trace.with_span ~cat:"bb" "bb.solve" (fun () ->
+      solve_impl ?node_limit ?time_limit ?deadline ?integrality_tol ?priority ?gap
+        ?warm_start model)

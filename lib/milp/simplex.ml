@@ -31,6 +31,15 @@ let opt_tol = Tolerances.default.Tolerances.opt_tol
 let pivot_tol = Tolerances.default.Tolerances.pivot_tol
 let refactor_every = 100
 
+(* Telemetry: aggregate counters recorded once per solve (iterations) or
+   per rare event (refactorization, Bland activation) — never per pivot,
+   so the disabled-path cost is a handful of flag loads per LP. *)
+let m_solves = Telemetry.Metrics.counter "simplex.solves"
+let m_phase1 = Telemetry.Metrics.counter "simplex.phase1_iterations"
+let m_phase2 = Telemetry.Metrics.counter "simplex.phase2_iterations"
+let m_refactor = Telemetry.Metrics.counter "simplex.refactorizations"
+let m_bland = Telemetry.Metrics.counter "simplex.bland_activations"
+
 (* Location of a column: basic in some row, or nonbasic resting at a bound. *)
 type location = Basic of int | At_lower | At_upper | Free_zero
 
@@ -61,6 +70,7 @@ let refactorize st =
   (match Robust.Fault.check "simplex.refactor" with
    | Ok () -> ()
    | Error f -> raise (Lp_abort f));
+  Telemetry.Metrics.incr m_refactor;
   let m = st.m in
   let mat = Array.make_matrix m m 0. in
   for r = 0 to m - 1 do
@@ -267,7 +277,10 @@ let optimize st cost max_iterations deadline =
       let t = !t in
       if t < feas_tol then st.degenerate_streak <- st.degenerate_streak + 1
       else st.degenerate_streak <- 0;
-      if st.degenerate_streak > 2 * (m + st.ntot) then st.bland <- true;
+      if (not st.bland) && st.degenerate_streak > 2 * (m + st.ntot) then begin
+        st.bland <- true;
+        Telemetry.Metrics.incr m_bland
+      end;
       (* apply the step to basic values *)
       for i = 0 to m - 1 do
         st.xb.(i) <- st.xb.(i) -. (dir *. t *. alpha.(i))
@@ -329,7 +342,7 @@ let objective_value p x =
    blown deadline, NaN corruption, injected faults) come back as a typed
    [Error]; [Unbounded]/[Infeasible]/[Iteration_limit] remain ordinary
    statuses because branch-and-bound treats them as prunable outcomes. *)
-let solve_r ?max_iterations ?(deadline = Robust.Deadline.none) p =
+let solve_r_impl ?max_iterations ?(deadline = Robust.Deadline.none) p =
   let m = p.nrows in
   let max_iterations =
     match max_iterations with
@@ -432,6 +445,8 @@ let solve_r ?max_iterations ?(deadline = Robust.Deadline.none) p =
     Array.blit p.cost 0 phase2_cost 0 p.ncols;
     try
       optimize st phase1_cost max_iterations deadline;
+      Telemetry.Metrics.add m_phase1 st.iterations;
+      let p1_iters = st.iterations in
       let infeas = ref 0. in
       for i = 0 to m - 1 do
         if st.basis.(i) >= p.ncols then infeas := !infeas +. st.xb.(i)
@@ -455,6 +470,7 @@ let solve_r ?max_iterations ?(deadline = Robust.Deadline.none) p =
         st.bland <- false;
         st.degenerate_streak <- 0;
         optimize st phase2_cost max_iterations deadline;
+        Telemetry.Metrics.add m_phase2 (st.iterations - p1_iters);
         let x = extract_x st in
         if not (Float.is_finite (objective_value p x)) then
           Error Robust.Failure.Numerical_instability
@@ -468,6 +484,13 @@ let solve_r ?max_iterations ?(deadline = Robust.Deadline.none) p =
       Ok { status = Iteration_limit; obj = nan; x = extract_x st; iterations = st.iterations }
     | Lp_abort f -> Error f
   end
+
+(* Public entry point: one span (category "simplex") and one solve-count
+   tick per LP; phase iteration counters are recorded inside the solve. *)
+let solve_r ?max_iterations ?deadline p =
+  Telemetry.Metrics.incr m_solves;
+  Telemetry.Trace.with_span ~cat:"simplex" "simplex.solve" (fun () ->
+      solve_r_impl ?max_iterations ?deadline p)
 
 (* Legacy exception-raising wrapper: raises [Robust.Failure.Error] where
    [solve_r] would return [Error]. Prefer [solve_r] in new code. *)

@@ -8,6 +8,10 @@ type req = { id : int; bytes : int; row : int; arrival : int }
 
 type in_service = { r : req; finish : int }
 
+let m_requests = Telemetry.Metrics.counter "dram.requests"
+let m_row_hits = Telemetry.Metrics.counter "dram.row_hits"
+let m_row_misses = Telemetry.Metrics.counter "dram.row_misses"
+
 type t = {
   spec : Spec.dram;
   mutable queue : req list;  (** oldest first *)
@@ -42,6 +46,7 @@ let create spec =
   }
 
 let request t ~bytes ~row =
+  Telemetry.Metrics.incr m_requests;
   let id = t.next_id in
   t.next_id <- id + 1;
   t.queue <- t.queue @ [ { id; bytes; row; arrival = t.now } ];
@@ -67,7 +72,14 @@ let schedule t =
       t.queue <- List.filter (fun q -> q.id <> r.id) t.queue;
       let bank = bank_of t r in
       let hit = t.open_rows.(bank) = r.row in
-      if hit then t.row_hits <- t.row_hits + 1 else t.row_misses <- t.row_misses + 1;
+      if hit then begin
+        t.row_hits <- t.row_hits + 1;
+        Telemetry.Metrics.incr m_row_hits
+      end
+      else begin
+        t.row_misses <- t.row_misses + 1;
+        Telemetry.Metrics.incr m_row_misses
+      end;
       let activation = if hit then t.spec.Spec.t_row_hit else t.spec.Spec.t_row_miss in
       (* the bank opens the row (possibly overlapping an ongoing transfer),
          then the transfer serialises on the bus *)
@@ -98,3 +110,5 @@ let busy t = t.queue <> [] || t.in_service <> []
 let total_busy_cycles t = t.busy_cycles
 let row_hit_count t = t.row_hits
 let row_miss_count t = t.row_misses
+
+let queue_length t = List.length t.queue + List.length t.in_service

@@ -30,3 +30,7 @@ val row_hit_count : t -> int
 val row_miss_count : t -> int
 (** Row-buffer locality counters (reported by the NoC deep-dive example
     and checked by tests). *)
+
+val queue_length : t -> int
+(** Waiting plus in-service requests (sampled into the telemetry
+    queue-depth histogram by the NoC simulator). *)

@@ -247,3 +247,8 @@ let flit_hops t = t.hops
 let flits_injected t = t.injected_flits
 let flits_ejected t = t.ejected_flits
 let flits_forked t = t.forked_flits
+
+let queued_flits t =
+  Array.fold_left
+    (fun acc rt -> Array.fold_left (fun a q -> a + Queue.length q) acc rt.in_q)
+    0 t.routers

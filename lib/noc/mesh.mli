@@ -52,3 +52,7 @@ val flits_ejected : t -> int
 
 val flits_forked : t -> int
 (** Extra flit copies created at multicast branch points. *)
+
+val queued_flits : t -> int
+(** Flits currently waiting in router input queues (sampled into the
+    telemetry queue-depth histogram by the NoC simulator). *)

@@ -63,7 +63,26 @@ let word_bytes arch v = max 1 ((arch.Spec.precision_bits v + 7) / 8)
    never escapes [simulate_r]. *)
 exception Sim_abort of Robust.Failure.t
 
-let simulate_r ?(max_steps = 48) ?(max_cycles = 20_000_000)
+(* Telemetry: utilisation/occupancy histograms sampled every 256 cycles
+   (piggybacking on the existing budget-poll stride, so the disabled path
+   costs one flag load per poll), plus per-request DRAM counters recorded
+   by [Dram_model] itself. *)
+let h_link_util =
+  Telemetry.Metrics.histogram
+    ~buckets:(Telemetry.Metrics.linear_buckets ~lo:0. ~step:0.05 ~count:21)
+    "noc.link_utilization"
+
+let h_queue_depth =
+  Telemetry.Metrics.histogram
+    ~buckets:(Telemetry.Metrics.exponential_buckets ~lo:1. ~ratio:2. ~count:10)
+    "noc.queue_depth"
+
+let h_dram_queue =
+  Telemetry.Metrics.histogram
+    ~buckets:(Telemetry.Metrics.exponential_buckets ~lo:1. ~ratio:2. ~count:8)
+    "dram.queue_depth"
+
+let simulate_impl ?(max_steps = 48) ?(max_cycles = 20_000_000)
     ?(deadline = Robust.Deadline.none) arch (m : Mapping.t) =
   let noc = arch.Spec.noc_level in
   let dram_lvl = Spec.dram_level arch in
@@ -214,6 +233,13 @@ let simulate_r ?(max_steps = 48) ?(max_cycles = 20_000_000)
     && Mesh.idle mesh
   in
   let abort = ref None in
+  (* one utilisation sample = flit-hops accumulated over the last 256-cycle
+     window, normalised by the mesh's directed link count *)
+  let nlinks =
+    let mx = arch.Spec.noc.Spec.mesh_x and my = arch.Spec.noc.Spec.mesh_y in
+    max 1 (2 * (((mx - 1) * my) + (mx * (my - 1))))
+  in
+  let last_hops = ref 0 in
   (try
   while (not (finished ())) && !cycle < max_cycles do
     incr cycle;
@@ -224,7 +250,15 @@ let simulate_r ?(max_steps = 48) ?(max_cycles = 20_000_000)
        | Ok () -> ()
        | Error f -> raise (Sim_abort f));
       if Robust.Deadline.expired deadline then
-        raise (Sim_abort Robust.Failure.Deadline_exceeded)
+        raise (Sim_abort Robust.Failure.Deadline_exceeded);
+      if Telemetry.Sink.enabled () then begin
+        let hops = Mesh.flit_hops mesh in
+        Telemetry.Metrics.observe h_link_util
+          (float_of_int (hops - !last_hops) /. (256. *. float_of_int nlinks));
+        last_hops := hops;
+        Telemetry.Metrics.observe h_queue_depth (fi (Mesh.queued_flits mesh));
+        Telemetry.Metrics.observe h_dram_queue (fi (Dram_model.queue_length dram))
+      end
     end;
     (* DRAM *)
     Dram_model.step dram;
@@ -317,6 +351,11 @@ let simulate_r ?(max_steps = 48) ?(max_cycles = 20_000_000)
         flits_ejected = Mesh.flits_ejected mesh;
         flits_forked = Mesh.flits_forked mesh;
       }
+
+(* Public entry point: one "noc.simulate" span per run. *)
+let simulate_r ?max_steps ?max_cycles ?deadline arch m =
+  Telemetry.Trace.with_span ~cat:"noc" "noc.simulate" (fun () ->
+      simulate_impl ?max_steps ?max_cycles ?deadline arch m)
 
 (* Legacy wrapper: raises [Robust.Failure.Error] where [simulate_r] returns
    [Error]. Prefer [simulate_r] in new code. *)

@@ -11,10 +11,7 @@ let geomean xs =
 
 let sorted xs = List.sort compare xs
 
-let percentile p xs =
-  check_nonempty "percentile" xs;
-  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
-  let a = Array.of_list (sorted xs) in
+let interpolate a p =
   let n = Array.length a in
   if n = 1 then a.(0)
   else
@@ -22,6 +19,19 @@ let percentile p xs =
     let i = int_of_float (floor pos) in
     let frac = pos -. float_of_int i in
     if i + 1 >= n then a.(n - 1) else (a.(i) *. (1. -. frac)) +. (a.(i + 1) *. frac)
+
+let quantiles ps xs =
+  check_nonempty "quantiles" xs;
+  List.iter
+    (fun p -> if p < 0. || p > 100. then invalid_arg "Stats.quantiles: p out of range")
+    ps;
+  let a = Array.of_list (sorted xs) in
+  List.map (interpolate a) ps
+
+let percentile p xs =
+  check_nonempty "percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  interpolate (Array.of_list (sorted xs)) p
 
 let median xs = percentile 50. xs
 

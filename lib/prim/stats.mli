@@ -11,6 +11,13 @@ val median : float list -> float
 val percentile : float -> float list -> float
 (** [percentile p xs] with [p] in [\[0,100\]], linear interpolation. *)
 
+val quantiles : float list -> float list -> float list
+(** [quantiles ps xs] returns one value per requested percentile in [ps],
+    sorting [xs] once (the data is shared across all requests, so asking
+    for p50 and p95 together costs one sort, not two). Each element agrees
+    exactly with [percentile p xs]. Raises [Invalid_argument] on empty
+    [xs] or any [p] outside [\[0,100\]]. *)
+
 val stddev : float list -> float
 
 val minimum : float list -> float

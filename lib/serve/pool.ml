@@ -14,6 +14,18 @@
    tasks are domain-safe as long as the fault-injection harness is not
    armed (its plan is process-global). *)
 
+(* Telemetry: a tick per executed task and a queue-wait sample (batch
+   start -> task claim). Recording is atomic, so the jobs=4 totals match
+   the jobs=1 totals exactly — the race-freedom the telemetry tests
+   assert. Each task also gets a "serve.task" span; spans carry the
+   recording domain's id, so a trace shows the pool's domains side by
+   side. *)
+let m_tasks = Telemetry.Metrics.counter "serve.pool.tasks"
+
+let h_queue_wait =
+  Telemetry.Metrics.histogram ~buckets:Telemetry.Metrics.duration_buckets
+    "serve.pool.queue_wait_s"
+
 let wrap f x =
   match f x with
   | v -> Ok v
@@ -26,20 +38,26 @@ let run ~jobs f items =
   let n = Array.length items in
   if n = 0 then []
   else begin
+    let t_batch = Robust.Deadline.now () in
+    let run_task x =
+      Telemetry.Metrics.incr m_tasks;
+      Telemetry.Metrics.observe h_queue_wait (Robust.Deadline.now () -. t_batch);
+      Telemetry.Trace.with_span ~cat:"serve" "serve.task" (fun () -> wrap f x)
+    in
     let results =
       Array.make n (Error (Robust.Failure.Invalid_input "pool: task never ran"))
     in
     let jobs = max 1 (min jobs n) in
     if jobs = 1 then
       (* inline: zero domain overhead, and the determinism baseline *)
-      Array.iteri (fun i x -> results.(i) <- wrap f x) items
+      Array.iteri (fun i x -> results.(i) <- run_task x) items
     else begin
       let next = Atomic.make 0 in
       let worker () =
         let rec loop () =
           let i = Atomic.fetch_and_add next 1 in
           if i < n then begin
-            results.(i) <- wrap f items.(i);
+            results.(i) <- run_task items.(i);
             loop ()
           end
         in

@@ -20,6 +20,15 @@
 
 type entry = { meta : Mapping_io.meta; mapping : Mapping.t }
 
+(* Telemetry mirrors of the per-cache [stats] record, aggregated across
+   every cache instance in the process so `--metrics` sees one table. *)
+let m_hit_mem = Telemetry.Metrics.counter "serve.cache.hit_mem"
+let m_hit_disk = Telemetry.Metrics.counter "serve.cache.hit_disk"
+let m_miss = Telemetry.Metrics.counter "serve.cache.miss"
+let m_disk_reject = Telemetry.Metrics.counter "serve.cache.disk_reject"
+let m_eviction = Telemetry.Metrics.counter "serve.cache.eviction"
+let m_store = Telemetry.Metrics.counter "serve.cache.store"
+
 type stats = {
   mutable hits : int;  (* memory hits *)
   mutable disk_hits : int;  (* disk probes that verified and were promoted *)
@@ -98,7 +107,8 @@ let evict_lru t =
   | Some n ->
     unlink t n;
     Hashtbl.remove t.tbl n.key;
-    t.stats.evictions <- t.stats.evictions + 1
+    t.stats.evictions <- t.stats.evictions + 1;
+    Telemetry.Metrics.incr m_eviction
 
 (* Insert or refresh a memory entry (no disk traffic, no stats). *)
 let insert t fp entry =
@@ -149,6 +159,7 @@ let disk_load t ~arch ~layer fp =
     else begin
       let reject () =
         t.stats.disk_rejects <- t.stats.disk_rejects + 1;
+        Telemetry.Metrics.incr m_disk_reject;
         None
       in
       let parsed =
@@ -181,6 +192,7 @@ let disk_load t ~arch ~layer fp =
           match Certify.Mapping_cert.check arch mapping with
           | Certify.Certificate.Certified ->
             t.stats.disk_hits <- t.stats.disk_hits + 1;
+            Telemetry.Metrics.incr m_hit_disk;
             insert t fp { meta; mapping };
             Some { meta; mapping }
           | Certify.Certificate.Violated _ | (exception Robust.Failure.Error _) ->
@@ -196,6 +208,7 @@ let find t ~arch ~layer fp =
   match Hashtbl.find_opt t.tbl (Fingerprint.canon fp) with
   | Some n ->
     t.stats.hits <- t.stats.hits + 1;
+    Telemetry.Metrics.incr m_hit_mem;
     touch t n;
     Some (n.value, Memory)
   | None ->
@@ -203,10 +216,12 @@ let find t ~arch ~layer fp =
      | Some entry -> Some (entry, Disk)
      | None ->
        t.stats.misses <- t.stats.misses + 1;
+       Telemetry.Metrics.incr m_miss;
        None)
 
 let store t fp entry =
   t.stats.stores <- t.stats.stores + 1;
+  Telemetry.Metrics.incr m_store;
   insert t fp entry;
   disk_write t fp entry
 

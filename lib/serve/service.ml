@@ -9,6 +9,16 @@
    all request-local. Results are expanded by each shape's summed repeat
    count into repetition-weighted network latency/energy totals. *)
 
+(* Telemetry: one counter tick and a solve-time sample per pool solve
+   (cache hits are free and deliberately not sampled), and a "serve.batch"
+   span bracketing the whole request so traces show probe / fan-out /
+   store as one region per network. *)
+let m_solves = Telemetry.Metrics.counter "serve.solves"
+
+let h_solve_time =
+  Telemetry.Metrics.histogram ~buckets:Telemetry.Metrics.duration_buckets
+    "serve.solve_time_s"
+
 type config = {
   arch : Spec.t;
   weights : Cosa.weights;
@@ -91,7 +101,7 @@ let meta_of_result cfg (r : Cosa.result) =
     solve_time = r.Cosa.solve_time;
   }
 
-let schedule_network ?cache cfg (net : Network.t) =
+let schedule_network_impl ?cache cfg (net : Network.t) =
   let t0 = Robust.Deadline.now () in
   let dedup = Network.distinct net in
   (* 1. probe the cache for every distinct shape (coordinator domain) *)
@@ -122,7 +132,10 @@ let schedule_network ?cache cfg (net : Network.t) =
         ~node_limit:cfg.node_limit ~time_limit:cfg.time_limit ~deadline:cfg.deadline
         ~certify:cfg.certify cfg.arch e.Network.layer
     in
-    (r, Robust.Deadline.now () -. t)
+    let dt = Robust.Deadline.now () -. t in
+    Telemetry.Metrics.incr m_solves;
+    Telemetry.Metrics.observe h_solve_time dt;
+    (r, dt)
   in
   let solved = Pool.run ~jobs:cfg.jobs solve misses in
   (* 3. store fresh certified results and index them (coordinator domain) *)
@@ -190,7 +203,14 @@ let schedule_network ?cache cfg (net : Network.t) =
   let solve_times =
     List.map (fun lr -> match lr.served with Ok s -> s.solve_time | Error _ -> 0.) layers
   in
-  let pct p = match solve_times with [] -> 0. | ts -> Prim.Stats.percentile p ts in
+  let p50, p95 =
+    match solve_times with
+    | [] -> (0., 0.)
+    | ts ->
+      (match Prim.Stats.quantiles [ 50.; 95. ] ts with
+       | [ a; b ] -> (a, b)
+       | _ -> (0., 0.))
+  in
   {
     network_name = net.Network.nname;
     layers;
@@ -201,11 +221,21 @@ let schedule_network ?cache cfg (net : Network.t) =
     failed = List.length (List.filter (fun lr -> Result.is_error lr.served) layers);
     total_latency = sum (fun lr -> float_of_int lr.repeats *. lr.latency);
     total_energy_pj = sum (fun lr -> float_of_int lr.repeats *. lr.energy_pj);
-    solve_p50 = pct 50.;
-    solve_p95 = pct 95.;
+    solve_p50 = p50;
+    solve_p95 = p95;
     cache_stats = Option.map Schedule_cache.stats cache;
     wall_time = Robust.Deadline.now () -. t0;
   }
+
+let schedule_network ?cache cfg (net : Network.t) =
+  let sp = Telemetry.Trace.begin_span ~cat:"serve" "serve.batch" in
+  let r = schedule_network_impl ?cache cfg net in
+  Telemetry.Trace.end_span
+    ~args:
+      [ ("network", net.Network.nname); ("distinct", string_of_int r.distinct);
+        ("cached", string_of_int r.served_from_cache) ]
+    sp;
+  r
 
 let report_to_string r =
   let buf = Buffer.create 2048 in

@@ -1,0 +1,14 @@
+type t = Null | Memory | File of string
+
+(* The enabled flag is read on every instrumentation site, from every
+   domain; it is a separate atomic (rather than [get () <> Null]) so the
+   hot-path check is a single load with no match. *)
+let current = Atomic.make Null
+let enabled_flag = Atomic.make false
+
+let set s =
+  Atomic.set current s;
+  Atomic.set enabled_flag (s <> Null)
+
+let get () = Atomic.get current
+let enabled () = Atomic.get enabled_flag

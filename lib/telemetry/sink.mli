@@ -1,0 +1,21 @@
+(** Telemetry output destination and the master collection switch.
+
+    The sink doubles as the global enable flag for every recording
+    primitive in [Metrics] and [Trace]: with the default [Null] sink,
+    counters, histograms, and spans are no-ops that perform no allocation
+    — one atomic flag load and a branch — so instrumented hot paths cost
+    nothing in production unless observability is asked for. *)
+
+type t =
+  | Null  (** discard everything; recording primitives are no-ops (default) *)
+  | Memory  (** collect in memory only; read back via snapshot/export calls *)
+  | File of string  (** collect in memory and write the Chrome trace here on flush *)
+
+val set : t -> unit
+(** Install a sink. Any sink other than [Null] turns collection on. *)
+
+val get : unit -> t
+
+val enabled : unit -> bool
+(** One atomic load; checked by every recording primitive before any
+    allocation or clock read. *)

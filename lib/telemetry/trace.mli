@@ -1,0 +1,75 @@
+(** Hierarchical spans and instant events in an in-memory ring buffer.
+
+    Timestamps come from [Robust.Deadline.now] (the pipeline's shared
+    monotonic clock), relative to the trace epoch set by {!reset}. Spans
+    are recorded as Chrome [trace_event] complete events ([ph:"X"]) when
+    they end, so an exported trace is balanced by construction; each
+    OCaml domain appears as its own pid/tid. The ring holds the most
+    recent [capacity] events; a separate per-span-name aggregate table
+    (count, total duration) survives ring overwrite and feeds the
+    [--profile] summary.
+
+    Every entry point is a no-op while {!Sink.enabled} is false:
+    {!begin_span} returns a static disabled token without reading the
+    clock or allocating. *)
+
+type span
+
+val begin_span : ?cat:string -> string -> span
+(** Start a span in category [cat] (default ["app"]). *)
+
+val end_span : ?args:(string * string) list -> span -> unit
+(** Finish a span, recording one complete event with optional string
+    args. Ending a disabled or already-ended span is a no-op. *)
+
+val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span; the span ends even if [f]
+    raises. When telemetry is disabled this is exactly [f ()]. *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** Record a point event (Chrome [ph:"i"]). *)
+
+type event = {
+  name : string;
+  cat : string;
+  ts : float;  (** seconds since the trace epoch *)
+  dur : float;  (** seconds; 0 for instants *)
+  complete : bool;  (** true for spans, false for instants *)
+  pid : int;  (** OCaml domain id *)
+  args : (string * string) list;
+}
+
+val events : unit -> event list
+(** The ring's current contents, oldest first (at most [capacity]). *)
+
+val recorded : unit -> int
+(** Events recorded since the last {!reset}, including any the ring has
+    overwritten. *)
+
+val set_capacity : int -> unit
+(** Resize the ring (clamped to >= 1024) and clear it. Call before
+    enabling collection; not safe concurrently with recorders. *)
+
+val reset : unit -> unit
+(** Clear the ring and the profile aggregates and re-arm the epoch. *)
+
+val export_chrome : unit -> string
+(** The ring as a Chrome [trace_event] JSON object
+    ([{"traceEvents":[...]}], ts/dur in microseconds) loadable in
+    [chrome://tracing] and Perfetto. *)
+
+val export_jsonl : unit -> string
+(** One event object per line, same fields as the Chrome export. *)
+
+val write_file : string -> unit
+(** Write the Chrome export to a path. *)
+
+val flush : unit -> unit
+(** If the sink is [File p], {!write_file} [p]; otherwise nothing. *)
+
+val profile_entries : unit -> (string * int * float) list
+(** [(name, count, total_seconds)] per span name, sorted by descending
+    total; immune to ring overwrite. *)
+
+val profile_summary : unit -> string
+(** ASCII per-span wall-time table (the [--profile] report). *)

@@ -146,6 +146,24 @@ let prop_percentile_monotone =
       let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
       Prim.Stats.percentile lo xs <= Prim.Stats.percentile hi xs +. 1e-9)
 
+let test_quantiles () =
+  Alcotest.(check (list (float 1e-9)))
+    "p50/p95 pair" [ 2.5; 3.85 ]
+    (Prim.Stats.quantiles [ 50.; 95. ] [ 4.; 2.; 1.; 3. ]);
+  Alcotest.(check (list (float 1e-9))) "empty request" [] (Prim.Stats.quantiles [] [ 1. ]);
+  Alcotest.check_raises "empty data" (Invalid_argument "Stats.quantiles: empty list")
+    (fun () -> ignore (Prim.Stats.quantiles [ 50. ] []));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.quantiles: p out of range") (fun () ->
+      ignore (Prim.Stats.quantiles [ 101. ] [ 1. ]))
+
+let prop_quantiles_agree_percentile =
+  QCheck.Test.make ~name:"quantiles [p] xs = [percentile p xs]" ~count:300
+    QCheck.(pair (list_of_size Gen.(int_range 1 30) (float_range (-50.) 50.)) (float_range 0. 100.))
+    (fun (xs, p) ->
+      QCheck.assume (xs <> []);
+      Prim.Stats.quantiles [ p ] xs = [ Prim.Stats.percentile p xs ])
+
 (* --- Bigint / Ratio (exact arithmetic backing the certifier) --- *)
 
 module B = Prim.Bigint
@@ -255,6 +273,7 @@ let suite =
       Alcotest.test_case "rng float" `Quick test_rng_float_bounds;
       Alcotest.test_case "stats basics" `Quick test_stats_basic;
       Alcotest.test_case "stats errors" `Quick test_stats_errors;
+      Alcotest.test_case "quantiles" `Quick test_quantiles;
       Alcotest.test_case "histogram" `Quick test_histogram;
       Alcotest.test_case "bigint basics" `Quick test_bigint_basics;
       Alcotest.test_case "ratio basics" `Quick test_ratio_basics;
@@ -265,6 +284,7 @@ let suite =
       qc prop_divisors_divide;
       qc prop_geomean_bounded;
       qc prop_percentile_monotone;
+      qc prop_quantiles_agree_percentile;
       qc prop_ratio_ring;
       qc prop_ratio_normalized;
       qc prop_ratio_compare_float;

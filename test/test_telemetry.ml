@@ -1,0 +1,198 @@
+(* Tests for the telemetry subsystem: atomic metrics, the span ring and
+   its Chrome export, the zero-cost-when-disabled contract, race-free
+   recording under the domain pool, and non-interference with solver
+   determinism. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+module M = Telemetry.Metrics
+module T = Telemetry.Trace
+
+(* Every test arms a sink and must leave the process-wide default (Null)
+   behind, even on assertion failure — other suites assume telemetry off. *)
+let with_sink sink f =
+  Telemetry.Sink.set sink;
+  M.reset ();
+  T.reset ();
+  Fun.protect ~finally:(fun () -> Telemetry.Sink.set Telemetry.Sink.Null) f
+
+(* ---- metrics ---------------------------------------------------------- *)
+
+let test_counter_basic () =
+  with_sink Telemetry.Sink.Memory @@ fun () ->
+  let c = M.counter "test.counter" in
+  check_int "registered at zero" 0 (M.counter_value (M.snapshot ()) "test.counter");
+  M.incr c;
+  M.incr c;
+  M.add c 40;
+  check_int "incr + add accumulate" 42 (M.counter_value (M.snapshot ()) "test.counter");
+  (* find-or-create: the same name is the same counter *)
+  M.incr (M.counter "test.counter");
+  check_int "same name, same cell" 43 (M.counter_value (M.snapshot ()) "test.counter");
+  check_int "absent counter reads 0" 0 (M.counter_value (M.snapshot ()) "test.absent")
+
+let test_disabled_is_noop () =
+  with_sink Telemetry.Sink.Memory @@ fun () ->
+  let c = M.counter "test.gated" in
+  Telemetry.Sink.set Telemetry.Sink.Null;
+  M.incr c;
+  M.observe (M.histogram "test.gated_hist") 1.0;
+  ignore (T.begin_span "gated");
+  T.instant "gated";
+  Telemetry.Sink.set Telemetry.Sink.Memory;
+  check_int "counter untouched while disabled" 0
+    (M.counter_value (M.snapshot ()) "test.gated");
+  check_bool "no events recorded while disabled" true (T.events () = []);
+  let snap = M.snapshot () in
+  check_int "histogram untouched while disabled" 0
+    (List.assoc "test.gated_hist" snap.M.histograms).M.count
+
+let test_histogram_buckets () =
+  with_sink Telemetry.Sink.Memory @@ fun () ->
+  let h = M.histogram ~buckets:[| 1.; 10.; 100. |] "test.hist" in
+  List.iter (M.observe h) [ 0.5; 1.0; 3.; 50.; 1e6 ];
+  let s = List.assoc "test.hist" (M.snapshot ()).M.histograms in
+  check_int "sample count" 5 s.M.count;
+  Alcotest.(check (float 1e-9)) "sum" (0.5 +. 1.0 +. 3. +. 50. +. 1e6) s.M.sum;
+  (* bounds get an implicit overflow bucket appended *)
+  check_int "bucket array length" 4 (Array.length s.M.counts);
+  Alcotest.(check (array int)) "per-bucket counts" [| 2; 1; 1; 1 |] s.M.counts;
+  check_bool "overflow bound is inf" true (s.M.bounds.(3) = infinity);
+  (* the bucket estimate is the containing bucket's upper bound *)
+  Alcotest.(check (float 1e-9)) "median estimate" 10. (M.hist_quantile s 0.5)
+
+let test_snapshot_reset () =
+  with_sink Telemetry.Sink.Memory @@ fun () ->
+  let c = M.counter "test.reset_c" in
+  let h = M.histogram "test.reset_h" in
+  M.add c 7;
+  M.observe h 0.5;
+  M.set_gauge (M.gauge "test.reset_g") 3.5;
+  M.reset ();
+  let snap = M.snapshot () in
+  (* registrations survive a reset; only values are cleared *)
+  check_int "counter re-zeroed" 0 (M.counter_value snap "test.reset_c");
+  check_bool "counter still listed" true (List.mem_assoc "test.reset_c" snap.M.counters);
+  check_int "histogram re-zeroed" 0 (List.assoc "test.reset_h" snap.M.histograms).M.count;
+  Alcotest.(check (float 0.)) "gauge re-zeroed" 0. (List.assoc "test.reset_g" snap.M.gauges);
+  M.incr c;
+  check_int "cell usable after reset" 1 (M.counter_value (M.snapshot ()) "test.reset_c")
+
+(* ---- tracing ---------------------------------------------------------- *)
+
+let test_span_nesting_balance () =
+  with_sink Telemetry.Sink.Memory @@ fun () ->
+  T.with_span ~cat:"outer" "a" (fun () ->
+      T.with_span ~cat:"inner" "b" (fun () -> ());
+      T.instant ~args:[ ("k", "v") ] "tick");
+  let evs = T.events () in
+  check_int "three events" 3 (List.length evs);
+  (* spans are recorded as complete events when they end, so the export is
+     balanced by construction: every span event carries its own duration *)
+  List.iter
+    (fun (e : T.event) ->
+      check_bool ("non-negative ts: " ^ e.T.name) true (e.T.ts >= 0.);
+      check_bool ("non-negative dur: " ^ e.T.name) true (e.T.dur >= 0.))
+    evs;
+  let span_events = List.filter (fun (e : T.event) -> e.T.complete) evs in
+  check_int "two complete spans" 2 (List.length span_events);
+  let outer = List.find (fun (e : T.event) -> e.T.name = "a") evs in
+  let inner = List.find (fun (e : T.event) -> e.T.name = "b") evs in
+  check_bool "inner nests inside outer" true
+    (inner.T.ts >= outer.T.ts
+    && inner.T.ts +. inner.T.dur <= outer.T.ts +. outer.T.dur +. 1e-9);
+  (* Chrome export: one JSON object, one "X" record per span, one "i" *)
+  let chrome = T.export_chrome () in
+  let count_sub sub =
+    let n = ref 0 and i = ref 0 in
+    let len = String.length sub in
+    while !i + len <= String.length chrome do
+      if String.sub chrome !i len = sub then incr n;
+      incr i
+    done;
+    !n
+  in
+  check_bool "has traceEvents array" true (count_sub "\"traceEvents\"" = 1);
+  check_int "balanced complete events" 2 (count_sub "\"ph\":\"X\"");
+  check_int "one instant" 1 (count_sub "\"ph\":\"i\"");
+  check_bool "args exported" true (count_sub "\"k\":\"v\"" = 1)
+
+let test_span_exception_safety () =
+  with_sink Telemetry.Sink.Memory @@ fun () ->
+  (try T.with_span "boom" (fun () -> failwith "boom") with Failure _ -> ());
+  check_int "span still recorded on raise" 1 (List.length (T.events ()))
+
+let test_profile_aggregates () =
+  with_sink Telemetry.Sink.Memory @@ fun () ->
+  for _ = 1 to 5 do
+    T.with_span "p.work" (fun () -> ())
+  done;
+  (match List.find_opt (fun (n, _, _) -> n = "p.work") (T.profile_entries ()) with
+   | Some (_, count, total) ->
+     check_int "profile count" 5 count;
+     check_bool "profile total >= 0" true (total >= 0.)
+   | None -> Alcotest.fail "p.work missing from profile");
+  check_bool "summary renders" true (String.length (T.profile_summary ()) > 0)
+
+let test_ring_overwrite () =
+  with_sink Telemetry.Sink.Memory @@ fun () ->
+  (* the ring keeps the newest [capacity] events; the recorded total and
+     the profile aggregates keep counting past the overwrite *)
+  T.set_capacity 1024;
+  Fun.protect ~finally:(fun () -> T.set_capacity 65536) @@ fun () ->
+  for _ = 1 to 1500 do
+    T.with_span "r.spin" (fun () -> ())
+  done;
+  check_int "ring clamps to capacity" 1024 (List.length (T.events ()));
+  check_int "recorded counts overwrites" 1500 (T.recorded ());
+  match List.find_opt (fun (n, _, _) -> n = "r.spin") (T.profile_entries ()) with
+  | Some (_, count, _) -> check_int "profile survives overwrite" 1500 count
+  | None -> Alcotest.fail "r.spin missing from profile"
+
+(* ---- domain-safety and non-interference ------------------------------- *)
+
+let test_pool_metrics_race_free () =
+  with_sink Telemetry.Sink.Memory @@ fun () ->
+  let n = 200 in
+  let results =
+    Serve.Pool.run ~jobs:4 (fun i -> i * i) (List.init n (fun i -> i))
+  in
+  check_int "all tasks returned" n (List.length results);
+  let snap = M.snapshot () in
+  (* atomic recording: 4 domains recording concurrently lose no ticks *)
+  check_int "pool task counter exact" n (M.counter_value snap "serve.pool.tasks");
+  check_int "queue-wait samples exact" n
+    (List.assoc "serve.pool.queue_wait_s" snap.M.histograms).M.count;
+  check_int "one span per task" n (T.recorded ())
+
+let test_determinism_with_telemetry () =
+  (* telemetry observes the solver, it must never steer it: a node-bound
+     schedule is byte-identical with collection off and on *)
+  let arch = Spec.baseline in
+  let layer = Layer.create ~name:"tel_det" ~r:3 ~s:3 ~p:4 ~q:4 ~c:4 ~k:8 ~n:1 () in
+  let solve () =
+    Mapping_io.to_string
+      (Cosa.schedule ~strategy:Cosa.Two_stage ~node_limit:2_000 ~time_limit:60. arch
+         layer)
+        .Cosa.mapping
+  in
+  Telemetry.Sink.set Telemetry.Sink.Null;
+  let off = solve () in
+  let on = with_sink Telemetry.Sink.Memory solve in
+  Alcotest.(check string) "schedule identical with telemetry on" off on
+
+let suite =
+  ( "telemetry",
+    [
+      Alcotest.test_case "counter basics" `Quick test_counter_basic;
+      Alcotest.test_case "disabled is no-op" `Quick test_disabled_is_noop;
+      Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+      Alcotest.test_case "snapshot reset" `Quick test_snapshot_reset;
+      Alcotest.test_case "span nesting balance" `Quick test_span_nesting_balance;
+      Alcotest.test_case "span exception safety" `Quick test_span_exception_safety;
+      Alcotest.test_case "profile aggregates" `Quick test_profile_aggregates;
+      Alcotest.test_case "ring overwrite" `Quick test_ring_overwrite;
+      Alcotest.test_case "pool metrics race-free" `Quick test_pool_metrics_race_free;
+      Alcotest.test_case "determinism with telemetry" `Quick test_determinism_with_telemetry;
+    ] )
