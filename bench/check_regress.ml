@@ -1,0 +1,267 @@
+(* Bench regression gate: compare a fresh BENCH_results.json against the
+   committed BENCH_baseline.json.
+
+     dune exec bench/check_regress.exe -- BENCH_results.json BENCH_baseline.json
+
+   Two classes of check, matching what each number can promise:
+
+   - Wall times (per experiment, and the warm/cold sweep walls) are
+     machine- and load-dependent: drift beyond ±20% prints a WARNING but
+     never fails the gate.
+
+   - The warm-start sweep is node-bound, so its telemetry counters are
+     deterministic: any counter drift against the baseline is a real
+     behavioural change (different pivots, different tree) and FAILS the
+     gate (exit 1), as does a sweep that lost warm/cold identity or stopped
+     warm-solving nodes.
+
+   Stdlib only (hand-rolled JSON reader for the subset bench/main.ml
+   emits: objects, arrays, strings, numbers, booleans). *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else fail "unexpected end" in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        (match peek () with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 'u' ->
+           (* bench output only escapes control characters; decode as-is *)
+           let hex = String.sub s (!pos + 1) 4 in
+           Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex) land 0xff));
+           pos := !pos + 4
+         | c -> fail (Printf.sprintf "bad escape \\%c" c));
+        incr pos;
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = '}' then begin incr pos; Obj [] end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> incr pos; members ((k, v) :: acc)
+          | '}' -> incr pos; Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+      end
+    | '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = ']' then begin incr pos; Arr [] end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> incr pos; elements (v :: acc)
+          | ']' -> incr pos; Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elements []
+      end
+    | '"' -> Str (parse_string ())
+    | 't' -> pos := !pos + 4; Bool true
+    | 'f' -> pos := !pos + 5; Bool false
+    | 'n' -> pos := !pos + 4; Null
+    | _ ->
+      let start = !pos in
+      while
+        !pos < n
+        && (match s.[!pos] with
+            | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+            | _ -> false)
+      do
+        incr pos
+      done;
+      if !pos = start then fail "unexpected character";
+      Num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  v
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_json (really_input_string ic (in_channel_length ic)))
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let path_opt j keys = List.fold_left (fun j k -> Option.bind j (member k)) (Some j) keys
+let num_opt j keys = match path_opt j keys with Some (Num x) -> Some x | _ -> None
+let bool_opt j keys = match path_opt j keys with Some (Bool b) -> Some b | _ -> None
+
+let warnings = ref 0
+let failures = ref 0
+
+let warn fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr warnings;
+      Printf.printf "WARNING: %s\n" s)
+    fmt
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.printf "FAIL: %s\n" s)
+    fmt
+
+let wall_tolerance = 0.20
+
+let check_wall label fresh base =
+  match (fresh, base) with
+  | Some f, Some b when b > 0. ->
+    let drift = (f -. b) /. b in
+    if Float.abs drift > wall_tolerance then
+      warn "%s wall %.2fs vs baseline %.2fs (%+.0f%%, tolerance ±%.0f%%)" label f b
+        (100. *. drift) (100. *. wall_tolerance)
+  | Some _, Some _ -> ()
+  | _ -> warn "%s wall time missing from results or baseline" label
+
+(* per-experiment wall times, matched by id *)
+let check_experiments fresh base =
+  let exps j =
+    match member "experiments" j with
+    | Some (Arr es) ->
+      List.filter_map
+        (fun e ->
+          match (path_opt e [ "id" ], num_opt e [ "wall_s" ]) with
+          | Some (Str id), Some w -> Some (id, w)
+          | _ -> None)
+        es
+    | _ -> []
+  in
+  let base_exps = exps base in
+  List.iter
+    (fun (id, w) ->
+      match List.assoc_opt id base_exps with
+      | Some bw -> check_wall (Printf.sprintf "experiment %s" id) (Some w) (Some bw)
+      | None -> warn "experiment %s missing from baseline" id)
+    (exps fresh)
+
+(* The node-bound warm sweep: identity booleans must hold in the fresh run,
+   and every telemetry counter must match the baseline exactly. *)
+let check_sweep fresh base =
+  match (member "warm_sweep" fresh, member "warm_sweep" base) with
+  | None, _ -> fail "warm_sweep section missing from fresh results"
+  | _, None -> warn "warm_sweep section missing from baseline (gate skipped)"
+  | Some f, Some b ->
+    List.iter
+      (fun key ->
+        match bool_opt f [ key ] with
+        | Some true -> ()
+        | Some false -> fail "warm_sweep.%s is false (warm/cold runs diverged)" key
+        | None -> fail "warm_sweep.%s missing" key)
+      [ "schedules_identical"; "objectives_identical"; "nodes_identical" ];
+    (match num_opt f [ "warm"; "telemetry"; "counters"; "simplex.warm_solves" ] with
+     | Some w when w > 0. -> ()
+     | Some _ -> fail "warm sweep performed no warm solves"
+     | None -> fail "warm_sweep warm_solves counter missing");
+    check_wall "warm_sweep(warm)" (num_opt f [ "warm"; "wall_s" ])
+      (num_opt b [ "warm"; "wall_s" ]);
+    check_wall "warm_sweep(cold)" (num_opt f [ "cold"; "wall_s" ])
+      (num_opt b [ "cold"; "wall_s" ]);
+    List.iter
+      (fun side ->
+        match
+          (path_opt f [ side; "telemetry"; "counters" ],
+           path_opt b [ side; "telemetry"; "counters" ])
+        with
+        | Some (Obj fc), Some (Obj bc) ->
+          List.iter
+            (fun (name, v) ->
+              match (v, List.assoc_opt name bc) with
+              | Num fv, Some (Num bv) ->
+                if fv <> bv then
+                  fail "warm_sweep %s counter %s drifted: %.0f vs baseline %.0f" side
+                    name fv bv
+              | _, None ->
+                fail "warm_sweep %s counter %s absent from baseline" side name
+              | _ -> fail "warm_sweep %s counter %s is not a number" side name)
+            fc;
+          List.iter
+            (fun (name, _) ->
+              if not (List.mem_assoc name fc) then
+                fail "warm_sweep %s counter %s vanished from fresh results" side name)
+            bc
+        | _ -> fail "warm_sweep %s telemetry counters missing" side)
+      [ "warm"; "cold" ]
+
+let () =
+  let results, baseline =
+    match Sys.argv with
+    | [| _; r; b |] -> (r, b)
+    | _ ->
+      prerr_endline "usage: check_regress RESULTS.json BASELINE.json";
+      exit 2
+  in
+  let fresh =
+    try load results
+    with e ->
+      Printf.eprintf "cannot read %s: %s\n" results (Printexc.to_string e);
+      exit 2
+  in
+  let base =
+    try load baseline
+    with e ->
+      Printf.eprintf "cannot read %s: %s\n" baseline (Printexc.to_string e);
+      exit 2
+  in
+  check_experiments fresh base;
+  check_sweep fresh base;
+  Printf.printf "regression gate: %d failure(s), %d warning(s)\n" !failures !warnings;
+  if !failures > 0 then exit 1

@@ -39,6 +39,11 @@ let snapshot_json (s : Telemetry.Metrics.snapshot) =
       (fun (name, v) -> Printf.sprintf "\"%s\":%d" (json_escape name) v)
       s.Telemetry.Metrics.counters
   in
+  let gauges =
+    List.map
+      (fun (name, v) -> Printf.sprintf "\"%s\":%s" (json_escape name) (json_float v))
+      s.Telemetry.Metrics.gauges
+  in
   let hists =
     List.map
       (fun (name, (h : Telemetry.Metrics.hist_snapshot)) ->
@@ -46,17 +51,19 @@ let snapshot_json (s : Telemetry.Metrics.snapshot) =
           h.Telemetry.Metrics.count (json_float h.Telemetry.Metrics.sum))
       s.Telemetry.Metrics.histograms
   in
-  Printf.sprintf "{\"counters\":{%s},\"histograms\":{%s}}"
-    (String.concat "," counters) (String.concat "," hists)
+  Printf.sprintf "{\"counters\":{%s},\"gauges\":{%s},\"histograms\":{%s}}"
+    (String.concat "," counters) (String.concat "," gauges) (String.concat "," hists)
 
 let exp_results : string list ref = ref []
 let serve_result : string option ref = ref None
+let sweep_result : string option ref = ref None
 let micro_results : string list ref = ref []
 
 let write_results path =
   let sections =
     [ Printf.sprintf "\"experiments\":[%s]" (String.concat "," (List.rev !exp_results)) ]
     @ (match !serve_result with Some s -> [ "\"serve\":" ^ s ] | None -> [])
+    @ (match !sweep_result with Some s -> [ "\"warm_sweep\":" ^ s ] | None -> [])
     @ [ Printf.sprintf "\"micro\":[%s]" (String.concat "," (List.rev !micro_results)) ]
   in
   let oc = open_out path in
@@ -223,21 +230,102 @@ let serve_benchmarks () =
   Telemetry.Sink.set Telemetry.Sink.Null;
   flush stdout
 
+(* Warm-start sweep: the warm-started-dual-simplex acceptance gate. Every
+   distinct ResNet-50 shape is scheduled node-bound (deterministic) twice —
+   --warm-start on and off — under identical budgets. Warm starting must
+   only change how fast each node LP solves, never the search itself, so
+   the gate demands byte-identical schedules, objectives, and node counts,
+   then reports the iteration economics (phase1+phase2+dual totals) and
+   the fraction of non-root node LPs served by dual reoptimization. *)
+let warm_sweep () =
+  print_newline ();
+  print_endline "Warm-start sweep: node-bound ResNet-50, warm vs cold node LPs";
+  print_endline "=============================================================";
+  Telemetry.Sink.set Telemetry.Sink.Memory;
+  let arch = Spec.baseline in
+  let shapes = Network.distinct Network.resnet50 in
+  let iter_counters =
+    [ "simplex.phase1_iterations"; "simplex.phase2_iterations";
+      "simplex.dual_iterations" ]
+  in
+  let run ~warm_start =
+    Telemetry.Metrics.reset ();
+    let t0 = Unix.gettimeofday () in
+    let results =
+      List.map
+        (fun ((e : Network.entry), _) ->
+          Cosa.schedule ~strategy:Cosa.Two_stage ~node_limit:3_000 ~time_limit:60.
+            ~warm_start arch e.Network.layer)
+        shapes
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let snap = Telemetry.Metrics.snapshot () in
+    let cv = Telemetry.Metrics.counter_value snap in
+    let schedules =
+      List.map (fun (r : Cosa.result) -> Mapping_io.to_string r.Cosa.mapping) results
+    in
+    let objectives =
+      List.map (fun (r : Cosa.result) -> r.Cosa.objective.Cosa.total) results
+    in
+    let iters = List.fold_left (fun acc c -> acc + cv c) 0 iter_counters in
+    (wall, snap, schedules, objectives, cv "bb.nodes", iters)
+  in
+  let w_wall, w_snap, w_scheds, w_objs, w_nodes, w_iters = run ~warm_start:true in
+  let c_wall, c_snap, c_scheds, c_objs, c_nodes, c_iters = run ~warm_start:false in
+  let wcv = Telemetry.Metrics.counter_value w_snap in
+  let warm_nodes = wcv "bb.warm_nodes" and cold_nodes = wcv "bb.cold_nodes" in
+  let warm_rate =
+    if warm_nodes + cold_nodes = 0 then 0.
+    else float_of_int warm_nodes /. float_of_int (warm_nodes + cold_nodes)
+  in
+  let iter_ratio =
+    if w_iters = 0 then 0. else float_of_int c_iters /. float_of_int w_iters
+  in
+  let schedules_identical = w_scheds = c_scheds in
+  let objectives_identical = w_objs = c_objs in
+  let nodes_identical = w_nodes = c_nodes in
+  Printf.printf "%d distinct shapes, node_limit=3000, strategy=two-stage\n"
+    (List.length shapes);
+  Printf.printf "warm: %.2f s, %d nodes, %d simplex iterations (%d warm-solved node LPs)\n"
+    w_wall w_nodes w_iters (wcv "simplex.warm_solves");
+  Printf.printf "cold: %.2f s, %d nodes, %d simplex iterations\n" c_wall c_nodes c_iters;
+  Printf.printf "iteration ratio cold/warm: %.2fx (acceptance: >= 2x)\n" iter_ratio;
+  Printf.printf "non-root node LPs warm-solved: %.1f%% (acceptance: >= 70%%)\n"
+    (100. *. warm_rate);
+  Printf.printf "schedules byte-identical warm vs cold: %b\n" schedules_identical;
+  Printf.printf "objectives identical: %b\nnode counts identical: %b\n"
+    objectives_identical nodes_identical;
+  sweep_result :=
+    Some
+      (Printf.sprintf
+         "{\"shapes\":%d,\"node_limit\":3000,\"schedules_identical\":%b,\
+          \"objectives_identical\":%b,\"nodes_identical\":%b,\"iter_ratio\":%s,\
+          \"warm_start_rate\":%s,\"warm\":{\"wall_s\":%s,\"telemetry\":%s},\
+          \"cold\":{\"wall_s\":%s,\"telemetry\":%s}}"
+         (List.length shapes) schedules_identical objectives_identical nodes_identical
+         (json_float iter_ratio) (json_float warm_rate) (json_float w_wall)
+         (snapshot_json w_snap) (json_float c_wall) (snapshot_json c_snap));
+  Telemetry.Metrics.reset ();
+  Telemetry.Sink.set Telemetry.Sink.Null;
+  flush stdout
+
 let () =
   let t0 = Unix.gettimeofday () in
-  (* one optional argument selects a single section: exp | serve | micro *)
+  (* one optional argument selects a single section: exp | serve | sweep | micro *)
   (match if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None with
    | Some "exp" -> run_experiments ()
    | Some "serve" -> serve_benchmarks ()
+   | Some "sweep" -> warm_sweep ()
    | Some "micro" -> micro_benchmarks ()
    | Some other ->
-     Printf.eprintf "unknown section %S (expected exp, serve, or micro)\n" other;
+     Printf.eprintf "unknown section %S (expected exp, serve, sweep, or micro)\n" other;
      exit 2
    | None ->
      print_endline "CoSA reproduction: full experiment harness";
      print_endline "==========================================";
      run_experiments ();
      serve_benchmarks ();
+     warm_sweep ();
      micro_benchmarks ());
   Printf.printf "\nTotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0);
   write_results "BENCH_results.json"

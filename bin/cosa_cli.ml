@@ -49,6 +49,15 @@ let fault_rate_arg =
   Arg.(value & opt float 0.02 & info [ "fault-rate" ] ~docv:"RATE"
          ~doc:"Per-site-visit fault probability when --fault-seed is given.")
 
+let warm_start_arg =
+  let on_off = Arg.enum [ ("on", true); ("off", false) ] in
+  Arg.(value & opt on_off true & info [ "warm-start" ] ~docv:"on|off"
+         ~doc:"LP warm starting inside branch-and-bound: child nodes reoptimize \
+               from the parent's simplex basis via dual simplex ($(b,on), \
+               default) instead of solving cold. Changes how fast nodes solve, \
+               never which schedule wins; $(b,off) exists for benchmarking and \
+               bisection.")
+
 let certify_arg =
   let certify_conv =
     Arg.enum [ ("off", Cosa.Off); ("warn", Cosa.Warn); ("strict", Cosa.Strict) ]
@@ -135,13 +144,14 @@ let schedule_cmd =
            ~doc:"Also write the schedule to $(docv) (cosa_cli evaluate reads it back).")
   in
   let run arch_name layer_name strategy save node_limit time_limit fault_seed fault_rate
-      certify trace metrics profile =
+      certify warm_start trace metrics profile =
     let arch = arch_of_name arch_name in
     let layer = find_layer layer_name in
     let r =
       with_telemetry trace metrics profile (fun () ->
           with_faults fault_seed fault_rate (fun () ->
-              Cosa.schedule ~strategy ~node_limit ~time_limit ~certify arch layer))
+              Cosa.schedule ~strategy ~node_limit ~time_limit ~certify ~warm_start arch
+                layer))
     in
     (match save with
      | Some path ->
@@ -175,8 +185,8 @@ let schedule_cmd =
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Produce a CoSA schedule for a layer and report it.")
     Term.(const run $ arch_arg $ layer_arg $ strategy_arg $ save_arg $ node_limit_arg
-          $ time_limit_arg $ fault_seed_arg $ fault_rate_arg $ certify_arg $ trace_arg
-          $ metrics_arg $ profile_arg)
+          $ time_limit_arg $ fault_seed_arg $ fault_rate_arg $ certify_arg
+          $ warm_start_arg $ trace_arg $ metrics_arg $ profile_arg)
 
 (* cosa_cli batch --network resnet50 --jobs 4 --cache-dir PATH *)
 let batch_cmd =
@@ -209,7 +219,7 @@ let batch_cmd =
            ~doc:"Solver strategy: auto, joint, or two-stage.")
   in
   let run arch_name network_name jobs cache_dir cache_size node_limit strategy time_limit
-      certify trace metrics profile =
+      certify warm_start trace metrics profile =
     let arch = arch_of_name arch_name in
     let net =
       match Network.find network_name with
@@ -221,7 +231,8 @@ let batch_cmd =
     in
     let cache = Serve.Schedule_cache.create ?dir:cache_dir ~capacity:cache_size () in
     let cfg =
-      Serve.Service.config ~strategy ~certify ~node_limit ~time_limit ~jobs arch
+      Serve.Service.config ~strategy ~certify ~node_limit ~time_limit ~jobs ~warm_start
+        arch
     in
     let report =
       with_telemetry trace metrics profile (fun () ->
@@ -235,8 +246,8 @@ let batch_cmd =
        ~doc:"Schedule a whole network: dedup shapes, serve from the certified \
              schedule cache, solve misses on a domain pool.")
     Term.(const run $ arch_arg $ network_arg $ jobs_arg $ cache_dir_arg $ cache_size_arg
-          $ node_limit_arg $ strategy_arg $ time_limit_arg $ certify_arg $ trace_arg
-          $ metrics_arg $ profile_arg)
+          $ node_limit_arg $ strategy_arg $ time_limit_arg $ certify_arg $ warm_start_arg
+          $ trace_arg $ metrics_arg $ profile_arg)
 
 (* cosa_cli exp <id> *)
 let exp_cmd =

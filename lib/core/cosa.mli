@@ -78,6 +78,7 @@ val schedule :
   ?deadline:Robust.Deadline.t ->
   ?heuristic_retries:int ->
   ?certify:certify_mode ->
+  ?warm_start:bool ->
   Spec.t ->
   Layer.t ->
   result
@@ -93,7 +94,11 @@ val schedule :
     the whole call) and [deadline] (absolute); it is enforced down to the
     simplex pivot loop, so even a single LP solve cannot blow the budget.
     [heuristic_retries] (default 3) bounds the seed-perturbed sampler
-    retries on the heuristic rung.
+    retries on the heuristic rung. [warm_start] (default [true]) toggles
+    LP warm starting inside branch-and-bound: child nodes reoptimize from
+    the parent's simplex basis with dual simplex instead of solving cold.
+    It only changes how fast nodes solve, never which schedule wins — the
+    escape hatch exists for benchmarking and bisection.
 
     Every rung's candidate additionally passes through the exact-arithmetic
     certification layer ({!Certify}) according to [certify] (default

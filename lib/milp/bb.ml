@@ -25,6 +25,9 @@ let m_prune_gap = Telemetry.Metrics.counter "bb.prune.gap"
 let m_prune_integral = Telemetry.Metrics.counter "bb.prune.integral"
 let m_prune_aborted = Telemetry.Metrics.counter "bb.prune.aborted"
 let m_incumbents = Telemetry.Metrics.counter "bb.incumbents"
+let m_warm_nodes = Telemetry.Metrics.counter "bb.warm_nodes"
+let m_cold_nodes = Telemetry.Metrics.counter "bb.cold_nodes"
+let g_warm_rate = Telemetry.Metrics.gauge "bb.warm_start_rate"
 
 (* Min-heap of B&B nodes keyed by LP bound. *)
 module Heap = struct
@@ -121,7 +124,15 @@ let relax model =
   Array.iteri (fun j c -> cost.(j) <- sign *. c) obj;
   { Simplex.nrows = m; ncols; cols; cost; lb; ub; rhs }
 
-type node = { nlb : (int * float) list; nub : (int * float) list; depth : int }
+(* A search node: bound deltas against the base relaxation, plus the
+   parent's optimal LP basis. The basis value is shared (never mutated)
+   between both children, so carrying it costs one pointer per node. *)
+type node = {
+  nlb : (int * float) list;
+  nub : (int * float) list;
+  depth : int;
+  nbasis : Simplex.Basis.t option;
+}
 
 (* Check a candidate assignment against the model's own constraints/bounds. *)
 let check_feasible ?(tol = 1e-6) model x =
@@ -147,7 +158,7 @@ let check_feasible ?(tol = 1e-6) model x =
       !ok)
 
 let solve_impl ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.Deadline.none)
-    ?(integrality_tol = 1e-6) ?priority ?(gap = 0.) ?warm_start model =
+    ?(integrality_tol = 1e-6) ?priority ?(gap = 0.) ?warm_start ?(warm_lp = true) model =
   let t0 = Robust.Deadline.now () in
   (* the effective budget is the tighter of the relative time limit and the
      caller's absolute deadline; both propagate into every node's simplex *)
@@ -192,23 +203,53 @@ let solve_impl ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.D
     List.iter (fun j -> a.(j) <- true) int_vars;
     a
   in
+  (* Node bound arrays are blitted into two scratch buffers allocated once
+     per search instead of freshly copied per node: the simplex reads them
+     only during its own setup, so reuse across (sequential) node solves is
+     safe and removes two ncols-sized allocations from every node. Heap
+     siblings carry only their bound-delta lists — no arrays are copied on
+     branch. *)
+  let scratch_lb = Array.make base.ncols 0. in
+  let scratch_ub = Array.make base.ncols 0. in
+  let lp_warm = ref 0 and lp_cold = ref 0 in
   let solve_node node =
-    let lb = Array.copy base.lb and ub = Array.copy base.ub in
+    Array.blit base.lb 0 scratch_lb 0 base.ncols;
+    Array.blit base.ub 0 scratch_ub 0 base.ncols;
+    let lb = scratch_lb and ub = scratch_ub in
     List.iter (fun (j, v) -> lb.(j) <- max lb.(j) v) node.nlb;
     List.iter (fun (j, v) -> ub.(j) <- min ub.(j) v) node.nub;
     let conflict = ref false in
     List.iter (fun (j, _) -> if lb.(j) > ub.(j) +. 1e-12 then conflict := true) node.nlb;
     List.iter (fun (j, _) -> if lb.(j) > ub.(j) +. 1e-12 then conflict := true) node.nub;
     if !conflict then
-      Ok { Simplex.status = Simplex.Infeasible; obj = infinity; x = [||]; iterations = 0 }
+      Ok { Simplex.status = Simplex.Infeasible; obj = infinity; x = [||];
+           iterations = 0; warm = false; basis = None }
     else begin
       (* propagate the branching decisions through the equality rows; this
          often fixes sibling variables or proves the node infeasible
          before any simplex work *)
       let pre = Presolve.tighten ~integer:integer_cols base rows lb ub in
       if not pre.Presolve.feasible then
-        Ok { Simplex.status = Simplex.Infeasible; obj = infinity; x = [||]; iterations = 0 }
-      else Simplex.solve_r ~deadline:dl { base with lb; ub }
+        Ok { Simplex.status = Simplex.Infeasible; obj = infinity; x = [||];
+             iterations = 0; warm = false; basis = None }
+      else begin
+        (* a bound change keeps the parent basis dual feasible, so child
+           LPs reoptimize with a few dual pivots instead of a cold solve *)
+        let warm = if warm_lp then node.nbasis else None in
+        let res = Simplex.solve_r ?warm ~deadline:dl { base with lb; ub } in
+        (match res with
+         | Ok r when node.depth > 0 ->
+           if r.Simplex.warm then begin
+             incr lp_warm;
+             Telemetry.Metrics.incr m_warm_nodes
+           end
+           else begin
+             incr lp_cold;
+             Telemetry.Metrics.incr m_cold_nodes
+           end
+         | Ok _ | Error _ -> ());
+        res
+      end
     end
   in
   let prio j = match priority with Some p -> p.(j) | None -> 0. in
@@ -227,7 +268,7 @@ let solve_impl ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.D
       int_vars;
     !best
   in
-  let root = { nlb = []; nub = []; depth = 0 } in
+  let root = { nlb = []; nub = []; depth = 0; nbasis = None } in
   let unbounded = ref false in
   (* Evaluate one node. Returns the preferred child to plunge into (the one
      matching the LP value's rounding) after queueing its sibling. *)
@@ -285,8 +326,17 @@ let solve_impl ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.D
           end
           else begin
             let fv = res.Simplex.x.(bv) in
-            let down = { node with nub = (bv, floor fv) :: node.nub; depth = node.depth + 1 } in
-            let up = { node with nlb = (bv, ceil fv) :: node.nlb; depth = node.depth + 1 } in
+            (* both children start from this node's optimal basis (shared,
+               immutable) — the branch only tightens one bound, so the
+               basis stays dual feasible for either side *)
+            let down =
+              { node with nub = (bv, floor fv) :: node.nub;
+                depth = node.depth + 1; nbasis = res.Simplex.basis }
+            in
+            let up =
+              { node with nlb = (bv, ceil fv) :: node.nlb;
+                depth = node.depth + 1; nbasis = res.Simplex.basis }
+            in
             let first, second = if fv -. floor fv <= 0.5 then (down, up) else (up, down) in
             Heap.push heap res.Simplex.obj second;
             Some (res.Simplex.obj, first)
@@ -321,6 +371,10 @@ let solve_impl ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.D
      done
    with Exit -> ());
   let elapsed = Robust.Deadline.now () -. t0 in
+  (* fraction of non-root node LPs served by warm-started dual simplex *)
+  (if !lp_warm + !lp_cold > 0 then
+     Telemetry.Metrics.set_gauge g_warm_rate
+       (float_of_int !lp_warm /. float_of_int (!lp_warm + !lp_cold)));
   if Robust.Deadline.expired dl
      && not !explored_all
      && not (List.exists (Robust.Failure.equal Robust.Failure.Deadline_exceeded) !failures)
@@ -356,7 +410,7 @@ let solve_impl ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.D
 
 (* Public entry point: one "bb.solve" span covers the whole search. *)
 let solve ?node_limit ?time_limit ?deadline ?integrality_tol ?priority ?gap ?warm_start
-    model =
+    ?warm_lp model =
   Telemetry.Trace.with_span ~cat:"bb" "bb.solve" (fun () ->
       solve_impl ?node_limit ?time_limit ?deadline ?integrality_tol ?priority ?gap
-        ?warm_start model)
+        ?warm_start ?warm_lp model)

@@ -35,6 +35,7 @@ val solve :
   ?priority:float array ->
   ?gap:float ->
   ?warm_start:float array ->
+  ?warm_lp:bool ->
   Lp.model ->
   result
 (** Defaults: [node_limit = 200_000], [time_limit = 60.] seconds,
@@ -49,7 +50,11 @@ val solve :
     is within [gap] of the incumbent are pruned (the returned solution is
     then optimal within [gap]). [warm_start], when feasible for the model,
     seeds the incumbent so the search starts with an upper bound (a MIP
-    start). *)
+    start). [warm_lp] (default [true]) reoptimizes each child node's LP
+    with dual simplex from its parent's optimal basis instead of solving
+    cold; thanks to vertex canonicalization in the solver this is exactly
+    behaviour-preserving — same tree, same node counts, bit-identical
+    schedules — so the toggle exists only for benchmarking. *)
 
 val check_feasible : ?tol:float -> Lp.model -> float array -> bool
 (** Whether an assignment satisfies all bounds, integrality, and

@@ -15,7 +15,29 @@ type problem = {
   rhs : float array;
 }
 
-type result = { status : status; obj : float; x : float array; iterations : int }
+(* An explicit simplex basis: which column is basic in each row, plus the
+   resting status of every column (structural first, then one logical per
+   row). A basis returned from an optimal solve of a parent LP stays dual
+   feasible after any bound change — reduced costs depend on the basis and
+   costs only — so a child LP in branch-and-bound can reoptimize with a few
+   dual pivots instead of a cold two-phase solve. *)
+module Basis = struct
+  type vstat = Vbasic | Vlower | Vupper | Vfree
+
+  type t = {
+    basic : int array;  (* column basic in row r, length nrows *)
+    vstat : vstat array;  (* per-column status, length ncols + nrows *)
+  }
+end
+
+type result = {
+  status : status;
+  obj : float;
+  x : float array;
+  iterations : int;
+  warm : bool;  (* solved by dual reoptimization from a supplied basis *)
+  basis : Basis.t option;  (* final basis when [status = Optimal] *)
+}
 
 (* The solver's numerical tolerances, exposed as one record so the exact-
    arithmetic certifier (lib/certify) checks against the very same values
@@ -37,6 +59,10 @@ let refactor_every = 100
 let m_solves = Telemetry.Metrics.counter "simplex.solves"
 let m_phase1 = Telemetry.Metrics.counter "simplex.phase1_iterations"
 let m_phase2 = Telemetry.Metrics.counter "simplex.phase2_iterations"
+let m_dual = Telemetry.Metrics.counter "simplex.dual_iterations"
+let m_warm = Telemetry.Metrics.counter "simplex.warm_solves"
+let m_cold = Telemetry.Metrics.counter "simplex.cold_solves"
+let m_warm_fallback = Telemetry.Metrics.counter "simplex.warm_fallbacks"
 let m_refactor = Telemetry.Metrics.counter "simplex.refactorizations"
 let m_bland = Telemetry.Metrics.counter "simplex.bland_activations"
 
@@ -60,24 +86,49 @@ type state = {
   mutable iterations : int;
 }
 
+(* Per-solve scratch, sized once in [solve_r]: the pivot loops, pricing,
+   and refactorization all work out of these arrays, so the inner loops
+   allocate nothing (the GC never runs mid-solve). Shared between a warm
+   attempt and its cold fallback. *)
+type workspace = {
+  wy : float array;           (* dual vector *)
+  walpha : float array;       (* ftran result column *)
+  wmat : float array array;   (* refactorization scratch (basis matrix) *)
+  wres : float array;         (* rhs/residual scratch *)
+}
+
+let make_workspace m =
+  let n = max 1 m in
+  { wy = Array.make n 0.; walpha = Array.make n 0.;
+    wmat = Array.make_matrix n n 0.; wres = Array.make n 0. }
+
 let nonbasic_rest_value lb ub =
   if lb > neg_infinity then lb else if ub < infinity then ub else 0.
 
 (* Rebuild the dense basis inverse by Gauss-Jordan elimination and recompute
    basic values from scratch. Raises [Lp_abort Singular_basis] on a singular
-   basis, which indicates an internal invariant violation. *)
-let refactorize st =
+   basis; in a cold solve that indicates an internal invariant violation,
+   in a warm solve it rejects a stale parent basis. *)
+let refactorize st ws =
   (match Robust.Fault.check "simplex.refactor" with
    | Ok () -> ()
    | Error f -> raise (Lp_abort f));
   Telemetry.Metrics.incr m_refactor;
   let m = st.m in
-  let mat = Array.make_matrix m m 0. in
+  let mat = ws.wmat in
+  for i = 0 to m - 1 do
+    Array.fill mat.(i) 0 m 0.
+  done;
   for r = 0 to m - 1 do
     let rows, coeffs = st.acols.(st.basis.(r)) in
     Array.iteri (fun k row -> mat.(row).(r) <- coeffs.(k)) rows
   done;
-  let inv = Array.init m (fun i -> Array.init m (fun j -> if i = j then 1. else 0.)) in
+  (* the inverse is eliminated in place in st.binv, from the identity *)
+  let inv = st.binv in
+  for i = 0 to m - 1 do
+    Array.fill inv.(i) 0 m 0.;
+    inv.(i).(i) <- 1.
+  done;
   for col = 0 to m - 1 do
     (* partial pivoting *)
     let best = ref col in
@@ -106,11 +157,9 @@ let refactorize st =
       end
     done
   done;
-  for i = 0 to m - 1 do
-    Array.blit inv.(i) 0 st.binv.(i) 0 m
-  done;
   (* xb = binv * (rhs - sum_{nonbasic j} A_j * xn_j) *)
-  let r = Array.copy st.p.rhs in
+  let r = ws.wres in
+  Array.blit st.p.rhs 0 r 0 m;
   for j = 0 to st.ntot - 1 do
     match st.loc.(j) with
     | Basic _ -> ()
@@ -163,29 +212,46 @@ let ftran st j alpha =
   let m = st.m in
   let rows, coeffs = st.acols.(j) in
   for i = 0 to m - 1 do
-    alpha.(i) <- 0.
-  done;
-  for i = 0 to m - 1 do
     let bi = st.binv.(i) in
     let s = ref 0. in
     Array.iteri (fun k row -> s := !s +. (bi.(row) *. coeffs.(k))) rows;
     alpha.(i) <- !s
   done
 
+(* Product-form update of the dense inverse after [j] enters in row [r]
+   with pivot column [alpha] (shared by the primal and dual pivot loops). *)
+let eta_update st r alpha =
+  let m = st.m in
+  let piv = alpha.(r) in
+  let br = st.binv.(r) in
+  for k = 0 to m - 1 do
+    br.(k) <- br.(k) /. piv
+  done;
+  for i = 0 to m - 1 do
+    if i <> r then begin
+      let f = alpha.(i) in
+      if Float.abs f > pivot_tol then begin
+        let bi = st.binv.(i) in
+        for k = 0 to m - 1 do
+          bi.(k) <- bi.(k) -. (f *. br.(k))
+        done
+      end
+    end
+  done
+
 exception Lp_unbounded
 exception Lp_iteration_limit
 
-(* One phase of the simplex: minimize [cost] from the current basis.
+(* One phase of the primal simplex: minimize [cost] from the current basis.
    Mutates [st]; returns when no improving nonbasic column remains. The
    deadline is polled every [deadline_every] iterations — frequent enough
    that a single solve cannot overshoot its budget by more than a few
    pivots, rare enough that the clock read does not show up in profiles. *)
 let deadline_every = 32
 
-let optimize st cost max_iterations deadline =
+let optimize st cost ws max_iterations deadline =
   let m = st.m in
-  let y = Array.make m 0. in
-  let alpha = Array.make m 0. in
+  let y = ws.wy and alpha = ws.walpha in
   let continue_ = ref true in
   while !continue_ do
     if st.iterations >= max_iterations then raise Lp_iteration_limit;
@@ -197,7 +263,7 @@ let optimize st cost max_iterations deadline =
         raise (Lp_abort Robust.Failure.Deadline_exceeded);
       check_health st
     end;
-    if st.iterations mod refactor_every = 0 && st.iterations > 0 then refactorize st;
+    if st.iterations mod refactor_every = 0 && st.iterations > 0 then refactorize st ws;
     compute_duals st cost y;
     (* Pricing: Dantzig rule normally, Bland's rule after a degenerate streak. *)
     let entering = ref (-1) in
@@ -300,27 +366,307 @@ let optimize st cost max_iterations deadline =
         st.basis.(r) <- j;
         st.loc.(j) <- Basic r;
         st.xb.(r) <- st.xn.(j) +. (dir *. t);
-        (* eta update of the dense inverse *)
-        let piv = alpha.(r) in
-        let br = st.binv.(r) in
-        for k = 0 to m - 1 do
-          br.(k) <- br.(k) /. piv
-        done;
-        for i = 0 to m - 1 do
-          if i <> r then begin
-            let f = alpha.(i) in
-            if Float.abs f > pivot_tol then begin
-              let bi = st.binv.(i) in
-              for k = 0 to m - 1 do
-                bi.(k) <- bi.(k) -. (f *. br.(k))
-              done
-            end
-          end
-        done
+        eta_update st r alpha
       end;
       st.iterations <- st.iterations + 1
     end
   done
+
+(* ---- dual simplex ------------------------------------------------------ *)
+
+(* Dual unboundedness with a verified dual-feasible basis: the primal LP is
+   infeasible. *)
+exception Dual_infeasible
+
+(* Numerical trouble (stalled pivot, cycling, budget) in the dual loop: the
+   warm attempt retreats to the cold two-phase path, which preserves every
+   existing robustness guarantee. *)
+exception Dual_giveup
+
+let dual_feasible st cost y =
+  let tol = 10. *. opt_tol in
+  try
+    for j = 0 to st.ntot - 1 do
+      match st.loc.(j) with
+      | Basic _ -> ()
+      | loc ->
+        if st.aub.(j) -. st.alb.(j) > pivot_tol then begin
+          let d = reduced_cost st cost y j in
+          match loc with
+          | At_lower -> if d < -.tol then raise Exit
+          | At_upper -> if d > tol then raise Exit
+          | Free_zero -> if Float.abs d > tol then raise Exit
+          | Basic _ -> ()
+        end
+    done;
+    true
+  with Exit -> false
+
+(* Bounded-variable dual simplex: from a dual-feasible basis, drive the
+   primal infeasibilities (basic values outside their bounds) to zero.
+   Leaving row: largest bound violation. Entering column: smallest dual
+   ratio |d_j| / |alpha_rj| over sign-eligible nonbasic columns, which
+   keeps every reduced cost on its feasible side. Raises [Dual_infeasible]
+   when no column can absorb the violation (the classic infeasibility
+   proof), [Dual_giveup] on a stalled pivot or when [cap] pivots were
+   spent without reaching feasibility (cycling guard). *)
+let dual_optimize st cost ws ~cap deadline =
+  let m = st.m in
+  let y = ws.wy and alpha = ws.walpha in
+  let start = st.iterations in
+  Fun.protect
+    ~finally:(fun () -> Telemetry.Metrics.add m_dual (st.iterations - start))
+  @@ fun () ->
+  let continue_ = ref true in
+  while !continue_ do
+    if st.iterations - start >= cap then raise Dual_giveup;
+    (match Robust.Fault.check "simplex.pivot" with
+     | Ok () -> ()
+     | Error f -> raise (Lp_abort f));
+    if st.iterations mod deadline_every = 0 then begin
+      if Robust.Deadline.expired deadline then
+        raise (Lp_abort Robust.Failure.Deadline_exceeded);
+      check_health st
+    end;
+    if st.iterations mod refactor_every = 0 && st.iterations > 0 then refactorize st ws;
+    (* leaving row: the basic variable violating its bounds the most *)
+    let r = ref (-1) in
+    let viol = ref feas_tol in
+    let s = ref 1. in   (* +1: must decrease (above ub); -1: must increase *)
+    for i = 0 to m - 1 do
+      let b = st.basis.(i) in
+      let below = st.alb.(b) -. st.xb.(i) in
+      let above = st.xb.(i) -. st.aub.(b) in
+      if below > !viol then begin viol := below; r := i; s := -1. end
+      else if above > !viol then begin viol := above; r := i; s := 1. end
+    done;
+    if !r < 0 then continue_ := false   (* primal feasible: optimal *)
+    else begin
+      let r = !r and s = !s in
+      compute_duals st cost y;
+      let row = st.binv.(r) in
+      (* entering column: min dual ratio; ties prefer the larger pivot for
+         stability, or the smallest index once Bland's rule is active *)
+      let enter = ref (-1) in
+      let best_ratio = ref infinity in
+      let best_alpha = ref 0. in
+      for j = 0 to st.ntot - 1 do
+        match st.loc.(j) with
+        | Basic _ -> ()
+        | loc ->
+          if st.aub.(j) -. st.alb.(j) > pivot_tol then begin
+            let rows, coeffs = st.acols.(j) in
+            let a = ref 0. in
+            Array.iteri (fun k rw -> a := !a +. (row.(rw) *. coeffs.(k))) rows;
+            let a = !a in
+            let eligible =
+              match loc with
+              | At_lower -> s *. a > pivot_tol
+              | At_upper -> s *. a < -.pivot_tol
+              | Free_zero -> Float.abs a > pivot_tol
+              | Basic _ -> false
+            in
+            if eligible then begin
+              let d = reduced_cost st cost y j in
+              let ratio = Float.abs d /. Float.abs a in
+              if ratio < !best_ratio -. 1e-12
+                 || ((not st.bland) && ratio < !best_ratio +. 1e-12
+                     && Float.abs a > Float.abs !best_alpha)
+              then begin
+                best_ratio := ratio;
+                best_alpha := a;
+                enter := j
+              end
+            end
+          end
+      done;
+      if !enter < 0 then begin
+        (* no column can absorb the violation: infeasible — but only claim
+           it if the basis really is dual feasible, so a drifted basis can
+           never prune a feasible child (it falls back to the cold path) *)
+        if dual_feasible st cost y then raise Dual_infeasible else raise Dual_giveup
+      end
+      else begin
+        let j = !enter in
+        ftran st j alpha;
+        if Float.abs alpha.(r) < pivot_tol then raise Dual_giveup;
+        (* dual degeneracy (zero-ratio pivots) can cycle: same Bland ladder
+           as the primal loop *)
+        if !best_ratio < opt_tol then st.degenerate_streak <- st.degenerate_streak + 1
+        else st.degenerate_streak <- 0;
+        if (not st.bland) && st.degenerate_streak > 2 * (m + st.ntot) then begin
+          st.bland <- true;
+          Telemetry.Metrics.incr m_bland
+        end;
+        let b = st.basis.(r) in
+        let target = if s > 0. then st.aub.(b) else st.alb.(b) in
+        let t = (st.xb.(r) -. target) /. alpha.(r) in
+        for i = 0 to m - 1 do
+          if i <> r then st.xb.(i) <- st.xb.(i) -. (t *. alpha.(i))
+        done;
+        st.loc.(b) <- (if s > 0. then At_upper else At_lower);
+        st.xn.(b) <- target;
+        st.basis.(r) <- j;
+        st.loc.(j) <- Basic r;
+        st.xb.(r) <- st.xn.(j) +. t;
+        eta_update st r alpha;
+        st.iterations <- st.iterations + 1
+      end
+    end
+  done
+
+(* ---- vertex canonicalization ------------------------------------------- *)
+
+(* The CoSA LPs are massively dual degenerate: the optimal face has many
+   vertices, and which one a solve lands on depends on the pivot path — so
+   a warm dual reoptimization and a cold two-phase solve of the same LP
+   would return different (equally optimal) solutions, which would diverge
+   the branch-and-bound trees of --warm-start=on and off runs. To keep the
+   solution a function of the problem alone, every optimal solve finishes
+   by minimizing a fixed generic secondary objective over the optimal face
+   (entering columns restricted to zero reduced cost in the true
+   objective, which preserves optimality exactly): a generic objective has
+   a unique face optimum, so both paths converge to the same vertex. *)
+
+(* Deterministic generic weight for column j in [1, 2) (splitmix64 hash):
+   no two columns share a weight, making ties measure-zero. *)
+let canonical_weight j =
+  let h = Int64.of_int (j + 1) in
+  let h = Int64.mul h 0x9E3779B97F4A7C15L in
+  let h = Int64.logxor h (Int64.shift_right_logical h 29) in
+  let h = Int64.mul h 0xBF58476D1CE4E5B9L in
+  let h = Int64.logxor h (Int64.shift_right_logical h 32) in
+  1. +. (Int64.to_float (Int64.logand h 0xFFFFFFL) /. 16777216.)
+
+let canonicalize st cost ws deadline =
+  compute_duals st cost ws.wy;
+  (* freeze every nonbasic column with a nonzero true reduced cost at its
+     resting value: pricing then only ever enters face columns, so the true
+     objective is invariant under the cleanup pivots *)
+  let frozen_lb = Array.copy st.alb and frozen_ub = Array.copy st.aub in
+  for j = 0 to st.ntot - 1 do
+    match st.loc.(j) with
+    | Basic _ -> ()
+    | At_lower | At_upper | Free_zero ->
+      if
+        st.aub.(j) -. st.alb.(j) > pivot_tol
+        && Float.abs (reduced_cost st cost ws.wy j) > opt_tol
+      then begin
+        st.alb.(j) <- st.xn.(j);
+        st.aub.(j) <- st.xn.(j)
+      end
+  done;
+  let xi = Array.init st.ntot canonical_weight in
+  st.bland <- false;
+  st.degenerate_streak <- 0;
+  (* bounded effort: a cleanup that stalls or roams an unbounded face just
+     keeps the vertex it reached — identity is gated empirically, never at
+     the cost of a solve failing *)
+  (try optimize st xi ws (st.iterations + 50 + (4 * st.m)) deadline
+   with Lp_unbounded | Lp_iteration_limit -> ());
+  Array.blit frozen_lb 0 st.alb 0 st.ntot;
+  Array.blit frozen_ub 0 st.aub 0 st.ntot
+
+(* The canonical vertex can still be degenerate — represented by several
+   bases — and which one a path ends at leaks into the extracted floats at
+   the ulp level (different B⁻¹, different roundoff), which is enough to
+   eventually diverge branching. [rebase] re-derives the basis from the
+   vertex itself: interior columns (strictly between their bounds) must be
+   basic, and the rest of the basis is completed by greedy elimination in
+   ascending column order — a function of (problem, vertex) only. The
+   logical columns are unit vectors, so completion always succeeds. *)
+let rebase st ws =
+  let m = st.m in
+  let x = Array.make st.ntot 0. in
+  for j = 0 to st.ntot - 1 do
+    match st.loc.(j) with
+    | Basic r -> x.(j) <- st.xb.(r)
+    | At_lower | At_upper | Free_zero -> x.(j) <- st.xn.(j)
+  done;
+  let interior j =
+    let l = st.alb.(j) and u = st.aub.(j) in
+    if l > neg_infinity || u < infinity then
+      x.(j) > l +. feas_tol && x.(j) < u -. feas_tol
+    else Float.abs x.(j) > feas_tol
+  in
+  (* incremental elimination: lcols holds each accepted column after
+     elimination against its predecessors, pivrow its pivot row *)
+  let lcols = ws.wmat and w = ws.wres in
+  let pivrow = Array.make m (-1) in
+  let pivoted = Array.make m false in
+  let accepted = Array.make m (-1) in
+  let count = ref 0 in
+  let try_accept j =
+    if !count < m then begin
+      Array.fill w 0 m 0.;
+      let rows, coeffs = st.acols.(j) in
+      Array.iteri (fun k row -> w.(row) <- coeffs.(k)) rows;
+      for t = 0 to !count - 1 do
+        let f = w.(pivrow.(t)) /. lcols.(t).(pivrow.(t)) in
+        if f <> 0. then
+          for r = 0 to m - 1 do
+            w.(r) <- w.(r) -. (f *. lcols.(t).(r))
+          done
+      done;
+      let best = ref (-1) in
+      for r = 0 to m - 1 do
+        if (not pivoted.(r))
+           && (!best < 0 || Float.abs w.(r) > Float.abs w.(!best))
+        then best := r
+      done;
+      if !best >= 0 && Float.abs w.(!best) > 1e-7 then begin
+        pivrow.(!count) <- !best;
+        pivoted.(!best) <- true;
+        Array.blit w 0 lcols.(!count) 0 m;
+        accepted.(!count) <- j;
+        incr count
+      end
+    end
+  in
+  for j = 0 to st.ntot - 1 do
+    if interior j then try_accept j
+  done;
+  let interior_count = !count in
+  for j = 0 to st.ntot - 1 do
+    if not (interior j) then try_accept j
+  done;
+  if !count = m then begin
+    let in_basis = Array.make st.ntot false in
+    Array.iter (fun j -> in_basis.(j) <- true) accepted;
+    for j = 0 to st.ntot - 1 do
+      if in_basis.(j) then st.loc.(j) <- Basic 0 (* row fixed in [finalize] *)
+      else begin
+        let l = st.alb.(j) and u = st.aub.(j) in
+        if l > neg_infinity && (u = infinity || x.(j) -. l <= u -. x.(j)) then begin
+          st.loc.(j) <- At_lower;
+          st.xn.(j) <- l
+        end
+        else if u < infinity then begin
+          st.loc.(j) <- At_upper;
+          st.xn.(j) <- u
+        end
+        else begin
+          st.loc.(j) <- Free_zero;
+          st.xn.(j) <- 0.
+        end
+      end
+    done;
+    Array.blit accepted 0 st.basis 0 m
+  end
+  else ignore interior_count
+(* a failed completion (cannot happen while the logical columns span the
+   row space) keeps the path-dependent basis: identity is gated
+   empirically, never at the cost of a solve failing *)
+
+(* Canonical extraction: order the basic set ascending and rebuild the
+   inverse from scratch, so the returned floats depend only on (problem,
+   basis set) — never on which pivot path produced the basis or how rows
+   happened to be assigned along the way. *)
+let finalize st ws =
+  Array.sort (fun (a : int) b -> compare a b) st.basis;
+  Array.iteri (fun r c -> st.loc.(c) <- Basic r) st.basis;
+  refactorize st ws;
+  check_health st
 
 let extract_x st =
   let x = Array.make st.p.ncols 0. in
@@ -338,11 +684,253 @@ let objective_value p x =
   done;
   !s
 
+let basis_of_state st =
+  let vstat =
+    Array.map
+      (function
+        | Basic _ -> Basis.Vbasic
+        | At_lower -> Basis.Vlower
+        | At_upper -> Basis.Vupper
+        | Free_zero -> Basis.Vfree)
+      st.loc
+  in
+  { Basis.basic = Array.copy st.basis; vstat }
+
+(* ---- warm path --------------------------------------------------------- *)
+
+(* A warm attempt that cannot proceed (stale/singular basis, dimension
+   mismatch, dual stall) raises [Warm_reject]; the caller falls back to the
+   cold two-phase solve, so warm starting can never make a solve fail that
+   would have succeeded cold. *)
+exception Warm_reject
+
+let warm_attempt ~max_iterations ~deadline ws p (wb : Basis.t) =
+  let m = p.nrows in
+  let ntot = p.ncols + m in
+  if Array.length wb.Basis.basic <> m || Array.length wb.Basis.vstat <> ntot then
+    raise Warm_reject;
+  let acols = Array.make ntot ([||], [||]) in
+  Array.blit p.cols 0 acols 0 p.ncols;
+  (* logical columns are rebuilt with uniform +1 sign and locked at zero: a
+     warm solve never needs phase-1 artificials, only a nonsingular square
+     basis (a parent's sign-flipped artificial still yields one) *)
+  let alb = Array.make ntot 0. and aub = Array.make ntot 0. in
+  Array.blit p.lb 0 alb 0 p.ncols;
+  Array.blit p.ub 0 aub 0 p.ncols;
+  for i = 0 to m - 1 do
+    acols.(p.ncols + i) <- ([| i |], [| 1. |])
+  done;
+  let xn = Array.make ntot 0. in
+  let loc = Array.make ntot At_lower in
+  for j = 0 to ntot - 1 do
+    let l = alb.(j) and u = aub.(j) in
+    match wb.Basis.vstat.(j) with
+    | Basis.Vbasic -> ()   (* patched below from the basic set *)
+    | Basis.Vlower ->
+      if l > neg_infinity then begin loc.(j) <- At_lower; xn.(j) <- l end
+      else if u < infinity then begin loc.(j) <- At_upper; xn.(j) <- u end
+      else begin loc.(j) <- Free_zero; xn.(j) <- 0. end
+    | Basis.Vupper ->
+      if u < infinity then begin loc.(j) <- At_upper; xn.(j) <- u end
+      else if l > neg_infinity then begin loc.(j) <- At_lower; xn.(j) <- l end
+      else begin loc.(j) <- Free_zero; xn.(j) <- 0. end
+    | Basis.Vfree ->
+      (* a bound may have appeared since the parent (presolve tightening):
+         snap to it; the primal cleanup absorbs any dual-sign mismatch *)
+      if l > neg_infinity then begin loc.(j) <- At_lower; xn.(j) <- l end
+      else if u < infinity then begin loc.(j) <- At_upper; xn.(j) <- u end
+      else begin loc.(j) <- Free_zero; xn.(j) <- 0. end
+  done;
+  let basis = Array.copy wb.Basis.basic in
+  let seen = Array.make ntot false in
+  Array.iteri
+    (fun r c ->
+      if c < 0 || c >= ntot || seen.(c) || wb.Basis.vstat.(c) <> Basis.Vbasic then
+        raise Warm_reject;
+      seen.(c) <- true;
+      loc.(c) <- Basic r)
+    basis;
+  for j = 0 to ntot - 1 do
+    if wb.Basis.vstat.(j) = Basis.Vbasic && not seen.(j) then raise Warm_reject
+  done;
+  let st =
+    { p; m; ntot; acols; alb; aub; loc; basis;
+      binv = Array.make_matrix m m 0.; xb = Array.make m 0.; xn;
+      degenerate_streak = 0; bland = false; iterations = 0 }
+  in
+  let phase2_cost = Array.make ntot 0. in
+  Array.blit p.cost 0 phase2_cost 0 p.ncols;
+  (* a handful of dual pivots is the expected case; a warm solve that needs
+     more than this is cheaper to restart cold than to let cycle *)
+  let dual_cap = 200 + (2 * (m + ntot)) in
+  try
+    refactorize st ws;
+    check_health st;
+    dual_optimize st phase2_cost ws ~cap:dual_cap deadline;
+    let dual_iters = st.iterations in
+    (* primal cleanup: absorbs any reduced-cost drift; from an already
+       optimal warm basis this terminates without pivoting *)
+    st.bland <- false;
+    st.degenerate_streak <- 0;
+    optimize st phase2_cost ws max_iterations deadline;
+    canonicalize st phase2_cost ws deadline;
+    rebase st ws;
+    finalize st ws;
+    Telemetry.Metrics.add m_phase2 (st.iterations - dual_iters);
+    let x = extract_x st in
+    if not (Float.is_finite (objective_value p x)) then raise Warm_reject
+    else
+      Ok { status = Optimal; obj = objective_value p x; x;
+           iterations = st.iterations; warm = true;
+           basis = Some (basis_of_state st) }
+  with
+  | Dual_infeasible ->
+    Ok { status = Infeasible; obj = infinity; x = extract_x st;
+         iterations = st.iterations; warm = true; basis = None }
+  | Dual_giveup | Lp_unbounded | Lp_iteration_limit
+  | Lp_abort Robust.Failure.Singular_basis
+  | Lp_abort Robust.Failure.Numerical_instability ->
+    (* anything numerically suspicious retreats to the cold path; only
+       deadline expiry and injected faults surface as typed errors *)
+    raise Warm_reject
+  | Lp_abort f -> Error f
+
+(* ---- cold path --------------------------------------------------------- *)
+
+let cold_solve ~max_iterations ~deadline ws p =
+  let m = p.nrows in
+  let ntot = p.ncols + m in
+  let acols = Array.make ntot ([||], [||]) in
+  Array.blit p.cols 0 acols 0 p.ncols;
+  let alb = Array.make ntot 0. and aub = Array.make ntot infinity in
+  Array.blit p.lb 0 alb 0 p.ncols;
+  Array.blit p.ub 0 aub 0 p.ncols;
+  let xn = Array.make ntot 0. in
+  let loc = Array.make ntot At_lower in
+  for j = 0 to p.ncols - 1 do
+    let v = nonbasic_rest_value p.lb.(j) p.ub.(j) in
+    xn.(j) <- v;
+    loc.(j) <-
+      (if p.lb.(j) > neg_infinity then At_lower
+       else if p.ub.(j) < infinity then At_upper
+       else Free_zero)
+  done;
+  (* residuals decide the sign of each artificial column *)
+  let resid = Array.copy p.rhs in
+  for j = 0 to p.ncols - 1 do
+    if xn.(j) <> 0. then begin
+      let rows, coeffs = p.cols.(j) in
+      Array.iteri (fun k row -> resid.(row) <- resid.(row) -. (coeffs.(k) *. xn.(j))) rows
+    end
+  done;
+  (* Crash basis: prefer a singleton (slack-like) column per row when the
+     residual fits its bounds; fall back to an artificial otherwise. This
+     usually makes phase 1 trivial for inequality-heavy models. *)
+  let singleton_for_row = Array.make m (-1) in
+  for j = p.ncols - 1 downto 0 do
+    let rows, coeffs = p.cols.(j) in
+    if Array.length rows = 1 && Float.abs coeffs.(0) > pivot_tol then
+      singleton_for_row.(rows.(0)) <- j
+  done;
+  let basis = Array.make m 0 in
+  let binv = Array.make_matrix m m 0. in
+  let xb = Array.make m 0. in
+  for i = 0 to m - 1 do
+    let crashed =
+      let j = singleton_for_row.(i) in
+      if j >= 0 then begin
+        let _, coeffs = p.cols.(j) in
+        let a = coeffs.(0) in
+        (* residual currently includes this column's resting contribution *)
+        let v = (resid.(i) +. (a *. xn.(j))) /. a in
+        if v >= p.lb.(j) -. feas_tol && v <= p.ub.(j) +. feas_tol then begin
+          resid.(i) <- resid.(i) +. (a *. xn.(j));
+          basis.(i) <- j;
+          loc.(j) <- Basic i;
+          binv.(i).(i) <- 1. /. a;
+          xb.(i) <- v;
+          (* the artificial for this row is never used: pin it to zero *)
+          acols.(p.ncols + i) <- ([| i |], [| 1. |]);
+          aub.(p.ncols + i) <- 0.;
+          true
+        end
+        else false
+      end
+      else false
+    in
+    if not crashed then begin
+      let sign = if resid.(i) >= 0. then 1. else -1. in
+      acols.(p.ncols + i) <- ([| i |], [| sign |]);
+      basis.(i) <- p.ncols + i;
+      loc.(p.ncols + i) <- Basic i;
+      binv.(i).(i) <- sign;
+      xb.(i) <- Float.abs resid.(i)
+    end
+  done;
+  let st =
+    { p; m; ntot; acols; alb; aub; loc; basis; binv; xb; xn;
+      degenerate_streak = 0; bland = false; iterations = 0 }
+  in
+  let phase1_cost = Array.make ntot 0. in
+  for i = 0 to m - 1 do
+    phase1_cost.(p.ncols + i) <- 1.
+  done;
+  let phase2_cost = Array.make ntot 0. in
+  Array.blit p.cost 0 phase2_cost 0 p.ncols;
+  try
+    optimize st phase1_cost ws max_iterations deadline;
+    Telemetry.Metrics.add m_phase1 st.iterations;
+    let p1_iters = st.iterations in
+    let infeas = ref 0. in
+    for i = 0 to m - 1 do
+      if st.basis.(i) >= p.ncols then infeas := !infeas +. st.xb.(i)
+    done;
+    for j = p.ncols to ntot - 1 do
+      match st.loc.(j) with
+      | At_upper -> infeas := !infeas +. st.xn.(j)
+      | At_lower | Free_zero | Basic _ -> ()
+    done;
+    if !infeas > 1e-6 then
+      Ok { status = Infeasible; obj = infinity; x = extract_x st;
+           iterations = st.iterations; warm = false; basis = None }
+    else begin
+      (* lock artificials at zero for phase 2 *)
+      for j = p.ncols to ntot - 1 do
+        st.aub.(j) <- 0.;
+        (match st.loc.(j) with
+         | At_upper -> st.loc.(j) <- At_lower
+         | At_lower | Free_zero | Basic _ -> ());
+        st.xn.(j) <- 0.
+      done;
+      st.bland <- false;
+      st.degenerate_streak <- 0;
+      optimize st phase2_cost ws max_iterations deadline;
+      canonicalize st phase2_cost ws deadline;
+      rebase st ws;
+      finalize st ws;
+      Telemetry.Metrics.add m_phase2 (st.iterations - p1_iters);
+      let x = extract_x st in
+      if not (Float.is_finite (objective_value p x)) then
+        Error Robust.Failure.Numerical_instability
+      else
+        Ok { status = Optimal; obj = objective_value p x; x;
+             iterations = st.iterations; warm = false;
+             basis = Some (basis_of_state st) }
+    end
+  with
+  | Lp_unbounded ->
+    Ok { status = Unbounded; obj = neg_infinity; x = extract_x st;
+         iterations = st.iterations; warm = false; basis = None }
+  | Lp_iteration_limit ->
+    Ok { status = Iteration_limit; obj = nan; x = extract_x st;
+         iterations = st.iterations; warm = false; basis = None }
+  | Lp_abort f -> Error f
+
 (* Result-returning entry point: all abnormal terminations (singular basis,
    blown deadline, NaN corruption, injected faults) come back as a typed
    [Error]; [Unbounded]/[Infeasible]/[Iteration_limit] remain ordinary
    statuses because branch-and-bound treats them as prunable outcomes. *)
-let solve_r_impl ?max_iterations ?(deadline = Robust.Deadline.none) p =
+let solve_r_impl ?max_iterations ?(deadline = Robust.Deadline.none) ?warm p =
   let m = p.nrows in
   let max_iterations =
     match max_iterations with
@@ -361,136 +949,40 @@ let solve_r_impl ?max_iterations ?(deadline = Robust.Deadline.none) p =
       in
       if Float.abs v = infinity then unbounded := true else x.(j) <- v
     done;
-    if !unbounded then Ok { status = Unbounded; obj = neg_infinity; x; iterations = 0 }
-    else Ok { status = Optimal; obj = objective_value p x; x; iterations = 0 }
+    if !unbounded then
+      Ok { status = Unbounded; obj = neg_infinity; x; iterations = 0;
+           warm = false; basis = None }
+    else
+      Ok { status = Optimal; obj = objective_value p x; x; iterations = 0;
+           warm = false; basis = None }
   end
   else begin
-    let ntot = p.ncols + m in
-    let acols = Array.make ntot ([||], [||]) in
-    Array.blit p.cols 0 acols 0 p.ncols;
-    let alb = Array.make ntot 0. and aub = Array.make ntot infinity in
-    Array.blit p.lb 0 alb 0 p.ncols;
-    Array.blit p.ub 0 aub 0 p.ncols;
-    let xn = Array.make ntot 0. in
-    let loc = Array.make ntot At_lower in
-    for j = 0 to p.ncols - 1 do
-      let v = nonbasic_rest_value p.lb.(j) p.ub.(j) in
-      xn.(j) <- v;
-      loc.(j) <-
-        (if p.lb.(j) > neg_infinity then At_lower
-         else if p.ub.(j) < infinity then At_upper
-         else Free_zero)
-    done;
-    (* residuals decide the sign of each artificial column *)
-    let resid = Array.copy p.rhs in
-    for j = 0 to p.ncols - 1 do
-      if xn.(j) <> 0. then begin
-        let rows, coeffs = p.cols.(j) in
-        Array.iteri (fun k row -> resid.(row) <- resid.(row) -. (coeffs.(k) *. xn.(j))) rows
-      end
-    done;
-    (* Crash basis: prefer a singleton (slack-like) column per row when the
-       residual fits its bounds; fall back to an artificial otherwise. This
-       usually makes phase 1 trivial for inequality-heavy models. *)
-    let singleton_for_row = Array.make m (-1) in
-    for j = p.ncols - 1 downto 0 do
-      let rows, coeffs = p.cols.(j) in
-      if Array.length rows = 1 && Float.abs coeffs.(0) > pivot_tol then
-        singleton_for_row.(rows.(0)) <- j
-    done;
-    let basis = Array.make m 0 in
-    let binv = Array.make_matrix m m 0. in
-    let xb = Array.make m 0. in
-    for i = 0 to m - 1 do
-      let crashed =
-        let j = singleton_for_row.(i) in
-        if j >= 0 then begin
-          let _, coeffs = p.cols.(j) in
-          let a = coeffs.(0) in
-          (* residual currently includes this column's resting contribution *)
-          let v = (resid.(i) +. (a *. xn.(j))) /. a in
-          if v >= p.lb.(j) -. feas_tol && v <= p.ub.(j) +. feas_tol then begin
-            resid.(i) <- resid.(i) +. (a *. xn.(j));
-            basis.(i) <- j;
-            loc.(j) <- Basic i;
-            binv.(i).(i) <- 1. /. a;
-            xb.(i) <- v;
-            (* the artificial for this row is never used: pin it to zero *)
-            acols.(p.ncols + i) <- ([| i |], [| 1. |]);
-            aub.(p.ncols + i) <- 0.;
-            true
-          end
-          else false
-        end
-        else false
-      in
-      if not crashed then begin
-        let sign = if resid.(i) >= 0. then 1. else -1. in
-        acols.(p.ncols + i) <- ([| i |], [| sign |]);
-        basis.(i) <- p.ncols + i;
-        loc.(p.ncols + i) <- Basic i;
-        binv.(i).(i) <- sign;
-        xb.(i) <- Float.abs resid.(i)
-      end
-    done;
-    let st =
-      { p; m; ntot; acols; alb; aub; loc; basis; binv; xb; xn;
-        degenerate_streak = 0; bland = false; iterations = 0 }
+    let ws = make_workspace m in
+    let warm_res =
+      match warm with
+      | None -> None
+      | Some wb ->
+        (match warm_attempt ~max_iterations ~deadline ws p wb with
+         | res ->
+           Telemetry.Metrics.incr m_warm;
+           Some res
+         | exception Warm_reject ->
+           Telemetry.Metrics.incr m_warm_fallback;
+           None)
     in
-    let phase1_cost = Array.make ntot 0. in
-    for i = 0 to m - 1 do
-      phase1_cost.(p.ncols + i) <- 1.
-    done;
-    let phase2_cost = Array.make ntot 0. in
-    Array.blit p.cost 0 phase2_cost 0 p.ncols;
-    try
-      optimize st phase1_cost max_iterations deadline;
-      Telemetry.Metrics.add m_phase1 st.iterations;
-      let p1_iters = st.iterations in
-      let infeas = ref 0. in
-      for i = 0 to m - 1 do
-        if st.basis.(i) >= p.ncols then infeas := !infeas +. st.xb.(i)
-      done;
-      for j = p.ncols to ntot - 1 do
-        match st.loc.(j) with
-        | At_upper -> infeas := !infeas +. st.xn.(j)
-        | At_lower | Free_zero | Basic _ -> ()
-      done;
-      if !infeas > 1e-6 then
-        Ok { status = Infeasible; obj = infinity; x = extract_x st; iterations = st.iterations }
-      else begin
-        (* lock artificials at zero for phase 2 *)
-        for j = p.ncols to ntot - 1 do
-          st.aub.(j) <- 0.;
-          (match st.loc.(j) with
-           | At_upper -> st.loc.(j) <- At_lower
-           | At_lower | Free_zero | Basic _ -> ());
-          st.xn.(j) <- 0.
-        done;
-        st.bland <- false;
-        st.degenerate_streak <- 0;
-        optimize st phase2_cost max_iterations deadline;
-        Telemetry.Metrics.add m_phase2 (st.iterations - p1_iters);
-        let x = extract_x st in
-        if not (Float.is_finite (objective_value p x)) then
-          Error Robust.Failure.Numerical_instability
-        else
-          Ok { status = Optimal; obj = objective_value p x; x; iterations = st.iterations }
-      end
-    with
-    | Lp_unbounded ->
-      Ok { status = Unbounded; obj = neg_infinity; x = extract_x st; iterations = st.iterations }
-    | Lp_iteration_limit ->
-      Ok { status = Iteration_limit; obj = nan; x = extract_x st; iterations = st.iterations }
-    | Lp_abort f -> Error f
+    match warm_res with
+    | Some res -> res
+    | None ->
+      Telemetry.Metrics.incr m_cold;
+      cold_solve ~max_iterations ~deadline ws p
   end
 
 (* Public entry point: one span (category "simplex") and one solve-count
    tick per LP; phase iteration counters are recorded inside the solve. *)
-let solve_r ?max_iterations ?deadline p =
+let solve_r ?max_iterations ?deadline ?warm p =
   Telemetry.Metrics.incr m_solves;
   Telemetry.Trace.with_span ~cat:"simplex" "simplex.solve" (fun () ->
-      solve_r_impl ?max_iterations ?deadline p)
+      solve_r_impl ?max_iterations ?deadline ?warm p)
 
 (* Legacy exception-raising wrapper: raises [Robust.Failure.Error] where
    [solve_r] would return [Error]. Prefer [solve_r] in new code. *)

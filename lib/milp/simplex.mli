@@ -1,11 +1,18 @@
-(** Primal simplex for linear programs with bounded variables.
+(** Primal and dual simplex for linear programs with bounded variables.
 
     Solves [minimize c.x  s.t.  A x = b,  lb <= x <= ub] (all rows are
-    equalities; {!Bb.relax} adds slacks for inequality rows). Two-phase:
-    phase 1 drives artificial variables to zero from an all-artificial
-    starting basis; phase 2 optimises the true objective. The basis inverse
-    is kept dense and refactorised periodically, which is ample for the
-    problem sizes the CoSA formulation produces (hundreds of rows). *)
+    equalities; {!Bb.relax} adds slacks for inequality rows). The cold path
+    is two-phase primal: phase 1 drives artificial variables to zero from
+    an all-artificial starting basis; phase 2 optimises the true objective.
+    The warm path reoptimizes from an explicit parent {!Basis.t} with a
+    bounded-variable dual simplex: after a bound change the parent's
+    optimal basis stays dual feasible, so a child LP in branch-and-bound
+    typically resolves in a handful of dual pivots. Any numerical trouble
+    on the warm path (stale or singular basis, dual stall, cycling) falls
+    back to the cold path, so warm starting never makes a solve fail that
+    would have succeeded cold. The basis inverse is kept dense and
+    refactorised periodically, which is ample for the problem sizes the
+    CoSA formulation produces (hundreds of rows). *)
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
@@ -33,24 +40,63 @@ type problem = {
   rhs : float array;
 }
 
+(** An explicit simplex basis, the warm-start currency of branch-and-bound:
+    the basic column of every row plus the resting status of every column
+    (structural columns first, then one logical column per row). A basis
+    taken from an optimal solve remains dual feasible under any variable
+    bound change, because reduced costs depend only on the basis and the
+    costs — this is the invariant that makes parent-basis reuse sound. *)
+module Basis : sig
+  type vstat =
+    | Vbasic  (** basic in some row *)
+    | Vlower  (** nonbasic at its lower bound *)
+    | Vupper  (** nonbasic at its upper bound *)
+    | Vfree  (** nonbasic free (no finite bound), resting at zero *)
+
+  type t = {
+    basic : int array;  (** column basic in row [r], length [nrows] *)
+    vstat : vstat array;  (** per-column status, length [ncols + nrows] *)
+  }
+end
+
 type result = {
   status : status;
   obj : float;          (** meaningful when [status = Optimal] *)
   x : float array;      (** primal values for all columns *)
   iterations : int;
+  warm : bool;
+      (** the solve was served by dual reoptimization from the supplied
+          basis (false for cold solves and warm attempts that fell back) *)
+  basis : Basis.t option;
+      (** the final basis when [status = Optimal]; reuse it as [?warm] for
+          a nearby problem (same matrix, tightened bounds) *)
 }
 
 val solve_r :
   ?max_iterations:int ->
   ?deadline:Robust.Deadline.t ->
+  ?warm:Basis.t ->
   problem ->
   (result, Robust.Failure.t) Stdlib.result
 (** Result-returning entry point. Defaults to a generous iteration cap
     scaled with problem size and no deadline. The deadline is polled every
     few dozen pivots, so a solve never overruns its budget by more than a
-    handful of iterations. [Error] covers abnormal terminations only —
-    [Singular_basis], [Deadline_exceeded], [Numerical_instability] (NaN/Inf
-    detected in the tableau or objective), and [Injected] faults from
+    handful of iterations.
+
+    [warm], when given, must come from an optimal solve of a problem with
+    the same constraint matrix (only [lb]/[ub] may differ — exactly the
+    branch-and-bound child situation). The solver then refactorizes the
+    parent basis and runs dual simplex; on success [result.warm] is [true].
+    A warm attempt that cannot proceed (dimension mismatch, singular or
+    stale basis, dual stall or cycling) silently falls back to the cold
+    two-phase primal path, so passing [warm] never changes which statuses
+    are reachable. A warm [Infeasible] claim is only made after the basis
+    is re-verified dual feasible, so warm starting cannot prune a feasible
+    child on drifted numerics.
+
+    [Error] covers abnormal terminations only — [Singular_basis] (cold
+    path), [Deadline_exceeded], [Numerical_instability] (NaN/Inf detected
+    in the tableau or objective), and [Injected] faults from
     {!Robust.Fault}; infeasible, unbounded, and iteration-limited solves
     remain ordinary [Ok] statuses. *)
 

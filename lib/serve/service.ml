@@ -28,10 +28,12 @@ type config = {
   time_limit : float;  (* per-layer budget, as in [Cosa.schedule] *)
   deadline : Robust.Deadline.t;  (* batch-wide absolute deadline *)
   jobs : int;
+  warm_start : bool;  (* LP warm starting inside B&B (parent-basis reuse) *)
 }
 
 let config ?weights ?(strategy = Cosa.Auto) ?(certify = Cosa.Warn) ?(node_limit = 50_000)
-    ?(time_limit = 4.) ?(deadline = Robust.Deadline.none) ?(jobs = 1) arch =
+    ?(time_limit = 4.) ?(deadline = Robust.Deadline.none) ?(jobs = 1)
+    ?(warm_start = true) arch =
   {
     arch;
     weights = (match weights with Some w -> w | None -> Cosa.calibrate arch);
@@ -41,6 +43,7 @@ let config ?weights ?(strategy = Cosa.Auto) ?(certify = Cosa.Warn) ?(node_limit 
     time_limit;
     deadline;
     jobs = max 1 jobs;
+    warm_start;
   }
 
 type origin = Cache_memory | Cache_disk | Solved of Cosa.source
@@ -78,6 +81,8 @@ type report = {
   total_energy_pj : float;
   solve_p50 : float;
   solve_p95 : float;
+  warm_solves : int;  (* LP solves served by dual reoptimization this request *)
+  cold_solves : int;  (* LP solves that went through the cold two-phase path *)
   cache_stats : Schedule_cache.stats option;
   wall_time : float;
 }
@@ -103,6 +108,9 @@ let meta_of_result cfg (r : Cosa.result) =
 
 let schedule_network_impl ?cache cfg (net : Network.t) =
   let t0 = Robust.Deadline.now () in
+  (* per-request warm/cold split: counters are process-global, so report
+     the delta across this request (pool domains tick the same counters) *)
+  let snap0 = Telemetry.Metrics.snapshot () in
   let dedup = Network.distinct net in
   (* 1. probe the cache for every distinct shape (coordinator domain) *)
   let probed =
@@ -130,7 +138,7 @@ let schedule_network_impl ?cache cfg (net : Network.t) =
     let r =
       Cosa.schedule ~weights:cfg.weights ~strategy:cfg.strategy
         ~node_limit:cfg.node_limit ~time_limit:cfg.time_limit ~deadline:cfg.deadline
-        ~certify:cfg.certify cfg.arch e.Network.layer
+        ~certify:cfg.certify ~warm_start:cfg.warm_start cfg.arch e.Network.layer
     in
     let dt = Robust.Deadline.now () -. t in
     Telemetry.Metrics.incr m_solves;
@@ -211,6 +219,12 @@ let schedule_network_impl ?cache cfg (net : Network.t) =
        | [ a; b ] -> (a, b)
        | _ -> (0., 0.))
   in
+  let counter_delta name =
+    let snap1 = Telemetry.Metrics.snapshot () in
+    max 0
+      (Telemetry.Metrics.counter_value snap1 name
+      - Telemetry.Metrics.counter_value snap0 name)
+  in
   {
     network_name = net.Network.nname;
     layers;
@@ -223,6 +237,8 @@ let schedule_network_impl ?cache cfg (net : Network.t) =
     total_energy_pj = sum (fun lr -> float_of_int lr.repeats *. lr.energy_pj);
     solve_p50 = p50;
     solve_p95 = p95;
+    warm_solves = counter_delta "simplex.warm_solves";
+    cold_solves = counter_delta "simplex.cold_solves";
     cache_stats = Option.map Schedule_cache.stats cache;
     wall_time = Robust.Deadline.now () -. t0;
   }
@@ -265,6 +281,10 @@ let report_to_string r =
        r.total_latency r.total_energy_pj);
   Buffer.add_string buf
     (Printf.sprintf "solve time p50/p95: %.3f/%.3f s\n" r.solve_p50 r.solve_p95);
+  if r.warm_solves + r.cold_solves > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "LP solves: %d warm (dual reopt), %d cold\n" r.warm_solves
+         r.cold_solves);
   (match r.cache_stats with
    | Some s ->
      Buffer.add_string buf

@@ -18,6 +18,9 @@ type config = {
   time_limit : float;  (** per-layer budget (seconds) *)
   deadline : Robust.Deadline.t;  (** batch-wide absolute deadline *)
   jobs : int;  (** domain-pool width; 1 = inline *)
+  warm_start : bool;
+      (** LP warm starting inside branch-and-bound (parent-basis dual
+          simplex); on by default, off is an escape hatch for bisection *)
 }
 
 val config :
@@ -28,6 +31,7 @@ val config :
   ?time_limit:float ->
   ?deadline:Robust.Deadline.t ->
   ?jobs:int ->
+  ?warm_start:bool ->
   Spec.t ->
   config
 (** Defaults mirror {!Cosa.schedule} ([strategy Auto], [certify Warn],
@@ -72,6 +76,10 @@ type report = {
   total_energy_pj : float;
   solve_p50 : float;  (** per-shape serve-time percentiles (seconds) *)
   solve_p95 : float;
+  warm_solves : int;
+      (** LP solves served by warm-started dual simplex during this request
+          (delta of the process-global [simplex.warm_solves] counter) *)
+  cold_solves : int;  (** LP solves that took the cold two-phase path *)
   cache_stats : Schedule_cache.stats option;
   wall_time : float;
 }

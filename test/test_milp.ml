@@ -165,6 +165,33 @@ let test_milp_gap () =
   (* huge gap: the warm incumbent is already within tolerance *)
   check_bool "within gap" true (r.Bb.obj >= 5. -. 1e-9)
 
+let test_bb_warm_lp_identity () =
+  (* LP warm starting must only change how fast node LPs solve, never the
+     search: solutions, objective, and node counts must match exactly with
+     warm_lp on and off (this is the tree-identity invariant the bench
+     sweep gates end-to-end on ResNet-50) *)
+  let build () =
+    let m = Lp.create () in
+    let vars =
+      List.init 6 (fun i -> Lp.add_var m ~integer:true ~ub:4. (Printf.sprintf "x%d" i))
+    in
+    List.iteri
+      (fun r weights ->
+        Lp.add_constr m
+          (List.map2 (fun w v -> (float_of_int w, v)) weights vars)
+          Lp.Le (11 + (3 * r) |> float_of_int))
+      [ [ 3; 5; 2; 1; 4; 2 ]; [ 2; 1; 4; 5; 1; 3 ]; [ 4; 2; 1; 3; 5; 1 ] ];
+    Lp.set_objective m `Maximize
+      (List.map2 (fun c v -> (float_of_int c, v)) [ 7; 9; 4; 6; 8; 5 ] vars);
+    m
+  in
+  let on = Bb.solve ~warm_lp:true (build ()) in
+  let off = Bb.solve ~warm_lp:false (build ()) in
+  check_bool "status" true (on.Bb.status = off.Bb.status);
+  check_bool "objective identical" true (on.Bb.obj = off.Bb.obj);
+  check_bool "values identical" true (on.Bb.values = off.Bb.values);
+  Alcotest.(check int) "node counts identical" off.Bb.nodes on.Bb.nodes
+
 let test_milp_priority_runs () =
   let m = Lp.create () in
   let x = Lp.add_var m ~integer:true ~ub:3. "x" in
@@ -293,6 +320,7 @@ let suite =
       Alcotest.test_case "milp warm start" `Quick test_milp_warm_start;
       Alcotest.test_case "milp gap" `Quick test_milp_gap;
       Alcotest.test_case "milp priority" `Quick test_milp_priority_runs;
+      Alcotest.test_case "bb warm-lp identity" `Quick test_bb_warm_lp_identity;
       Alcotest.test_case "relax shape" `Quick test_relax_shape;
       Alcotest.test_case "feasibility checker" `Quick test_simplex_feasible_checker;
       qc prop_milp_matches_bruteforce;

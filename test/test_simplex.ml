@@ -144,6 +144,94 @@ let test_iteration_limit () =
   let r = Simplex.solve ~max_iterations:0 p in
   check_bool "reports limit" true (r.Simplex.status = Simplex.Iteration_limit)
 
+(* ---- warm-start (dual simplex) unit tests ------------------------------ *)
+
+let solve_ok ?warm p =
+  match Simplex.solve_r ?warm p with
+  | Ok r -> r
+  | Error f -> Alcotest.failf "solve_r failed: %s" (Robust.Failure.to_string f)
+
+let test_warm_basis_returned () =
+  let p =
+    problem
+      ~rows:[| [| 1.; 1.; 1. |]; [| 1.; 2.; 0. |] |]
+      ~cost:[| 1.; 2.; -1. |]
+      ~lb:[| 0.; 0.; 0. |]
+      ~ub:[| 4.; 4.; 4. |]
+      ~rhs:[| 5.; 4. |]
+  in
+  let r = solve_ok p in
+  check_bool "optimal" true (r.Simplex.status = Simplex.Optimal);
+  check_bool "cold solve" false r.Simplex.warm;
+  check_bool "basis returned" true (r.Simplex.basis <> None)
+
+let test_warm_agrees_with_cold () =
+  (* tighten one bound (the branch-and-bound child situation): warm dual
+     reoptimization from the parent basis must agree with a cold solve —
+     same status, same objective, and bit-identical x after vertex
+     canonicalization *)
+  let parent =
+    problem
+      ~rows:[| [| 1.; 1.; 1.; 0. |]; [| 2.; 1.; 0.; 1. |] |]
+      ~cost:[| -2.; -3.; 1.; 1. |]
+      ~lb:[| 0.; 0.; 0.; 0. |]
+      ~ub:[| 5.; 5.; 8.; 8. |]
+      ~rhs:[| 6.; 7. |]
+  in
+  let root = solve_ok parent in
+  check_bool "root optimal" true (root.Simplex.status = Simplex.Optimal);
+  let basis = Option.get root.Simplex.basis in
+  let ub = Array.copy parent.Simplex.ub in
+  ub.(1) <- 1.;
+  let child = { parent with Simplex.ub } in
+  let w = solve_ok ~warm:basis child in
+  let c = solve_ok child in
+  check_bool "warm path used" true w.Simplex.warm;
+  check_bool "same status" true (w.Simplex.status = c.Simplex.status);
+  check_float "same objective" c.Simplex.obj w.Simplex.obj;
+  check_bool "bit-identical solution" true (w.Simplex.x = c.Simplex.x);
+  check_bool "warm solution feasible" true (Simplex.feasible child w.Simplex.x)
+
+let test_warm_detects_infeasible_child () =
+  (* both variables forced high while the equality pins their sum low: the
+     warm dual solve must prove infeasibility, exactly like the cold one *)
+  let parent =
+    problem
+      ~rows:[| [| 1.; 1. |] |]
+      ~cost:[| 1.; 1. |]
+      ~lb:[| 0.; 0. |]
+      ~ub:[| 4.; 4. |]
+      ~rhs:[| 3. |]
+  in
+  let root = solve_ok parent in
+  let basis = Option.get root.Simplex.basis in
+  let lb = [| 2.; 2. |] in
+  let child = { parent with Simplex.lb } in
+  let w = solve_ok ~warm:basis child in
+  let c = solve_ok child in
+  check_bool "cold infeasible" true (c.Simplex.status = Simplex.Infeasible);
+  check_bool "warm infeasible" true (w.Simplex.status = Simplex.Infeasible)
+
+let test_warm_rejects_stale_basis () =
+  (* a basis with the wrong dimensions must fall back to the cold path, not
+     fail the solve *)
+  let p =
+    problem
+      ~rows:[| [| 1.; 1. |] |]
+      ~cost:[| 1.; 1. |]
+      ~lb:[| 0.; 0. |]
+      ~ub:[| 2.; 2. |]
+      ~rhs:[| 2. |]
+  in
+  let bogus =
+    { Simplex.Basis.basic = [| 0; 1; 2 |];
+      vstat = Array.make 7 Simplex.Basis.Vlower }
+  in
+  let r = solve_ok ~warm:bogus p in
+  check_bool "fell back cold" false r.Simplex.warm;
+  check_bool "still optimal" true (r.Simplex.status = Simplex.Optimal);
+  check_float "obj" 2. r.Simplex.obj
+
 let suite =
   ( "simplex",
     [
@@ -155,4 +243,9 @@ let suite =
       Alcotest.test_case "free variable" `Quick test_free_variable;
       Alcotest.test_case "random LP consistency" `Quick test_larger_random_consistency;
       Alcotest.test_case "iteration limit" `Quick test_iteration_limit;
+      Alcotest.test_case "warm basis returned" `Quick test_warm_basis_returned;
+      Alcotest.test_case "warm agrees with cold" `Quick test_warm_agrees_with_cold;
+      Alcotest.test_case "warm detects infeasible child" `Quick
+        test_warm_detects_infeasible_child;
+      Alcotest.test_case "warm rejects stale basis" `Quick test_warm_rejects_stale_basis;
     ] )
