@@ -57,6 +57,7 @@ let snapshot_json (s : Telemetry.Metrics.snapshot) =
 let exp_results : string list ref = ref []
 let serve_result : string option ref = ref None
 let sweep_result : string option ref = ref None
+let soak_result : string option ref = ref None
 let micro_results : string list ref = ref []
 
 let write_results path =
@@ -64,6 +65,7 @@ let write_results path =
     [ Printf.sprintf "\"experiments\":[%s]" (String.concat "," (List.rev !exp_results)) ]
     @ (match !serve_result with Some s -> [ "\"serve\":" ^ s ] | None -> [])
     @ (match !sweep_result with Some s -> [ "\"warm_sweep\":" ^ s ] | None -> [])
+    @ (match !soak_result with Some s -> [ "\"soak\":" ^ s ] | None -> [])
     @ [ Printf.sprintf "\"micro\":[%s]" (String.concat "," (List.rev !micro_results)) ]
   in
   let oc = open_out path in
@@ -230,6 +232,250 @@ let serve_benchmarks () =
   Telemetry.Sink.set Telemetry.Sink.Null;
   flush stdout
 
+(* Fault-injected soak of the scheduling daemon: mixed interactive traffic
+   against an in-process server with the deterministic fault harness armed
+   on the solver sites. Acceptance, per seed:
+
+   - zero wrong-schedule serves: every [Scheduled] layer is re-parsed from
+     its wire record and re-certified in exact arithmetic by the harness
+     (faults are restricted to solver sites, so server- and harness-side
+     certification stay sound while solves are being perturbed);
+   - typed overload handling: the load step (more concurrent clients than
+     queue slots, tight budgets) must produce typed rejections and no
+     [Failed] responses — backpressure degrades monotonically, it never
+     turns into silent drops or errors;
+   - bounded latency: p95 server-side serve time of admitted requests stays
+     within the request SLO (modest slack for the final deadline check);
+   - clean drain: shutdown answers everything in flight, accounting
+     balances (served + failed + rejected = received), the cache persists,
+     and a warm restart serves the soaked shapes back from disk. *)
+let soak_seeds = [ 11; 23; 47 ]
+let soak_fault_rate = 0.02
+
+let soak_solver_sites =
+  [ "simplex.pivot"; "simplex.refactor"; "bb.node"; "sampler.valid"; "cosa.warm" ]
+
+let soak_layers =
+  [ "3_56_64_64_1"; "1_56_64_256_1"; "1_56_256_64_1"; "3_28_128_128_1";
+    "1_28_128_512_1" ]
+
+let soak_failures = ref 0
+
+let soak_check cond msg =
+  if cond then Printf.printf "  PASS %s\n" msg
+  else begin
+    Printf.printf "  FAIL %s\n" msg;
+    incr soak_failures
+  end
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error _ -> ()
+
+(* One mixed-traffic soak round under one fault seed. Returns a JSON
+   fragment for the results file. *)
+let soak_round seed =
+  let tmp = Filename.get_temp_dir_name () in
+  let tag = Printf.sprintf "cosa_soak_%d_%d" (Unix.getpid ()) seed in
+  let cache_dir = Filename.concat tmp tag in
+  rm_rf cache_dir;
+  let sock = Filename.concat tmp (tag ^ ".sock") in
+  let burst_budget = 0.5 and warm_budget = 10. in
+  let make_server () =
+    let service =
+      Serve.Service.config ~strategy:Cosa.Auto ~certify:Cosa.Strict ~node_limit:2_000
+        ~time_limit:0.6 ~jobs:2 Spec.baseline
+    in
+    let admission =
+      Daemon.Admission.default_config ~queue_capacity:4 ~shed_delay_s:2.
+        ~min_samples:4 ~time_limit:0.6 ()
+    in
+    Daemon.Server.create
+      (Daemon.Server.config ~admission ~cache_dir ~default_budget_s:warm_budget
+         ~socket_path:sock service)
+  in
+  (* every response any traffic thread sees, for post-hoc verification *)
+  let resp_lock = Mutex.create () in
+  let responses : (string * float * Daemon.Protocol.response) list ref = ref [] in
+  let client_errors = ref 0 in
+  let record budget = function
+    | Ok resp ->
+      Mutex.protect resp_lock (fun () -> responses := ("", budget, resp) :: !responses)
+    | Error _ -> Mutex.protect resp_lock (fun () -> incr client_errors)
+  in
+  let send client budget layer =
+    Daemon.Client.request client
+      { Daemon.Protocol.client = ""; budget_s = budget; arch = "baseline";
+        target = Daemon.Protocol.Layer layer }
+  in
+  let server = make_server () in
+  let server_thread = Daemon.Server.start server in
+  Daemon.Server.wait_ready server;
+  let fired = ref 0 in
+  Robust.Fault.with_faults ~rate:soak_fault_rate ~only:soak_solver_sites seed
+    (fun () ->
+      (* warmup: generous budgets, populates cache and cost estimator *)
+      (match Daemon.Client.connect sock with
+       | Error e -> failwith ("soak: cannot connect: " ^ e)
+       | Ok c ->
+         List.iter (fun l -> record warm_budget (send c warm_budget l)) soak_layers;
+         List.iter (fun l -> record warm_budget (send c warm_budget l)) soak_layers;
+         Daemon.Client.close c);
+      (* load step: 8 concurrent clients vs 4 queue slots, tight budgets *)
+      let burst_threads =
+        List.init 8 (fun i ->
+            Thread.create
+              (fun () ->
+                match Daemon.Client.connect sock with
+                | Error _ -> Mutex.protect resp_lock (fun () -> incr client_errors)
+                | Ok c ->
+                  let rng = Prim.Rng.create ((seed * 31) + i) in
+                  for _ = 1 to 8 do
+                    let layer = Prim.Rng.pick rng soak_layers in
+                    record burst_budget (send c burst_budget layer)
+                  done;
+                  Daemon.Client.close c)
+              ())
+      in
+      List.iter Thread.join burst_threads;
+      (* recovery after the step: a generous request must be admitted again *)
+      (match Daemon.Client.connect sock with
+       | Error e -> failwith ("soak: cannot reconnect: " ^ e)
+       | Ok c ->
+         record warm_budget (send c warm_budget (List.hd soak_layers));
+         Daemon.Client.close c);
+      fired := Robust.Fault.fired_count ());
+  let fired = !fired in
+  Daemon.Server.shutdown server;
+  Thread.join server_thread;
+  let s = Daemon.Server.stats server in
+  (* ---- verification (faults disarmed) ---- *)
+  let all = !responses in
+  let scheduled =
+    List.filter_map
+      (fun (_, b, r) ->
+        match r with Daemon.Protocol.Scheduled x -> Some (b, x) | _ -> None)
+      all
+  in
+  let rejected =
+    List.length
+      (List.filter (function _, _, Daemon.Protocol.Rejected _ -> true | _ -> false) all)
+  in
+  let failed =
+    List.length
+      (List.filter (function _, _, Daemon.Protocol.Failed _ -> true | _ -> false) all)
+  in
+  (* zero wrong-schedule serves: re-parse and re-certify every response *)
+  let wrong = ref 0 in
+  List.iter
+    (fun (_, (x : Daemon.Protocol.scheduled)) ->
+      List.iter
+        (fun (l : Daemon.Protocol.served_layer) ->
+          if l.Daemon.Protocol.verdict <> "ok" then incr wrong
+          else
+            match Mapping_io.record_of_string l.Daemon.Protocol.record with
+            | Error _ -> incr wrong
+            | Ok (_, mapping) ->
+              (match Certify.Mapping_cert.check Spec.baseline mapping with
+               | Certify.Certificate.Certified -> ()
+               | Certify.Certificate.Violated _ -> incr wrong))
+        x.Daemon.Protocol.layers)
+    scheduled;
+  let burst_serve =
+    List.filter_map
+      (fun (b, (x : Daemon.Protocol.scheduled)) ->
+        if b = burst_budget then Some x.Daemon.Protocol.serve_s else None)
+      scheduled
+  in
+  let p95_burst =
+    match burst_serve with [] -> 0. | l -> Prim.Stats.percentile 95. l
+  in
+  Printf.printf
+    "seed %d: %d responses (%d scheduled, %d rejected, %d failed), %d faults fired, \
+     p95 burst serve %.3fs, drain persisted %d\n"
+    seed (List.length all) (List.length scheduled) rejected failed fired p95_burst
+    s.Daemon.Server.persisted;
+  soak_check (fired > 0) "faults actually fired during the soak";
+  soak_check (!wrong = 0) "zero wrong-schedule serves (all responses re-certified)";
+  soak_check (failed = 0) "no Failed responses under fault-injected overload";
+  soak_check (!client_errors = 0) "no client-side protocol errors";
+  soak_check (rejected > 0) "load step produced typed rejections (backpressure)";
+  soak_check
+    (s.Daemon.Server.rejected_queue_full + s.Daemon.Server.rejected_shedding
+     + s.Daemon.Server.rejected_deadline > 0)
+    "server counted its rejections by reason";
+  soak_check
+    (p95_burst <= (burst_budget *. 1.25) +. 0.1)
+    "p95 serve time of admitted burst requests within SLO";
+  soak_check
+    (s.Daemon.Server.served + s.Daemon.Server.failed
+     + s.Daemon.Server.rejected_queue_full + s.Daemon.Server.rejected_quota
+     + s.Daemon.Server.rejected_shedding + s.Daemon.Server.rejected_deadline
+    = s.Daemon.Server.received)
+    "drain accounting balances (every request answered exactly once)";
+  soak_check (s.Daemon.Server.persisted > 0) "drain persisted the schedule cache";
+  (match all with
+   | (_, _, Daemon.Protocol.Scheduled _) :: _ ->
+     (* responses are newest-first: the post-step generous request *)
+     soak_check true "server recovered after the load step"
+   | _ -> soak_check false "server recovered after the load step");
+  (* warm restart: the drained cache must serve the soaked shapes back *)
+  let server2 = make_server () in
+  let t2 = Daemon.Server.start server2 in
+  Daemon.Server.wait_ready server2;
+  let from_cache = ref 0 and restart_wrong = ref 0 in
+  (match Daemon.Client.connect sock with
+   | Error e -> failwith ("soak: restart connect: " ^ e)
+   | Ok c ->
+     List.iter
+       (fun l ->
+         match send c warm_budget l with
+         | Ok (Daemon.Protocol.Scheduled x) ->
+           List.iter
+             (fun (sl : Daemon.Protocol.served_layer) ->
+               if String.length sl.Daemon.Protocol.origin >= 5
+                  && String.sub sl.Daemon.Protocol.origin 0 5 = "cache"
+               then incr from_cache;
+               if sl.Daemon.Protocol.verdict <> "ok" then incr restart_wrong)
+             x.Daemon.Protocol.layers
+         | _ -> incr restart_wrong)
+       soak_layers;
+     Daemon.Client.close c);
+  Daemon.Server.shutdown server2;
+  Thread.join t2;
+  soak_check
+    (!from_cache = List.length soak_layers && !restart_wrong = 0)
+    "warm restart served every soaked shape from the persisted cache";
+  rm_rf cache_dir;
+  Printf.sprintf
+    "{\"seed\":%d,\"responses\":%d,\"scheduled\":%d,\"rejected\":%d,\"failed\":%d,\
+     \"faults_fired\":%d,\"p95_burst_s\":%s,\"persisted\":%d,\"wrong\":%d,\
+     \"restart_from_cache\":%d}"
+    seed (List.length all) (List.length scheduled) rejected failed fired
+    (json_float p95_burst) s.Daemon.Server.persisted !wrong !from_cache
+
+let soak_benchmarks () =
+  print_newline ();
+  print_endline "Daemon soak: fault-injected mixed traffic, typed backpressure, drain";
+  print_endline "====================================================================";
+  Telemetry.Sink.set Telemetry.Sink.Null;
+  let rounds = List.map soak_round soak_seeds in
+  soak_result :=
+    Some
+      (Printf.sprintf "{\"fault_rate\":%s,\"rounds\":[%s]}"
+         (json_float soak_fault_rate)
+         (String.concat "," rounds));
+  if !soak_failures > 0 then begin
+    Printf.printf "soak: %d acceptance checks FAILED\n" !soak_failures;
+    write_results "BENCH_results.json";
+    exit 1
+  end;
+  flush stdout
+
 (* Warm-start sweep: the warm-started-dual-simplex acceptance gate. Every
    distinct ResNet-50 shape is scheduled node-bound (deterministic) twice —
    --warm-start on and off — under identical budgets. Warm starting must
@@ -316,15 +562,18 @@ let () =
    | Some "exp" -> run_experiments ()
    | Some "serve" -> serve_benchmarks ()
    | Some "sweep" -> warm_sweep ()
+   | Some "soak" -> soak_benchmarks ()
    | Some "micro" -> micro_benchmarks ()
    | Some other ->
-     Printf.eprintf "unknown section %S (expected exp, serve, sweep, or micro)\n" other;
+     Printf.eprintf "unknown section %S (expected exp, serve, sweep, soak, or micro)\n"
+       other;
      exit 2
    | None ->
      print_endline "CoSA reproduction: full experiment harness";
      print_endline "==========================================";
      run_experiments ();
      serve_benchmarks ();
+     soak_benchmarks ();
      warm_sweep ();
      micro_benchmarks ());
   Printf.printf "\nTotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0);

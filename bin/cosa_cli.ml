@@ -130,15 +130,18 @@ let with_faults fault_seed fault_rate f =
           (Robust.Fault.fired ());
         r)
 
+let strategy_conv =
+  Arg.enum
+    [ ("auto", Cosa.Auto); ("joint", Cosa.Joint); ("two-stage", Cosa.Two_stage);
+      ("heuristic", Cosa.Heuristic) ]
+
+let strategy_arg =
+  Arg.(value & opt strategy_conv Cosa.Auto & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+         ~doc:"Solver strategy: auto, joint, two-stage, or heuristic (skip the MIP \
+               rungs; sampler only).")
+
 (* cosa_cli schedule <layer> *)
 let schedule_cmd =
-  let strategy_conv =
-    Arg.enum [ ("auto", Cosa.Auto); ("joint", Cosa.Joint); ("two-stage", Cosa.Two_stage) ]
-  in
-  let strategy_arg =
-    Arg.(value & opt strategy_conv Cosa.Auto & info [ "s"; "strategy" ] ~docv:"STRATEGY"
-           ~doc:"Solver strategy: auto, joint, or two-stage.")
-  in
   let save_arg =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
            ~doc:"Also write the schedule to $(docv) (cosa_cli evaluate reads it back).")
@@ -211,13 +214,6 @@ let batch_cmd =
     Arg.(value & opt int 256 & info [ "cache-size" ] ~docv:"ENTRIES"
            ~doc:"In-memory LRU capacity (distinct schedules).")
   in
-  let strategy_conv =
-    Arg.enum [ ("auto", Cosa.Auto); ("joint", Cosa.Joint); ("two-stage", Cosa.Two_stage) ]
-  in
-  let strategy_arg =
-    Arg.(value & opt strategy_conv Cosa.Auto & info [ "s"; "strategy" ] ~docv:"STRATEGY"
-           ~doc:"Solver strategy: auto, joint, or two-stage.")
-  in
   let run arch_name network_name jobs cache_dir cache_size node_limit strategy time_limit
       certify warm_start trace metrics profile =
     let arch = arch_of_name arch_name in
@@ -248,6 +244,158 @@ let batch_cmd =
     Term.(const run $ arch_arg $ network_arg $ jobs_arg $ cache_dir_arg $ cache_size_arg
           $ node_limit_arg $ strategy_arg $ time_limit_arg $ certify_arg $ warm_start_arg
           $ trace_arg $ metrics_arg $ profile_arg)
+
+(* Shared by serve/request: where the daemon listens. *)
+let socket_arg =
+  Arg.(value & opt string "/tmp/cosa_daemon.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path of the scheduling daemon.")
+
+(* cosa_cli serve --socket PATH --cache-dir DIR *)
+let serve_cmd =
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Domain-pool width for solve fan-out inside one request.")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"PATH"
+           ~doc:"Persist schedules under $(docv); graceful drain rewrites every \
+                 in-memory entry there (crash-safe temp-file + rename writes), and \
+                 a restart re-serves them after exact-arithmetic re-verification.")
+  in
+  let cache_size_arg =
+    Arg.(value & opt int 256 & info [ "cache-size" ] ~docv:"ENTRIES"
+           ~doc:"In-memory LRU capacity (distinct schedules).")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64 & info [ "queue-capacity" ] ~docv:"N"
+           ~doc:"Bounded request queue; requests beyond $(docv) are rejected \
+                 $(b,queue-full), never silently dropped.")
+  in
+  let quota_rate_arg =
+    Arg.(value & opt float 0. & info [ "quota-rate" ] ~docv:"TOKENS/S"
+           ~doc:"Per-client token-bucket refill rate; 0 disables quotas.")
+  in
+  let quota_burst_arg =
+    Arg.(value & opt float 8. & info [ "quota-burst" ] ~docv:"TOKENS"
+           ~doc:"Per-client token-bucket capacity.")
+  in
+  let shed_arg =
+    Arg.(value & opt float 30. & info [ "shed-delay" ] ~docv:"SECONDS"
+           ~doc:"Estimated queue delay beyond which new requests are shed.")
+  in
+  let default_budget_arg =
+    Arg.(value & opt float 30. & info [ "default-budget" ] ~docv:"SECONDS"
+           ~doc:"SLO budget assumed for requests that carry none.")
+  in
+  let run arch_name socket jobs cache_dir cache_size queue_capacity quota_rate
+      quota_burst shed_delay default_budget node_limit strategy time_limit certify
+      warm_start trace metrics profile =
+    let arch = arch_of_name arch_name in
+    let service =
+      Serve.Service.config ~strategy ~certify ~node_limit ~time_limit ~jobs ~warm_start
+        arch
+    in
+    let admission =
+      Daemon.Admission.default_config ~queue_capacity ~quota_rate ~quota_burst
+        ~shed_delay_s:shed_delay ~time_limit ()
+    in
+    let cfg =
+      Daemon.Server.config ~admission ?cache_dir ~cache_capacity:cache_size
+        ~default_budget_s:default_budget ~socket_path:socket service
+    in
+    let server = Daemon.Server.create cfg in
+    (* SIGTERM/SIGINT request a graceful drain: finish in-flight work,
+       persist the cache, exit 0. [shutdown] is one atomic store, so it
+       is safe from the handler. *)
+    let graceful = Sys.Signal_handle (fun _ -> Daemon.Server.shutdown server) in
+    Sys.set_signal Sys.sigterm graceful;
+    Sys.set_signal Sys.sigint graceful;
+    Printf.printf "daemon listening on %s (arch %s, cache %s)\n%!" socket
+      arch.Spec.aname
+      (Option.value cache_dir ~default:"memory-only");
+    with_telemetry trace metrics profile (fun () -> Daemon.Server.run server);
+    let s = Daemon.Server.stats server in
+    Printf.printf
+      "drained: %d received, %d served, %d failed; rejected %d queue-full, %d quota, \
+       %d shedding, %d deadline; %d cache records persisted\n"
+      s.Daemon.Server.received s.Daemon.Server.served s.Daemon.Server.failed
+      s.Daemon.Server.rejected_queue_full s.Daemon.Server.rejected_quota
+      s.Daemon.Server.rejected_shedding s.Daemon.Server.rejected_deadline
+      s.Daemon.Server.persisted
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent scheduling daemon: bounded queue, SLO-aware \
+             admission over the degradation ladder, typed backpressure, graceful \
+             drain on SIGTERM.")
+    Term.(const run $ arch_arg $ socket_arg $ jobs_arg $ cache_dir_arg $ cache_size_arg
+          $ queue_arg $ quota_rate_arg $ quota_burst_arg $ shed_arg $ default_budget_arg
+          $ node_limit_arg $ strategy_arg $ time_limit_arg $ certify_arg $ warm_start_arg
+          $ trace_arg $ metrics_arg $ profile_arg)
+
+(* cosa_cli request <layer> --budget 0.5 *)
+let request_cmd =
+  let target_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET"
+           ~doc:"Layer name, or network name with --network.")
+  in
+  let network_flag =
+    Arg.(value & flag & info [ "network" ]
+           ~doc:"Treat TARGET as a network name instead of a layer name.")
+  in
+  let budget_arg =
+    Arg.(value & opt float 0. & info [ "budget" ] ~docv:"SECONDS"
+           ~doc:"SLO budget from arrival; 0 uses the server default. Admission \
+                 picks the highest degradation-ladder rung that fits, or rejects \
+                 $(b,deadline-unmeetable) up front.")
+  in
+  let client_arg =
+    Arg.(value & opt string "" & info [ "client" ] ~docv:"ID"
+           ~doc:"Quota identity; empty shares the anonymous bucket.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 60. & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Client-side socket timeout.")
+  in
+  let run arch socket target network budget client timeout =
+    let req =
+      {
+        Daemon.Protocol.client;
+        budget_s = budget;
+        arch;
+        target =
+          (if network then Daemon.Protocol.Network target
+           else Daemon.Protocol.Layer target);
+      }
+    in
+    match Daemon.Client.one_shot ~timeout_s:timeout socket req with
+    | Error msg ->
+      Printf.eprintf "request failed: %s\n" msg;
+      exit 1
+    | Ok (Daemon.Protocol.Failed msg) ->
+      Printf.eprintf "server error: %s\n" msg;
+      exit 1
+    | Ok (Daemon.Protocol.Rejected reason) ->
+      Printf.printf "rejected: %s\n" (Daemon.Protocol.reject_reason_to_string reason);
+      exit 3
+    | Ok (Daemon.Protocol.Scheduled s) ->
+      Printf.printf "scheduled at rung %s (queue wait %.3fs, served in %.3fs)\n"
+        (Robust.Ladder.to_string s.Daemon.Protocol.rung)
+        s.Daemon.Protocol.queue_wait_s s.Daemon.Protocol.serve_s;
+      List.iter
+        (fun (l : Daemon.Protocol.served_layer) ->
+          Printf.printf "  %-28s x%-4d %-12s certify:%s\n" l.Daemon.Protocol.name
+            l.Daemon.Protocol.repeats l.Daemon.Protocol.origin l.Daemon.Protocol.verdict)
+        s.Daemon.Protocol.layers;
+      Printf.printf "total: latency=%.0f cycles, energy=%.4g pJ\n"
+        s.Daemon.Protocol.total_latency s.Daemon.Protocol.total_energy_pj
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:"Send one scheduling request to a running daemon. Exit status: 0 \
+             scheduled, 3 typed rejection (backpressure/deadline), 1 failure.")
+    Term.(const run $ arch_arg $ socket_arg $ target_arg $ network_flag $ budget_arg
+          $ client_arg $ timeout_arg)
 
 (* cosa_cli exp <id> *)
 let exp_cmd =
@@ -362,4 +510,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ schedule_cmd; batch_cmd; exp_cmd; simulate_cmd; evaluate_cmd; list_cmd ]))
+          [ schedule_cmd; batch_cmd; serve_cmd; request_cmd; exp_cmd; simulate_cmd;
+            evaluate_cmd; list_cmd ]))

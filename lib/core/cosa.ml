@@ -21,12 +21,13 @@ type objective_breakdown = Cosa_objective.t = {
   total : float;
 }
 
-type strategy = Auto | Joint | Two_stage
+type strategy = Auto | Joint | Two_stage | Heuristic
 
 let strategy_to_string = function
   | Auto -> "auto"
   | Joint -> "joint"
   | Two_stage -> "two-stage"
+  | Heuristic -> "heuristic"
 
 (* Which rung of the degradation ladder produced the returned mapping. *)
 type source = Milp_joint | Milp_two_stage | Heuristic_sampler | Trivial
@@ -282,7 +283,11 @@ let schedule_impl ?weights ?(strategy = Auto) ?(node_limit = 50_000) ?(time_limi
     outcome
   in
   let milp_attempts =
-    match strategy with Joint -> [ true ] | Two_stage -> [ false ] | Auto -> [ true; false ]
+    match strategy with
+    | Joint -> [ true ]
+    | Two_stage -> [ false ]
+    | Auto -> [ true; false ]
+    | Heuristic -> [] (* skip the MIP rungs entirely; start at the sampler *)
   in
   let n_attempts = List.length milp_attempts in
   let milp_results =

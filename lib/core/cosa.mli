@@ -25,6 +25,12 @@ type strategy =
   | Auto  (** joint MIP and two-stage decomposition, best Eq.-12 value wins *)
   | Joint  (** the paper's single joint MIP only *)
   | Two_stage  (** tiling/spatial MIP, then exact permutation sub-solve *)
+  | Heuristic
+      (** skip the MIP rungs entirely: serve the best valid sampled mapping
+          (the degradation ladder's rung 2). The deadline-pressure strategy —
+          a few milliseconds instead of a solve — used by the daemon's
+          admission controller when the remaining SLO budget cannot fit a
+          MIP rung. *)
 
 val strategy_to_string : strategy -> string
 

@@ -1,0 +1,152 @@
+(* SLO-aware admission control.
+
+   Admission decides, at arrival time, whether a request can meet its
+   deadline at all — and at which degradation-ladder rung — instead of
+   letting a doomed solve discover the deadline mid-pivot. The decision
+   chain is:
+
+     queue bound -> per-client token bucket -> overload shed -> rung fit
+
+   Rung fit estimates this request's serve cost per rung as
+
+     cost(rung) = probe_cost + (1 - p_hit) * solve_cost_p95(rung)
+
+   where [p_hit] is the schedule cache's observed hit rate and
+   [solve_cost_p95] comes from a sliding window of this daemon's own
+   recent serve times at that rung (cold-start priors until enough
+   samples accumulate). [Robust.Ladder.select] then picks the highest
+   rung whose estimated cost fits within [safety * remaining_budget],
+   where the remaining budget already discounts the estimated queue
+   delay ahead of this request. A request no rung can serve in time is
+   rejected up front — typed, before any work is spent on it. *)
+
+type config = {
+  queue_capacity : int;  (* bounded request queue; at capacity -> Queue_full *)
+  quota_rate : float;  (* tokens/second/client; <= 0 disables quotas *)
+  quota_burst : float;  (* bucket capacity *)
+  shed_delay_s : float;  (* estimated queue delay beyond this -> Shedding *)
+  safety : float;  (* fraction of remaining budget a rung may claim *)
+  min_samples : int;  (* window samples before telemetry overrides priors *)
+  priors : (Robust.Ladder.rung * float) list;  (* cold-start cost estimates *)
+}
+
+(* Priors are deliberately pessimistic multiples of the configured solve
+   budget: until the daemon has seen real solves, admission assumes a MIP
+   rung costs its full time limit. *)
+let default_config ?(queue_capacity = 64) ?(quota_rate = 0.) ?(quota_burst = 8.)
+    ?(shed_delay_s = 30.) ?(safety = 0.8) ?(min_samples = 8) ?(time_limit = 4.) () =
+  {
+    queue_capacity;
+    quota_rate;
+    quota_burst;
+    shed_delay_s;
+    safety;
+    min_samples;
+    priors =
+      [ (Robust.Ladder.Joint, time_limit);
+        (Robust.Ladder.Two_stage, 0.5 *. time_limit);
+        (Robust.Ladder.Heuristic, 0.05);
+        (Robust.Ladder.Cache_probe, 0.005) ];
+  }
+
+(* Sliding window of recent serve costs for one rung. *)
+type window = { samples : float array; mutable n : int; mutable next : int }
+
+let window_size = 64
+
+type bucket = { mutable tokens : float; mutable last : float }
+
+type t = {
+  cfg : config;
+  windows : (Robust.Ladder.rung * window) list;
+  buckets : (string, bucket) Hashtbl.t;
+}
+
+let create cfg =
+  {
+    cfg;
+    windows =
+      List.map
+        (fun r -> (r, { samples = Array.make window_size 0.; n = 0; next = 0 }))
+        Robust.Ladder.all;
+    buckets = Hashtbl.create 16;
+  }
+
+let config t = t.cfg
+
+(* Record the observed serve cost of a completed request at [rung]. *)
+let observe t rung cost_s =
+  match List.assoc_opt rung t.windows with
+  | None -> ()
+  | Some w ->
+    w.samples.(w.next) <- cost_s;
+    w.next <- (w.next + 1) mod window_size;
+    if w.n < window_size then w.n <- w.n + 1
+
+let prior t rung = try List.assoc rung t.cfg.priors with Not_found -> infinity
+
+(* p95 of the rung's recent serve costs; the prior until the window holds
+   [min_samples] points (and never below the floor the window itself
+   justifies — a handful of lucky fast solves must not talk admission
+   into optimism the prior contradicts). *)
+let rung_cost t rung =
+  match List.assoc_opt rung t.windows with
+  | None -> prior t rung
+  | Some w ->
+    if w.n < t.cfg.min_samples then prior t rung
+    else
+      Prim.Stats.percentile 95. (Array.to_list (Array.sub w.samples 0 w.n))
+
+(* Estimated serve cost per rung for one request, given the cache-hit
+   probability: every rung pays the probe, and pays its solve cost only
+   on a miss. [Cache_probe] is pure probe — its "miss cost" is rejection,
+   priced at zero here and answered typed downstream. *)
+let estimates t ~hit_rate =
+  let p_hit = Float.max 0. (Float.min 1. hit_rate) in
+  let probe = rung_cost t Robust.Ladder.Cache_probe in
+  List.map
+    (fun rung ->
+      let cost_s =
+        if Robust.Ladder.equal rung Robust.Ladder.Cache_probe then probe
+        else probe +. ((1. -. p_hit) *. rung_cost t rung)
+      in
+      { Robust.Ladder.rung; cost_s })
+    Robust.Ladder.all
+
+(* Token bucket, refilled lazily at [quota_rate] tokens/second up to
+   [quota_burst]. One token per request. *)
+let quota_ok t ~now client =
+  if t.cfg.quota_rate <= 0. then true
+  else begin
+    let b =
+      match Hashtbl.find_opt t.buckets client with
+      | Some b -> b
+      | None ->
+        let b = { tokens = t.cfg.quota_burst; last = now } in
+        Hashtbl.add t.buckets client b;
+        b
+    in
+    b.tokens <-
+      Float.min t.cfg.quota_burst (b.tokens +. ((now -. b.last) *. t.cfg.quota_rate));
+    b.last <- now;
+    if b.tokens >= 1. then begin
+      b.tokens <- b.tokens -. 1.;
+      true
+    end
+    else false
+  end
+
+(* The admission decision. [queue_delay_s] is the estimated cost of the
+   work already queued ahead of this request; the rung must fit in what
+   is left of the budget after waiting it out. *)
+let decide t ~now ~client ~budget_s ~queue_depth ~queue_delay_s ~hit_rate =
+  if queue_depth >= t.cfg.queue_capacity then Error Protocol.Queue_full
+  else if not (quota_ok t ~now client) then Error Protocol.Quota_exceeded
+  else if queue_delay_s > t.cfg.shed_delay_s then Error Protocol.Shedding
+  else begin
+    let remaining = budget_s -. queue_delay_s in
+    let budget = t.cfg.safety *. remaining in
+    match Robust.Ladder.select ~budget (estimates t ~hit_rate) with
+    | Some rung -> Ok rung
+    | None -> Error Protocol.Deadline_unmeetable
+  end

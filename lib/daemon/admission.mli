@@ -1,0 +1,67 @@
+(** SLO-aware admission control: queue bound, per-client token-bucket
+    quotas, overload shedding, and deadline-aware degradation-ladder rung
+    selection.
+
+    The controller estimates each request's serve cost per ladder rung as
+    [probe + (1 - p_hit) * solve_p95(rung)] — cache-hit probability from
+    the schedule cache, p95 solve cost from a sliding window of this
+    daemon's own recent serves (pessimistic priors until warm) — and
+    admits at the highest rung fitting [safety * remaining_budget], where
+    the remaining budget discounts the estimated queue delay. Requests no
+    rung can serve in time are rejected up front with
+    {!Protocol.Deadline_unmeetable}, before any solver work is spent.
+
+    Not thread-safe on its own: the server serialises all calls under its
+    state lock. *)
+
+type config = {
+  queue_capacity : int;  (** bounded request queue; at capacity → [Queue_full] *)
+  quota_rate : float;  (** tokens/second/client; [<= 0] disables quotas *)
+  quota_burst : float;  (** token-bucket capacity *)
+  shed_delay_s : float;  (** estimated queue delay beyond this → [Shedding] *)
+  safety : float;  (** fraction of remaining budget a rung may claim *)
+  min_samples : int;  (** window samples before telemetry overrides priors *)
+  priors : (Robust.Ladder.rung * float) list;  (** cold-start cost estimates *)
+}
+
+val default_config :
+  ?queue_capacity:int ->
+  ?quota_rate:float ->
+  ?quota_burst:float ->
+  ?shed_delay_s:float ->
+  ?safety:float ->
+  ?min_samples:int ->
+  ?time_limit:float ->
+  unit ->
+  config
+(** Priors scale with [time_limit] (default 4 s): a joint solve is assumed
+    to cost the full limit until observed otherwise. Quotas default off. *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+val observe : t -> Robust.Ladder.rung -> float -> unit
+(** Feed the observed serve cost of a completed request back into the
+    rung's sliding window. *)
+
+val rung_cost : t -> Robust.Ladder.rung -> float
+(** Current cost estimate for one rung: window p95, or the prior while
+    fewer than [min_samples] observations exist. *)
+
+val estimates : t -> hit_rate:float -> Robust.Ladder.estimate list
+(** Per-rung expected serve cost at the given cache-hit probability. *)
+
+val decide :
+  t ->
+  now:float ->
+  client:string ->
+  budget_s:float ->
+  queue_depth:int ->
+  queue_delay_s:float ->
+  hit_rate:float ->
+  (Robust.Ladder.rung, Protocol.reject_reason) result
+(** The admission decision, in rejection-priority order: queue bound,
+    client quota (consumes a token only if the bucket has one), overload
+    shed, then rung selection against the post-queue-delay budget. *)

@@ -1,0 +1,41 @@
+(* Client side of the daemon protocol: connect, exchange one frame per
+   request, close. Blocking, with an optional receive timeout so a hung
+   server surfaces as a typed error rather than a wedged client. *)
+
+type t = { fd : Unix.file_descr }
+
+let connect ?(timeout_s = 0.) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () ->
+    if timeout_s > 0. then begin
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s
+       with Unix.Unix_error _ -> ());
+      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
+       with Unix.Unix_error _ -> ())
+    end;
+    Ok { fd }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request t req =
+  match Protocol.write_frame t.fd (Protocol.encode_request req) with
+  | () ->
+    (match Protocol.read_frame t.fd with
+     | Ok (Some payload) -> Protocol.decode_response payload
+     | Ok None -> Error "server closed the connection"
+     | Error msg -> Error msg
+     | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+(* Connect, send one request, close — the CLI's path. *)
+let one_shot ?timeout_s path req =
+  match connect ?timeout_s:(Option.map Fun.id timeout_s) path with
+  | Error _ as e -> e
+  | Ok t ->
+    let r = request t req in
+    close t;
+    r

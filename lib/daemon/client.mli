@@ -1,0 +1,17 @@
+(** Blocking client for the daemon's wire protocol. *)
+
+type t
+
+val connect : ?timeout_s:float -> string -> (t, string) result
+(** Connect to the daemon's Unix-domain socket. [timeout_s > 0] arms
+    send/receive timeouts so a wedged server yields [Error], not a hang. *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** One request/response exchange. The connection stays usable for
+    further requests after [Ok]; after [Error] it should be closed. *)
+
+val close : t -> unit
+
+val one_shot :
+  ?timeout_s:float -> string -> Protocol.request -> (Protocol.response, string) result
+(** Connect, exchange one request, close. *)

@@ -1,0 +1,514 @@
+(* The persistent scheduling daemon.
+
+   One process, one Unix-domain listening socket, and three kinds of
+   thread sharing a single OCaml domain:
+
+   - the accept loop ([run]'s own thread), which also ticks housekeeping
+     (drain detection, solver wake-ups) on a short select timeout;
+   - one connection thread per client, reading length-prefixed request
+     frames, running admission, and writing responses — connections are
+     cheap because they spend their lives blocked in [read];
+   - one solver thread, the only toucher of the schedule cache (the
+     cache is not domain-safe; confining it to one thread preserves the
+     batch service's invariant). Solve fan-out inside a network request
+     still uses the domain pool, spawned from the solver thread.
+
+   All shared state (queue, admission, stats, connection registry) lives
+   under one mutex. Overload never goes silent: every path out of
+   admission is a typed [Rejected] frame, and a request that was
+   admitted but starved in the queue past its deadline is re-checked at
+   dequeue and answered [Deadline_unmeetable] rather than started
+   doomed.
+
+   Graceful drain ([shutdown], wired to SIGTERM/SIGINT by the CLI): stop
+   accepting, answer queued and in-flight requests, persist the schedule
+   cache to disk (crash-safe writes), then close connections and return
+   from [run]. A later cold start serves the drained schedules from the
+   disk tier after exact-arithmetic re-verification — the crash-recovery
+   path and the clean-restart path are the same code. [shutdown] only
+   flips an atomic flag, so it is safe to call from a signal handler;
+   the accept loop notices within one select tick and does the actual
+   teardown from normal thread context. *)
+
+(* Telemetry: the daemon's observable surface. Counters for admission
+   verdicts and the rung distribution, a gauge for queue depth, and
+   end-to-end latency histograms. Zero-cost while the sink is off. *)
+let m_received = Telemetry.Metrics.counter "daemon.received"
+let m_admitted = Telemetry.Metrics.counter "daemon.admitted"
+let m_rej_queue = Telemetry.Metrics.counter "daemon.rejected.queue_full"
+let m_rej_quota = Telemetry.Metrics.counter "daemon.rejected.quota"
+let m_rej_shed = Telemetry.Metrics.counter "daemon.rejected.shedding"
+let m_rej_deadline = Telemetry.Metrics.counter "daemon.rejected.deadline"
+let m_failed = Telemetry.Metrics.counter "daemon.failed"
+let g_queue_depth = Telemetry.Metrics.gauge "daemon.queue_depth"
+
+let h_e2e =
+  Telemetry.Metrics.histogram ~buckets:Telemetry.Metrics.duration_buckets "daemon.e2e_s"
+
+let h_queue_wait =
+  Telemetry.Metrics.histogram ~buckets:Telemetry.Metrics.duration_buckets
+    "daemon.queue_wait_s"
+
+let rung_counter = function
+  | Robust.Ladder.Joint -> Telemetry.Metrics.counter "daemon.rung.joint"
+  | Robust.Ladder.Two_stage -> Telemetry.Metrics.counter "daemon.rung.two_stage"
+  | Robust.Ladder.Heuristic -> Telemetry.Metrics.counter "daemon.rung.heuristic"
+  | Robust.Ladder.Cache_probe -> Telemetry.Metrics.counter "daemon.rung.cache_probe"
+
+type config = {
+  socket_path : string;
+  service : Serve.Service.config;  (* base arch/strategy/budgets/pool width *)
+  admission : Admission.config;
+  cache_dir : string option;
+  cache_capacity : int;
+  default_budget_s : float;  (* for requests that carry no budget *)
+}
+
+let config ?(admission = Admission.default_config ()) ?cache_dir
+    ?(cache_capacity = 256) ?(default_budget_s = 30.) ~socket_path service =
+  { socket_path; service; admission; cache_dir; cache_capacity; default_budget_s }
+
+(* Plain mirrors of the telemetry counters: the metrics sink is off by
+   default, and tests and the drain report need the numbers regardless. *)
+type stats = {
+  mutable received : int;
+  mutable admitted : int;
+  mutable served : int;
+  mutable failed : int;
+  mutable rejected_queue_full : int;
+  mutable rejected_quota : int;
+  mutable rejected_shedding : int;
+  mutable rejected_deadline : int;
+  mutable max_queue_depth : int;
+  mutable persisted : int;  (* cache records written at drain *)
+}
+
+(* Single-assignment reply slot a connection thread blocks on while the
+   solver works its job. *)
+type reply = {
+  rm : Mutex.t;
+  rc : Condition.t;
+  mutable resp : Protocol.response option;
+}
+
+type job = {
+  net : Network.t;
+  service : Serve.Service.config;  (* arch-resolved; budget applied at dequeue *)
+  rung : Robust.Ladder.rung;  (* admission-time selection (upper bound) *)
+  deadline : Robust.Deadline.t;  (* absolute: arrival + budget *)
+  arrival : float;
+  est_cost : float;  (* admission estimate, for queue-delay accounting *)
+  reply : reply;
+}
+
+type conn = { fd : Unix.file_descr; mutable busy : bool }
+
+type t = {
+  cfg : config;
+  cache : Serve.Schedule_cache.t;
+  adm : Admission.t;
+  lock : Mutex.t;
+  qc : Condition.t;  (* wakes the solver: work queued or draining *)
+  queue : job Queue.t;
+  mutable pending_cost : float;  (* summed est_cost of queued jobs *)
+  mutable running_until : float;  (* est. completion of the in-solve job *)
+  stop : bool Atomic.t;  (* the only field a signal handler touches *)
+  conns : (int, conn) Hashtbl.t;
+  mutable conn_seq : int;
+  stats : stats;
+  ready : Semaphore.Binary.t;  (* posted once the socket is listening *)
+}
+
+let create cfg =
+  {
+    cfg;
+    cache =
+      Serve.Schedule_cache.create ?dir:cfg.cache_dir ~capacity:cfg.cache_capacity ();
+    adm = Admission.create cfg.admission;
+    lock = Mutex.create ();
+    qc = Condition.create ();
+    queue = Queue.create ();
+    pending_cost = 0.;
+    running_until = 0.;
+    stop = Atomic.make false;
+    conns = Hashtbl.create 16;
+    conn_seq = 0;
+    stats =
+      {
+        received = 0;
+        admitted = 0;
+        served = 0;
+        failed = 0;
+        rejected_queue_full = 0;
+        rejected_quota = 0;
+        rejected_shedding = 0;
+        rejected_deadline = 0;
+        max_queue_depth = 0;
+        persisted = 0;
+      };
+    ready = Semaphore.Binary.make false;
+  }
+
+let stats t = Mutex.protect t.lock (fun () -> { t.stats with served = t.stats.served })
+let cache t = t.cache
+
+(* Async-signal-safe: one atomic store, no locks. *)
+let shutdown t = Atomic.set t.stop true
+let draining t = Atomic.get t.stop
+
+(* Block until the listening socket is bound — spares tests and the soak
+   harness a connect-retry loop against a server thread still starting. *)
+let wait_ready t = Semaphore.Binary.acquire t.ready
+
+(* ---- request resolution ----------------------------------------------- *)
+
+let resolve t (req : Protocol.request) =
+  match List.assoc_opt req.Protocol.arch Spec.variants with
+  | None -> Error ("unknown architecture " ^ req.Protocol.arch)
+  | Some arch ->
+    let base = t.cfg.service in
+    let service =
+      if arch.Spec.aname = base.Serve.Service.arch.Spec.aname then base
+      else { base with Serve.Service.arch; weights = Cosa.calibrate arch }
+    in
+    (match req.Protocol.target with
+     | Protocol.Layer name ->
+       (match Zoo.find name with
+        | l ->
+          Ok
+            ( service,
+              { Network.nname = name;
+                entries = [ { Network.layer = l; repeats = 1 } ] } )
+        | exception Not_found -> Error ("unknown layer " ^ name))
+     | Protocol.Network name ->
+       (match Network.find name with
+        | Some n -> Ok (service, n)
+        | None -> Error ("unknown network " ^ name)))
+
+(* ---- solver thread ---------------------------------------------------- *)
+
+(* Callers hold [t.lock]. *)
+let reject_stat t (reason : Protocol.reject_reason) =
+  (match reason with
+   | Protocol.Queue_full ->
+     t.stats.rejected_queue_full <- t.stats.rejected_queue_full + 1;
+     Telemetry.Metrics.incr m_rej_queue
+   | Protocol.Quota_exceeded ->
+     t.stats.rejected_quota <- t.stats.rejected_quota + 1;
+     Telemetry.Metrics.incr m_rej_quota
+   | Protocol.Shedding ->
+     t.stats.rejected_shedding <- t.stats.rejected_shedding + 1;
+     Telemetry.Metrics.incr m_rej_shed
+   | Protocol.Deadline_unmeetable ->
+     t.stats.rejected_deadline <- t.stats.rejected_deadline + 1;
+     Telemetry.Metrics.incr m_rej_deadline);
+  Protocol.Rejected reason
+
+let layer_payload (service : Serve.Service.config)
+    (lr : Serve.Service.layer_report) =
+  match lr.Serve.Service.served with
+  | Error _ -> None
+  | Ok s ->
+    let meta =
+      {
+        Mapping_io.weights =
+          Some
+            ( service.Serve.Service.weights.Cosa.w_util,
+              service.Serve.Service.weights.Cosa.w_comp,
+              service.Serve.Service.weights.Cosa.w_traf );
+        strategy = Cosa.strategy_to_string service.Serve.Service.strategy;
+        source = Serve.Service.origin_to_string s.Serve.Service.origin;
+        verdict = s.Serve.Service.verdict;
+        objective =
+          Some
+            ( s.Serve.Service.objective.Cosa.util,
+              s.Serve.Service.objective.Cosa.comp,
+              s.Serve.Service.objective.Cosa.traf,
+              s.Serve.Service.objective.Cosa.total );
+        solve_time = s.Serve.Service.solve_time;
+      }
+    in
+    Some
+      {
+        Protocol.name = lr.Serve.Service.layer.Layer.name;
+        repeats = lr.Serve.Service.repeats;
+        origin = Serve.Service.origin_to_string s.Serve.Service.origin;
+        verdict = s.Serve.Service.verdict;
+        record = Mapping_io.record_to_string meta s.Serve.Service.mapping;
+      }
+
+let serve_job t (job : job) =
+  let start = Robust.Deadline.now () in
+  let queue_wait = start -. job.arrival in
+  Telemetry.Metrics.observe h_queue_wait queue_wait;
+  let remaining = Robust.Deadline.remaining job.deadline in
+  (* Re-select at dequeue: the wait may have eaten the budget. The
+     admission rung is an upper bound — dequeue can only degrade further
+     (monotonic backpressure), never upgrade. *)
+  let reselected =
+    Mutex.protect t.lock (fun () ->
+        let hit_rate = Serve.Schedule_cache.hit_rate t.cache in
+        let budget = (Admission.config t.adm).Admission.safety *. remaining in
+        match Robust.Ladder.select ~budget (Admission.estimates t.adm ~hit_rate) with
+        | None -> None
+        | Some r ->
+          Some
+            (if Robust.Ladder.rank r < Robust.Ladder.rank job.rung then r
+             else job.rung))
+  in
+  match reselected with
+  | None -> Mutex.protect t.lock (fun () -> reject_stat t Protocol.Deadline_unmeetable)
+  | Some rung ->
+    Telemetry.Metrics.incr (rung_counter rung);
+    (* The request deadline caps the serve; the server's configured
+       per-layer limit still applies — a generous SLO must not talk a
+       joint solve into grinding for the whole budget. *)
+    let service =
+      { job.service with
+        Serve.Service.deadline = job.deadline;
+        time_limit = Float.min job.service.Serve.Service.time_limit remaining }
+    in
+    let report = Serve.Service.schedule_network ~cache:t.cache ~rung service job.net in
+    let dt = Robust.Deadline.now () -. start in
+    (* Feed the estimator the cost of what actually ran: a live solve is
+       evidence about the rung; an all-cache serve is probe-cost
+       evidence, whatever rung was nominally selected. *)
+    let live_solves =
+      report.Serve.Service.distinct - report.Serve.Service.served_from_cache
+      - report.Serve.Service.failed
+    in
+    Mutex.protect t.lock (fun () ->
+        Admission.observe t.adm
+          (if live_solves > 0 then rung else Robust.Ladder.Cache_probe)
+          dt;
+        if report.Serve.Service.failed > 0 then
+          match rung with
+          | Robust.Ladder.Cache_probe ->
+            (* cache-only probe missed: certified answer or typed no *)
+            reject_stat t Protocol.Deadline_unmeetable
+          | _ ->
+            t.stats.failed <- t.stats.failed + 1;
+            Telemetry.Metrics.incr m_failed;
+            let first_failure =
+              List.find_map
+                (fun (lr : Serve.Service.layer_report) ->
+                  match lr.Serve.Service.served with
+                  | Error f -> Some (Robust.Failure.to_string f)
+                  | Ok _ -> None)
+                report.Serve.Service.layers
+            in
+            Protocol.Failed (Option.value first_failure ~default:"layer failure")
+        else begin
+          t.stats.served <- t.stats.served + 1;
+          Protocol.Scheduled
+            {
+              Protocol.rung;
+              layers =
+                List.filter_map (layer_payload service) report.Serve.Service.layers;
+              total_latency = report.Serve.Service.total_latency;
+              total_energy_pj = report.Serve.Service.total_energy_pj;
+              queue_wait_s = queue_wait;
+              serve_s = Robust.Deadline.now () -. job.arrival;
+            }
+        end)
+
+let solver_loop t =
+  let rec next () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not (Atomic.get t.stop) do
+      Condition.wait t.qc t.lock
+    done;
+    if Queue.is_empty t.queue then
+      (* draining and nothing left: exit *)
+      Mutex.unlock t.lock
+    else begin
+      let job = Queue.pop t.queue in
+      t.pending_cost <- Float.max 0. (t.pending_cost -. job.est_cost);
+      t.running_until <- Robust.Deadline.now () +. job.est_cost;
+      Telemetry.Metrics.set_gauge g_queue_depth (float_of_int (Queue.length t.queue));
+      Mutex.unlock t.lock;
+      let resp =
+        try serve_job t job
+        with e ->
+          Mutex.protect t.lock (fun () ->
+              t.stats.failed <- t.stats.failed + 1;
+              Telemetry.Metrics.incr m_failed);
+          Protocol.Failed ("internal error: " ^ Printexc.to_string e)
+      in
+      Mutex.protect t.lock (fun () -> t.running_until <- 0.);
+      Telemetry.Metrics.observe h_e2e (Robust.Deadline.now () -. job.arrival);
+      Mutex.protect job.reply.rm (fun () ->
+          job.reply.resp <- Some resp;
+          Condition.signal job.reply.rc);
+      next ()
+    end
+  in
+  next ()
+
+(* ---- connection handling ---------------------------------------------- *)
+
+(* Either answered inline (rejection / resolution failure) or admitted —
+   in which case the connection thread parks on the reply slot. *)
+let process_request t (req : Protocol.request) =
+  let arrival = Robust.Deadline.now () in
+  let admitted =
+    Mutex.protect t.lock (fun () ->
+        t.stats.received <- t.stats.received + 1;
+        Telemetry.Metrics.incr m_received;
+        match resolve t req with
+        | Error msg -> `Done (Protocol.Failed msg)
+        | Ok (service, net) ->
+          if Atomic.get t.stop then `Done (reject_stat t Protocol.Shedding)
+          else begin
+            let budget =
+              if req.Protocol.budget_s > 0. && Float.is_finite req.Protocol.budget_s
+              then req.Protocol.budget_s
+              else t.cfg.default_budget_s
+            in
+            let queue_delay =
+              t.pending_cost +. Float.max 0. (t.running_until -. arrival)
+            in
+            let hit_rate = Serve.Schedule_cache.hit_rate t.cache in
+            match
+              Admission.decide t.adm ~now:arrival ~client:req.Protocol.client
+                ~budget_s:budget ~queue_depth:(Queue.length t.queue)
+                ~queue_delay_s:queue_delay ~hit_rate
+            with
+            | Error reason -> `Done (reject_stat t reason)
+            | Ok rung ->
+              let est_cost =
+                List.fold_left
+                  (fun acc (e : Robust.Ladder.estimate) ->
+                    if Robust.Ladder.equal e.Robust.Ladder.rung rung then
+                      e.Robust.Ladder.cost_s
+                    else acc)
+                  0.
+                  (Admission.estimates t.adm ~hit_rate)
+              in
+              let job =
+                {
+                  net;
+                  service;
+                  rung;
+                  deadline = Robust.Deadline.at (arrival +. budget);
+                  arrival;
+                  est_cost;
+                  reply =
+                    { rm = Mutex.create (); rc = Condition.create (); resp = None };
+                }
+              in
+              Queue.push job t.queue;
+              t.pending_cost <- t.pending_cost +. est_cost;
+              t.stats.admitted <- t.stats.admitted + 1;
+              Telemetry.Metrics.incr m_admitted;
+              let depth = Queue.length t.queue in
+              if depth > t.stats.max_queue_depth then t.stats.max_queue_depth <- depth;
+              Telemetry.Metrics.set_gauge g_queue_depth (float_of_int depth);
+              Condition.signal t.qc;
+              `Admitted job
+          end)
+  in
+  match admitted with
+  | `Done resp -> resp
+  | `Admitted job ->
+    Mutex.protect job.reply.rm (fun () ->
+        while job.reply.resp = None do
+          Condition.wait job.reply.rc job.reply.rm
+        done;
+        Option.get job.reply.resp)
+
+let conn_loop t id conn =
+  let rec loop () =
+    match Protocol.read_frame conn.fd with
+    | Ok None | Error _ -> ()  (* clean close or dead/hostile peer *)
+    | Ok (Some payload) ->
+      conn.busy <- true;
+      let resp =
+        match Protocol.decode_request payload with
+        | Error msg -> Protocol.Failed ("malformed request: " ^ msg)
+        | Ok req -> process_request t req
+      in
+      let alive =
+        try
+          Protocol.write_frame conn.fd (Protocol.encode_response resp);
+          true
+        with Unix.Unix_error _ -> false
+      in
+      conn.busy <- false;
+      if alive then loop ()
+  in
+  (try loop () with _ -> ());
+  conn.busy <- false;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Mutex.protect t.lock (fun () -> Hashtbl.remove t.conns id)
+
+(* ---- lifecycle -------------------------------------------------------- *)
+
+(* Run the daemon on the calling thread until a drain completes. Binds
+   the socket (replacing any stale file), serves until [shutdown], then
+   drains: stop accepting, answer everything queued or in flight,
+   persist the cache, close connections, return. *)
+let run t =
+  (* A client vanishing mid-response must cost one failed write, not the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX t.cfg.socket_path);
+  Unix.listen sock 64;
+  let solver = Thread.create solver_loop t in
+  Semaphore.Binary.release t.ready;
+  let accept_one () =
+    match Unix.select [ sock ] [] [] 0.05 with
+    | [], _, _ -> ()
+    | _ ->
+      (match Unix.accept sock with
+       | fd, _ ->
+         let conn = { fd; busy = false } in
+         let id =
+           Mutex.protect t.lock (fun () ->
+               t.conn_seq <- t.conn_seq + 1;
+               Hashtbl.replace t.conns t.conn_seq conn;
+               t.conn_seq)
+         in
+         ignore (Thread.create (conn_loop t id) conn)
+       | exception Unix.Unix_error _ -> ())
+  in
+  while not (Atomic.get t.stop) do
+    try accept_one () with Unix.Unix_error _ -> ()
+  done;
+  (* Drain: no new connections; existing connections get [Shedding] for
+     new requests (admission checks the flag); queued and in-flight work
+     still gets answered. A connection stays [busy] from frame read to
+     response write, so "queue empty and nobody busy" means every
+     admitted request has been answered. *)
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  let rec drain () =
+    let quiesced =
+      Mutex.protect t.lock (fun () ->
+          Condition.broadcast t.qc;
+          Queue.is_empty t.queue
+          && Hashtbl.fold (fun _ c acc -> acc && not c.busy) t.conns true)
+    in
+    if not quiesced then begin
+      Thread.delay 0.01;
+      drain ()
+    end
+  in
+  drain ();
+  Thread.join solver;
+  let written = Serve.Schedule_cache.persist t.cache in
+  Mutex.protect t.lock (fun () -> t.stats.persisted <- written);
+  (* Idle connections: shut them down; their threads wake from [read]
+     with EOF and deregister themselves. *)
+  let fds =
+    Mutex.protect t.lock (fun () ->
+        Hashtbl.fold (fun _ c acc -> c.fd :: acc) t.conns [])
+  in
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    fds
+
+(* Run on a background thread; [shutdown] + [Thread.join] to stop. *)
+let start t = Thread.create run t

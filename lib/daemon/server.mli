@@ -1,0 +1,78 @@
+(** The persistent scheduling daemon: a Unix-domain-socket server with a
+    bounded request queue, SLO-aware admission ({!Admission}), typed
+    backpressure, graceful drain, and crash-safe cache persistence.
+
+    Threading: systhreads on one OCaml domain — an accept loop, one
+    thread per connection, and a single solver thread that owns all
+    schedule-cache traffic (the cache is not domain-safe). Parallelism
+    comes from the solve fan-out inside {!Serve.Service}, whose domain
+    pool the solver thread drives. *)
+
+type config = {
+  socket_path : string;
+  service : Serve.Service.config;
+      (** base architecture/strategy/budgets; per-request deadlines and
+          rung overrides are applied on top *)
+  admission : Admission.config;
+  cache_dir : string option;  (** enables the persistent disk tier *)
+  cache_capacity : int;
+  default_budget_s : float;  (** budget for requests that carry none *)
+}
+
+val config :
+  ?admission:Admission.config ->
+  ?cache_dir:string ->
+  ?cache_capacity:int ->
+  ?default_budget_s:float ->
+  socket_path:string ->
+  Serve.Service.config ->
+  config
+
+type stats = {
+  mutable received : int;
+  mutable admitted : int;
+  mutable served : int;
+  mutable failed : int;
+  mutable rejected_queue_full : int;
+  mutable rejected_quota : int;
+  mutable rejected_shedding : int;
+  mutable rejected_deadline : int;
+      (** unmeetable at admission, plus admitted requests whose budget
+          the queue wait consumed (re-checked at dequeue) *)
+  mutable max_queue_depth : int;
+  mutable persisted : int;  (** cache records written by the drain *)
+}
+
+type t
+
+val create : config -> t
+
+val run : t -> unit
+(** Serve on the calling thread until {!shutdown}, then drain: stop
+    accepting, answer everything queued or in flight, persist the
+    schedule cache (crash-safe writes), close connections, return. *)
+
+val start : t -> Thread.t
+(** [run] on a background thread; {!shutdown} then [Thread.join] the
+    result to stop. *)
+
+val shutdown : t -> unit
+(** Request a graceful drain. One atomic store — safe from a signal
+    handler; the accept loop notices within one select tick. *)
+
+val draining : t -> bool
+
+val wait_ready : t -> unit
+(** Block until the listening socket is bound (at most once per [t]). *)
+
+val stats : t -> stats
+(** A consistent snapshot. *)
+
+val cache : t -> Serve.Schedule_cache.t
+(** The server's schedule cache — exposed for drain/restart tests. *)
+
+val process_request : t -> Protocol.request -> Protocol.response
+(** The full admission + serve path, bypassing the socket — what a
+    connection thread runs per frame. Exposed for in-process harnesses
+    (the soak bench drives overload through it without socket limits);
+    requires {!run}/{!start} to be active so the solver thread exists. *)

@@ -1,0 +1,64 @@
+(* Budget-aware degradation-ladder rung selection.
+
+   The scheduling pipeline degrades through a fixed ladder of rungs, from
+   the paper's joint MIP down to a cache-only probe. [Cosa.schedule]
+   descends the ladder *reactively* — it starts at the top and falls
+   through on typed failures. A deadline-aware server cannot afford that:
+   a request arriving with 50 ms of budget left must not start a doomed
+   joint solve and discover the deadline mid-pivot. [select] is the
+   ahead-of-time counterpart: given cost estimates per rung, pick the
+   highest-quality rung whose estimated cost still fits the remaining
+   budget, or report that none does (the caller rejects the request up
+   front instead of timing out mid-solve).
+
+   The function is pure — estimates come from the caller (telemetry
+   percentiles, cold-start priors, cache hit probabilities) — so its two
+   contracts are directly testable:
+
+   - feasibility: the selected rung's estimated cost never exceeds the
+     budget;
+   - monotonicity: for fixed estimates, a larger budget never selects a
+     lower-quality rung (the feasible set only grows). *)
+
+type rung =
+  | Joint        (* the paper's one-shot joint MIP *)
+  | Two_stage    (* tiling MIP + exact permutation sub-solve *)
+  | Heuristic    (* seed-perturbed valid-mapping sampler, best-of-N *)
+  | Cache_probe  (* serve a certified cached schedule or nothing at all *)
+
+(* Quality order: higher rank = higher rung. *)
+let rank = function Joint -> 3 | Two_stage -> 2 | Heuristic -> 1 | Cache_probe -> 0
+
+(* Descending quality, the order the ladder is descended. *)
+let all = [ Joint; Two_stage; Heuristic; Cache_probe ]
+
+let to_string = function
+  | Joint -> "joint"
+  | Two_stage -> "two-stage"
+  | Heuristic -> "heuristic"
+  | Cache_probe -> "cache-probe"
+
+let of_string = function
+  | "joint" -> Some Joint
+  | "two-stage" -> Some Two_stage
+  | "heuristic" -> Some Heuristic
+  | "cache-probe" -> Some Cache_probe
+  | _ -> None
+
+let equal (a : rung) (b : rung) = a = b
+
+type estimate = { rung : rung; cost_s : float }
+
+(* Highest-quality rung whose estimated cost fits [budget]. NaN costs and
+   NaN budgets never fit (the comparison is false), so a poisoned estimate
+   degrades to rejection, not to an accidental admit. *)
+let select ~budget estimates =
+  List.fold_left
+    (fun best (e : estimate) ->
+      if e.cost_s <= budget then
+        match best with
+        | Some b when rank b.rung >= rank e.rung -> best
+        | _ -> Some e
+      else best)
+    None estimates
+  |> Option.map (fun e -> e.rung)

@@ -55,13 +55,29 @@ type t = {
   stats : stats;
 }
 
+(* Orphaned temp files are the droppings of a writer that crashed between
+   opening its temp file and renaming it into place. They are never read
+   back (loads go by the ".cosa" name), but a restart sweeps them so a
+   crash loop cannot fill the directory. *)
+let sweep_stale_tmp dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+    Array.iter
+      (fun name ->
+        if Filename.check_suffix name ".tmp" then
+          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+      names
+
 let create ?dir ~capacity () =
   if capacity < 1 then
     raise (Robust.Failure.Error (Invalid_input "Schedule_cache.create: capacity < 1"));
   (match dir with
-   | Some d when not (Sys.file_exists d) ->
-     (try Unix.mkdir d 0o755 with Unix.Unix_error _ -> ())
-   | _ -> ());
+   | Some d ->
+     if not (Sys.file_exists d) then
+       (try Unix.mkdir d 0o755 with Unix.Unix_error _ -> ());
+     sweep_stale_tmp d
+   | None -> ());
   {
     capacity;
     dir;
@@ -133,21 +149,40 @@ let file_path dir fp = Filename.concat dir (Fingerprint.hash fp ^ ".cosa")
    rest is a [Mapping_io] provenance record. *)
 let key_prefix = "key "
 
-let disk_write t fp entry =
+(* Crash-safe record write: the full frame goes to a writer-unique temp
+   file, is flushed and fsynced, and only then renamed into place. A crash
+   at any instant leaves either the old record or the new one — never a
+   truncated frame for trust-but-verify to burn a reject on. The temp name
+   carries the pid and a process-local sequence number so concurrent
+   writers (two daemons sharing a cache directory, a writer racing a
+   drain-time [persist]) can never interleave bytes in one temp file. *)
+let tmp_seq = Atomic.make 0
+
+let disk_write_raw t ~stem ~canon entry =
   match t.dir with
   | None -> ()
   | Some dir ->
+    let path = Filename.concat dir (stem ^ ".cosa") in
+    let tmp =
+      Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+        (Atomic.fetch_and_add tmp_seq 1)
+    in
     (try
-       let path = file_path dir fp in
-       let tmp = path ^ ".tmp" in
-       let oc = open_out tmp in
+       let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+       let oc = Unix.out_channel_of_descr fd in
        Fun.protect
          ~finally:(fun () -> close_out oc)
          (fun () ->
-           output_string oc (key_prefix ^ Fingerprint.canon fp ^ "\n");
-           output_string oc (Mapping_io.record_to_string entry.meta entry.mapping));
+           output_string oc (key_prefix ^ canon ^ "\n");
+           output_string oc (Mapping_io.record_to_string entry.meta entry.mapping);
+           flush oc;
+           Unix.fsync fd);
        Sys.rename tmp path
-     with Sys_error _ | Unix.Unix_error _ -> ())
+     with Sys_error _ | Unix.Unix_error _ ->
+       (try Sys.remove tmp with Sys_error _ -> ()))
+
+let disk_write t fp entry =
+  disk_write_raw t ~stem:(Fingerprint.hash fp) ~canon:(Fingerprint.canon fp) entry
 
 (* A disk probe that verifies before serving; any failure is a reject. *)
 let disk_load t ~arch ~layer fp =
@@ -232,3 +267,21 @@ let lru_keys t =
     | Some n -> go (n.file_stem :: acc) n.next
   in
   go [] t.head
+
+(* Drain hook: rewrite every in-memory entry to disk (each write is
+   individually crash-safe), so a graceful shutdown leaves the directory
+   holding everything this process learned — including entries stored
+   before a crash of a *previous* incarnation that this one re-verified
+   and promoted. Returns the number of records written. *)
+let persist t =
+  match t.dir with
+  | None -> 0
+  | Some _ ->
+    let rec go n = function
+      | None -> n
+      | Some node ->
+        (* reconstruct the fingerprint frame from the stored canon/stem *)
+        disk_write_raw t ~stem:node.file_stem ~canon:node.key node.value;
+        go (n + 1) node.next
+    in
+    go 0 t.head

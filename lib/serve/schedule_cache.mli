@@ -38,7 +38,16 @@ val find : t -> arch:Spec.t -> layer:Layer.t -> Fingerprint.t -> (entry * tier) 
 
 val store : t -> Fingerprint.t -> entry -> unit
 (** Insert as most-recent, evicting the LRU entry at capacity, and persist
-    to [dir] when configured (atomic write-then-rename). *)
+    to [dir] when configured. Disk writes are crash-safe: the framed record
+    goes to a writer-unique temp file, is fsynced, and is renamed into
+    place, so a crash at any instant leaves either the previous record or
+    the complete new one — never a truncated frame. Stale temp files from
+    crashed writers are swept on {!create}. *)
+
+val persist : t -> int
+(** Rewrite every in-memory entry to [dir] (each write individually
+    crash-safe) and return the number of records written; 0 without a
+    [dir]. The daemon's graceful-drain hook. *)
 
 val length : t -> int
 val capacity : t -> int

@@ -106,23 +106,45 @@ let meta_of_result cfg (r : Cosa.result) =
     solve_time = r.Cosa.solve_time;
   }
 
-let schedule_network_impl ?cache cfg (net : Network.t) =
+let schedule_network_impl ?cache ?rung cfg (net : Network.t) =
   let t0 = Robust.Deadline.now () in
+  (* Per-request rung override (the daemon's admission controller): the
+     selected ladder rung pins the solve strategy for this request only.
+     [Cache_probe] never solves — misses come back as typed
+     [Deadline_exceeded] failures, the "certified answer or nothing"
+     contract a nearly-expired SLO budget buys. *)
+  let strategy_eff =
+    match rung with
+    | None | Some Robust.Ladder.Cache_probe -> cfg.strategy
+    | Some Robust.Ladder.Joint -> Cosa.Joint
+    | Some Robust.Ladder.Two_stage -> Cosa.Two_stage
+    | Some Robust.Ladder.Heuristic -> Cosa.Heuristic
+  in
+  let cache_only = rung = Some Robust.Ladder.Cache_probe in
   (* per-request warm/cold split: counters are process-global, so report
      the delta across this request (pool domains tick the same counters) *)
   let snap0 = Telemetry.Metrics.snapshot () in
   let dedup = Network.distinct net in
-  (* 1. probe the cache for every distinct shape (coordinator domain) *)
+  (* 1. probe the cache for every distinct shape (coordinator domain).
+     Under a rung override probe the base-strategy key first: serving a
+     cached full-quality schedule to a degraded request is always
+     acceptable (it is the same request, answered better). *)
   let probed =
     List.map
       (fun ((e : Network.entry), reps) ->
-        let fp =
-          Fingerprint.make ~weights:cfg.weights ~strategy:cfg.strategy
-            ~certify:cfg.certify cfg.arch e.Network.layer
+        let fp_of strategy =
+          Fingerprint.make ~weights:cfg.weights ~strategy ~certify:cfg.certify
+            cfg.arch e.Network.layer
         in
+        let fp_base = fp_of cfg.strategy in
+        let fp = if strategy_eff = cfg.strategy then fp_base else fp_of strategy_eff in
         let hit =
           Option.bind cache (fun c ->
-              Schedule_cache.find c ~arch:cfg.arch ~layer:e.Network.layer fp)
+              match Schedule_cache.find c ~arch:cfg.arch ~layer:e.Network.layer fp_base with
+              | Some h -> Some h
+              | None when not (Fingerprint.equal fp fp_base) ->
+                Schedule_cache.find c ~arch:cfg.arch ~layer:e.Network.layer fp
+              | None -> None)
         in
         (e, reps, fp, hit))
       dedup
@@ -136,7 +158,7 @@ let schedule_network_impl ?cache cfg (net : Network.t) =
   let solve ((e : Network.entry), _fp) =
     let t = Robust.Deadline.now () in
     let r =
-      Cosa.schedule ~weights:cfg.weights ~strategy:cfg.strategy
+      Cosa.schedule ~weights:cfg.weights ~strategy:strategy_eff
         ~node_limit:cfg.node_limit ~time_limit:cfg.time_limit ~deadline:cfg.deadline
         ~certify:cfg.certify ~warm_start:cfg.warm_start cfg.arch e.Network.layer
     in
@@ -145,7 +167,12 @@ let schedule_network_impl ?cache cfg (net : Network.t) =
     Telemetry.Metrics.observe h_solve_time dt;
     (r, dt)
   in
-  let solved = Pool.run ~jobs:cfg.jobs solve misses in
+  let solved =
+    if cache_only then
+      (* a cache-only probe answers from the cache or not at all *)
+      List.map (fun _ -> Error Robust.Failure.Deadline_exceeded) misses
+    else Pool.run ~jobs:cfg.jobs solve misses
+  in
   (* 3. store fresh certified results and index them (coordinator domain) *)
   let by_canon = Hashtbl.create 32 in
   List.iter2
@@ -208,8 +235,18 @@ let schedule_network_impl ?cache cfg (net : Network.t) =
       probed
   in
   let sum f = List.fold_left (fun acc lr -> acc +. f lr) 0. layers in
+  (* Solve-time percentiles cover live solves only: cache hits cost ~0 and
+     would otherwise dilute the distribution. An all-cache-hit (or empty,
+     or all-failed) request has no solve-time distribution at all, so its
+     percentiles are defined as exactly 0.0 rather than left to
+     quantile-of-empty behavior. *)
   let solve_times =
-    List.map (fun lr -> match lr.served with Ok s -> s.solve_time | Error _ -> 0.) layers
+    List.filter_map
+      (fun lr ->
+        match lr.served with
+        | Ok ({ origin = Solved _; _ } as s) -> Some s.solve_time
+        | Ok _ | Error _ -> None)
+      layers
   in
   let p50, p95 =
     match solve_times with
@@ -243,13 +280,16 @@ let schedule_network_impl ?cache cfg (net : Network.t) =
     wall_time = Robust.Deadline.now () -. t0;
   }
 
-let schedule_network ?cache cfg (net : Network.t) =
+let schedule_network ?cache ?rung cfg (net : Network.t) =
   let sp = Telemetry.Trace.begin_span ~cat:"serve" "serve.batch" in
-  let r = schedule_network_impl ?cache cfg net in
+  let r = schedule_network_impl ?cache ?rung cfg net in
   Telemetry.Trace.end_span
     ~args:
-      [ ("network", net.Network.nname); ("distinct", string_of_int r.distinct);
-        ("cached", string_of_int r.served_from_cache) ]
+      ([ ("network", net.Network.nname); ("distinct", string_of_int r.distinct);
+         ("cached", string_of_int r.served_from_cache) ]
+      @ match rung with
+        | None -> []
+        | Some ru -> [ ("rung", Robust.Ladder.to_string ru) ])
     sp;
   r
 

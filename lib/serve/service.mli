@@ -84,9 +84,20 @@ type report = {
   wall_time : float;
 }
 
-val schedule_network : ?cache:Schedule_cache.t -> config -> Network.t -> report
+val schedule_network :
+  ?cache:Schedule_cache.t -> ?rung:Robust.Ladder.rung -> config -> Network.t -> report
 (** Never raises. Cache traffic runs on the calling domain only; the pool
     runs nothing but [Cosa.schedule]. Freshly solved schedules are stored
-    back unless their certificate failed. *)
+    back unless their certificate failed.
+
+    [rung] is the per-request degradation override used by the daemon's
+    SLO-aware admission controller: it pins this request's solve strategy
+    to the given ladder rung ([Joint]/[Two_stage]/[Heuristic]), leaving the
+    config — and therefore the base cache key — untouched. Under any
+    override the base-strategy cache key is probed first (a cached
+    full-quality schedule beats a degraded solve), then the rung's own key;
+    fresh degraded results are stored under the rung's key only.
+    [Cache_probe] never solves: misses come back as typed
+    [Robust.Failure.Deadline_exceeded] layer failures. *)
 
 val report_to_string : report -> string

@@ -259,6 +259,55 @@ let test_resnet_fault_soak () =
      harness must actually have exercised the ladder *)
   check_bool "faults actually degraded some solves" true (!fellback > 0)
 
+(* --- Domain-parallel armed soak: the fault plan is process-global and
+   the service pool solves on spawned domains, so every domain mutates
+   the plan's streams/visits/log concurrently. This is the regression
+   test for the plan's internal mutex: under tsan-like interleaving a
+   race corrupts the visit hashtables or drops log entries. --- *)
+
+let test_fault_armed_domain_parallel () =
+  let layers =
+    [ Layer.create ~name:"dp_a" ~r:1 ~s:1 ~p:4 ~q:4 ~c:8 ~k:8 ~n:1 ();
+      Layer.create ~name:"dp_b" ~r:3 ~s:3 ~p:4 ~q:4 ~c:4 ~k:8 ~n:1 ();
+      Layer.create ~name:"dp_c" ~r:1 ~s:1 ~p:8 ~q:8 ~c:4 ~k:4 ~n:1 ();
+      Layer.create ~name:"dp_d" ~r:3 ~s:3 ~p:2 ~q:2 ~c:8 ~k:4 ~n:1 () ]
+  in
+  let net =
+    { Network.nname = "dp";
+      entries = List.map (fun l -> { Network.layer = l; repeats = 1 }) layers }
+  in
+  let total_fired = ref 0 in
+  List.iter
+    (fun seed ->
+      Robust.Fault.with_faults ~rate:0.05 seed (fun () ->
+          let cfg =
+            Serve.Service.config ~strategy:Cosa.Auto ~node_limit:2_000
+              ~time_limit:2. ~jobs:4 arch
+          in
+          let report = Serve.Service.schedule_network cfg net in
+          check_int
+            (Printf.sprintf "seed %d: all layers served" seed)
+            0 report.Serve.Service.failed;
+          List.iter
+            (fun (lr : Serve.Service.layer_report) ->
+              match lr.Serve.Service.served with
+              | Ok s ->
+                check_bool "mapping valid under armed faults" true
+                  (Mapping.is_valid arch s.Serve.Service.mapping)
+              | Error f -> Alcotest.fail (Robust.Failure.to_string f))
+            report.Serve.Service.layers;
+          (* the log must be coherent: every entry names a known site with
+             a sane visit index (a racy harness tears these) *)
+          List.iter
+            (fun (site, visit) ->
+              check_bool "fired site is non-empty" true (String.length site > 0);
+              check_bool "visit index sane" true (visit >= 0))
+            (Robust.Fault.fired ());
+          total_fired := !total_fired + Robust.Fault.fired_count ()))
+    [ 7; 8; 9 ];
+  check_bool "armed domain-parallel soak actually fired faults" true
+    (!total_fired > 0)
+
 let suite =
   ( "robust",
     [
@@ -283,4 +332,5 @@ let suite =
       Alcotest.test_case "ladder to trivial" `Quick test_ladder_walks_to_trivial;
       Alcotest.test_case "budget respected" `Quick test_schedule_never_exceeds_budget;
       Alcotest.test_case "resnet fault soak" `Slow test_resnet_fault_soak;
+      Alcotest.test_case "fault armed jobs=4" `Quick test_fault_armed_domain_parallel;
     ] )

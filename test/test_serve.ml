@@ -268,6 +268,117 @@ let test_service_counters () =
   check_int "stores" 2 s.Serve.Schedule_cache.stores;
   check_bool "hit rate is half" true (Serve.Schedule_cache.hit_rate cache = 0.5)
 
+(* ---- crash-safe disk writes ------------------------------------------- *)
+
+(* A record truncated mid-frame (a crashed writer without the temp-file
+   protocol, or torn storage) must behave as a miss, never a crash — and
+   the cache must repair it on the next store. *)
+let test_truncated_record_recovers () =
+  with_temp_dir (fun dir ->
+      let f = fp layer_a in
+      let c1 = Serve.Schedule_cache.create ~dir ~capacity:8 () in
+      Serve.Schedule_cache.store c1 f (entry_of layer_a);
+      let path = Filename.concat dir (Serve.Fingerprint.hash f ^ ".cosa") in
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub full 0 (String.length full / 2)));
+      let c2 = Serve.Schedule_cache.create ~dir ~capacity:8 () in
+      check_bool "truncated record misses" true
+        (Serve.Schedule_cache.find c2 ~arch ~layer:layer_a f = None);
+      check_int "counted as disk reject" 1
+        (Serve.Schedule_cache.stats c2).Serve.Schedule_cache.disk_rejects;
+      (* store-back repairs the file: a fresh process gets a full record *)
+      Serve.Schedule_cache.store c2 f (entry_of layer_a);
+      let c3 = Serve.Schedule_cache.create ~dir ~capacity:8 () in
+      check_bool "repaired record hits" true
+        (match Serve.Schedule_cache.find c3 ~arch ~layer:layer_a f with
+         | Some (_, Serve.Schedule_cache.Disk) -> true
+         | _ -> false))
+
+(* Stale temp files from crashed writers are swept at create; completed
+   writes never leave a .tmp behind. *)
+let test_stale_tmp_sweep () =
+  with_temp_dir (fun dir ->
+      let litter = Filename.concat dir "deadbeef.cosa.12345.0.tmp" in
+      Out_channel.with_open_bin litter (fun oc ->
+          Out_channel.output_string oc "half a frame");
+      let c = Serve.Schedule_cache.create ~dir ~capacity:8 () in
+      check_bool "stale tmp swept on create" true (not (Sys.file_exists litter));
+      Serve.Schedule_cache.store c (fp layer_a) (entry_of layer_a);
+      check_bool "no tmp litter after store" true
+        (Array.for_all
+           (fun n -> Filename.check_suffix n ".cosa")
+           (Sys.readdir dir)))
+
+(* [persist] rewrites every in-memory entry — the daemon's drain hook. *)
+let test_persist_rewrites_memory () =
+  with_temp_dir (fun dir ->
+      let c = Serve.Schedule_cache.create ~dir ~capacity:8 () in
+      List.iter (fun l -> Serve.Schedule_cache.store c (fp l) (entry_of l))
+        [ layer_a; layer_b; layer_c ];
+      (* simulate a lost/corrupted directory *)
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      check_int "persist rewrites all entries" 3 (Serve.Schedule_cache.persist c);
+      check_int "records back on disk" 3 (Array.length (Sys.readdir dir));
+      let c2 = Serve.Schedule_cache.create ~dir ~capacity:8 () in
+      check_bool "persisted record verifies" true
+        (Serve.Schedule_cache.find c2 ~arch ~layer:layer_b (fp layer_b) <> None));
+  (* no disk tier: persist is a no-op, not an error *)
+  let mem = Serve.Schedule_cache.create ~capacity:8 () in
+  Serve.Schedule_cache.store mem (fp layer_a) (entry_of layer_a);
+  check_int "persist without dir" 0 (Serve.Schedule_cache.persist mem)
+
+(* ---- percentile edge case --------------------------------------------- *)
+
+(* All-cache-hit (or all-failed) reports have no live solves: the solve
+   percentiles must be 0, not a crash or a cache-probe artifact. *)
+let test_all_cache_hit_percentiles () =
+  let net = net_of ~name:"pct" [ (layer_a, 1); (layer_b, 1) ] in
+  let cache = Serve.Schedule_cache.create ~capacity:8 () in
+  let cfg = fast_config () in
+  let cold = Serve.Service.schedule_network ~cache cfg net in
+  check_bool "cold run has live percentiles" true (cold.Serve.Service.solve_p95 > 0.);
+  let warm = Serve.Service.schedule_network ~cache cfg net in
+  check_int "warm run all from cache" 2 warm.Serve.Service.served_from_cache;
+  check_bool "warm p50 is exactly 0" true (warm.Serve.Service.solve_p50 = 0.);
+  check_bool "warm p95 is exactly 0" true (warm.Serve.Service.solve_p95 = 0.)
+
+(* ---- per-request rung overrides --------------------------------------- *)
+
+let test_rung_override () =
+  let net = net_of ~name:"rung" [ (layer_a, 1) ] in
+  let cache = Serve.Schedule_cache.create ~capacity:8 () in
+  let cfg = fast_config () in
+  (* Cache_probe on a cold cache: typed deadline failure, no solve *)
+  let probe =
+    Serve.Service.schedule_network ~cache ~rung:Robust.Ladder.Cache_probe cfg net
+  in
+  check_int "cache-only probe fails typed" 1 probe.Serve.Service.failed;
+  (match probe.Serve.Service.layers with
+   | [ { Serve.Service.served = Error Robust.Failure.Deadline_exceeded; _ } ] -> ()
+   | _ -> Alcotest.fail "expected Deadline_exceeded from a cache-only miss");
+  (* Heuristic rung: sampler-only solve, stored under its own key *)
+  let heur =
+    Serve.Service.schedule_network ~cache ~rung:Robust.Ladder.Heuristic cfg net
+  in
+  check_int "heuristic rung serves" 0 heur.Serve.Service.failed;
+  (* full-quality solve fills the base key... *)
+  let full = Serve.Service.schedule_network ~cache cfg net in
+  check_int "base solve ok" 0 full.Serve.Service.failed;
+  (* ...and any degraded request now prefers the cached base answer *)
+  let probe2 =
+    Serve.Service.schedule_network ~cache ~rung:Robust.Ladder.Cache_probe cfg net
+  in
+  check_int "probe hits after base solve" 1 probe2.Serve.Service.served_from_cache;
+  (match probe2.Serve.Service.layers with
+   | [ { Serve.Service.served = Ok s; _ } ] ->
+     check_bool "served from cache" true
+       (match s.Serve.Service.origin with
+        | Serve.Service.Cache_memory | Serve.Service.Cache_disk -> true
+        | Serve.Service.Solved _ -> false)
+   | _ -> Alcotest.fail "expected a cache hit")
+
 let suite =
   ( "serve",
     [
@@ -275,6 +386,11 @@ let suite =
       Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
       Alcotest.test_case "disk trust-but-verify" `Quick test_disk_verify;
       Alcotest.test_case "disk reject falls through" `Quick test_disk_reject_falls_through;
+      Alcotest.test_case "truncated record recovers" `Quick test_truncated_record_recovers;
+      Alcotest.test_case "stale tmp sweep" `Quick test_stale_tmp_sweep;
+      Alcotest.test_case "persist rewrites memory" `Quick test_persist_rewrites_memory;
+      Alcotest.test_case "all-cache-hit percentiles" `Quick test_all_cache_hit_percentiles;
+      Alcotest.test_case "rung override" `Quick test_rung_override;
       Alcotest.test_case "pool ordering and isolation" `Quick test_pool_ordering_and_isolation;
       Alcotest.test_case "pool determinism" `Quick test_pool_determinism;
       Alcotest.test_case "service counters" `Quick test_service_counters;
