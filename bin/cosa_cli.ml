@@ -287,10 +287,63 @@ let serve_cmd =
     Arg.(value & opt float 30. & info [ "default-budget" ] ~docv:"SECONDS"
            ~doc:"SLO budget assumed for requests that carry none.")
   in
+  let tcp_arg =
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"Also listen on TCP at $(docv) (same wire protocol) — the \
+                 multi-host transport.")
+  in
+  let peer_arg =
+    Arg.(value & opt_all string [] & info [ "peer" ] ~docv:"ENDPOINT"
+           ~doc:"Warm peer to probe on local cache misses ($(i,host:port) or a \
+                 Unix socket path); repeatable. Peer records are re-certified in \
+                 exact arithmetic before being served or cached.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N"
+           ~doc:"Cache shard count. Each shard has its own lock and its own \
+                 crash-safe persistence subdirectory, so connection threads \
+                 answer cache hits inline instead of serializing through the \
+                 solver thread.")
+  in
+  let tmp_sweep_age_arg =
+    Arg.(value & opt float 0. & info [ "tmp-sweep-age" ] ~docv:"SECONDS"
+           ~doc:"Only sweep stale cache temp files older than $(docv) at \
+                 startup; 0 (default) sweeps all leftovers.")
+  in
+  let read_deadline_arg =
+    Arg.(value & opt float 30. & info [ "read-deadline" ] ~docv:"SECONDS"
+           ~doc:"Per-connection receive deadline; a client stalling mid-frame \
+                 this long is disconnected. 0 disables.")
+  in
+  let idle_timeout_arg =
+    Arg.(value & opt float 300. & info [ "idle-timeout" ] ~docv:"SECONDS"
+           ~doc:"Reap connections idle this long between frames. 0 disables.")
+  in
+  let fault_sites_arg =
+    Arg.(value & opt (some string) None & info [ "fault-sites" ] ~docv:"CSV"
+           ~doc:"With --fault-seed, restrict injection to these comma-separated \
+                 sites (e.g. $(b,net.conn_reset,net.partial_frame)).")
+  in
+  let fault_crash_arg =
+    Arg.(value & flag & info [ "fault-crash" ]
+           ~doc:"Honor the net.peer_crash fault site with a process exit(42) \
+                 mid-response. Chaos harnesses only.")
+  in
   let run arch_name socket jobs cache_dir cache_size queue_capacity quota_rate
-      quota_burst shed_delay default_budget node_limit strategy time_limit certify
-      warm_start trace metrics profile =
+      quota_burst shed_delay default_budget tcp peers shards tmp_sweep_age
+      read_deadline idle_timeout fault_seed fault_rate fault_sites fault_crash
+      node_limit strategy time_limit certify warm_start trace metrics profile =
     let arch = arch_of_name arch_name in
+    let tcp =
+      Option.map
+        (fun s ->
+          match Daemon.Client.endpoint_of_string s with
+          | Daemon.Client.Tcp (host, port) -> (host, port)
+          | Daemon.Client.Unix_path _ ->
+            Printf.eprintf "--tcp expects HOST:PORT (got %s)\n" s;
+            exit 2)
+        tcp
+    in
     let service =
       Serve.Service.config ~strategy ~certify ~node_limit ~time_limit ~jobs ~warm_start
         arch
@@ -299,9 +352,30 @@ let serve_cmd =
       Daemon.Admission.default_config ~queue_capacity ~quota_rate ~quota_burst
         ~shed_delay_s:shed_delay ~time_limit ()
     in
+    (* The daemon always runs on the sharded, thread-safe tier: shards = 1
+       degenerates to the single-partition cache but keeps the inline
+       cache fast path on connection threads. *)
+    let sharded =
+      Cluster.Sharded_cache.create ?dir:cache_dir ~tmp_sweep_age_s:tmp_sweep_age
+        ~capacity:(max cache_size shards) ~shards ()
+    in
+    let peer_tier =
+      match peers with
+      | [] -> None
+      | eps -> Some (Cluster.Peers.create (List.map Daemon.Client.endpoint_of_string eps))
+    in
     let cfg =
       Daemon.Server.config ~admission ?cache_dir ~cache_capacity:cache_size
-        ~default_budget_s:default_budget ~socket_path:socket service
+        ~default_budget_s:default_budget ?tcp
+        ~tier:(Cluster.Sharded_cache.tier sharded)
+        ?remote_probe:
+          (Option.map
+             (fun p -> fun ~arch ~layer fp -> Cluster.Peers.probe p ~arch ~layer fp)
+             peer_tier)
+        ?housekeeping:(Option.map (fun p () -> Cluster.Peers.tick p) peer_tier)
+        ~read_deadline_s:read_deadline ~idle_timeout_s:idle_timeout
+        ~tmp_sweep_age_s:tmp_sweep_age ~fault_crash_exit:fault_crash
+        ~socket_path:socket service
     in
     let server = Daemon.Server.create cfg in
     (* SIGTERM/SIGINT request a graceful drain: finish in-flight work,
@@ -310,26 +384,59 @@ let serve_cmd =
     let graceful = Sys.Signal_handle (fun _ -> Daemon.Server.shutdown server) in
     Sys.set_signal Sys.sigterm graceful;
     Sys.set_signal Sys.sigint graceful;
-    Printf.printf "daemon listening on %s (arch %s, cache %s)\n%!" socket
+    Printf.printf "daemon listening on %s%s (arch %s, cache %s, %d shards%s)\n%!"
+      socket
+      (match tcp with
+       | Some (h, p) -> Printf.sprintf " and tcp %s:%d" h p
+       | None -> "")
       arch.Spec.aname
-      (Option.value cache_dir ~default:"memory-only");
-    with_telemetry trace metrics profile (fun () -> Daemon.Server.run server);
+      (Option.value cache_dir ~default:"memory-only")
+      shards
+      (match peers with
+       | [] -> ""
+       | l -> Printf.sprintf ", %d peers" (List.length l));
+    let serve () =
+      with_telemetry trace metrics profile (fun () -> Daemon.Server.run server)
+    in
+    (match fault_seed with
+     | None -> serve ()
+     | Some seed ->
+       if not (fault_rate >= 0. && fault_rate <= 1.) then begin
+         Printf.eprintf "--fault-rate must be in [0, 1] (got %g)\n" fault_rate;
+         exit 2
+       end;
+       let only =
+         match fault_sites with
+         | None -> []
+         | Some csv ->
+           List.filter (fun s -> s <> "") (String.split_on_char ',' csv)
+       in
+       Robust.Fault.with_faults ~rate:fault_rate ~only seed (fun () ->
+           serve ();
+           Printf.printf "faults fired: %d\n" (Robust.Fault.fired_count ())));
     let s = Daemon.Server.stats server in
     Printf.printf
-      "drained: %d received, %d served, %d failed; rejected %d queue-full, %d quota, \
-       %d shedding, %d deadline; %d cache records persisted\n"
-      s.Daemon.Server.received s.Daemon.Server.served s.Daemon.Server.failed
-      s.Daemon.Server.rejected_queue_full s.Daemon.Server.rejected_quota
-      s.Daemon.Server.rejected_shedding s.Daemon.Server.rejected_deadline
+      "drained: %d received, %d served (%d fast-path), %d failed; rejected %d \
+       queue-full, %d quota, %d shedding, %d deadline; %d reaped; %d cache \
+       records persisted\n"
+      s.Daemon.Server.received s.Daemon.Server.served s.Daemon.Server.fastpath_served
+      s.Daemon.Server.failed s.Daemon.Server.rejected_queue_full
+      s.Daemon.Server.rejected_quota s.Daemon.Server.rejected_shedding
+      s.Daemon.Server.rejected_deadline s.Daemon.Server.reaped
       s.Daemon.Server.persisted
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the persistent scheduling daemon: bounded queue, SLO-aware \
              admission over the degradation ladder, typed backpressure, graceful \
-             drain on SIGTERM.")
+             drain on SIGTERM. The schedule cache is sharded (--shards) so cache \
+             hits answer inline on connection threads; --tcp adds a multi-host \
+             listener and --peer arms the health-checked warm-peer tier.")
     Term.(const run $ arch_arg $ socket_arg $ jobs_arg $ cache_dir_arg $ cache_size_arg
           $ queue_arg $ quota_rate_arg $ quota_burst_arg $ shed_arg $ default_budget_arg
+          $ tcp_arg $ peer_arg $ shards_arg $ tmp_sweep_age_arg $ read_deadline_arg
+          $ idle_timeout_arg $ fault_seed_arg $ fault_rate_arg $ fault_sites_arg
+          $ fault_crash_arg
           $ node_limit_arg $ strategy_arg $ time_limit_arg $ certify_arg $ warm_start_arg
           $ trace_arg $ metrics_arg $ profile_arg)
 
@@ -357,7 +464,28 @@ let request_cmd =
     Arg.(value & opt float 60. & info [ "timeout" ] ~docv:"SECONDS"
            ~doc:"Client-side socket timeout.")
   in
-  let run arch socket target network budget client timeout =
+  let endpoint_arg =
+    Arg.(value & opt_all string [] & info [ "endpoint" ] ~docv:"ENDPOINT"
+           ~doc:"Daemon endpoint ($(i,host:port) or a Unix socket path); \
+                 repeatable — transport failures fail over to the next endpoint \
+                 and retry with exponential backoff. Overrides --socket.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N"
+           ~doc:"Extra passes over the endpoint list after all fail (transport \
+                 failures only; typed rejections are never retried).")
+  in
+  let retry_backoff_arg =
+    Arg.(value & opt float 0.1 & info [ "retry-backoff" ] ~docv:"SECONDS"
+           ~doc:"Initial backoff between retry passes; doubles with jitter.")
+  in
+  let cache_only_flag =
+    Arg.(value & flag & info [ "cache-only" ]
+           ~doc:"Only serve from the daemon's cache tier; a miss is a typed \
+                 rejection, never a solve. This is the peer-probe mode.")
+  in
+  let run arch socket target network budget client timeout endpoints retries
+      retry_backoff cache_only =
     let req =
       {
         Daemon.Protocol.client;
@@ -366,9 +494,19 @@ let request_cmd =
         target =
           (if network then Daemon.Protocol.Network target
            else Daemon.Protocol.Layer target);
+        cache_only;
       }
     in
-    match Daemon.Client.one_shot ~timeout_s:timeout socket req with
+    let result =
+      match endpoints with
+      | [] -> Daemon.Client.one_shot ~timeout_s:timeout socket req
+      | eps ->
+        Daemon.Client.request_failover ~retries ~backoff_s:retry_backoff
+          ~timeout_s:timeout
+          ~endpoints:(List.map Daemon.Client.endpoint_of_string eps)
+          req
+    in
+    match result with
     | Error msg ->
       Printf.eprintf "request failed: %s\n" msg;
       exit 1
@@ -392,10 +530,12 @@ let request_cmd =
   in
   Cmd.v
     (Cmd.info "request"
-       ~doc:"Send one scheduling request to a running daemon. Exit status: 0 \
-             scheduled, 3 typed rejection (backpressure/deadline), 1 failure.")
+       ~doc:"Send one scheduling request to a running daemon (or a failover \
+             list of daemons via repeated --endpoint). Exit status: 0 scheduled, \
+             3 typed rejection (backpressure/deadline), 1 failure.")
     Term.(const run $ arch_arg $ socket_arg $ target_arg $ network_flag $ budget_arg
-          $ client_arg $ timeout_arg)
+          $ client_arg $ timeout_arg $ endpoint_arg $ retries_arg $ retry_backoff_arg
+          $ cache_only_flag)
 
 (* cosa_cli exp <id> *)
 let exp_cmd =

@@ -1,0 +1,237 @@
+(* The warm-peer tier: a static list of peer daemons whose caches are
+   worth probing before paying for a live solve.
+
+   Health: each peer is probed periodically (a cheap connect — a peer
+   that accepts connections can answer cache probes; protocol-level
+   failures are caught and counted per request). A peer failing
+   [eject_after] consecutive times is ejected; ejected peers are re-
+   probed under exponential backoff and re-admitted on the first success.
+   [tick] drives all of this and is called from the daemon's accept loop,
+   so health costs no extra thread.
+
+   Trust: a peer's answer is *evidence, never authority* — exactly the
+   discipline the disk tier applies to cache files. Before a returned
+   record is served or stored back, [probe] re-parses it, re-checks the
+   layer shape, and re-certifies the mapping in exact arithmetic via
+   [Certify.Mapping_cert]. A lying, corrupt, or stale peer therefore
+   costs a counted reject ([cluster.peer_rejects_cert]) and degrades to
+   an ordinary miss — it can never place a wrong schedule in the local
+   cache or in a response.
+
+   Probes send [cache_only] requests, which a peer answers from its own
+   local tier or rejects — it never solves on our behalf and never
+   cascades to *its* peers, so a probe is cheap and cycles are
+   impossible. *)
+
+let m_probes = Telemetry.Metrics.counter "cluster.peer_probes"
+let m_hits = Telemetry.Metrics.counter "cluster.peer_hits"
+let m_misses = Telemetry.Metrics.counter "cluster.peer_misses"
+let m_rejects = Telemetry.Metrics.counter "cluster.peer_rejects_cert"
+let m_ejections = Telemetry.Metrics.counter "cluster.peer_ejections"
+
+type config = {
+  probe_interval_s : float;  (* health-check cadence per healthy peer *)
+  probe_timeout_s : float;  (* connect + exchange budget per probe *)
+  probe_budget_s : float;  (* SLO budget carried by cache probes *)
+  eject_after : int;  (* consecutive failures before ejection *)
+  readmit_backoff_s : float;  (* initial re-admission backoff *)
+  readmit_backoff_max_s : float;
+}
+
+let default_config ?(probe_interval_s = 2.) ?(probe_timeout_s = 0.5)
+    ?(probe_budget_s = 1.) ?(eject_after = 3) ?(readmit_backoff_s = 1.)
+    ?(readmit_backoff_max_s = 30.) () =
+  {
+    probe_interval_s;
+    probe_timeout_s;
+    probe_budget_s;
+    eject_after;
+    readmit_backoff_s;
+    readmit_backoff_max_s;
+  }
+
+type peer = {
+  ep : Daemon.Client.endpoint;
+  mutable healthy : bool;
+  mutable consec_fails : int;
+  mutable next_probe : float;  (* absolute Robust.Deadline.now time *)
+  mutable backoff : float;
+  mutable probes : int;
+  mutable hits : int;
+  mutable rejects : int;
+}
+
+type stats = {
+  peers : int;
+  healthy : int;
+  probes : int;
+  hits : int;
+  rejects_cert : int;
+  ejections : int;
+}
+
+type t = {
+  cfg : config;
+  all : peer list;
+  lock : Mutex.t;
+  mutable ejections : int;
+}
+
+let create ?(config = default_config ()) endpoints =
+  {
+    cfg = config;
+    all =
+      List.map
+        (fun ep ->
+          {
+            ep;
+            healthy = true;
+            consec_fails = 0;
+            next_probe = 0.;  (* probe on the first tick *)
+            backoff = config.readmit_backoff_s;
+            probes = 0;
+            hits = 0;
+            rejects = 0;
+          })
+        endpoints;
+    lock = Mutex.create ();
+    ejections = 0;
+  }
+
+let healthy_endpoints t =
+  Mutex.protect t.lock (fun () ->
+      List.filter_map (fun (p : peer) -> if p.healthy then Some p.ep else None) t.all)
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      {
+        peers = List.length t.all;
+        healthy = List.length (List.filter (fun (p : peer) -> p.healthy) t.all);
+        probes = List.fold_left (fun a (p : peer) -> a + p.probes) 0 t.all;
+        hits = List.fold_left (fun a (p : peer) -> a + p.hits) 0 t.all;
+        rejects_cert = List.fold_left (fun a (p : peer) -> a + p.rejects) 0 t.all;
+        ejections = t.ejections;
+      })
+
+(* Callers hold [t.lock]. *)
+let note_failure t (p : peer) now =
+  p.consec_fails <- p.consec_fails + 1;
+  if p.healthy && p.consec_fails >= t.cfg.eject_after then begin
+    p.healthy <- false;
+    p.backoff <- t.cfg.readmit_backoff_s;
+    t.ejections <- t.ejections + 1;
+    Telemetry.Metrics.incr m_ejections
+  end;
+  if p.healthy then p.next_probe <- now +. t.cfg.probe_interval_s
+  else begin
+    p.next_probe <- now +. p.backoff;
+    p.backoff <- Float.min t.cfg.readmit_backoff_max_s (p.backoff *. 2.)
+  end
+
+let note_success t (p : peer) now =
+  if not p.healthy then p.healthy <- true;
+  p.consec_fails <- 0;
+  p.backoff <- t.cfg.readmit_backoff_s;
+  p.next_probe <- now +. t.cfg.probe_interval_s
+
+(* Cheap liveness check: can we open a connection? *)
+let check_ep cfg ep =
+  match Daemon.Client.connect_ep ~timeout_s:cfg.probe_timeout_s ep with
+  | Ok c ->
+    Daemon.Client.close c;
+    true
+  | Error _ -> false
+
+(* Health tick — called from the daemon's accept loop. Collects due
+   peers under the lock, probes them outside it (network I/O must not
+   hold the lock), then records outcomes. *)
+let tick t =
+  let now = Robust.Deadline.now () in
+  let due =
+    Mutex.protect t.lock (fun () -> List.filter (fun (p : peer) -> p.next_probe <= now) t.all)
+  in
+  List.iter
+    (fun p ->
+      let ok = check_ep t.cfg p.ep in
+      Mutex.protect t.lock (fun () ->
+          let now = Robust.Deadline.now () in
+          if ok then note_success t p now else note_failure t p now))
+    due
+
+(* Verify a peer's scheduled response for [layer] against [arch]. The
+   record round-trips through [Mapping_io] (the peer's bytes are not
+   trusted to parse), the layer shape must match, and the mapping must
+   re-certify in exact arithmetic. *)
+let verify_response ~arch ~layer (s : Daemon.Protocol.scheduled) =
+  match s.Daemon.Protocol.layers with
+  | [ l ] ->
+    (match Mapping_io.record_of_string l.Daemon.Protocol.record with
+     | Error _ -> `Reject
+     | Ok (meta, mapping) ->
+       if Layer.key mapping.Mapping.layer <> Layer.key layer then `Reject
+       else (
+         match Certify.Mapping_cert.check arch mapping with
+         | Certify.Certificate.Certified ->
+           (* we just certified it ourselves: the verdict is ours now *)
+           `Entry
+             {
+               Serve.Schedule_cache.meta = { meta with Mapping_io.verdict = "ok" };
+               mapping;
+             }
+         | Certify.Certificate.Violated _ -> `Reject
+         | exception Robust.Failure.Error _ -> `Reject))
+  | _ -> `Reject  (* a single-layer probe answered with anything else *)
+
+(* The wire protocol names architectures by their [Spec.variants] key
+   (what servers resolve), not the display name — recover it from the
+   spec's canonical contents. *)
+let variant_name arch =
+  match
+    List.find_opt (fun (_, a) -> Spec.key a = Spec.key arch) Spec.variants
+  with
+  | Some (name, _) -> name
+  | None -> arch.Spec.aname
+
+(* The daemon's [remote_probe] hook: ask healthy peers (in order) for
+   this fingerprint's layer, verify, and hand back a servable entry.
+   Transport failures feed the health state; typed rejections are honest
+   misses. *)
+let probe t ~arch ~layer (_fp : Serve.Fingerprint.t) =
+  let eps =
+    Mutex.protect t.lock (fun () -> List.filter (fun (p : peer) -> p.healthy) t.all)
+  in
+  let req =
+    {
+      Daemon.Protocol.client = "peer";
+      budget_s = t.cfg.probe_budget_s;
+      arch = variant_name arch;
+      target = Daemon.Protocol.Layer layer.Layer.name;
+      cache_only = true;
+    }
+  in
+  let rec ask = function
+    | [] -> None
+    | (p : peer) :: rest ->
+      Telemetry.Metrics.incr m_probes;
+      Mutex.protect t.lock (fun () -> p.probes <- p.probes + 1);
+      (match Daemon.Client.one_shot_ep ~timeout_s:t.cfg.probe_timeout_s p.ep req with
+       | Error _ ->
+         Mutex.protect t.lock (fun () ->
+             note_failure t p (Robust.Deadline.now ()));
+         ask rest
+       | Ok (Daemon.Protocol.Rejected _) | Ok (Daemon.Protocol.Failed _) ->
+         (* a live peer without the record: honest miss *)
+         Telemetry.Metrics.incr m_misses;
+         ask rest
+       | Ok (Daemon.Protocol.Scheduled s) ->
+         (match verify_response ~arch ~layer s with
+          | `Entry entry ->
+            Telemetry.Metrics.incr m_hits;
+            Mutex.protect t.lock (fun () -> p.hits <- p.hits + 1);
+            Some entry
+          | `Reject ->
+            Telemetry.Metrics.incr m_rejects;
+            Mutex.protect t.lock (fun () -> p.rejects <- p.rejects + 1);
+            ask rest))
+  in
+  ask eps

@@ -1,23 +1,74 @@
 (* Client side of the daemon protocol: connect, exchange one frame per
    request, close. Blocking, with an optional receive timeout so a hung
-   server surfaces as a typed error rather than a wedged client. *)
+   server surfaces as a typed error rather than a wedged client.
+
+   [request_failover] is the cluster-aware entry point: bounded retries
+   with exponential backoff + deterministic jitter across a list of
+   endpoints. The retry discipline is strict about what a "failure" is —
+   any decoded response (Scheduled, Rejected, Failed) is a *terminal*
+   outcome from a live server and is returned as-is; only transport
+   failures (connect refused, reset, torn frame, read timeout) burn a
+   retry and move to the next endpoint. Retrying a typed rejection would
+   turn the server's calibrated backpressure into an accidental DoS. *)
+
+let m_retries = Telemetry.Metrics.counter "cluster.client_retries"
+let m_failovers = Telemetry.Metrics.counter "cluster.failovers"
+
+type endpoint = Unix_path of string | Tcp of string * int
+
+let endpoint_to_string = function
+  | Unix_path p -> p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+(* "host:port" with a numeric port and no '/' parses as TCP; anything else
+   is a Unix socket path (paths may legitimately contain ':', but then
+   they contain '/' too in practice). *)
+let endpoint_of_string s =
+  match String.rindex_opt s ':' with
+  | Some i when i > 0 && i < String.length s - 1 && not (String.contains s '/') ->
+    (match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+     | Some port when port > 0 && port < 65536 -> Tcp (String.sub s 0 i, port)
+     | _ -> Unix_path s)
+  | _ -> Unix_path s
 
 type t = { fd : Unix.file_descr }
 
-let connect ?(timeout_s = 0.) path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX path) with
-  | () ->
-    if timeout_s > 0. then begin
-      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s
-       with Unix.Unix_error _ -> ());
-      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
-       with Unix.Unix_error _ -> ())
-    end;
-    Ok { fd }
-  | exception Unix.Unix_error (e, _, _) ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    Error (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
+let addr_of_endpoint = function
+  | Unix_path path -> Ok (Unix.ADDR_UNIX path)
+  | Tcp (host, port) ->
+    (match Unix.inet_addr_of_string host with
+     | a -> Ok (Unix.ADDR_INET (a, port))
+     | exception Failure _ ->
+       (match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+          Error (Printf.sprintf "cannot resolve host %S" host)
+        | he -> Ok (Unix.ADDR_INET (he.Unix.h_addr_list.(0), port))))
+
+let connect_ep ?(timeout_s = 0.) ep =
+  match addr_of_endpoint ep with
+  | Error _ as e -> e
+  | Ok addr ->
+    let domain = match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd addr with
+     | () ->
+       (match addr with
+        | Unix.ADDR_INET _ ->
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+        | _ -> ());
+       if timeout_s > 0. then begin
+         (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s
+          with Unix.Unix_error _ -> ());
+         (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
+          with Unix.Unix_error _ -> ())
+       end;
+       Ok { fd }
+     | exception Unix.Unix_error (e, _, _) ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       Error
+         (Printf.sprintf "connect %s: %s" (endpoint_to_string ep) (Unix.error_message e)))
+
+let connect ?timeout_s path = connect_ep ?timeout_s (Unix_path path)
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
@@ -31,11 +82,56 @@ let request t req =
      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
-(* Connect, send one request, close — the CLI's path. *)
-let one_shot ?timeout_s path req =
-  match connect ?timeout_s:(Option.map Fun.id timeout_s) path with
+let one_shot_ep ?timeout_s ep req =
+  match connect_ep ?timeout_s ep with
   | Error _ as e -> e
   | Ok t ->
     let r = request t req in
     close t;
     r
+
+(* Connect, send one request, close — the CLI's path. *)
+let one_shot ?timeout_s path req = one_shot_ep ?timeout_s (Unix_path path) req
+
+(* Bounded retry with exponential backoff + jitter over an endpoint list.
+   Endpoints are tried round-robin starting from the head; backoff doubles
+   per full *attempt* (not per endpoint) and carries deterministic jitter
+   from [seed] so tests replay exactly. [retries] counts extra attempts
+   beyond the first, each attempt walking every endpoint once. *)
+let request_failover ?(retries = 2) ?(backoff_s = 0.05) ?(backoff_max_s = 2.)
+    ?(jitter = 0.5) ?(seed = 0) ?timeout_s ~endpoints req =
+  if endpoints = [] then Error "request_failover: no endpoints"
+  else begin
+    let rng = Prim.Rng.create (seed lxor 0x5eed_c11e) in
+    let errs = ref [] in
+    let note ep msg =
+      errs := Printf.sprintf "%s: %s" (endpoint_to_string ep) msg :: !errs
+    in
+    let rec attempt k backoff =
+      let rec walk = function
+        | [] -> `All_failed
+        | ep :: rest ->
+          (match one_shot_ep ?timeout_s ep req with
+           | Ok resp -> `Done resp
+           | Error msg ->
+             note ep msg;
+             (* moving on to another endpoint after a transport failure *)
+             if rest <> [] then Telemetry.Metrics.incr m_failovers;
+             walk rest)
+      in
+      match walk endpoints with
+      | `Done resp -> Ok resp
+      | `All_failed ->
+        if k >= retries then
+          Error
+            (Printf.sprintf "all endpoints failed after %d attempts: %s" (k + 1)
+               (String.concat "; " (List.rev !errs)))
+        else begin
+          Telemetry.Metrics.incr m_retries;
+          let sleep = backoff *. (1. +. (jitter *. Prim.Rng.float rng 1.)) in
+          if sleep > 0. then Thread.delay sleep;
+          attempt (k + 1) (Float.min backoff_max_s (backoff *. 2.))
+        end
+    in
+    attempt 0 backoff_s
+  end

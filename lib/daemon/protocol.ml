@@ -14,7 +14,11 @@
    frame is refused at the header, before any allocation. *)
 
 let magic = 0xC5
-let version = 1
+
+(* v2 (the cluster tier) added a request flags byte carrying [cache_only].
+   Version mismatches are answered with a typed expected-vs-got error so a
+   mixed-version deployment fails loudly and legibly, not as "garbage". *)
+let version = 2
 
 (* Generous for schedules (a full network response is ~100 KiB), tight
    enough that a hostile length field cannot balloon memory. *)
@@ -27,6 +31,9 @@ type request = {
   budget_s : float;  (* SLO budget from arrival, seconds; <= 0 = server default *)
   arch : string;  (* architecture name, e.g. "baseline" *)
   target : target;
+  cache_only : bool;
+      (* peer cache probe: serve from the local cache or answer a typed
+         rejection — never solve, never cascade to further peers *)
 }
 
 type reject_reason = Queue_full | Quota_exceeded | Shedding | Deadline_unmeetable
@@ -104,6 +111,7 @@ let encode_request (r : request) =
    | Network name ->
      put_u8 buf 1;
      put_str buf name);
+  put_u8 buf (if r.cache_only then 1 else 0);
   Buffer.to_bytes buf
 
 let reject_code = function
@@ -184,9 +192,11 @@ let decode f (b : bytes) =
   in
   match
     let m = u8 "magic" in
-    if m <> magic then raise (Malformed (Printf.sprintf "bad magic 0x%02x" m));
+    if m <> magic then
+      raise (Malformed (Printf.sprintf "magic mismatch: expected 0x%02x, got 0x%02x" magic m));
     let v = u8 "version" in
-    if v <> version then raise (Malformed (Printf.sprintf "unsupported version %d" v));
+    if v <> version then
+      raise (Malformed (Printf.sprintf "version mismatch: expected v%d, got v%d" version v));
     let r = f ~u8 ~u32 ~f64 ~str in
     if !pos <> len then raise (Malformed "trailing bytes");
     r
@@ -208,7 +218,10 @@ let decode_request b =
         | 1 -> Network (str "network name")
         | t -> raise (Malformed (Printf.sprintf "unknown target tag %d" t))
       in
-      { client; budget_s; arch; target })
+      let flags = u8 "flags" in
+      if flags land lnot 0x01 <> 0 then
+        raise (Malformed (Printf.sprintf "unknown request flags 0x%02x" flags));
+      { client; budget_s; arch; target; cache_only = flags land 0x01 = 1 })
     b
 
 let decode_response b =
@@ -301,3 +314,60 @@ let read_frame fd =
       | `Ok -> Ok (Some payload)
       | `Eof | `Truncated -> Error "truncated frame payload"
     end
+
+(* Deadline-aware framing for connections carrying SO_RCVTIMEO. A receive
+   timeout at a frame *boundary* (no header byte read yet) is benign
+   idleness — the caller decides whether to keep waiting or reap the
+   connection. A timeout *inside* a frame means the peer stalled mid-write
+   (the partial-frame fault, a wedged client) and is a hard read-deadline
+   error: the connection is poisoned and must be closed. *)
+let read_exact_timeout fd buf len =
+  let rec go off =
+    if off >= len then `Ok off
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> if off = 0 then `Eof else `Truncated
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        `Timeout off
+  in
+  go 0
+
+let read_frame_timeout fd =
+  let hdr = Bytes.create 4 in
+  match read_exact_timeout fd hdr 4 with
+  | `Eof -> `Eof
+  | `Truncated -> `Error "truncated frame header"
+  | `Timeout 0 -> `Idle
+  | `Timeout _ -> `Error "read deadline exceeded mid-header"
+  | `Ok _ ->
+    let n =
+      (Char.code (Bytes.get hdr 0) lsl 24)
+      lor (Char.code (Bytes.get hdr 1) lsl 16)
+      lor (Char.code (Bytes.get hdr 2) lsl 8)
+      lor Char.code (Bytes.get hdr 3)
+    in
+    if n > max_frame then `Error (Printf.sprintf "frame of %d bytes exceeds limit" n)
+    else begin
+      let payload = Bytes.create n in
+      match read_exact_timeout fd payload n with
+      | `Ok _ -> `Frame payload
+      | `Eof | `Truncated -> `Error "truncated frame payload"
+      | `Timeout _ -> `Error "read deadline exceeded mid-frame"
+    end
+
+(* Fault-injection helper: a frame header promising [length payload] bytes
+   followed by only the first half of them — the torn write a peer crash
+   or a cut connection produces. Receivers must treat it as a transport
+   error (mid-frame stall/EOF), never as a short valid frame. *)
+let write_torn_frame fd payload =
+  let n = Bytes.length payload in
+  if n > max_frame then invalid_arg "Protocol.write_torn_frame: frame too large";
+  let hdr = Bytes.create 4 in
+  Bytes.set hdr 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set hdr 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set hdr 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set hdr 3 (Char.chr (n land 0xff));
+  write_all fd hdr 0 4;
+  write_all fd payload 0 (min n (max 1 (n / 2)))

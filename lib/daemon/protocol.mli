@@ -22,6 +22,9 @@ type request = {
   budget_s : float;  (** SLO budget from arrival (seconds); [<= 0] = server default *)
   arch : string;  (** architecture name (e.g. ["baseline"]) *)
   target : target;
+  cache_only : bool;
+      (** peer cache probe: serve from the local cache or answer a typed
+          rejection — never solve, never cascade to further peers *)
 }
 
 (** Why a request was refused. Every overload path answers with one of
@@ -73,3 +76,17 @@ val read_frame : Unix.file_descr -> (bytes option, string) result
 (** Read one frame. [Ok None] is a clean EOF at a frame boundary;
     [Error _] covers mid-frame EOF, oversized announcements, and read
     failures. *)
+
+val read_frame_timeout :
+  Unix.file_descr -> [ `Frame of bytes | `Eof | `Idle | `Error of string ]
+(** Like {!read_frame} on a descriptor carrying a receive timeout
+    (SO_RCVTIMEO). A timeout at a frame boundary (zero header bytes read)
+    is [`Idle] — benign, the caller chooses to wait more or reap the
+    connection. A timeout mid-frame is a hard [`Error]: the peer stalled
+    inside a frame (torn write, wedged client) and the connection is
+    poisoned. *)
+
+val write_torn_frame : Unix.file_descr -> bytes -> unit
+(** Fault-injection helper: write a frame header promising the full
+    payload, then only the first half of the bytes — the torn write a peer
+    crash mid-response produces. *)

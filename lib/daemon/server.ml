@@ -1,17 +1,28 @@
 (* The persistent scheduling daemon.
 
-   One process, one Unix-domain listening socket, and three kinds of
-   thread sharing a single OCaml domain:
+   One process, listening sockets (a Unix-domain socket, plus an optional
+   TCP listener for multi-host deployments speaking the same protocol),
+   and three kinds of thread sharing a single OCaml domain:
 
    - the accept loop ([run]'s own thread), which also ticks housekeeping
-     (drain detection, solver wake-ups) on a short select timeout;
+     (drain detection, idle-connection reaping, injected cluster chores
+     such as peer health probes) on a short select timeout;
    - one connection thread per client, reading length-prefixed request
      frames, running admission, and writing responses — connections are
      cheap because they spend their lives blocked in [read];
-   - one solver thread, the only toucher of the schedule cache (the
-     cache is not domain-safe; confining it to one thread preserves the
-     batch service's invariant). Solve fan-out inside a network request
-     still uses the domain pool, spawned from the solver thread.
+   - one solver thread, the only toucher of non-thread-safe cache state.
+     Solve fan-out inside a network request still uses the domain pool,
+     spawned from the solver thread.
+
+   Cache tiers: by default the server owns a plain [Schedule_cache] and
+   confines all its traffic to the solver thread, exactly as before. A
+   deployment can instead inject a thread-safe [Serve.Service.cache_tier]
+   (the sharded cluster cache): that unlocks the cache fast path, where a
+   connection thread answers a pure cache probe inline — cache traffic no
+   longer serializes through the solver thread, which only ever sees
+   misses. An injected [remote_probe] composes a warm-peer lookup behind
+   local misses on the solver path; the prober owns re-certification, so
+   a peer can cost a counted miss but never a wrong serve.
 
    All shared state (queue, admission, stats, connection registry) lives
    under one mutex. Overload never goes silent: every path out of
@@ -40,6 +51,8 @@ let m_rej_quota = Telemetry.Metrics.counter "daemon.rejected.quota"
 let m_rej_shed = Telemetry.Metrics.counter "daemon.rejected.shedding"
 let m_rej_deadline = Telemetry.Metrics.counter "daemon.rejected.deadline"
 let m_failed = Telemetry.Metrics.counter "daemon.failed"
+let m_fastpath = Telemetry.Metrics.counter "daemon.fastpath_served"
+let m_reaped = Telemetry.Metrics.counter "daemon.conns_reaped"
 let g_queue_depth = Telemetry.Metrics.gauge "daemon.queue_depth"
 
 let h_e2e =
@@ -57,16 +70,51 @@ let rung_counter = function
 
 type config = {
   socket_path : string;
+  tcp : (string * int) option;  (* extra TCP listener: (bind host, port) *)
   service : Serve.Service.config;  (* base arch/strategy/budgets/pool width *)
   admission : Admission.config;
   cache_dir : string option;
   cache_capacity : int;
   default_budget_s : float;  (* for requests that carry no budget *)
+  tier : Serve.Service.cache_tier option;
+      (* injected thread-safe cache tier (sharded). Enables the conn-thread
+         cache fast path. Absent: the server owns a plain cache confined
+         to the solver thread, as in the single-box daemon. *)
+  remote_probe :
+    (arch:Spec.t -> layer:Layer.t -> Serve.Fingerprint.t -> Serve.Schedule_cache.entry option)
+      option;
+      (* warm-peer lookup composed behind local misses on the solver path;
+         the prober must re-certify before returning an entry *)
+  housekeeping : (unit -> unit) option;  (* ticked by the accept loop *)
+  read_deadline_s : float;  (* per-connection receive deadline; <= 0 = none *)
+  idle_timeout_s : float;  (* reap connections idle this long; <= 0 = never *)
+  tmp_sweep_age_s : float;  (* stale-temp-file sweep threshold for the own cache *)
+  fault_crash_exit : bool;
+      (* honor the net.peer_crash fault site with a process exit — only
+         ever set by chaos harnesses, so an ordinary --fault-seed run
+         cannot kill the daemon *)
 }
 
 let config ?(admission = Admission.default_config ()) ?cache_dir
-    ?(cache_capacity = 256) ?(default_budget_s = 30.) ~socket_path service =
-  { socket_path; service; admission; cache_dir; cache_capacity; default_budget_s }
+    ?(cache_capacity = 256) ?(default_budget_s = 30.) ?tcp ?tier ?remote_probe
+    ?housekeeping ?(read_deadline_s = 30.) ?(idle_timeout_s = 300.)
+    ?(tmp_sweep_age_s = 0.) ?(fault_crash_exit = false) ~socket_path service =
+  {
+    socket_path;
+    tcp;
+    service;
+    admission;
+    cache_dir;
+    cache_capacity;
+    default_budget_s;
+    tier;
+    remote_probe;
+    housekeeping;
+    read_deadline_s;
+    idle_timeout_s;
+    tmp_sweep_age_s;
+    fault_crash_exit;
+  }
 
 (* Plain mirrors of the telemetry counters: the metrics sink is off by
    default, and tests and the drain report need the numbers regardless. *)
@@ -80,6 +128,8 @@ type stats = {
   mutable rejected_shedding : int;
   mutable rejected_deadline : int;
   mutable max_queue_depth : int;
+  mutable fastpath_served : int;  (* cache hits answered on the conn thread *)
+  mutable reaped : int;  (* idle connections closed by the reaper *)
   mutable persisted : int;  (* cache records written at drain *)
 }
 
@@ -101,11 +151,13 @@ type job = {
   reply : reply;
 }
 
-type conn = { fd : Unix.file_descr; mutable busy : bool }
+type conn = { fd : Unix.file_descr; mutable busy : bool; mutable last : float }
 
 type t = {
   cfg : config;
-  cache : Serve.Schedule_cache.t;
+  local_tier : Serve.Service.cache_tier;  (* injected, or over the own cache *)
+  full_tier : Serve.Service.cache_tier;  (* local + warm-peer fall-through *)
+  fast_ok : bool;  (* tier is thread-safe: conn threads may probe inline *)
   adm : Admission.t;
   lock : Mutex.t;
   qc : Condition.t;  (* wakes the solver: work queued or draining *)
@@ -116,14 +168,49 @@ type t = {
   conns : (int, conn) Hashtbl.t;
   mutable conn_seq : int;
   stats : stats;
-  ready : Semaphore.Binary.t;  (* posted once the socket is listening *)
+  ready : Semaphore.Binary.t;  (* posted once the sockets are listening *)
 }
 
+(* Warm-peer composition: a local miss falls through to the remote probe;
+   a verified remote record is stored back into the local tier (write-
+   through, so it survives a crash) and served as [Cache_peer]. The remote
+   prober owns verification — by contract it only ever returns records it
+   has re-certified in exact arithmetic. *)
+let compose_remote (local : Serve.Service.cache_tier) remote =
+  {
+    local with
+    Serve.Service.tier_find =
+      (fun ~arch ~layer fp ->
+        match local.Serve.Service.tier_find ~arch ~layer fp with
+        | Some _ as hit -> hit
+        | None ->
+          (match remote ~arch ~layer fp with
+           | Some entry ->
+             local.Serve.Service.tier_store fp entry;
+             Some (entry, Serve.Service.Cache_peer)
+           | None -> None));
+  }
+
 let create cfg =
+  let local_tier, fast_ok =
+    match cfg.tier with
+    | Some tier -> (tier, true)
+    | None ->
+      ( Serve.Service.tier_of_cache
+          (Serve.Schedule_cache.create ?dir:cfg.cache_dir
+             ~tmp_sweep_age_s:cfg.tmp_sweep_age_s ~capacity:cfg.cache_capacity ()),
+        false )
+  in
+  let full_tier =
+    match cfg.remote_probe with
+    | Some remote -> compose_remote local_tier remote
+    | None -> local_tier
+  in
   {
     cfg;
-    cache =
-      Serve.Schedule_cache.create ?dir:cfg.cache_dir ~capacity:cfg.cache_capacity ();
+    local_tier;
+    full_tier;
+    fast_ok;
     adm = Admission.create cfg.admission;
     lock = Mutex.create ();
     qc = Condition.create ();
@@ -144,19 +231,21 @@ let create cfg =
         rejected_shedding = 0;
         rejected_deadline = 0;
         max_queue_depth = 0;
+        fastpath_served = 0;
+        reaped = 0;
         persisted = 0;
       };
     ready = Semaphore.Binary.make false;
   }
 
 let stats t = Mutex.protect t.lock (fun () -> { t.stats with served = t.stats.served })
-let cache t = t.cache
+let tier t = t.local_tier
 
 (* Async-signal-safe: one atomic store, no locks. *)
 let shutdown t = Atomic.set t.stop true
 let draining t = Atomic.get t.stop
 
-(* Block until the listening socket is bound — spares tests and the soak
+(* Block until the listening sockets are bound — spares tests and the soak
    harness a connect-retry loop against a server thread still starting. *)
 let wait_ready t = Semaphore.Binary.acquire t.ready
 
@@ -184,6 +273,13 @@ let resolve t (req : Protocol.request) =
        (match Network.find name with
         | Some n -> Ok (service, n)
         | None -> Error ("unknown network " ^ name)))
+
+(* The fingerprint single-layer requests resolve to — per-shard admission
+   statistics route by it; whole-network requests use the aggregate. *)
+let fp_hint (service : Serve.Service.config) (net : Network.t) =
+  match net.Network.entries with
+  | [ { Network.layer; _ } ] -> Some (Serve.Service.request_fingerprint service layer)
+  | _ -> None
 
 (* ---- solver thread ---------------------------------------------------- *)
 
@@ -237,6 +333,18 @@ let layer_payload (service : Serve.Service.config)
         record = Mapping_io.record_to_string meta s.Serve.Service.mapping;
       }
 
+let scheduled_of_report ~rung ~arrival ~queue_wait (service : Serve.Service.config)
+    (report : Serve.Service.report) =
+  Protocol.Scheduled
+    {
+      Protocol.rung;
+      layers = List.filter_map (layer_payload service) report.Serve.Service.layers;
+      total_latency = report.Serve.Service.total_latency;
+      total_energy_pj = report.Serve.Service.total_energy_pj;
+      queue_wait_s = queue_wait;
+      serve_s = Robust.Deadline.now () -. arrival;
+    }
+
 let serve_job t (job : job) =
   let start = Robust.Deadline.now () in
   let queue_wait = start -. job.arrival in
@@ -247,7 +355,7 @@ let serve_job t (job : job) =
      (monotonic backpressure), never upgrade. *)
   let reselected =
     Mutex.protect t.lock (fun () ->
-        let hit_rate = Serve.Schedule_cache.hit_rate t.cache in
+        let hit_rate = t.local_tier.Serve.Service.tier_hit_rate None in
         let budget = (Admission.config t.adm).Admission.safety *. remaining in
         match Robust.Ladder.select ~budget (Admission.estimates t.adm ~hit_rate) with
         | None -> None
@@ -268,7 +376,9 @@ let serve_job t (job : job) =
         Serve.Service.deadline = job.deadline;
         time_limit = Float.min job.service.Serve.Service.time_limit remaining }
     in
-    let report = Serve.Service.schedule_network ~cache:t.cache ~rung service job.net in
+    let report =
+      Serve.Service.schedule_network ~tier:t.full_tier ~rung service job.net
+    in
     let dt = Robust.Deadline.now () -. start in
     (* Feed the estimator the cost of what actually ran: a live solve is
        evidence about the rung; an all-cache serve is probe-cost
@@ -300,16 +410,7 @@ let serve_job t (job : job) =
             Protocol.Failed (Option.value first_failure ~default:"layer failure")
         else begin
           t.stats.served <- t.stats.served + 1;
-          Protocol.Scheduled
-            {
-              Protocol.rung;
-              layers =
-                List.filter_map (layer_payload service) report.Serve.Service.layers;
-              total_latency = report.Serve.Service.total_latency;
-              total_energy_pj = report.Serve.Service.total_energy_pj;
-              queue_wait_s = queue_wait;
-              serve_s = Robust.Deadline.now () -. job.arrival;
-            }
+          scheduled_of_report ~rung ~arrival:job.arrival ~queue_wait service report
         end)
 
 let solver_loop t =
@@ -347,93 +448,191 @@ let solver_loop t =
 
 (* ---- connection handling ---------------------------------------------- *)
 
-(* Either answered inline (rejection / resolution failure) or admitted —
-   in which case the connection thread parks on the reply slot. *)
+(* Cache fast path: a pure local cache probe on the calling (connection)
+   thread. Only legal when the tier is thread-safe ([fast_ok]); never
+   consults peers (a [cache_only] request from a peer must not cascade)
+   and never solves. *)
+let try_fast_path t (service : Serve.Service.config) net ~arrival ~budget =
+  if not t.fast_ok then None
+  else begin
+    let scfg =
+      { service with Serve.Service.deadline = Robust.Deadline.at (arrival +. budget) }
+    in
+    let report =
+      Serve.Service.schedule_network ~tier:t.local_tier
+        ~rung:Robust.Ladder.Cache_probe scfg net
+    in
+    if report.Serve.Service.failed > 0 then None
+    else begin
+      let dt = Robust.Deadline.now () -. arrival in
+      Mutex.protect t.lock (fun () ->
+          t.stats.served <- t.stats.served + 1;
+          t.stats.fastpath_served <- t.stats.fastpath_served + 1;
+          Admission.observe t.adm Robust.Ladder.Cache_probe dt);
+      Telemetry.Metrics.incr m_fastpath;
+      Telemetry.Metrics.incr (rung_counter Robust.Ladder.Cache_probe);
+      Telemetry.Metrics.observe h_e2e dt;
+      Some
+        (scheduled_of_report ~rung:Robust.Ladder.Cache_probe ~arrival
+           ~queue_wait:0. scfg report)
+    end
+  end
+
+(* Either answered inline (fast-path cache hit / rejection / resolution
+   failure) or admitted — in which case the connection thread parks on
+   the reply slot. *)
 let process_request t (req : Protocol.request) =
   let arrival = Robust.Deadline.now () in
-  let admitted =
-    Mutex.protect t.lock (fun () ->
-        t.stats.received <- t.stats.received + 1;
-        Telemetry.Metrics.incr m_received;
-        match resolve t req with
-        | Error msg -> `Done (Protocol.Failed msg)
-        | Ok (service, net) ->
-          if Atomic.get t.stop then `Done (reject_stat t Protocol.Shedding)
-          else begin
-            let budget =
-              if req.Protocol.budget_s > 0. && Float.is_finite req.Protocol.budget_s
-              then req.Protocol.budget_s
-              else t.cfg.default_budget_s
-            in
-            let queue_delay =
-              t.pending_cost +. Float.max 0. (t.running_until -. arrival)
-            in
-            let hit_rate = Serve.Schedule_cache.hit_rate t.cache in
-            match
-              Admission.decide t.adm ~now:arrival ~client:req.Protocol.client
-                ~budget_s:budget ~queue_depth:(Queue.length t.queue)
-                ~queue_delay_s:queue_delay ~hit_rate
-            with
-            | Error reason -> `Done (reject_stat t reason)
-            | Ok rung ->
-              let est_cost =
-                List.fold_left
-                  (fun acc (e : Robust.Ladder.estimate) ->
-                    if Robust.Ladder.equal e.Robust.Ladder.rung rung then
-                      e.Robust.Ladder.cost_s
-                    else acc)
-                  0.
-                  (Admission.estimates t.adm ~hit_rate)
-              in
-              let job =
-                {
-                  net;
-                  service;
-                  rung;
-                  deadline = Robust.Deadline.at (arrival +. budget);
-                  arrival;
-                  est_cost;
-                  reply =
-                    { rm = Mutex.create (); rc = Condition.create (); resp = None };
-                }
-              in
-              Queue.push job t.queue;
-              t.pending_cost <- t.pending_cost +. est_cost;
-              t.stats.admitted <- t.stats.admitted + 1;
-              Telemetry.Metrics.incr m_admitted;
-              let depth = Queue.length t.queue in
-              if depth > t.stats.max_queue_depth then t.stats.max_queue_depth <- depth;
-              Telemetry.Metrics.set_gauge g_queue_depth (float_of_int depth);
-              Condition.signal t.qc;
-              `Admitted job
-          end)
-  in
-  match admitted with
-  | `Done resp -> resp
-  | `Admitted job ->
-    Mutex.protect job.reply.rm (fun () ->
-        while job.reply.resp = None do
-          Condition.wait job.reply.rc job.reply.rm
-        done;
-        Option.get job.reply.resp)
+  Mutex.protect t.lock (fun () ->
+      t.stats.received <- t.stats.received + 1;
+      Telemetry.Metrics.incr m_received);
+  match resolve t req with
+  | Error msg -> Protocol.Failed msg
+  | Ok (service, net) ->
+    let budget =
+      if req.Protocol.budget_s > 0. && Float.is_finite req.Protocol.budget_s then
+        req.Protocol.budget_s
+      else t.cfg.default_budget_s
+    in
+    (* A cached answer is correct even while draining, so the fast path
+       runs before the shedding check. *)
+    (match try_fast_path t service net ~arrival ~budget with
+     | Some resp -> resp
+     | None when req.Protocol.cache_only && t.fast_ok ->
+       (* peer probe missed the thread-safe tier: typed miss, no queueing *)
+       Mutex.protect t.lock (fun () -> reject_stat t Protocol.Deadline_unmeetable)
+     | None ->
+       let admitted =
+         Mutex.protect t.lock (fun () ->
+             if Atomic.get t.stop then `Done (reject_stat t Protocol.Shedding)
+             else begin
+               let queue_delay =
+                 t.pending_cost +. Float.max 0. (t.running_until -. arrival)
+               in
+               let hit_rate =
+                 t.local_tier.Serve.Service.tier_hit_rate (fp_hint service net)
+               in
+               match
+                 Admission.decide t.adm ~now:arrival ~client:req.Protocol.client
+                   ~budget_s:budget ~queue_depth:(Queue.length t.queue)
+                   ~queue_delay_s:queue_delay ~hit_rate
+               with
+               | Error reason -> `Done (reject_stat t reason)
+               | Ok selected ->
+                 (* a cache-only request on a solver-confined cache still
+                    goes through the queue, but pinned to the probe rung *)
+                 let rung =
+                   if req.Protocol.cache_only then Robust.Ladder.Cache_probe
+                   else selected
+                 in
+                 let est_cost =
+                   List.fold_left
+                     (fun acc (e : Robust.Ladder.estimate) ->
+                       if Robust.Ladder.equal e.Robust.Ladder.rung rung then
+                         e.Robust.Ladder.cost_s
+                       else acc)
+                     0.
+                     (Admission.estimates t.adm ~hit_rate)
+                 in
+                 let job =
+                   {
+                     net;
+                     service;
+                     rung;
+                     deadline = Robust.Deadline.at (arrival +. budget);
+                     arrival;
+                     est_cost;
+                     reply =
+                       { rm = Mutex.create (); rc = Condition.create (); resp = None };
+                   }
+                 in
+                 Queue.push job t.queue;
+                 t.pending_cost <- t.pending_cost +. est_cost;
+                 t.stats.admitted <- t.stats.admitted + 1;
+                 Telemetry.Metrics.incr m_admitted;
+                 let depth = Queue.length t.queue in
+                 if depth > t.stats.max_queue_depth then
+                   t.stats.max_queue_depth <- depth;
+                 Telemetry.Metrics.set_gauge g_queue_depth (float_of_int depth);
+                 Condition.signal t.qc;
+                 `Admitted job
+             end)
+       in
+       (match admitted with
+        | `Done resp -> resp
+        | `Admitted job ->
+          Mutex.protect job.reply.rm (fun () ->
+              while job.reply.resp = None do
+                Condition.wait job.reply.rc job.reply.rm
+              done;
+              Option.get job.reply.resp)))
+
+(* Response write with the network fault plane. Sites fire only when a
+   chaos harness armed them (and [net.peer_crash] additionally requires
+   the config opt-in), so production writes cost four disarmed checks. *)
+let write_response t fd resp =
+  let payload = Protocol.encode_response resp in
+  if Robust.Fault.fire "net.slow_peer" then Thread.delay 0.25;
+  if Robust.Fault.fire "net.conn_reset" then begin
+    (* cut the connection instead of answering: the client sees EOF/reset *)
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    false
+  end
+  else if t.cfg.fault_crash_exit && Robust.Fault.fire "net.peer_crash" then begin
+    (* torn frame, then the whole process dies mid-response *)
+    (try Protocol.write_torn_frame fd payload with Unix.Unix_error _ -> ());
+    Stdlib.exit 42
+  end
+  else if Robust.Fault.fire "net.partial_frame" then begin
+    (* header promises the full frame; half the payload arrives, then the
+       connection stalls and closes — the classic torn write *)
+    (try Protocol.write_torn_frame fd payload with Unix.Unix_error _ -> ());
+    Thread.delay 0.05;
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    false
+  end
+  else
+    try
+      Protocol.write_frame fd payload;
+      true
+    with Unix.Unix_error _ -> false
 
 let conn_loop t id conn =
+  (* The receive deadline makes [read_frame_timeout] surface idleness at
+     frame boundaries (for the reaper) and stalls mid-frame (poisoned
+     connection) without a watchdog thread. *)
+  if t.cfg.read_deadline_s > 0. then
+    (try Unix.setsockopt_float conn.fd Unix.SO_RCVTIMEO t.cfg.read_deadline_s
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
   let rec loop () =
-    match Protocol.read_frame conn.fd with
-    | Ok None | Error _ -> ()  (* clean close or dead/hostile peer *)
-    | Ok (Some payload) ->
+    let event =
+      if t.cfg.read_deadline_s > 0. then Protocol.read_frame_timeout conn.fd
+      else
+        match Protocol.read_frame conn.fd with
+        | Ok (Some payload) -> `Frame payload
+        | Ok None -> `Eof
+        | Error msg -> `Error msg
+    in
+    match event with
+    | `Eof | `Error _ -> ()  (* clean close or dead/hostile/stalled peer *)
+    | `Idle ->
+      if
+        t.cfg.idle_timeout_s > 0.
+        && Robust.Deadline.now () -. conn.last > t.cfg.idle_timeout_s
+      then begin
+        Mutex.protect t.lock (fun () -> t.stats.reaped <- t.stats.reaped + 1);
+        Telemetry.Metrics.incr m_reaped
+      end
+      else loop ()
+    | `Frame payload ->
+      conn.last <- Robust.Deadline.now ();
       conn.busy <- true;
       let resp =
         match Protocol.decode_request payload with
         | Error msg -> Protocol.Failed ("malformed request: " ^ msg)
         | Ok req -> process_request t req
       in
-      let alive =
-        try
-          Protocol.write_frame conn.fd (Protocol.encode_response resp);
-          true
-        with Unix.Unix_error _ -> false
-      in
+      let alive = write_response t conn.fd resp in
       conn.busy <- false;
       if alive then loop ()
   in
@@ -444,8 +643,24 @@ let conn_loop t id conn =
 
 (* ---- lifecycle -------------------------------------------------------- *)
 
+let tcp_listener host port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt sock Unix.SO_REUSEADDR true with Unix.Unix_error _ -> ());
+  let addr =
+    match Unix.inet_addr_of_string host with
+    | a -> a
+    | exception Failure _ ->
+      (match Unix.gethostbyname host with
+       | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+         Unix.inet_addr_loopback
+       | he -> he.Unix.h_addr_list.(0))
+  in
+  Unix.bind sock (Unix.ADDR_INET (addr, port));
+  Unix.listen sock 64;
+  sock
+
 (* Run the daemon on the calling thread until a drain completes. Binds
-   the socket (replacing any stale file), serves until [shutdown], then
+   the sockets (replacing any stale file), serves until [shutdown], then
    drains: stop accepting, answer everything queued or in flight,
    persist the cache, close connections, return. *)
 let run t =
@@ -456,33 +671,41 @@ let run t =
   (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
   Unix.bind sock (Unix.ADDR_UNIX t.cfg.socket_path);
   Unix.listen sock 64;
+  let tcp_sock = Option.map (fun (h, p) -> tcp_listener h p) t.cfg.tcp in
+  let socks = sock :: Option.to_list tcp_sock in
   let solver = Thread.create solver_loop t in
   Semaphore.Binary.release t.ready;
+  let accept_from s =
+    match Unix.accept s with
+    | fd, _ ->
+      let conn = { fd; busy = false; last = Robust.Deadline.now () } in
+      let id =
+        Mutex.protect t.lock (fun () ->
+            t.conn_seq <- t.conn_seq + 1;
+            Hashtbl.replace t.conns t.conn_seq conn;
+            t.conn_seq)
+      in
+      ignore (Thread.create (conn_loop t id) conn)
+    | exception Unix.Unix_error _ -> ()  (* incl. EINTR: retry next tick *)
+  in
   let accept_one () =
-    match Unix.select [ sock ] [] [] 0.05 with
+    match Unix.select socks [] [] 0.05 with
     | [], _, _ -> ()
-    | _ ->
-      (match Unix.accept sock with
-       | fd, _ ->
-         let conn = { fd; busy = false } in
-         let id =
-           Mutex.protect t.lock (fun () ->
-               t.conn_seq <- t.conn_seq + 1;
-               Hashtbl.replace t.conns t.conn_seq conn;
-               t.conn_seq)
-         in
-         ignore (Thread.create (conn_loop t id) conn)
-       | exception Unix.Unix_error _ -> ())
+    | ready, _, _ -> List.iter accept_from ready
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   in
   while not (Atomic.get t.stop) do
-    try accept_one () with Unix.Unix_error _ -> ()
+    (try accept_one () with Unix.Unix_error _ -> ());
+    match t.cfg.housekeeping with
+    | Some tick -> ( try tick () with _ -> ())
+    | None -> ()
   done;
   (* Drain: no new connections; existing connections get [Shedding] for
      new requests (admission checks the flag); queued and in-flight work
      still gets answered. A connection stays [busy] from frame read to
      response write, so "queue empty and nobody busy" means every
      admitted request has been answered. *)
-  (try Unix.close sock with Unix.Unix_error _ -> ());
+  List.iter (fun s -> try Unix.close s with Unix.Unix_error _ -> ()) socks;
   (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
   let rec drain () =
     let quiesced =
@@ -498,7 +721,7 @@ let run t =
   in
   drain ();
   Thread.join solver;
-  let written = Serve.Schedule_cache.persist t.cache in
+  let written = t.local_tier.Serve.Service.tier_persist () in
   Mutex.protect t.lock (fun () -> t.stats.persisted <- written);
   (* Idle connections: shut them down; their threads wake from [read]
      with EOF and deregister themselves. *)

@@ -1,15 +1,23 @@
-(** The persistent scheduling daemon: a Unix-domain-socket server with a
-    bounded request queue, SLO-aware admission ({!Admission}), typed
-    backpressure, graceful drain, and crash-safe cache persistence.
+(** The persistent scheduling daemon: a Unix-domain-socket (plus optional
+    TCP) server with a bounded request queue, SLO-aware admission
+    ({!Admission}), typed backpressure, graceful drain, and crash-safe
+    cache persistence.
 
-    Threading: systhreads on one OCaml domain — an accept loop, one
-    thread per connection, and a single solver thread that owns all
-    schedule-cache traffic (the cache is not domain-safe). Parallelism
-    comes from the solve fan-out inside {!Serve.Service}, whose domain
-    pool the solver thread drives. *)
+    Threading: systhreads on one OCaml domain — an accept loop (which also
+    ticks injected housekeeping such as peer health probes), one thread
+    per connection, and a single solver thread. By default the server owns
+    a plain schedule cache confined to the solver thread; injecting a
+    thread-safe {!Serve.Service.cache_tier} (the sharded cluster cache)
+    additionally unlocks the cache fast path, where connection threads
+    answer pure cache hits inline and only misses reach the solver
+    thread. Parallelism inside a solve comes from {!Serve.Service}'s
+    domain pool, driven by the solver thread. *)
 
 type config = {
   socket_path : string;
+  tcp : (string * int) option;
+      (** additional TCP listener (bind host, port) speaking the same
+          protocol — the multi-host transport *)
   service : Serve.Service.config;
       (** base architecture/strategy/budgets; per-request deadlines and
           rung overrides are applied on top *)
@@ -17,6 +25,33 @@ type config = {
   cache_dir : string option;  (** enables the persistent disk tier *)
   cache_capacity : int;
   default_budget_s : float;  (** budget for requests that carry none *)
+  tier : Serve.Service.cache_tier option;
+      (** injected thread-safe cache tier; absent = own plain cache,
+          solver-thread confined (the single-box daemon) *)
+  remote_probe :
+    (arch:Spec.t ->
+    layer:Layer.t ->
+    Serve.Fingerprint.t ->
+    Serve.Schedule_cache.entry option)
+      option;
+      (** warm-peer lookup composed behind local misses on the solver
+          path. Contract: implementations re-certify every record in
+          exact arithmetic before returning it; verified entries are
+          stored back into the local tier and served as [Cache_peer]. *)
+  housekeeping : (unit -> unit) option;
+      (** ticked by the accept loop every select round (~50ms); cluster
+          deployments drive peer health checks from here *)
+  read_deadline_s : float;
+      (** per-connection receive deadline; a peer stalling mid-frame this
+          long poisons the connection. [<= 0] disables. *)
+  idle_timeout_s : float;
+      (** reap connections idle (no frame) this long; [<= 0] disables *)
+  tmp_sweep_age_s : float;
+      (** stale temp-file sweep age threshold for the server-owned cache
+          ([0.] = sweep all, the historical behavior) *)
+  fault_crash_exit : bool;
+      (** honor the [net.peer_crash] fault site with a process exit(42)
+          mid-response — chaos harnesses only *)
 }
 
 val config :
@@ -24,9 +59,24 @@ val config :
   ?cache_dir:string ->
   ?cache_capacity:int ->
   ?default_budget_s:float ->
+  ?tcp:string * int ->
+  ?tier:Serve.Service.cache_tier ->
+  ?remote_probe:
+    (arch:Spec.t ->
+    layer:Layer.t ->
+    Serve.Fingerprint.t ->
+    Serve.Schedule_cache.entry option) ->
+  ?housekeeping:(unit -> unit) ->
+  ?read_deadline_s:float ->
+  ?idle_timeout_s:float ->
+  ?tmp_sweep_age_s:float ->
+  ?fault_crash_exit:bool ->
   socket_path:string ->
   Serve.Service.config ->
   config
+(** Defaults: no TCP listener, no injected tier/peers/housekeeping,
+    [read_deadline_s 30.], [idle_timeout_s 300.], [tmp_sweep_age_s 0.],
+    [fault_crash_exit false]. *)
 
 type stats = {
   mutable received : int;
@@ -38,8 +88,13 @@ type stats = {
   mutable rejected_shedding : int;
   mutable rejected_deadline : int;
       (** unmeetable at admission, plus admitted requests whose budget
-          the queue wait consumed (re-checked at dequeue) *)
+          the queue wait consumed (re-checked at dequeue), plus
+          cache-only probes that missed *)
   mutable max_queue_depth : int;
+  mutable fastpath_served : int;
+      (** cache hits answered inline on connection threads (requires an
+          injected thread-safe tier) *)
+  mutable reaped : int;  (** idle connections closed by the reaper *)
   mutable persisted : int;  (** cache records written by the drain *)
 }
 
@@ -63,13 +118,14 @@ val shutdown : t -> unit
 val draining : t -> bool
 
 val wait_ready : t -> unit
-(** Block until the listening socket is bound (at most once per [t]). *)
+(** Block until the listening sockets are bound (at most once per [t]). *)
 
 val stats : t -> stats
 (** A consistent snapshot. *)
 
-val cache : t -> Serve.Schedule_cache.t
-(** The server's schedule cache — exposed for drain/restart tests. *)
+val tier : t -> Serve.Service.cache_tier
+(** The server's local cache tier (injected or its own plain cache) —
+    exposed for drain/restart tests. *)
 
 val process_request : t -> Protocol.request -> Protocol.response
 (** The full admission + serve path, bypassing the socket — what a

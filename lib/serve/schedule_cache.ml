@@ -58,25 +58,38 @@ type t = {
 (* Orphaned temp files are the droppings of a writer that crashed between
    opening its temp file and renaming it into place. They are never read
    back (loads go by the ".cosa" name), but a restart sweeps them so a
-   crash loop cannot fill the directory. *)
-let sweep_stale_tmp dir =
+   crash loop cannot fill the directory. [max_age_s <= 0.] sweeps every
+   temp file; a positive threshold spares young ones, protecting the
+   in-flight writes of a live writer sharing the directory (two daemons,
+   or a writer racing a restart). *)
+let sweep_stale_tmp ?(max_age_s = 0.) dir =
   match Sys.readdir dir with
   | exception Sys_error _ -> ()
   | names ->
+    let now = Unix.gettimeofday () in
     Array.iter
       (fun name ->
-        if Filename.check_suffix name ".tmp" then
-          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        if Filename.check_suffix name ".tmp" then begin
+          let path = Filename.concat dir name in
+          let stale =
+            max_age_s <= 0.
+            ||
+            match Unix.stat path with
+            | st -> now -. st.Unix.st_mtime >= max_age_s
+            | exception Unix.Unix_error _ -> false
+          in
+          if stale then try Sys.remove path with Sys_error _ -> ()
+        end)
       names
 
-let create ?dir ~capacity () =
+let create ?dir ?(tmp_sweep_age_s = 0.) ~capacity () =
   if capacity < 1 then
     raise (Robust.Failure.Error (Invalid_input "Schedule_cache.create: capacity < 1"));
   (match dir with
    | Some d ->
      if not (Sys.file_exists d) then
        (try Unix.mkdir d 0o755 with Unix.Unix_error _ -> ());
-     sweep_stale_tmp d
+     sweep_stale_tmp ~max_age_s:tmp_sweep_age_s d
    | None -> ());
   {
     capacity;

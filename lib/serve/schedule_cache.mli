@@ -27,10 +27,13 @@ type t
 
 type tier = Memory | Disk
 
-val create : ?dir:string -> capacity:int -> unit -> t
+val create : ?dir:string -> ?tmp_sweep_age_s:float -> capacity:int -> unit -> t
 (** Raises [Robust.Failure.Error (Invalid_input _)] when [capacity < 1].
     [dir] is created if missing; persistence failures are silent
-    (best-effort disk tier). *)
+    (best-effort disk tier). [tmp_sweep_age_s] bounds the stale-temp-file
+    sweep performed on creation: temp files younger than the threshold are
+    spared (they may belong to a live writer sharing the directory). The
+    default [0.] sweeps every temp file, matching historical behavior. *)
 
 val find : t -> arch:Spec.t -> layer:Layer.t -> Fingerprint.t -> (entry * tier) option
 (** Memory first (promotes to most-recent), then disk with verification

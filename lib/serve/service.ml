@@ -46,12 +46,45 @@ let config ?weights ?(strategy = Cosa.Auto) ?(certify = Cosa.Warn) ?(node_limit 
     warm_start;
   }
 
-type origin = Cache_memory | Cache_disk | Solved of Cosa.source
+type origin = Cache_memory | Cache_disk | Cache_peer | Solved of Cosa.source
 
 let origin_to_string = function
   | Cache_memory -> "cache(mem)"
   | Cache_disk -> "cache(disk)"
+  | Cache_peer -> "cache(peer)"
   | Solved s -> Cosa.source_to_string s
+
+(* A cache tier is the service's pluggable view of "somewhere certified
+   schedules might already live": the plain single-domain [Schedule_cache],
+   a sharded cache with per-shard locks, or a composition that falls
+   through to a warm peer over the network. The service only ever probes,
+   stores, and reads aggregate stats — everything else (locking, sharding,
+   peer health, re-certification of remote records) is the tier's
+   business. *)
+type cache_tier = {
+  tier_find :
+    arch:Spec.t -> layer:Layer.t -> Fingerprint.t -> (Schedule_cache.entry * origin) option;
+  tier_store : Fingerprint.t -> Schedule_cache.entry -> unit;
+  tier_hit_rate : Fingerprint.t option -> float;
+      (* [None] = aggregate across the tier; [Some fp] = the hit rate of
+         whatever partition serves this fingerprint (per-shard windows) *)
+  tier_persist : unit -> int;
+  tier_stats : unit -> Schedule_cache.stats option;
+}
+
+let tier_of_cache c =
+  {
+    tier_find =
+      (fun ~arch ~layer fp ->
+        match Schedule_cache.find c ~arch ~layer fp with
+        | Some (e, Schedule_cache.Memory) -> Some (e, Cache_memory)
+        | Some (e, Schedule_cache.Disk) -> Some (e, Cache_disk)
+        | None -> None);
+    tier_store = (fun fp e -> Schedule_cache.store c fp e);
+    tier_hit_rate = (fun _ -> Schedule_cache.hit_rate c);
+    tier_persist = (fun () -> Schedule_cache.persist c);
+    tier_stats = (fun () -> Some (Schedule_cache.stats c));
+  }
 
 type served = {
   mapping : Mapping.t;
@@ -106,8 +139,22 @@ let meta_of_result cfg (r : Cosa.result) =
     solve_time = r.Cosa.solve_time;
   }
 
-let schedule_network_impl ?cache ?rung cfg (net : Network.t) =
+(* The content fingerprint a request for [layer] resolves to under this
+   config's base strategy — the key full-quality solves are stored under.
+   Exposed so the daemon can route per-shard admission statistics and the
+   harnesses can predict shard placement. *)
+let request_fingerprint cfg layer =
+  Fingerprint.make ~weights:cfg.weights ~strategy:cfg.strategy ~certify:cfg.certify
+    cfg.arch layer
+
+let schedule_network_impl ?cache ?tier ?rung cfg (net : Network.t) =
   let t0 = Robust.Deadline.now () in
+  let tier =
+    match (tier, cache) with
+    | Some t, _ -> Some t
+    | None, Some c -> Some (tier_of_cache c)
+    | None, None -> None
+  in
   (* Per-request rung override (the daemon's admission controller): the
      selected ladder rung pins the solve strategy for this request only.
      [Cache_probe] never solves — misses come back as typed
@@ -139,11 +186,24 @@ let schedule_network_impl ?cache ?rung cfg (net : Network.t) =
         let fp_base = fp_of cfg.strategy in
         let fp = if strategy_eff = cfg.strategy then fp_base else fp_of strategy_eff in
         let hit =
-          Option.bind cache (fun c ->
-              match Schedule_cache.find c ~arch:cfg.arch ~layer:e.Network.layer fp_base with
+          Option.bind tier (fun t ->
+              let find fp = t.tier_find ~arch:cfg.arch ~layer:e.Network.layer fp in
+              match find fp_base with
               | Some h -> Some h
-              | None when not (Fingerprint.equal fp fp_base) ->
-                Schedule_cache.find c ~arch:cfg.arch ~layer:e.Network.layer fp
+              | None when cache_only ->
+                (* entries live under the key of the strategy that solved
+                   them; a cache-only probe accepts an answer from any
+                   rung, best first *)
+                List.fold_left
+                  (fun acc s ->
+                    match acc with
+                    | Some _ -> acc
+                    | None ->
+                      let fp' = fp_of s in
+                      if Fingerprint.equal fp' fp_base then None else find fp')
+                  None
+                  [ Cosa.Joint; Cosa.Two_stage; Cosa.Heuristic ]
+              | None when not (Fingerprint.equal fp fp_base) -> find fp
               | None -> None)
         in
         (e, reps, fp, hit))
@@ -178,13 +238,13 @@ let schedule_network_impl ?cache ?rung cfg (net : Network.t) =
   List.iter2
     (fun (_, fp) res ->
       Hashtbl.replace by_canon (Fingerprint.canon fp) res;
-      match (cache, res) with
-      | Some c, Ok ((r : Cosa.result), _) ->
+      match (tier, res) with
+      | Some t, Ok ((r : Cosa.result), _) ->
         (* don't persist a schedule known to have failed certification *)
         (match r.Cosa.certification with
          | Cosa.Cert_failed _ -> ()
          | Cosa.Cert_skipped | Cosa.Cert_ok ->
-           Schedule_cache.store c fp
+           t.tier_store fp
              { Schedule_cache.meta = meta_of_result cfg r; mapping = r.Cosa.mapping })
       | _ -> ())
     misses solved;
@@ -194,17 +254,14 @@ let schedule_network_impl ?cache ?rung cfg (net : Network.t) =
       (fun ((e : Network.entry), reps, fp, hit) ->
         let served =
           match hit with
-          | Some ((entry : Schedule_cache.entry), tier) ->
+          | Some ((entry : Schedule_cache.entry), origin) ->
             Ok
               {
                 mapping = entry.Schedule_cache.mapping;
                 objective =
                   Cosa.breakdown_of_mapping ~weights:cfg.weights cfg.arch
                     entry.Schedule_cache.mapping;
-                origin =
-                  (match tier with
-                   | Schedule_cache.Memory -> Cache_memory
-                   | Schedule_cache.Disk -> Cache_disk);
+                origin;
                 verdict = entry.Schedule_cache.meta.Mapping_io.verdict;
                 solve_time = 0.;
                 fallback_chain = [];
@@ -276,13 +333,13 @@ let schedule_network_impl ?cache ?rung cfg (net : Network.t) =
     solve_p95 = p95;
     warm_solves = counter_delta "simplex.warm_solves";
     cold_solves = counter_delta "simplex.cold_solves";
-    cache_stats = Option.map Schedule_cache.stats cache;
+    cache_stats = Option.bind tier (fun t -> t.tier_stats ());
     wall_time = Robust.Deadline.now () -. t0;
   }
 
-let schedule_network ?cache ?rung cfg (net : Network.t) =
+let schedule_network ?cache ?tier ?rung cfg (net : Network.t) =
   let sp = Telemetry.Trace.begin_span ~cat:"serve" "serve.batch" in
-  let r = schedule_network_impl ?cache ?rung cfg net in
+  let r = schedule_network_impl ?cache ?tier ?rung cfg net in
   Telemetry.Trace.end_span
     ~args:
       ([ ("network", net.Network.nname); ("distinct", string_of_int r.distinct);

@@ -44,9 +44,35 @@ val config :
     as the binding budget and keep [time_limit]/[deadline] as safety nets
     when reproducibility matters. *)
 
-type origin = Cache_memory | Cache_disk | Solved of Cosa.source
+type origin = Cache_memory | Cache_disk | Cache_peer | Solved of Cosa.source
 
 val origin_to_string : origin -> string
+
+type cache_tier = {
+  tier_find :
+    arch:Spec.t -> layer:Layer.t -> Fingerprint.t -> (Schedule_cache.entry * origin) option;
+  tier_store : Fingerprint.t -> Schedule_cache.entry -> unit;
+  tier_hit_rate : Fingerprint.t option -> float;
+      (** [None] = aggregate hit rate across the tier; [Some fp] = hit rate
+          of whatever partition serves this fingerprint (per-shard
+          admission windows) *)
+  tier_persist : unit -> int;
+  tier_stats : unit -> Schedule_cache.stats option;
+}
+(** The service's pluggable view of where certified schedules might already
+    live: a plain {!Schedule_cache}, a sharded cache with per-shard locks,
+    or a composition falling through to a warm peer. Implementations own
+    their locking and (for remote records) re-certification; the service
+    only probes, stores, and reads stats. *)
+
+val tier_of_cache : Schedule_cache.t -> cache_tier
+(** The trivial tier over a single (not domain-safe) {!Schedule_cache}. *)
+
+val request_fingerprint : config -> Layer.t -> Fingerprint.t
+(** The base-strategy content fingerprint a request for this layer resolves
+    to under this config — the key full-quality solves are stored under.
+    Used to route per-shard admission statistics and to predict shard
+    placement in tests. *)
 
 type served = {
   mapping : Mapping.t;
@@ -85,10 +111,17 @@ type report = {
 }
 
 val schedule_network :
-  ?cache:Schedule_cache.t -> ?rung:Robust.Ladder.rung -> config -> Network.t -> report
-(** Never raises. Cache traffic runs on the calling domain only; the pool
-    runs nothing but [Cosa.schedule]. Freshly solved schedules are stored
-    back unless their certificate failed.
+  ?cache:Schedule_cache.t ->
+  ?tier:cache_tier ->
+  ?rung:Robust.Ladder.rung ->
+  config ->
+  Network.t ->
+  report
+(** Never raises. With a plain [?cache], cache traffic runs on the calling
+    domain only; a [?tier] (which wins over [?cache]) may be domain-safe
+    and probed from any thread. The pool runs nothing but [Cosa.schedule].
+    Freshly solved schedules are stored back unless their certificate
+    failed.
 
     [rung] is the per-request degradation override used by the daemon's
     SLO-aware admission controller: it pins this request's solve strategy

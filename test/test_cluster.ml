@@ -1,0 +1,427 @@
+(* Tests for the fault-tolerant cluster tier: content-addressed shard
+   placement, per-shard crash-safe persistence and independent recovery,
+   the configurable stale-temp sweep, solve determinism through the
+   thread-safe sharded tier, and the health-checked warm-peer tier with
+   its verify-before-serve discipline. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+module P = Daemon.Protocol
+
+let arch = Spec.baseline
+let weights = Cosa.calibrate arch
+
+(* Small distinct layers: fingerprints differ, solves are fast. *)
+let layers =
+  List.map
+    (fun (name, p, q, c, k) ->
+      Layer.create ~name ~r:1 ~s:1 ~p ~q ~c ~k ~n:1 ())
+    [ ("cl_a", 4, 4, 8, 8); ("cl_b", 4, 4, 4, 8); ("cl_c", 8, 8, 4, 4);
+      ("cl_d", 8, 4, 8, 4); ("cl_e", 4, 8, 8, 4); ("cl_f", 8, 8, 8, 8);
+      ("cl_g", 4, 4, 8, 4); ("cl_h", 8, 4, 4, 8) ]
+
+let fp layer =
+  Serve.Fingerprint.make ~weights ~strategy:Cosa.Two_stage ~certify:Cosa.Warn
+    arch layer
+
+let entry_of layer =
+  { Serve.Schedule_cache.meta = Mapping_io.default_meta;
+    mapping = Cosa.trivial_mapping arch layer }
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* ---- shard placement and aggregate stats ------------------------------ *)
+
+let test_shard_placement () =
+  let c1 = Cluster.Sharded_cache.create ~capacity:64 ~shards:4 () in
+  let c2 = Cluster.Sharded_cache.create ~capacity:64 ~shards:4 () in
+  check_int "shard count" 4 (Cluster.Sharded_cache.shard_count c1);
+  let idxs = List.map (fun l -> Cluster.Sharded_cache.shard_index c1 (fp l)) layers in
+  (* content-addressed: every instance (every host) agrees on the owner *)
+  List.iter2
+    (fun l i ->
+      check_int "placement deterministic across instances" i
+        (Cluster.Sharded_cache.shard_index c2 (fp l));
+      check_bool "owner in range" true (i >= 0 && i < 4))
+    layers idxs;
+  check_bool "keys spread across shards" true
+    (List.length (List.sort_uniq compare idxs) >= 2);
+  List.iter (fun l -> Cluster.Sharded_cache.store c1 (fp l) (entry_of l)) layers;
+  List.iter
+    (fun l ->
+      match Cluster.Sharded_cache.find c1 ~arch ~layer:l (fp l) with
+      | Some (_, Serve.Schedule_cache.Memory) -> ()
+      | _ -> Alcotest.fail "stored entry not found in memory")
+    layers;
+  (* the aggregate view is exactly the sum of the per-shard counters *)
+  let agg = Cluster.Sharded_cache.stats c1 in
+  let sum f =
+    List.fold_left
+      (fun a i -> a + f (Cluster.Sharded_cache.shard_stats c1 i))
+      0 [ 0; 1; 2; 3 ]
+  in
+  check_int "hits aggregate" agg.Serve.Schedule_cache.hits
+    (sum (fun s -> s.Serve.Schedule_cache.hits));
+  check_int "stores aggregate" agg.Serve.Schedule_cache.stores
+    (sum (fun s -> s.Serve.Schedule_cache.stores));
+  check_int "all stores counted" (List.length layers)
+    agg.Serve.Schedule_cache.stores
+
+(* ---- per-shard persistence, recovery, corruption isolation ------------ *)
+
+let shard_file dir i l =
+  Filename.concat
+    (Filename.concat dir (Printf.sprintf "shard-%02d" i))
+    (Serve.Fingerprint.hash (fp l) ^ ".cosa")
+
+let test_shard_persist_recover () =
+  let dir = temp_dir "cosa_cluster" in
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let c = Cluster.Sharded_cache.create ~dir ~capacity:64 ~shards:4 () in
+      List.iter (fun l -> Cluster.Sharded_cache.store c (fp l) (entry_of l)) layers;
+      (* store writes through: the record is already in the owner shard's
+         subdirectory, so even a SIGKILL loses nothing *)
+      List.iter
+        (fun l ->
+          let i = Cluster.Sharded_cache.shard_index c (fp l) in
+          check_bool ("record in owning shard: " ^ l.Layer.name) true
+            (Sys.file_exists (shard_file dir i l)))
+        layers;
+      (* a fresh instance over the same directory recovers every shard *)
+      let c2 = Cluster.Sharded_cache.create ~dir ~capacity:64 ~shards:4 () in
+      List.iter
+        (fun l ->
+          match Cluster.Sharded_cache.find c2 ~arch ~layer:l (fp l) with
+          | Some (_, Serve.Schedule_cache.Disk) -> ()
+          | Some (_, Serve.Schedule_cache.Memory) ->
+            Alcotest.fail "fresh instance should hit the disk tier"
+          | None -> Alcotest.fail "disk recovery missed an entry")
+        layers;
+      (* corrupting one record costs that key only; its reject is counted
+         on the owning shard and every other key still verifies *)
+      let victim = List.hd layers in
+      let vi = Cluster.Sharded_cache.shard_index c (fp victim) in
+      let oc = open_out (shard_file dir vi victim) in
+      output_string oc "not a schedule record";
+      close_out oc;
+      let c3 = Cluster.Sharded_cache.create ~dir ~capacity:64 ~shards:4 () in
+      (match Cluster.Sharded_cache.find c3 ~arch ~layer:victim (fp victim) with
+       | None -> ()
+       | Some _ -> Alcotest.fail "corrupted record must not be served");
+      check_int "reject counted on the owning shard" 1
+        (Cluster.Sharded_cache.shard_stats c3 vi).Serve.Schedule_cache.disk_rejects;
+      List.iter
+        (fun l ->
+          if l != victim then
+            match Cluster.Sharded_cache.find c3 ~arch ~layer:l (fp l) with
+            | Some _ -> ()
+            | None -> Alcotest.fail "corruption leaked beyond its key")
+        layers)
+
+(* ---- configurable stale-temp sweep ------------------------------------ *)
+
+let test_tmp_sweep_age () =
+  let dir = temp_dir "cosa_sweep" in
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let touch name =
+        let p = Filename.concat dir name in
+        let oc = open_out p in
+        output_string oc "partial write";
+        close_out oc;
+        p
+      in
+      let old_tmp = touch "aaaa.cosa.1.0.tmp" in
+      let fresh_tmp = touch "bbbb.cosa.2.0.tmp" in
+      let past = Unix.time () -. 7200. in
+      Unix.utimes old_tmp past past;
+      (* threshold 1h: the stale temp goes, the live writer's is spared *)
+      ignore (Serve.Schedule_cache.create ~dir ~tmp_sweep_age_s:3600. ~capacity:4 ());
+      check_bool "stale temp swept" false (Sys.file_exists old_tmp);
+      check_bool "fresh temp spared" true (Sys.file_exists fresh_tmp);
+      (* default threshold 0: sweep everything (historical behavior) *)
+      ignore (Serve.Schedule_cache.create ~dir ~capacity:4 ());
+      check_bool "default sweeps everything" false (Sys.file_exists fresh_tmp))
+
+(* ---- determinism through the thread-safe sharded tier ----------------- *)
+
+let test_jobs_determinism () =
+  let net =
+    { Network.nname = "cl_net";
+      entries =
+        List.filteri (fun i _ -> i < 4) layers
+        |> List.map (fun l -> { Network.layer = l; repeats = 1 }) }
+  in
+  let run jobs =
+    let sh = Cluster.Sharded_cache.create ~capacity:64 ~shards:4 () in
+    let cfg =
+      Serve.Service.config ~strategy:Cosa.Two_stage ~node_limit:2_000
+        ~time_limit:60. ~jobs arch
+    in
+    let r =
+      Serve.Service.schedule_network ~tier:(Cluster.Sharded_cache.tier sh) cfg net
+    in
+    List.map
+      (fun (lr : Serve.Service.layer_report) ->
+        match lr.Serve.Service.served with
+        | Ok s -> Mapping_io.to_string s.Serve.Service.mapping
+        | Error _ -> Alcotest.fail "solve failed")
+      r.Serve.Service.layers
+  in
+  List.iter2
+    (check_string "jobs=1 and jobs=4 byte-identical")
+    (run 1) (run 4)
+
+(* ---- peer health: ejection and backoff re-admission ------------------- *)
+
+let alloc_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close fd;
+  port
+
+let test_peer_health () =
+  let port = alloc_port () in
+  let cfg =
+    Cluster.Peers.default_config ~probe_interval_s:0.01 ~probe_timeout_s:0.2
+      ~eject_after:2 ~readmit_backoff_s:0.02 ~readmit_backoff_max_s:0.1 ()
+  in
+  let t =
+    Cluster.Peers.create ~config:cfg [ Daemon.Client.Tcp ("127.0.0.1", port) ]
+  in
+  check_int "starts healthy" 1 (Cluster.Peers.stats t).Cluster.Peers.healthy;
+  (* nothing listens on the port: consecutive probe failures eject *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec eject () =
+    Cluster.Peers.tick t;
+    if (Cluster.Peers.stats t).Cluster.Peers.healthy = 0 then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "dead peer never ejected"
+    else begin
+      Thread.delay 0.02;
+      eject ()
+    end
+  in
+  eject ();
+  let s = Cluster.Peers.stats t in
+  check_int "ejection counted" 1 s.Cluster.Peers.ejections;
+  check_bool "ejected peer offers no endpoints" true
+    (Cluster.Peers.healthy_endpoints t = []);
+  (* bring the endpoint up: the backoff re-probe re-admits it *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 8;
+  Fun.protect ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let deadline = Unix.gettimeofday () +. 5. in
+      let rec readmit () =
+        Cluster.Peers.tick t;
+        if (Cluster.Peers.stats t).Cluster.Peers.healthy = 1 then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "peer never re-admitted"
+        else begin
+          Thread.delay 0.02;
+          readmit ()
+        end
+      in
+      readmit ())
+
+(* ---- peer trust: verify-before-serve ---------------------------------- *)
+
+(* A minimal fake peer speaking protocol v2 on a Unix socket: one frame
+   per connection, response chosen by the test. *)
+let fake_peer respond =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cosa_fake_%d_%d.sock" (Unix.getpid ()) (Random.bits ()))
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 8;
+  let stop = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        try
+          while not (Atomic.get stop) do
+            let c, _ = Unix.accept fd in
+            (try
+               match P.read_frame c with
+               | Ok (Some payload) ->
+                 (match P.decode_request payload with
+                  | Ok req -> P.write_frame c (P.encode_response (respond req))
+                  | Error _ -> ())
+               | _ -> ()
+             with _ -> ());
+            try Unix.close c with Unix.Unix_error _ -> ()
+          done
+        with _ -> ())
+      ()
+  in
+  let shutdown () =
+    Atomic.set stop true;
+    (* poison connection so the accept loop observes the flag *)
+    (try
+       let c = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       Unix.connect c (Unix.ADDR_UNIX path);
+       Unix.close c
+     with Unix.Unix_error _ -> ());
+    Thread.join th;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    try Sys.remove path with Sys_error _ -> ()
+  in
+  (path, shutdown)
+
+let scheduled ~name record =
+  P.Scheduled
+    { P.rung = Robust.Ladder.Joint;
+      layers =
+        [ { P.name; repeats = 1; origin = "cache(mem)"; verdict = "ok"; record } ];
+      total_latency = 1.; total_energy_pj = 1.; queue_wait_s = 0.; serve_s = 0. }
+
+let with_fake_peer respond f =
+  let path, shutdown = fake_peer respond in
+  Fun.protect ~finally:shutdown
+    (fun () ->
+      let t = Cluster.Peers.create [ Daemon.Client.Unix_path path ] in
+      f t)
+
+let test_peer_verification () =
+  let target = List.hd layers in
+  let other = List.nth layers 2 in
+  let record_of l =
+    Mapping_io.record_to_string Mapping_io.default_meta (Cosa.trivial_mapping arch l)
+  in
+  (* honest peer: the record parses, matches the layer, and certifies *)
+  with_fake_peer
+    (fun req -> scheduled ~name:req.P.client (record_of target))
+    (fun t ->
+      (match Cluster.Peers.probe t ~arch ~layer:target (fp target) with
+       | Some entry ->
+         check_string "verdict is ours after re-certification" "ok"
+           entry.Serve.Schedule_cache.meta.Mapping_io.verdict;
+         check_bool "mapping certifies" true
+           (Certify.Mapping_cert.check arch entry.Serve.Schedule_cache.mapping
+           = Certify.Certificate.Certified)
+       | None -> Alcotest.fail "honest peer answer rejected");
+      let s = Cluster.Peers.stats t in
+      check_int "hit counted" 1 s.Cluster.Peers.hits;
+      check_int "no cert rejects" 0 s.Cluster.Peers.rejects_cert);
+  (* lying peer, unparseable record: counted reject, never a serve *)
+  with_fake_peer
+    (fun req -> scheduled ~name:req.P.client "not a schedule record")
+    (fun t ->
+      (match Cluster.Peers.probe t ~arch ~layer:target (fp target) with
+       | None -> ()
+       | Some _ -> Alcotest.fail "garbage record must not be served");
+      check_int "cert reject counted" 1
+        (Cluster.Peers.stats t).Cluster.Peers.rejects_cert);
+  (* lying peer, valid record for the wrong layer: shape check rejects *)
+  with_fake_peer
+    (fun req -> scheduled ~name:req.P.client (record_of other))
+    (fun t ->
+      (match Cluster.Peers.probe t ~arch ~layer:target (fp target) with
+       | None -> ()
+       | Some _ -> Alcotest.fail "wrong-layer record must not be served");
+      check_int "shape reject counted" 1
+        (Cluster.Peers.stats t).Cluster.Peers.rejects_cert);
+  (* live peer without the record: an honest miss, not a reject *)
+  with_fake_peer
+    (fun _ -> P.Rejected P.Deadline_unmeetable)
+    (fun t ->
+      (match Cluster.Peers.probe t ~arch ~layer:target (fp target) with
+       | None -> ()
+       | Some _ -> Alcotest.fail "rejection is not an answer");
+      let s = Cluster.Peers.stats t in
+      check_int "no cert reject on honest miss" 0 s.Cluster.Peers.rejects_cert;
+      check_int "peer stays healthy" 1 s.Cluster.Peers.healthy)
+
+(* End to end through the daemon: a corrupted peer response is a counted
+   miss, and the request degrades to a live (still certified) solve. *)
+let test_corrupt_peer_degrades_to_live_solve () =
+  with_fake_peer
+    (fun req ->
+      let name =
+        match req.P.target with P.Layer n | P.Network n -> n
+      in
+      scheduled ~name "corrupt bytes from a lying peer")
+    (fun peers ->
+      let sock =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "cosa_clsrv_%d_%d.sock" (Unix.getpid ()) (Random.bits ()))
+      in
+      let service =
+        Serve.Service.config ~strategy:Cosa.Two_stage ~node_limit:2_000
+          ~time_limit:0.6 Spec.baseline
+      in
+      let admission =
+        Daemon.Admission.default_config ~queue_capacity:4 ~time_limit:0.6 ()
+      in
+      let server =
+        Daemon.Server.create
+          (Daemon.Server.config ~admission ~default_budget_s:10.
+             ~remote_probe:(fun ~arch ~layer fp ->
+               Cluster.Peers.probe peers ~arch ~layer fp)
+             ~socket_path:sock service)
+      in
+      let thread = Daemon.Server.start server in
+      Daemon.Server.wait_ready server;
+      Fun.protect
+        ~finally:(fun () ->
+          Daemon.Server.shutdown server;
+          Thread.join thread)
+        (fun () ->
+          match
+            Daemon.Client.one_shot sock
+              { P.client = ""; budget_s = 10.; arch = "baseline";
+                target = P.Layer "3_56_64_64_1"; cache_only = false }
+          with
+          | Ok (P.Scheduled s) ->
+            (match s.P.layers with
+             | [ l ] ->
+               check_bool "not served from the corrupt peer" true
+                 (l.P.origin <> "cache(peer)");
+               check_string "live solve still certifies" "ok" l.P.verdict
+             | _ -> Alcotest.fail "expected one layer")
+          | _ -> Alcotest.fail "expected a live-solved Scheduled");
+      check_bool "corrupt peer answer counted as cert reject" true
+        ((Cluster.Peers.stats peers).Cluster.Peers.rejects_cert >= 1))
+
+let suite =
+  ( "cluster",
+    [
+      Alcotest.test_case "shard placement + aggregate stats" `Quick
+        test_shard_placement;
+      Alcotest.test_case "per-shard persist/recover/corruption" `Quick
+        test_shard_persist_recover;
+      Alcotest.test_case "stale-temp sweep age threshold" `Quick
+        test_tmp_sweep_age;
+      Alcotest.test_case "jobs=1 = jobs=4 through sharded tier" `Slow
+        test_jobs_determinism;
+      Alcotest.test_case "peer ejection + re-admission" `Slow test_peer_health;
+      Alcotest.test_case "peer answers verified before serve" `Quick
+        test_peer_verification;
+      Alcotest.test_case "corrupt peer -> counted miss + live solve" `Slow
+        test_corrupt_peer_degrades_to_live_solve;
+    ] )

@@ -15,7 +15,7 @@ module L = Robust.Ladder
 
 let sample_request =
   { P.client = "tenant-a"; budget_s = 0.75; arch = "baseline";
-    target = P.Layer "3_56_64_64_1" }
+    target = P.Layer "3_56_64_64_1"; cache_only = false }
 
 let test_request_roundtrip () =
   match P.decode_request (P.encode_request sample_request) with
@@ -78,6 +78,61 @@ let test_decode_rejects_garbage () =
     (Result.is_error (P.decode_request (P.encode_response (P.Failed "x"))));
   check_bool "empty" true (Result.is_error (P.decode_response Bytes.empty))
 
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* A frame from a different protocol generation names both sides of the
+   disagreement — mixed-version deployments fail legibly. *)
+let test_version_magic_mismatch () =
+  let frame = P.encode_request sample_request in
+  let mutated i v =
+    let b = Bytes.copy frame in
+    Bytes.set b i v;
+    b
+  in
+  (* byte 0 is the magic, byte 1 the version *)
+  (match P.decode_request (mutated 1 '\x01') with
+   | Ok _ -> Alcotest.fail "v1 frame decoded as v2"
+   | Error e ->
+     check_bool "names the expected version" true (contains e "expected v2");
+     check_bool "names the received version" true (contains e "got v1"));
+  match P.decode_request (mutated 0 '\x7f') with
+  | Ok _ -> Alcotest.fail "wrong-magic frame decoded"
+  | Error e -> check_bool "names the magic" true (contains e "magic mismatch")
+
+(* Fuzz totality: random byte mutations and truncations of valid frames
+   always come back [Ok]/[Error], never an exception. *)
+let qcheck_decoder_total_fuzz =
+  let base_req = P.encode_request sample_request in
+  let base_resp = P.encode_response sample_scheduled in
+  let gen =
+    QCheck.Gen.(
+      let* use_resp = bool in
+      let base = if use_resp then base_resp else base_req in
+      let len = Bytes.length base in
+      let* keep = int_bound len in
+      let* muts =
+        list_size (int_bound 8)
+          (pair (int_bound (max 0 (len - 1))) (int_bound 255))
+      in
+      return (use_resp, keep, muts))
+  in
+  QCheck.Test.make ~name:"decoders total under mutation and truncation"
+    ~count:1000 (QCheck.make gen)
+    (fun (use_resp, keep, muts) ->
+      let base = if use_resp then base_resp else base_req in
+      let b = Bytes.sub base 0 keep in
+      List.iter
+        (fun (i, v) -> if i < Bytes.length b then Bytes.set b i (Char.chr v))
+        muts;
+      match
+        if use_resp then Result.map ignore (P.decode_response b)
+        else Result.map ignore (P.decode_request b)
+      with
+      | Ok () | Error _ -> true)
+
 let qcheck_protocol_roundtrip =
   let gen =
     QCheck.Gen.(
@@ -87,9 +142,11 @@ let qcheck_protocol_roundtrip =
       let* arch = str in
       let* is_layer = bool in
       let* name = str in
+      let* cache_only = bool in
       return
         { P.client; budget_s = budget; arch;
-          target = (if is_layer then P.Layer name else P.Network name) })
+          target = (if is_layer then P.Layer name else P.Network name);
+          cache_only })
   in
   QCheck.Test.make ~name:"protocol request roundtrip" ~count:200 (QCheck.make gen)
     (fun req ->
@@ -261,7 +318,8 @@ let with_temp_daemon ?(cache_dir = None) f =
 
 let request ?(budget = 10.) ?(arch = "baseline") sock name =
   Daemon.Client.one_shot sock
-    { P.client = ""; budget_s = budget; arch; target = P.Layer name }
+    { P.client = ""; budget_s = budget; arch; target = P.Layer name;
+      cache_only = false }
 
 let test_daemon_e2e () =
   with_temp_daemon (fun server sock ->
@@ -326,6 +384,101 @@ let test_daemon_survives_garbage () =
       | Ok (P.Scheduled _) -> ()
       | _ -> Alcotest.fail "server wedged after garbage frame")
 
+(* A frame carrying the wrong protocol version gets a typed [Failed]
+   naming expected-vs-got, not a dropped connection. *)
+let test_daemon_rejects_version_mismatch () =
+  with_temp_daemon (fun _server sock ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX sock);
+          let payload = P.encode_request sample_request in
+          Bytes.set payload 1 '\x01';
+          P.write_frame fd payload;
+          match P.read_frame fd with
+          | Ok (Some resp) ->
+            (match P.decode_response resp with
+             | Ok (P.Failed msg) ->
+               check_bool "typed failure names both versions" true
+                 (contains msg "version mismatch"
+                 && contains msg "expected v2" && contains msg "got v1")
+             | _ -> Alcotest.fail "expected a typed Failed response")
+          | _ -> Alcotest.fail "expected a response frame"))
+
+(* ---- TCP transport and client failover -------------------------------- *)
+
+let alloc_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close fd;
+  port
+
+let with_tcp_daemon f =
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cosa_tcp_%d_%d.sock" (Unix.getpid ()) (Random.bits ()))
+  in
+  let port = alloc_port () in
+  let service =
+    Serve.Service.config ~strategy:Cosa.Two_stage ~node_limit:2_000 ~time_limit:0.6
+      Spec.baseline
+  in
+  let admission = A.default_config ~queue_capacity:4 ~time_limit:0.6 () in
+  let server =
+    Daemon.Server.create
+      (Daemon.Server.config ~admission ~default_budget_s:10.
+         ~tcp:("127.0.0.1", port) ~socket_path:sock service)
+  in
+  let thread = Daemon.Server.start server in
+  Daemon.Server.wait_ready server;
+  Fun.protect
+    ~finally:(fun () ->
+      Daemon.Server.shutdown server;
+      Thread.join thread)
+    (fun () -> f server port)
+
+let test_daemon_tcp_failover () =
+  with_tcp_daemon (fun server port ->
+      let live = Daemon.Client.Tcp ("127.0.0.1", port) in
+      let dead = Daemon.Client.Tcp ("127.0.0.1", alloc_port ()) in
+      let req ?(budget = 10.) name =
+        { P.client = ""; budget_s = budget; arch = "baseline";
+          target = P.Layer name; cache_only = false }
+      in
+      (* plain exchange over the TCP listener *)
+      (match Daemon.Client.one_shot_ep live (req "3_56_64_64_1") with
+       | Ok (P.Scheduled _) -> ()
+       | Ok _ -> Alcotest.fail "expected Scheduled over TCP"
+       | Error e -> Alcotest.fail ("TCP exchange failed: " ^ e));
+      (* failover: the dead endpoint is skipped, the live one answers *)
+      (match
+         Daemon.Client.request_failover ~retries:1 ~backoff_s:0.01
+           ~endpoints:[ dead; live ] (req "3_56_64_64_1")
+       with
+       | Ok (P.Scheduled s) ->
+         (match s.P.layers with
+          | [ l ] -> check_string "failover hits the warm cache" "cache(mem)" l.P.origin
+          | _ -> Alcotest.fail "expected one layer")
+       | _ -> Alcotest.fail "failover never reached the live endpoint");
+      (* a typed rejection is terminal: a retried one would show up as
+         extra received requests on the server *)
+      let before = (Daemon.Server.stats server).Daemon.Server.received in
+      (match
+         Daemon.Client.request_failover ~retries:3 ~backoff_s:0.01
+           ~endpoints:[ live ] (req ~budget:0.0001 "1_56_64_256_1")
+       with
+       | Ok (P.Rejected P.Deadline_unmeetable) -> ()
+       | _ -> Alcotest.fail "expected a typed rejection through failover");
+      let after = (Daemon.Server.stats server).Daemon.Server.received in
+      check_int "typed rejection not retried" 1 (after - before))
+
 (* Drain persists the cache; a warm restart serves from disk after
    re-verification. *)
 let test_daemon_drain_and_restart () =
@@ -366,6 +519,9 @@ let suite =
       Alcotest.test_case "decode total on truncation" `Quick
         test_decode_total_on_truncation;
       Alcotest.test_case "decode rejects garbage" `Quick test_decode_rejects_garbage;
+      Alcotest.test_case "version/magic mismatch is named" `Quick
+        test_version_magic_mismatch;
+      qc qcheck_decoder_total_fuzz;
       qc qcheck_protocol_roundtrip;
       Alcotest.test_case "admission budget bands" `Quick test_admission_budget_bands;
       Alcotest.test_case "admission quota" `Quick test_admission_quota;
@@ -376,5 +532,8 @@ let suite =
       qc qcheck_ladder_select;
       Alcotest.test_case "daemon e2e" `Slow test_daemon_e2e;
       Alcotest.test_case "daemon survives garbage" `Slow test_daemon_survives_garbage;
+      Alcotest.test_case "daemon rejects version mismatch" `Slow
+        test_daemon_rejects_version_mismatch;
+      Alcotest.test_case "daemon tcp + failover" `Slow test_daemon_tcp_failover;
       Alcotest.test_case "daemon drain+restart" `Slow test_daemon_drain_and_restart;
     ] )

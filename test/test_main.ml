@@ -29,6 +29,7 @@ let () =
       Test_exp_common.suite;
       Test_serve.suite;
       Test_daemon.suite;
+      Test_cluster.suite;
       Test_telemetry.suite;
       Test_integration.suite;
       Test_crossval.suite;

@@ -375,7 +375,8 @@ let test_rung_override () =
    | [ { Serve.Service.served = Ok s; _ } ] ->
      check_bool "served from cache" true
        (match s.Serve.Service.origin with
-        | Serve.Service.Cache_memory | Serve.Service.Cache_disk -> true
+        | Serve.Service.Cache_memory | Serve.Service.Cache_disk
+        | Serve.Service.Cache_peer -> true
         | Serve.Service.Solved _ -> false)
    | _ -> Alcotest.fail "expected a cache hit")
 
