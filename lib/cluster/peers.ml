@@ -11,12 +11,15 @@
 
    Trust: a peer's answer is *evidence, never authority* — exactly the
    discipline the disk tier applies to cache files. Before a returned
-   record is served or stored back, [probe] re-parses it, re-checks the
-   layer shape, and re-certifies the mapping in exact arithmetic via
-   [Certify.Mapping_cert]. A lying, corrupt, or stale peer therefore
-   costs a counted reject ([cluster.peer_rejects_cert]) and degrades to
-   an ordinary miss — it can never place a wrong schedule in the local
-   cache or in a response.
+   record is served or stored back, [probe] re-parses it, checks its
+   provenance meta against the local request fingerprint (a peer running
+   a different objective config is rejected, not stored under our key),
+   re-checks the layer shape, and re-certifies the mapping in exact
+   arithmetic via [Certify.Mapping_cert]. A lying, corrupt, stale, or
+   differently-configured peer therefore costs a counted reject
+   ([cluster.peer_rejects_cert]) and degrades to an ordinary miss — it
+   can never place a wrong schedule in the local cache or in a
+   response.
 
    Probes send [cache_only] requests, which a peer answers from its own
    local tier or rejects — it never solves on our behalf and never
@@ -158,17 +161,36 @@ let tick t =
           if ok then note_success t p now else note_failure t p now))
     due
 
-(* Verify a peer's scheduled response for [layer] against [arch]. The
-   record round-trips through [Mapping_io] (the peer's bytes are not
-   trusted to parse), the layer shape must match, and the mapping must
-   re-certify in exact arithmetic. *)
-let verify_response ~arch ~layer (s : Daemon.Protocol.scheduled) =
+(* Verify a peer's scheduled response for [layer] against [arch] and the
+   local request fingerprint [fp]. The record round-trips through
+   [Mapping_io] (the peer's bytes are not trusted to parse), its
+   provenance meta must name the weights/strategy of the key it will be
+   stored under, the layer shape must match, and the mapping must
+   re-certify in exact arithmetic.
+
+   The meta check closes a config-skew hole: the wire request carries no
+   objective config (a peer answers under its own), and the verified
+   entry is stored into the local tier under [fp] — whose canonical form
+   covers weights/strategy/certify. A peer calibrated differently would
+   otherwise poison the local memory tier (served as-is, meta and all)
+   with schedules whose meta contradicts their cache key. The record
+   does not carry a certify mode, but that dimension is established
+   locally: the mapping is re-certified here in exact arithmetic, which
+   is at least as strong as any requested mode. *)
+let meta_matches_fp fp (meta : Mapping_io.meta) =
+  match meta.Mapping_io.weights with
+  | None -> false  (* no provenance: cannot tie the record to our key *)
+  | Some w ->
+    Serve.Fingerprint.covers fp ~weights:w ~strategy:meta.Mapping_io.strategy
+
+let verify_response ~arch ~layer ~fp (s : Daemon.Protocol.scheduled) =
   match s.Daemon.Protocol.layers with
   | [ l ] ->
     (match Mapping_io.record_of_string l.Daemon.Protocol.record with
      | Error _ -> `Reject
      | Ok (meta, mapping) ->
-       if Layer.key mapping.Mapping.layer <> Layer.key layer then `Reject
+       if not (meta_matches_fp fp meta) then `Reject
+       else if Layer.key mapping.Mapping.layer <> Layer.key layer then `Reject
        else (
          match Certify.Mapping_cert.check arch mapping with
          | Certify.Certificate.Certified ->
@@ -196,7 +218,7 @@ let variant_name arch =
    this fingerprint's layer, verify, and hand back a servable entry.
    Transport failures feed the health state; typed rejections are honest
    misses. *)
-let probe t ~arch ~layer (_fp : Serve.Fingerprint.t) =
+let probe t ~arch ~layer (fp : Serve.Fingerprint.t) =
   let eps =
     Mutex.protect t.lock (fun () -> List.filter (fun (p : peer) -> p.healthy) t.all)
   in
@@ -224,7 +246,7 @@ let probe t ~arch ~layer (_fp : Serve.Fingerprint.t) =
          Telemetry.Metrics.incr m_misses;
          ask rest
        | Ok (Daemon.Protocol.Scheduled s) ->
-         (match verify_response ~arch ~layer s with
+         (match verify_response ~arch ~layer ~fp s with
           | `Entry entry ->
             Telemetry.Metrics.incr m_hits;
             Mutex.protect t.lock (fun () -> p.hits <- p.hits + 1);

@@ -1,11 +1,14 @@
 (** Health-checked warm-peer tier: a static list of peer daemons probed
     on local cache misses.
 
-    Peers are never trusted: every returned record is re-parsed, shape-
-    checked against the requested layer, and re-certified in exact
-    arithmetic ({!Certify.Mapping_cert}) before it is served or stored —
-    a lying or corrupt peer degrades to a counted miss
-    ([cluster.peer_rejects_cert]), never a wrong serve.
+    Peers are never trusted: every returned record is re-parsed, its
+    provenance meta is matched against the local request fingerprint
+    (weights and strategy must name the key it will be stored under),
+    it is shape-checked against the requested layer, and re-certified
+    in exact arithmetic ({!Certify.Mapping_cert}) before it is served
+    or stored — a lying, corrupt, or differently-configured peer
+    degrades to a counted miss ([cluster.peer_rejects_cert]), never a
+    wrong serve or a poisoned cache entry.
 
     Health: {!tick} (driven from the daemon accept loop) probes each
     peer on a fixed cadence; [eject_after] consecutive failures eject

@@ -73,8 +73,8 @@ let with_shard t fp f =
       Telemetry.Metrics.set_gauge s.g_rate (Serve.Schedule_cache.hit_rate s.cache);
       r)
 
-let find t ~arch ~layer fp =
-  with_shard t fp (fun c -> Serve.Schedule_cache.find c ~arch ~layer fp)
+let find ?(count_miss = true) t ~arch ~layer fp =
+  with_shard t fp (fun c -> Serve.Schedule_cache.find ~count_miss c ~arch ~layer fp)
 
 let store t fp entry = with_shard t fp (fun c -> Serve.Schedule_cache.store c fp entry)
 
@@ -136,13 +136,15 @@ let shard_hit_rate t i =
    owning shard's window, so admission prices a request against the
    partition it will actually probe. *)
 let tier t =
+  let probe ~count_miss ~arch ~layer fp =
+    match find ~count_miss t ~arch ~layer fp with
+    | Some (e, Serve.Schedule_cache.Memory) -> Some (e, Serve.Service.Cache_memory)
+    | Some (e, Serve.Schedule_cache.Disk) -> Some (e, Serve.Service.Cache_disk)
+    | None -> None
+  in
   {
-    Serve.Service.tier_find =
-      (fun ~arch ~layer fp ->
-        match find t ~arch ~layer fp with
-        | Some (e, Serve.Schedule_cache.Memory) -> Some (e, Serve.Service.Cache_memory)
-        | Some (e, Serve.Schedule_cache.Disk) -> Some (e, Serve.Service.Cache_disk)
-        | None -> None);
+    Serve.Service.tier_find = probe ~count_miss:true;
+    tier_peek = probe ~count_miss:false;
     tier_store = (fun fp e -> store t fp e);
     tier_hit_rate =
       (function

@@ -26,11 +26,15 @@ val shard_index : t -> Serve.Fingerprint.t -> int
 (** Deterministic owner shard of a fingerprint. *)
 
 val find :
+  ?count_miss:bool ->
   t ->
   arch:Spec.t ->
   layer:Layer.t ->
   Serve.Fingerprint.t ->
   (Serve.Schedule_cache.entry * Serve.Schedule_cache.tier) option
+(** Probe the owning shard under its lock. [count_miss:false] (default
+    [true]) suppresses miss accounting in the shard's hit-rate window —
+    for peek-style probes re-probed by an authoritative path. *)
 
 val store : t -> Serve.Fingerprint.t -> Serve.Schedule_cache.entry -> unit
 

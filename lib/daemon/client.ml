@@ -6,10 +6,12 @@
    with exponential backoff + deterministic jitter across a list of
    endpoints. The retry discipline is strict about what a "failure" is —
    any decoded response (Scheduled, Rejected, Failed) is a *terminal*
-   outcome from a live server and is returned as-is; only transport
-   failures (connect refused, reset, torn frame, read timeout) burn a
-   retry and move to the next endpoint. Retrying a typed rejection would
-   turn the server's calibrated backpressure into an accidental DoS. *)
+   outcome from a live server and is returned as-is, and so is a
+   response that decodes to a protocol error (a version/magic mismatch
+   is permanent, not transient); only transport failures (connect
+   refused/timed out, reset, torn frame, read timeout) burn a retry and
+   move to the next endpoint. Retrying a typed rejection would turn the
+   server's calibrated backpressure into an accidental DoS. *)
 
 let m_retries = Telemetry.Metrics.counter "cluster.client_retries"
 let m_failovers = Telemetry.Metrics.counter "cluster.failovers"
@@ -44,14 +46,55 @@ let addr_of_endpoint = function
           Error (Printf.sprintf "cannot resolve host %S" host)
         | he -> Ok (Unix.ADDR_INET (he.Unix.h_addr_list.(0), port))))
 
+(* Bounded connect. [Unix.connect] on a blocking socket is bounded only
+   by the kernel's own timeout (~minutes for a black-holed TCP peer),
+   which would let one dead peer stall whatever thread is probing it —
+   the daemon's accept loop for health ticks, the solver thread for
+   cache probes. So under a timeout the socket goes non-blocking for the
+   connect itself (EINPROGRESS, then select bounded by the remaining
+   budget, then the pending SO_ERROR), and back to blocking for the
+   exchange. *)
+let connect_bounded fd addr timeout_s =
+  Unix.set_nonblock fd;
+  let connected () =
+    Unix.clear_nonblock fd;
+    Ok ()
+  in
+  match Unix.connect fd addr with
+  | () -> connected ()
+  | exception
+      Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+    let deadline = Robust.Deadline.now () +. timeout_s in
+    let rec wait () =
+      let remaining = deadline -. Robust.Deadline.now () in
+      if remaining <= 0. then Error Unix.ETIMEDOUT
+      else
+        match Unix.select [] [ fd ] [ fd ] remaining with
+        | [], [], [] -> Error Unix.ETIMEDOUT
+        | _ ->
+          (match Unix.getsockopt_error fd with
+           | None -> connected ()
+           | Some e -> Error e)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+    in
+    wait ()
+  | exception Unix.Unix_error (e, _, _) -> Error e
+
 let connect_ep ?(timeout_s = 0.) ep =
   match addr_of_endpoint ep with
   | Error _ as e -> e
   | Ok addr ->
     let domain = match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET in
     let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-    (match Unix.connect fd addr with
-     | () ->
+    let connected =
+      if timeout_s > 0. then connect_bounded fd addr timeout_s
+      else
+        match Unix.connect fd addr with
+        | () -> Ok ()
+        | exception Unix.Unix_error (e, _, _) -> Error e
+    in
+    (match connected with
+     | Ok () ->
        (match addr with
         | Unix.ADDR_INET _ ->
           (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
@@ -63,7 +106,7 @@ let connect_ep ?(timeout_s = 0.) ep =
           with Unix.Unix_error _ -> ())
        end;
        Ok { fd }
-     | exception Unix.Unix_error (e, _, _) ->
+     | Error e ->
        (try Unix.close fd with Unix.Unix_error _ -> ());
        Error
          (Printf.sprintf "connect %s: %s" (endpoint_to_string ep) (Unix.error_message e)))
@@ -72,23 +115,43 @@ let connect ?timeout_s path = connect_ep ?timeout_s (Unix_path path)
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let request t req =
+(* The retry discipline needs to know *why* an exchange failed. A
+   [Transport] failure (refused/reset connection, torn frame, read
+   timeout) may be a transient network event and is worth a retry or a
+   failover. A [Protocol_error] — a complete, well-framed payload that
+   does not decode, which is how a version/magic mismatch between
+   deployments surfaces — is a permanent property of the peer: every
+   retry against every endpoint of that deployment would fail the same
+   way, so it must be returned immediately as terminal. *)
+type wire_error = Transport of string | Protocol_error of string
+
+let wire_error_message = function Transport m | Protocol_error m -> m
+
+let request_wire t req =
   match Protocol.write_frame t.fd (Protocol.encode_request req) with
   | () ->
     (match Protocol.read_frame t.fd with
-     | Ok (Some payload) -> Protocol.decode_response payload
-     | Ok None -> Error "server closed the connection"
-     | Error msg -> Error msg
-     | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
-  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+     | Ok (Some payload) ->
+       (match Protocol.decode_response payload with
+        | Ok resp -> Ok resp
+        | Error msg -> Error (Protocol_error msg))
+     | Ok None -> Error (Transport "server closed the connection")
+     | Error msg -> Error (Transport msg)
+     | exception Unix.Unix_error (e, _, _) -> Error (Transport (Unix.error_message e)))
+  | exception Unix.Unix_error (e, _, _) -> Error (Transport (Unix.error_message e))
 
-let one_shot_ep ?timeout_s ep req =
+let request t req = Result.map_error wire_error_message (request_wire t req)
+
+let one_shot_wire ?timeout_s ep req =
   match connect_ep ?timeout_s ep with
-  | Error _ as e -> e
+  | Error msg -> Error (Transport msg)
   | Ok t ->
-    let r = request t req in
+    let r = request_wire t req in
     close t;
     r
+
+let one_shot_ep ?timeout_s ep req =
+  Result.map_error wire_error_message (one_shot_wire ?timeout_s ep req)
 
 (* Connect, send one request, close — the CLI's path. *)
 let one_shot ?timeout_s path req = one_shot_ep ?timeout_s (Unix_path path) req
@@ -111,9 +174,18 @@ let request_failover ?(retries = 2) ?(backoff_s = 0.05) ?(backoff_max_s = 2.)
       let rec walk = function
         | [] -> `All_failed
         | ep :: rest ->
-          (match one_shot_ep ?timeout_s ep req with
+          (match one_shot_wire ?timeout_s ep req with
            | Ok resp -> `Done resp
-           | Error msg ->
+           | Error (Protocol_error msg) ->
+             (* a well-framed response that does not decode: the peer
+                speaks a different protocol (version/magic mismatch) or
+                is corrupting frames deterministically. Retrying cannot
+                help — surface it now instead of burning every retry and
+                backoff against every endpoint. *)
+             `Terminal
+               (Printf.sprintf "%s: protocol error (not retried): %s"
+                  (endpoint_to_string ep) msg)
+           | Error (Transport msg) ->
              note ep msg;
              (* moving on to another endpoint after a transport failure *)
              if rest <> [] then Telemetry.Metrics.incr m_failovers;
@@ -121,6 +193,7 @@ let request_failover ?(retries = 2) ?(backoff_s = 0.05) ?(backoff_max_s = 2.)
       in
       match walk endpoints with
       | `Done resp -> Ok resp
+      | `Terminal msg -> Error msg
       | `All_failed ->
         if k >= retries then
           Error

@@ -14,8 +14,11 @@ val endpoint_of_string : string -> endpoint
 val endpoint_to_string : endpoint -> string
 
 val connect : ?timeout_s:float -> string -> (t, string) result
-(** Connect to the daemon's Unix-domain socket. [timeout_s > 0] arms
-    send/receive timeouts so a wedged server yields [Error], not a hang. *)
+(** Connect to the daemon's Unix-domain socket. [timeout_s > 0] bounds
+    the connect itself (non-blocking connect + select, so a black-holed
+    peer costs at most the budget, not the kernel's ~minutes timeout)
+    and arms send/receive timeouts so a wedged server yields [Error],
+    not a hang. *)
 
 val connect_ep : ?timeout_s:float -> endpoint -> (t, string) result
 (** Connect to either endpoint kind (TCP connections set TCP_NODELAY). *)
@@ -51,6 +54,10 @@ val request_failover :
     Any *decoded* response — [Scheduled], [Rejected], [Failed] — is a
     terminal outcome from a live server and is returned without retrying:
     retrying a typed rejection would defeat the server's calibrated
-    backpressure. Only transport failures (refused/reset connections, torn
+    backpressure. A response frame that fails to decode (protocol
+    version/magic mismatch, deterministic corruption) is equally
+    terminal — it is a permanent property of the peer, so it is returned
+    as [Error] immediately instead of burning retries and backoff. Only
+    transport failures (refused/reset/timed-out connections, torn
     frames, read timeouts) are retried. [Error] carries the concatenated
     per-endpoint transport errors of every attempt. *)

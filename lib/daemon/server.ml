@@ -87,6 +87,15 @@ type config = {
          the prober must re-certify before returning an entry *)
   housekeeping : (unit -> unit) option;  (* ticked by the accept loop *)
   read_deadline_s : float;  (* per-connection receive deadline; <= 0 = none *)
+  write_deadline_s : float;
+      (* per-connection send deadline (SO_SNDTIMEO); <= 0 = none. A client
+         that stops reading blocks its connection thread in the response
+         write with [busy] set; without a bound the drain loop would wait
+         on it forever. A timed-out write is a dead connection. *)
+  drain_deadline_s : float;
+      (* graceful-drain backstop: after this long without quiescing,
+         force-shutdown still-busy connections so their threads fail out
+         of blocked writes; <= 0 = wait indefinitely *)
   idle_timeout_s : float;  (* reap connections idle this long; <= 0 = never *)
   tmp_sweep_age_s : float;  (* stale-temp-file sweep threshold for the own cache *)
   fault_crash_exit : bool;
@@ -97,7 +106,8 @@ type config = {
 
 let config ?(admission = Admission.default_config ()) ?cache_dir
     ?(cache_capacity = 256) ?(default_budget_s = 30.) ?tcp ?tier ?remote_probe
-    ?housekeeping ?(read_deadline_s = 30.) ?(idle_timeout_s = 300.)
+    ?housekeeping ?(read_deadline_s = 30.) ?(write_deadline_s = 30.)
+    ?(drain_deadline_s = 30.) ?(idle_timeout_s = 300.)
     ?(tmp_sweep_age_s = 0.) ?(fault_crash_exit = false) ~socket_path service =
   {
     socket_path;
@@ -111,6 +121,8 @@ let config ?(admission = Admission.default_config ()) ?cache_dir
     remote_probe;
     housekeeping;
     read_deadline_s;
+    write_deadline_s;
+    drain_deadline_s;
     idle_timeout_s;
     tmp_sweep_age_s;
     fault_crash_exit;
@@ -451,15 +463,26 @@ let solver_loop t =
 (* Cache fast path: a pure local cache probe on the calling (connection)
    thread. Only legal when the tier is thread-safe ([fast_ok]); never
    consults peers (a [cache_only] request from a peer must not cascade)
-   and never solves. *)
+   and never solves. Probes go through [tier_peek]: a fast-path miss on
+   an ordinary request is re-probed by the solver path, so booking it
+   here too would count two (or, across the rung-key walk, more) misses
+   per request and deflate the hit rate admission prices against. A
+   missed [cache_only] peer probe books no miss at all — it is answered
+   with a typed rejection without reaching the solver path, and peer
+   traffic should not skew the window that prices *local* admission.
+   Fast-path hits always count. *)
 let try_fast_path t (service : Serve.Service.config) net ~arrival ~budget =
   if not t.fast_ok then None
   else begin
     let scfg =
       { service with Serve.Service.deadline = Robust.Deadline.at (arrival +. budget) }
     in
+    let peek_tier =
+      { t.local_tier with
+        Serve.Service.tier_find = t.local_tier.Serve.Service.tier_peek }
+    in
     let report =
-      Serve.Service.schedule_network ~tier:t.local_tier
+      Serve.Service.schedule_network ~tier:peek_tier
         ~rung:Robust.Ladder.Cache_probe scfg net
     in
     if report.Serve.Service.failed > 0 then None
@@ -604,6 +627,14 @@ let conn_loop t id conn =
   if t.cfg.read_deadline_s > 0. then
     (try Unix.setsockopt_float conn.fd Unix.SO_RCVTIMEO t.cfg.read_deadline_s
      with Unix.Unix_error _ | Invalid_argument _ -> ());
+  (* The send deadline bounds response writes: a client that stops
+     reading makes the write raise EAGAIN after the deadline, which
+     [write_response] reports as a dead connection. Without it the
+     connection thread would block in [write_frame] with [busy] set and
+     the drain loop could never quiesce. *)
+  if t.cfg.write_deadline_s > 0. then
+    (try Unix.setsockopt_float conn.fd Unix.SO_SNDTIMEO t.cfg.write_deadline_s
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
   let rec loop () =
     let event =
       if t.cfg.read_deadline_s > 0. then Protocol.read_frame_timeout conn.fd
@@ -707,6 +738,16 @@ let run t =
      admitted request has been answered. *)
   List.iter (fun s -> try Unix.close s with Unix.Unix_error _ -> ()) socks;
   (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  (* Drain backstop: a connection can stay [busy] past any reasonable
+     bound only when its client stopped reading (the response write is
+     additionally bounded by SO_SNDTIMEO) or its reply is stuck behind a
+     wedged solve. After [drain_deadline_s] without quiescing,
+     force-shutdown the busy connections' sockets: their blocked writes
+     fail immediately, the threads clear [busy] and deregister, and the
+     drain completes instead of hanging SIGTERM forever. Re-armed per
+     interval in case a connection goes busy after the first sweep. *)
+  let drain_start = Robust.Deadline.now () in
+  let next_force = ref (drain_start +. t.cfg.drain_deadline_s) in
   let rec drain () =
     let quiesced =
       Mutex.protect t.lock (fun () ->
@@ -715,6 +756,18 @@ let run t =
           && Hashtbl.fold (fun _ c acc -> acc && not c.busy) t.conns true)
     in
     if not quiesced then begin
+      if t.cfg.drain_deadline_s > 0. && Robust.Deadline.now () >= !next_force then begin
+        next_force := Robust.Deadline.now () +. t.cfg.drain_deadline_s;
+        let stuck =
+          Mutex.protect t.lock (fun () ->
+              Hashtbl.fold (fun _ c acc -> if c.busy then c.fd :: acc else acc)
+                t.conns [])
+        in
+        List.iter
+          (fun fd ->
+            try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+          stuck
+      end;
       Thread.delay 0.01;
       drain ()
     end

@@ -44,6 +44,16 @@ type config = {
   read_deadline_s : float;
       (** per-connection receive deadline; a peer stalling mid-frame this
           long poisons the connection. [<= 0] disables. *)
+  write_deadline_s : float;
+      (** per-connection send deadline (SO_SNDTIMEO): a client that stops
+          reading makes the response write fail after this long and the
+          connection is treated as dead, instead of pinning its thread
+          (and the drain) in a blocked write. [<= 0] disables. *)
+  drain_deadline_s : float;
+      (** graceful-drain backstop: if the drain has not quiesced after
+          this long, still-busy connections are force-shutdown (re-armed
+          per interval) so SIGTERM cannot hang on a wedged client.
+          [<= 0] waits indefinitely. *)
   idle_timeout_s : float;
       (** reap connections idle (no frame) this long; [<= 0] disables *)
   tmp_sweep_age_s : float;
@@ -68,6 +78,8 @@ val config :
     Serve.Schedule_cache.entry option) ->
   ?housekeeping:(unit -> unit) ->
   ?read_deadline_s:float ->
+  ?write_deadline_s:float ->
+  ?drain_deadline_s:float ->
   ?idle_timeout_s:float ->
   ?tmp_sweep_age_s:float ->
   ?fault_crash_exit:bool ->
@@ -75,7 +87,8 @@ val config :
   Serve.Service.config ->
   config
 (** Defaults: no TCP listener, no injected tier/peers/housekeeping,
-    [read_deadline_s 30.], [idle_timeout_s 300.], [tmp_sweep_age_s 0.],
+    [read_deadline_s 30.], [write_deadline_s 30.], [drain_deadline_s 30.],
+    [idle_timeout_s 300.], [tmp_sweep_age_s 0.],
     [fault_crash_exit false]. *)
 
 type stats = {

@@ -252,7 +252,12 @@ let disk_load t ~arch ~layer fp =
 
 type tier = Memory | Disk
 
-let find t ~arch ~layer fp =
+(* [count_miss:false] is the fast-path/peek probe: a daemon connection
+   thread peeks the tier before queueing, and the solver path re-probes
+   on a miss — counting both would book two misses per request, deflating
+   the hit-rate windows admission prices against. Hits (and disk rejects,
+   which are real evidence of corruption) always count. *)
+let find ?(count_miss = true) t ~arch ~layer fp =
   match Hashtbl.find_opt t.tbl (Fingerprint.canon fp) with
   | Some n ->
     t.stats.hits <- t.stats.hits + 1;
@@ -263,8 +268,10 @@ let find t ~arch ~layer fp =
     (match disk_load t ~arch ~layer fp with
      | Some entry -> Some (entry, Disk)
      | None ->
-       t.stats.misses <- t.stats.misses + 1;
-       Telemetry.Metrics.incr m_miss;
+       if count_miss then begin
+         t.stats.misses <- t.stats.misses + 1;
+         Telemetry.Metrics.incr m_miss
+       end;
        None)
 
 let store t fp entry =

@@ -35,9 +35,19 @@ val create : ?dir:string -> ?tmp_sweep_age_s:float -> capacity:int -> unit -> t
     spared (they may belong to a live writer sharing the directory). The
     default [0.] sweeps every temp file, matching historical behavior. *)
 
-val find : t -> arch:Spec.t -> layer:Layer.t -> Fingerprint.t -> (entry * tier) option
+val find :
+  ?count_miss:bool ->
+  t ->
+  arch:Spec.t ->
+  layer:Layer.t ->
+  Fingerprint.t ->
+  (entry * tier) option
 (** Memory first (promotes to most-recent), then disk with verification
-    (promotes into memory). Updates {!stats}. *)
+    (promotes into memory). Updates {!stats}. [count_miss:false] (default
+    [true]) suppresses miss accounting — for peek-style probes that will
+    be re-probed on the authoritative path, so hit-rate windows see one
+    miss per request, not one per probe. Hits and disk rejects always
+    count. *)
 
 val store : t -> Fingerprint.t -> entry -> unit
 (** Insert as most-recent, evicting the LRU entry at capacity, and persist

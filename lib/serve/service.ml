@@ -64,6 +64,13 @@ let origin_to_string = function
 type cache_tier = {
   tier_find :
     arch:Spec.t -> layer:Layer.t -> Fingerprint.t -> (Schedule_cache.entry * origin) option;
+  tier_peek :
+    arch:Spec.t -> layer:Layer.t -> Fingerprint.t -> (Schedule_cache.entry * origin) option;
+      (* like [tier_find], but a miss is not booked in the tier's hit-rate
+         accounting (hits always are). For speculative probes — the
+         daemon's connection-thread fast path — whose misses are re-probed
+         by the authoritative solver path: counting both would deflate the
+         hit rate admission prices against. Never consults warm peers. *)
   tier_store : Fingerprint.t -> Schedule_cache.entry -> unit;
   tier_hit_rate : Fingerprint.t option -> float;
       (* [None] = aggregate across the tier; [Some fp] = the hit rate of
@@ -73,13 +80,15 @@ type cache_tier = {
 }
 
 let tier_of_cache c =
+  let probe ~count_miss ~arch ~layer fp =
+    match Schedule_cache.find ~count_miss c ~arch ~layer fp with
+    | Some (e, Schedule_cache.Memory) -> Some (e, Cache_memory)
+    | Some (e, Schedule_cache.Disk) -> Some (e, Cache_disk)
+    | None -> None
+  in
   {
-    tier_find =
-      (fun ~arch ~layer fp ->
-        match Schedule_cache.find c ~arch ~layer fp with
-        | Some (e, Schedule_cache.Memory) -> Some (e, Cache_memory)
-        | Some (e, Schedule_cache.Disk) -> Some (e, Cache_disk)
-        | None -> None);
+    tier_find = probe ~count_miss:true;
+    tier_peek = probe ~count_miss:false;
     tier_store = (fun fp e -> Schedule_cache.store c fp e);
     tier_hit_rate = (fun _ -> Schedule_cache.hit_rate c);
     tier_persist = (fun () -> Schedule_cache.persist c);

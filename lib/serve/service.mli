@@ -51,6 +51,12 @@ val origin_to_string : origin -> string
 type cache_tier = {
   tier_find :
     arch:Spec.t -> layer:Layer.t -> Fingerprint.t -> (Schedule_cache.entry * origin) option;
+  tier_peek :
+    arch:Spec.t -> layer:Layer.t -> Fingerprint.t -> (Schedule_cache.entry * origin) option;
+      (** like [tier_find], but a miss is not booked in hit-rate accounting
+          (hits always are) and warm peers are never consulted — for
+          speculative probes (the daemon's connection-thread fast path)
+          whose misses are re-probed by the authoritative solver path *)
   tier_store : Fingerprint.t -> Schedule_cache.entry -> unit;
   tier_hit_rate : Fingerprint.t option -> float;
       (** [None] = aggregate hit rate across the tier; [Some fp] = hit rate

@@ -307,11 +307,19 @@ let with_fake_peer respond f =
       let t = Cluster.Peers.create [ Daemon.Client.Unix_path path ] in
       f t)
 
+(* Provenance meta naming the same objective config as [fp] above — what
+   an honest, identically-configured peer's records carry. *)
+let good_meta =
+  { Mapping_io.default_meta with
+    Mapping_io.weights =
+      Some (weights.Cosa.w_util, weights.Cosa.w_comp, weights.Cosa.w_traf);
+    strategy = Cosa.strategy_to_string Cosa.Two_stage }
+
 let test_peer_verification () =
   let target = List.hd layers in
   let other = List.nth layers 2 in
   let record_of l =
-    Mapping_io.record_to_string Mapping_io.default_meta (Cosa.trivial_mapping arch l)
+    Mapping_io.record_to_string good_meta (Cosa.trivial_mapping arch l)
   in
   (* honest peer: the record parses, matches the layer, and certifies *)
   with_fake_peer
@@ -356,6 +364,41 @@ let test_peer_verification () =
       let s = Cluster.Peers.stats t in
       check_int "no cert reject on honest miss" 0 s.Cluster.Peers.rejects_cert;
       check_int "peer stays healthy" 1 s.Cluster.Peers.healthy)
+
+(* A peer running a different objective config returns records that
+   parse, shape-match, and even certify — but whose provenance meta
+   contradicts the cache key they would be stored under. They must be
+   rejected, or one skewed peer poisons the whole local memory tier. *)
+let test_peer_config_skew_rejected () =
+  let target = List.hd layers in
+  let record_with meta =
+    Mapping_io.record_to_string meta (Cosa.trivial_mapping arch target)
+  in
+  let expect_reject what meta =
+    with_fake_peer
+      (fun req -> scheduled ~name:req.P.client (record_with meta))
+      (fun t ->
+        (match Cluster.Peers.probe t ~arch ~layer:target (fp target) with
+         | None -> ()
+         | Some _ -> Alcotest.fail (what ^ " must not be served"))
+        ;
+        check_int (what ^ " counted as cert reject") 1
+          (Cluster.Peers.stats t).Cluster.Peers.rejects_cert)
+  in
+  (* control: identical config is accepted (the check is not vacuous) *)
+  with_fake_peer
+    (fun req -> scheduled ~name:req.P.client (record_with good_meta))
+    (fun t ->
+      match Cluster.Peers.probe t ~arch ~layer:target (fp target) with
+      | Some _ -> ()
+      | None -> Alcotest.fail "matching-config record rejected");
+  expect_reject "weights-skewed record"
+    { good_meta with
+      Mapping_io.weights =
+        Some (weights.Cosa.w_util +. 0.5, weights.Cosa.w_comp, weights.Cosa.w_traf) };
+  expect_reject "strategy-skewed record"
+    { good_meta with Mapping_io.strategy = Cosa.strategy_to_string Cosa.Joint };
+  expect_reject "provenance-free record" Mapping_io.default_meta
 
 (* End to end through the daemon: a corrupted peer response is a counted
    miss, and the request degrades to a live (still certified) solve. *)
@@ -408,6 +451,166 @@ let test_corrupt_peer_degrades_to_live_solve () =
       check_bool "corrupt peer answer counted as cert reject" true
         ((Cluster.Peers.stats peers).Cluster.Peers.rejects_cert >= 1))
 
+(* ---- peek probes and miss accounting ---------------------------------- *)
+
+(* The daemon's connection-thread fast path peeks the tier before the
+   solver path probes it authoritatively: a peek miss must not be booked
+   (or every missing request would count 2+ misses and deflate the
+   hit-rate window admission prices against), while hits always count. *)
+let test_peek_no_miss_accounting () =
+  let sh = Cluster.Sharded_cache.create ~capacity:16 ~shards:2 () in
+  let tier = Cluster.Sharded_cache.tier sh in
+  let l = List.hd layers in
+  (match tier.Serve.Service.tier_peek ~arch ~layer:l (fp l) with
+   | None -> ()
+   | Some _ -> Alcotest.fail "empty cache cannot hit");
+  check_int "peek miss not booked" 0
+    (Cluster.Sharded_cache.stats sh).Serve.Schedule_cache.misses;
+  (match tier.Serve.Service.tier_find ~arch ~layer:l (fp l) with
+   | None -> ()
+   | Some _ -> Alcotest.fail "empty cache cannot hit");
+  check_int "authoritative miss booked" 1
+    (Cluster.Sharded_cache.stats sh).Serve.Schedule_cache.misses;
+  Cluster.Sharded_cache.store sh (fp l) (entry_of l);
+  (match tier.Serve.Service.tier_peek ~arch ~layer:l (fp l) with
+   | Some _ -> ()
+   | None -> Alcotest.fail "stored entry must peek");
+  check_int "peek hit booked" 1
+    (Cluster.Sharded_cache.stats sh).Serve.Schedule_cache.hits;
+  check_int "hit books no miss" 1
+    (Cluster.Sharded_cache.stats sh).Serve.Schedule_cache.misses
+
+(* ---- client: bounded connect, terminal protocol errors ---------------- *)
+
+(* A black-holed peer must cost at most the connect budget, not the
+   kernel's ~minutes TCP timeout — this is what keeps a dead peer from
+   stalling the daemon's accept loop and solver thread for whole probe
+   cycles. Simulate the black hole locally: a listener whose accept
+   queue is saturated drops further SYNs, so an unbounded connect hangs
+   in retransmission. Only boundedness is asserted — some network
+   fabrics complete the handshake anyway, which is also a fast return. *)
+let test_connect_timeout_bounded () =
+  let srv = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt srv Unix.SO_REUSEADDR true;
+  Unix.bind srv (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen srv 1;
+  let port =
+    match Unix.getsockname srv with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  (* saturate the accept queue with connections nobody will accept *)
+  let stuffers =
+    List.init 8 (fun _ ->
+        let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.set_nonblock s;
+        (try Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+         with
+         | Unix.Unix_error
+             ( ( Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN
+               | Unix.ECONNREFUSED ),
+               _, _ ) -> ());
+        s)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun s -> try Unix.close s with Unix.Unix_error _ -> ())
+        stuffers;
+      Unix.close srv)
+    (fun () ->
+      Thread.delay 0.05;
+      let t0 = Unix.gettimeofday () in
+      (match
+         Daemon.Client.connect_ep ~timeout_s:0.3
+           (Daemon.Client.Tcp ("127.0.0.1", port))
+       with
+       | Ok c -> Daemon.Client.close c
+       | Error _ -> ());
+      check_bool "connect bounded by the budget" true
+        (Unix.gettimeofday () -. t0 < 5.));
+  (* the non-blocking path still completes a legitimate connect *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 8;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Fun.protect ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      match
+        Daemon.Client.connect_ep ~timeout_s:1. (Daemon.Client.Tcp ("127.0.0.1", port))
+      with
+      | Ok c -> Daemon.Client.close c
+      | Error msg -> Alcotest.fail ("bounded connect to live listener: " ^ msg))
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec at i = i + m <= n && (String.sub hay i m = needle || at (i + 1)) in
+  at 0
+
+(* A server speaking the wrong protocol version answers every exchange
+   with an undecodable (but well-framed) response. That is a permanent
+   property of the peer: failover must surface it immediately instead of
+   burning every retry and backoff against it. *)
+let test_failover_protocol_error_terminal () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cosa_badver_%d_%d.sock" (Unix.getpid ()) (Random.bits ()))
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 8;
+  let conns = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        try
+          while not (Atomic.get stop) do
+            let c, _ = Unix.accept fd in
+            if not (Atomic.get stop) then Atomic.incr conns;
+            (try
+               match P.read_frame c with
+               | Ok (Some _) ->
+                 (* right magic, wrong version: decodes to a typed
+                    expected-vs-got protocol error on the client *)
+                 P.write_frame c (Bytes.of_string "\xC5\x63junk")
+               | _ -> ()
+             with _ -> ());
+            try Unix.close c with Unix.Unix_error _ -> ()
+          done
+        with _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      (try
+         let c = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         Unix.connect c (Unix.ADDR_UNIX path);
+         Unix.close c
+       with Unix.Unix_error _ -> ());
+      Thread.join th;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      match
+        Daemon.Client.request_failover ~retries:3 ~backoff_s:0.001 ~timeout_s:2.
+          ~endpoints:[ Daemon.Client.Unix_path path ]
+          { P.client = ""; budget_s = 1.; arch = "baseline";
+            target = P.Layer "cl_a"; cache_only = false }
+      with
+      | Ok _ -> Alcotest.fail "undecodable response must not yield Ok"
+      | Error msg ->
+        check_bool "error names the version mismatch" true
+          (contains msg "version mismatch");
+        check_bool "error marked terminal" true (contains msg "not retried");
+        check_int "exactly one exchange: no retries burned" 1 (Atomic.get conns))
+
 let suite =
   ( "cluster",
     [
@@ -422,6 +625,14 @@ let suite =
       Alcotest.test_case "peer ejection + re-admission" `Slow test_peer_health;
       Alcotest.test_case "peer answers verified before serve" `Quick
         test_peer_verification;
+      Alcotest.test_case "config-skewed peer records rejected" `Quick
+        test_peer_config_skew_rejected;
       Alcotest.test_case "corrupt peer -> counted miss + live solve" `Slow
         test_corrupt_peer_degrades_to_live_solve;
+      Alcotest.test_case "peek probes book no misses" `Quick
+        test_peek_no_miss_accounting;
+      Alcotest.test_case "connect bounded by timeout" `Quick
+        test_connect_timeout_bounded;
+      Alcotest.test_case "protocol errors terminal in failover" `Quick
+        test_failover_protocol_error_terminal;
     ] )
