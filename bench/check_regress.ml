@@ -241,6 +241,67 @@ let check_sweep fresh base =
         | _ -> fail "warm_sweep %s telemetry counters missing" side)
       [ "warm"; "cold" ]
 
+(* The fusion sweep is exact-integer and node-bound, so its word counts are
+   deterministic: any drift against the baseline is a real change to the
+   planner or cost model and FAILS the gate. Gated networks must also keep
+   clearing the >= gate_pct savings floor, and the DRAM-model replay must
+   keep the fused stream strictly cheaper. *)
+let check_fuse fresh base =
+  match (member "fuse" fresh, member "fuse" base) with
+  | None, None -> ()
+  | None, Some _ -> fail "fuse section missing from fresh results"
+  | Some _, None -> warn "fuse section missing from baseline (gate skipped)"
+  | Some f, Some b ->
+    let gate = match num_opt f [ "gate_pct" ] with Some g -> g | None -> 20. in
+    let nets j =
+      match member "networks" j with
+      | Some (Arr ns) ->
+        List.filter_map
+          (fun e ->
+            match path_opt e [ "name" ] with
+            | Some (Str name) -> Some (name, e)
+            | _ -> None)
+          ns
+      | _ -> []
+    in
+    let base_nets = nets b in
+    List.iter
+      (fun (name, e) ->
+        (match num_opt e [ "fused" ] with
+         | Some n when n >= 1. -> ()
+         | _ -> fail "fuse %s: no chains fused" name);
+        (if bool_opt e [ "gated" ] = Some true then
+           match num_opt e [ "savings_pct" ] with
+           | Some s when s >= gate -> ()
+           | Some s -> fail "fuse %s: savings %.1f%% below the %.0f%% gate" name s gate
+           | None -> fail "fuse %s: savings_pct missing" name);
+        match List.assoc_opt name base_nets with
+        | None -> warn "fuse network %s missing from baseline" name
+        | Some be ->
+          List.iter
+            (fun key ->
+              match (num_opt e [ key ], num_opt be [ key ]) with
+              | Some fv, Some bv ->
+                if fv <> bv then
+                  fail "fuse %s %s drifted: %.0f vs baseline %.0f" name key fv bv
+              | _ -> fail "fuse %s %s missing from results or baseline" name key)
+            [ "chain_independent_words"; "chain_fused_words";
+              "network_independent_words"; "network_fused_words" ])
+      (nets f);
+    List.iter
+      (fun (name, _) ->
+        if not (List.mem_assoc name (nets f)) then
+          fail "fuse network %s vanished from fresh results" name)
+      base_nets;
+    (match
+       (num_opt f [ "dram_sim"; "fused_busy_cycles" ],
+        num_opt f [ "dram_sim"; "independent_busy_cycles" ])
+     with
+     | Some fu, Some ind when fu < ind -> ()
+     | Some _, Some _ ->
+       fail "fuse DRAM model: fused stream not strictly cheaper than independent"
+     | _ -> fail "fuse DRAM model busy-cycle counts missing")
+
 let () =
   let results, baseline =
     match Sys.argv with
@@ -263,5 +324,6 @@ let () =
   in
   check_experiments fresh base;
   check_sweep fresh base;
+  check_fuse fresh base;
   Printf.printf "regression gate: %d failure(s), %d warning(s)\n" !failures !warnings;
   if !failures > 0 then exit 1

@@ -32,45 +32,153 @@ let json_float x =
   else Printf.sprintf "%.6g" x
 
 (* Counters of a snapshot as one JSON object (histograms are summarised by
-   count and sum — enough for rate regressions without bucket noise). *)
+   count and sum — enough for rate regressions without bucket noise).
+   Never-touched metrics are suppressed: registered-but-zero counters and
+   gauges and empty histograms (all the dram.*/noc.* instruments a solver-
+   only section never drives) would otherwise bloat every section and the
+   regression baseline with noise that can only ever read 0. *)
 let snapshot_json (s : Telemetry.Metrics.snapshot) =
   let counters =
-    List.map
-      (fun (name, v) -> Printf.sprintf "\"%s\":%d" (json_escape name) v)
+    List.filter_map
+      (fun (name, v) ->
+        if v = 0 then None
+        else Some (Printf.sprintf "\"%s\":%d" (json_escape name) v))
       s.Telemetry.Metrics.counters
   in
   let gauges =
-    List.map
-      (fun (name, v) -> Printf.sprintf "\"%s\":%s" (json_escape name) (json_float v))
+    List.filter_map
+      (fun (name, v) ->
+        if v = 0. then None
+        else Some (Printf.sprintf "\"%s\":%s" (json_escape name) (json_float v)))
       s.Telemetry.Metrics.gauges
   in
   let hists =
-    List.map
+    List.filter_map
       (fun (name, (h : Telemetry.Metrics.hist_snapshot)) ->
-        Printf.sprintf "\"%s\":{\"count\":%d,\"sum\":%s}" (json_escape name)
-          h.Telemetry.Metrics.count (json_float h.Telemetry.Metrics.sum))
+        if h.Telemetry.Metrics.count = 0 then None
+        else
+          Some
+            (Printf.sprintf "\"%s\":{\"count\":%d,\"sum\":%s}" (json_escape name)
+               h.Telemetry.Metrics.count (json_float h.Telemetry.Metrics.sum)))
       s.Telemetry.Metrics.histograms
   in
   Printf.sprintf "{\"counters\":{%s},\"gauges\":{%s},\"histograms\":{%s}}"
     (String.concat "," counters) (String.concat "," gauges) (String.concat "," hists)
 
+let exp_ran = ref false
 let exp_results : string list ref = ref []
 let serve_result : string option ref = ref None
 let sweep_result : string option ref = ref None
 let soak_result : string option ref = ref None
 let soak_cluster_result : string option ref = ref None
+let fuse_result : string option ref = ref None
+let micro_ran = ref false
 let micro_results : string list ref = ref []
 
+(* Split the top level of an existing results file into (key, raw value)
+   pairs so a partial bench run can merge into it instead of overwriting:
+   a sweep-only run must not silently drop the committed experiments or
+   soak sections. A tiny scanner (depth + string state) is enough — the
+   file is our own output. *)
+let split_top_level text =
+  let n = String.length text in
+  let i = ref 0 in
+  let sections = ref [] in
+  (try
+     while !i < n && text.[!i] <> '{' do incr i done;
+     incr i;
+     let read_string () =
+       (* cursor on the opening quote; returns contents, cursor past close *)
+       let buf = Buffer.create 16 in
+       incr i;
+       while text.[!i] <> '"' do
+         if text.[!i] = '\\' then begin
+           Buffer.add_char buf text.[!i];
+           incr i
+         end;
+         Buffer.add_char buf text.[!i];
+         incr i
+       done;
+       incr i;
+       Buffer.contents buf
+     in
+     let skip_ws () =
+       while
+         !i < n && (match text.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+       do
+         incr i
+       done
+     in
+     let rec members () =
+       skip_ws ();
+       if !i < n && text.[!i] = '"' then begin
+         let key = read_string () in
+         skip_ws ();
+         if text.[!i] <> ':' then raise Exit;
+         incr i;
+         skip_ws ();
+         let start = !i in
+         let depth = ref 0 in
+         let stop = ref false in
+         while not !stop do
+           if !i >= n then raise Exit;
+           (match text.[!i] with
+            | '"' -> ignore (read_string ()); decr i
+            | '{' | '[' -> incr depth
+            | '}' | ']' when !depth > 0 -> decr depth
+            | ',' when !depth = 0 -> stop := true
+            | '}' when !depth = 0 -> stop := true
+            | _ -> ());
+           if not !stop then incr i
+         done;
+         let value = String.trim (String.sub text start (!i - start)) in
+         sections := (key, value) :: !sections;
+         if text.[!i] = ',' then begin
+           incr i;
+           members ()
+         end
+       end
+     in
+     members ()
+   with Exit | Invalid_argument _ -> ());
+  List.rev !sections
+
+let section_order =
+  [ "experiments"; "serve"; "warm_sweep"; "soak"; "soak_cluster"; "fuse"; "micro" ]
+
 let write_results path =
+  let fresh =
+    (if !exp_ran then
+       [ ("experiments",
+          Printf.sprintf "[%s]" (String.concat "," (List.rev !exp_results))) ]
+     else [])
+    @ (match !serve_result with Some s -> [ ("serve", s) ] | None -> [])
+    @ (match !sweep_result with Some s -> [ ("warm_sweep", s) ] | None -> [])
+    @ (match !soak_result with Some s -> [ ("soak", s) ] | None -> [])
+    @ (match !soak_cluster_result with Some s -> [ ("soak_cluster", s) ] | None -> [])
+    @ (match !fuse_result with Some s -> [ ("fuse", s) ] | None -> [])
+    @ (if !micro_ran then
+         [ ("micro", Printf.sprintf "[%s]" (String.concat "," (List.rev !micro_results))) ]
+       else [])
+  in
+  (* sections the current run did not produce survive from the existing file *)
+  let kept =
+    if Sys.file_exists path then
+      List.filter
+        (fun (k, _) -> not (List.mem_assoc k fresh))
+        (split_top_level
+           (In_channel.with_open_bin path In_channel.input_all))
+    else []
+  in
+  let all = fresh @ kept in
+  let ordered =
+    List.filter_map
+      (fun k -> Option.map (fun v -> (k, v)) (List.assoc_opt k all))
+      section_order
+    @ List.filter (fun (k, _) -> not (List.mem k section_order)) kept
+  in
   let sections =
-    [ Printf.sprintf "\"experiments\":[%s]" (String.concat "," (List.rev !exp_results)) ]
-    @ (match !serve_result with Some s -> [ "\"serve\":" ^ s ] | None -> [])
-    @ (match !sweep_result with Some s -> [ "\"warm_sweep\":" ^ s ] | None -> [])
-    @ (match !soak_result with Some s -> [ "\"soak\":" ^ s ] | None -> [])
-    @ (match !soak_cluster_result with
-       | Some s -> [ "\"soak_cluster\":" ^ s ]
-       | None -> [])
-    @ [ Printf.sprintf "\"micro\":[%s]" (String.concat "," (List.rev !micro_results)) ]
+    List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) v) ordered
   in
   let oc = open_out path in
   Fun.protect
@@ -79,6 +187,7 @@ let write_results path =
   Printf.printf "machine-readable results written to %s\n" path
 
 let run_experiments () =
+  exp_ran := true;
   Telemetry.Sink.set Telemetry.Sink.Memory;
   List.iter
     (fun (e : Registry.t) ->
@@ -101,6 +210,7 @@ let run_experiments () =
 (* Bechamel micro-benchmarks: the kernels whose cost dominates each
    artefact family. *)
 let micro_benchmarks () =
+  micro_ran := true;
   let open Bechamel in
   (* the micro numbers are the <2%-overhead acceptance baseline, so they
      must measure the disabled-telemetry fast path *)
@@ -986,6 +1096,207 @@ let soak_cluster_benchmarks ?only_seed () =
   end;
   flush stdout
 
+(* Cross-layer fusion sweep: the lib/fuse acceptance gate.
+
+   Plans every derived chain of the fusion-candidate networks and of full
+   ResNet-50 under the Chains mode, then:
+
+   - re-certifies every fused group here, in the bench, by rebuilding the
+     claim from the plan and replaying it through Certify.Fuse_cert (the
+     planner already refuses to serve an uncertified fusion; this check
+     makes the bench independently sure of it);
+   - gates the designated ResNet-50 chains (the deep stem and the conv2_x
+     bottleneck block) on >= 20% off-chip savings vs the independent
+     per-layer sum;
+   - validates the claimed savings through the cycle-level banked DRAM
+     model: the fused and independent access traces of the bottleneck
+     block are replayed through Dram_model and the fused stream must keep
+     the DRAM busy for strictly fewer cycles. *)
+
+let fuse_gate_pct = 20.
+
+(* Replay a transfer trace through the FR-FCFS DRAM model. Transfers
+   become 64 B burst requests walking consecutive rows of their region
+   (regions are spread far apart so distinct tensors never share a row);
+   pacing keeps a bounded number of requests outstanding, like the NoC
+   front end would. One word = one byte (the quantized DRAM format of the
+   8-bit tensors); both traces use the same convention, so the comparison
+   is apples-to-apples. *)
+let dram_replay (arch : Spec.t) (transfers : Fuse.Plan.transfer list) =
+  let d = Dram_model.create arch.Spec.dram in
+  let row_bytes = arch.Spec.dram.Spec.row_bytes in
+  let burst = arch.Spec.dram.Spec.burst_bytes in
+  let cursors = Hashtbl.create 16 in
+  let outstanding = ref 0 in
+  let drain_to limit =
+    while !outstanding > limit do
+      Dram_model.step d;
+      outstanding := !outstanding - List.length (Dram_model.completed d)
+    done
+  in
+  List.iter
+    (fun (t : Fuse.Plan.transfer) ->
+      let base = t.Fuse.Plan.t_region * 1_048_576 in
+      let cur = try Hashtbl.find cursors t.Fuse.Plan.t_region with Not_found -> 0 in
+      let bytes = ref t.Fuse.Plan.t_words and off = ref cur in
+      while !bytes > 0 do
+        let b = min burst !bytes in
+        ignore (Dram_model.request d ~bytes:b ~row:(base + (!off / row_bytes)));
+        incr outstanding;
+        drain_to 32;
+        bytes := !bytes - b;
+        off := !off + b
+      done;
+      Hashtbl.replace cursors t.Fuse.Plan.t_region !off)
+    transfers;
+  drain_to 0;
+  (Dram_model.total_busy_cycles d, Dram_model.row_hit_count d,
+   Dram_model.row_miss_count d)
+
+let fuse_benchmarks () =
+  print_newline ();
+  print_endline "Cross-layer fusion: certified fused vs independent off-chip traffic";
+  print_endline "===================================================================";
+  soak_failures := 0;
+  Telemetry.Sink.set Telemetry.Sink.Memory;
+  Telemetry.Metrics.reset ();
+  let arch = Spec.baseline in
+  (* (network, gated): gated networks are the designated ResNet-50 chains
+     the >= 20% acceptance criterion applies to *)
+  let nets =
+    [ (Network.resnet50_stem, true); (Network.resnet50_block, true);
+      (Network.resnet50, false) ]
+  in
+  let recert_failures = ref 0 in
+  let net_frags =
+    List.map
+      (fun ((net : Network.t), gated) ->
+        let plan = Fuse.Plan.plan_network ~mode:Fuse.Plan.Chains arch net in
+        print_string (Fuse.Plan.network_plan_to_string plan);
+        let fused, degraded =
+          List.partition
+            (fun (gp : Fuse.Plan.group_plan) ->
+              match gp.Fuse.Plan.g_outcome with
+              | Fuse.Plan.Fused _ -> true
+              | Fuse.Plan.Independent _ -> false)
+            plan.Fuse.Plan.p_groups
+        in
+        (* independent bench-side re-certification of every fused group *)
+        List.iter
+          (fun (gp : Fuse.Plan.group_plan) ->
+            match gp.Fuse.Plan.g_outcome with
+            | Fuse.Plan.Independent _ -> ()
+            | Fuse.Plan.Fused f ->
+              let keep = Array.of_list f.Fuse.Plan.f_keep in
+              let wres = Array.of_list f.Fuse.Plan.f_wres in
+              let claim =
+                {
+                  Certify.Fuse_cert.f_arch = arch;
+                  f_members =
+                    List.mapi
+                      (fun j l ->
+                        { Certify.Fuse_cert.m_layer = l;
+                          m_keep_output =
+                            j < Array.length keep && keep.(j);
+                          m_weights_resident = wres.(j) })
+                      gp.Fuse.Plan.g_group.Fuse.Chain.members;
+                  f_bands = f.Fuse.Plan.f_bands;
+                  f_gb_reserve_bytes = f.Fuse.Plan.f_gb_reserve_bytes;
+                  f_peak_gb_bytes = f.Fuse.Plan.f_peak_gb_bytes;
+                  f_dram_words = f.Fuse.Plan.f_dram_words;
+                }
+              in
+              (match Certify.Fuse_cert.check claim with
+               | Certify.Certificate.Certified -> ()
+               | Certify.Certificate.Violated _ -> incr recert_failures))
+          plan.Fuse.Plan.p_groups;
+        (* savings over the chain-covered subset *)
+        let chain_ind =
+          List.fold_left
+            (fun acc (gp : Fuse.Plan.group_plan) ->
+              acc + (gp.Fuse.Plan.g_group.Fuse.Chain.count * gp.Fuse.Plan.g_independent_words))
+            0 plan.Fuse.Plan.p_groups
+        in
+        let chain_saved =
+          List.fold_left
+            (fun acc gp ->
+              acc
+              + (gp.Fuse.Plan.g_group.Fuse.Chain.count * Fuse.Plan.group_savings gp))
+            0 plan.Fuse.Plan.p_groups
+        in
+        let savings_pct =
+          if chain_ind = 0 then 0.
+          else 100. *. float_of_int chain_saved /. float_of_int chain_ind
+        in
+        Printf.printf "%s chains: %.1f%% off-chip savings%s\n\n" net.Network.nname
+          savings_pct
+          (if gated then Printf.sprintf " (acceptance: >= %.0f%%)" fuse_gate_pct
+           else "");
+        soak_check
+          (List.length fused >= 1)
+          (Printf.sprintf "%s: at least one chain fused" net.Network.nname);
+        if gated then
+          soak_check (savings_pct >= fuse_gate_pct)
+            (Printf.sprintf "%s: fused off-chip >= %.0f%% below independent"
+               net.Network.nname fuse_gate_pct);
+        Printf.sprintf
+          "{\"name\":\"%s\",\"groups\":%d,\"fused\":%d,\"degraded\":%d,\
+           \"chain_independent_words\":%d,\"chain_fused_words\":%d,\
+           \"savings_pct\":%s,\"network_independent_words\":%d,\
+           \"network_fused_words\":%d,\"gated\":%b}"
+          (json_escape net.Network.nname)
+          (List.length plan.Fuse.Plan.p_groups)
+          (List.length fused) (List.length degraded) chain_ind
+          (chain_ind - chain_saved) (json_float savings_pct)
+          plan.Fuse.Plan.p_independent_dram_words plan.Fuse.Plan.p_fused_dram_words
+          gated)
+      nets
+  in
+  soak_check (!recert_failures = 0)
+    "every served fused schedule re-certified in exact arithmetic";
+  (* DRAM-model validation on the bottleneck block *)
+  let block_plan =
+    Fuse.Plan.plan_network ~mode:Fuse.Plan.Chains arch Network.resnet50_block
+  in
+  let dram_frag =
+    match block_plan.Fuse.Plan.p_groups with
+    | ({ Fuse.Plan.g_outcome = Fuse.Plan.Fused f; g_group; _ } as _gp) :: _ ->
+      let fused_busy, fh, fm =
+        dram_replay arch (Fuse.Plan.fused_trace g_group f)
+      in
+      let ind_busy, ih, im = dram_replay arch (Fuse.Plan.independent_trace g_group) in
+      Printf.printf
+        "DRAM model (bottleneck block): independent %d busy cycles (%d hits/%d \
+         misses), fused %d busy cycles (%d hits/%d misses)\n"
+        ind_busy ih im fused_busy fh fm;
+      soak_check (fused_busy < ind_busy)
+        "DRAM model: fused stream strictly fewer busy cycles than independent";
+      Printf.sprintf
+        "{\"independent_busy_cycles\":%d,\"fused_busy_cycles\":%d,\
+         \"independent_row_hits\":%d,\"independent_row_misses\":%d,\
+         \"fused_row_hits\":%d,\"fused_row_misses\":%d}"
+        ind_busy fused_busy ih im fh fm
+    | _ ->
+      soak_check false "DRAM model: bottleneck block produced a fused plan";
+      "{}"
+  in
+  fuse_result :=
+    Some
+      (Printf.sprintf
+         "{\"gate_pct\":%s,\"networks\":[%s],\"dram_sim\":%s,\"telemetry\":%s}"
+         (json_float fuse_gate_pct)
+         (String.concat "," net_frags)
+         dram_frag
+         (snapshot_json (Telemetry.Metrics.snapshot ())));
+  Telemetry.Metrics.reset ();
+  Telemetry.Sink.set Telemetry.Sink.Null;
+  if !soak_failures > 0 then begin
+    Printf.printf "fuse: %d acceptance checks FAILED\n" !soak_failures;
+    write_results "BENCH_results.json";
+    exit 1
+  end;
+  flush stdout
+
 (* Warm-start sweep: the warm-started-dual-simplex acceptance gate. Every
    distinct ResNet-50 shape is scheduled node-bound (deterministic) twice —
    --warm-start on and off — under identical budgets. Warm starting must
@@ -1079,9 +1390,11 @@ let () =
      in
      soak_cluster_benchmarks ?only_seed ()
    | Some "micro" -> micro_benchmarks ()
+   | Some "fuse" -> fuse_benchmarks ()
    | Some other ->
      Printf.eprintf
-       "unknown section %S (expected exp, serve, sweep, soak, soak-cluster, or micro)\n"
+       "unknown section %S (expected exp, serve, sweep, soak, soak-cluster, fuse, \
+        or micro)\n"
        other;
      exit 2
    | None ->
@@ -1092,6 +1405,7 @@ let () =
      soak_benchmarks ();
      soak_cluster_benchmarks ();
      warm_sweep ();
+     fuse_benchmarks ();
      micro_benchmarks ());
   Printf.printf "\nTotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0);
   write_results "BENCH_results.json"

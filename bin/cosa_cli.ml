@@ -214,8 +214,26 @@ let batch_cmd =
     Arg.(value & opt int 256 & info [ "cache-size" ] ~docv:"ENTRIES"
            ~doc:"In-memory LRU capacity (distinct schedules).")
   in
+  let fuse_arg =
+    let modes =
+      [ ("off", Serve.Service.Fuse_off); ("chains", Serve.Service.Fuse_chains);
+        ("auto", Serve.Service.Fuse_auto) ]
+    in
+    Arg.(value & opt (enum modes) Serve.Service.Fuse_off & info [ "fuse" ] ~docv:"MODE"
+           ~doc:"Cross-layer fusion: $(b,off) (default) is the plain per-layer \
+                 path, $(b,chains) fuses every derived producer-consumer chain \
+                 whose plan certifies in exact arithmetic, $(b,auto) \
+                 additionally requires the fused plan to beat the independent \
+                 baseline. Fusion is a purely additive second stage: the \
+                 per-layer schedules and cache keys are identical in every \
+                 mode.")
+  in
+  let fuse_max_group_arg =
+    Arg.(value & opt int 3 & info [ "fuse-max-group" ] ~docv:"N"
+           ~doc:"Maximum members per fusion group (at least 2).")
+  in
   let run arch_name network_name jobs cache_dir cache_size node_limit strategy time_limit
-      certify warm_start trace metrics profile =
+      certify warm_start fuse fuse_max_group trace metrics profile =
     let arch = arch_of_name arch_name in
     let net =
       match Network.find network_name with
@@ -230,20 +248,32 @@ let batch_cmd =
       Serve.Service.config ~strategy ~certify ~node_limit ~time_limit ~jobs ~warm_start
         arch
     in
-    let report =
-      with_telemetry trace metrics profile (fun () ->
-          Serve.Service.schedule_network ~cache cfg net)
-    in
-    print_string (Serve.Service.report_to_string report);
-    if report.Serve.Service.failed > 0 then exit 1
+    match fuse with
+    | Serve.Service.Fuse_off ->
+      (* byte-identical to the pre-fusion service: same call, same output *)
+      let report =
+        with_telemetry trace metrics profile (fun () ->
+            Serve.Service.schedule_network ~cache cfg net)
+      in
+      print_string (Serve.Service.report_to_string report);
+      if report.Serve.Service.failed > 0 then exit 1
+    | _ ->
+      let fr =
+        with_telemetry trace metrics profile (fun () ->
+            Serve.Service.schedule_network_fused ~cache ~max_group:fuse_max_group
+              ~fuse cfg net)
+      in
+      print_string (Serve.Service.fused_report_to_string fr);
+      if fr.Serve.Service.base.Serve.Service.failed > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Schedule a whole network: dedup shapes, serve from the certified \
-             schedule cache, solve misses on a domain pool.")
+             schedule cache, solve misses on a domain pool; optionally fuse \
+             producer-consumer chains to cut off-chip traffic.")
     Term.(const run $ arch_arg $ network_arg $ jobs_arg $ cache_dir_arg $ cache_size_arg
           $ node_limit_arg $ strategy_arg $ time_limit_arg $ certify_arg $ warm_start_arg
-          $ trace_arg $ metrics_arg $ profile_arg)
+          $ fuse_arg $ fuse_max_group_arg $ trace_arg $ metrics_arg $ profile_arg)
 
 (* Shared by serve/request: where the daemon listens. *)
 let socket_arg =

@@ -1,0 +1,231 @@
+(* Exact replay of a fused-schedule claim.
+
+   Everything here is integer arithmetic over Prim.Bigint: band row counts,
+   backward tile propagation, buffer occupancies, and the DRAM word ledger
+   are all recomputed from the layer shapes and the architecture and
+   compared exactly against the claim. The planner in lib/fuse has its own
+   implementation of the same accounting; this one is deliberately separate
+   (plain nested loops, no incremental tricks) so a planner bug cannot
+   certify itself. *)
+
+module B = Prim.Bigint
+
+type member = {
+  m_layer : Layer.t;
+  m_keep_output : bool;
+  m_weights_resident : bool;
+}
+
+type claim = {
+  f_arch : Spec.t;
+  f_members : member list;
+  f_bands : int;
+  f_gb_reserve_bytes : int;
+  f_peak_gb_bytes : int;
+  f_dram_words : int;
+}
+
+let band_rows ~total ~bands t =
+  let base = total / bands and extra = total mod bands in
+  base + (if t < extra then 1 else 0)
+
+(* ---- architecture budgets ---------------------------------------------- *)
+
+(* Spatial instances of level [i]: the product of fanouts of level [i] and
+   every level above it (a level's fanout multiplies the copies of the whole
+   subtree from that level down, itself included). *)
+let instances (arch : Spec.t) i =
+  let n = ref 1 in
+  for j = i to Array.length arch.Spec.levels - 1 do
+    n := !n * arch.Spec.levels.(j).Spec.fanout
+  done;
+  !n
+
+(* Global buffer = the outermost on-chip level (directly below DRAM). *)
+let gb_level (arch : Spec.t) = Spec.dram_level arch - 1
+let gb_capacity_bytes (arch : Spec.t) =
+  arch.Spec.levels.(gb_level arch).Spec.capacity_bytes
+
+(* Aggregate on-chip weight capacity: the best (largest) W-storing level,
+   capacity shared evenly among the tensors it stores, times its instance
+   count. For the baseline this is the 32 KB per-PE weight buffer times 16
+   PEs; the tiny W-sharing register file never wins. *)
+let weight_budget_bytes (arch : Spec.t) =
+  let best = ref 0 in
+  for i = 0 to Spec.dram_level arch - 1 do
+    let lvl = arch.Spec.levels.(i) in
+    if List.mem Dims.W lvl.Spec.stores then begin
+      let share = lvl.Spec.capacity_bytes / List.length lvl.Spec.stores in
+      let agg = share * instances arch i in
+      if agg > !best then best := agg
+    end
+  done;
+  !best
+
+(* ---- per-layer word counts --------------------------------------------- *)
+
+let weight_words (l : Layer.t) = l.Layer.r * l.Layer.s * l.Layer.c * l.Layer.k
+
+let bytes_of_words (arch : Spec.t) tensor words =
+  (* precisions in this repo are whole bytes or divide 8 evenly; round up
+     to be safe against exotic bit widths *)
+  let bits = B.mul words (B.of_int (arch.Spec.precision_bits tensor)) in
+  let q, r = B.divmod bits (B.of_int 8) in
+  if B.is_zero r then q else B.add q B.one
+
+(* ---- the replay -------------------------------------------------------- *)
+
+let check (c : claim) : Certificate.t =
+  let viol name residual detail =
+    Certificate.violation ~constraint_name:name ~residual ~detail
+  in
+  let members = Array.of_list c.f_members in
+  let nm = Array.length members in
+  if nm < 2 then
+    Certificate.Violated
+      [ viol "fuse group size" (string_of_int (2 - nm))
+          "a fusion group needs at least two members" ]
+  else begin
+    let layer i = members.(i).m_layer in
+    let structural = ref [] in
+    let push v = structural := v :: !structural in
+    (* 1. chain adjacency: member i's output must be exactly member i+1's
+       input tensor (channels, batch, and strided spatial extents). *)
+    for i = 0 to nm - 2 do
+      let a = layer i and b = layer (i + 1) in
+      let bad fmtname lhs rhs =
+        push
+          (viol
+             (Printf.sprintf "fuse adjacency %d->%d (%s)" i (i + 1) fmtname)
+             (string_of_int (lhs - rhs))
+             (Printf.sprintf "%s=%d of %s vs %d required by %s" fmtname lhs
+                a.Layer.name rhs b.Layer.name))
+      in
+      if a.Layer.k <> b.Layer.c then bad "k=c" a.Layer.k b.Layer.c;
+      if a.Layer.n <> b.Layer.n then bad "n" a.Layer.n b.Layer.n;
+      if a.Layer.p <> b.Layer.p * b.Layer.stride then
+        bad "p" a.Layer.p (b.Layer.p * b.Layer.stride);
+      if a.Layer.q <> b.Layer.q * b.Layer.stride then
+        bad "q" a.Layer.q (b.Layer.q * b.Layer.stride)
+    done;
+    (* 2. the last member's output is the group result; it must go to DRAM *)
+    if members.(nm - 1).m_keep_output then
+      push
+        (viol "fuse last output spilled" "1"
+           "the final member's output must be written to DRAM, not kept");
+    let q_last = (layer (nm - 1)).Layer.q in
+    if c.f_bands < 1 || c.f_bands > q_last then
+      push
+        (viol "fuse band count"
+           (string_of_int
+              (if c.f_bands < 1 then 1 - c.f_bands else c.f_bands - q_last))
+           (Printf.sprintf "bands=%d must lie in [1, q_last=%d]" c.f_bands q_last));
+    let gb_cap = gb_capacity_bytes c.f_arch in
+    if c.f_gb_reserve_bytes < 0 || c.f_gb_reserve_bytes > gb_cap then
+      push
+        (viol "fuse gb reserve"
+           (string_of_int
+              (if c.f_gb_reserve_bytes < 0 then -c.f_gb_reserve_bytes
+               else c.f_gb_reserve_bytes - gb_cap))
+           (Printf.sprintf "reserve=%d B outside [0, %d B]" c.f_gb_reserve_bytes
+              gb_cap));
+    match List.rev !structural with
+    | _ :: _ as vs ->
+      (* tile propagation and the ledgers are meaningless on a broken
+         chain; report the structural violations alone *)
+      Certificate.Violated vs
+    | [] ->
+      let vs = ref [] in
+      let push v = vs := v :: !vs in
+      let n_batch = (layer 0).Layer.n in
+      (* Edge words per band: kept or spilled, intermediate i (the output
+         of member i) occupies need_i(t) rows of a p_i x k_i x n image. *)
+      let edge_words i need =
+        B.of_int (need * (layer i).Layer.p * (layer i).Layer.k * n_batch)
+      in
+      let gb_budget = gb_cap - c.f_gb_reserve_bytes in
+      let peak = ref B.zero in
+      let dram = ref B.zero in
+      let add_dram w = dram := B.add !dram w in
+      (* per-band replay *)
+      for t = 0 to c.f_bands - 1 do
+        (* backward tile propagation: rows of each member's output this
+           band needs, clipped to what the member actually produces *)
+        let need = Array.make nm 0 in
+        need.(nm - 1) <- band_rows ~total:q_last ~bands:c.f_bands t;
+        for j = nm - 1 downto 1 do
+          let l = layer j in
+          let want = ((need.(j) - 1) * l.Layer.stride) + l.Layer.s in
+          need.(j - 1) <- min (layer (j - 1)).Layer.q want
+        done;
+        (* the group's first input comes from DRAM every band (halo rows at
+           band seams are re-read: full recompute, no halo cache) *)
+        let l0 = layer 0 in
+        let in_rows = ((need.(0) - 1) * l0.Layer.stride) + l0.Layer.s in
+        add_dram
+          (B.of_int (in_rows * Layer.input_width l0 * l0.Layer.c * n_batch));
+        (* walk the chain: while member j computes, the global buffer holds
+           the kept slice of its input edge plus the kept slice of the
+           output edge it is producing *)
+        for j = 0 to nm - 1 do
+          let occ = ref B.zero in
+          if j > 0 && members.(j - 1).m_keep_output then
+            occ :=
+              B.add !occ
+                (bytes_of_words c.f_arch Dims.IA (edge_words (j - 1) need.(j - 1)));
+          if j < nm - 1 && members.(j).m_keep_output then
+            occ :=
+              B.add !occ (bytes_of_words c.f_arch Dims.IA (edge_words j need.(j)));
+          if B.compare !occ (B.of_int gb_budget) > 0 then
+            push
+              (viol
+                 (Printf.sprintf "fuse gb ledger (band %d, member %d)" t j)
+                 (B.to_string (B.sub !occ (B.of_int gb_budget)))
+                 (Printf.sprintf
+                    "resident intermediates need %s B but only %d B remain \
+                     beside the %d B reserve"
+                    (B.to_string !occ) gb_budget c.f_gb_reserve_bytes));
+          if B.compare !occ !peak > 0 then peak := !occ
+        done;
+        (* spilled intermediate edges cross DRAM twice per band: written by
+           the producer, read back by the consumer *)
+        for j = 0 to nm - 2 do
+          if not members.(j).m_keep_output then
+            add_dram (B.mul (B.of_int 2) (edge_words j need.(j)))
+        done;
+        (* the final output is written exactly once: bands partition q *)
+        add_dram (edge_words (nm - 1) need.(nm - 1))
+      done;
+      (* weights: fetched once when pinned on chip, once per band when not *)
+      let wres_bytes = ref B.zero in
+      for j = 0 to nm - 1 do
+        let w = B.of_int (weight_words (layer j)) in
+        if members.(j).m_weights_resident then begin
+          wres_bytes := B.add !wres_bytes (bytes_of_words c.f_arch Dims.W w);
+          add_dram w
+        end
+        else add_dram (B.mul w (B.of_int c.f_bands))
+      done;
+      let wbudget = B.of_int (weight_budget_bytes c.f_arch) in
+      if B.compare !wres_bytes wbudget > 0 then
+        push
+          (viol "fuse weight residency" (B.to_string (B.sub !wres_bytes wbudget))
+             (Printf.sprintf
+                "resident weights need %s B against an aggregate on-chip \
+                 weight budget of %s B"
+                (B.to_string !wres_bytes) (B.to_string wbudget)));
+      if not (B.equal !peak (B.of_int c.f_peak_gb_bytes)) then
+        push
+          (viol "fuse gb peak" (B.to_string (B.sub !peak (B.of_int c.f_peak_gb_bytes)))
+             (Printf.sprintf "claimed peak %d B, exact replay gives %s B"
+                c.f_peak_gb_bytes (B.to_string !peak)));
+      if not (B.equal !dram (B.of_int c.f_dram_words)) then
+        push
+          (viol "fuse dram accounting"
+             (B.to_string (B.sub !dram (B.of_int c.f_dram_words)))
+             (Printf.sprintf "claimed %d off-chip words, exact replay gives %s"
+                c.f_dram_words (B.to_string !dram)));
+      match List.rev !vs with
+      | [] -> Certificate.Certified
+      | vs -> Certificate.Violated vs
+  end

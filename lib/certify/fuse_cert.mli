@@ -1,0 +1,56 @@
+(** Exact certification of fused (cross-layer) schedules.
+
+    A fused schedule executes a producer→consumer chain of layers
+    depth-first over row bands of the final output: each band is pushed
+    through the whole chain before the next band starts, so an
+    intermediate tensor marked "kept" only ever materializes one band at a
+    time in the global buffer and never touches DRAM. The planner in
+    [lib/fuse] claims a band count, a buffer-occupancy peak, and a total
+    off-chip word count for the group; this module replays that claim from
+    first principles in exact integer arithmetic ({!Prim.Bigint}, no
+    floats anywhere) and accepts it only when every number checks out.
+
+    The replay shares no code with the planner. It re-derives, per band:
+    the backward tile propagation (how many rows of each intermediate a
+    band needs, [(rows - 1) * stride + s] per step, clipped to the
+    producer's real output height), the global-buffer occupancy ledger
+    while each member computes (kept input edge + kept output edge, at IA
+    precision, against capacity minus the declared reserve), the aggregate
+    weight-buffer residency budget, and the full DRAM accounting: first
+    input read per band (halo re-reads counted), spilled edges written and
+    re-read, the final output written once, and weights fetched once if
+    resident or once per band if not. The recomputed peak and total must
+    {e equal} the claimed ones — a claim that understates either is
+    rejected, not rounded. *)
+
+type member = {
+  m_layer : Layer.t;
+  m_keep_output : bool;
+      (** this member's output stays resident in the global buffer (band by
+          band) instead of spilling to DRAM; must be [false] for the last
+          member, whose output is the group's result *)
+  m_weights_resident : bool;
+      (** weights pinned in the weight buffers across all bands (fetched
+          once) rather than refetched per band *)
+}
+
+type claim = {
+  f_arch : Spec.t;
+  f_members : member list;  (** chain order, producer first; length >= 2 *)
+  f_bands : int;  (** row bands over the last member's output height [q] *)
+  f_gb_reserve_bytes : int;
+      (** global-buffer bytes set aside for the per-layer working tiles;
+          resident intermediates must fit in what remains *)
+  f_peak_gb_bytes : int;  (** claimed peak resident-intermediate occupancy *)
+  f_dram_words : int;  (** claimed total off-chip words for one group pass *)
+}
+
+val band_rows : total:int -> bands:int -> int -> int
+(** [band_rows ~total ~bands t] is the row count of band [t] under the
+    balanced split the replay uses: [total / bands] everywhere plus one
+    extra row in each of the first [total mod bands] bands. Exposed so
+    tests can build hand-computed claims. *)
+
+val check : claim -> Certificate.t
+(** Never raises. Violations carry the exact integer residual (words or
+    bytes) by which a constraint is broken. *)

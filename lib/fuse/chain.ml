@@ -1,0 +1,98 @@
+(* Chain derivation: expand the entry list into the instance sequence,
+   find maximal runs of fusable adjacent instances, cut runs into groups of
+   at most [max_group], and deduplicate shape-identical groups. *)
+
+type group = {
+  members : Layer.t list;
+  count : int;
+}
+
+let adjacent (a : Layer.t) (b : Layer.t) =
+  a.Layer.k = b.Layer.c && a.Layer.n = b.Layer.n
+  && a.Layer.p = b.Layer.p * b.Layer.stride
+  && a.Layer.q = b.Layer.q * b.Layer.stride
+
+(* The network's instance sequence: each entry repeated [repeats] times in
+   entry order (the data structure's stated execution order). *)
+let instances (net : Network.t) =
+  List.concat_map
+    (fun (e : Network.entry) ->
+      List.init e.Network.repeats (fun _ -> e.Network.layer))
+    net.Network.entries
+
+(* Split one maximal fusable run into member lists of [2, max_group]. *)
+let cut_run max_group run =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | [ _ ] -> List.rev acc  (* a leftover single is not a group *)
+    | rest ->
+      let seg, rest' =
+        let rec take n xs =
+          match (n, xs) with
+          | 0, _ | _, [] -> ([], xs)
+          | n, x :: tl ->
+            let s, r = take (n - 1) tl in
+            (x :: s, r)
+        in
+        take max_group rest
+      in
+      go (seg :: acc) rest'
+  in
+  go [] run
+
+let derive ?(max_group = 3) (net : Network.t) =
+  let max_group = max 2 max_group in
+  (* maximal runs of consecutive fusable instances *)
+  let runs =
+    let flush cur acc = match cur with [] | [ _ ] -> acc | c -> List.rev c :: acc in
+    let rec go cur acc = function
+      | [] -> List.rev (flush cur acc)
+      | l :: tl ->
+        (match cur with
+         | prev :: _ when adjacent prev l -> go (l :: cur) acc tl
+         | _ -> go [ l ] (flush cur acc) tl)
+    in
+    go [] [] (instances net)
+  in
+  let segs = List.concat_map (cut_run max_group) runs in
+  (* dedup shape-identical member sequences, keeping first-seen order *)
+  let keys seg = String.concat ";" (List.map Layer.key seg) in
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun seg ->
+      let k = keys seg in
+      match Hashtbl.find_opt tbl k with
+      | Some (members, n) -> Hashtbl.replace tbl k (members, n + 1)
+      | None ->
+        Hashtbl.add tbl k (seg, 1);
+        order := k :: !order)
+    segs;
+  List.rev_map
+    (fun k ->
+      let members, count = Hashtbl.find tbl k in
+      { members; count })
+    !order
+
+let grouped_instances groups =
+  List.fold_left (fun acc g -> acc + (List.length g.members * g.count)) 0 groups
+
+let group_key arch g =
+  Printf.sprintf "arch=%s|chain=%s" (Spec.key arch)
+    (String.concat ";" (List.map Layer.key g.members))
+
+(* FNV-1a 64, the same stable digest the schedule cache uses for its file
+   stems (see Serve.Fingerprint). *)
+let fnv1a_64 s =
+  let prime = 1099511628211L in
+  let h = ref (-3750763034362895579L) (* 14695981039346656037 *) in
+  String.iter
+    (fun ch -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let group_hash arch g = fnv1a_64 (group_key arch g)
+
+let group_to_string g =
+  Printf.sprintf "%dx [%s]" g.count
+    (String.concat " -> " (List.map (fun (l : Layer.t) -> l.Layer.name) g.members))

@@ -1,0 +1,41 @@
+(** Producer→consumer chain derivation over a network.
+
+    A network's entry list is its execution order. Two consecutive layer
+    instances are fusable when the first's output tensor is exactly the
+    second's input tensor: output channels match input channels, batch
+    matches, and the spatial extents match through the consumer's stride.
+    Maximal runs of fusable instances are cut into fusion groups of at
+    most [max_group] members, and shape-identical groups are deduplicated
+    with occurrence counts — the fusion planner solves each distinct group
+    once, exactly as the batch service solves each distinct layer once. *)
+
+type group = {
+  members : Layer.t list;  (** chain order, producer first; length >= 2 *)
+  count : int;  (** occurrences of this exact member sequence in the network *)
+}
+
+val adjacent : Layer.t -> Layer.t -> bool
+(** [adjacent producer consumer]: can [consumer] run depth-first on
+    [producer]'s output? *)
+
+val derive : ?max_group:int -> Network.t -> group list
+(** Distinct fusion groups in order of first appearance. [max_group]
+    (default 3) caps members per group; leftover single instances are not
+    grouped. Raises nothing; a network with no fusable pair yields []. *)
+
+val grouped_instances : group list -> int
+(** Total layer instances covered by the groups (members x count, summed). *)
+
+val group_key : Spec.t -> group -> string
+(** Canonical content key for a group: the architecture key plus each
+    member's shape key in chain order. Name-blind, like
+    {!Layer.key}/{!Spec.key} — equal keys mean the same fusion problem. *)
+
+val group_hash : Spec.t -> group -> string
+(** 16-hex-character FNV-1a digest of {!group_key}, stable across OCaml
+    versions and machines; the group's content address in telemetry and
+    bench output. *)
+
+val group_to_string : group -> string
+(** Compact human-readable rendering, e.g.
+    ["3x [1_56_256_64_1 -> 3_56_64_64_1 -> 1_56_64_256_1]"]. *)

@@ -1,0 +1,511 @@
+(* The fusion planner.
+
+   Per group: enumerate band counts, solve a small keep/wres MIP per
+   candidate with Milp.Bb, recompute the winner's cost in exact integer
+   arithmetic, and submit the result to Certify.Fuse_cert. The exact
+   accounting here is the planner's own — the certifier replays the same
+   physics from the claim alone (over Prim.Bigint, in lib/certify) so the
+   two implementations check each other.
+
+   All word counts in this file fit native ints comfortably: the largest
+   per-band edge is p*q*k*n of a single layer, and network totals stay far
+   below 2^62 for anything in the model zoo. *)
+
+let m_groups = Telemetry.Metrics.counter "fuse.groups"
+let m_fused = Telemetry.Metrics.counter "fuse.fused"
+let m_degraded = Telemetry.Metrics.counter "fuse.degraded"
+let m_not_beneficial = Telemetry.Metrics.counter "fuse.not_beneficial"
+let m_cert_failures = Telemetry.Metrics.counter "fuse.cert_failures"
+let m_mip_solves = Telemetry.Metrics.counter "fuse.mip_solves"
+
+type mode = Chains | Auto
+
+let mode_to_string = function Chains -> "chains" | Auto -> "auto"
+
+type fused = {
+  f_bands : int;
+  f_keep : bool list;
+  f_wres : bool list;
+  f_gb_reserve_bytes : int;
+  f_peak_gb_bytes : int;
+  f_dram_words : int;
+}
+
+type outcome = Fused of fused | Independent of Robust.Failure.t list
+
+type group_plan = {
+  g_group : Chain.group;
+  g_key : string;
+  g_hash : string;
+  g_independent_words : int;
+  g_outcome : outcome;
+}
+
+type network_plan = {
+  p_network : string;
+  p_mode : mode;
+  p_max_group : int;
+  p_groups : group_plan list;
+  p_grouped_instances : int;
+  p_instances : int;
+  p_independent_dram_words : int;
+  p_fused_dram_words : int;
+}
+
+let independent_words (l : Layer.t) =
+  Layer.tensor_words l Dims.W + Layer.tensor_words l Dims.IA
+  + Layer.tensor_words l Dims.OA
+
+(* ---- architecture budgets (planner's view; the certifier re-derives
+   these independently in lib/certify/fuse_cert.ml) --------------------- *)
+
+let instances_at (arch : Spec.t) i =
+  let n = ref 1 in
+  for j = i to Array.length arch.Spec.levels - 1 do
+    n := !n * arch.Spec.levels.(j).Spec.fanout
+  done;
+  !n
+
+let gb_capacity_bytes (arch : Spec.t) =
+  arch.Spec.levels.(Spec.dram_level arch - 1).Spec.capacity_bytes
+
+let weight_budget_bytes (arch : Spec.t) =
+  let best = ref 0 in
+  for i = 0 to Spec.dram_level arch - 1 do
+    let lvl = arch.Spec.levels.(i) in
+    if List.mem Dims.W lvl.Spec.stores then begin
+      let share = lvl.Spec.capacity_bytes / List.length lvl.Spec.stores in
+      let agg = share * instances_at arch i in
+      if agg > !best then best := agg
+    end
+  done;
+  !best
+
+let bytes_of_words (arch : Spec.t) tensor words =
+  (words * arch.Spec.precision_bits tensor + 7) / 8
+
+(* ---- exact accounting for a concrete (bands, keep, wres) choice ------- *)
+
+(* Rows of band [t] (balanced split, extras first — matches Fuse_cert). *)
+let band_rows ~total ~bands t =
+  (total / bands) + (if t < total mod bands then 1 else 0)
+
+type accounting = {
+  a_dram_words : int;
+  a_peak_bytes : int;
+  a_ledger_ok : bool;  (* every (band, member) occupancy within budget *)
+}
+
+let account (arch : Spec.t) (members : Layer.t array) ~keep ~wres ~bands
+    ~gb_reserve_bytes =
+  let nm = Array.length members in
+  let q_last = members.(nm - 1).Layer.q in
+  let gb_budget = gb_capacity_bytes arch - gb_reserve_bytes in
+  let n_batch = members.(0).Layer.n in
+  let edge_words i need = need * members.(i).Layer.p * members.(i).Layer.k * n_batch in
+  let dram = ref 0 and peak = ref 0 and ok = ref true in
+  for t = 0 to bands - 1 do
+    let need = Array.make nm 0 in
+    need.(nm - 1) <- band_rows ~total:q_last ~bands t;
+    for j = nm - 1 downto 1 do
+      let l = members.(j) in
+      need.(j - 1) <-
+        min members.(j - 1).Layer.q (((need.(j) - 1) * l.Layer.stride) + l.Layer.s)
+    done;
+    let l0 = members.(0) in
+    let in_rows = ((need.(0) - 1) * l0.Layer.stride) + l0.Layer.s in
+    dram := !dram + (in_rows * Layer.input_width l0 * l0.Layer.c * n_batch);
+    for j = 0 to nm - 1 do
+      let occ = ref 0 in
+      if j > 0 && keep.(j - 1) then
+        occ := !occ + bytes_of_words arch Dims.IA (edge_words (j - 1) need.(j - 1));
+      if j < nm - 1 && keep.(j) then
+        occ := !occ + bytes_of_words arch Dims.IA (edge_words j need.(j));
+      if !occ > gb_budget then ok := false;
+      if !occ > !peak then peak := !occ
+    done;
+    for j = 0 to nm - 2 do
+      if not keep.(j) then dram := !dram + (2 * edge_words j need.(j))
+    done;
+    dram := !dram + edge_words (nm - 1) need.(nm - 1)
+  done;
+  for j = 0 to nm - 1 do
+    let w =
+      members.(j).Layer.r * members.(j).Layer.s * members.(j).Layer.c
+      * members.(j).Layer.k
+    in
+    dram := !dram + (if wres.(j) then w else w * bands)
+  done;
+  { a_dram_words = !dram; a_peak_bytes = !peak; a_ledger_ok = !ok }
+
+(* ---- per-candidate MIP ------------------------------------------------ *)
+
+(* Candidate band counts: powers of two up to the final output height,
+   plus the height itself (one row per band at the extreme). *)
+let band_candidates q_last =
+  let rec pows acc t = if t > q_last then List.rev acc else pows (t :: acc) (t * 2) in
+  let cands = pows [] 1 @ [ q_last ] in
+  List.sort_uniq compare (List.filter (fun t -> t >= 1 && t <= q_last) cands)
+
+(* Build and solve the keep/wres MIP for one band count. Occupancy
+   constraints only need band 0: the balanced split puts the extra rows
+   first, so band 0 dominates every other band's needs. *)
+let solve_candidate ~node_limit ~time_limit ~deadline (arch : Spec.t)
+    (members : Layer.t array) ~bands ~gb_reserve_bytes =
+  let nm = Array.length members in
+  let q_last = members.(nm - 1).Layer.q in
+  let n_batch = members.(0).Layer.n in
+  let gb_budget = gb_capacity_bytes arch - gb_reserve_bytes in
+  let edge_words i need = need * members.(i).Layer.p * members.(i).Layer.k * n_batch in
+  (* band-0 needs *)
+  let need0 = Array.make nm 0 in
+  need0.(nm - 1) <- band_rows ~total:q_last ~bands 0;
+  for j = nm - 1 downto 1 do
+    let l = members.(j) in
+    need0.(j - 1) <-
+      min members.(j - 1).Layer.q (((need0.(j) - 1) * l.Layer.stride) + l.Layer.s)
+  done;
+  (* spill cost of edge i across all bands (written + read back) *)
+  let spill = Array.make (nm - 1) 0 in
+  for t = 0 to bands - 1 do
+    let need = Array.make nm 0 in
+    need.(nm - 1) <- band_rows ~total:q_last ~bands t;
+    for j = nm - 1 downto 1 do
+      let l = members.(j) in
+      need.(j - 1) <-
+        min members.(j - 1).Layer.q (((need.(j) - 1) * l.Layer.stride) + l.Layer.s)
+    done;
+    for i = 0 to nm - 2 do
+      spill.(i) <- spill.(i) + (2 * edge_words i need.(i))
+    done
+  done;
+  let m = Milp.Lp.create ~name:(Printf.sprintf "fuse_T%d" bands) () in
+  let keep =
+    Array.init (nm - 1) (fun i ->
+        Milp.Lp.add_var m ~integer:true ~lb:0. ~ub:1. (Printf.sprintf "keep_%d" i))
+  in
+  let wres =
+    Array.init nm (fun j ->
+        Milp.Lp.add_var m ~integer:true ~lb:0. ~ub:1. (Printf.sprintf "wres_%d" j))
+  in
+  (* minimize off-chip words: savings enter with negative coefficients *)
+  let wwords j =
+    members.(j).Layer.r * members.(j).Layer.s * members.(j).Layer.c
+    * members.(j).Layer.k
+  in
+  let obj =
+    Array.to_list (Array.mapi (fun i v -> (-.float_of_int spill.(i), v)) keep)
+    @ Array.to_list
+        (Array.mapi
+           (fun j v -> (-.float_of_int ((bands - 1) * wwords j), v))
+           wres)
+  in
+  Milp.Lp.set_objective m `Minimize obj;
+  (* global-buffer ledger at band 0, one row per member step *)
+  for j = 0 to nm - 1 do
+    let terms = ref [] in
+    if j > 0 then
+      terms :=
+        ( float_of_int (bytes_of_words arch Dims.IA (edge_words (j - 1) need0.(j - 1))),
+          keep.(j - 1) )
+        :: !terms;
+    if j < nm - 1 then
+      terms :=
+        (float_of_int (bytes_of_words arch Dims.IA (edge_words j need0.(j))), keep.(j))
+        :: !terms;
+    if !terms <> [] then
+      Milp.Lp.add_constr m ~name:(Printf.sprintf "gb_member_%d" j) !terms Milp.Lp.Le
+        (float_of_int gb_budget)
+  done;
+  (* aggregate on-chip weight capacity *)
+  Milp.Lp.add_constr m ~name:"weight_capacity"
+    (Array.to_list
+       (Array.mapi
+          (fun j v -> (float_of_int (bytes_of_words arch Dims.W (wwords j)), v))
+          wres))
+    Milp.Lp.Le
+    (float_of_int (weight_budget_bytes arch));
+  Telemetry.Metrics.incr m_mip_solves;
+  let r = Milp.Bb.solve ~node_limit ~time_limit ~deadline m in
+  match r.Milp.Bb.status with
+  | Milp.Bb.Optimal | Milp.Bb.Feasible ->
+    let keep_b = Array.map (fun v -> Milp.Bb.value r v > 0.5) keep in
+    let wres_b = Array.map (fun v -> Milp.Bb.value r v > 0.5) wres in
+    Ok (keep_b, wres_b)
+  | Milp.Bb.Infeasible -> Error [ Robust.Failure.Infeasible ]
+  | Milp.Bb.Unbounded -> Error [ Robust.Failure.Numerical_instability ]
+  | Milp.Bb.No_solution ->
+    Error
+      (if r.Milp.Bb.failures <> [] then r.Milp.Bb.failures
+       else [ Robust.Failure.Iteration_limit ])
+
+(* ---- group planning --------------------------------------------------- *)
+
+let plan_group ?(node_limit = 10_000) ?(time_limit = 2.)
+    ?(deadline = Robust.Deadline.none) ?gb_reserve_bytes (arch : Spec.t)
+    (group : Chain.group) =
+  Telemetry.Metrics.incr m_groups;
+  let members = Array.of_list group.Chain.members in
+  let g_independent_words =
+    List.fold_left (fun acc l -> acc + independent_words l) 0 group.Chain.members
+  in
+  let base =
+    {
+      g_group = group;
+      g_key = Chain.group_key arch group;
+      g_hash = Chain.group_hash arch group;
+      g_independent_words;
+      g_outcome = Independent [];
+    }
+  in
+  let degrade failures =
+    Telemetry.Metrics.incr m_degraded;
+    { base with g_outcome = Independent failures }
+  in
+  match Robust.Fault.check "fuse.plan" with
+  | Error f -> degrade [ f ]
+  | Ok () ->
+    let gb_reserve_bytes =
+      match gb_reserve_bytes with
+      | Some r -> max 0 (min r (gb_capacity_bytes arch))
+      | None -> gb_capacity_bytes arch / 2
+    in
+    let q_last = members.(Array.length members - 1).Layer.q in
+    (* evaluate every candidate band count; keep the exact-integer best *)
+    let best = ref None and failures = ref [] in
+    List.iter
+      (fun bands ->
+        match
+          solve_candidate ~node_limit ~time_limit ~deadline arch members ~bands
+            ~gb_reserve_bytes
+        with
+        | Error fs -> failures := !failures @ fs
+        | Ok (keep, wres) ->
+          let a = account arch members ~keep ~wres ~bands ~gb_reserve_bytes in
+          if a.a_ledger_ok then
+            let better =
+              match !best with
+              | None -> true
+              | Some (_, _, _, prev) ->
+                a.a_dram_words < prev.a_dram_words
+            in
+            if better then best := Some (bands, keep, wres, a))
+      (band_candidates q_last);
+    (match !best with
+     | None ->
+       degrade
+         (if !failures = [] then [ Robust.Failure.Infeasible ]
+          else Robust.Failure.dedup_consecutive !failures)
+     | Some (bands, keep, wres, a) ->
+       let claim =
+         {
+           Certify.Fuse_cert.f_arch = arch;
+           f_members =
+             List.mapi
+               (fun j l ->
+                 {
+                   Certify.Fuse_cert.m_layer = l;
+                   m_keep_output = j < Array.length members - 1 && keep.(j);
+                   m_weights_resident = wres.(j);
+                 })
+               group.Chain.members;
+           f_bands = bands;
+           f_gb_reserve_bytes = gb_reserve_bytes;
+           f_peak_gb_bytes = a.a_peak_bytes;
+           f_dram_words = a.a_dram_words;
+         }
+       in
+       (match Certify.Fuse_cert.check claim with
+        | Certify.Certificate.Certified ->
+          Telemetry.Metrics.incr m_fused;
+          {
+            base with
+            g_outcome =
+              Fused
+                {
+                  f_bands = bands;
+                  f_keep = Array.to_list keep;
+                  f_wres = Array.to_list wres;
+                  f_gb_reserve_bytes = gb_reserve_bytes;
+                  f_peak_gb_bytes = a.a_peak_bytes;
+                  f_dram_words = a.a_dram_words;
+                };
+          }
+        | Certify.Certificate.Violated _ as cert ->
+          (* an uncertified fused schedule never serves *)
+          Telemetry.Metrics.incr m_cert_failures;
+          degrade
+            (match Certify.Certificate.to_failure cert with
+             | Some f -> [ f ]
+             | None -> [ Robust.Failure.Certification_failed "fuse: unknown" ])))
+
+let group_savings gp =
+  match gp.g_outcome with
+  | Independent _ -> 0
+  | Fused f -> max 0 (gp.g_independent_words - f.f_dram_words)
+
+let plan_network ?(mode = Chains) ?(max_group = 3) ?node_limit ?time_limit
+    ?deadline ?gb_reserve_bytes (arch : Spec.t) (net : Network.t) =
+  let sp = Telemetry.Trace.begin_span ~cat:"fuse" "fuse.plan" in
+  let groups = Chain.derive ~max_group net in
+  let plans =
+    List.map
+      (fun g ->
+        let gp = plan_group ?node_limit ?time_limit ?deadline ?gb_reserve_bytes arch g in
+        match (mode, gp.g_outcome) with
+        | Auto, Fused f when f.f_dram_words >= gp.g_independent_words ->
+          (* certified but not beneficial: Auto serves the baseline *)
+          Telemetry.Metrics.incr m_not_beneficial;
+          { gp with g_outcome = Independent [] }
+        | _ -> gp)
+      groups
+  in
+  let instances_total = Network.layer_count net in
+  let independent_total =
+    List.fold_left
+      (fun acc (e : Network.entry) ->
+        acc + (e.Network.repeats * independent_words e.Network.layer))
+      0 net.Network.entries
+  in
+  let saved =
+    List.fold_left
+      (fun acc gp -> acc + (gp.g_group.Chain.count * group_savings gp))
+      0 plans
+  in
+  let r =
+    {
+      p_network = net.Network.nname;
+      p_mode = mode;
+      p_max_group = max_group;
+      p_groups = plans;
+      p_grouped_instances = Chain.grouped_instances groups;
+      p_instances = instances_total;
+      p_independent_dram_words = independent_total;
+      p_fused_dram_words = independent_total - saved;
+    }
+  in
+  Telemetry.Trace.end_span
+    ~args:
+      [ ("network", net.Network.nname);
+        ("groups", string_of_int (List.length plans));
+        ("fused",
+         string_of_int
+           (List.length
+              (List.filter
+                 (fun gp -> match gp.g_outcome with Fused _ -> true | _ -> false)
+                 plans)));
+        ("saved_words", string_of_int saved) ]
+    sp;
+  r
+
+let network_plan_to_string p =
+  let buf = Buffer.create 1024 in
+  let tab =
+    Prim.Texttab.create
+      [ "group"; "x"; "outcome"; "bands"; "peak GB (B)"; "dram (words)";
+        "indep (words)"; "saved" ]
+  in
+  List.iter
+    (fun gp ->
+      let chain =
+        String.concat "->"
+          (List.map (fun (l : Layer.t) -> l.Layer.name) gp.g_group.Chain.members)
+      in
+      match gp.g_outcome with
+      | Fused f ->
+        let saved = gp.g_independent_words - f.f_dram_words in
+        Prim.Texttab.add_row tab
+          [ chain; string_of_int gp.g_group.Chain.count; "fused";
+            string_of_int f.f_bands; string_of_int f.f_peak_gb_bytes;
+            string_of_int f.f_dram_words; string_of_int gp.g_independent_words;
+            Printf.sprintf "%.1f%%"
+              (100. *. float_of_int saved /. float_of_int gp.g_independent_words) ]
+      | Independent [] ->
+        Prim.Texttab.add_row tab
+          [ chain; string_of_int gp.g_group.Chain.count; "independent"; "-"; "-";
+            string_of_int gp.g_independent_words;
+            string_of_int gp.g_independent_words; "0.0%" ]
+      | Independent fs ->
+        Prim.Texttab.add_row tab
+          [ chain; string_of_int gp.g_group.Chain.count;
+            "degraded: " ^ Robust.Failure.to_string (List.hd fs); "-"; "-";
+            string_of_int gp.g_independent_words;
+            string_of_int gp.g_independent_words; "0.0%" ])
+    p.p_groups;
+  Buffer.add_string buf (Prim.Texttab.render tab);
+  let saved = p.p_independent_dram_words - p.p_fused_dram_words in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "fusion (%s, max group %d): %d groups over %d/%d instances\n\
+        off-chip words: independent %d, fused %d (saved %d, %.1f%%)\n"
+       (mode_to_string p.p_mode) p.p_max_group (List.length p.p_groups)
+       p.p_grouped_instances p.p_instances p.p_independent_dram_words
+       p.p_fused_dram_words saved
+       (if p.p_independent_dram_words = 0 then 0.
+        else 100. *. float_of_int saved /. float_of_int p.p_independent_dram_words));
+  Buffer.contents buf
+
+(* ---- DRAM access traces (for the cycle-level DRAM-model validation) --- *)
+
+type transfer = {
+  t_region : int;
+  t_words : int;
+  t_write : bool;
+}
+
+(* Region numbering shared by both traces: 0 = group input, 1..nm-1 = edge
+   i (output of member i-1, i.e. region i = edge index i-1 + 1), nm = final
+   output, nm+1+j = member j's weights. *)
+let fused_trace (group : Chain.group) (f : fused) =
+  let members = Array.of_list group.Chain.members in
+  let nm = Array.length members in
+  let keep = Array.of_list f.f_keep and wres = Array.of_list f.f_wres in
+  let q_last = members.(nm - 1).Layer.q in
+  let n_batch = members.(0).Layer.n in
+  let edge_words i need = need * members.(i).Layer.p * members.(i).Layer.k * n_batch in
+  let out = ref [] in
+  let emit region words write =
+    if words > 0 then out := { t_region = region; t_words = words; t_write = write } :: !out
+  in
+  for t = 0 to f.f_bands - 1 do
+    let need = Array.make nm 0 in
+    need.(nm - 1) <- band_rows ~total:q_last ~bands:f.f_bands t;
+    for j = nm - 1 downto 1 do
+      let l = members.(j) in
+      need.(j - 1) <-
+        min members.(j - 1).Layer.q (((need.(j) - 1) * l.Layer.stride) + l.Layer.s)
+    done;
+    let l0 = members.(0) in
+    let in_rows = ((need.(0) - 1) * l0.Layer.stride) + l0.Layer.s in
+    emit 0 (in_rows * Layer.input_width l0 * l0.Layer.c * n_batch) false;
+    for j = 0 to nm - 2 do
+      if not keep.(j) then begin
+        emit (j + 1) (edge_words j need.(j)) true;
+        emit (j + 1) (edge_words j need.(j)) false
+      end
+    done;
+    emit nm (edge_words (nm - 1) need.(nm - 1)) true
+  done;
+  for j = 0 to nm - 1 do
+    let w =
+      members.(j).Layer.r * members.(j).Layer.s * members.(j).Layer.c
+      * members.(j).Layer.k
+    in
+    emit (nm + 1 + j) (if wres.(j) then w else w * f.f_bands) false
+  done;
+  List.rev !out
+
+let independent_trace (group : Chain.group) =
+  let members = Array.of_list group.Chain.members in
+  let nm = Array.length members in
+  let out = ref [] in
+  let emit region words write =
+    if words > 0 then out := { t_region = region; t_words = words; t_write = write } :: !out
+  in
+  for j = 0 to nm - 1 do
+    let l = members.(j) in
+    emit j (Layer.tensor_words l Dims.IA) false;
+    emit (nm + 1 + j) (Layer.tensor_words l Dims.W) false;
+    emit (j + 1) (Layer.tensor_words l Dims.OA) true
+  done;
+  List.rev !out

@@ -1,0 +1,120 @@
+(** The fusion planner: second-stage optimization over derived chains.
+
+    For each fusion group the planner enumerates candidate band counts
+    (row-band tilings of the chain's final output), and for each candidate
+    solves a small buffer-allocation / tensor-replacement MIP with
+    {!Milp.Bb}: binary [keep] per intermediate edge (resident in the
+    global buffer vs spilled to DRAM) and binary [wres] per member
+    (weights pinned on chip vs refetched per band), minimizing total
+    off-chip words subject to the global-buffer ledger and the aggregate
+    weight-capacity budget. The best candidate's exact integer accounting
+    becomes a {!Certify.Fuse_cert.claim}; only a claim the certifier
+    accepts is served as fused. Anything else — injected fault, solver
+    failure, certification failure, or (in [Auto] mode) a fusion that
+    does not actually beat the independent baseline — degrades the group
+    to the certified per-layer answer, provenance-tagged with the typed
+    failures that caused the descent. *)
+
+type mode =
+  | Chains  (** fuse every derived chain whose plan certifies *)
+  | Auto  (** additionally require the fused plan to strictly beat the
+              independent per-layer baseline *)
+
+val mode_to_string : mode -> string
+
+type fused = {
+  f_bands : int;
+  f_keep : bool list;  (** per intermediate edge, producer order *)
+  f_wres : bool list;  (** per member *)
+  f_gb_reserve_bytes : int;
+  f_peak_gb_bytes : int;
+  f_dram_words : int;  (** exact off-chip words for one pass of the group *)
+}
+
+type outcome =
+  | Fused of fused  (** certified in exact arithmetic — never served otherwise *)
+  | Independent of Robust.Failure.t list
+      (** group falls back to per-layer scheduling; the list is the typed
+          provenance of the degradation (empty when [Auto] found fusion
+          simply not beneficial) *)
+
+type group_plan = {
+  g_group : Chain.group;
+  g_key : string;
+  g_hash : string;
+  g_independent_words : int;
+      (** per-layer baseline for one pass: every tensor of every member
+          touched once in DRAM (the most charitable independent schedule) *)
+  g_outcome : outcome;
+}
+
+type network_plan = {
+  p_network : string;
+  p_mode : mode;
+  p_max_group : int;
+  p_groups : group_plan list;
+  p_grouped_instances : int;  (** layer instances covered by some group *)
+  p_instances : int;  (** total layer instances in the network *)
+  p_independent_dram_words : int;  (** whole network, all layers independent *)
+  p_fused_dram_words : int;
+      (** whole network with fused groups applied (ungrouped and degraded
+          layers at the independent baseline) *)
+}
+
+val independent_words : Layer.t -> int
+(** W + IA + OA footprints, each touched once ({!Layer.tensor_words}). *)
+
+val plan_group :
+  ?node_limit:int ->
+  ?time_limit:float ->
+  ?deadline:Robust.Deadline.t ->
+  ?gb_reserve_bytes:int ->
+  Spec.t ->
+  Chain.group ->
+  group_plan
+(** Never raises. [gb_reserve_bytes] defaults to half the global buffer
+    (left to the per-layer working tiles); [node_limit] defaults to 10_000
+    per candidate MIP, [time_limit] to 2 s. *)
+
+val plan_network :
+  ?mode:mode ->
+  ?max_group:int ->
+  ?node_limit:int ->
+  ?time_limit:float ->
+  ?deadline:Robust.Deadline.t ->
+  ?gb_reserve_bytes:int ->
+  Spec.t ->
+  Network.t ->
+  network_plan
+(** Derives groups ({!Chain.derive}), plans each distinct group once, and
+    rolls up network totals. Wrapped in a ["fuse.plan"] telemetry span;
+    ticks [fuse.*] counters. Default [mode] is [Chains]. *)
+
+val group_savings : group_plan -> int
+(** Off-chip words saved per pass by this group's outcome (0 when
+    independent; never negative). *)
+
+(** {2 DRAM access traces}
+
+    Transfer-level renderings of the two executions, for replay through
+    {!Dram_model} (the cycle-level banked DRAM simulator in [lib/noc]):
+    one entry per contiguous DRAM touch, in execution order. Regions
+    number the distinct tensors (group input, each intermediate edge, the
+    final output, each member's weights) so the simulator sees realistic
+    row-locality structure. *)
+
+type transfer = {
+  t_region : int;  (** tensor region id, dense from 0 *)
+  t_words : int;
+  t_write : bool;
+}
+
+val fused_trace : Chain.group -> fused -> transfer list
+(** The fused execution: per band, the group input read, spilled-edge
+    writes/reads, the output-band write; then the weight fetches. *)
+
+val independent_trace : Chain.group -> transfer list
+(** The per-layer baseline: each member reads its input and weights and
+    writes its output, every tensor touched once. *)
+
+val network_plan_to_string : network_plan -> string

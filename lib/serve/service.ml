@@ -359,6 +359,41 @@ let schedule_network ?cache ?tier ?rung cfg (net : Network.t) =
     sp;
   r
 
+(* ---- fused (cross-layer) mode ----------------------------------------
+
+   The fused entry point runs the unchanged per-layer path first and adds
+   the fusion planner as a second stage. Nothing about stage one depends on
+   the fuse mode: same cache keys, same pool fan-out, same telemetry — so
+   Fuse_off is byte-identical to [schedule_network] by construction, not by
+   testing discipline alone. *)
+
+type fuse_mode = Fuse_off | Fuse_chains | Fuse_auto
+
+let fuse_mode_to_string = function
+  | Fuse_off -> "off"
+  | Fuse_chains -> "chains"
+  | Fuse_auto -> "auto"
+
+type fused_report = {
+  base : report;
+  fusion : Fuse.Plan.network_plan option;
+}
+
+let schedule_network_fused ?cache ?tier ?rung ?max_group ~fuse cfg (net : Network.t) =
+  let base = schedule_network ?cache ?tier ?rung cfg net in
+  let fusion =
+    match fuse with
+    | Fuse_off -> None
+    | Fuse_chains | Fuse_auto ->
+      let mode =
+        match fuse with Fuse_auto -> Fuse.Plan.Auto | _ -> Fuse.Plan.Chains
+      in
+      Some
+        (Fuse.Plan.plan_network ~mode ?max_group ~node_limit:cfg.node_limit
+           ~time_limit:cfg.time_limit ~deadline:cfg.deadline cfg.arch net)
+  in
+  { base; fusion }
+
 let report_to_string r =
   let buf = Buffer.create 2048 in
   let tab =
@@ -401,3 +436,9 @@ let report_to_string r =
    | None -> ());
   Buffer.add_string buf (Printf.sprintf "wall time: %.3f s\n" r.wall_time);
   Buffer.contents buf
+
+let fused_report_to_string fr =
+  match fr.fusion with
+  | None -> report_to_string fr.base
+  | Some plan ->
+    report_to_string fr.base ^ "\n" ^ Fuse.Plan.network_plan_to_string plan

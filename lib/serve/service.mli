@@ -140,3 +140,39 @@ val schedule_network :
     [Robust.Failure.Deadline_exceeded] layer failures. *)
 
 val report_to_string : report -> string
+
+(** {2 Fused (cross-layer) network mode} *)
+
+type fuse_mode = Fuse_off | Fuse_chains | Fuse_auto
+
+val fuse_mode_to_string : fuse_mode -> string
+
+type fused_report = {
+  base : report;
+      (** the per-layer batch report — with [Fuse_off] this is exactly what
+          {!schedule_network} returns (same path, same telemetry), so
+          [--fuse=off] is byte-identical to the non-fused service *)
+  fusion : Fuse.Plan.network_plan option;  (** [None] iff [Fuse_off] *)
+}
+
+val schedule_network_fused :
+  ?cache:Schedule_cache.t ->
+  ?tier:cache_tier ->
+  ?rung:Robust.Ladder.rung ->
+  ?max_group:int ->
+  fuse:fuse_mode ->
+  config ->
+  Network.t ->
+  fused_report
+(** Per-layer scheduling first (the unchanged {!schedule_network} path —
+    per-layer cache keys and cluster content addressing are untouched),
+    then the fusion planner as a purely additive second stage over the
+    derived chains. [Fuse_chains] serves every certified fused group;
+    [Fuse_auto] additionally demotes fusions that do not beat the
+    independent baseline. Fused groups are content-addressed by
+    {!Fuse.Chain.group_hash} (architecture + member shape keys). Never
+    raises; a group that cannot be fused — injected fault, MIP failure, or
+    certification failure — degrades to the certified per-layer answer
+    with typed provenance. *)
+
+val fused_report_to_string : fused_report -> string

@@ -69,6 +69,32 @@ let resnext50 =
       ];
   }
 
+(* Fusion-candidate chains: short producer->consumer sequences whose entry
+   order is the execution order, so [Fuse.Chain.derive] finds them whole.
+   The stem is the ResNet-C deep stem (three 3x3 convolutions replacing the
+   7x7); the block is the standard bottleneck from the zoo. *)
+
+let resnet50_stem =
+  let conv ?(stride = 1) ~name ~p ~c ~k () =
+    { layer = Layer.create ~name ~stride ~r:3 ~s:3 ~p ~q:p ~c ~k ~n:1 (); repeats = 1 }
+  in
+  {
+    nname = "ResNet-50-stem";
+    entries =
+      [
+        conv ~stride:2 ~name:"stem_3_112_3_32_2" ~p:112 ~c:3 ~k:32 ();
+        conv ~name:"stem_3_112_32_32_1" ~p:112 ~c:32 ~k:32 ();
+        conv ~name:"stem_3_112_32_64_1" ~p:112 ~c:32 ~k:64 ();
+      ];
+  }
+
+let resnet50_block =
+  {
+    nname = "ResNet-50-block";
+    entries =
+      [ entry "1_56_256_64_1" 1; entry "3_56_64_64_1" 1; entry "1_56_64_256_1" 1 ];
+  }
+
 let layer_count t = List.fold_left (fun acc e -> acc + e.repeats) 0 t.entries
 
 (* Shape deduplication: entries whose layers have equal canonical shape
@@ -97,7 +123,7 @@ let total_macs t =
     (fun acc e -> acc +. (float_of_int e.repeats *. float_of_int (Layer.macs e.layer)))
     0. t.entries
 
-let networks = [ resnet50; resnext50 ]
+let networks = [ resnet50; resnext50; resnet50_stem; resnet50_block ]
 
 (* Lookup tolerant of the usual spellings: "resnet50", "ResNet-50", ... *)
 let find name =

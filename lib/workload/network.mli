@@ -19,6 +19,14 @@ val resnext50 : t
 (** ResNeXt-50 32x4d; the grouped 3x3 entries carry an extra factor of 32
     in [repeats] (one schedule per group). *)
 
+val resnet50_stem : t
+(** Fusion-candidate chain: the ResNet-C deep stem (three 3x3 convolutions
+    replacing the 7x7), entry order = execution order. *)
+
+val resnet50_block : t
+(** Fusion-candidate chain: one conv2_x bottleneck
+    (1x1 256->64, 3x3 64->64, 1x1 64->256 at 56x56). *)
+
 val layer_count : t -> int
 (** Total layer instances (sum of repeats). *)
 

@@ -31,6 +31,7 @@ let () =
       Test_daemon.suite;
       Test_cluster.suite;
       Test_telemetry.suite;
+      Test_fuse.suite;
       Test_integration.suite;
       Test_crossval.suite;
     ]
