@@ -424,8 +424,10 @@ let soak_round seed =
   let send client budget layer =
     Daemon.Client.request client
       { Daemon.Protocol.client = ""; budget_s = budget; arch = "baseline";
-        target = Daemon.Protocol.Layer layer; cache_only = false }
+        target = Daemon.Protocol.Layer layer; cache_only = false; req_id = 0L;
+        hop = 0 }
   in
+  Telemetry.Metrics.reset ();
   let server = make_server () in
   let server_thread = Daemon.Server.start server in
   Daemon.Server.wait_ready server;
@@ -565,12 +567,15 @@ let soak_round seed =
     (!from_cache = List.length soak_layers && !restart_wrong = 0)
     "warm restart served every soaked shape from the persisted cache";
   rm_rf cache_dir;
+  (* satellite: the round's final telemetry snapshot (counters reset at
+     round start) rides into BENCH_results.json next to the checks *)
   Printf.sprintf
     "{\"seed\":%d,\"responses\":%d,\"scheduled\":%d,\"rejected\":%d,\"failed\":%d,\
      \"faults_fired\":%d,\"p95_burst_s\":%s,\"persisted\":%d,\"wrong\":%d,\
-     \"restart_from_cache\":%d}"
+     \"restart_from_cache\":%d,\"telemetry\":%s}"
     seed (List.length all) (List.length scheduled) rejected failed fired
     (json_float p95_burst) s.Daemon.Server.persisted !wrong !from_cache
+    (Telemetry.Export.metrics_json (Telemetry.Metrics.snapshot ()))
 
 let soak_benchmarks () =
   print_newline ();
@@ -754,7 +759,7 @@ let cluster_fastpath_check () =
   Daemon.Server.wait_ready server;
   let req ?(cache_only = false) layer =
     { Daemon.Protocol.client = ""; budget_s = 10.; arch = "baseline";
-      target = Daemon.Protocol.Layer layer; cache_only }
+      target = Daemon.Protocol.Layer layer; cache_only; req_id = 0L; hop = 0 }
   in
   List.iter
     (fun l -> ignore (Daemon.Server.process_request server (req l)))
@@ -853,11 +858,11 @@ let cluster_round seed =
       Daemon.Client.request_failover ~retries:4 ~backoff_s:0.05 ~timeout_s:10.
         ~endpoints
         { Daemon.Protocol.client = ""; budget_s = 10.; arch = "baseline";
-          target = Daemon.Protocol.Layer layer; cache_only }
+          target = Daemon.Protocol.Layer layer; cache_only; req_id = 0L; hop = 0 }
     in
     Mutex.protect resp_lock (fun () ->
         match r with
-        | Error _ -> incr transport_errors
+        | Error _ | Ok (Daemon.Protocol.Stats _) -> incr transport_errors
         | Ok (Daemon.Protocol.Failed _) -> incr failed
         | Ok (Daemon.Protocol.Rejected _) -> incr rejected
         | Ok (Daemon.Protocol.Scheduled x) ->
@@ -953,7 +958,8 @@ let cluster_round seed =
         Daemon.Client.request_failover ~retries:4 ~backoff_s:0.05 ~timeout_s:10.
           ~endpoints:[ ep_b ]
           { Daemon.Protocol.client = ""; budget_s = 10.; arch = "baseline";
-            target = Daemon.Protocol.Layer l; cache_only = false }
+            target = Daemon.Protocol.Layer l; cache_only = false; req_id = 0L;
+            hop = 0 }
       with
       | Ok (Daemon.Protocol.Scheduled x) ->
         Mutex.protect resp_lock (fun () -> scheduled := x :: !scheduled);
@@ -968,6 +974,21 @@ let cluster_round seed =
           x.Daemon.Protocol.layers
       | _ -> incr restart_bad)
     cluster_layers;
+  (* live introspection over the wire before the drain: each surviving
+     daemon's final stats snapshot rides into BENCH_results.json *)
+  let live_snapshot ep =
+    match Daemon.Client.stats_ep ~timeout_s:5. ep Daemon.Protocol.Stats_full with
+    | Ok payload -> payload
+    | Error _ -> "null"
+  in
+  let snap_a = live_snapshot ep_a in
+  let snap_b2 = live_snapshot ep_b in
+  soak_check
+    (contains snap_a "\"snapshot_version\"" && contains snap_a "\"shards\"")
+    "[B] server A answered a live stats snapshot (with shard sections)";
+  soak_check
+    (contains snap_b2 "\"snapshot_version\"")
+    "[B] restarted server B answered a live stats snapshot";
   (* drains *)
   let st_a = term_and_wait pid_a in
   let st_b2 = term_and_wait pid_b2 in
@@ -1040,13 +1061,13 @@ let cluster_round seed =
       "{\"seed\":%d,\"scheduled\":%d,\"rejected\":%d,\"failed\":%d,\
        \"transport_errors\":%d,\"peer_served\":%d,\"wrong\":%d,\
        \"restart_all_cache\":%b,\"a_faults_fired\":%d,\"b_shard_files\":%d,\
-       \"b2_peer_probes\":%d}"
+       \"b2_peer_probes\":%d,\"a_snapshot\":%s,\"b2_snapshot\":%s}"
       seed
       (List.length !scheduled)
       !rejected !failed !transport_errors !peer_served !wrong
       (!restart_cache = List.length cluster_layers && !restart_bad = 0)
       (counter_in_log text_a "faults fired:")
-      b_files peer_probes_b2
+      b_files peer_probes_b2 snap_a snap_b2
   in
   List.iter (fun f -> try Sys.remove f with Sys_error _ -> ())
     [ sock_a; sock_b; sock_c; log_a; log_b; log_b2; log_c ];

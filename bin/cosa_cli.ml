@@ -91,9 +91,42 @@ let profile_arg =
          ~doc:"After the command finishes, print an aggregate span profile \
                (call count and total/mean wall time per span name).")
 
+let trace_ring_arg =
+  Arg.(value & opt (some int) None & info [ "trace-ring" ] ~docv:"N"
+         ~doc:"Trace event-ring capacity (default 65536, min 1024). The ring \
+               overwrites oldest-first when full, so a long-running daemon \
+               keeps the most recent $(docv) events.")
+
+let log_arg =
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
+         ~doc:"Append the structured JSONL event log to $(docv) ($(b,-) for \
+               stderr): one JSON object per line, leveled and rate-limited, \
+               request-id tagged. Off by default (zero cost).")
+
+let log_level_arg =
+  Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LEVEL"
+         ~doc:"Minimum event-log level: debug, info, warn, or error.")
+
+let arm_event_log log_file log_level =
+  match log_file with
+  | None -> ()
+  | Some target ->
+    let level =
+      match Telemetry.Log.level_of_string log_level with
+      | Some l -> l
+      | None ->
+        Printf.eprintf "--log-level must be debug|info|warn|error (got %s)\n" log_level;
+        exit 2
+    in
+    let output =
+      if target = "-" then Telemetry.Log.Stderr else Telemetry.Log.File target
+    in
+    Telemetry.Log.set ~level output
+
 (* Arm the sink before [f], flush/report after — including on exit/exception
    paths, so a --trace of a run that dies still loads in the viewer. *)
-let with_telemetry trace metrics profile f =
+let with_telemetry ?ring trace metrics profile f =
+  (match ring with Some n -> Telemetry.Trace.set_capacity n | None -> ());
   match (trace, metrics, profile) with
   | None, false, false -> f ()
   | _ ->
@@ -147,11 +180,11 @@ let schedule_cmd =
            ~doc:"Also write the schedule to $(docv) (cosa_cli evaluate reads it back).")
   in
   let run arch_name layer_name strategy save node_limit time_limit fault_seed fault_rate
-      certify warm_start trace metrics profile =
+      certify warm_start trace metrics profile trace_ring =
     let arch = arch_of_name arch_name in
     let layer = find_layer layer_name in
     let r =
-      with_telemetry trace metrics profile (fun () ->
+      with_telemetry ?ring:trace_ring trace metrics profile (fun () ->
           with_faults fault_seed fault_rate (fun () ->
               Cosa.schedule ~strategy ~node_limit ~time_limit ~certify ~warm_start arch
                 layer))
@@ -189,7 +222,7 @@ let schedule_cmd =
   Cmd.v (Cmd.info "schedule" ~doc:"Produce a CoSA schedule for a layer and report it.")
     Term.(const run $ arch_arg $ layer_arg $ strategy_arg $ save_arg $ node_limit_arg
           $ time_limit_arg $ fault_seed_arg $ fault_rate_arg $ certify_arg
-          $ warm_start_arg $ trace_arg $ metrics_arg $ profile_arg)
+          $ warm_start_arg $ trace_arg $ metrics_arg $ profile_arg $ trace_ring_arg)
 
 (* cosa_cli batch --network resnet50 --jobs 4 --cache-dir PATH *)
 let batch_cmd =
@@ -233,7 +266,7 @@ let batch_cmd =
            ~doc:"Maximum members per fusion group (at least 2).")
   in
   let run arch_name network_name jobs cache_dir cache_size node_limit strategy time_limit
-      certify warm_start fuse fuse_max_group trace metrics profile =
+      certify warm_start fuse fuse_max_group trace metrics profile trace_ring =
     let arch = arch_of_name arch_name in
     let net =
       match Network.find network_name with
@@ -252,14 +285,14 @@ let batch_cmd =
     | Serve.Service.Fuse_off ->
       (* byte-identical to the pre-fusion service: same call, same output *)
       let report =
-        with_telemetry trace metrics profile (fun () ->
+        with_telemetry ?ring:trace_ring trace metrics profile (fun () ->
             Serve.Service.schedule_network ~cache cfg net)
       in
       print_string (Serve.Service.report_to_string report);
       if report.Serve.Service.failed > 0 then exit 1
     | _ ->
       let fr =
-        with_telemetry trace metrics profile (fun () ->
+        with_telemetry ?ring:trace_ring trace metrics profile (fun () ->
             Serve.Service.schedule_network_fused ~cache ~max_group:fuse_max_group
               ~fuse cfg net)
       in
@@ -273,7 +306,8 @@ let batch_cmd =
              producer-consumer chains to cut off-chip traffic.")
     Term.(const run $ arch_arg $ network_arg $ jobs_arg $ cache_dir_arg $ cache_size_arg
           $ node_limit_arg $ strategy_arg $ time_limit_arg $ certify_arg $ warm_start_arg
-          $ fuse_arg $ fuse_max_group_arg $ trace_arg $ metrics_arg $ profile_arg)
+          $ fuse_arg $ fuse_max_group_arg $ trace_arg $ metrics_arg $ profile_arg
+          $ trace_ring_arg)
 
 (* Shared by serve/request: where the daemon listens. *)
 let socket_arg =
@@ -359,10 +393,18 @@ let serve_cmd =
            ~doc:"Honor the net.peer_crash fault site with a process exit(42) \
                  mid-response. Chaos harnesses only.")
   in
+  let flight_arg =
+    Arg.(value & opt int 256 & info [ "flight" ] ~docv:"N"
+           ~doc:"Flight-recorder ring size: the last $(docv) per-request records \
+                 readable live through `cosa_cli trace-dump` (min 16; always on).")
+  in
   let run arch_name socket jobs cache_dir cache_size queue_capacity quota_rate
       quota_burst shed_delay default_budget tcp peers shards tmp_sweep_age
-      read_deadline idle_timeout fault_seed fault_rate fault_sites fault_crash
-      node_limit strategy time_limit certify warm_start trace metrics profile =
+      read_deadline idle_timeout fault_seed fault_rate fault_sites fault_crash flight
+      node_limit strategy time_limit certify warm_start trace metrics profile
+      trace_ring log_file log_level =
+    arm_event_log log_file log_level;
+    (match trace_ring with Some n -> Telemetry.Trace.set_capacity n | None -> ());
     let arch = arch_of_name arch_name in
     let tcp =
       Option.map
@@ -394,6 +436,15 @@ let serve_cmd =
       | [] -> None
       | eps -> Some (Cluster.Peers.create (List.map Daemon.Client.endpoint_of_string eps))
     in
+    (* Live-introspection sections for the Stats frame: per-shard cache
+       counters always, per-peer health when the warm tier is armed. *)
+    let stats_extra =
+      ("shards", fun () -> Cluster.Sharded_cache.stats_json sharded)
+      ::
+      (match peer_tier with
+       | None -> []
+       | Some p -> [ ("peers", fun () -> Cluster.Peers.stats_json p) ])
+    in
     let cfg =
       Daemon.Server.config ~admission ?cache_dir ~cache_capacity:cache_size
         ~default_budget_s:default_budget ?tcp
@@ -405,7 +456,7 @@ let serve_cmd =
         ?housekeeping:(Option.map (fun p () -> Cluster.Peers.tick p) peer_tier)
         ~read_deadline_s:read_deadline ~idle_timeout_s:idle_timeout
         ~tmp_sweep_age_s:tmp_sweep_age ~fault_crash_exit:fault_crash
-        ~socket_path:socket service
+        ~flight_capacity:flight ~stats_extra ~socket_path:socket service
     in
     let server = Daemon.Server.create cfg in
     (* SIGTERM/SIGINT request a graceful drain: finish in-flight work,
@@ -466,9 +517,10 @@ let serve_cmd =
           $ queue_arg $ quota_rate_arg $ quota_burst_arg $ shed_arg $ default_budget_arg
           $ tcp_arg $ peer_arg $ shards_arg $ tmp_sweep_age_arg $ read_deadline_arg
           $ idle_timeout_arg $ fault_seed_arg $ fault_rate_arg $ fault_sites_arg
-          $ fault_crash_arg
+          $ fault_crash_arg $ flight_arg
           $ node_limit_arg $ strategy_arg $ time_limit_arg $ certify_arg $ warm_start_arg
-          $ trace_arg $ metrics_arg $ profile_arg)
+          $ trace_arg $ metrics_arg $ profile_arg
+          $ trace_ring_arg $ log_arg $ log_level_arg)
 
 (* cosa_cli request <layer> --budget 0.5 *)
 let request_cmd =
@@ -516,6 +568,25 @@ let request_cmd =
   in
   let run arch socket target network budget client timeout endpoints retries
       retry_backoff cache_only =
+    (* Mint the request id client-side (hop 0 = origin) so the operator can
+       grep this id in the daemon's flight recorder, event log, and trace —
+       the same id the daemon propagates to any warm-peer probe. *)
+    let req_id =
+      let mix z =
+        let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xbf58476d1ce4e5b9L in
+        let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94d049bb133111ebL in
+        Int64.logxor z (Int64.shift_right_logical z 31)
+      in
+      let seed =
+        Int64.logxor
+          (Int64.of_float (Unix.gettimeofday () *. 1e6))
+          (Int64.shift_left (Int64.of_int (Unix.getpid ())) 40)
+      in
+      let id = mix seed in
+      if id = 0L then 1L else id
+    in
     let req =
       {
         Daemon.Protocol.client;
@@ -525,8 +596,11 @@ let request_cmd =
           (if network then Daemon.Protocol.Network target
            else Daemon.Protocol.Layer target);
         cache_only;
+        req_id;
+        hop = 0;
       }
     in
+    Printf.printf "request id %s\n" (Telemetry.Trace.request_id_hex req_id);
     let result =
       match endpoints with
       | [] -> Daemon.Client.one_shot ~timeout_s:timeout socket req
@@ -542,6 +616,9 @@ let request_cmd =
       exit 1
     | Ok (Daemon.Protocol.Failed msg) ->
       Printf.eprintf "server error: %s\n" msg;
+      exit 1
+    | Ok (Daemon.Protocol.Stats _) ->
+      Printf.eprintf "server error: unexpected stats frame\n";
       exit 1
     | Ok (Daemon.Protocol.Rejected reason) ->
       Printf.printf "rejected: %s\n" (Daemon.Protocol.reject_reason_to_string reason);
@@ -566,6 +643,87 @@ let request_cmd =
     Term.(const run $ arch_arg $ socket_arg $ target_arg $ network_flag $ budget_arg
           $ client_arg $ timeout_arg $ endpoint_arg $ retries_arg $ retry_backoff_arg
           $ cache_only_flag)
+
+(* cosa_cli stats / trace-dump: live daemon introspection over the wire.
+   Both ride the Stats frame, which the server answers inline on the
+   connection thread — a query never queues behind the solver, is never
+   counted as a request, and books no cache miss. *)
+let stats_endpoint_arg =
+  Arg.(value & opt (some string) None & info [ "endpoint" ] ~docv:"ENDPOINT"
+         ~doc:"Daemon endpoint ($(i,host:port) or a Unix socket path). \
+               Overrides --socket.")
+
+let stats_timeout_arg =
+  Arg.(value & opt float 5. & info [ "timeout" ] ~docv:"SECONDS"
+         ~doc:"Client-side connect/exchange timeout.")
+
+let resolve_endpoint socket endpoint =
+  match endpoint with
+  | Some e -> Daemon.Client.endpoint_of_string e
+  | None -> Daemon.Client.Unix_path socket
+
+let fetch_stats ep timeout scope =
+  match Daemon.Client.stats_ep ~timeout_s:timeout ep scope with
+  | Ok payload -> payload
+  | Error msg ->
+    Printf.eprintf "stats query failed (%s): %s\n"
+      (Daemon.Client.endpoint_to_string ep) msg;
+    exit 1
+
+let stats_cmd =
+  let watch_arg =
+    Arg.(value & opt (some float) None & info [ "watch" ] ~docv:"SECONDS"
+           ~doc:"Re-query and re-print every $(docv) seconds until interrupted.")
+  in
+  let prometheus_flag =
+    Arg.(value & flag & info [ "prometheus" ]
+           ~doc:"Emit Prometheus text exposition (metric families with \
+                 cumulative histogram buckets) instead of the JSON snapshot.")
+  in
+  let run socket endpoint timeout watch prometheus =
+    let ep = resolve_endpoint socket endpoint in
+    let scope =
+      if prometheus then Daemon.Protocol.Stats_prometheus
+      else Daemon.Protocol.Stats_full
+    in
+    let once () =
+      print_endline (fetch_stats ep timeout scope);
+      (* a watcher is often piped (jq, tee): deliver each snapshot now,
+         not whenever the block buffer happens to fill *)
+      flush stdout
+    in
+    match watch with
+    | None -> once ()
+    | Some period ->
+      let period = Float.max 0.1 period in
+      while true do
+        once ();
+        print_newline ();
+        Unix.sleepf period
+      done
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Query a live daemon's introspection snapshot: counters, admission \
+             p95 windows and rung costs, per-shard cache hit rates, peer health, \
+             and the flight recorder — as one JSON object (or --prometheus \
+             text). Answered inline by the daemon; never queued, counted, or \
+             admission-priced, and books no cache miss.")
+    Term.(const run $ socket_arg $ stats_endpoint_arg $ stats_timeout_arg $ watch_arg
+          $ prometheus_flag)
+
+let trace_dump_cmd =
+  let run socket endpoint timeout =
+    let ep = resolve_endpoint socket endpoint in
+    print_endline (fetch_stats ep timeout Daemon.Protocol.Stats_flight)
+  in
+  Cmd.v
+    (Cmd.info "trace-dump"
+       ~doc:"Dump a live daemon's flight recorder: the last N requests (id, \
+             hop, client, target, rung, origin, verdict, queue wait, serve \
+             time) as a JSON array, oldest first. Grep a request id printed \
+             by `cosa_cli request` to follow one request across hops.")
+    Term.(const run $ socket_arg $ stats_endpoint_arg $ stats_timeout_arg)
 
 (* cosa_cli exp <id> *)
 let exp_cmd =
@@ -680,5 +838,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ schedule_cmd; batch_cmd; serve_cmd; request_cmd; exp_cmd; simulate_cmd;
-            evaluate_cmd; list_cmd ]))
+          [ schedule_cmd; batch_cmd; serve_cmd; request_cmd; stats_cmd; trace_dump_cmd;
+            exp_cmd; simulate_cmd; evaluate_cmd; list_cmd ]))

@@ -116,6 +116,26 @@ let stats t =
         ejections = t.ejections;
       })
 
+(* Per-peer health/backoff state as a JSON array — the "peers" section
+   of the daemon's Stats frame. Read-only under the lock. *)
+let stats_json t =
+  Mutex.protect t.lock (fun () ->
+      let buf = Buffer.create 256 in
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i (p : peer) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"endpoint\":\"%s\",\"healthy\":%b,\"consec_fails\":%d,\
+                \"backoff_s\":%.3f,\"probes\":%d,\"hits\":%d,\"rejects\":%d}"
+               (Telemetry.Trace.json_escape
+                  (Daemon.Client.endpoint_to_string p.ep))
+               p.healthy p.consec_fails p.backoff p.probes p.hits p.rejects))
+        t.all;
+      Buffer.add_char buf ']';
+      Buffer.contents buf)
+
 (* Callers hold [t.lock]. *)
 let note_failure t (p : peer) now =
   p.consec_fails <- p.consec_fails + 1;
@@ -123,7 +143,10 @@ let note_failure t (p : peer) now =
     p.healthy <- false;
     p.backoff <- t.cfg.readmit_backoff_s;
     t.ejections <- t.ejections + 1;
-    Telemetry.Metrics.incr m_ejections
+    Telemetry.Metrics.incr m_ejections;
+    Telemetry.Log.warn "cluster.peer_eject"
+      [ ("endpoint", Daemon.Client.endpoint_to_string p.ep);
+        ("consec_fails", string_of_int p.consec_fails) ]
   end;
   if p.healthy then p.next_probe <- now +. t.cfg.probe_interval_s
   else begin
@@ -132,7 +155,11 @@ let note_failure t (p : peer) now =
   end
 
 let note_success t (p : peer) now =
-  if not p.healthy then p.healthy <- true;
+  if not p.healthy then begin
+    p.healthy <- true;
+    Telemetry.Log.info "cluster.peer_readmit"
+      [ ("endpoint", Daemon.Client.endpoint_to_string p.ep) ]
+  end;
   p.consec_fails <- 0;
   p.backoff <- t.cfg.readmit_backoff_s;
   p.next_probe <- now +. t.cfg.probe_interval_s
@@ -222,6 +249,15 @@ let probe t ~arch ~layer (fp : Serve.Fingerprint.t) =
   let eps =
     Mutex.protect t.lock (fun () -> List.filter (fun (p : peer) -> p.healthy) t.all)
   in
+  (* Propagate the originating request's trace id (hop + 1): the peer
+     records the probe in its own trace/log/flight recorder under the
+     same id, stitching the cross-host causal chain. Outside a request
+     context (warm-up, tests) the id is 0 and the peer mints its own. *)
+  let req_id, hop =
+    match Telemetry.Trace.current_request () with
+    | Some (id, h) -> (id, min 255 (h + 1))
+    | None -> (0L, 1)
+  in
   let req =
     {
       Daemon.Protocol.client = "peer";
@@ -229,6 +265,8 @@ let probe t ~arch ~layer (fp : Serve.Fingerprint.t) =
       arch = variant_name arch;
       target = Daemon.Protocol.Layer layer.Layer.name;
       cache_only = true;
+      req_id;
+      hop;
     }
   in
   let rec ask = function
@@ -241,8 +279,10 @@ let probe t ~arch ~layer (fp : Serve.Fingerprint.t) =
          Mutex.protect t.lock (fun () ->
              note_failure t p (Robust.Deadline.now ()));
          ask rest
-       | Ok (Daemon.Protocol.Rejected _) | Ok (Daemon.Protocol.Failed _) ->
-         (* a live peer without the record: honest miss *)
+       | Ok (Daemon.Protocol.Rejected _) | Ok (Daemon.Protocol.Failed _)
+       | Ok (Daemon.Protocol.Stats _) ->
+         (* a live peer without the record: honest miss (an out-of-band
+            Stats frame here would be a confused peer — same treatment) *)
          Telemetry.Metrics.incr m_misses;
          ask rest
        | Ok (Daemon.Protocol.Scheduled s) ->
@@ -254,6 +294,11 @@ let probe t ~arch ~layer (fp : Serve.Fingerprint.t) =
           | `Reject ->
             Telemetry.Metrics.incr m_rejects;
             Mutex.protect t.lock (fun () -> p.rejects <- p.rejects + 1);
+            Telemetry.Log.warn "cluster.peer_reject_cert"
+              [ ("endpoint", Daemon.Client.endpoint_to_string p.ep);
+                ("layer", layer.Layer.name) ];
             ask rest))
   in
-  ask eps
+  (* The span carries the ambient request id, so a cross-host probe shows
+     up in the originating request's causal chain. *)
+  Telemetry.Trace.with_span ~cat:"cluster" "cluster.peer_probe" (fun () -> ask eps)

@@ -61,6 +61,12 @@ val probe :
 
 val healthy_endpoints : t -> Daemon.Client.endpoint list
 
+val stats_json : t -> string
+(** Per-peer health/backoff state as a JSON array
+    ([endpoint], [healthy], [consec_fails], [backoff_s], [probes],
+    [hits], [rejects]) — the ["peers"] section the cluster CLI wiring
+    injects into the daemon's Stats frame. Read-only. *)
+
 type stats = {
   peers : int;
   healthy : int;

@@ -50,6 +50,12 @@ val shard_stats : t -> int -> Serve.Schedule_cache.stats
 val hit_rate : t -> float
 val shard_hit_rate : t -> int -> float
 
+val stats_json : t -> string
+(** Per-shard counters and hit rates as a JSON array ([shard], [hits],
+    [disk_hits], [misses], [disk_rejects], [evictions], [stores],
+    [hit_rate]) — the ["shards"] section the cluster CLI wiring injects
+    into the daemon's Stats frame. Read-only: books no misses. *)
+
 val tier : t -> Serve.Service.cache_tier
 (** The service-facing view; safe to probe from any thread. Per-
     fingerprint hit-rate queries answer from the owning shard's window. *)

@@ -97,6 +97,15 @@ let rung_cost t rung =
     else
       Prim.Stats.percentile 95. (Array.to_list (Array.sub w.samples 0 w.n))
 
+(* Read-only view for the daemon's Stats frame: per rung, how many
+   window samples back the estimate and what the current cost is. Never
+   touches the windows or buckets, so introspection cannot shift
+   admission decisions. *)
+let introspect t =
+  List.map
+    (fun (rung, w) -> (rung, w.n, rung_cost t rung))
+    t.windows
+
 (* Estimated serve cost per rung for one request, given the cache-hit
    probability: every rung pays the probe, and pays its solve cost only
    on a miss. [Cache_probe] is pure probe — its "miss cost" is rejection,

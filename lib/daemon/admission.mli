@@ -53,6 +53,12 @@ val rung_cost : t -> Robust.Ladder.rung -> float
 val estimates : t -> hit_rate:float -> Robust.Ladder.estimate list
 (** Per-rung expected serve cost at the given cache-hit probability. *)
 
+val introspect : t -> (Robust.Ladder.rung * int * float) list
+(** Read-only view for the daemon's Stats frame: per rung,
+    [(rung, window samples, current cost estimate)]. Never mutates
+    windows or quota buckets — introspection cannot shift admission
+    decisions. Call under the same lock as {!observe}/{!decide}. *)
+
 val decide :
   t ->
   now:float ->

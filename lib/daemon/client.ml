@@ -156,6 +156,32 @@ let one_shot_ep ?timeout_s ep req =
 (* Connect, send one request, close — the CLI's path. *)
 let one_shot ?timeout_s path req = one_shot_ep ?timeout_s (Unix_path path) req
 
+(* Stats queries ride the same framing as requests; the server answers
+   inline on the connection thread without queueing or counting them. *)
+let stats_wire t scope =
+  match Protocol.write_frame t.fd (Protocol.encode_stats_request scope) with
+  | () ->
+    (match Protocol.read_frame t.fd with
+     | Ok (Some payload) ->
+       (match Protocol.decode_response payload with
+        | Ok (Protocol.Stats s) -> Ok s
+        | Ok _ -> Error (Protocol_error "expected a stats response")
+        | Error msg -> Error (Protocol_error msg))
+     | Ok None -> Error (Transport "server closed the connection")
+     | Error msg -> Error (Transport msg)
+     | exception Unix.Unix_error (e, _, _) -> Error (Transport (Unix.error_message e)))
+  | exception Unix.Unix_error (e, _, _) -> Error (Transport (Unix.error_message e))
+
+let stats t scope = Result.map_error wire_error_message (stats_wire t scope)
+
+let stats_ep ?timeout_s ep scope =
+  match connect_ep ?timeout_s ep with
+  | Error msg -> Error msg
+  | Ok t ->
+    let r = stats t scope in
+    close t;
+    r
+
 (* Bounded retry with exponential backoff + jitter over an endpoint list.
    Endpoints are tried round-robin starting from the head; backoff doubles
    per full *attempt* (not per endpoint) and carries deterministic jitter

@@ -36,6 +36,16 @@ val one_shot :
 val one_shot_ep :
   ?timeout_s:float -> endpoint -> Protocol.request -> (Protocol.response, string) result
 
+val stats : t -> Protocol.stats_scope -> (string, string) result
+(** One stats query on an open connection: the payload is the snapshot
+    JSON ([Stats_full]), the flight-recorder JSON array ([Stats_flight])
+    or Prometheus text ([Stats_prometheus]). The server answers inline —
+    a stats query is never queued, counted or admission-priced. *)
+
+val stats_ep :
+  ?timeout_s:float -> endpoint -> Protocol.stats_scope -> (string, string) result
+(** Connect, run one stats query, close — the ops CLI's path. *)
+
 val request_failover :
   ?retries:int ->
   ?backoff_s:float ->

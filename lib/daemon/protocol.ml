@@ -16,9 +16,12 @@
 let magic = 0xC5
 
 (* v2 (the cluster tier) added a request flags byte carrying [cache_only].
-   Version mismatches are answered with a typed expected-vs-got error so a
-   mixed-version deployment fails loudly and legibly, not as "garbage". *)
-let version = 2
+   v3 (the observability tier) appends a 64-bit request id and an origin
+   hop count to requests, and adds the stats-query/stats frame pair for
+   live introspection. Version mismatches are answered with a typed
+   expected-vs-got error so a mixed-version deployment fails loudly and
+   legibly, not as "garbage". *)
+let version = 3
 
 (* Generous for schedules (a full network response is ~100 KiB), tight
    enough that a hostile length field cannot balloon memory. *)
@@ -34,6 +37,11 @@ type request = {
   cache_only : bool;
       (* peer cache probe: serve from the local cache or answer a typed
          rejection — never solve, never cascade to further peers *)
+  req_id : int64;
+      (* request-scoped trace id; 0 = unassigned, the server mints one.
+         A peer probe forwards the originating request's id so one id
+         stitches the whole causal chain across hosts. *)
+  hop : int;  (* 0 at the originating client; +1 per daemon-to-peer hop *)
 }
 
 type reject_reason = Queue_full | Quota_exceeded | Shedding | Deadline_unmeetable
@@ -65,6 +73,14 @@ type response =
   | Scheduled of scheduled
   | Rejected of reject_reason
   | Failed of string  (* typed failure text (solver/protocol), never silent *)
+  | Stats of string  (* introspection payload: JSON or Prometheus text *)
+
+(* What a stats query asks for. [Full] is the versioned JSON snapshot;
+   [Flight] is just the flight-recorder ring (the trace-dump view);
+   [Prometheus] is metrics-only text exposition for scrapers. *)
+type stats_scope = Stats_full | Stats_flight | Stats_prometheus
+
+type incoming = Req of request | Stats_query of stats_scope
 
 (* ---- encoding --------------------------------------------------------- *)
 
@@ -97,6 +113,8 @@ let tag_request = 0x01
 let tag_scheduled = 0x02
 let tag_rejected = 0x03
 let tag_failed = 0x04
+let tag_stats_request = 0x05
+let tag_stats = 0x06
 
 let encode_request (r : request) =
   let buf = Buffer.create 128 in
@@ -112,6 +130,19 @@ let encode_request (r : request) =
      put_u8 buf 1;
      put_str buf name);
   put_u8 buf (if r.cache_only then 1 else 0);
+  put_i64 buf r.req_id;
+  put_u8 buf r.hop;
+  Buffer.to_bytes buf
+
+let stats_scope_code = function
+  | Stats_full -> 0
+  | Stats_flight -> 1
+  | Stats_prometheus -> 2
+
+let encode_stats_request scope =
+  let buf = Buffer.create 8 in
+  header buf tag_stats_request;
+  put_u8 buf (stats_scope_code scope);
   Buffer.to_bytes buf
 
 let reject_code = function
@@ -144,7 +175,10 @@ let encode_response (resp : response) =
      put_u8 buf (reject_code reason)
    | Failed msg ->
      header buf tag_failed;
-     put_str buf msg);
+     put_str buf msg
+   | Stats payload ->
+     header buf tag_stats;
+     put_str buf payload);
   Buffer.to_bytes buf
 
 (* ---- decoding --------------------------------------------------------- *)
@@ -204,24 +238,51 @@ let decode f (b : bytes) =
   | r -> Ok r
   | exception Malformed msg -> Error msg
 
+let decode_request_fields ~u8 ~f64 ~str =
+  let client = str "client" in
+  let budget_s = f64 "budget" in
+  let arch = str "arch" in
+  let target =
+    match u8 "target tag" with
+    | 0 -> Layer (str "layer name")
+    | 1 -> Network (str "network name")
+    | t -> raise (Malformed (Printf.sprintf "unknown target tag %d" t))
+  in
+  let flags = u8 "flags" in
+  if flags land lnot 0x01 <> 0 then
+    raise (Malformed (Printf.sprintf "unknown request flags 0x%02x" flags));
+  let req_id = ref 0L in
+  for _ = 0 to 7 do
+    req_id := Int64.logor (Int64.shift_left !req_id 8) (Int64.of_int (u8 "request id"))
+  done;
+  let hop = u8 "hop count" in
+  { client; budget_s; arch; target; cache_only = flags land 0x01 = 1;
+    req_id = !req_id; hop }
+
+let decode_stats_scope ~u8 =
+  match u8 "stats scope" with
+  | 0 -> Stats_full
+  | 1 -> Stats_flight
+  | 2 -> Stats_prometheus
+  | s -> raise (Malformed (Printf.sprintf "unknown stats scope %d" s))
+
 let decode_request b =
   decode
     (fun ~u8 ~u32:_ ~f64 ~str ->
       let tag = u8 "tag" in
       if tag <> tag_request then raise (Malformed (Printf.sprintf "tag 0x%02x is not a request" tag));
-      let client = str "client" in
-      let budget_s = f64 "budget" in
-      let arch = str "arch" in
-      let target =
-        match u8 "target tag" with
-        | 0 -> Layer (str "layer name")
-        | 1 -> Network (str "network name")
-        | t -> raise (Malformed (Printf.sprintf "unknown target tag %d" t))
-      in
-      let flags = u8 "flags" in
-      if flags land lnot 0x01 <> 0 then
-        raise (Malformed (Printf.sprintf "unknown request flags 0x%02x" flags));
-      { client; budget_s; arch; target; cache_only = flags land 0x01 = 1 })
+      decode_request_fields ~u8 ~f64 ~str)
+    b
+
+(* A server-side frame may be a scheduling request or a stats query; the
+   two arrive over the same socket, distinguished only by tag. *)
+let decode_incoming b =
+  decode
+    (fun ~u8 ~u32:_ ~f64 ~str ->
+      match u8 "tag" with
+      | t when t = tag_request -> Req (decode_request_fields ~u8 ~f64 ~str)
+      | t when t = tag_stats_request -> Stats_query (decode_stats_scope ~u8)
+      | t -> raise (Malformed (Printf.sprintf "tag 0x%02x is not a request" t)))
     b
 
 let decode_response b =
@@ -259,6 +320,7 @@ let decode_response b =
          | 3 -> Rejected Deadline_unmeetable
          | r -> raise (Malformed (Printf.sprintf "unknown reject reason %d" r)))
       | t when t = tag_failed -> Failed (str "failure text")
+      | t when t = tag_stats -> Stats (str "stats payload")
       | t -> raise (Malformed (Printf.sprintf "unknown response tag 0x%02x" t)))
     b
 

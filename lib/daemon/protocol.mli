@@ -25,6 +25,15 @@ type request = {
   cache_only : bool;
       (** peer cache probe: serve from the local cache or answer a typed
           rejection — never solve, never cascade to further peers *)
+  req_id : int64;
+      (** request-scoped trace id, rendered as 16 hex digits everywhere
+          ([Telemetry.Trace.request_id_hex]). [0L] = unassigned: the
+          server mints one on arrival. Peer probes forward the
+          originating id, so one id stitches client → daemon → peer into
+          a single causal chain across trace, log and flight recorder. *)
+  hop : int;
+      (** origin hop count: 0 at the client, +1 per daemon-to-peer hop
+          (wire range 0..255) *)
 }
 
 (** Why a request was refused. Every overload path answers with one of
@@ -62,9 +71,24 @@ type response =
   | Scheduled of scheduled
   | Rejected of reject_reason
   | Failed of string  (** typed failure text; never a silent drop *)
+  | Stats of string
+      (** introspection payload (JSON snapshot or Prometheus text),
+          answered inline on the connection thread — never queued *)
+
+(** What a stats query asks the daemon for. *)
+type stats_scope =
+  | Stats_full  (** the versioned JSON snapshot (metrics, admission,
+                    shards, peers, flight recorder) *)
+  | Stats_flight  (** just the flight-recorder ring, as JSON *)
+  | Stats_prometheus  (** metrics-only Prometheus text exposition *)
+
+(** A server-side frame: a scheduling request or a stats query. *)
+type incoming = Req of request | Stats_query of stats_scope
 
 val encode_request : request -> bytes
 val decode_request : bytes -> (request, string) result
+val encode_stats_request : stats_scope -> bytes
+val decode_incoming : bytes -> (incoming, string) result
 val encode_response : response -> bytes
 val decode_response : bytes -> (response, string) result
 

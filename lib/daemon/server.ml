@@ -102,13 +102,19 @@ type config = {
       (* honor the net.peer_crash fault site with a process exit — only
          ever set by chaos harnesses, so an ordinary --fault-seed run
          cannot kill the daemon *)
+  flight_capacity : int;  (* flight-recorder ring: last N request records *)
+  stats_extra : (string * (unit -> string)) list;
+      (* extra named JSON sections for the Stats frame (cluster wiring
+         injects "shards" / "peers" here); each thunk must return valid
+         JSON and be safe to call from a connection thread *)
 }
 
 let config ?(admission = Admission.default_config ()) ?cache_dir
     ?(cache_capacity = 256) ?(default_budget_s = 30.) ?tcp ?tier ?remote_probe
     ?housekeeping ?(read_deadline_s = 30.) ?(write_deadline_s = 30.)
     ?(drain_deadline_s = 30.) ?(idle_timeout_s = 300.)
-    ?(tmp_sweep_age_s = 0.) ?(fault_crash_exit = false) ~socket_path service =
+    ?(tmp_sweep_age_s = 0.) ?(fault_crash_exit = false)
+    ?(flight_capacity = 256) ?(stats_extra = []) ~socket_path service =
   {
     socket_path;
     tcp;
@@ -126,6 +132,8 @@ let config ?(admission = Admission.default_config ()) ?cache_dir
     idle_timeout_s;
     tmp_sweep_age_s;
     fault_crash_exit;
+    flight_capacity = max 16 flight_capacity;
+    stats_extra;
   }
 
 (* Plain mirrors of the telemetry counters: the metrics sink is off by
@@ -160,10 +168,33 @@ type job = {
   deadline : Robust.Deadline.t;  (* absolute: arrival + budget *)
   arrival : float;
   est_cost : float;  (* admission estimate, for queue-delay accounting *)
+  req_id : int64;  (* rebound on the solver thread: the request context is
+                      per-systhread, and the peer probe runs over there *)
+  hop : int;
   reply : reply;
 }
 
 type conn = { fd : Unix.file_descr; mutable busy : bool; mutable last : float }
+
+(* One flight-recorder record: the per-request story an operator reads
+   back through the Stats frame. Always on — unlike trace/metrics it is
+   not gated on the telemetry sink, because the ring is fixed-size and a
+   record is a handful of immutable fields written under the lock the
+   request already holds for its stats updates. *)
+type flight_entry = {
+  f_id : int64;
+  f_hop : int;
+  f_client : string;
+  f_target : string;  (* "layer:NAME" / "network:NAME" *)
+  f_cache_only : bool;
+  f_rung_admitted : string;  (* admission-time rung; "" if never admitted *)
+  f_rung_served : string;  (* rung actually served; "" unless Scheduled *)
+  f_origin : string;  (* first served layer's origin; "" otherwise *)
+  f_verdict : string;  (* scheduled / rejected:<reason> / failed *)
+  f_queue_wait_s : float;
+  f_serve_s : float;
+  f_ts : float;  (* arrival, epoch seconds *)
+}
 
 type t = {
   cfg : config;
@@ -180,6 +211,8 @@ type t = {
   conns : (int, conn) Hashtbl.t;
   mutable conn_seq : int;
   stats : stats;
+  flight : flight_entry option array;  (* ring, guarded by [lock] *)
+  mutable flight_pos : int;  (* total records; next slot = pos mod len *)
   ready : Semaphore.Binary.t;  (* posted once the sockets are listening *)
 }
 
@@ -247,6 +280,8 @@ let create cfg =
         reaped = 0;
         persisted = 0;
       };
+    flight = Array.make (max 16 cfg.flight_capacity) None;
+    flight_pos = 0;
     ready = Semaphore.Binary.make false;
   }
 
@@ -441,7 +476,12 @@ let solver_loop t =
       Telemetry.Metrics.set_gauge g_queue_depth (float_of_int (Queue.length t.queue));
       Mutex.unlock t.lock;
       let resp =
-        try serve_job t job
+        (* re-bind the request context here: the connection thread's
+           binding does not follow the job across threads, and the solver
+           path is where spans, log lines and outbound peer probes live *)
+        try
+          Telemetry.Trace.with_request ~id:job.req_id ~hop:job.hop (fun () ->
+              serve_job t job)
         with e ->
           Mutex.protect t.lock (fun () ->
               t.stats.failed <- t.stats.failed + 1;
@@ -503,8 +543,9 @@ let try_fast_path t (service : Serve.Service.config) net ~arrival ~budget =
 
 (* Either answered inline (fast-path cache hit / rejection / resolution
    failure) or admitted — in which case the connection thread parks on
-   the reply slot. *)
-let process_request t (req : Protocol.request) =
+   the reply slot. [admitted_rung] reports the admission-time rung back
+   to the flight recorder. *)
+let handle_request t (admitted_rung : string ref) (req : Protocol.request) =
   let arrival = Robust.Deadline.now () in
   Mutex.protect t.lock (fun () ->
       t.stats.received <- t.stats.received + 1;
@@ -520,7 +561,9 @@ let process_request t (req : Protocol.request) =
     (* A cached answer is correct even while draining, so the fast path
        runs before the shedding check. *)
     (match try_fast_path t service net ~arrival ~budget with
-     | Some resp -> resp
+     | Some resp ->
+       admitted_rung := Robust.Ladder.to_string Robust.Ladder.Cache_probe;
+       resp
      | None when req.Protocol.cache_only && t.fast_ok ->
        (* peer probe missed the thread-safe tier: typed miss, no queueing *)
        Mutex.protect t.lock (fun () -> reject_stat t Protocol.Deadline_unmeetable)
@@ -548,6 +591,7 @@ let process_request t (req : Protocol.request) =
                    if req.Protocol.cache_only then Robust.Ladder.Cache_probe
                    else selected
                  in
+                 admitted_rung := Robust.Ladder.to_string rung;
                  let est_cost =
                    List.fold_left
                      (fun acc (e : Robust.Ladder.estimate) ->
@@ -565,6 +609,8 @@ let process_request t (req : Protocol.request) =
                      deadline = Robust.Deadline.at (arrival +. budget);
                      arrival;
                      est_cost;
+                     req_id = req.Protocol.req_id;
+                     hop = req.Protocol.hop;
                      reply =
                        { rm = Mutex.create (); rc = Condition.create (); resp = None };
                    }
@@ -589,6 +635,249 @@ let process_request t (req : Protocol.request) =
                 Condition.wait job.reply.rc job.reply.rm
               done;
               Option.get job.reply.resp)))
+
+(* ---- request ids and the flight recorder ------------------------------- *)
+
+(* Minting for requests that arrive with id 0 ("server assigns").
+   Uniqueness across processes and restarts comes from mixing the pid,
+   the arrival clock and a process-local counter through a 64-bit
+   finalizer — no RNG, so deterministic harnesses stay deterministic. *)
+let req_seq = Atomic.make 1
+
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let mint_req_id () =
+  let c = Atomic.fetch_and_add req_seq 1 in
+  let t_us = Int64.of_float (Robust.Deadline.now () *. 1e6) in
+  let id = mix64 (Int64.logxor t_us (Int64.of_int ((Unix.getpid () lsl 24) lxor c))) in
+  if id = 0L then 1L else id
+
+let target_string = function
+  | Protocol.Layer n -> "layer:" ^ n
+  | Protocol.Network n -> "network:" ^ n
+
+let flight_of_response (req : Protocol.request) ~arrival ~admitted resp =
+  let verdict, rung_served, origin, queue_wait, serve_s =
+    match resp with
+    | Protocol.Scheduled s ->
+      let origin =
+        match s.Protocol.layers with
+        | (l : Protocol.served_layer) :: _ -> l.Protocol.origin
+        | [] -> ""
+      in
+      ( "scheduled", Robust.Ladder.to_string s.Protocol.rung, origin,
+        s.Protocol.queue_wait_s, s.Protocol.serve_s )
+    | Protocol.Rejected r ->
+      ( "rejected:" ^ Protocol.reject_reason_to_string r, "", "", 0.,
+        Robust.Deadline.now () -. arrival )
+    | Protocol.Failed _ -> ("failed", "", "", 0., Robust.Deadline.now () -. arrival)
+    | Protocol.Stats _ -> ("stats", "", "", 0., 0.)  (* never reaches the recorder *)
+  in
+  {
+    f_id = req.Protocol.req_id;
+    f_hop = req.Protocol.hop;
+    f_client = req.Protocol.client;
+    f_target = target_string req.Protocol.target;
+    f_cache_only = req.Protocol.cache_only;
+    f_rung_admitted = admitted;
+    f_rung_served = rung_served;
+    f_origin = origin;
+    f_verdict = verdict;
+    f_queue_wait_s = queue_wait;
+    f_serve_s = serve_s;
+    f_ts = arrival;
+  }
+
+let record_flight t entry =
+  Mutex.protect t.lock (fun () ->
+      t.flight.(t.flight_pos mod Array.length t.flight) <- Some entry;
+      t.flight_pos <- t.flight_pos + 1)
+
+(* The full per-request path: mint an id if the client did not, bind it
+   to this thread for the duration (so every span, counter instant, log
+   line and outbound peer probe below carries it), serve, then write the
+   flight-recorder record and the structured serve/reject/fail event. *)
+let process_request t (req : Protocol.request) =
+  let req =
+    if req.Protocol.req_id = 0L then { req with Protocol.req_id = mint_req_id () }
+    else req
+  in
+  let arrival = Robust.Deadline.now () in
+  Telemetry.Trace.with_request ~id:req.Protocol.req_id ~hop:req.Protocol.hop
+    (fun () ->
+      let admitted_rung = ref "" in
+      let resp = handle_request t admitted_rung req in
+      let entry = flight_of_response req ~arrival ~admitted:!admitted_rung resp in
+      record_flight t entry;
+      (match resp with
+       | Protocol.Scheduled _ ->
+         Telemetry.Log.info "daemon.serve"
+           [ ("target", entry.f_target); ("rung", entry.f_rung_served);
+             ("origin", entry.f_origin);
+             ("serve_s", Printf.sprintf "%.6f" entry.f_serve_s) ]
+       | Protocol.Rejected r ->
+         Telemetry.Log.warn "daemon.reject"
+           [ ("target", entry.f_target);
+             ("reason", Protocol.reject_reason_to_string r) ]
+       | Protocol.Failed msg ->
+         Telemetry.Log.error "daemon.fail"
+           [ ("target", entry.f_target); ("error", msg) ]
+       | Protocol.Stats _ -> ());
+      resp)
+
+(* ---- the Stats frame ---------------------------------------------------- *)
+
+let flight_entries t =
+  Mutex.protect t.lock (fun () ->
+      let len = Array.length t.flight in
+      let n = t.flight_pos in
+      let first = if n <= len then 0 else n - len in
+      let out = ref [] in
+      for i = n - 1 downto first do
+        match t.flight.(i mod len) with Some e -> out := e :: !out | None -> ()
+      done;
+      !out)
+
+let flight_json t =
+  let esc = Telemetry.Trace.json_escape in
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"id\":\"%s\",\"hop\":%d,\"client\":\"%s\",\"target\":\"%s\",\
+            \"cache_only\":%b,\"rung_admitted\":\"%s\",\"rung_served\":\"%s\",\
+            \"origin\":\"%s\",\"verdict\":\"%s\",\"queue_wait_s\":%.6f,\
+            \"serve_s\":%.6f,\"ts\":%.6f}"
+           (Telemetry.Trace.request_id_hex e.f_id)
+           e.f_hop (esc e.f_client) (esc e.f_target) e.f_cache_only
+           (esc e.f_rung_admitted) (esc e.f_rung_served) (esc e.f_origin)
+           (esc e.f_verdict) e.f_queue_wait_s e.f_serve_s e.f_ts))
+    (flight_entries t);
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+(* Versioned JSON snapshot for [Stats_full]. Strictly read-only: the
+   stats mirrors are copied under the lock, the cache tier is consulted
+   through [tier_stats]/[tier_hit_rate] only (never find/peek, so no
+   miss is ever booked), the admission estimator is introspected without
+   touching its windows, and nothing signals the solver thread. A stats
+   query therefore cannot perturb admission pricing, hit-rate accounting
+   or the queue — asserted by test. *)
+let stats_payload t scope =
+  match scope with
+  | Protocol.Stats_prometheus ->
+    (* The registry only records while the span sink is armed; the
+       always-on stats mirror is authoritative for the daemon's own
+       counters. Splice it over the registry values so a scrape of an
+       untraced daemon still carries the operational numbers. *)
+    let st, queue_depth, conns =
+      Mutex.protect t.lock (fun () ->
+          ( { t.stats with served = t.stats.served },
+            Queue.length t.queue,
+            Hashtbl.length t.conns ))
+    in
+    let snap = Telemetry.Metrics.snapshot () in
+    let live_counters =
+      [ ("daemon.received", st.received); ("daemon.admitted", st.admitted);
+        ("daemon.served", st.served); ("daemon.failed", st.failed);
+        ("daemon.rejected.queue_full", st.rejected_queue_full);
+        ("daemon.rejected.quota", st.rejected_quota);
+        ("daemon.rejected.shedding", st.rejected_shedding);
+        ("daemon.rejected.deadline", st.rejected_deadline);
+        ("daemon.fastpath_served", st.fastpath_served);
+        ("daemon.conns_reaped", st.reaped);
+        ("daemon.persisted", st.persisted) ]
+    in
+    let live_gauges =
+      [ ("daemon.queue_depth", float_of_int queue_depth);
+        ("daemon.connections", float_of_int conns);
+        ("daemon.max_queue_depth", float_of_int st.max_queue_depth);
+        ("cache.hit_rate", t.local_tier.Serve.Service.tier_hit_rate None) ]
+    in
+    let merge live registry =
+      List.sort compare
+        (live @ List.filter (fun (n, _) -> not (List.mem_assoc n live)) registry)
+    in
+    Telemetry.Export.prometheus
+      {
+        snap with
+        Telemetry.Metrics.counters = merge live_counters snap.Telemetry.Metrics.counters;
+        gauges = merge live_gauges snap.Telemetry.Metrics.gauges;
+      }
+  | Protocol.Stats_flight -> flight_json t
+  | Protocol.Stats_full ->
+    let st, queue_depth, conns, flight_total, admission =
+      Mutex.protect t.lock (fun () ->
+          ( { t.stats with served = t.stats.served },
+            Queue.length t.queue,
+            Hashtbl.length t.conns,
+            t.flight_pos,
+            Admission.introspect t.adm ))
+    in
+    let hit_rate = t.local_tier.Serve.Service.tier_hit_rate None in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"snapshot_version\":1,\"protocol_version\":%d,\"now\":%.6f,\
+          \"pid\":%d,\"draining\":%b"
+         Protocol.version (Robust.Deadline.now ()) (Unix.getpid ())
+         (Atomic.get t.stop));
+    Buffer.add_string buf
+      (Printf.sprintf
+         ",\"daemon\":{\"received\":%d,\"admitted\":%d,\"served\":%d,\
+          \"failed\":%d,\"rejected\":{\"queue_full\":%d,\"quota\":%d,\
+          \"shedding\":%d,\"deadline\":%d},\"max_queue_depth\":%d,\
+          \"fastpath_served\":%d,\"reaped\":%d,\"persisted\":%d,\
+          \"queue_depth\":%d,\"connections\":%d}"
+         st.received st.admitted st.served st.failed st.rejected_queue_full
+         st.rejected_quota st.rejected_shedding st.rejected_deadline
+         st.max_queue_depth st.fastpath_served st.reaped st.persisted
+         queue_depth conns);
+    Buffer.add_string buf ",\"admission\":[";
+    List.iteri
+      (fun i (rung, samples, cost_s) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "{\"rung\":\"%s\",\"samples\":%d,\"cost_s\":%.6f}"
+             (Robust.Ladder.to_string rung) samples cost_s))
+      admission;
+    Buffer.add_char buf ']';
+    Buffer.add_string buf (Printf.sprintf ",\"cache\":{\"hit_rate\":%.6f" hit_rate);
+    (match t.local_tier.Serve.Service.tier_stats () with
+     | Some (cs : Serve.Schedule_cache.stats) ->
+       Buffer.add_string buf
+         (Printf.sprintf
+            ",\"hits\":%d,\"disk_hits\":%d,\"misses\":%d,\"disk_rejects\":%d,\
+             \"evictions\":%d,\"stores\":%d"
+            cs.Serve.Schedule_cache.hits cs.Serve.Schedule_cache.disk_hits
+            cs.Serve.Schedule_cache.misses cs.Serve.Schedule_cache.disk_rejects
+            cs.Serve.Schedule_cache.evictions cs.Serve.Schedule_cache.stores)
+     | None -> ());
+    Buffer.add_char buf '}';
+    List.iter
+      (fun (name, thunk) ->
+        let payload = try thunk () with _ -> "null" in
+        Buffer.add_string buf
+          (Printf.sprintf ",\"%s\":%s" (Telemetry.Trace.json_escape name) payload))
+      t.cfg.stats_extra;
+    Buffer.add_string buf
+      (Printf.sprintf ",\"metrics\":%s"
+         (Telemetry.Export.metrics_json (Telemetry.Metrics.snapshot ())));
+    Buffer.add_string buf
+      (Printf.sprintf ",\"flight_total\":%d,\"flight\":%s" flight_total
+         (flight_json t));
+    Buffer.add_char buf '}';
+    Buffer.contents buf
 
 (* Response write with the network fault plane. Sites fire only when a
    chaos harness armed them (and [net.peer_crash] additionally requires
@@ -652,16 +941,24 @@ let conn_loop t id conn =
         && Robust.Deadline.now () -. conn.last > t.cfg.idle_timeout_s
       then begin
         Mutex.protect t.lock (fun () -> t.stats.reaped <- t.stats.reaped + 1);
-        Telemetry.Metrics.incr m_reaped
+        Telemetry.Metrics.incr m_reaped;
+        Telemetry.Log.info "daemon.reap"
+          [ ("idle_s", Printf.sprintf "%.1f" (Robust.Deadline.now () -. conn.last)) ]
       end
       else loop ()
     | `Frame payload ->
       conn.last <- Robust.Deadline.now ();
       conn.busy <- true;
       let resp =
-        match Protocol.decode_request payload with
-        | Error msg -> Protocol.Failed ("malformed request: " ^ msg)
-        | Ok req -> process_request t req
+        match Protocol.decode_incoming payload with
+        | Error msg ->
+          Telemetry.Log.warn "daemon.malformed" [ ("error", msg) ];
+          Protocol.Failed ("malformed request: " ^ msg)
+        | Ok (Protocol.Stats_query scope) ->
+          (* answered inline on this connection thread: read-only, never
+             queued, never counted as a request *)
+          Protocol.Stats (stats_payload t scope)
+        | Ok (Protocol.Req req) -> process_request t req
       in
       let alive = write_response t conn.fd resp in
       conn.busy <- false;
@@ -706,6 +1003,12 @@ let run t =
   let socks = sock :: Option.to_list tcp_sock in
   let solver = Thread.create solver_loop t in
   Semaphore.Binary.release t.ready;
+  Telemetry.Log.info "daemon.start"
+    (("socket", t.cfg.socket_path)
+     ::
+     (match t.cfg.tcp with
+      | Some (h, p) -> [ ("tcp", Printf.sprintf "%s:%d" h p) ]
+      | None -> []));
   let accept_from s =
     match Unix.accept s with
     | fd, _ ->
@@ -738,6 +1041,8 @@ let run t =
      admitted request has been answered. *)
   List.iter (fun s -> try Unix.close s with Unix.Unix_error _ -> ()) socks;
   (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  Telemetry.Log.info "daemon.drain"
+    [ ("queued", string_of_int (Mutex.protect t.lock (fun () -> Queue.length t.queue))) ];
   (* Drain backstop: a connection can stay [busy] past any reasonable
      bound only when its client stopped reading (the response write is
      additionally bounded by SO_SNDTIMEO) or its reply is stuck behind a
@@ -776,6 +1081,10 @@ let run t =
   Thread.join solver;
   let written = t.local_tier.Serve.Service.tier_persist () in
   Mutex.protect t.lock (fun () -> t.stats.persisted <- written);
+  Telemetry.Log.info "daemon.drained"
+    [ ("served", string_of_int t.stats.served);
+      ("failed", string_of_int t.stats.failed);
+      ("persisted", string_of_int written) ];
   (* Idle connections: shut them down; their threads wake from [read]
      with EOF and deregister themselves. *)
   let fds =

@@ -62,6 +62,15 @@ type config = {
   fault_crash_exit : bool;
       (** honor the [net.peer_crash] fault site with a process exit(42)
           mid-response — chaos harnesses only *)
+  flight_capacity : int;
+      (** flight-recorder ring size: the last N per-request records
+          readable through the Stats frame (min 16; always on, not gated
+          on the telemetry sink) *)
+  stats_extra : (string * (unit -> string)) list;
+      (** extra named JSON sections appended to the [Stats_full]
+          snapshot; cluster wiring injects ["shards"] and ["peers"]
+          here. Thunks must return valid JSON and be safe to call from a
+          connection thread. *)
 }
 
 val config :
@@ -83,13 +92,16 @@ val config :
   ?idle_timeout_s:float ->
   ?tmp_sweep_age_s:float ->
   ?fault_crash_exit:bool ->
+  ?flight_capacity:int ->
+  ?stats_extra:(string * (unit -> string)) list ->
   socket_path:string ->
   Serve.Service.config ->
   config
 (** Defaults: no TCP listener, no injected tier/peers/housekeeping,
     [read_deadline_s 30.], [write_deadline_s 30.], [drain_deadline_s 30.],
     [idle_timeout_s 300.], [tmp_sweep_age_s 0.],
-    [fault_crash_exit false]. *)
+    [fault_crash_exit false], [flight_capacity 256], no extra stats
+    sections. *)
 
 type stats = {
   mutable received : int;
@@ -144,4 +156,17 @@ val process_request : t -> Protocol.request -> Protocol.response
 (** The full admission + serve path, bypassing the socket — what a
     connection thread runs per frame. Exposed for in-process harnesses
     (the soak bench drives overload through it without socket limits);
-    requires {!run}/{!start} to be active so the solver thread exists. *)
+    requires {!run}/{!start} to be active so the solver thread exists.
+    Mints a request id when the request carries [0L], binds it to the
+    calling thread ([Telemetry.Trace.with_request]) for the duration,
+    and writes a flight-recorder record on every outcome. *)
+
+val stats_payload : t -> Protocol.stats_scope -> string
+(** The Stats frame payload: the versioned JSON snapshot
+    ([Stats_full]), the flight-recorder ring as a JSON array
+    ([Stats_flight]), or Prometheus text ([Stats_prometheus]).
+    Strictly read-only — consults the cache tier only through
+    [tier_stats]/[tier_hit_rate] (never find/peek, so no miss is
+    booked), copies the stats mirrors under the lock, and never touches
+    the solver thread; answering a stats query cannot perturb admission
+    pricing or hit-rate accounting. *)

@@ -99,12 +99,16 @@ let snapshot () =
     gauges = sorted_of_tbl gauges (fun g -> Atomic.get g.gv);
     histograms =
       sorted_of_tbl histograms (fun h ->
-          {
-            bounds = Array.append h.bounds [| infinity |];
-            counts = Array.map Atomic.get h.buckets;
-            count = Atomic.get h.hcount;
-            sum = Atomic.get h.hsum;
-          });
+          (* Read order matters under concurrent [observe]: the writer
+             bumps its bucket first, then [hcount]. Reading the count
+             before the bucket array therefore guarantees
+             sum-of-buckets >= count in every snapshot — a sample can
+             appear in a bucket without being counted yet, never the
+             other way around (no "torn" histogram). *)
+          let count = Atomic.get h.hcount in
+          let sum = Atomic.get h.hsum in
+          let counts = Array.map Atomic.get h.buckets in
+          { bounds = Array.append h.bounds [| infinity |]; counts; count; sum });
   }
 
 let reset () =

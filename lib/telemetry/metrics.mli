@@ -57,6 +57,12 @@ type snapshot = {
 }
 
 val snapshot : unit -> snapshot
+(** Safe to take concurrently with recorders. Per-metric guarantees:
+    counters and the histogram [count] are monotone across consecutive
+    snapshots, and each histogram satisfies
+    [Array.fold_left (+) 0 counts >= count] (the snapshot reads the
+    count before the buckets, and [observe] writes them in the opposite
+    order). The set of metrics is not a cross-metric transaction. *)
 
 val reset : unit -> unit
 (** Zero every registered metric. Registrations (names, bucket layouts)

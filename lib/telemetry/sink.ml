@@ -6,9 +6,20 @@ type t = Null | Memory | File of string
 let current = Atomic.make Null
 let enabled_flag = Atomic.make false
 
-let set s =
+(* Trace ring size, read by [Trace.ensure_ring] the first time an event
+   is recorded after a resize. Lives here (not in Trace) so a process can
+   configure the ring before any recording module is touched. *)
+let default_ring_capacity = 65_536
+let ring_capacity_v = Atomic.make default_ring_capacity
+
+let set ?ring_capacity s =
+  (match ring_capacity with
+   | Some n -> Atomic.set ring_capacity_v (max 1024 n)
+   | None -> ());
   Atomic.set current s;
   Atomic.set enabled_flag (s <> Null)
 
 let get () = Atomic.get current
 let enabled () = Atomic.get enabled_flag
+let ring_capacity () = Atomic.get ring_capacity_v
+let set_ring_capacity n = Atomic.set ring_capacity_v (max 1024 n)

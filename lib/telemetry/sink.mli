@@ -11,10 +11,24 @@ type t =
   | Memory  (** collect in memory only; read back via snapshot/export calls *)
   | File of string  (** collect in memory and write the Chrome trace here on flush *)
 
-val set : t -> unit
-(** Install a sink. Any sink other than [Null] turns collection on. *)
+val set : ?ring_capacity:int -> t -> unit
+(** Install a sink. Any sink other than [Null] turns collection on.
+    [ring_capacity] configures the [Trace] event ring (clamped to
+    >= 1024, default 65536); the new size takes effect the next time the
+    ring is (re)allocated — call {!Trace.set_capacity} or [Trace.reset]
+    after changing it mid-run. *)
 
 val get : unit -> t
+
+val default_ring_capacity : int
+
+val ring_capacity : unit -> int
+(** The configured trace-ring size. When the ring fills, each new event
+    overwrites the oldest slot; see [Trace]. *)
+
+val set_ring_capacity : int -> unit
+(** Change the configured ring size (clamped to >= 1024) without
+    touching the sink. [Trace] picks it up on its next (re)allocation. *)
 
 val enabled : unit -> bool
 (** One atomic load; checked by every recording primitive before any

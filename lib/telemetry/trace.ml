@@ -20,7 +20,6 @@ type span = { sname : string; scat : string; t0 : float; live : bool }
 let disabled_span = { sname = ""; scat = ""; t0 = 0.; live = false }
 
 let mu = Mutex.create ()
-let default_capacity = 65_536
 let slots : event option array ref = ref [||]
 let pos = Atomic.make 0
 let epoch = Atomic.make 0.
@@ -46,13 +45,18 @@ let rec atomic_add_float a d =
   if not (Atomic.compare_and_set a cur (cur +. d)) then atomic_add_float a d
 
 let ensure_ring () =
-  if Array.length !slots = 0 then
+  let want = Sink.ring_capacity () in
+  if Array.length !slots <> want then
     Mutex.protect mu (fun () ->
-        if Array.length !slots = 0 then slots := Array.make default_capacity None)
+        if Array.length !slots <> want then begin
+          slots := Array.make want None;
+          Atomic.set pos 0
+        end)
 
 let set_capacity n =
+  Sink.set_ring_capacity n;
   Mutex.protect mu (fun () ->
-      slots := Array.make (max 1024 n) None;
+      slots := Array.make (Sink.ring_capacity ()) None;
       Atomic.set pos 0)
 
 let reset () =
@@ -67,8 +71,51 @@ let reset () =
         profile);
   Atomic.set epoch (Robust.Deadline.now ())
 
+(* ---- request context --------------------------------------------------- *)
+
+(* Per-systhread request binding. The daemon runs every connection on its
+   own thread inside one domain, so Domain-local storage cannot tell two
+   in-flight requests apart; the context is keyed by [Thread.id] instead.
+   The binding is independent of the sink — wire propagation (peer probes
+   reading [current_request]) must work even with tracing off — but only
+   [record] pays the lookup, and only when a sink is armed. *)
+
+let req_mu = Mutex.create ()
+let req_tbl : (int, int64 * int) Hashtbl.t = Hashtbl.create 16
+
+let current_request () =
+  let tid = Thread.id (Thread.self ()) in
+  Mutex.protect req_mu (fun () -> Hashtbl.find_opt req_tbl tid)
+
+let with_request ~id ~hop f =
+  let tid = Thread.id (Thread.self ()) in
+  let prev =
+    Mutex.protect req_mu (fun () ->
+        let prev = Hashtbl.find_opt req_tbl tid in
+        Hashtbl.replace req_tbl tid (id, hop);
+        prev)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect req_mu (fun () ->
+          match prev with
+          | Some p -> Hashtbl.replace req_tbl tid p
+          | None -> Hashtbl.remove req_tbl tid))
+    f
+
+let request_id_hex id = Printf.sprintf "%016Lx" id
+
+let tag_request args =
+  match current_request () with
+  | None -> args
+  | Some _ when List.mem_assoc "req" args -> args
+  | Some (id, hop) ->
+    let tagged = ("req", request_id_hex id) :: args in
+    if hop > 0 then ("hop", string_of_int hop) :: tagged else tagged
+
 let record ev =
   ensure_ring ();
+  let ev = { ev with args = tag_request ev.args } in
   let s = !slots in
   let i = Atomic.fetch_and_add pos 1 in
   s.(i mod Array.length s) <- Some ev

@@ -4,10 +4,17 @@
     monotonic clock), relative to the trace epoch set by {!reset}. Spans
     are recorded as Chrome [trace_event] complete events ([ph:"X"]) when
     they end, so an exported trace is balanced by construction; each
-    OCaml domain appears as its own pid/tid. The ring holds the most
-    recent [capacity] events; a separate per-span-name aggregate table
-    (count, total duration) survives ring overwrite and feeds the
-    [--profile] summary.
+    OCaml domain appears as its own pid/tid.
+
+    {b Overwrite semantics.} The ring holds the most recent
+    [Sink.ring_capacity ()] events (default 65536, configurable via
+    [Sink.set ~ring_capacity] or the CLI [--trace-ring] flag). Appends
+    never block and never fail: once the ring is full each new event
+    replaces the oldest slot, so a long run exports a sliding window of
+    the tail, not the whole history. {!recorded} keeps counting past the
+    capacity, so [recorded () > capacity] tells you events were dropped.
+    A separate per-span-name aggregate table (count, total duration)
+    survives ring overwrite and feeds the [--profile] summary.
 
     Every entry point is a no-op while {!Sink.enabled} is false:
     {!begin_span} returns a static disabled token without reading the
@@ -29,6 +36,24 @@ val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
 val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
 (** Record a point event (Chrome [ph:"i"]). *)
 
+val with_request : id:int64 -> hop:int -> (unit -> 'a) -> 'a
+(** Bind a request id (and origin hop count) to the calling systhread
+    for the duration of [f]. Every event the thread records meanwhile is
+    tagged with [("req", "%016Lx")] (and [("hop", n)] when [hop > 0]),
+    and {!current_request} returns the binding — that is how the daemon
+    threads one wire request id through solver spans, cache instants and
+    outbound peer probes. Nests: the previous binding is restored when
+    [f] returns or raises. Works with the sink disabled (propagation is
+    not a telemetry feature); only event tagging depends on the sink. *)
+
+val current_request : unit -> (int64 * int) option
+(** The calling thread's [(request id, hop)] binding, if inside
+    {!with_request}. *)
+
+val request_id_hex : int64 -> string
+(** Canonical 16-digit lower-case hex rendering of a request id, as used
+    in event tags, log lines and the flight recorder. *)
+
 type event = {
   name : string;
   cat : string;
@@ -47,8 +72,9 @@ val recorded : unit -> int
     overwritten. *)
 
 val set_capacity : int -> unit
-(** Resize the ring (clamped to >= 1024) and clear it. Call before
-    enabling collection; not safe concurrently with recorders. *)
+(** Resize the ring (clamped to >= 1024, recorded in
+    [Sink.set_ring_capacity]) and clear it. Call before enabling
+    collection; not safe concurrently with recorders. *)
 
 val reset : unit -> unit
 (** Clear the ring and the profile aggregates and re-arm the epoch. *)
@@ -73,3 +99,7 @@ val profile_entries : unit -> (string * int * float) list
 
 val profile_summary : unit -> string
 (** ASCII per-span wall-time table (the [--profile] report). *)
+
+val json_escape : string -> string
+(** JSON string-body escaping shared by the exporters (and by
+    [Telemetry.Log] / [Telemetry.Export]). *)

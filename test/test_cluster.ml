@@ -43,6 +43,11 @@ let rec rm_rf path =
   end
   else Sys.remove path
 
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec at i = i + m <= n && (String.sub hay i m = needle || at (i + 1)) in
+  at 0
+
 (* ---- shard placement and aggregate stats ------------------------------ *)
 
 let test_shard_placement () =
@@ -438,7 +443,8 @@ let test_corrupt_peer_degrades_to_live_solve () =
           match
             Daemon.Client.one_shot sock
               { P.client = ""; budget_s = 10.; arch = "baseline";
-                target = P.Layer "3_56_64_64_1"; cache_only = false }
+                target = P.Layer "3_56_64_64_1"; cache_only = false; req_id = 0L;
+                hop = 0 }
           with
           | Ok (P.Scheduled s) ->
             (match s.P.layers with
@@ -450,6 +456,87 @@ let test_corrupt_peer_degrades_to_live_solve () =
           | _ -> Alcotest.fail "expected a live-solved Scheduled");
       check_bool "corrupt peer answer counted as cert reject" true
         ((Cluster.Peers.stats peers).Cluster.Peers.rejects_cert >= 1))
+
+(* ---- request-id propagation across hops -------------------------------- *)
+
+(* One wire request id must thread client -> daemon -> warm-peer probe:
+   the daemon serves under the client's id, the outbound probe carries
+   (id, hop+1) on the wire, and the same 16-hex-digit rendering shows up
+   in the trace export, the structured event log, and the daemon's
+   flight recorder. *)
+let test_request_id_propagation () =
+  Telemetry.Sink.set Telemetry.Sink.Memory;
+  Telemetry.Trace.reset ();
+  Telemetry.Log.set ~level:Telemetry.Log.Debug Telemetry.Log.Memory;
+  let probe_seen = ref None in
+  let path, shutdown_peer =
+    fake_peer (fun req ->
+        probe_seen := Some (req.P.req_id, req.P.hop);
+        (* honest miss: the daemon solves locally and still serves *)
+        P.Rejected P.Deadline_unmeetable)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      shutdown_peer ();
+      Telemetry.Log.set Telemetry.Log.Null;
+      Telemetry.Sink.set Telemetry.Sink.Null)
+    (fun () ->
+      let peers = Cluster.Peers.create [ Daemon.Client.Unix_path path ] in
+      let sock =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "cosa_reqid_%d_%d.sock" (Unix.getpid ()) (Random.bits ()))
+      in
+      let service =
+        Serve.Service.config ~strategy:Cosa.Two_stage ~node_limit:2_000
+          ~time_limit:0.6 arch
+      in
+      let admission =
+        Daemon.Admission.default_config ~queue_capacity:4 ~time_limit:0.6 ()
+      in
+      let server =
+        Daemon.Server.create
+          (Daemon.Server.config ~admission ~default_budget_s:10.
+             ~remote_probe:(fun ~arch ~layer fp ->
+               Cluster.Peers.probe peers ~arch ~layer fp)
+             ~socket_path:sock service)
+      in
+      let thread = Daemon.Server.start server in
+      Daemon.Server.wait_ready server;
+      let id = 0x00ab_cdef_0123_4567L in
+      let hex = Telemetry.Trace.request_id_hex id in
+      Fun.protect
+        ~finally:(fun () ->
+          Daemon.Server.shutdown server;
+          Thread.join thread)
+        (fun () ->
+          (match
+             Daemon.Client.one_shot sock
+               { P.client = ""; budget_s = 10.; arch = "baseline";
+                 target = P.Layer "3_56_64_64_1"; cache_only = false;
+                 req_id = id; hop = 0 }
+           with
+           | Ok (P.Scheduled _) -> ()
+           | _ -> Alcotest.fail "expected a Scheduled response");
+          (* the outbound peer probe carried the same id, one hop deeper *)
+          (match !probe_seen with
+           | Some (pid, phop) ->
+             check_bool "peer probe carries the id" true (pid = id);
+             check_int "peer probe hop incremented" 1 phop
+           | None -> Alcotest.fail "warm peer was never probed");
+          (* flight recorder: the daemon's record of this request *)
+          let flight = Daemon.Server.stats_payload server P.Stats_flight in
+          check_bool "flight recorder carries the id" true (contains flight hex);
+          (* trace export: at least one event tagged with the id *)
+          check_bool "trace events tagged with the id" true
+            (List.exists
+               (fun (e : Telemetry.Trace.event) ->
+                 List.assoc_opt "req" e.Telemetry.Trace.args = Some hex)
+               (Telemetry.Trace.events ()));
+          (* structured event log: the serve line carries the id *)
+          check_bool "event log carries the id" true
+            (List.exists
+               (fun line -> contains line hex && contains line "daemon.serve")
+               (Telemetry.Log.captured ()))))
 
 (* ---- peek probes and miss accounting ---------------------------------- *)
 
@@ -547,11 +634,6 @@ let test_connect_timeout_bounded () =
       | Ok c -> Daemon.Client.close c
       | Error msg -> Alcotest.fail ("bounded connect to live listener: " ^ msg))
 
-let contains hay needle =
-  let n = String.length hay and m = String.length needle in
-  let rec at i = i + m <= n && (String.sub hay i m = needle || at (i + 1)) in
-  at 0
-
 (* A server speaking the wrong protocol version answers every exchange
    with an undecodable (but well-framed) response. That is a permanent
    property of the peer: failover must surface it immediately instead of
@@ -602,7 +684,7 @@ let test_failover_protocol_error_terminal () =
         Daemon.Client.request_failover ~retries:3 ~backoff_s:0.001 ~timeout_s:2.
           ~endpoints:[ Daemon.Client.Unix_path path ]
           { P.client = ""; budget_s = 1.; arch = "baseline";
-            target = P.Layer "cl_a"; cache_only = false }
+            target = P.Layer "cl_a"; cache_only = false; req_id = 0L; hop = 0 }
       with
       | Ok _ -> Alcotest.fail "undecodable response must not yield Ok"
       | Error msg ->
@@ -629,6 +711,8 @@ let suite =
         test_peer_config_skew_rejected;
       Alcotest.test_case "corrupt peer -> counted miss + live solve" `Slow
         test_corrupt_peer_degrades_to_live_solve;
+      Alcotest.test_case "request id threads client->daemon->peer" `Slow
+        test_request_id_propagation;
       Alcotest.test_case "peek probes book no misses" `Quick
         test_peek_no_miss_accounting;
       Alcotest.test_case "connect bounded by timeout" `Quick

@@ -15,7 +15,8 @@ module L = Robust.Ladder
 
 let sample_request =
   { P.client = "tenant-a"; budget_s = 0.75; arch = "baseline";
-    target = P.Layer "3_56_64_64_1"; cache_only = false }
+    target = P.Layer "3_56_64_64_1"; cache_only = false;
+    req_id = 0x0123_4567_89ab_cdefL; hop = 2 }
 
 let test_request_roundtrip () =
   match P.decode_request (P.encode_request sample_request) with
@@ -24,7 +25,9 @@ let test_request_roundtrip () =
     check_string "client" sample_request.P.client r.P.client;
     check_bool "budget bit-exact" true (r.P.budget_s = sample_request.P.budget_s);
     check_string "arch" "baseline" r.P.arch;
-    check_bool "target" true (r.P.target = P.Layer "3_56_64_64_1")
+    check_bool "target" true (r.P.target = P.Layer "3_56_64_64_1");
+    check_bool "request id" true (r.P.req_id = sample_request.P.req_id);
+    check_int "hop" 2 r.P.hop
 
 let sample_scheduled =
   P.Scheduled
@@ -94,9 +97,10 @@ let test_version_magic_mismatch () =
   in
   (* byte 0 is the magic, byte 1 the version *)
   (match P.decode_request (mutated 1 '\x01') with
-   | Ok _ -> Alcotest.fail "v1 frame decoded as v2"
+   | Ok _ -> Alcotest.fail "v1 frame decoded as current version"
    | Error e ->
-     check_bool "names the expected version" true (contains e "expected v2");
+     check_bool "names the expected version" true
+       (contains e (Printf.sprintf "expected v%d" P.version));
      check_bool "names the received version" true (contains e "got v1"));
   match P.decode_request (mutated 0 '\x7f') with
   | Ok _ -> Alcotest.fail "wrong-magic frame decoded"
@@ -143,10 +147,18 @@ let qcheck_protocol_roundtrip =
       let* is_layer = bool in
       let* name = str in
       let* cache_only = bool in
+      let* req_lo = int_bound 0xffff in
+      let* req_hi = int_bound 0xffff in
+      let* hop = int_bound 255 in
       return
         { P.client; budget_s = budget; arch;
           target = (if is_layer then P.Layer name else P.Network name);
-          cache_only })
+          cache_only;
+          req_id =
+            Int64.logor
+              (Int64.shift_left (Int64.of_int req_hi) 48)
+              (Int64.of_int req_lo);
+          hop })
   in
   QCheck.Test.make ~name:"protocol request roundtrip" ~count:200 (QCheck.make gen)
     (fun req ->
@@ -316,10 +328,10 @@ let with_temp_daemon ?(cache_dir = None) f =
       Thread.join thread)
     (fun () -> f server sock)
 
-let request ?(budget = 10.) ?(arch = "baseline") sock name =
+let request ?(budget = 10.) ?(arch = "baseline") ?(req_id = 0L) sock name =
   Daemon.Client.one_shot sock
     { P.client = ""; budget_s = budget; arch; target = P.Layer name;
-      cache_only = false }
+      cache_only = false; req_id; hop = 0 }
 
 let test_daemon_e2e () =
   with_temp_daemon (fun server sock ->
@@ -402,7 +414,8 @@ let test_daemon_rejects_version_mismatch () =
              | Ok (P.Failed msg) ->
                check_bool "typed failure names both versions" true
                  (contains msg "version mismatch"
-                 && contains msg "expected v2" && contains msg "got v1")
+                 && contains msg (Printf.sprintf "expected v%d" P.version)
+                 && contains msg "got v1")
              | _ -> Alcotest.fail "expected a typed Failed response")
           | _ -> Alcotest.fail "expected a response frame"))
 
@@ -450,7 +463,7 @@ let test_daemon_tcp_failover () =
       let dead = Daemon.Client.Tcp ("127.0.0.1", alloc_port ()) in
       let req ?(budget = 10.) name =
         { P.client = ""; budget_s = budget; arch = "baseline";
-          target = P.Layer name; cache_only = false }
+          target = P.Layer name; cache_only = false; req_id = 0L; hop = 0 }
       in
       (* plain exchange over the TCP listener *)
       (match Daemon.Client.one_shot_ep live (req "3_56_64_64_1") with
@@ -510,6 +523,68 @@ let test_daemon_drain_and_restart () =
           let s = Daemon.Server.stats server in
           check_int "no live solve needed" 1 s.Daemon.Server.served))
 
+(* ---- live introspection: the Stats frame ------------------------------ *)
+
+(* A stats query against a live daemon returns the versioned snapshot
+   (with the request ids of served traffic in the flight recorder) and is
+   strictly read-only: request/admission counters and cache hit/miss
+   accounting must be byte-for-byte what they were before the query. *)
+let test_stats_frame () =
+  with_temp_daemon (fun server sock ->
+      let id = 0xfeed_face_1234_5678L in
+      (match request ~req_id:id sock "3_56_64_64_1" with
+       | Ok (P.Scheduled _) -> ()
+       | _ -> Alcotest.fail "seed solve failed");
+      (match request sock "3_56_64_64_1" with
+       | Ok (P.Scheduled _) -> ()
+       | _ -> Alcotest.fail "cache-hit request failed");
+      let counters () =
+        let s = Daemon.Server.stats server in
+        let c =
+          match (Daemon.Server.tier server).Serve.Service.tier_stats () with
+          | Some (cs : Serve.Schedule_cache.stats) ->
+            (cs.Serve.Schedule_cache.hits, cs.Serve.Schedule_cache.misses)
+          | None -> (0, 0)
+        in
+        (s.Daemon.Server.received, s.Daemon.Server.served, c)
+      in
+      let before = counters () in
+      let ep = Daemon.Client.Unix_path sock in
+      let full =
+        match Daemon.Client.stats_ep ep P.Stats_full with
+        | Ok s -> s
+        | Error e -> Alcotest.fail ("stats query failed: " ^ e)
+      in
+      check_bool "versioned snapshot" true (contains full "\"snapshot_version\":1");
+      check_bool "names the protocol version" true
+        (contains full (Printf.sprintf "\"protocol_version\":%d" P.version));
+      check_bool "daemon counters present" true (contains full "\"received\":2");
+      check_bool "admission windows present" true (contains full "\"admission\":[");
+      check_bool "metrics embedded" true (contains full "\"metrics\":");
+      let hex = Telemetry.Trace.request_id_hex id in
+      check_bool "flight recorder carries the request id" true (contains full hex);
+      let flight =
+        match Daemon.Client.stats_ep ep P.Stats_flight with
+        | Ok s -> s
+        | Error e -> Alcotest.fail ("trace-dump query failed: " ^ e)
+      in
+      check_bool "flight dump carries the request id" true (contains flight hex);
+      check_bool "flight dump records the outcome" true
+        (contains flight "\"verdict\":\"scheduled\"");
+      let prom =
+        match Daemon.Client.stats_ep ep P.Stats_prometheus with
+        | Ok s -> s
+        | Error e -> Alcotest.fail ("prometheus query failed: " ^ e)
+      in
+      check_bool "prometheus exposition typed" true (contains prom "# TYPE");
+      check_bool "prometheus metrics prefixed" true (contains prom "cosa_daemon_");
+      (* the queries above must not have moved a single counter *)
+      check_bool "stats queries perturb nothing" true (counters () = before);
+      check_bool "stats queries not counted as requests" true
+        (contains
+           (Daemon.Server.stats_payload server P.Stats_full)
+           "\"received\":2"))
+
 let suite =
   let qc = QCheck_alcotest.to_alcotest in
   ( "daemon",
@@ -536,4 +611,5 @@ let suite =
         test_daemon_rejects_version_mismatch;
       Alcotest.test_case "daemon tcp + failover" `Slow test_daemon_tcp_failover;
       Alcotest.test_case "daemon drain+restart" `Slow test_daemon_drain_and_restart;
+      Alcotest.test_case "stats frame: live + read-only" `Slow test_stats_frame;
     ] )

@@ -168,7 +168,8 @@ let test_pool_metrics_race_free () =
 
 let test_determinism_with_telemetry () =
   (* telemetry observes the solver, it must never steer it: a node-bound
-     schedule is byte-identical with collection off and on *)
+     schedule is byte-identical with collection off and with every
+     observability surface armed (sink + event log + exports) *)
   let arch = Spec.baseline in
   let layer = Layer.create ~name:"tel_det" ~r:3 ~s:3 ~p:4 ~q:4 ~c:4 ~k:8 ~n:1 () in
   let solve () =
@@ -178,9 +179,151 @@ let test_determinism_with_telemetry () =
         .Cosa.mapping
   in
   Telemetry.Sink.set Telemetry.Sink.Null;
+  Telemetry.Log.set Telemetry.Log.Null;
   let off = solve () in
-  let on = with_sink Telemetry.Sink.Memory solve in
+  let on =
+    with_sink Telemetry.Sink.Memory (fun () ->
+        Telemetry.Log.set ~level:Telemetry.Log.Debug Telemetry.Log.Memory;
+        Fun.protect
+          ~finally:(fun () -> Telemetry.Log.set Telemetry.Log.Null)
+          (fun () ->
+            let r = solve () in
+            (* exports are pure readers: rendering them must not matter *)
+            ignore (Telemetry.Export.prometheus (M.snapshot ()));
+            ignore (Telemetry.Export.metrics_json (M.snapshot ()));
+            r))
+  in
   Alcotest.(check string) "schedule identical with telemetry on" off on
+
+(* ---- structured event log --------------------------------------------- *)
+
+let with_log ?level ?rate_limit output f =
+  Telemetry.Log.set ?level ?rate_limit output;
+  Fun.protect ~finally:(fun () -> Telemetry.Log.set Telemetry.Log.Null) f
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec at i = i + m <= n && (String.sub hay i m = needle || at (i + 1)) in
+  at 0
+
+let test_log_disabled_noop () =
+  Telemetry.Log.set Telemetry.Log.Null;
+  check_bool "disabled by default" false (Telemetry.Log.enabled ());
+  Telemetry.Log.info "log.gated" [ ("k", "v") ];
+  Telemetry.Log.error "log.gated" [];
+  check_bool "nothing captured while disabled" true (Telemetry.Log.captured () = [])
+
+let test_log_jsonl_and_levels () =
+  with_log ~level:Telemetry.Log.Info Telemetry.Log.Memory @@ fun () ->
+  check_bool "armed" true (Telemetry.Log.enabled ());
+  Telemetry.Log.debug "log.dropped" [];
+  Telemetry.Log.info "log.line" [ ("key", "value"); ("quote", "a\"b") ];
+  Telemetry.Log.warn "log.warned" [];
+  (match Telemetry.Log.captured () with
+   | [ l1; l2 ] ->
+     check_bool "JSONL object" true
+       (String.length l1 > 2 && l1.[0] = '{' && l1.[String.length l1 - 1] = '}');
+     check_bool "timestamp" true (contains l1 "\"ts\":");
+     check_bool "level" true (contains l1 "\"level\":\"info\"");
+     check_bool "event name" true (contains l1 "\"event\":\"log.line\"");
+     check_bool "fields" true (contains l1 "\"key\":\"value\"");
+     check_bool "fields escaped" true (contains l1 "\"quote\":\"a\\\"b\"");
+     check_bool "below-level line dropped" false (contains l1 "log.dropped");
+     check_bool "warn emitted" true (contains l2 "\"level\":\"warn\"")
+   | lines ->
+     Alcotest.fail
+       (Printf.sprintf "expected 2 captured lines, got %d" (List.length lines)));
+  (* the ambient request binding tags lines automatically *)
+  Telemetry.Trace.with_request ~id:0xabcL ~hop:2 (fun () ->
+      Telemetry.Log.info "log.tagged" []);
+  let last = List.hd (List.rev (Telemetry.Log.captured ())) in
+  check_bool "req tag" true
+    (contains last ("\"req\":\"" ^ Telemetry.Trace.request_id_hex 0xabcL ^ "\""));
+  check_bool "hop tag" true (contains last "\"hop\":2");
+  (* level parsing used by the CLI flag *)
+  check_bool "level_of_string" true
+    (Telemetry.Log.level_of_string "warn" = Some Telemetry.Log.Warn
+    && Telemetry.Log.level_of_string "bogus" = None)
+
+let test_log_rate_limit () =
+  with_log ~rate_limit:(2, 100.) Telemetry.Log.Memory @@ fun () ->
+  for i = 1 to 20 do
+    Telemetry.Log.info "log.storm" [ ("i", string_of_int i) ]
+  done;
+  let burst = List.length (Telemetry.Log.captured ()) in
+  check_bool "storm clamped to around the burst" true (burst <= 5);
+  check_bool "drops counted" true (Telemetry.Log.suppressed_total () >= 15);
+  (* after a refill, the next line surfaces the suppressed count *)
+  Thread.delay 0.05;
+  Telemetry.Log.info "log.storm" [];
+  let last = List.hd (List.rev (Telemetry.Log.captured ())) in
+  check_bool "suppression visible in-stream" true (contains last "\"suppressed\":");
+  (* an unrelated event name has its own bucket *)
+  Telemetry.Log.info "log.calm" [];
+  check_bool "independent buckets" true
+    (List.exists
+       (fun l -> contains l "log.calm" && not (contains l "\"suppressed\""))
+       (Telemetry.Log.captured ()))
+
+(* ---- exposition formats ------------------------------------------------ *)
+
+let test_export_prometheus () =
+  with_sink Telemetry.Sink.Memory @@ fun () ->
+  M.add (M.counter "exp.requests-total") 3;
+  M.set_gauge (M.gauge "exp.depth") 2.5;
+  let h = M.histogram ~buckets:[| 0.1; 1. |] "exp.wait_s" in
+  List.iter (M.observe h) [ 0.05; 0.5; 5. ];
+  let text = Telemetry.Export.prometheus (M.snapshot ()) in
+  check_bool "counter typed" true (contains text "# TYPE cosa_exp_requests_total counter");
+  check_bool "counter value" true (contains text "cosa_exp_requests_total 3");
+  check_bool "gauge" true (contains text "cosa_exp_depth 2.5");
+  check_bool "histogram typed" true (contains text "# TYPE cosa_exp_wait_s histogram");
+  (* buckets are cumulative and end at +Inf = count *)
+  check_bool "le=0.1" true (contains text "cosa_exp_wait_s_bucket{le=\"0.1\"} 1");
+  check_bool "le=1" true (contains text "cosa_exp_wait_s_bucket{le=\"1\"} 2");
+  check_bool "le=+Inf" true (contains text "cosa_exp_wait_s_bucket{le=\"+Inf\"} 3");
+  check_bool "count" true (contains text "cosa_exp_wait_s_count 3");
+  check_bool "name mangling" true (not (contains text "exp.requests-total"));
+  let js = Telemetry.Export.metrics_json (M.snapshot ()) in
+  check_bool "json counters" true (contains js "\"exp.requests-total\":3");
+  check_bool "json histogram count" true (contains js "\"count\":3")
+
+(* ---- snapshot consistency under concurrent mutation (jobs=4) ---------- *)
+
+let test_snapshot_concurrent () =
+  with_sink Telemetry.Sink.Memory @@ fun () ->
+  let c = M.counter "conc.ticks" in
+  let h = M.histogram ~buckets:[| 0.5; 1.5; 2.5 |] "conc.obs" in
+  let per_domain = 20_000 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              M.incr c;
+              M.observe h (float_of_int ((d + i) mod 4))
+            done))
+  in
+  (* read snapshots while all four domains are mutating: counters must be
+     monotone across reads and histograms never torn (the bucket writes
+     land before the count, so Σbuckets >= count in every snapshot) *)
+  let prev = ref 0 in
+  for _ = 1 to 50 do
+    let snap = M.snapshot () in
+    let v = M.counter_value snap "conc.ticks" in
+    check_bool "counter monotone under races" true (v >= !prev);
+    prev := v;
+    let hs = List.assoc "conc.obs" snap.M.histograms in
+    let bucket_sum = Array.fold_left ( + ) 0 hs.M.counts in
+    check_bool "histogram never torn (sum buckets >= count)" true
+      (bucket_sum >= hs.M.count)
+  done;
+  List.iter Domain.join domains;
+  let snap = M.snapshot () in
+  check_int "no tick lost" (4 * per_domain) (M.counter_value snap "conc.ticks");
+  let hs = List.assoc "conc.obs" snap.M.histograms in
+  check_int "no observation lost" (4 * per_domain) hs.M.count;
+  check_int "buckets settle to the count" hs.M.count
+    (Array.fold_left ( + ) 0 hs.M.counts)
 
 let suite =
   ( "telemetry",
@@ -195,4 +338,9 @@ let suite =
       Alcotest.test_case "ring overwrite" `Quick test_ring_overwrite;
       Alcotest.test_case "pool metrics race-free" `Quick test_pool_metrics_race_free;
       Alcotest.test_case "determinism with telemetry" `Quick test_determinism_with_telemetry;
+      Alcotest.test_case "log disabled is no-op" `Quick test_log_disabled_noop;
+      Alcotest.test_case "log JSONL shape and levels" `Quick test_log_jsonl_and_levels;
+      Alcotest.test_case "log rate limiting" `Quick test_log_rate_limit;
+      Alcotest.test_case "prometheus exposition" `Quick test_export_prometheus;
+      Alcotest.test_case "snapshot under concurrent mutation" `Quick test_snapshot_concurrent;
     ] )
