@@ -211,6 +211,23 @@ let check_sweep fresh base =
      | Some w when w > 0. -> ()
      | Some _ -> fail "warm sweep performed no warm solves"
      | None -> fail "warm_sweep warm_solves counter missing");
+    (* The incremental LU engine's reason to exist: the warm sweep must
+       stay at or below 0.2 full refactorizations per simplex solve (the
+       pre-engine code performed ~2 per solve). A missing refactorization
+       counter means zero refactorizations, which trivially passes. *)
+    (match num_opt f [ "warm"; "telemetry"; "counters"; "simplex.solves" ] with
+     | Some solves when solves > 0. ->
+       let refac =
+         Option.value ~default:0.
+           (num_opt f [ "warm"; "telemetry"; "counters"; "simplex.refactorizations" ])
+       in
+       let per_solve = refac /. solves in
+       if per_solve > 0.2 then
+         fail
+           "warm sweep refactorizations per solve %.3f exceeds the 0.2 gate \
+            (%.0f refactorizations / %.0f solves)"
+           per_solve refac solves
+     | Some _ | None -> fail "warm_sweep simplex.solves counter missing or zero");
     check_wall "warm_sweep(warm)" (num_opt f [ "warm"; "wall_s" ])
       (num_opt b [ "warm"; "wall_s" ]);
     check_wall "warm_sweep(cold)" (num_opt f [ "cold"; "wall_s" ])

@@ -221,6 +221,33 @@ let micro_benchmarks () =
   let formulation = Cosa_formulation.build arch layer in
   let relaxed = Milp.Bb.relax formulation.Cosa_formulation.lp in
   let rng = Prim.Rng.create 99 in
+  (* eta-engine kernel fixtures at the representative row count of the CoSA
+     relaxation: a logical basis with the structural columns alongside, one
+     FTRAN column (the densest structural one) and one sparse cost vector *)
+  let lu_m = relaxed.Milp.Simplex.nrows in
+  let lu_ncols = relaxed.Milp.Simplex.ncols in
+  let lu_cols = Array.make (lu_ncols + lu_m) ([||], [||]) in
+  Array.blit relaxed.Milp.Simplex.cols 0 lu_cols 0 lu_ncols;
+  for i = 0 to lu_m - 1 do
+    lu_cols.(lu_ncols + i) <- ([| i |], [| 1. |])
+  done;
+  let lu = Milp.Lu.create lu_m in
+  Milp.Lu.refactor lu
+    ~scratch:(Array.make_matrix lu_m lu_m 0.)
+    ~cols:lu_cols
+    ~basis:(Array.init lu_m (fun i -> lu_ncols + i))
+    ~pivot_tol:1e-9;
+  let lu_col =
+    let best = ref 0 in
+    for j = 1 to lu_ncols - 1 do
+      if Array.length (fst lu_cols.(j)) > Array.length (fst lu_cols.(!best)) then
+        best := j
+    done;
+    lu_cols.(!best)
+  in
+  let lu_alpha = Array.make lu_m 0. in
+  let lu_cost = Array.init lu_m (fun i -> if i mod 3 = 0 then 1. else 0.) in
+  let lu_y = Array.make lu_m 0. in
   let tests =
     [
       (* figs 1/3/4, 6-9: every data point is one analytical-model call *)
@@ -229,6 +256,12 @@ let micro_benchmarks () =
       (* tab6 + all CoSA rows: LP relaxation solve inside branch-and-bound *)
       Test.make ~name:"simplex_solve(tab6,cosa)"
         (Staged.stage (fun () -> ignore (Milp.Simplex.solve relaxed)));
+      (* per-pivot kernels of the incremental LU engine: sparse FTRAN of
+         the densest structural column, BTRAN of a sparse cost vector *)
+      Test.make ~name:(Printf.sprintf "lu_ftran(m=%d)" lu_m)
+        (Staged.stage (fun () -> Milp.Lu.ftran lu lu_col lu_alpha));
+      Test.make ~name:(Printf.sprintf "lu_btran(m=%d)" lu_m)
+        (Staged.stage (fun () -> Milp.Lu.btran lu lu_cost lu_y));
       (* fig1: one valid-schedule sample *)
       Test.make ~name:"sampler_valid(fig1)"
         (Staged.stage (fun () -> ignore (Sampler.valid rng arch layer)));

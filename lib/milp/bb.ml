@@ -125,13 +125,16 @@ let relax model =
   { Simplex.nrows = m; ncols; cols; cost; lb; ub; rhs }
 
 (* A search node: bound deltas against the base relaxation, plus the
-   parent's optimal LP basis. The basis value is shared (never mutated)
-   between both children, so carrying it costs one pointer per node. *)
+   parent's optimal LP basis and its canonical factorization. Both values
+   are shared (never mutated) between the two children, so carrying them
+   costs two pointers per node; the factor lets a child's warm solve load
+   the parent's basis inverse instead of refactorizing it. *)
 type node = {
   nlb : (int * float) list;
   nub : (int * float) list;
   depth : int;
   nbasis : Simplex.Basis.t option;
+  nfactor : Simplex.Factor.t option;
 }
 
 (* Check a candidate assignment against the model's own constraints/bounds. *)
@@ -158,7 +161,8 @@ let check_feasible ?(tol = 1e-6) model x =
       !ok)
 
 let solve_impl ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.Deadline.none)
-    ?(integrality_tol = 1e-6) ?priority ?(gap = 0.) ?warm_start ?(warm_lp = true) model =
+    ?(integrality_tol = 1e-6) ?priority ?(gap = 0.) ?warm_start ?(warm_lp = true)
+    ?refactor_interval model =
   let t0 = Robust.Deadline.now () in
   (* the effective budget is the tighter of the relative time limit and the
      caller's absolute deadline; both propagate into every node's simplex *)
@@ -223,7 +227,7 @@ let solve_impl ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.D
     List.iter (fun (j, _) -> if lb.(j) > ub.(j) +. 1e-12 then conflict := true) node.nub;
     if !conflict then
       Ok { Simplex.status = Simplex.Infeasible; obj = infinity; x = [||];
-           iterations = 0; warm = false; basis = None }
+           iterations = 0; warm = false; basis = None; factor = None }
     else begin
       (* propagate the branching decisions through the equality rows; this
          often fixes sibling variables or proves the node infeasible
@@ -231,12 +235,18 @@ let solve_impl ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.D
       let pre = Presolve.tighten ~integer:integer_cols base rows lb ub in
       if not pre.Presolve.feasible then
         Ok { Simplex.status = Simplex.Infeasible; obj = infinity; x = [||];
-             iterations = 0; warm = false; basis = None }
+             iterations = 0; warm = false; basis = None; factor = None }
       else begin
         (* a bound change keeps the parent basis dual feasible, so child
-           LPs reoptimize with a few dual pivots instead of a cold solve *)
+           LPs reoptimize with a few dual pivots instead of a cold solve;
+           the parent's canonical factor rides along so the warm entry
+           loads the inverse instead of refactorizing it *)
         let warm = if warm_lp then node.nbasis else None in
-        let res = Simplex.solve_r ?warm ~deadline:dl { base with lb; ub } in
+        let warm_factor = if warm_lp then node.nfactor else None in
+        let res =
+          Simplex.solve_r ?warm ?warm_factor ?refactor_interval ~deadline:dl
+            { base with lb; ub }
+        in
         (match res with
          | Ok r when node.depth > 0 ->
            if r.Simplex.warm then begin
@@ -268,7 +278,7 @@ let solve_impl ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.D
       int_vars;
     !best
   in
-  let root = { nlb = []; nub = []; depth = 0; nbasis = None } in
+  let root = { nlb = []; nub = []; depth = 0; nbasis = None; nfactor = None } in
   let unbounded = ref false in
   (* Evaluate one node. Returns the preferred child to plunge into (the one
      matching the LP value's rounding) after queueing its sibling. *)
@@ -331,11 +341,13 @@ let solve_impl ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.D
                basis stays dual feasible for either side *)
             let down =
               { node with nub = (bv, floor fv) :: node.nub;
-                depth = node.depth + 1; nbasis = res.Simplex.basis }
+                depth = node.depth + 1; nbasis = res.Simplex.basis;
+                nfactor = res.Simplex.factor }
             in
             let up =
               { node with nlb = (bv, ceil fv) :: node.nlb;
-                depth = node.depth + 1; nbasis = res.Simplex.basis }
+                depth = node.depth + 1; nbasis = res.Simplex.basis;
+                nfactor = res.Simplex.factor }
             in
             let first, second = if fv -. floor fv <= 0.5 then (down, up) else (up, down) in
             Heap.push heap res.Simplex.obj second;
@@ -410,7 +422,7 @@ let solve_impl ?(node_limit = 200_000) ?(time_limit = 60.) ?(deadline = Robust.D
 
 (* Public entry point: one "bb.solve" span covers the whole search. *)
 let solve ?node_limit ?time_limit ?deadline ?integrality_tol ?priority ?gap ?warm_start
-    ?warm_lp model =
+    ?warm_lp ?refactor_interval model =
   Telemetry.Trace.with_span ~cat:"bb" "bb.solve" (fun () ->
       solve_impl ?node_limit ?time_limit ?deadline ?integrality_tol ?priority ?gap
-        ?warm_start ?warm_lp model)
+        ?warm_start ?warm_lp ?refactor_interval model)

@@ -1,0 +1,152 @@
+(* Incremental basis factorization: dense inverse + product-form eta
+   updates, with the bookkeeping (chain length, worst pivot magnitude) that
+   drives stability-triggered refactorization. The elimination and kernel
+   loops are verbatim transplants of the historical in-solver code — same
+   operations, same order — so the bits they produce are unchanged. *)
+
+exception Singular
+
+type t = {
+  m : int;
+  binv : float array array;  (* dense basis inverse, m x m *)
+  mutable etas : int;        (* eta updates since last refactor/load *)
+  mutable min_pivot : float; (* smallest |pivot| absorbed since then *)
+}
+
+type trigger = No_refactor | Chain | Stability
+
+let eta_chain_cap = 64
+let stability_pivot_floor = 1e-7
+
+let of_matrix m binv = { m; binv; etas = 0; min_pivot = infinity }
+let create m = of_matrix m (Array.make_matrix m m 0.)
+let dim t = t.m
+let row t r = t.binv.(r)
+let chain_length t = t.etas
+let min_pivot t = t.min_pivot
+
+let reset t =
+  t.etas <- 0;
+  t.min_pivot <- infinity
+
+let refactor t ~scratch ~cols ~basis ~pivot_tol =
+  let m = t.m in
+  let mat = scratch in
+  for i = 0 to m - 1 do
+    Array.fill mat.(i) 0 m 0.
+  done;
+  for r = 0 to m - 1 do
+    let rows, coeffs = cols.(basis.(r)) in
+    Array.iteri (fun k row -> mat.(row).(r) <- coeffs.(k)) rows
+  done;
+  (* the inverse is eliminated in place, from the identity *)
+  let inv = t.binv in
+  for i = 0 to m - 1 do
+    Array.fill inv.(i) 0 m 0.;
+    inv.(i).(i) <- 1.
+  done;
+  for col = 0 to m - 1 do
+    (* partial pivoting *)
+    let best = ref col in
+    for r = col + 1 to m - 1 do
+      if Float.abs mat.(r).(col) > Float.abs mat.(!best).(col) then best := r
+    done;
+    if Float.abs mat.(!best).(col) < pivot_tol then raise Singular;
+    if !best <> col then begin
+      let t = mat.(col) in mat.(col) <- mat.(!best); mat.(!best) <- t;
+      let t = inv.(col) in inv.(col) <- inv.(!best); inv.(!best) <- t
+    end;
+    let piv = mat.(col).(col) in
+    for j = 0 to m - 1 do
+      mat.(col).(j) <- mat.(col).(j) /. piv;
+      inv.(col).(j) <- inv.(col).(j) /. piv
+    done;
+    for r = 0 to m - 1 do
+      if r <> col then begin
+        let f = mat.(r).(col) in
+        if f <> 0. then
+          for j = 0 to m - 1 do
+            mat.(r).(j) <- mat.(r).(j) -. (f *. mat.(col).(j));
+            inv.(r).(j) <- inv.(r).(j) -. (f *. inv.(col).(j))
+          done
+      end
+    done
+  done;
+  reset t
+
+let load t src =
+  for i = 0 to t.m - 1 do
+    Array.blit src.(i) 0 t.binv.(i) 0 t.m
+  done;
+  reset t
+
+let snapshot t = Array.init t.m (fun i -> Array.copy t.binv.(i))
+
+(* alpha = B⁻¹ a for a sparse column a: each output row dots the column's
+   nonzeros against the corresponding inverse entries. *)
+let ftran t (rows, coeffs) alpha =
+  let m = t.m in
+  for i = 0 to m - 1 do
+    let bi = t.binv.(i) in
+    let s = ref 0. in
+    Array.iteri (fun k row -> s := !s +. (bi.(row) *. coeffs.(k))) rows;
+    alpha.(i) <- !s
+  done
+
+(* y = c B⁻¹ for a dense row-indexed c, skipping zero entries of c — the
+   dual vectors the solver builds are cost vectors with few basic nonzeros. *)
+let btran t c y =
+  let m = t.m in
+  Array.fill y 0 m 0.;
+  for r = 0 to m - 1 do
+    let cr = c.(r) in
+    if cr <> 0. then begin
+      let br = t.binv.(r) in
+      for i = 0 to m - 1 do
+        y.(i) <- y.(i) +. (cr *. br.(i))
+      done
+    end
+  done
+
+let apply t v out =
+  let m = t.m in
+  for i = 0 to m - 1 do
+    let bi = t.binv.(i) in
+    let s = ref 0. in
+    for k = 0 to m - 1 do
+      s := !s +. (bi.(k) *. v.(k))
+    done;
+    out.(i) <- !s
+  done
+
+(* Product-form eta update after the column with FTRAN image [alpha] enters
+   the basis in row [r]. *)
+let update t ~pivot_tol r alpha =
+  let m = t.m in
+  let piv = alpha.(r) in
+  let br = t.binv.(r) in
+  for k = 0 to m - 1 do
+    br.(k) <- br.(k) /. piv
+  done;
+  for i = 0 to m - 1 do
+    if i <> r then begin
+      let f = alpha.(i) in
+      if Float.abs f > pivot_tol then begin
+        let bi = t.binv.(i) in
+        for k = 0 to m - 1 do
+          bi.(k) <- bi.(k) -. (f *. br.(k))
+        done
+      end
+    end
+  done;
+  t.etas <- t.etas + 1;
+  let ap = Float.abs piv in
+  if ap < t.min_pivot then t.min_pivot <- ap
+
+let trigger ?interval t =
+  match interval with
+  | Some n -> if t.etas >= max 1 n then Chain else No_refactor
+  | None ->
+    if t.etas > 0 && t.min_pivot < stability_pivot_floor then Stability
+    else if t.etas >= eta_chain_cap then Chain
+    else No_refactor

@@ -1,0 +1,108 @@
+(** Incremental basis factorization engine for the simplex solver.
+
+    Maintains a dense representation of the basis inverse B⁻¹ across pivots
+    using product-form eta updates: each pivot multiplies the inverse by one
+    elementary eta matrix (an O(m²) row update) instead of rebuilding the
+    whole factorization (O(m³) Gauss-Jordan). The engine keeps two pieces of
+    bookkeeping the solver uses to decide when the eta chain has grown
+    stale: the chain length since the last refactorization and the smallest
+    pivot magnitude absorbed into the chain. {!trigger} turns those into a
+    refactorize-now decision — either stability-driven (the default: chain
+    cap plus a pivot-magnitude floor) or pinned to a fixed cadence when the
+    caller wants deterministic A/B bisection.
+
+    The kernels ([ftran], [btran], [apply]) perform exactly the same
+    floating-point operations in the same order as the historical in-solver
+    loops they replaced, so factorizations produced here are bit-compatible
+    with the solver's canonical-vertex contract. *)
+
+exception Singular
+(** Raised by {!refactor} when elimination meets a pivot below the supplied
+    tolerance: the basis matrix is (numerically) singular. *)
+
+type t
+(** A basis factorization of fixed dimension [m]: the dense inverse plus
+    eta-chain bookkeeping. Not thread-safe; one engine per in-flight solve. *)
+
+val create : int -> t
+(** [create m] is an engine of dimension [m >= 1] holding the zero matrix;
+    call {!refactor} or {!load} before using the kernels. *)
+
+val of_matrix : int -> float array array -> t
+(** [of_matrix m binv] wraps an existing [m x m] inverse without copying;
+    the engine takes ownership of the array. Used by the cold-start crash
+    basis, whose inverse is diagonal and built directly. *)
+
+val dim : t -> int
+
+val row : t -> int -> float array
+(** [row t r] is row [r] of the inverse, borrowed — callers must treat it as
+    read-only and must not hold it across a {!refactor} (partial pivoting
+    swaps row arrays in place). *)
+
+val refactor :
+  t ->
+  scratch:float array array ->
+  cols:(int array * float array) array ->
+  basis:int array ->
+  pivot_tol:float ->
+  unit
+(** Rebuild the inverse from scratch by Gauss-Jordan elimination with
+    partial pivoting on the basis matrix (columns [cols.(basis.(r))]),
+    using [scratch] (an [m x m] matrix) as elimination workspace. Resets
+    the eta chain. Raises {!Singular} when a pivot magnitude falls below
+    [pivot_tol]. *)
+
+val load : t -> float array array -> unit
+(** [load t binv] copies a previously captured inverse into the engine and
+    resets the eta chain — the O(m²) alternative to {!refactor} when a
+    bit-exact factorization of the target basis is already known. *)
+
+val snapshot : t -> float array array
+(** A deep copy of the current inverse, safe to cache and [load] later. *)
+
+val ftran : t -> int array * float array -> float array -> unit
+(** [ftran t (rows, coeffs) alpha] computes [alpha = B⁻¹ a] for a sparse
+    column [a], exploiting the column's nonzero pattern: O(m · nnz). *)
+
+val btran : t -> float array -> float array -> unit
+(** [btran t c y] computes [y = c B⁻¹] for a dense row-indexed vector [c],
+    skipping zero entries of [c]: O(nnz(c) · m). *)
+
+val apply : t -> float array -> float array -> unit
+(** [apply t v out] computes [out = B⁻¹ v] for a dense [v]: O(m²). *)
+
+val update : t -> pivot_tol:float -> int -> float array -> unit
+(** [update t ~pivot_tol r alpha] absorbs one pivot into the inverse: column
+    [alpha = B⁻¹ a_enter] replaces the basic column of row [r]. Product-form
+    eta update — O(m) rows touched, entries of [alpha] below [pivot_tol]
+    skipped — and records the pivot magnitude for {!trigger}. *)
+
+val chain_length : t -> int
+(** Eta updates absorbed since the last {!refactor}/{!load}. *)
+
+val min_pivot : t -> float
+(** Smallest [|alpha.(r)|] absorbed since the last refactorization
+    ([infinity] for a fresh factorization). *)
+
+(** Why a refactorization is (or is not) due. *)
+type trigger =
+  | No_refactor
+  | Chain  (** eta chain reached the length cap (or the pinned interval) *)
+  | Stability  (** an absorbed pivot fell below the stability floor *)
+
+val trigger : ?interval:int -> t -> trigger
+(** Refactorization policy. With [interval = Some n] the decision is purely
+    cadence: [Chain] after every [max 1 n] eta updates, stability heuristics
+    off — the deterministic pin for A/B bisection. With no interval
+    (default): [Stability] as soon as any absorbed pivot magnitude is below
+    {!stability_pivot_floor}, else [Chain] once the chain reaches
+    {!eta_chain_cap}. *)
+
+val eta_chain_cap : int
+(** Default chain-length cap (64): past this, accumulated eta roundoff
+    outweighs the O(m³) cost of a fresh factorization. *)
+
+val stability_pivot_floor : float
+(** Pivot magnitudes below this (1e-7) mark the chain numerically suspect
+    even when short. *)

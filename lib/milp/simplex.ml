@@ -30,6 +30,23 @@ module Basis = struct
   }
 end
 
+(* A captured canonical basis factorization: the dense inverse of the basis
+   matrix, tagged with the physical column array it was factorized from and
+   the (sorted) basic set. Because the basis matrix depends only on the
+   columns and the basic set — never on variable bounds — a factor captured
+   at a parent node's canonical vertex is bit-valid for every child LP in
+   branch-and-bound (children share [cols] physically and differ only in
+   bounds), so a warm solve can load it instead of refactorizing. *)
+module Factor = struct
+  type t = {
+    f_cols : (int array * float array) array;  (* physical identity tag *)
+    f_nrows : int;
+    f_key : int array;  (* cache key: the basic set, sorted ascending *)
+    f_basis : int array;  (* basic column per row, in canonical slot order *)
+    f_binv : float array array;  (* immutable snapshot of B⁻¹ *)
+  }
+end
+
 type result = {
   status : status;
   obj : float;
@@ -37,6 +54,7 @@ type result = {
   iterations : int;
   warm : bool;  (* solved by dual reoptimization from a supplied basis *)
   basis : Basis.t option;  (* final basis when [status = Optimal] *)
+  factor : Factor.t option;  (* canonical factorization of that basis *)
 }
 
 (* The solver's numerical tolerances, exposed as one record so the exact-
@@ -51,11 +69,15 @@ end
 let feas_tol = Tolerances.default.Tolerances.feas_tol
 let opt_tol = Tolerances.default.Tolerances.opt_tol
 let pivot_tol = Tolerances.default.Tolerances.pivot_tol
-let refactor_every = 100
 
-(* Telemetry: aggregate counters recorded once per solve (iterations) or
-   per rare event (refactorization, Bland activation) — never per pivot,
-   so the disabled-path cost is a handful of flag loads per LP. *)
+(* Relative row-residual threshold: past this, accumulated eta roundoff in
+   the incremental factorization is visibly corrupting the basic values and
+   a refactorization is forced at the next checkpoint. *)
+let residual_tol = 1e-6
+
+(* Telemetry: aggregate counters recorded per solve, per refactorization,
+   or per pivot (eta updates) — each a single atomic flag load when
+   telemetry is disabled, invisible next to the O(m²) pivot itself. *)
 let m_solves = Telemetry.Metrics.counter "simplex.solves"
 let m_phase1 = Telemetry.Metrics.counter "simplex.phase1_iterations"
 let m_phase2 = Telemetry.Metrics.counter "simplex.phase2_iterations"
@@ -65,6 +87,13 @@ let m_cold = Telemetry.Metrics.counter "simplex.cold_solves"
 let m_warm_fallback = Telemetry.Metrics.counter "simplex.warm_fallbacks"
 let m_refactor = Telemetry.Metrics.counter "simplex.refactorizations"
 let m_bland = Telemetry.Metrics.counter "simplex.bland_activations"
+let m_eta = Telemetry.Metrics.counter "simplex.eta_updates"
+let m_trig_chain = Telemetry.Metrics.counter "simplex.refactor_triggers.chain"
+let m_trig_stability = Telemetry.Metrics.counter "simplex.refactor_triggers.stability"
+let m_trig_residual = Telemetry.Metrics.counter "simplex.refactor_triggers.residual"
+let m_factor_reuse = Telemetry.Metrics.counter "simplex.factor_reuses"
+let m_factor_hit = Telemetry.Metrics.counter "simplex.factor_cache_hits"
+let m_factor_ext = Telemetry.Metrics.counter "simplex.factor_extensions"
 
 (* Location of a column: basic in some row, or nonbasic resting at a bound. *)
 type location = Basic of int | At_lower | At_upper | Free_zero
@@ -78,9 +107,11 @@ type state = {
   aub : float array;
   loc : location array;
   basis : int array;             (* column basic in each row *)
-  binv : float array array;      (* dense basis inverse, m x m *)
+  fac : Lu.t;                    (* incremental basis factorization engine *)
   xb : float array;              (* values of basic variables, by row *)
   xn : float array;              (* resting value of every column when nonbasic *)
+  interval : int option;         (* pinned refactor cadence (--refactor-interval) *)
+  mutable loaded : Factor.t option;  (* canonical factor this solve entered from *)
   mutable degenerate_streak : int;
   mutable bland : bool;
   mutable iterations : int;
@@ -95,69 +126,108 @@ type workspace = {
   walpha : float array;       (* ftran result column *)
   wmat : float array array;   (* refactorization scratch (basis matrix) *)
   wres : float array;         (* rhs/residual scratch *)
+  wdev : float array;         (* devex reference weights, by row *)
 }
 
 let make_workspace m =
   let n = max 1 m in
   { wy = Array.make n 0.; walpha = Array.make n 0.;
-    wmat = Array.make_matrix n n 0.; wres = Array.make n 0. }
+    wmat = Array.make_matrix n n 0.; wres = Array.make n 0.;
+    wdev = Array.make n 1. }
 
 let nonbasic_rest_value lb ub =
   if lb > neg_infinity then lb else if ub < infinity then ub else 0.
 
-(* Rebuild the dense basis inverse by Gauss-Jordan elimination and recompute
-   basic values from scratch. Raises [Lp_abort Singular_basis] on a singular
-   basis; in a cold solve that indicates an internal invariant violation,
-   in a warm solve it rejects a stale parent basis. *)
-let refactorize st ws =
+(* ---- canonical factor cache -------------------------------------------- *)
+
+let int_array_eq (a : int array) (b : int array) =
+  Array.length a = Array.length b
+  && (try
+        Array.iteri (fun i v -> if v <> b.(i) then raise Exit) a;
+        true
+      with Exit -> false)
+
+(* Per-domain direct-mapped cache of canonical factorizations, keyed by the
+   physical column array and the sorted basic set (plus synthetic prefix
+   keys — see [chain_build]). Entries hold bits that are a pure function of
+   (columns, basic set), so a cache hit can never change a solve's answer —
+   hit/miss patterns affect wall time only, which keeps the jobs=1 ≡ jobs=4
+   determinism contract intact by construction. Domain-local storage avoids
+   both locks and cross-domain sharing. *)
+let cache_slots = 32749
+let cache_max_rows = 200
+
+let factor_cache_key : Factor.t option array Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Array.make cache_slots None)
+
+let basis_slot m (key : int array) =
+  let h = ref (m * 0x9E3779B1) in
+  Array.iter (fun j -> h := ((!h * 0x01000193) lxor j) land max_int) key;
+  !h mod cache_slots
+
+let lookup_factor p m (key : int array) =
+  if m > cache_max_rows then None
+  else
+    let cache = Domain.DLS.get factor_cache_key in
+    match cache.(basis_slot m key) with
+    | Some f
+      when f.Factor.f_cols == p.cols && f.Factor.f_nrows = m
+           && int_array_eq f.Factor.f_key key ->
+      Some f
+    | _ -> None
+
+let store_factor (f : Factor.t) =
+  if f.Factor.f_nrows <= cache_max_rows then begin
+    let cache = Domain.DLS.get factor_cache_key in
+    cache.(basis_slot f.Factor.f_nrows f.Factor.f_key) <- Some f
+  end
+
+let sorted_key basis =
+  let key = Array.copy basis in
+  Array.sort (fun (a : int) b -> compare a b) key;
+  key
+
+(* Second-touch filter for prefix memoization: most chain prefixes are
+   computed exactly once and never looked up again, so snapshotting each
+   one would waste an O(m²) copy per eta step. A prefix is materialized
+   into the factor cache only when the chain re-derives it a second time
+   (witnessed by a fingerprint table); storage policy affects wall time
+   only, never bits, so this cannot perturb determinism. *)
+let seen_fp_key : int array Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Array.make cache_slots 0)
+
+let prefix_fp m (sset : int array) d =
+  let h = ref (m * 0x9E3779B1) in
+  for i = 0 to d - 1 do
+    h := ((!h * 0x01000193) lxor sset.(i)) land max_int
+  done;
+  let fp = ((!h * 0x01000193) lxor d) land max_int in
+  if fp = 0 then 1 else fp
+
+let capture_factor st =
+  let f =
+    { Factor.f_cols = st.p.cols; f_nrows = st.m; f_key = sorted_key st.basis;
+      f_basis = Array.copy st.basis; f_binv = Lu.snapshot st.fac }
+  in
+  store_factor f;
+  f
+
+(* ---- factorization ----------------------------------------------------- *)
+
+(* Rebuild the basis inverse from scratch. Raises [Lp_abort Singular_basis]
+   on a singular basis; in a cold solve that indicates an internal invariant
+   violation, in a warm solve it rejects a stale parent basis. *)
+let refactor_basis st ws =
   (match Robust.Fault.check "simplex.refactor" with
    | Ok () -> ()
    | Error f -> raise (Lp_abort f));
   Telemetry.Metrics.incr m_refactor;
+  try Lu.refactor st.fac ~scratch:ws.wmat ~cols:st.acols ~basis:st.basis ~pivot_tol
+  with Lu.Singular -> raise (Lp_abort Robust.Failure.Singular_basis)
+
+(* xb = binv * (rhs - sum_{nonbasic j} A_j * xn_j) *)
+let compute_xb st ws =
   let m = st.m in
-  let mat = ws.wmat in
-  for i = 0 to m - 1 do
-    Array.fill mat.(i) 0 m 0.
-  done;
-  for r = 0 to m - 1 do
-    let rows, coeffs = st.acols.(st.basis.(r)) in
-    Array.iteri (fun k row -> mat.(row).(r) <- coeffs.(k)) rows
-  done;
-  (* the inverse is eliminated in place in st.binv, from the identity *)
-  let inv = st.binv in
-  for i = 0 to m - 1 do
-    Array.fill inv.(i) 0 m 0.;
-    inv.(i).(i) <- 1.
-  done;
-  for col = 0 to m - 1 do
-    (* partial pivoting *)
-    let best = ref col in
-    for r = col + 1 to m - 1 do
-      if Float.abs mat.(r).(col) > Float.abs mat.(!best).(col) then best := r
-    done;
-    if Float.abs mat.(!best).(col) < pivot_tol then
-      raise (Lp_abort Robust.Failure.Singular_basis);
-    if !best <> col then begin
-      let t = mat.(col) in mat.(col) <- mat.(!best); mat.(!best) <- t;
-      let t = inv.(col) in inv.(col) <- inv.(!best); inv.(!best) <- t
-    end;
-    let piv = mat.(col).(col) in
-    for j = 0 to m - 1 do
-      mat.(col).(j) <- mat.(col).(j) /. piv;
-      inv.(col).(j) <- inv.(col).(j) /. piv
-    done;
-    for r = 0 to m - 1 do
-      if r <> col then begin
-        let f = mat.(r).(col) in
-        if f <> 0. then
-          for j = 0 to m - 1 do
-            mat.(r).(j) <- mat.(r).(j) -. (f *. mat.(col).(j));
-            inv.(r).(j) <- inv.(r).(j) -. (f *. inv.(col).(j))
-          done
-      end
-    done
-  done;
-  (* xb = binv * (rhs - sum_{nonbasic j} A_j * xn_j) *)
   let r = ws.wres in
   Array.blit st.p.rhs 0 r 0 m;
   for j = 0 to st.ntot - 1 do
@@ -170,13 +240,65 @@ let refactorize st ws =
         Array.iteri (fun k row -> r.(row) <- r.(row) -. (coeffs.(k) *. v)) rows
       end
   done;
+  Lu.apply st.fac r st.xb
+
+let refactorize st ws =
+  refactor_basis st ws;
+  compute_xb st ws
+
+(* Stability trigger, consulted once per pivot: refactorize when the eta
+   chain is long or has absorbed a dangerously small pivot (or, with a
+   pinned [--refactor-interval], on a fixed cadence). Returns whether a
+   refactorization happened so the dual loop can reset its devex frame. *)
+let maybe_refactor st ws =
+  match Lu.trigger ?interval:st.interval st.fac with
+  | Lu.No_refactor -> false
+  | Lu.Chain ->
+    Telemetry.Metrics.incr m_trig_chain;
+    refactorize st ws;
+    true
+  | Lu.Stability ->
+    Telemetry.Metrics.incr m_trig_stability;
+    refactorize st ws;
+    true
+
+(* Row-residual audit, run at deadline checkpoints: ‖B xb + N xn − rhs‖∞
+   relative to the rhs scale. Catches eta-chain drift that the per-pivot
+   magnitude test missed. Skipped under a pinned interval (the cadence is
+   then the experiment) and on a fresh factorization (nothing to fix). *)
+let residual_excess st ws =
+  let m = st.m in
+  let r = ws.wres in
+  Array.blit st.p.rhs 0 r 0 m;
+  let scale = ref 1. in
   for i = 0 to m - 1 do
-    let s = ref 0. in
-    for k = 0 to m - 1 do
-      s := !s +. (st.binv.(i).(k) *. r.(k))
-    done;
-    st.xb.(i) <- !s
-  done
+    let a = Float.abs r.(i) in
+    if a > !scale then scale := a
+  done;
+  for j = 0 to st.ntot - 1 do
+    let v =
+      match st.loc.(j) with Basic i -> st.xb.(i) | At_lower | At_upper | Free_zero -> st.xn.(j)
+    in
+    if v <> 0. then begin
+      let rows, coeffs = st.acols.(j) in
+      Array.iteri (fun k row -> r.(row) <- r.(row) -. (coeffs.(k) *. v)) rows
+    end
+  done;
+  let worst = ref 0. in
+  for i = 0 to m - 1 do
+    let a = Float.abs r.(i) in
+    if a > !worst then worst := a
+  done;
+  !worst > residual_tol *. !scale
+
+let audit_residual st ws =
+  if st.interval = None && Lu.chain_length st.fac > 0 && residual_excess st ws
+  then begin
+    Telemetry.Metrics.incr m_trig_residual;
+    refactorize st ws;
+    true
+  end
+  else false
 
 (* NaN/Inf anywhere in the basic values means the eta updates have silently
    corrupted the factorization; surface it as a typed failure instead of
@@ -194,50 +316,29 @@ let reduced_cost st cost y j =
   Array.iteri (fun k row -> s := !s -. (y.(row) *. coeffs.(k))) rows;
   !s
 
+(* y = c_B B⁻¹: btran over the cost of the basic columns, skipping zero
+   cost rows — the cost vectors the solver builds are mostly zeros. *)
 let compute_duals st cost y =
   let m = st.m in
-  for i = 0 to m - 1 do
-    y.(i) <- 0.
-  done;
+  Array.fill y 0 m 0.;
   for r = 0 to m - 1 do
     let cb = cost.(st.basis.(r)) in
-    if cb <> 0. then
+    if cb <> 0. then begin
+      let br = Lu.row st.fac r in
       for i = 0 to m - 1 do
-        y.(i) <- y.(i) +. (cb *. st.binv.(r).(i))
+        y.(i) <- y.(i) +. (cb *. br.(i))
       done
-  done
-
-(* alpha = binv * column j *)
-let ftran st j alpha =
-  let m = st.m in
-  let rows, coeffs = st.acols.(j) in
-  for i = 0 to m - 1 do
-    let bi = st.binv.(i) in
-    let s = ref 0. in
-    Array.iteri (fun k row -> s := !s +. (bi.(row) *. coeffs.(k))) rows;
-    alpha.(i) <- !s
-  done
-
-(* Product-form update of the dense inverse after [j] enters in row [r]
-   with pivot column [alpha] (shared by the primal and dual pivot loops). *)
-let eta_update st r alpha =
-  let m = st.m in
-  let piv = alpha.(r) in
-  let br = st.binv.(r) in
-  for k = 0 to m - 1 do
-    br.(k) <- br.(k) /. piv
-  done;
-  for i = 0 to m - 1 do
-    if i <> r then begin
-      let f = alpha.(i) in
-      if Float.abs f > pivot_tol then begin
-        let bi = st.binv.(i) in
-        for k = 0 to m - 1 do
-          bi.(k) <- bi.(k) -. (f *. br.(k))
-        done
-      end
     end
   done
+
+(* alpha = binv * column j, sparse in the column's nonzero pattern *)
+let ftran st j alpha = Lu.ftran st.fac st.acols.(j) alpha
+
+(* Product-form eta update after [j] enters in row [r] with pivot column
+   [alpha] (shared by the primal and dual pivot loops). *)
+let eta_update st r alpha =
+  Lu.update st.fac ~pivot_tol r alpha;
+  Telemetry.Metrics.incr m_eta
 
 exception Lp_unbounded
 exception Lp_iteration_limit
@@ -261,9 +362,10 @@ let optimize st cost ws max_iterations deadline =
     if st.iterations mod deadline_every = 0 then begin
       if Robust.Deadline.expired deadline then
         raise (Lp_abort Robust.Failure.Deadline_exceeded);
-      check_health st
+      check_health st;
+      ignore (audit_residual st ws)
     end;
-    if st.iterations mod refactor_every = 0 && st.iterations > 0 then refactorize st ws;
+    ignore (maybe_refactor st ws);
     compute_duals st cost y;
     (* Pricing: Dantzig rule normally, Bland's rule after a degenerate streak. *)
     let entering = ref (-1) in
@@ -404,7 +506,10 @@ let dual_feasible st cost y =
 
 (* Bounded-variable dual simplex: from a dual-feasible basis, drive the
    primal infeasibilities (basic values outside their bounds) to zero.
-   Leaving row: largest bound violation. Entering column: smallest dual
+   Leaving row: devex pricing — the largest violation²/weight over a
+   reference-framework weight per row (weights start at 1, grow with the
+   pivot column, reset at refactorization), which approximates steepest-
+   edge row selection at Dantzig cost. Entering column: smallest dual
    ratio |d_j| / |alpha_rj| over sign-eligible nonbasic columns, which
    keeps every reduced cost on its feasible side. Raises [Dual_infeasible]
    when no column can absorb the violation (the classic infeasibility
@@ -412,7 +517,8 @@ let dual_feasible st cost y =
    spent without reaching feasibility (cycling guard). *)
 let dual_optimize st cost ws ~cap deadline =
   let m = st.m in
-  let y = ws.wy and alpha = ws.walpha in
+  let y = ws.wy and alpha = ws.walpha and dw = ws.wdev in
+  Array.fill dw 0 m 1.;
   let start = st.iterations in
   Fun.protect
     ~finally:(fun () -> Telemetry.Metrics.add m_dual (st.iterations - start))
@@ -426,25 +532,33 @@ let dual_optimize st cost ws ~cap deadline =
     if st.iterations mod deadline_every = 0 then begin
       if Robust.Deadline.expired deadline then
         raise (Lp_abort Robust.Failure.Deadline_exceeded);
-      check_health st
+      check_health st;
+      if audit_residual st ws then Array.fill dw 0 m 1.
     end;
-    if st.iterations mod refactor_every = 0 && st.iterations > 0 then refactorize st ws;
-    (* leaving row: the basic variable violating its bounds the most *)
+    if maybe_refactor st ws then Array.fill dw 0 m 1.;
+    (* leaving row: largest violation²/weight (devex) *)
     let r = ref (-1) in
-    let viol = ref feas_tol in
+    let best_score = ref 0. in
     let s = ref 1. in   (* +1: must decrease (above ub); -1: must increase *)
     for i = 0 to m - 1 do
       let b = st.basis.(i) in
       let below = st.alb.(b) -. st.xb.(i) in
       let above = st.xb.(i) -. st.aub.(b) in
-      if below > !viol then begin viol := below; r := i; s := -1. end
-      else if above > !viol then begin viol := above; r := i; s := 1. end
+      let viol = if below > above then below else above in
+      if viol > feas_tol then begin
+        let score = viol *. viol /. dw.(i) in
+        if score > !best_score then begin
+          best_score := score;
+          r := i;
+          s := (if below > above then -1. else 1.)
+        end
+      end
     done;
     if !r < 0 then continue_ := false   (* primal feasible: optimal *)
     else begin
       let r = !r and s = !s in
       compute_duals st cost y;
-      let row = st.binv.(r) in
+      let row = Lu.row st.fac r in
       (* entering column: min dual ratio; ties prefer the larger pivot for
          stability, or the smallest index once Bland's rule is active *)
       let enter = ref (-1) in
@@ -509,6 +623,19 @@ let dual_optimize st cost ws ~cap deadline =
         st.basis.(r) <- j;
         st.loc.(j) <- Basic r;
         st.xb.(r) <- st.xn.(j) +. t;
+        (* devex reference-framework update from the pivot column *)
+        let ar = alpha.(r) in
+        let wr = dw.(r) in
+        for i = 0 to m - 1 do
+          if i <> r then begin
+            let ai = alpha.(i) in
+            if Float.abs ai > pivot_tol then begin
+              let cand = ai /. ar *. (ai /. ar) *. wr in
+              if cand > dw.(i) then dw.(i) <- cand
+            end
+          end
+        done;
+        dw.(r) <- Float.max 1. (wr /. (ar *. ar));
         eta_update st r alpha;
         st.iterations <- st.iterations + 1
       end
@@ -658,15 +785,207 @@ let rebase st ws =
    row space) keeps the path-dependent basis: identity is gated
    empirically, never at the cost of a solve failing *)
 
-(* Canonical extraction: order the basic set ascending and rebuild the
-   inverse from scratch, so the returned floats depend only on (problem,
-   basis set) — never on which pivot path produced the basis or how rows
-   happened to be assigned along the way. *)
+(* Canonicalize the logical columns to the warm path's uniform +1 sign
+   before the final factorization: the cold crash path may have built a
+   −1-signed artificial, and the canonical factor must be a function of
+   (problem, basis set) alone — never of the path that reached it — for
+   the factor cache to be sound. Safe here: every logical is locked at
+   zero by this point, so flipping a basic artificial's sign can only
+   negate its own (zero) basic value, and [compute_xb] rebuilds xb from
+   the factorization afterwards anyway. *)
+let normalize_logicals st =
+  for i = 0 to st.m - 1 do
+    let _, coeffs = st.acols.(st.p.ncols + i) in
+    if coeffs.(0) <> 1. then st.acols.(st.p.ncols + i) <- ([| i |], [| 1. |])
+  done
+
+(* Canonical extraction: install the canonical factorization of the final
+   basic set, so the returned floats depend only on (problem, basis set) —
+   never on which pivot path produced the basis or how rows happened to be
+   assigned along the way. The canonical form (slot order and inverse
+   bits) is the incremental chain of [chain_build], or the sorted-order
+   from-scratch elimination when a chain pivot is untrustworthy — both
+   functions of the set alone. Neither runs for a basis this domain has
+   seen before: if the solve entered from this very factor (a no-pivot
+   warm solve) or the per-domain cache holds it, the captured inverse is
+   loaded instead — bit-identical to recomputation by construction.
+   Returns the canonical factor for handoff to child nodes. *)
+(* A brand-new canonical basis is almost never far from one already seen:
+   on the bench sweep, 88% of distinct canonical bases differ from a
+   previously finalized one in exactly one column (98% in at most two).
+   [chain_build] exploits this by *defining* the canonical factorization
+   constructively: starting from the identity (all-logical) basis, insert
+   the sorted basis columns slot by slot — column [basis.(r)] enters at
+   pivot row [r], an eta update — and memoize every intermediate prefix
+   (itself a valid basis: [basis.(0..k-1)] completed by logicals) in the
+   factor cache. A new basis then extends the deepest cached prefix with
+   a handful of eta updates instead of an O(m³) from-scratch elimination.
+
+   Determinism: the construction order and pivot rows are forced by the
+   sorted basis alone, so the resulting bits are a function of
+   (columns, basis set) — never of the pivot path, the cache contents, or
+   which sibling built a shared prefix first. A cache hit merely skips
+   re-deriving bits the chain would reproduce exactly. The forced pivot
+   has no freedom to reject small elements, so a step whose pivot falls
+   below [chain_floor] abandons the chain and the caller falls back to
+   the pivoting from-scratch elimination — a predicate of (columns,
+   basis) as well, keeping the fallback deterministic too. *)
+let chain_floor = 1e-6
+
+(* The chain build costs ~2x a from-scratch elimination when no prefix is
+   cached (two O(m²) passes plus an O(m²) snapshot per column, against the
+   single elimination), so it only wins where bases repeat heavily across
+   a branch-and-bound tree — the small node LPs. Larger problems (the
+   joint one-shot formulations) see each basis about once; they keep the
+   plain elimination. The cutoff depends on the problem dimension alone,
+   so which canonical form a basis gets stays path-independent. *)
+let chain_max_rows = 32
+
+(* [chain_build st ws]: called with [st.basis] holding the sorted basic
+   set. On success, installs the chain factorization in [st.fac], rewrites
+   [st.basis] into the chain's canonical slot order, and returns true; on
+   failure leaves [st.basis] sorted and the engine trashed for the caller
+   to rebuild from scratch.
+
+   Construction: starting from the identity (all-logical) factorization,
+   insert the set's structural columns in ascending column order; each
+   insertion FTRANs the column and pivots at the largest-magnitude alpha
+   over the still-unclaimed rows (ties to the smallest row), an eta
+   update. Finally the set's own logical columns are swapped into the
+   leftover rows (ascending to ascending). Every choice is forced by the
+   (columns, basic set) pair, so the resulting bits — and the slot order —
+   are path-independent, as the canonicalization contract requires.
+
+   Each structural prefix is memoized in the factor cache under a
+   synthetic key (the first d structurals, padded with -1, which no real
+   basis can equal): sibling bases in a branch-and-bound tree differ from
+   one another in one or two columns, so they share deep prefixes, and a
+   brand-new basis usually costs a couple of eta extensions instead of an
+   O(m³) elimination. Cache state affects only where rebuilding starts,
+   never the bits: a cached prefix holds exactly the bits the chain would
+   re-derive. *)
+let chain_build st ws =
+  let m = st.m and ncols = st.p.ncols in
+  if m > chain_max_rows then false
+  else begin
+    let sset = st.basis in
+    (* structural columns form the sorted set's prefix *)
+    let nstr = ref 0 in
+    while !nstr < m && sset.(!nstr) < ncols do incr nstr done;
+    let k = !nstr in
+    (* deepest cached structural prefix, probing top-down *)
+    let key = Array.make m (-1) in
+    Array.blit sset 0 key 0 k;
+    let depth = ref k and seed = ref None in
+    while !seed = None && !depth > 0 do
+      (match lookup_factor st.p m key with
+       | Some f -> seed := Some f
+       | None ->
+         decr depth;
+         key.(!depth) <- -1)
+    done;
+    let b = Array.make m 0 in
+    (match !seed with
+     | Some f ->
+       Lu.load st.fac f.Factor.f_binv;
+       Array.blit f.Factor.f_basis 0 b 0 m
+     | None ->
+       let id = ws.wmat in
+       for i = 0 to m - 1 do
+         Array.fill id.(i) 0 m 0.;
+         id.(i).(i) <- 1.
+       done;
+       Lu.load st.fac id;
+       for r = 0 to m - 1 do
+         b.(r) <- ncols + r
+       done);
+    let ok = ref true in
+    let d = ref !depth in
+    while !ok && !d < k do
+      let j = sset.(!d) in
+      Lu.ftran st.fac st.acols.(j) ws.walpha;
+      let best = ref (-1) in
+      for r = 0 to m - 1 do
+        if b.(r) >= ncols
+           && (!best < 0 || Float.abs ws.walpha.(r) > Float.abs ws.walpha.(!best))
+        then best := r
+      done;
+      if !best < 0 || Float.abs ws.walpha.(!best) <= chain_floor then ok := false
+      else begin
+        Lu.update st.fac ~pivot_tol !best ws.walpha;
+        Telemetry.Metrics.incr m_factor_ext;
+        b.(!best) <- j;
+        incr d;
+        let fp = prefix_fp m sset !d in
+        let seen = Domain.DLS.get seen_fp_key in
+        let slot = fp mod cache_slots in
+        if seen.(slot) = fp then begin
+          let pk = Array.make m (-1) in
+          Array.blit sset 0 pk 0 !d;
+          store_factor
+            { Factor.f_cols = st.p.cols; f_nrows = m; f_key = pk;
+              f_basis = Array.copy b; f_binv = Lu.snapshot st.fac }
+        end
+        else seen.(slot) <- fp
+      end
+    done;
+    (* swap the set's logicals into the leftover rows: a wanted logical
+       whose own row is unclaimed is already in place; the rest pair with
+       the claimed-over rows, ascending to ascending *)
+    if !ok && k < m then begin
+      let wanted = Array.make m false in
+      for i = k to m - 1 do
+        wanted.(sset.(i) - ncols) <- true
+      done;
+      let mrows = ref [] and mlogs = ref [] in
+      for r = m - 1 downto 0 do
+        if b.(r) >= ncols && not wanted.(r) then mrows := r :: !mrows
+      done;
+      for i = m - 1 downto k do
+        let w = sset.(i) in
+        if b.(w - ncols) < ncols then mlogs := w :: !mlogs
+      done;
+      List.iter2
+        (fun r w ->
+          if !ok then begin
+            Lu.ftran st.fac st.acols.(w) ws.walpha;
+            if Float.abs ws.walpha.(r) <= chain_floor then ok := false
+            else begin
+              Lu.update st.fac ~pivot_tol r ws.walpha;
+              Telemetry.Metrics.incr m_factor_ext;
+              b.(r) <- w
+            end
+          end)
+        !mrows !mlogs
+    end;
+    if !ok then Array.blit b 0 st.basis 0 m;
+    !ok
+  end
+
 let finalize st ws =
   Array.sort (fun (a : int) b -> compare a b) st.basis;
+  normalize_logicals st;
+  let install f =
+    Telemetry.Metrics.incr m_factor_hit;
+    Lu.load st.fac f.Factor.f_binv;
+    Array.blit f.Factor.f_basis 0 st.basis 0 st.m;
+    f
+  in
+  let fac =
+    match st.loaded with
+    | Some f when f.Factor.f_nrows = st.m && int_array_eq f.Factor.f_key st.basis ->
+      install f
+    | _ -> (
+      match lookup_factor st.p st.m st.basis with
+      | Some f -> install f
+      | None ->
+        if not (chain_build st ws) then refactor_basis st ws;
+        capture_factor st)
+  in
   Array.iteri (fun r c -> st.loc.(c) <- Basic r) st.basis;
-  refactorize st ws;
-  check_health st
+  compute_xb st ws;
+  check_health st;
+  fac
 
 let extract_x st =
   let x = Array.make st.p.ncols 0. in
@@ -704,7 +1023,7 @@ let basis_of_state st =
    would have succeeded cold. *)
 exception Warm_reject
 
-let warm_attempt ~max_iterations ~deadline ws p (wb : Basis.t) =
+let warm_attempt ~max_iterations ~deadline ~interval ws p (wb : Basis.t) wfac =
   let m = p.nrows in
   let ntot = p.ncols + m in
   if Array.length wb.Basis.basic <> m || Array.length wb.Basis.vstat <> ntot then
@@ -755,7 +1074,8 @@ let warm_attempt ~max_iterations ~deadline ws p (wb : Basis.t) =
   done;
   let st =
     { p; m; ntot; acols; alb; aub; loc; basis;
-      binv = Array.make_matrix m m 0.; xb = Array.make m 0.; xn;
+      fac = Lu.create m; xb = Array.make m 0.; xn;
+      interval; loaded = None;
       degenerate_streak = 0; bland = false; iterations = 0 }
   in
   let phase2_cost = Array.make ntot 0. in
@@ -764,7 +1084,34 @@ let warm_attempt ~max_iterations ~deadline ws p (wb : Basis.t) =
      more than this is cheaper to restart cold than to let cycle *)
   let dual_cap = 200 + (2 * (m + ntot)) in
   try
-    refactorize st ws;
+    (* Entry factorization: the parent's canonical factor (handed down
+       explicitly or found in the per-domain cache) is bit-valid for this
+       child — the basis matrix ignores bounds — so loading it replaces
+       the O(m³) entry refactorization with an O(m²) copy. The fallback
+       refactorizes and captures, feeding the cache for siblings. *)
+    (let seeded =
+       match wfac with
+       | Some f
+         when f.Factor.f_cols == p.cols && f.Factor.f_nrows = m
+              && int_array_eq f.Factor.f_basis basis ->
+         Some f
+       | _ -> (
+         (* the factor's slot order must match the warm basis exactly: a
+            caller-supplied basis in a non-canonical order must not seed
+            from a canonical-order cache entry *)
+         match lookup_factor p m (sorted_key basis) with
+         | Some f when int_array_eq f.Factor.f_basis basis -> Some f
+         | _ -> None)
+     in
+     match seeded with
+     | Some f ->
+       Telemetry.Metrics.incr m_factor_reuse;
+       Lu.load st.fac f.Factor.f_binv;
+       compute_xb st ws;
+       st.loaded <- Some f
+     | None ->
+       refactorize st ws;
+       st.loaded <- Some (capture_factor st));
     check_health st;
     dual_optimize st phase2_cost ws ~cap:dual_cap deadline;
     let dual_iters = st.iterations in
@@ -775,18 +1122,19 @@ let warm_attempt ~max_iterations ~deadline ws p (wb : Basis.t) =
     optimize st phase2_cost ws max_iterations deadline;
     canonicalize st phase2_cost ws deadline;
     rebase st ws;
-    finalize st ws;
+    let fac = finalize st ws in
     Telemetry.Metrics.add m_phase2 (st.iterations - dual_iters);
     let x = extract_x st in
     if not (Float.is_finite (objective_value p x)) then raise Warm_reject
     else
       Ok { status = Optimal; obj = objective_value p x; x;
            iterations = st.iterations; warm = true;
-           basis = Some (basis_of_state st) }
+           basis = Some (basis_of_state st);
+           factor = (if m <= cache_max_rows then Some fac else None) }
   with
   | Dual_infeasible ->
     Ok { status = Infeasible; obj = infinity; x = extract_x st;
-         iterations = st.iterations; warm = true; basis = None }
+         iterations = st.iterations; warm = true; basis = None; factor = None }
   | Dual_giveup | Lp_unbounded | Lp_iteration_limit
   | Lp_abort Robust.Failure.Singular_basis
   | Lp_abort Robust.Failure.Numerical_instability ->
@@ -797,7 +1145,7 @@ let warm_attempt ~max_iterations ~deadline ws p (wb : Basis.t) =
 
 (* ---- cold path --------------------------------------------------------- *)
 
-let cold_solve ~max_iterations ~deadline ws p =
+let cold_solve ~max_iterations ~deadline ~interval ws p =
   let m = p.nrows in
   let ntot = p.ncols + m in
   let acols = Array.make ntot ([||], [||]) in
@@ -868,7 +1216,9 @@ let cold_solve ~max_iterations ~deadline ws p =
     end
   done;
   let st =
-    { p; m; ntot; acols; alb; aub; loc; basis; binv; xb; xn;
+    { p; m; ntot; acols; alb; aub; loc; basis;
+      fac = Lu.of_matrix m binv; xb; xn;
+      interval; loaded = None;
       degenerate_streak = 0; bland = false; iterations = 0 }
   in
   let phase1_cost = Array.make ntot 0. in
@@ -892,7 +1242,8 @@ let cold_solve ~max_iterations ~deadline ws p =
     done;
     if !infeas > 1e-6 then
       Ok { status = Infeasible; obj = infinity; x = extract_x st;
-           iterations = st.iterations; warm = false; basis = None }
+           iterations = st.iterations; warm = false; basis = None;
+           factor = None }
     else begin
       (* lock artificials at zero for phase 2 *)
       for j = p.ncols to ntot - 1 do
@@ -907,7 +1258,7 @@ let cold_solve ~max_iterations ~deadline ws p =
       optimize st phase2_cost ws max_iterations deadline;
       canonicalize st phase2_cost ws deadline;
       rebase st ws;
-      finalize st ws;
+      let fac = finalize st ws in
       Telemetry.Metrics.add m_phase2 (st.iterations - p1_iters);
       let x = extract_x st in
       if not (Float.is_finite (objective_value p x)) then
@@ -915,22 +1266,24 @@ let cold_solve ~max_iterations ~deadline ws p =
       else
         Ok { status = Optimal; obj = objective_value p x; x;
              iterations = st.iterations; warm = false;
-             basis = Some (basis_of_state st) }
+             basis = Some (basis_of_state st);
+             factor = (if m <= cache_max_rows then Some fac else None) }
     end
   with
   | Lp_unbounded ->
     Ok { status = Unbounded; obj = neg_infinity; x = extract_x st;
-         iterations = st.iterations; warm = false; basis = None }
+         iterations = st.iterations; warm = false; basis = None; factor = None }
   | Lp_iteration_limit ->
     Ok { status = Iteration_limit; obj = nan; x = extract_x st;
-         iterations = st.iterations; warm = false; basis = None }
+         iterations = st.iterations; warm = false; basis = None; factor = None }
   | Lp_abort f -> Error f
 
 (* Result-returning entry point: all abnormal terminations (singular basis,
    blown deadline, NaN corruption, injected faults) come back as a typed
    [Error]; [Unbounded]/[Infeasible]/[Iteration_limit] remain ordinary
    statuses because branch-and-bound treats them as prunable outcomes. *)
-let solve_r_impl ?max_iterations ?(deadline = Robust.Deadline.none) ?warm p =
+let solve_r_impl ?max_iterations ?(deadline = Robust.Deadline.none) ?warm
+    ?warm_factor ?refactor_interval p =
   let m = p.nrows in
   let max_iterations =
     match max_iterations with
@@ -951,10 +1304,10 @@ let solve_r_impl ?max_iterations ?(deadline = Robust.Deadline.none) ?warm p =
     done;
     if !unbounded then
       Ok { status = Unbounded; obj = neg_infinity; x; iterations = 0;
-           warm = false; basis = None }
+           warm = false; basis = None; factor = None }
     else
       Ok { status = Optimal; obj = objective_value p x; x; iterations = 0;
-           warm = false; basis = None }
+           warm = false; basis = None; factor = None }
   end
   else begin
     let ws = make_workspace m in
@@ -962,7 +1315,10 @@ let solve_r_impl ?max_iterations ?(deadline = Robust.Deadline.none) ?warm p =
       match warm with
       | None -> None
       | Some wb ->
-        (match warm_attempt ~max_iterations ~deadline ws p wb with
+        (match
+           warm_attempt ~max_iterations ~deadline ~interval:refactor_interval
+             ws p wb warm_factor
+         with
          | res ->
            Telemetry.Metrics.incr m_warm;
            Some res
@@ -974,15 +1330,16 @@ let solve_r_impl ?max_iterations ?(deadline = Robust.Deadline.none) ?warm p =
     | Some res -> res
     | None ->
       Telemetry.Metrics.incr m_cold;
-      cold_solve ~max_iterations ~deadline ws p
+      cold_solve ~max_iterations ~deadline ~interval:refactor_interval ws p
   end
 
 (* Public entry point: one span (category "simplex") and one solve-count
    tick per LP; phase iteration counters are recorded inside the solve. *)
-let solve_r ?max_iterations ?deadline ?warm p =
+let solve_r ?max_iterations ?deadline ?warm ?warm_factor ?refactor_interval p =
   Telemetry.Metrics.incr m_solves;
   Telemetry.Trace.with_span ~cat:"simplex" "simplex.solve" (fun () ->
-      solve_r_impl ?max_iterations ?deadline ?warm p)
+      solve_r_impl ?max_iterations ?deadline ?warm ?warm_factor
+        ?refactor_interval p)
 
 (* Legacy exception-raising wrapper: raises [Robust.Failure.Error] where
    [solve_r] would return [Error]. Prefer [solve_r] in new code. *)

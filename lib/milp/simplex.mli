@@ -10,9 +10,31 @@
     typically resolves in a handful of dual pivots. Any numerical trouble
     on the warm path (stale or singular basis, dual stall, cycling) falls
     back to the cold path, so warm starting never makes a solve fail that
-    would have succeeded cold. The basis inverse is kept dense and
-    refactorised periodically, which is ample for the problem sizes the
-    CoSA formulation produces (hundreds of rows). *)
+    would have succeeded cold.
+
+    The basis inverse is maintained incrementally by an eta-update engine
+    ({!Lu}): each pivot applies one product-form eta transformation
+    (O(m²)) instead of rebuilding the factorization, and from-scratch
+    refactorization only runs when a stability trigger demands it — the
+    eta chain hit its length cap, a pivot magnitude fell below the
+    stability floor, or a row-residual audit at a deadline checkpoint
+    detected drift (or on a fixed cadence when [refactor_interval] pins
+    one for A/B bisection). Across solves, canonical factorizations are
+    reused rather than recomputed: an optimal solve returns its
+    {!Factor.t}, which a child LP accepts via [warm_factor] (the basis
+    matrix does not depend on variable bounds, so the parent's inverse is
+    bit-valid for the child), and a per-domain cache short-circuits the
+    canonicalization epilogue's refactorization for bases the domain has
+    already factorized. Bases not yet cached are built by canonical
+    prefix-chain factorization — eta-extending the deepest cached prefix
+    of the basis set, inserting structural columns in a canonically
+    determined order — so small node-LP bases almost never pay a
+    from-scratch factorization at all. The canonical factor of a basis is
+    a function of the basis set alone, and all reuse paths load inverses
+    that are bit-identical to recomputation, so warm/cold byte-identity
+    and cross-worker determinism are preserved by construction; cache
+    state moves wall time only. The dual pivot loop prices leaving rows
+    with devex reference-framework weights. *)
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
@@ -59,6 +81,19 @@ module Basis : sig
   }
 end
 
+(** A captured canonical basis factorization — the warm-start currency
+    that rides along with {!Basis.t}. Opaque: produced by an optimal solve
+    ([result.factor]) and consumed by [solve_r ~warm_factor]. A factor is
+    tagged with the physical column array it was factorized from; it is
+    bit-valid for any problem sharing that array (branch-and-bound
+    children differ only in bounds, which the basis matrix ignores), and
+    the solver validates the tag and the basic set before trusting it, so
+    a stale factor degrades to an ordinary refactorization rather than a
+    wrong answer. *)
+module Factor : sig
+  type t
+end
+
 type result = {
   status : status;
   obj : float;          (** meaningful when [status = Optimal] *)
@@ -70,12 +105,17 @@ type result = {
   basis : Basis.t option;
       (** the final basis when [status = Optimal]; reuse it as [?warm] for
           a nearby problem (same matrix, tightened bounds) *)
+  factor : Factor.t option;
+      (** canonical factorization of that basis, for [?warm_factor]; [None]
+          for non-optimal results and very large bases *)
 }
 
 val solve_r :
   ?max_iterations:int ->
   ?deadline:Robust.Deadline.t ->
   ?warm:Basis.t ->
+  ?warm_factor:Factor.t ->
+  ?refactor_interval:int ->
   problem ->
   (result, Robust.Failure.t) Stdlib.result
 (** Result-returning entry point. Defaults to a generous iteration cap
@@ -85,14 +125,24 @@ val solve_r :
 
     [warm], when given, must come from an optimal solve of a problem with
     the same constraint matrix (only [lb]/[ub] may differ — exactly the
-    branch-and-bound child situation). The solver then refactorizes the
-    parent basis and runs dual simplex; on success [result.warm] is [true].
+    branch-and-bound child situation). The solver then installs the parent
+    basis and runs dual simplex; on success [result.warm] is [true].
     A warm attempt that cannot proceed (dimension mismatch, singular or
     stale basis, dual stall or cycling) silently falls back to the cold
     two-phase primal path, so passing [warm] never changes which statuses
     are reachable. A warm [Infeasible] claim is only made after the basis
     is re-verified dual feasible, so warm starting cannot prune a feasible
     child on drifted numerics.
+
+    [warm_factor] additionally hands the parent's canonical factorization
+    down so the warm entry loads it (O(m²)) instead of refactorizing
+    (O(m³)). It is validated against the problem and [warm] basis and is
+    bit-identical to recomputation, so supplying it never changes any
+    result — only wall time. Ignored without [warm].
+
+    [refactor_interval] pins a fixed refactorization cadence (every [n]
+    eta updates) in place of the default stability triggers — a
+    deterministic knob for A/B bisection of suspected instability.
 
     [Error] covers abnormal terminations only — [Singular_basis] (cold
     path), [Deadline_exceeded], [Numerical_instability] (NaN/Inf detected

@@ -6,6 +6,7 @@ let () =
       Test_prim.suite;
       Test_milp.suite;
       Test_simplex.suite;
+      Test_lu.suite;
       Test_warm.suite;
       Test_presolve.suite;
       Test_workload.suite;
