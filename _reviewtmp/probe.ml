@@ -1,0 +1,50 @@
+(* Probe: does a warm solve WITHOUT a factor, run in a fresh domain (empty
+   factor cache), return bit-identical floats to a cold solve in a fresh
+   domain?  The determinism contract says yes. *)
+
+let p =
+  { Milp.Simplex.nrows = 3; ncols = 4;
+    cols =
+      [| ([| 0; 1 |], [| 1.3; 2.7 |]); ([| 0; 2 |], [| 3.1; 1.9 |]);
+         ([| 1; 2 |], [| 1.7; 1.3 |]); ([| 0; 1; 2 |], [| 0.9; 1.1; 0.7 |]) |];
+    cost = [| -1.1; -2.3; -1.7; -3.3 |];
+    lb = [| 0.; 0.; 0.; 0. |]; ub = [| 5.; 5.; 5.; 5. |];
+    rhs = [| 6.1; 5.3; 4.7 |] }
+
+let bits x = Array.map Int64.bits_of_float x
+
+let show x =
+  String.concat " " (Array.to_list (Array.map (Printf.sprintf "%h") x))
+
+let () =
+  (* parent solve in the main domain to obtain a canonical basis *)
+  let parent =
+    match Milp.Simplex.solve_r p with
+    | Ok r -> r
+    | Error _ -> failwith "parent solve failed"
+  in
+  let wb = Option.get parent.Milp.Simplex.basis in
+  (* cold solve in a fresh domain: canonical bits with an empty cache *)
+  let cold =
+    Domain.join
+      (Domain.spawn (fun () ->
+           match Milp.Simplex.solve_r p with
+           | Ok r -> (r.Milp.Simplex.x, r.Milp.Simplex.obj)
+           | Error _ -> failwith "cold solve failed"))
+  in
+  (* warm solve (basis only, no factor) in another fresh domain *)
+  let warm =
+    Domain.join
+      (Domain.spawn (fun () ->
+           match Milp.Simplex.solve_r ~warm:wb p with
+           | Ok r -> (r.Milp.Simplex.x, r.Milp.Simplex.obj, r.Milp.Simplex.warm)
+           | Error _ -> failwith "warm solve failed"))
+  in
+  let cx, cobj = cold in
+  let wx, wobj, was_warm = warm in
+  Printf.printf "warm path taken: %b\n" was_warm;
+  Printf.printf "cold x: %s  obj %h\n" (show cx) cobj;
+  Printf.printf "warm x: %s  obj %h\n" (show wx) wobj;
+  if bits cx = bits wx && Int64.bits_of_float cobj = Int64.bits_of_float wobj
+  then print_endline "IDENTICAL"
+  else print_endline "DIVERGED"
